@@ -1,0 +1,72 @@
+// Reproduces the §7.1 bug-finding timeline: "Initially, the majority of
+// bugs that we found were crash bugs. However, after these crash bugs were
+// fixed ... the semantic bugs began to exceed the crash bugs."
+//
+// Each round runs a campaign, then "fixes" (disables) every fault found.
+// Crash findings should dominate early rounds and semantic findings later.
+
+#include <cstdio>
+
+#include "src/gauntlet/campaign.h"
+
+int main() {
+  using namespace gauntlet;
+
+  BugConfig remaining = BugConfig::All();
+  CampaignOptions options;
+  options.num_programs = 60;
+  options.generator.backend = GeneratorBackend::kTofino;
+  options.generator.p_wide_arith = 20;
+  options.testgen.max_tests = 6;
+  options.testgen.max_decisions = 5;
+
+  std::printf("=== campaign timeline: find -> fix -> repeat ===\n");
+  std::printf("%-7s %-14s %-10s %-10s %-16s %s\n", "round", "faults left", "crash", "semantic",
+              "distinct found", "fixed this round");
+  int first_round_crash = 0;
+  int first_round_semantic = 0;
+  int late_semantic = 0;
+  int late_crash = 0;
+  for (int round = 1; round <= 6 && !remaining.empty(); ++round) {
+    options.seed = 1000 + static_cast<uint64_t>(round);
+    const Campaign campaign(options);
+    const CampaignReport report = campaign.Run(remaining);
+    int crash_found = 0;
+    int semantic_found = 0;
+    for (const BugId bug : report.distinct_bugs) {
+      if (GetBugInfo(bug).kind == BugKind::kCrash) {
+        ++crash_found;
+      } else {
+        ++semantic_found;
+      }
+    }
+    if (round == 1) {
+      first_round_crash = crash_found;
+      first_round_semantic = semantic_found;
+    } else {
+      late_crash += crash_found;
+      late_semantic += semantic_found;
+    }
+    std::printf("%-7d %-14zu %-10d %-10d %-16zu ", round, remaining.enabled().size(),
+                crash_found, semantic_found, report.DistinctCount());
+    for (const BugId bug : report.distinct_bugs) {
+      remaining.Disable(bug);
+      std::printf("%s ", BugIdToString(bug).c_str());
+    }
+    std::printf("\n");
+    if (report.distinct_bugs.empty()) {
+      break;
+    }
+  }
+  std::printf("\nfaults never detected: ");
+  for (const BugId bug : remaining.enabled()) {
+    std::printf("%s ", BugIdToString(bug).c_str());
+  }
+  std::printf("\n\nshape checks (paper §7.1):\n");
+  std::printf("  round 1 finds crash bugs: %s (%d crash, %d semantic)\n",
+              first_round_crash > 0 ? "yes" : "NO", first_round_crash, first_round_semantic);
+  std::printf("  later rounds shift toward semantic bugs: %s (%d semantic vs %d crash "
+              "after round 1)\n",
+              late_semantic >= late_crash ? "yes" : "NO", late_semantic, late_crash);
+  return 0;
+}

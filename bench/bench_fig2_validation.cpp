@@ -1,0 +1,83 @@
+// Reproduces the Figure 2 flow as a performance benchmark: how fast is
+// translation validation (emit after every pass, re-parse, prove pass-pair
+// equivalence)? The paper validated ~10000 random programs per week; this
+// measures per-program latency for the equivalent pipeline here.
+
+#include <benchmark/benchmark.h>
+
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+#include "src/gen/generator.h"
+#include "src/tv/validator.h"
+#include "src/typecheck/typecheck.h"
+
+namespace {
+
+using namespace gauntlet;
+
+ProgramPtr GenerateProgram(uint64_t seed) {
+  GeneratorOptions options;
+  options.seed = seed;
+  return ProgramGenerator(options).Generate();
+}
+
+void BM_ValidateCleanPipeline(benchmark::State& state) {
+  auto program = GenerateProgram(static_cast<uint64_t>(state.range(0)));
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  int64_t passes_checked = 0;
+  for (auto _ : state) {
+    const TvReport report = validator.Validate(*program, BugConfig::None());
+    passes_checked += static_cast<int64_t>(report.pass_results.size());
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["passes/program"] =
+      benchmark::Counter(static_cast<double>(passes_checked) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ValidateCleanPipeline)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ValidateWithSeededSemanticBug(benchmark::State& state) {
+  auto program = GenerateProgram(static_cast<uint64_t>(state.range(0)));
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  BugConfig bugs;
+  bugs.Enable(BugId::kPredicationLostElse);
+  bugs.Enable(BugId::kConstantFoldWrapWidth);
+  for (auto _ : state) {
+    const TvReport report = validator.Validate(*program, bugs);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ValidateWithSeededSemanticBug)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+// Isolated pass-pair equivalence check (the inner SMT query of Fig. 2).
+void BM_PassPairEquivalenceCheck(benchmark::State& state) {
+  auto program = GenerateProgram(static_cast<uint64_t>(state.range(0)));
+  TypeCheck(*program);
+  auto transformed = program->Clone();
+  PassManager::StandardPipeline().Run(*transformed, BugConfig::None());
+  for (auto _ : state) {
+    const TvPassResult result =
+        TranslationValidator::CompareVersions(*program, *transformed, "whole-pipeline");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PassPairEquivalenceCheck)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+// Re-parse check alone (ToP4 round-trip).
+void BM_EmitAndReparse(benchmark::State& state) {
+  auto program = GenerateProgram(static_cast<uint64_t>(state.range(0)));
+  TypeCheck(*program);
+  for (auto _ : state) {
+    auto reparsed = Parser::ParseString(PrintProgram(*program));
+    TypeCheck(*reparsed);
+    benchmark::DoNotOptimize(reparsed);
+  }
+}
+BENCHMARK(BM_EmitAndReparse)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces the Figure 4 flow as a benchmark: symbolic-execution test-case
+// generation (path enumeration + model solving + expected-output
+// computation) and replay throughput on a target.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/gen/generator.h"
+#include "src/target/bmv2.h"
+#include "src/testgen/testgen.h"
+
+namespace {
+
+using namespace gauntlet;
+
+ProgramPtr GenerateProgram(uint64_t seed) {
+  GeneratorOptions options;
+  options.seed = seed;
+  return ProgramGenerator(options).Generate();
+}
+
+void BM_GenerateTestCases(benchmark::State& state) {
+  auto program = GenerateProgram(static_cast<uint64_t>(state.range(0)));
+  TestGenOptions options;
+  options.max_tests = 16;
+  options.max_decisions = 8;
+  int64_t tests = 0;
+  for (auto _ : state) {
+    try {
+      const std::vector<PacketTest> generated = TestCaseGenerator(options).Generate(*program);
+      tests += static_cast<int64_t>(generated.size());
+      benchmark::DoNotOptimize(generated);
+    } catch (const UnsupportedError&) {
+      state.SkipWithError("program outside the supported fragment");
+      return;
+    }
+  }
+  state.counters["tests/program"] = benchmark::Counter(
+      static_cast<double>(tests) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GenerateTestCases)->Arg(1)->Arg(2)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+// Path-enumeration depth sweep: cost grows with the number of decision
+// conditions considered ("the number of paths can be exponential", §6.2).
+void BM_PathEnumerationDepth(benchmark::State& state) {
+  auto program = GenerateProgram(2);
+  TestGenOptions options;
+  options.max_tests = 64;
+  options.max_decisions = static_cast<size_t>(state.range(0));
+  int64_t tests = 0;
+  for (auto _ : state) {
+    try {
+      const std::vector<PacketTest> generated = TestCaseGenerator(options).Generate(*program);
+      tests += static_cast<int64_t>(generated.size());
+    } catch (const UnsupportedError&) {
+      state.SkipWithError("unsupported");
+      return;
+    }
+  }
+  state.counters["paths"] = benchmark::Counter(
+      static_cast<double>(tests) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PathEnumerationDepth)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplayTestsOnTarget(benchmark::State& state) {
+  auto program = GenerateProgram(static_cast<uint64_t>(state.range(0)));
+  std::vector<PacketTest> tests;
+  try {
+    TestGenOptions options;
+    options.max_tests = 16;
+    tests = TestCaseGenerator(options).Generate(*program);
+  } catch (const UnsupportedError&) {
+    state.SkipWithError("unsupported");
+    return;
+  }
+  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  for (auto _ : state) {
+    const auto failures = RunPacketTests(target, tests);
+    benchmark::DoNotOptimize(failures);
+  }
+  state.counters["packets/iter"] = static_cast<double>(tests.size());
+}
+BENCHMARK(BM_ReplayTestsOnTarget)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reproduces the §5.2/§8 pass-coverage claim: "for the vast majority (53
+// out of 57) of compiler passes, in which we tried to find semantic bugs,
+// we did not need simulation relations to tease out semantic bugs."
+//
+// Validates N random programs through the clean pipeline and tallies, per
+// pass, how often validation succeeded outright versus hitting the
+// undefined-value-reordering / structural-mismatch classes that would need
+// a simulation relation.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/gen/generator.h"
+#include "src/tv/validator.h"
+
+int main() {
+  using namespace gauntlet;
+
+  constexpr int kPrograms = 40;
+  struct PassStats {
+    int equivalent = 0;
+    int undef_divergence = 0;
+    int structural = 0;
+    int semantic = 0;
+  };
+  std::map<std::string, PassStats> stats;
+
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  for (uint64_t seed = 1; seed <= kPrograms; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    const TvReport report = validator.Validate(*program, BugConfig::None());
+    if (report.crashed) {
+      std::printf("unexpected pipeline crash on seed %llu: %s\n",
+                  static_cast<unsigned long long>(seed), report.crash_message.c_str());
+      return 1;
+    }
+    for (const TvPassResult& result : report.pass_results) {
+      PassStats& pass_stats = stats[result.pass_name];
+      switch (result.verdict) {
+        case TvVerdict::kEquivalent:
+          ++pass_stats.equivalent;
+          break;
+        case TvVerdict::kUndefDivergence:
+          ++pass_stats.undef_divergence;
+          break;
+        case TvVerdict::kStructuralMismatch:
+          ++pass_stats.structural;
+          break;
+        default:
+          ++pass_stats.semantic;
+          break;
+      }
+    }
+  }
+
+  std::printf("=== pass coverage over %d random programs (clean pipeline) ===\n", kPrograms);
+  std::printf("%-24s %12s %14s %12s %10s\n", "pass", "equivalent", "undef-diverge",
+              "structural", "semantic");
+  int passes_clean = 0;
+  int passes_needing_relation = 0;
+  for (const auto& [pass, pass_stats] : stats) {
+    std::printf("%-24s %12d %14d %12d %10d\n", pass.c_str(), pass_stats.equivalent,
+                pass_stats.undef_divergence, pass_stats.structural, pass_stats.semantic);
+    if (pass_stats.structural > 0) {
+      ++passes_needing_relation;
+    } else {
+      ++passes_clean;
+    }
+  }
+  std::printf("\npasses validated without simulation relations: %d of %d\n", passes_clean,
+              passes_clean + passes_needing_relation);
+  std::printf("paper: 53 of 57 passes needed no simulation relation (§8)\n");
+  std::printf("semantic false positives on the clean pipeline: %s\n", [&] {
+    for (const auto& [pass, pass_stats] : stats) {
+      if (pass_stats.semantic > 0) {
+        return "PRESENT (bug in this reproduction!)";
+      }
+    }
+    return "none (sound)";
+  }());
+  return 0;
+}

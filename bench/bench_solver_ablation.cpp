@@ -1,0 +1,180 @@
+// Solver ablations for the design choices DESIGN.md calls out:
+//   * equivalence-check latency as bit width grows (bit-blasting cost)
+//   * hash-consing + algebraic simplification: identical programs should
+//     short-circuit to a trivially-false difference without touching SAT
+//   * CDCL statistics across query classes
+
+#include <benchmark/benchmark.h>
+
+#include "src/frontend/parser.h"
+#include "src/smt/solver.h"
+#include "src/sym/interpreter.h"
+#include "src/typecheck/typecheck.h"
+
+namespace {
+
+using namespace gauntlet;
+
+std::string ArithProgram(int width) {
+  const std::string w = std::to_string(width);
+  return "control ig(inout bit<" + w + "> x, inout bit<" + w + "> y) {\n  apply {\n"
+         "    x = x * y + (x ^ y);\n    y = (x << " + w + "w3) - y;\n  }\n}\n"
+         "package main { ingress = ig; }\n";
+}
+
+// Width sweep: prove `x*y+... == x*y+...` with a twist — compare against a
+// program with `y + x` commuted, forcing a real SAT proof of commutativity.
+void BM_EquivalenceVsWidth(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto before = Parser::ParseString(ArithProgram(width));
+  const std::string w = std::to_string(width);
+  auto after = Parser::ParseString(
+      "control ig(inout bit<" + w + "> x, inout bit<" + w + "> y) {\n  apply {\n"
+      "    x = y * x + (y ^ x);\n    y = (x << " + w + "w3) - y;\n  }\n}\n"
+      "package main { ingress = ig; }\n");
+  TypeCheck(*before);
+  TypeCheck(*after);
+  uint64_t conflicts = 0;
+  for (auto _ : state) {
+    SmtContext ctx;
+    SymbolicInterpreter interpreter(ctx);
+    const BlockSemantics sem_before = interpreter.InterpretRole(*before, BlockRole::kIngress);
+    const BlockSemantics sem_after = interpreter.InterpretRole(*after, BlockRole::kIngress);
+    const EquivalenceQuery query = BuildEquivalenceQuery(ctx, sem_before, sem_after);
+    SmtSolver solver(ctx);
+    solver.Assert(query.difference);
+    const CheckResult result = solver.Check();
+    conflicts += solver.last_conflicts();
+    benchmark::DoNotOptimize(result);
+    if (result != CheckResult::kUnsat) {
+      state.SkipWithError("commuted program wrongly deemed inequivalent");
+      return;
+    }
+  }
+  state.counters["sat_conflicts"] = benchmark::Counter(
+      static_cast<double>(conflicts) / static_cast<double>(state.iterations()));
+}
+// Multiplier-commutativity equivalence is the canonical hard case for
+// bit-blasting; widths are kept small and iteration counts pinned so the
+// sweep finishes in seconds while still showing the exponential trend.
+BENCHMARK(BM_EquivalenceVsWidth)->Arg(4)->Arg(6)->Arg(8)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+// Hash-consing ablation: interpreting the *same* program twice yields
+// identical SmtRefs, so the difference simplifies to `false` and the solver
+// never runs. This is the fast path that makes per-pass validation cheap
+// when a pass changes nothing semantically.
+void BM_IdenticalProgramShortCircuit(benchmark::State& state) {
+  auto program = Parser::ParseString(ArithProgram(16));
+  TypeCheck(*program);
+  for (auto _ : state) {
+    SmtContext ctx;
+    SymbolicInterpreter interpreter(ctx);
+    const BlockSemantics a = interpreter.InterpretRole(*program, BlockRole::kIngress);
+    const BlockSemantics b = interpreter.InterpretRole(*program, BlockRole::kIngress);
+    const EquivalenceQuery query = BuildEquivalenceQuery(ctx, a, b);
+    // Simplification must have collapsed the difference to a constant.
+    if (!ctx.IsConst(query.difference) || ctx.ConstBits(query.difference) != 0) {
+      state.SkipWithError("hash-consing failed to collapse identical semantics");
+      return;
+    }
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_IdenticalProgramShortCircuit)->Unit(benchmark::kMicrosecond);
+
+// Model extraction: SAT query with a witness (inequivalent pair).
+void BM_CounterexampleExtraction(benchmark::State& state) {
+  auto before = Parser::ParseString(ArithProgram(12));
+  auto after = Parser::ParseString(
+      "control ig(inout bit<12> x, inout bit<12> y) {\n  apply {\n"
+      "    x = x * y + (x ^ y);\n    y = (x << 12w3) - y - 12w1;\n  }\n}\n"
+      "package main { ingress = ig; }\n");
+  TypeCheck(*before);
+  TypeCheck(*after);
+  for (auto _ : state) {
+    SmtContext ctx;
+    SymbolicInterpreter interpreter(ctx);
+    const BlockSemantics sem_before = interpreter.InterpretRole(*before, BlockRole::kIngress);
+    const BlockSemantics sem_after = interpreter.InterpretRole(*after, BlockRole::kIngress);
+    const EquivalenceQuery query = BuildEquivalenceQuery(ctx, sem_before, sem_after);
+    SmtSolver solver(ctx);
+    solver.Assert(query.difference);
+    if (solver.Check() != CheckResult::kSat) {
+      state.SkipWithError("expected inequivalence");
+      return;
+    }
+    const SmtModel model = solver.ExtractModel();
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_CounterexampleExtraction)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+// Incremental path probing vs from-scratch solving — the design choice
+// behind affordable test generation. One formula, N path probes: the
+// incremental solver encodes once and solves each probe under assumptions
+// (keeping learned clauses); the baseline builds a fresh solver per probe.
+void BM_PathProbing(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  auto program = Parser::ParseString(
+      "control ig(inout bit<16> a, inout bit<16> b, inout bit<16> c) {\n  apply {\n"
+      "    if (a + b > 16w100) { c = a * 16w3; } else { c = b - a; }\n"
+      "    if (c != 16w0) { a = a ^ c; }\n"
+      "    if (b < a) { b = b + 16w7; }\n  }\n}\n"
+      "package main { ingress = ig; }\n");
+  TypeCheck(*program);
+  for (auto _ : state) {
+    SmtContext ctx;
+    SymbolicInterpreter interpreter(ctx);
+    const BlockSemantics sem = interpreter.InterpretRole(*program, BlockRole::kIngress);
+    int feasible = 0;
+    if (incremental) {
+      SmtSolver solver(ctx);
+      for (uint32_t mask = 0; mask < (1u << sem.branch_conditions.size()); ++mask) {
+        std::vector<SmtRef> path;
+        for (size_t i = 0; i < sem.branch_conditions.size(); ++i) {
+          const SmtRef cond = sem.branch_conditions[i];
+          path.push_back((mask >> i) & 1 ? cond : ctx.BoolNot(cond));
+        }
+        feasible += solver.CheckUnderAssumptions(path) == CheckResult::kSat ? 1 : 0;
+      }
+    } else {
+      for (uint32_t mask = 0; mask < (1u << sem.branch_conditions.size()); ++mask) {
+        SmtSolver solver(ctx);
+        for (size_t i = 0; i < sem.branch_conditions.size(); ++i) {
+          const SmtRef cond = sem.branch_conditions[i];
+          solver.Assert((mask >> i) & 1 ? cond : ctx.BoolNot(cond));
+        }
+        feasible += solver.Check() == CheckResult::kSat ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(feasible);
+  }
+}
+BENCHMARK(BM_PathProbing)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Non-zero-preference solving (the §6.2 heuristic) vs plain solving.
+void BM_SolveWithPreferences(benchmark::State& state) {
+  const bool with_preferences = state.range(0) != 0;
+  for (auto _ : state) {
+    SmtContext ctx;
+    const SmtRef x = ctx.Var("x", 16);
+    const SmtRef y = ctx.Var("y", 16);
+    SmtSolver solver(ctx);
+    solver.Assert(ctx.Eq(ctx.Add(x, y), ctx.Const(16, 500)));
+    CheckResult result;
+    if (with_preferences) {
+      result = solver.CheckWithPreferences(
+          {ctx.BoolNot(ctx.Eq(x, ctx.Const(16, 0))),
+           ctx.BoolNot(ctx.Eq(y, ctx.Const(16, 0)))});
+    } else {
+      result = solver.Check();
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SolveWithPreferences)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Reproduces Table 1: McKeeman's levels of compiler-input correctness.
+// For each level we synthesize inputs of that class and report where the
+// compiler front end rejects them — confirming that the lexer/parser/type
+// checker reject low-level garbage (which is why Gauntlet, like the paper,
+// only generates inputs at level 4 and above; §2.1: "testing at the first
+// few levels of Table 1 is already handled adequately").
+
+#include <cstdio>
+#include <string>
+#include <map>
+#include <vector>
+
+#include "src/frontend/lexer.h"
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+#include "src/gen/generator.h"
+#include "src/support/rng.h"
+#include "src/target/bmv2.h"
+#include "src/typecheck/typecheck.h"
+
+namespace {
+
+using namespace gauntlet;
+
+enum class Stage { kLexer, kParser, kTypeChecker, kAccepted };
+
+const char* StageToString(Stage stage) {
+  switch (stage) {
+    case Stage::kLexer:
+      return "rejected by lexer";
+    case Stage::kParser:
+      return "rejected by parser";
+    case Stage::kTypeChecker:
+      return "rejected by type checker";
+    case Stage::kAccepted:
+      return "accepted (compiled)";
+  }
+  return "";
+}
+
+Stage Classify(const std::string& source) {
+  std::vector<Token> tokens;
+  try {
+    tokens = Lexer(source).Tokenize();
+  } catch (const CompileError&) {
+    return Stage::kLexer;
+  }
+  ProgramPtr program;
+  try {
+    Parser parser(std::move(tokens));
+    program = parser.ParseProgram();
+  } catch (const CompileError&) {
+    return Stage::kParser;
+  }
+  try {
+    TypeCheck(*program);
+  } catch (const CompileError&) {
+    return Stage::kTypeChecker;
+  }
+  return Stage::kAccepted;
+}
+
+std::string ValidProgram(uint64_t seed) {
+  GeneratorOptions options;
+  options.seed = seed;
+  return PrintProgram(*ProgramGenerator(options).Generate());
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(123);
+  struct Row {
+    int level;
+    const char* input_class;
+    std::vector<std::string> samples;
+  };
+  std::vector<Row> rows;
+
+  // Level 1: arbitrary byte soup.
+  Row level1{1, "sequence of ASCII characters (binary junk)", {}};
+  for (int i = 0; i < 20; ++i) {
+    std::string junk;
+    for (int j = 0; j < 40; ++j) {
+      junk.push_back(static_cast<char>(rng.Range('!', '~')));
+    }
+    level1.samples.push_back(junk);
+  }
+  rows.push_back(std::move(level1));
+
+  // Level 2: words the language cannot form (e.g. names beginning with $).
+  Row level2{2, "sequence of words and spaces ($-names)", {}};
+  for (int i = 0; i < 20; ++i) {
+    level2.samples.push_back("control $c" + std::to_string(i) + " ( inout bit<8> x ) { }");
+  }
+  rows.push_back(std::move(level2));
+
+  // Level 3: syntax errors in otherwise valid programs (drop a semicolon).
+  Row level3{3, "syntactically incorrect (missing semicolon)", {}};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::string program = ValidProgram(seed);
+    const size_t semi = program.find(';');
+    if (semi != std::string::npos) {
+      program.erase(semi, 1);
+    }
+    level3.samples.push_back(program);
+  }
+  rows.push_back(std::move(level3));
+
+  // Level 4: type errors (bool assigned to a bit field).
+  Row level4{4, "type incorrect (bool into bit<8>)", {}};
+  for (int i = 0; i < 20; ++i) {
+    level4.samples.push_back(R"(
+control c(inout bit<8> x) {
+  apply { x = true; }
+}
+)");
+  }
+  rows.push_back(std::move(level4));
+
+  // Level 5: statically non-conforming (undefined identifiers).
+  Row level5{5, "statically non-conforming (undefined variable)", {}};
+  for (int i = 0; i < 20; ++i) {
+    level5.samples.push_back(R"(
+control c(inout bit<8> x) {
+  apply { x = ghost_)" + std::to_string(i) +
+                             R"(; }
+}
+)");
+  }
+  rows.push_back(std::move(level5));
+
+  // Levels 6-7: well-formed programs (dynamic/model conformance is what
+  // translation validation and test generation check, not the front end).
+  Row level67{6, "dynamically/model-conforming (generated programs)", {}};
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    level67.samples.push_back(ValidProgram(seed));
+  }
+  rows.push_back(std::move(level67));
+
+  std::printf("=== Table 1: input levels vs compiler response ===\n");
+  std::printf("%-6s %-48s %-26s %s\n", "level", "input class", "dominant response", "agreement");
+  for (const Row& row : rows) {
+    std::map<Stage, int> counts;
+    for (const std::string& sample : row.samples) {
+      ++counts[Classify(sample)];
+    }
+    Stage dominant = Stage::kAccepted;
+    int best = -1;
+    for (const auto& [stage, count] : counts) {
+      if (count > best) {
+        best = count;
+        dominant = stage;
+      }
+    }
+    std::printf("%-6d %-48s %-26s %d/%zu\n", row.level, row.input_class,
+                StageToString(dominant), best, row.samples.size());
+  }
+  std::printf("\npaper's conclusion (§2.1): levels 1-5 are already rejected by the front\n"
+              "end, so Gauntlet generates programs at levels 5+ and hunts for crash bugs\n"
+              "(level 5/6) and semantic bugs (levels 6-7).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Crash-bug fuzzing (paper §4): generate random well-typed programs and
+// throw them at a compiler with seeded faults, collecting abnormal
+// terminations. This is the "10000 programs every week" workflow scaled to
+// a demo.
+//
+// Usage: find_crash_bugs [num_programs] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "src/frontend/printer.h"
+#include "src/gen/generator.h"
+#include "src/target/bmv2.h"
+#include "src/target/tofino.h"
+
+int main(int argc, char** argv) {
+  using namespace gauntlet;
+  const int num_programs = argc > 1 ? std::atoi(argv[1]) : 300;
+  const uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 7;
+
+  // The compiler under test carries every seeded crash fault.
+  BugConfig bugs;
+  bugs.Enable(BugId::kTypeCheckerShiftCrash);
+  bugs.Enable(BugId::kInlinerSkipsNestedCall);
+  bugs.Enable(BugId::kStrengthReductionNegativeSlice);
+  bugs.Enable(BugId::kSimplifyDefUseDropsInoutWrite);
+  bugs.Enable(BugId::kTofinoCrashOnWideArith);
+  bugs.Enable(BugId::kTofinoCrashManyTables);
+
+  GeneratorOptions generator_options;
+  generator_options.seed = seed;
+  generator_options.backend = GeneratorBackend::kTofino;
+  generator_options.p_wide_arith = 25;
+  ProgramGenerator generator(generator_options);
+
+  std::map<std::string, int> crash_sites;  // distinct assertion messages
+  std::map<std::string, std::string> first_reproducer;
+  int crashes = 0;
+
+  const Bmv2Compiler bmv2(bugs);
+  const TofinoCompiler tofino(bugs);
+  for (int i = 0; i < num_programs; ++i) {
+    ProgramPtr program = generator.Generate();
+    for (const char* backend : {"bmv2", "tofino"}) {
+      try {
+        if (backend[0] == 'b') {
+          bmv2.Compile(*program);
+        } else {
+          tofino.Compile(*program);
+        }
+      } catch (const CompilerBugError& error) {
+        ++crashes;
+        // Distinct crash bugs are identified by their assertion message —
+        // "the compiler has comprehensive assert instrumentation with
+        // distinct messages, which we used to identify unique crash bugs"
+        // (§7.3).
+        const std::string site = error.what();
+        if (crash_sites[site]++ == 0) {
+          first_reproducer[site] = PrintProgram(*program);
+        }
+      } catch (const CompileError&) {
+        // Orderly rejection — possibly an incorrectly-rejected valid
+        // program (Fig. 5c class); the TV driver handles those.
+      }
+    }
+  }
+
+  std::printf("fuzzed %d programs -> %d crashes, %zu distinct crash sites\n\n", num_programs,
+              crashes, crash_sites.size());
+  for (const auto& [site, count] : crash_sites) {
+    std::printf("%4dx  %s\n", count, site.c_str());
+  }
+  if (!first_reproducer.empty()) {
+    std::printf("\n== first reproducer for \"%s\" ==\n%s", crash_sites.begin()->first.c_str(),
+                first_reproducer.begin()->second.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "src/ast/expr.h"
+
+namespace gauntlet {
+
+bool IsBooleanResult(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLogicalAnd:
+    case BinaryOp::kLogicalOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kComplement:
+      return "~";
+    case UnaryOp::kLogicalNot:
+      return "!";
+    case UnaryOp::kNegate:
+      return "-";
+  }
+  return "<invalid>";
+}
+
+std::string BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kBitAnd:
+      return "&";
+    case BinaryOp::kBitOr:
+      return "|";
+    case BinaryOp::kBitXor:
+      return "^";
+    case BinaryOp::kShl:
+      return "<<";
+    case BinaryOp::kShr:
+      return ">>";
+    case BinaryOp::kConcat:
+      return "++";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLogicalAnd:
+      return "&&";
+    case BinaryOp::kLogicalOr:
+      return "||";
+  }
+  return "<invalid>";
+}
+
+ExprPtr MakeConstant(uint32_t width, uint64_t bits) {
+  return std::make_unique<ConstantExpr>(BitValue(width, bits));
+}
+
+ExprPtr MakeBool(bool value) { return std::make_unique<BoolConstExpr>(value); }
+
+ExprPtr MakePath(std::string name) { return std::make_unique<PathExpr>(std::move(name)); }
+
+ExprPtr MakeMember(ExprPtr base, std::string member) {
+  return std::make_unique<MemberExpr>(std::move(base), std::move(member));
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  return std::make_unique<UnaryExpr>(op, std::move(operand));
+}
+
+}  // namespace gauntlet

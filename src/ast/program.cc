@@ -1,0 +1,84 @@
+#include "src/ast/program.h"
+
+namespace gauntlet {
+
+std::string BlockRoleToString(BlockRole role) {
+  switch (role) {
+    case BlockRole::kParser:
+      return "parser";
+    case BlockRole::kIngress:
+      return "ingress";
+    case BlockRole::kEgress:
+      return "egress";
+    case BlockRole::kDeparser:
+      return "deparser";
+  }
+  return "<invalid>";
+}
+
+std::unique_ptr<Program> Program::Clone() const {
+  auto clone = std::make_unique<Program>();
+  for (const TypePtr& type : type_decls_) {
+    clone->AddType(type);  // types are immutable, shared by design
+  }
+  for (const DeclPtr& decl : decls_) {
+    clone->AddDecl(decl->CloneDecl());
+  }
+  clone->package_ = package_;
+  return clone;
+}
+
+void Program::AddType(TypePtr type) {
+  GAUNTLET_BUG_CHECK(type->IsStructLike(), "only header/struct types are declared");
+  types_by_name_[type->name()] = type;
+  type_decls_.push_back(std::move(type));
+}
+
+TypePtr Program::FindType(const std::string& name) const {
+  auto it = types_by_name_.find(name);
+  return it == types_by_name_.end() ? nullptr : it->second;
+}
+
+Decl* Program::FindDecl(const std::string& name) const {
+  for (const DeclPtr& decl : decls_) {
+    if (decl->name() == name) {
+      return decl.get();
+    }
+  }
+  return nullptr;
+}
+
+ControlDecl* Program::FindControl(const std::string& name) const {
+  Decl* decl = FindDecl(name);
+  if (decl != nullptr && decl->kind() == DeclKind::kControl) {
+    return static_cast<ControlDecl*>(decl);
+  }
+  return nullptr;
+}
+
+ParserDecl* Program::FindParser(const std::string& name) const {
+  Decl* decl = FindDecl(name);
+  if (decl != nullptr && decl->kind() == DeclKind::kParser) {
+    return static_cast<ParserDecl*>(decl);
+  }
+  return nullptr;
+}
+
+FunctionDecl* Program::FindFunction(const std::string& name) const {
+  Decl* decl = FindDecl(name);
+  if (decl != nullptr && decl->kind() == DeclKind::kFunction) {
+    return static_cast<FunctionDecl*>(decl);
+  }
+  return nullptr;
+}
+
+const PackageBlock* Program::FindBlock(BlockRole role) const {
+  for (const PackageBlock& block : package_) {
+    if (block.role == role) {
+      return &block;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,74 @@
+#ifndef SRC_AST_PROGRAM_H_
+#define SRC_AST_PROGRAM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/decl.h"
+
+namespace gauntlet {
+
+// The role a declaration plays in the target package (paper Figure 1). This
+// models the v1model-style architecture: a parser feeds programmable match-
+// action controls, and a deparser serializes headers back to bytes.
+enum class BlockRole {
+  kParser,
+  kIngress,
+  kEgress,
+  kDeparser,
+};
+
+std::string BlockRoleToString(BlockRole role);
+
+struct PackageBlock {
+  BlockRole role;
+  std::string decl_name;  // name of the ParserDecl/ControlDecl filling the slot
+};
+
+// A whole P4 program: named types, top-level functions, parsers, controls,
+// and the package instantiation wiring declarations to target block slots.
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  std::unique_ptr<Program> Clone() const;
+
+  // --- named types ---
+  void AddType(TypePtr type);
+  TypePtr FindType(const std::string& name) const;
+  const std::vector<TypePtr>& type_decls() const { return type_decls_; }
+
+  // --- declarations ---
+  void AddDecl(DeclPtr decl) { decls_.push_back(std::move(decl)); }
+  const std::vector<DeclPtr>& decls() const { return decls_; }
+  std::vector<DeclPtr>& mutable_decls() { return decls_; }
+  Decl* FindDecl(const std::string& name) const;
+  ControlDecl* FindControl(const std::string& name) const;
+  ParserDecl* FindParser(const std::string& name) const;
+  FunctionDecl* FindFunction(const std::string& name) const;
+
+  // --- package ---
+  void BindBlock(BlockRole role, std::string decl_name) {
+    package_.push_back(PackageBlock{role, std::move(decl_name)});
+  }
+  const std::vector<PackageBlock>& package() const { return package_; }
+  const PackageBlock* FindBlock(BlockRole role) const;
+
+ private:
+  std::vector<TypePtr> type_decls_;
+  std::map<std::string, TypePtr> types_by_name_;
+  std::vector<DeclPtr> decls_;
+  std::vector<PackageBlock> package_;
+};
+
+using ProgramPtr = std::unique_ptr<Program>;
+
+}  // namespace gauntlet
+
+#endif  // SRC_AST_PROGRAM_H_

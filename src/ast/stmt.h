@@ -1,0 +1,202 @@
+#ifndef SRC_AST_STMT_H_
+#define SRC_AST_STMT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/expr.h"
+
+namespace gauntlet {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kBlock,
+  kAssign,
+  kIf,
+  kVarDecl,
+  kCall,    // expression-statement wrapping a CallExpr
+  kExit,    // terminate the whole control block
+  kReturn,  // return from function/action (optionally with a value)
+  kEmpty,   // `;` — produced by some passes when deleting statements
+};
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+
+  StmtKind kind() const { return kind_; }
+  const SourceLocation& loc() const { return loc_; }
+  void set_loc(SourceLocation loc) { loc_ = loc; }
+
+  virtual StmtPtr Clone() const = 0;
+
+ protected:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+ private:
+  StmtKind kind_;
+  SourceLocation loc_;
+};
+
+class BlockStmt : public Stmt {
+ public:
+  explicit BlockStmt(std::vector<StmtPtr> statements = {})
+      : Stmt(StmtKind::kBlock), statements_(std::move(statements)) {}
+
+  const std::vector<StmtPtr>& statements() const { return statements_; }
+  std::vector<StmtPtr>& mutable_statements() { return statements_; }
+  void Append(StmtPtr stmt) { statements_.push_back(std::move(stmt)); }
+
+  StmtPtr Clone() const override {
+    std::vector<StmtPtr> clones;
+    clones.reserve(statements_.size());
+    for (const StmtPtr& stmt : statements_) {
+      clones.push_back(stmt->Clone());
+    }
+    auto clone = std::make_unique<BlockStmt>(std::move(clones));
+    clone->set_loc(loc());
+    return clone;
+  }
+
+ private:
+  std::vector<StmtPtr> statements_;
+};
+
+class AssignStmt : public Stmt {
+ public:
+  AssignStmt(ExprPtr target, ExprPtr value)
+      : Stmt(StmtKind::kAssign), target_(std::move(target)), value_(std::move(value)) {}
+
+  const Expr& target() const { return *target_; }
+  const Expr& value() const { return *value_; }
+  ExprPtr& target_slot() { return target_; }
+  ExprPtr& value_slot() { return value_; }
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<AssignStmt>(target_->Clone(), value_->Clone());
+    clone->set_loc(loc());
+    return clone;
+  }
+
+ private:
+  ExprPtr target_;
+  ExprPtr value_;
+};
+
+class IfStmt : public Stmt {
+ public:
+  IfStmt(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch)
+      : Stmt(StmtKind::kIf),
+        cond_(std::move(cond)),
+        then_(std::move(then_branch)),
+        else_(std::move(else_branch)) {}
+
+  const Expr& cond() const { return *cond_; }
+  const Stmt& then_branch() const { return *then_; }
+  const Stmt* else_branch() const { return else_.get(); }
+  ExprPtr& cond_slot() { return cond_; }
+  StmtPtr& then_slot() { return then_; }
+  StmtPtr& else_slot() { return else_; }
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<IfStmt>(cond_->Clone(), then_->Clone(),
+                                          else_ ? else_->Clone() : nullptr);
+    clone->set_loc(loc());
+    return clone;
+  }
+
+ private:
+  ExprPtr cond_;
+  StmtPtr then_;
+  StmtPtr else_;  // may be null
+};
+
+class VarDeclStmt : public Stmt {
+ public:
+  VarDeclStmt(std::string name, TypePtr var_type, ExprPtr init)
+      : Stmt(StmtKind::kVarDecl),
+        name_(std::move(name)),
+        var_type_(std::move(var_type)),
+        init_(std::move(init)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const TypePtr& var_type() const { return var_type_; }
+  const Expr* init() const { return init_.get(); }
+  ExprPtr& init_slot() { return init_; }
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<VarDeclStmt>(name_, var_type_, init_ ? init_->Clone() : nullptr);
+    clone->set_loc(loc());
+    return clone;
+  }
+
+ private:
+  std::string name_;
+  TypePtr var_type_;
+  ExprPtr init_;  // may be null — variable starts undefined
+};
+
+class CallStmt : public Stmt {
+ public:
+  explicit CallStmt(ExprPtr call) : Stmt(StmtKind::kCall), call_(std::move(call)) {}
+
+  const CallExpr& call() const { return static_cast<const CallExpr&>(*call_); }
+  CallExpr& mutable_call() { return static_cast<CallExpr&>(*call_); }
+  ExprPtr& call_slot() { return call_; }
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<CallStmt>(call_->Clone());
+    clone->set_loc(loc());
+    return clone;
+  }
+
+ private:
+  ExprPtr call_;  // always a CallExpr
+};
+
+class ExitStmt : public Stmt {
+ public:
+  ExitStmt() : Stmt(StmtKind::kExit) {}
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<ExitStmt>();
+    clone->set_loc(loc());
+    return clone;
+  }
+};
+
+class ReturnStmt : public Stmt {
+ public:
+  explicit ReturnStmt(ExprPtr value) : Stmt(StmtKind::kReturn), value_(std::move(value)) {}
+
+  const Expr* value() const { return value_.get(); }
+  ExprPtr& value_slot() { return value_; }
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<ReturnStmt>(value_ ? value_->Clone() : nullptr);
+    clone->set_loc(loc());
+    return clone;
+  }
+
+ private:
+  ExprPtr value_;  // may be null
+};
+
+class EmptyStmt : public Stmt {
+ public:
+  EmptyStmt() : Stmt(StmtKind::kEmpty) {}
+
+  StmtPtr Clone() const override {
+    auto clone = std::make_unique<EmptyStmt>();
+    clone->set_loc(loc());
+    return clone;
+  }
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_AST_STMT_H_

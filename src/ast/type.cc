@@ -1,0 +1,93 @@
+#include "src/ast/type.h"
+
+namespace gauntlet {
+
+TypePtr Type::Void() {
+  static const TypePtr instance(new Type(Kind::kVoid, 0, "", {}));
+  return instance;
+}
+
+TypePtr Type::Bool() {
+  static const TypePtr instance(new Type(Kind::kBool, 0, "", {}));
+  return instance;
+}
+
+TypePtr Type::Bit(uint32_t width) {
+  GAUNTLET_BUG_CHECK(width >= 1 && width <= 64, "bit<N> width out of supported range");
+  return TypePtr(new Type(Kind::kBit, width, "", {}));
+}
+
+TypePtr Type::MakeHeader(std::string name, std::vector<Field> fields) {
+  return TypePtr(new Type(Kind::kHeader, 0, std::move(name), std::move(fields)));
+}
+
+TypePtr Type::MakeStruct(std::string name, std::vector<Field> fields) {
+  return TypePtr(new Type(Kind::kStruct, 0, std::move(name), std::move(fields)));
+}
+
+const Type::Field* Type::FindField(const std::string& field_name) const {
+  for (const Field& field : fields_) {
+    if (field.name == field_name) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+bool Type::Equals(const Type& other) const {
+  if (kind_ != other.kind_) {
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kVoid:
+    case Kind::kBool:
+      return true;
+    case Kind::kBit:
+      return width_ == other.width_;
+    case Kind::kHeader:
+    case Kind::kStruct: {
+      if (name_ != other.name_ || fields_.size() != other.fields_.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name ||
+            !fields_[i].type->Equals(*other.fields_[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case Kind::kVoid:
+      return "void";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kBit:
+      return "bit<" + std::to_string(width_) + ">";
+    case Kind::kHeader:
+    case Kind::kStruct:
+      return name_;
+  }
+  return "<invalid>";
+}
+
+std::string DirectionToString(Direction direction) {
+  switch (direction) {
+    case Direction::kNone:
+      return "";
+    case Direction::kIn:
+      return "in";
+    case Direction::kInOut:
+      return "inout";
+    case Direction::kOut:
+      return "out";
+  }
+  return "<invalid>";
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,88 @@
+#ifndef SRC_AST_TYPE_H_
+#define SRC_AST_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+// A P4-16 type. Types are immutable and shared; header and struct types are
+// interned in a TypeTable by name so that pointer equality works for named
+// types and value equality works for bit<N>/bool.
+class Type {
+ public:
+  enum class Kind {
+    kVoid,
+    kBool,
+    kBit,     // bit<N>, 1 <= N <= 64
+    kHeader,  // header with validity bit; fields restricted to bit<N>/bool
+    kStruct,  // plain struct; fields may be any non-void type
+  };
+
+  struct Field {
+    std::string name;
+    TypePtr type;
+  };
+
+  static TypePtr Void();
+  static TypePtr Bool();
+  static TypePtr Bit(uint32_t width);
+  static TypePtr MakeHeader(std::string name, std::vector<Field> fields);
+  static TypePtr MakeStruct(std::string name, std::vector<Field> fields);
+
+  Kind kind() const { return kind_; }
+  bool IsBit() const { return kind_ == Kind::kBit; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsHeader() const { return kind_ == Kind::kHeader; }
+  bool IsStruct() const { return kind_ == Kind::kStruct; }
+  bool IsStructLike() const { return IsHeader() || IsStruct(); }
+  bool IsVoid() const { return kind_ == Kind::kVoid; }
+
+  // Only valid for kBit.
+  uint32_t width() const {
+    GAUNTLET_BUG_CHECK(kind_ == Kind::kBit, "width() on non-bit type");
+    return width_;
+  }
+
+  // Only valid for header/struct.
+  const std::string& name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  const Field* FindField(const std::string& field_name) const;
+
+  // Structural type equality (named types compare by name + fields).
+  bool Equals(const Type& other) const;
+
+  // Source-syntax rendering, e.g. "bit<8>", "Hdr".
+  std::string ToString() const;
+
+ private:
+  Type(Kind kind, uint32_t width, std::string name, std::vector<Field> fields)
+      : kind_(kind), width_(width), name_(std::move(name)), fields_(std::move(fields)) {}
+
+  Kind kind_;
+  uint32_t width_ = 0;
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+// Parameter/argument passing mode ("direction", P4-16 section 6.7). kNone is
+// a directionless parameter: forbidden on controls/functions, but on actions
+// it denotes control-plane-provided action data.
+enum class Direction {
+  kNone,
+  kIn,
+  kInOut,
+  kOut,
+};
+
+std::string DirectionToString(Direction direction);
+
+}  // namespace gauntlet
+
+#endif  // SRC_AST_TYPE_H_

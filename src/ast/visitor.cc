@@ -1,0 +1,380 @@
+#include "src/ast/visitor.h"
+
+namespace gauntlet {
+
+void Inspector::VisitProgram(const Program& program) {
+  for (const DeclPtr& decl : program.decls()) {
+    VisitDecl(*decl);
+  }
+}
+
+void Inspector::VisitDecl(const Decl& decl) {
+  switch (decl.kind()) {
+    case DeclKind::kAction: {
+      const auto& action = static_cast<const ActionDecl&>(decl);
+      OnAction(action);
+      VisitStmt(action.body());
+      break;
+    }
+    case DeclKind::kFunction: {
+      const auto& function = static_cast<const FunctionDecl&>(decl);
+      OnFunction(function);
+      VisitStmt(function.body());
+      break;
+    }
+    case DeclKind::kTable: {
+      const auto& table = static_cast<const TableDecl&>(decl);
+      OnTable(table);
+      for (const TableKey& key : table.keys()) {
+        VisitExpr(*key.expr);
+      }
+      for (const ExprPtr& arg : table.default_args()) {
+        VisitExpr(*arg);
+      }
+      break;
+    }
+    case DeclKind::kControl: {
+      const auto& control = static_cast<const ControlDecl&>(decl);
+      OnControl(control);
+      for (const DeclPtr& local : control.locals()) {
+        VisitDecl(*local);
+      }
+      VisitStmt(control.apply());
+      break;
+    }
+    case DeclKind::kParser: {
+      const auto& parser = static_cast<const ParserDecl&>(decl);
+      OnParser(parser);
+      for (const ParserState& state : parser.states()) {
+        for (const StmtPtr& stmt : state.statements) {
+          VisitStmt(*stmt);
+        }
+        if (state.select_expr != nullptr) {
+          VisitExpr(*state.select_expr);
+        }
+        for (const SelectCase& select_case : state.cases) {
+          if (select_case.value != nullptr) {
+            VisitExpr(*select_case.value);
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Inspector::VisitStmt(const Stmt& stmt) {
+  OnStmt(stmt);
+  switch (stmt.kind()) {
+    case StmtKind::kBlock: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      for (const StmtPtr& child : block.statements()) {
+        VisitStmt(*child);
+      }
+      break;
+    }
+    case StmtKind::kAssign: {
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      VisitExpr(assign.target());
+      VisitExpr(assign.value());
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      VisitExpr(if_stmt.cond());
+      VisitStmt(if_stmt.then_branch());
+      if (if_stmt.else_branch() != nullptr) {
+        VisitStmt(*if_stmt.else_branch());
+      }
+      break;
+    }
+    case StmtKind::kVarDecl: {
+      const auto& var_decl = static_cast<const VarDeclStmt&>(stmt);
+      if (var_decl.init() != nullptr) {
+        VisitExpr(*var_decl.init());
+      }
+      break;
+    }
+    case StmtKind::kCall: {
+      const auto& call_stmt = static_cast<const CallStmt&>(stmt);
+      VisitExpr(call_stmt.call());
+      break;
+    }
+    case StmtKind::kReturn: {
+      const auto& return_stmt = static_cast<const ReturnStmt&>(stmt);
+      if (return_stmt.value() != nullptr) {
+        VisitExpr(*return_stmt.value());
+      }
+      break;
+    }
+    case StmtKind::kExit:
+    case StmtKind::kEmpty:
+      break;
+  }
+}
+
+void Inspector::VisitExpr(const Expr& expr) {
+  OnExpr(expr);
+  switch (expr.kind()) {
+    case ExprKind::kConstant:
+    case ExprKind::kBoolConst:
+    case ExprKind::kPath:
+      break;
+    case ExprKind::kMember:
+      VisitExpr(static_cast<const MemberExpr&>(expr).base());
+      break;
+    case ExprKind::kSlice:
+      VisitExpr(static_cast<const SliceExpr&>(expr).base());
+      break;
+    case ExprKind::kUnary:
+      VisitExpr(static_cast<const UnaryExpr&>(expr).operand());
+      break;
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      VisitExpr(binary.left());
+      VisitExpr(binary.right());
+      break;
+    }
+    case ExprKind::kMux: {
+      const auto& mux = static_cast<const MuxExpr&>(expr);
+      VisitExpr(mux.cond());
+      VisitExpr(mux.then_expr());
+      VisitExpr(mux.else_expr());
+      break;
+    }
+    case ExprKind::kCast:
+      VisitExpr(static_cast<const CastExpr&>(expr).operand());
+      break;
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (call.receiver() != nullptr) {
+        VisitExpr(*call.receiver());
+      }
+      for (const ExprPtr& arg : call.args()) {
+        VisitExpr(*arg);
+      }
+      break;
+    }
+  }
+}
+
+void Rewriter::RewriteProgram(Program& program) {
+  for (const DeclPtr& decl : program.mutable_decls()) {
+    RewriteDecl(*decl);
+  }
+}
+
+void Rewriter::RewriteDecl(Decl& decl) {
+  switch (decl.kind()) {
+    case DeclKind::kAction: {
+      auto& action = static_cast<ActionDecl&>(decl);
+      RewriteBlock(*action.mutable_body());
+      PostActionDecl(action);
+      break;
+    }
+    case DeclKind::kFunction: {
+      auto& function = static_cast<FunctionDecl&>(decl);
+      RewriteBlock(*function.mutable_body());
+      break;
+    }
+    case DeclKind::kTable: {
+      auto& table = static_cast<TableDecl&>(decl);
+      for (TableKey& key : table.mutable_keys()) {
+        RewriteExpr(key.expr);
+      }
+      for (ExprPtr& arg : table.mutable_default_args()) {
+        RewriteExpr(arg);
+      }
+      PostTableDecl(table);
+      break;
+    }
+    case DeclKind::kControl: {
+      auto& control = static_cast<ControlDecl&>(decl);
+      for (const DeclPtr& local : control.mutable_locals()) {
+        RewriteDecl(*local);
+      }
+      RewriteBlock(*control.mutable_apply());
+      PostControlDecl(control);
+      break;
+    }
+    case DeclKind::kParser: {
+      auto& parser = static_cast<ParserDecl&>(decl);
+      for (ParserState& state : parser.mutable_states()) {
+        for (StmtPtr& stmt : state.statements) {
+          RewriteStmt(stmt);
+        }
+        if (state.select_expr != nullptr) {
+          RewriteExpr(state.select_expr);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Rewriter::RewriteBlock(BlockStmt& block) {
+  for (StmtPtr& stmt : block.mutable_statements()) {
+    RewriteStmt(stmt);
+  }
+  FlattenBlocks(block);
+}
+
+void Rewriter::RewriteStmt(StmtPtr& slot) {
+  Stmt& stmt = *slot;
+  StmtPtr replacement;
+  switch (stmt.kind()) {
+    case StmtKind::kBlock: {
+      auto& block = static_cast<BlockStmt&>(stmt);
+      for (StmtPtr& child : block.mutable_statements()) {
+        RewriteStmt(child);
+      }
+      FlattenBlocks(block);
+      replacement = PostBlock(block);
+      break;
+    }
+    case StmtKind::kAssign: {
+      auto& assign = static_cast<AssignStmt&>(stmt);
+      if (RewritesLValues()) {
+        RewriteExpr(assign.target_slot());
+      }
+      RewriteExpr(assign.value_slot());
+      replacement = PostAssign(assign);
+      break;
+    }
+    case StmtKind::kIf: {
+      auto& if_stmt = static_cast<IfStmt&>(stmt);
+      RewriteExpr(if_stmt.cond_slot());
+      RewriteStmt(if_stmt.then_slot());
+      if (if_stmt.else_slot() != nullptr) {
+        RewriteStmt(if_stmt.else_slot());
+      }
+      replacement = PostIf(if_stmt);
+      break;
+    }
+    case StmtKind::kVarDecl: {
+      auto& var_decl = static_cast<VarDeclStmt&>(stmt);
+      if (var_decl.init() != nullptr) {
+        RewriteExpr(var_decl.init_slot());
+      }
+      replacement = PostVarDecl(var_decl);
+      break;
+    }
+    case StmtKind::kCall: {
+      auto& call_stmt = static_cast<CallStmt&>(stmt);
+      RewriteExpr(call_stmt.call_slot());
+      replacement = PostCallStmt(call_stmt);
+      break;
+    }
+    case StmtKind::kExit:
+      replacement = PostExit(static_cast<ExitStmt&>(stmt));
+      break;
+    case StmtKind::kReturn: {
+      auto& return_stmt = static_cast<ReturnStmt&>(stmt);
+      if (return_stmt.value() != nullptr) {
+        RewriteExpr(return_stmt.value_slot());
+      }
+      replacement = PostReturn(return_stmt);
+      break;
+    }
+    case StmtKind::kEmpty:
+      break;
+  }
+  if (replacement != nullptr) {
+    slot = std::move(replacement);
+  }
+}
+
+void Rewriter::RewriteExpr(ExprPtr& slot) {
+  Expr& expr = *slot;
+  ExprPtr replacement;
+  switch (expr.kind()) {
+    case ExprKind::kConstant:
+      replacement = PostConstant(static_cast<ConstantExpr&>(expr));
+      break;
+    case ExprKind::kBoolConst:
+      replacement = PostBoolConst(static_cast<BoolConstExpr&>(expr));
+      break;
+    case ExprKind::kPath:
+      replacement = PostPath(static_cast<PathExpr&>(expr));
+      break;
+    case ExprKind::kMember: {
+      auto& member = static_cast<MemberExpr&>(expr);
+      RewriteExpr(member.base_slot());
+      replacement = PostMember(member);
+      break;
+    }
+    case ExprKind::kSlice: {
+      auto& slice = static_cast<SliceExpr&>(expr);
+      RewriteExpr(slice.base_slot());
+      replacement = PostSlice(slice);
+      break;
+    }
+    case ExprKind::kUnary: {
+      auto& unary = static_cast<UnaryExpr&>(expr);
+      RewriteExpr(unary.operand_slot());
+      replacement = PostUnary(unary);
+      break;
+    }
+    case ExprKind::kBinary: {
+      auto& binary = static_cast<BinaryExpr&>(expr);
+      RewriteExpr(binary.left_slot());
+      RewriteExpr(binary.right_slot());
+      replacement = PostBinary(binary);
+      break;
+    }
+    case ExprKind::kMux: {
+      auto& mux = static_cast<MuxExpr&>(expr);
+      RewriteExpr(mux.cond_slot());
+      RewriteExpr(mux.then_slot());
+      RewriteExpr(mux.else_slot());
+      replacement = PostMux(mux);
+      break;
+    }
+    case ExprKind::kCast: {
+      auto& cast = static_cast<CastExpr&>(expr);
+      RewriteExpr(cast.operand_slot());
+      replacement = PostCast(cast);
+      break;
+    }
+    case ExprKind::kCall: {
+      auto& call = static_cast<CallExpr&>(expr);
+      // The receiver of validity/extract/emit methods is an l-value.
+      if (call.receiver_slot() != nullptr && RewritesLValues()) {
+        RewriteExpr(call.receiver_slot());
+      }
+      for (ExprPtr& arg : call.mutable_args()) {
+        RewriteExpr(arg);
+      }
+      replacement = PostCall(call);
+      break;
+    }
+  }
+  if (replacement != nullptr) {
+    slot = std::move(replacement);
+  }
+}
+
+void FlattenBlocks(BlockStmt& block) {
+  std::vector<StmtPtr> flattened;
+  flattened.reserve(block.statements().size());
+  for (StmtPtr& stmt : block.mutable_statements()) {
+    if (stmt->kind() == StmtKind::kEmpty) {
+      continue;
+    }
+    if (stmt->kind() == StmtKind::kBlock) {
+      // P4 blocks do not open a new variable scope boundary that matters
+      // after uniquification, so nested blocks can be inlined textually.
+      auto& nested = static_cast<BlockStmt&>(*stmt);
+      for (StmtPtr& child : nested.mutable_statements()) {
+        if (child->kind() != StmtKind::kEmpty) {
+          flattened.push_back(std::move(child));
+        }
+      }
+      continue;
+    }
+    flattened.push_back(std::move(stmt));
+  }
+  block.mutable_statements() = std::move(flattened);
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,82 @@
+#ifndef SRC_AST_VISITOR_H_
+#define SRC_AST_VISITOR_H_
+
+#include "src/ast/program.h"
+
+namespace gauntlet {
+
+// Read-only traversal over a program. Subclasses override the hooks they
+// care about; every hook is called before the node's children are visited.
+class Inspector {
+ public:
+  virtual ~Inspector() = default;
+
+  void VisitProgram(const Program& program);
+  void VisitDecl(const Decl& decl);
+  void VisitStmt(const Stmt& stmt);
+  void VisitExpr(const Expr& expr);
+
+ protected:
+  virtual void OnControl(const ControlDecl&) {}
+  virtual void OnParser(const ParserDecl&) {}
+  virtual void OnAction(const ActionDecl&) {}
+  virtual void OnFunction(const FunctionDecl&) {}
+  virtual void OnTable(const TableDecl&) {}
+  virtual void OnStmt(const Stmt&) {}
+  virtual void OnExpr(const Expr&) {}
+};
+
+// Bottom-up in-place rewriter. The traversal rewrites children first, then
+// offers the node to the matching Post hook; returning non-null replaces the
+// node. Statement hooks may replace a statement with an EmptyStmt (delete)
+// or a BlockStmt (expansion into several statements).
+class Rewriter {
+ public:
+  virtual ~Rewriter() = default;
+
+  void RewriteProgram(Program& program);
+  void RewriteDecl(Decl& decl);
+  void RewriteStmt(StmtPtr& slot);
+  void RewriteExpr(ExprPtr& slot);
+  void RewriteBlock(BlockStmt& block);
+
+ protected:
+  // --- expression hooks (post-order) ---
+  virtual ExprPtr PostConstant(ConstantExpr&) { return nullptr; }
+  virtual ExprPtr PostBoolConst(BoolConstExpr&) { return nullptr; }
+  virtual ExprPtr PostPath(PathExpr&) { return nullptr; }
+  virtual ExprPtr PostMember(MemberExpr&) { return nullptr; }
+  virtual ExprPtr PostSlice(SliceExpr&) { return nullptr; }
+  virtual ExprPtr PostUnary(UnaryExpr&) { return nullptr; }
+  virtual ExprPtr PostBinary(BinaryExpr&) { return nullptr; }
+  virtual ExprPtr PostMux(MuxExpr&) { return nullptr; }
+  virtual ExprPtr PostCast(CastExpr&) { return nullptr; }
+  virtual ExprPtr PostCall(CallExpr&) { return nullptr; }
+
+  // --- statement hooks (post-order) ---
+  virtual StmtPtr PostAssign(AssignStmt&) { return nullptr; }
+  virtual StmtPtr PostIf(IfStmt&) { return nullptr; }
+  virtual StmtPtr PostVarDecl(VarDeclStmt&) { return nullptr; }
+  virtual StmtPtr PostCallStmt(CallStmt&) { return nullptr; }
+  virtual StmtPtr PostExit(ExitStmt&) { return nullptr; }
+  virtual StmtPtr PostReturn(ReturnStmt&) { return nullptr; }
+  virtual StmtPtr PostBlock(BlockStmt&) { return nullptr; }
+
+  // --- declaration hooks ---
+  virtual void PostActionDecl(ActionDecl&) {}
+  virtual void PostTableDecl(TableDecl&) {}
+  virtual void PostControlDecl(ControlDecl&) {}
+
+  // Whether the rewriter should descend into l-value positions (assignment
+  // targets, out-arguments). Most expression-simplifying passes must not
+  // rewrite l-values structurally, only their sub-indices.
+  virtual bool RewritesLValues() const { return true; }
+};
+
+// Flattens directly-nested blocks and drops EmptyStmt, normalizing trees
+// after rewriters that delete/expand statements.
+void FlattenBlocks(BlockStmt& block);
+
+}  // namespace gauntlet
+
+#endif  // SRC_AST_VISITOR_H_

@@ -1,0 +1,401 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace gauntlet {
+
+namespace {
+
+const std::map<std::string, TokenKind>& KeywordTable() {
+  static const std::map<std::string, TokenKind> table = {
+      {"header", TokenKind::kKwHeader},
+      {"struct", TokenKind::kKwStruct},
+      {"control", TokenKind::kKwControl},
+      {"parser", TokenKind::kKwParser},
+      {"action", TokenKind::kKwAction},
+      {"table", TokenKind::kKwTable},
+      {"key", TokenKind::kKwKey},
+      {"actions", TokenKind::kKwActions},
+      {"default_action", TokenKind::kKwDefaultAction},
+      {"apply", TokenKind::kKwApply},
+      {"state", TokenKind::kKwState},
+      {"transition", TokenKind::kKwTransition},
+      {"select", TokenKind::kKwSelect},
+      {"default", TokenKind::kKwDefault},
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"exit", TokenKind::kKwExit},
+      {"return", TokenKind::kKwReturn},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"bit", TokenKind::kKwBit},
+      {"bool", TokenKind::kKwBool},
+      {"void", TokenKind::kKwVoid},
+      {"in", TokenKind::kKwIn},
+      {"inout", TokenKind::kKwInOut},
+      {"out", TokenKind::kKwOut},
+      {"package", TokenKind::kKwPackage},
+      {"exact", TokenKind::kKwExact},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "<end of input>";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kWidthConst:
+      return "width-annotated constant";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kShl:
+      return "'<<'";
+    case TokenKind::kShr:
+      return "'>>'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kPlusPlus:
+      return "'++'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kAmpAmp:
+      return "'&&'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kPipePipe:
+      return "'||'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kTilde:
+      return "'~'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kQuestion:
+      return "'?'";
+    default:
+      return "keyword";
+  }
+}
+
+Lexer::Lexer(std::string source) : source_(std::move(source)) {}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token token = Next();
+    const bool done = token.kind == TokenKind::kEnd;
+    tokens.push_back(std::move(token));
+    if (done) {
+      return tokens;
+    }
+  }
+}
+
+char Lexer::Peek(size_t offset) const {
+  if (pos_ + offset >= source_.size()) {
+    return '\0';
+  }
+  return source_[pos_ + offset];
+}
+
+char Lexer::Advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  for (;;) {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (Peek() == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+      continue;
+    }
+    if (Peek() == '/' && Peek(1) == '*') {
+      const SourceLocation start = Here();
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (AtEnd()) {
+          throw CompileError(start, "unterminated block comment");
+        }
+        Advance();
+      }
+      Advance();
+      Advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::LexNumber() {
+  const SourceLocation start = Here();
+  uint64_t value = 0;
+  std::string text;
+  while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+    const char c = Advance();
+    text.push_back(c);
+    const auto digit = static_cast<uint64_t>(c - '0');
+    // Exact overflow test: value*10 + digit must fit in 64 bits. A
+    // conservative `> (MAX-9)/10` guard would wrongly reject 2^64-1, the
+    // all-ones mask that slice lowering emits for 64-bit fields.
+    if (value > (~uint64_t{0} - digit) / 10) {
+      throw CompileError(start, "integer literal too large");
+    }
+    value = value * 10 + digit;
+  }
+  // Width-annotated form: <width>w<value>, value decimal or 0x-hex.
+  if (Peek() == 'w' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    Advance();  // consume 'w'
+    if (value < 1 || value > 64) {
+      throw CompileError(start, "literal width must be between 1 and 64");
+    }
+    uint64_t bits = 0;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      bool any = false;
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        const char c = Advance();
+        if (bits > (~uint64_t{0} >> 4)) {
+          throw CompileError(start, "integer literal too large");
+        }
+        uint64_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint64_t>(c - '0');
+        } else {
+          digit = static_cast<uint64_t>(std::tolower(c) - 'a') + 10;
+        }
+        bits = bits * 16 + digit;
+        any = true;
+      }
+      if (!any) {
+        throw CompileError(start, "hex literal requires at least one digit");
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        const char c = Advance();
+        const auto digit = static_cast<uint64_t>(c - '0');
+        if (bits > (~uint64_t{0} - digit) / 10) {
+          throw CompileError(start, "integer literal too large");
+        }
+        bits = bits * 10 + digit;
+      }
+    }
+    Token token;
+    token.kind = TokenKind::kWidthConst;
+    token.width = static_cast<uint32_t>(value);
+    token.number = bits;
+    token.loc = start;
+    return token;
+  }
+  Token token;
+  token.kind = TokenKind::kNumber;
+  token.number = value;
+  token.text = std::move(text);
+  token.loc = start;
+  return token;
+}
+
+Token Lexer::LexIdentifierOrKeyword() {
+  const SourceLocation start = Here();
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+    text.push_back(Advance());
+  }
+  Token token;
+  token.loc = start;
+  auto it = KeywordTable().find(text);
+  if (it != KeywordTable().end()) {
+    token.kind = it->second;
+    token.text = std::move(text);
+  } else {
+    token.kind = TokenKind::kIdentifier;
+    token.text = std::move(text);
+  }
+  return token;
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.loc = Here();
+  if (AtEnd()) {
+    token.kind = TokenKind::kEnd;
+    return token;
+  }
+  const char c = Peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    return LexNumber();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return LexIdentifierOrKeyword();
+  }
+  Advance();
+  switch (c) {
+    case '{':
+      token.kind = TokenKind::kLBrace;
+      return token;
+    case '}':
+      token.kind = TokenKind::kRBrace;
+      return token;
+    case '(':
+      token.kind = TokenKind::kLParen;
+      return token;
+    case ')':
+      token.kind = TokenKind::kRParen;
+      return token;
+    case '[':
+      token.kind = TokenKind::kLBracket;
+      return token;
+    case ']':
+      token.kind = TokenKind::kRBracket;
+      return token;
+    case ';':
+      token.kind = TokenKind::kSemicolon;
+      return token;
+    case ':':
+      token.kind = TokenKind::kColon;
+      return token;
+    case ',':
+      token.kind = TokenKind::kComma;
+      return token;
+    case '.':
+      token.kind = TokenKind::kDot;
+      return token;
+    case '=':
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kEq;
+      } else {
+        token.kind = TokenKind::kAssign;
+      }
+      return token;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kNe;
+      } else {
+        token.kind = TokenKind::kBang;
+      }
+      return token;
+    case '<':
+      if (Peek() == '<') {
+        Advance();
+        token.kind = TokenKind::kShl;
+      } else if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kLe;
+      } else {
+        token.kind = TokenKind::kLt;
+      }
+      return token;
+    case '>':
+      if (Peek() == '>') {
+        Advance();
+        token.kind = TokenKind::kShr;
+      } else if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kGe;
+      } else {
+        token.kind = TokenKind::kGt;
+      }
+      return token;
+    case '+':
+      if (Peek() == '+') {
+        Advance();
+        token.kind = TokenKind::kPlusPlus;
+      } else {
+        token.kind = TokenKind::kPlus;
+      }
+      return token;
+    case '-':
+      token.kind = TokenKind::kMinus;
+      return token;
+    case '*':
+      token.kind = TokenKind::kStar;
+      return token;
+    case '&':
+      if (Peek() == '&') {
+        Advance();
+        token.kind = TokenKind::kAmpAmp;
+      } else {
+        token.kind = TokenKind::kAmp;
+      }
+      return token;
+    case '|':
+      if (Peek() == '|') {
+        Advance();
+        token.kind = TokenKind::kPipePipe;
+      } else {
+        token.kind = TokenKind::kPipe;
+      }
+      return token;
+    case '^':
+      token.kind = TokenKind::kCaret;
+      return token;
+    case '~':
+      token.kind = TokenKind::kTilde;
+      return token;
+    case '?':
+      token.kind = TokenKind::kQuestion;
+      return token;
+    default:
+      throw CompileError(token.loc, std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace gauntlet

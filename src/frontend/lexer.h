@@ -1,0 +1,40 @@
+#ifndef SRC_FRONTEND_LEXER_H_
+#define SRC_FRONTEND_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+// Tokenizes a mini-P4 source buffer. Throws CompileError on malformed input
+// (stray characters, unterminated comments, oversized literals) — this is
+// McKeeman level 1/2 rejection.
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  // Lexes the whole buffer; the last token is always kEnd.
+  std::vector<Token> Tokenize();
+
+ private:
+  Token Next();
+  char Peek(size_t offset = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  void SkipWhitespaceAndComments();
+  Token LexNumber();
+  Token LexIdentifierOrKeyword();
+  SourceLocation Here() const { return SourceLocation{line_, column_}; }
+
+  std::string source_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_FRONTEND_LEXER_H_

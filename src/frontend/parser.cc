@@ -1,0 +1,691 @@
+#include "src/frontend/parser.h"
+
+#include "src/frontend/lexer.h"
+
+namespace gauntlet {
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+  GAUNTLET_BUG_CHECK(!tokens_.empty() && tokens_.back().kind == TokenKind::kEnd,
+                     "token stream must end with kEnd");
+}
+
+std::unique_ptr<Program> Parser::ParseString(const std::string& source) {
+  Lexer lexer(source);
+  Parser parser(lexer.Tokenize());
+  return parser.ParseProgram();
+}
+
+const Token& Parser::Peek(size_t offset) const {
+  const size_t index = pos_ + offset;
+  if (index >= tokens_.size()) {
+    return tokens_.back();
+  }
+  return tokens_[index];
+}
+
+const Token& Parser::Advance() {
+  const Token& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) {
+    ++pos_;
+  }
+  return token;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::Expect(TokenKind kind, const std::string& context) {
+  if (!Check(kind)) {
+    throw CompileError(Peek().loc, "expected " + TokenKindToString(kind) + " " + context +
+                                       ", found " + TokenKindToString(Peek().kind));
+  }
+  return Advance();
+}
+
+void Parser::Fail(const std::string& message) const { throw CompileError(Peek().loc, message); }
+
+std::unique_ptr<Program> Parser::ParseProgram() {
+  auto program = std::make_unique<Program>();
+  current_program_ = program.get();
+  while (!Check(TokenKind::kEnd)) {
+    switch (Peek().kind) {
+      case TokenKind::kKwHeader:
+        ParseTypeDecl(*program, /*is_header=*/true);
+        break;
+      case TokenKind::kKwStruct:
+        ParseTypeDecl(*program, /*is_header=*/false);
+        break;
+      case TokenKind::kKwParser:
+        ParseParserDecl(*program);
+        break;
+      case TokenKind::kKwControl:
+        ParseControlDecl(*program);
+        break;
+      case TokenKind::kKwPackage:
+        ParsePackageDecl(*program);
+        break;
+      case TokenKind::kKwBit:
+      case TokenKind::kKwBool:
+      case TokenKind::kKwVoid:
+        ParseFunctionDecl(*program);
+        break;
+      default:
+        Fail("expected a top-level declaration");
+    }
+  }
+  current_program_ = nullptr;
+  return program;
+}
+
+void Parser::ParseTypeDecl(Program& program, bool is_header) {
+  Advance();  // header/struct keyword
+  const Token& name = Expect(TokenKind::kIdentifier, "after 'header'/'struct'");
+  Expect(TokenKind::kLBrace, "to open type body");
+  std::vector<Type::Field> fields;
+  while (!Match(TokenKind::kRBrace)) {
+    TypePtr field_type = ParseType(program);
+    const Token& field_name = Expect(TokenKind::kIdentifier, "as field name");
+    Expect(TokenKind::kSemicolon, "after field");
+    fields.push_back(Type::Field{field_name.text, std::move(field_type)});
+  }
+  if (program.FindType(name.text) != nullptr) {
+    throw CompileError(name.loc, "duplicate type name '" + name.text + "'");
+  }
+  if (is_header) {
+    program.AddType(Type::MakeHeader(name.text, std::move(fields)));
+  } else {
+    program.AddType(Type::MakeStruct(name.text, std::move(fields)));
+  }
+}
+
+TypePtr Parser::ParseType(const Program& program) {
+  if (Match(TokenKind::kKwBool)) {
+    return Type::Bool();
+  }
+  if (Match(TokenKind::kKwVoid)) {
+    return Type::Void();
+  }
+  if (Match(TokenKind::kKwBit)) {
+    Expect(TokenKind::kLt, "after 'bit'");
+    const Token& width = Expect(TokenKind::kNumber, "as bit width");
+    if (width.number < 1 || width.number > 64) {
+      throw CompileError(width.loc, "bit width must be between 1 and 64");
+    }
+    Expect(TokenKind::kGt, "to close bit width");
+    return Type::Bit(static_cast<uint32_t>(width.number));
+  }
+  if (Check(TokenKind::kIdentifier)) {
+    const Token& name = Advance();
+    TypePtr named = program.FindType(name.text);
+    if (named == nullptr) {
+      throw CompileError(name.loc, "unknown type '" + name.text + "'");
+    }
+    return named;
+  }
+  Fail("expected a type");
+}
+
+std::vector<Param> Parser::ParseParams() {
+  Expect(TokenKind::kLParen, "to open parameter list");
+  std::vector<Param> params;
+  if (Match(TokenKind::kRParen)) {
+    return params;
+  }
+  do {
+    Param param;
+    if (Match(TokenKind::kKwIn)) {
+      param.direction = Direction::kIn;
+    } else if (Match(TokenKind::kKwInOut)) {
+      param.direction = Direction::kInOut;
+    } else if (Match(TokenKind::kKwOut)) {
+      param.direction = Direction::kOut;
+    } else {
+      param.direction = Direction::kNone;
+    }
+    param.type = ParseType(*current_program_);
+    param.name = Expect(TokenKind::kIdentifier, "as parameter name").text;
+    params.push_back(std::move(param));
+  } while (Match(TokenKind::kComma));
+  Expect(TokenKind::kRParen, "to close parameter list");
+  return params;
+}
+
+void Parser::ParseFunctionDecl(Program& program) {
+  TypePtr return_type = ParseType(program);
+  const Token& name = Expect(TokenKind::kIdentifier, "as function name");
+  std::vector<Param> params = ParseParams();
+  auto body = ParseBlock();
+  program.AddDecl(
+      std::make_unique<FunctionDecl>(name.text, return_type, std::move(params), std::move(body)));
+}
+
+void Parser::ParseParserDecl(Program& program) {
+  Advance();  // 'parser'
+  const Token& name = Expect(TokenKind::kIdentifier, "as parser name");
+  std::vector<Param> params = ParseParams();
+  Expect(TokenKind::kLBrace, "to open parser body");
+  std::vector<ParserState> states;
+  while (!Match(TokenKind::kRBrace)) {
+    states.push_back(ParseParserState());
+  }
+  program.AddDecl(std::make_unique<ParserDecl>(name.text, std::move(params), std::move(states)));
+}
+
+ParserState Parser::ParseParserState() {
+  Expect(TokenKind::kKwState, "to begin parser state");
+  ParserState state;
+  state.name = Expect(TokenKind::kIdentifier, "as state name").text;
+  Expect(TokenKind::kLBrace, "to open state body");
+  while (!Check(TokenKind::kKwTransition)) {
+    state.statements.push_back(ParseStmt());
+  }
+  Advance();  // 'transition'
+  if (Match(TokenKind::kKwSelect)) {
+    Expect(TokenKind::kLParen, "after 'select'");
+    state.select_expr = ParseExpr();
+    Expect(TokenKind::kRParen, "to close select expression");
+    Expect(TokenKind::kLBrace, "to open select cases");
+    while (!Match(TokenKind::kRBrace)) {
+      SelectCase select_case;
+      if (Match(TokenKind::kKwDefault)) {
+        select_case.value = nullptr;
+      } else {
+        const Token& value = Expect(TokenKind::kWidthConst, "as select case value");
+        select_case.value = MakeConstant(value.width, value.number);
+      }
+      Expect(TokenKind::kColon, "after select case value");
+      select_case.next_state = Expect(TokenKind::kIdentifier, "as next state").text;
+      Expect(TokenKind::kSemicolon, "after select case");
+      state.cases.push_back(std::move(select_case));
+    }
+  } else {
+    SelectCase unconditional;
+    unconditional.value = nullptr;
+    unconditional.next_state = Expect(TokenKind::kIdentifier, "as next state").text;
+    Expect(TokenKind::kSemicolon, "after transition");
+    state.cases.push_back(std::move(unconditional));
+  }
+  Expect(TokenKind::kRBrace, "to close state body");
+  return state;
+}
+
+void Parser::ParseControlDecl(Program& program) {
+  Advance();  // 'control'
+  const Token& name = Expect(TokenKind::kIdentifier, "as control name");
+  std::vector<Param> params = ParseParams();
+  Expect(TokenKind::kLBrace, "to open control body");
+  std::vector<DeclPtr> locals;
+  while (!Check(TokenKind::kKwApply)) {
+    if (Check(TokenKind::kKwAction)) {
+      locals.push_back(ParseActionDecl());
+    } else if (Check(TokenKind::kKwTable)) {
+      locals.push_back(ParseTableDecl());
+    } else {
+      Fail("expected 'action', 'table', or 'apply' in control body");
+    }
+  }
+  Advance();  // 'apply'
+  auto apply = ParseBlock();
+  Expect(TokenKind::kRBrace, "to close control body");
+  program.AddDecl(std::make_unique<ControlDecl>(name.text, std::move(params), std::move(locals),
+                                                std::move(apply)));
+}
+
+DeclPtr Parser::ParseActionDecl() {
+  Advance();  // 'action'
+  const Token& name = Expect(TokenKind::kIdentifier, "as action name");
+  std::vector<Param> params = ParseParams();
+  auto body = ParseBlock();
+  return std::make_unique<ActionDecl>(name.text, std::move(params), std::move(body));
+}
+
+DeclPtr Parser::ParseTableDecl() {
+  Advance();  // 'table'
+  const Token& name = Expect(TokenKind::kIdentifier, "as table name");
+  Expect(TokenKind::kLBrace, "to open table body");
+
+  std::vector<TableKey> keys;
+  if (Match(TokenKind::kKwKey)) {
+    Expect(TokenKind::kAssign, "after 'key'");
+    Expect(TokenKind::kLBrace, "to open key list");
+    while (!Match(TokenKind::kRBrace)) {
+      TableKey key;
+      key.expr = ParseExpr();
+      Expect(TokenKind::kColon, "after key expression");
+      Expect(TokenKind::kKwExact, "as match kind");
+      key.match_kind = "exact";
+      Expect(TokenKind::kSemicolon, "after key entry");
+      keys.push_back(std::move(key));
+    }
+  }
+
+  Expect(TokenKind::kKwActions, "in table body");
+  Expect(TokenKind::kAssign, "after 'actions'");
+  Expect(TokenKind::kLBrace, "to open action list");
+  std::vector<std::string> actions;
+  while (!Match(TokenKind::kRBrace)) {
+    actions.push_back(Expect(TokenKind::kIdentifier, "as action name").text);
+    Expect(TokenKind::kSemicolon, "after action name");
+  }
+
+  Expect(TokenKind::kKwDefaultAction, "in table body");
+  Expect(TokenKind::kAssign, "after 'default_action'");
+  const Token& default_name = Expect(TokenKind::kIdentifier, "as default action");
+  std::vector<ExprPtr> default_args;
+  if (Check(TokenKind::kLParen)) {
+    default_args = ParseCallArgs();
+  }
+  Expect(TokenKind::kSemicolon, "after default action");
+  Expect(TokenKind::kRBrace, "to close table body");
+  return std::make_unique<TableDecl>(name.text, std::move(keys), std::move(actions),
+                                     default_name.text, std::move(default_args));
+}
+
+void Parser::ParsePackageDecl(Program& program) {
+  Advance();  // 'package'
+  Expect(TokenKind::kIdentifier, "as package instance name");
+  Expect(TokenKind::kLBrace, "to open package body");
+  while (!Match(TokenKind::kRBrace)) {
+    BlockRole role;
+    if (Match(TokenKind::kKwParser)) {
+      role = BlockRole::kParser;
+    } else {
+      const Token& role_name = Expect(TokenKind::kIdentifier, "as package role");
+      if (role_name.text == "ingress") {
+        role = BlockRole::kIngress;
+      } else if (role_name.text == "egress") {
+        role = BlockRole::kEgress;
+      } else if (role_name.text == "deparser") {
+        role = BlockRole::kDeparser;
+      } else {
+        throw CompileError(role_name.loc, "unknown package role '" + role_name.text + "'");
+      }
+    }
+    Expect(TokenKind::kAssign, "after package role");
+    const Token& decl_name = Expect(TokenKind::kIdentifier, "as block declaration");
+    Expect(TokenKind::kSemicolon, "after package binding");
+    program.BindBlock(role, decl_name.text);
+  }
+}
+
+std::unique_ptr<BlockStmt> Parser::ParseBlock() {
+  const SourceLocation start = Peek().loc;
+  Expect(TokenKind::kLBrace, "to open block");
+  auto block = std::make_unique<BlockStmt>();
+  block->set_loc(start);
+  while (!Match(TokenKind::kRBrace)) {
+    block->Append(ParseStmt());
+  }
+  return block;
+}
+
+bool Parser::LooksLikeTypeAhead() const {
+  switch (Peek().kind) {
+    case TokenKind::kKwBit:
+    case TokenKind::kKwBool:
+      return true;
+    case TokenKind::kIdentifier:
+      // A named type followed by an identifier is a declaration; a named
+      // value followed by '.', '=', '[' etc. is an expression statement.
+      return current_program_ != nullptr && current_program_->FindType(Peek().text) != nullptr &&
+             Peek(1).kind == TokenKind::kIdentifier;
+    default:
+      return false;
+  }
+}
+
+StmtPtr Parser::ParseStmt() {
+  const SourceLocation start = Peek().loc;
+  switch (Peek().kind) {
+    case TokenKind::kLBrace:
+      return ParseBlock();
+    case TokenKind::kKwIf:
+      return ParseIf();
+    case TokenKind::kKwExit: {
+      Advance();
+      Expect(TokenKind::kSemicolon, "after 'exit'");
+      auto stmt = std::make_unique<ExitStmt>();
+      stmt->set_loc(start);
+      return stmt;
+    }
+    case TokenKind::kKwReturn: {
+      Advance();
+      ExprPtr value;
+      if (!Check(TokenKind::kSemicolon)) {
+        value = ParseExpr();
+      }
+      Expect(TokenKind::kSemicolon, "after 'return'");
+      auto stmt = std::make_unique<ReturnStmt>(std::move(value));
+      stmt->set_loc(start);
+      return stmt;
+    }
+    case TokenKind::kSemicolon: {
+      Advance();
+      auto stmt = std::make_unique<EmptyStmt>();
+      stmt->set_loc(start);
+      return stmt;
+    }
+    default:
+      break;
+  }
+
+  if (LooksLikeTypeAhead()) {
+    TypePtr var_type = ParseType(*current_program_);
+    const Token& name = Expect(TokenKind::kIdentifier, "as variable name");
+    ExprPtr init;
+    if (Match(TokenKind::kAssign)) {
+      init = ParseExpr();
+    }
+    Expect(TokenKind::kSemicolon, "after variable declaration");
+    auto stmt = std::make_unique<VarDeclStmt>(name.text, std::move(var_type), std::move(init));
+    stmt->set_loc(start);
+    return stmt;
+  }
+
+  // Either an assignment or a call statement; both start with a postfix
+  // expression.
+  ExprPtr lhs = ParsePostfix();
+  if (Match(TokenKind::kAssign)) {
+    ExprPtr value = ParseExpr();
+    Expect(TokenKind::kSemicolon, "after assignment");
+    auto stmt = std::make_unique<AssignStmt>(std::move(lhs), std::move(value));
+    stmt->set_loc(start);
+    return stmt;
+  }
+  if (lhs->kind() != ExprKind::kCall) {
+    throw CompileError(start, "expression statement must be a call");
+  }
+  Expect(TokenKind::kSemicolon, "after call statement");
+  auto stmt = std::make_unique<CallStmt>(std::move(lhs));
+  stmt->set_loc(start);
+  return stmt;
+}
+
+StmtPtr Parser::ParseIf() {
+  const SourceLocation start = Peek().loc;
+  Advance();  // 'if'
+  Expect(TokenKind::kLParen, "after 'if'");
+  ExprPtr cond = ParseExpr();
+  Expect(TokenKind::kRParen, "to close if condition");
+  StmtPtr then_branch = ParseStmt();
+  StmtPtr else_branch;
+  if (Match(TokenKind::kKwElse)) {
+    else_branch = ParseStmt();
+  }
+  auto stmt =
+      std::make_unique<IfStmt>(std::move(cond), std::move(then_branch), std::move(else_branch));
+  stmt->set_loc(start);
+  return stmt;
+}
+
+ExprPtr Parser::ParseExpr() { return ParseTernary(); }
+
+ExprPtr Parser::ParseTernary() {
+  ExprPtr cond = ParseLogicalOr();
+  if (!Match(TokenKind::kQuestion)) {
+    return cond;
+  }
+  ExprPtr then_expr = ParseExpr();
+  Expect(TokenKind::kColon, "in conditional expression");
+  ExprPtr else_expr = ParseExpr();
+  return std::make_unique<MuxExpr>(std::move(cond), std::move(then_expr), std::move(else_expr));
+}
+
+ExprPtr Parser::ParseLogicalOr() {
+  ExprPtr left = ParseLogicalAnd();
+  while (Match(TokenKind::kPipePipe)) {
+    left = MakeBinary(BinaryOp::kLogicalOr, std::move(left), ParseLogicalAnd());
+  }
+  return left;
+}
+
+ExprPtr Parser::ParseLogicalAnd() {
+  ExprPtr left = ParseComparison();
+  while (Match(TokenKind::kAmpAmp)) {
+    left = MakeBinary(BinaryOp::kLogicalAnd, std::move(left), ParseComparison());
+  }
+  return left;
+}
+
+ExprPtr Parser::ParseComparison() {
+  ExprPtr left = ParseBitOr();
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenKind::kNe)) {
+      op = BinaryOp::kNe;
+    } else if (Match(TokenKind::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenKind::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenKind::kGt)) {
+      op = BinaryOp::kGt;
+    } else if (Match(TokenKind::kGe)) {
+      op = BinaryOp::kGe;
+    } else {
+      return left;
+    }
+    left = MakeBinary(op, std::move(left), ParseBitOr());
+  }
+}
+
+ExprPtr Parser::ParseBitOr() {
+  ExprPtr left = ParseBitXor();
+  while (Match(TokenKind::kPipe)) {
+    left = MakeBinary(BinaryOp::kBitOr, std::move(left), ParseBitXor());
+  }
+  return left;
+}
+
+ExprPtr Parser::ParseBitXor() {
+  ExprPtr left = ParseBitAnd();
+  while (Match(TokenKind::kCaret)) {
+    left = MakeBinary(BinaryOp::kBitXor, std::move(left), ParseBitAnd());
+  }
+  return left;
+}
+
+ExprPtr Parser::ParseBitAnd() {
+  ExprPtr left = ParseShift();
+  while (Match(TokenKind::kAmp)) {
+    left = MakeBinary(BinaryOp::kBitAnd, std::move(left), ParseShift());
+  }
+  return left;
+}
+
+ExprPtr Parser::ParseShift() {
+  ExprPtr left = ParseAdditive();
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kShl)) {
+      op = BinaryOp::kShl;
+    } else if (Match(TokenKind::kShr)) {
+      op = BinaryOp::kShr;
+    } else {
+      return left;
+    }
+    left = MakeBinary(op, std::move(left), ParseAdditive());
+  }
+}
+
+ExprPtr Parser::ParseAdditive() {
+  ExprPtr left = ParseMultiplicative();
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kPlusPlus)) {
+      op = BinaryOp::kConcat;
+    } else if (Match(TokenKind::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Match(TokenKind::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return left;
+    }
+    left = MakeBinary(op, std::move(left), ParseMultiplicative());
+  }
+}
+
+ExprPtr Parser::ParseMultiplicative() {
+  ExprPtr left = ParseUnary();
+  while (Match(TokenKind::kStar)) {
+    left = MakeBinary(BinaryOp::kMul, std::move(left), ParseUnary());
+  }
+  return left;
+}
+
+ExprPtr Parser::ParseUnary() {
+  if (Match(TokenKind::kTilde)) {
+    return MakeUnary(UnaryOp::kComplement, ParseUnary());
+  }
+  if (Match(TokenKind::kBang)) {
+    return MakeUnary(UnaryOp::kLogicalNot, ParseUnary());
+  }
+  if (Match(TokenKind::kMinus)) {
+    return MakeUnary(UnaryOp::kNegate, ParseUnary());
+  }
+  return ParsePostfix();
+}
+
+std::vector<ExprPtr> Parser::ParseCallArgs() {
+  Expect(TokenKind::kLParen, "to open argument list");
+  std::vector<ExprPtr> args;
+  if (Match(TokenKind::kRParen)) {
+    return args;
+  }
+  do {
+    args.push_back(ParseExpr());
+  } while (Match(TokenKind::kComma));
+  Expect(TokenKind::kRParen, "to close argument list");
+  return args;
+}
+
+ExprPtr Parser::ParsePostfix() {
+  ExprPtr expr = ParsePrimary();
+  for (;;) {
+    if (Check(TokenKind::kDot)) {
+      Advance();
+      // `apply` is a keyword but also the name of the table-apply method.
+      Token member;
+      if (Check(TokenKind::kKwApply)) {
+        member = Advance();
+        member.text = "apply";
+      } else {
+        member = Expect(TokenKind::kIdentifier, "after '.'");
+      }
+      // Built-in methods are recognized syntactically.
+      if (Check(TokenKind::kLParen)) {
+        if (member.text == "apply") {
+          std::vector<ExprPtr> args = ParseCallArgs();
+          if (!args.empty() || expr->kind() != ExprKind::kPath) {
+            throw CompileError(member.loc, "apply() takes no arguments and a table name");
+          }
+          const std::string table_name = static_cast<PathExpr&>(*expr).name();
+          expr = std::make_unique<CallExpr>(CallKind::kTableApply, table_name, nullptr,
+                                            std::vector<ExprPtr>{});
+          continue;
+        }
+        if (member.text == "setValid" || member.text == "setInvalid" ||
+            member.text == "isValid") {
+          std::vector<ExprPtr> args = ParseCallArgs();
+          if (!args.empty()) {
+            throw CompileError(member.loc, member.text + "() takes no arguments");
+          }
+          CallKind kind = member.text == "setValid"     ? CallKind::kSetValid
+                          : member.text == "setInvalid" ? CallKind::kSetInvalid
+                                                        : CallKind::kIsValid;
+          expr = std::make_unique<CallExpr>(kind, member.text, std::move(expr),
+                                            std::vector<ExprPtr>{});
+          continue;
+        }
+        if (member.text == "extract" || member.text == "emit") {
+          std::vector<ExprPtr> args = ParseCallArgs();
+          if (args.size() != 1) {
+            throw CompileError(member.loc, member.text + "() takes exactly one header argument");
+          }
+          if (expr->kind() != ExprKind::kPath) {
+            throw CompileError(member.loc, member.text + "() must be called on the packet");
+          }
+          const std::string packet_name = static_cast<PathExpr&>(*expr).name();
+          CallKind kind = member.text == "extract" ? CallKind::kExtract : CallKind::kEmit;
+          expr = std::make_unique<CallExpr>(kind, packet_name, std::move(args[0]),
+                                            std::vector<ExprPtr>{});
+          continue;
+        }
+        throw CompileError(member.loc, "unknown method '" + member.text + "'");
+      }
+      expr = MakeMember(std::move(expr), member.text);
+      continue;
+    }
+    if (Check(TokenKind::kLBracket)) {
+      Advance();
+      const Token& hi = Expect(TokenKind::kNumber, "as slice msb");
+      Expect(TokenKind::kColon, "in slice");
+      const Token& lo = Expect(TokenKind::kNumber, "as slice lsb");
+      Expect(TokenKind::kRBracket, "to close slice");
+      expr = std::make_unique<SliceExpr>(std::move(expr), static_cast<uint32_t>(hi.number),
+                                         static_cast<uint32_t>(lo.number));
+      continue;
+    }
+    if (Check(TokenKind::kLParen) && expr->kind() == ExprKind::kPath) {
+      const std::string callee = static_cast<PathExpr&>(*expr).name();
+      std::vector<ExprPtr> args = ParseCallArgs();
+      // The type checker re-tags this to kAction when the callee resolves
+      // to an action.
+      expr = std::make_unique<CallExpr>(CallKind::kFunction, callee, nullptr, std::move(args));
+      continue;
+    }
+    return expr;
+  }
+}
+
+ExprPtr Parser::ParsePrimary() {
+  const Token& token = Peek();
+  switch (token.kind) {
+    case TokenKind::kWidthConst: {
+      Advance();
+      ExprPtr expr = MakeConstant(token.width, token.number);
+      expr->set_loc(token.loc);
+      return expr;
+    }
+    case TokenKind::kNumber:
+      throw CompileError(token.loc,
+                         "numeric literals in expressions must be width-annotated (e.g. 8w5)");
+    case TokenKind::kKwTrue:
+      Advance();
+      return MakeBool(true);
+    case TokenKind::kKwFalse:
+      Advance();
+      return MakeBool(false);
+    case TokenKind::kIdentifier: {
+      Advance();
+      ExprPtr expr = MakePath(token.text);
+      expr->set_loc(token.loc);
+      return expr;
+    }
+    case TokenKind::kLParen: {
+      // Either a cast `(bit<8>) e` or a parenthesized expression.
+      if (Peek(1).kind == TokenKind::kKwBit || Peek(1).kind == TokenKind::kKwBool) {
+        Advance();  // '('
+        TypePtr target = ParseType(*current_program_);
+        Expect(TokenKind::kRParen, "to close cast");
+        ExprPtr operand = ParseUnary();
+        return std::make_unique<CastExpr>(std::move(target), std::move(operand));
+      }
+      Advance();  // '('
+      ExprPtr inner = ParseExpr();
+      Expect(TokenKind::kRParen, "to close parenthesized expression");
+      return inner;
+    }
+    default:
+      throw CompileError(token.loc,
+                         "expected an expression, found " + TokenKindToString(token.kind));
+  }
+}
+
+}  // namespace gauntlet

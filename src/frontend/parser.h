@@ -1,0 +1,87 @@
+#ifndef SRC_FRONTEND_PARSER_H_
+#define SRC_FRONTEND_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/frontend/token.h"
+
+namespace gauntlet {
+
+// Recursive-descent parser for the mini-P4 surface syntax. Produces an
+// untyped AST (types on nodes are only set for literals); the type checker
+// fills in the rest. Throws CompileError on syntax errors (McKeeman level 3).
+//
+// Deviations from P4-16 concrete syntax, chosen for a compact grammar while
+// keeping the semantics the paper relies on (see DESIGN.md):
+//   * numeric literals are always width-annotated (`8w255`) except slice
+//     bounds and bit<> widths;
+//   * the package instantiation is written
+//     `package main { parser = p; ingress = ig; deparser = dp; }`;
+//   * table properties appear in fixed order: key, actions, default_action.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  std::unique_ptr<Program> ParseProgram();
+
+  // Convenience: lex + parse in one step.
+  static std::unique_ptr<Program> ParseString(const std::string& source);
+
+ private:
+  const Token& Peek(size_t offset = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind);
+  const Token& Expect(TokenKind kind, const std::string& context);
+  [[noreturn]] void Fail(const std::string& message) const;
+
+  // Declarations.
+  void ParseTypeDecl(Program& program, bool is_header);
+  void ParseFunctionDecl(Program& program);
+  void ParseParserDecl(Program& program);
+  void ParseControlDecl(Program& program);
+  void ParsePackageDecl(Program& program);
+  DeclPtr ParseActionDecl();
+  DeclPtr ParseTableDecl();
+  std::vector<Param> ParseParams();
+  TypePtr ParseType(const Program& program);
+
+  // Statements.
+  StmtPtr ParseStmt();
+  std::unique_ptr<BlockStmt> ParseBlock();
+  StmtPtr ParseIf();
+  ParserState ParseParserState();
+
+  // Expressions (precedence climbing).
+  ExprPtr ParseExpr();
+  ExprPtr ParseTernary();
+  ExprPtr ParseLogicalOr();
+  ExprPtr ParseLogicalAnd();
+  ExprPtr ParseComparison();
+  ExprPtr ParseBitOr();
+  ExprPtr ParseBitXor();
+  ExprPtr ParseBitAnd();
+  ExprPtr ParseShift();
+  ExprPtr ParseAdditive();
+  ExprPtr ParseMultiplicative();
+  ExprPtr ParseUnary();
+  ExprPtr ParsePostfix();
+  ExprPtr ParsePrimary();
+  std::vector<ExprPtr> ParseCallArgs();
+
+  // True when the upcoming tokens start a type (used to disambiguate local
+  // variable declarations from expression statements).
+  bool LooksLikeTypeAhead() const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  // Names of header/struct types seen so far, needed by LooksLikeTypeAhead.
+  const Program* current_program_ = nullptr;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_FRONTEND_PARSER_H_

@@ -1,0 +1,344 @@
+#include "src/frontend/printer.h"
+
+#include <sstream>
+
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+namespace {
+
+std::string Indent(int level) { return std::string(static_cast<size_t>(level) * 2, ' '); }
+
+// Operator precedence used to decide where parentheses are required. Higher
+// binds tighter. Mirrors Parser's precedence ladder exactly.
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLogicalOr:
+      return 1;
+    case BinaryOp::kLogicalAnd:
+      return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 3;
+    case BinaryOp::kBitOr:
+      return 4;
+    case BinaryOp::kBitXor:
+      return 5;
+    case BinaryOp::kBitAnd:
+      return 6;
+    case BinaryOp::kShl:
+    case BinaryOp::kShr:
+      return 7;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kConcat:
+      return 8;
+    case BinaryOp::kMul:
+      return 9;
+  }
+  return 0;
+}
+
+// Prints `expr`, wrapping in parentheses when its precedence is lower than
+// the surrounding context's.
+std::string PrintWithContext(const Expr& expr, int parent_precedence) {
+  const std::string text = PrintExpr(expr);
+  int own_precedence = 11;
+  if (expr.kind() == ExprKind::kBinary) {
+    own_precedence = Precedence(static_cast<const BinaryExpr&>(expr).op());
+  } else if (expr.kind() == ExprKind::kMux) {
+    own_precedence = 0;
+  } else if (expr.kind() == ExprKind::kUnary || expr.kind() == ExprKind::kCast) {
+    own_precedence = 10;
+  }
+  if (own_precedence < parent_precedence) {
+    return "(" + text + ")";
+  }
+  return text;
+}
+
+void PrintParams(std::ostringstream& out, const std::vector<Param>& params) {
+  out << "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    const std::string direction = DirectionToString(params[i].direction);
+    if (!direction.empty()) {
+      out << direction << " ";
+    }
+    out << params[i].type->ToString() << " " << params[i].name;
+  }
+  out << ")";
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kConstant: {
+      const auto& constant = static_cast<const ConstantExpr&>(expr);
+      return constant.value().ToString();
+    }
+    case ExprKind::kBoolConst:
+      return static_cast<const BoolConstExpr&>(expr).value() ? "true" : "false";
+    case ExprKind::kPath:
+      return static_cast<const PathExpr&>(expr).name();
+    case ExprKind::kMember: {
+      const auto& member = static_cast<const MemberExpr&>(expr);
+      return PrintWithContext(member.base(), 11) + "." + member.member();
+    }
+    case ExprKind::kSlice: {
+      const auto& slice = static_cast<const SliceExpr&>(expr);
+      return PrintWithContext(slice.base(), 11) + "[" + std::to_string(slice.hi()) + ":" +
+             std::to_string(slice.lo()) + "]";
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      return UnaryOpToString(unary.op()) + PrintWithContext(unary.operand(), 10);
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      const int precedence = Precedence(binary.op());
+      // Left operand may share the precedence level (left associative); the
+      // right operand needs strictly higher precedence to avoid regrouping.
+      return PrintWithContext(binary.left(), precedence) + " " + BinaryOpToString(binary.op()) +
+             " " + PrintWithContext(binary.right(), precedence + 1);
+    }
+    case ExprKind::kMux: {
+      const auto& mux = static_cast<const MuxExpr&>(expr);
+      return PrintWithContext(mux.cond(), 1) + " ? " + PrintExpr(mux.then_expr()) + " : " +
+             PrintExpr(mux.else_expr());
+    }
+    case ExprKind::kCast: {
+      const auto& cast = static_cast<const CastExpr&>(expr);
+      return "(" + cast.target()->ToString() + ") " + PrintWithContext(cast.operand(), 10);
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      switch (call.call_kind()) {
+        case CallKind::kTableApply:
+          return call.callee() + ".apply()";
+        case CallKind::kSetValid:
+          return PrintExpr(*call.receiver()) + ".setValid()";
+        case CallKind::kSetInvalid:
+          return PrintExpr(*call.receiver()) + ".setInvalid()";
+        case CallKind::kIsValid:
+          return PrintExpr(*call.receiver()) + ".isValid()";
+        case CallKind::kExtract:
+          return call.callee() + ".extract(" + PrintExpr(*call.receiver()) + ")";
+        case CallKind::kEmit:
+          return call.callee() + ".emit(" + PrintExpr(*call.receiver()) + ")";
+        case CallKind::kFunction:
+        case CallKind::kAction: {
+          std::string text = call.callee() + "(";
+          for (size_t i = 0; i < call.args().size(); ++i) {
+            if (i > 0) {
+              text += ", ";
+            }
+            text += PrintExpr(*call.args()[i]);
+          }
+          return text + ")";
+        }
+      }
+      break;
+    }
+  }
+  GAUNTLET_BUG_CHECK(false, "unhandled expression kind in printer");
+  return "";
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  std::ostringstream out;
+  switch (stmt.kind()) {
+    case StmtKind::kBlock: {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      out << Indent(indent) << "{\n";
+      for (const StmtPtr& child : block.statements()) {
+        out << PrintStmt(*child, indent + 1);
+      }
+      out << Indent(indent) << "}\n";
+      break;
+    }
+    case StmtKind::kAssign: {
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      out << Indent(indent) << PrintExpr(assign.target()) << " = " << PrintExpr(assign.value())
+          << ";\n";
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      out << Indent(indent) << "if (" << PrintExpr(if_stmt.cond()) << ")\n";
+      if (if_stmt.then_branch().kind() == StmtKind::kBlock) {
+        out << PrintStmt(if_stmt.then_branch(), indent);
+      } else {
+        out << PrintStmt(if_stmt.then_branch(), indent + 1);
+      }
+      if (if_stmt.else_branch() != nullptr) {
+        out << Indent(indent) << "else\n";
+        if (if_stmt.else_branch()->kind() == StmtKind::kBlock) {
+          out << PrintStmt(*if_stmt.else_branch(), indent);
+        } else {
+          out << PrintStmt(*if_stmt.else_branch(), indent + 1);
+        }
+      }
+      break;
+    }
+    case StmtKind::kVarDecl: {
+      const auto& var_decl = static_cast<const VarDeclStmt&>(stmt);
+      out << Indent(indent) << var_decl.var_type()->ToString() << " " << var_decl.name();
+      if (var_decl.init() != nullptr) {
+        out << " = " << PrintExpr(*var_decl.init());
+      }
+      out << ";\n";
+      break;
+    }
+    case StmtKind::kCall: {
+      const auto& call_stmt = static_cast<const CallStmt&>(stmt);
+      out << Indent(indent) << PrintExpr(call_stmt.call()) << ";\n";
+      break;
+    }
+    case StmtKind::kExit:
+      out << Indent(indent) << "exit;\n";
+      break;
+    case StmtKind::kReturn: {
+      const auto& return_stmt = static_cast<const ReturnStmt&>(stmt);
+      out << Indent(indent) << "return";
+      if (return_stmt.value() != nullptr) {
+        out << " " << PrintExpr(*return_stmt.value());
+      }
+      out << ";\n";
+      break;
+    }
+    case StmtKind::kEmpty:
+      out << Indent(indent) << ";\n";
+      break;
+  }
+  return out.str();
+}
+
+std::string PrintDecl(const Decl& decl, int indent) {
+  std::ostringstream out;
+  switch (decl.kind()) {
+    case DeclKind::kAction: {
+      const auto& action = static_cast<const ActionDecl&>(decl);
+      out << Indent(indent) << "action " << action.name();
+      PrintParams(out, action.params());
+      out << "\n" << PrintStmt(action.body(), indent);
+      break;
+    }
+    case DeclKind::kFunction: {
+      const auto& function = static_cast<const FunctionDecl&>(decl);
+      out << Indent(indent) << function.return_type()->ToString() << " " << function.name();
+      PrintParams(out, function.params());
+      out << "\n" << PrintStmt(function.body(), indent);
+      break;
+    }
+    case DeclKind::kTable: {
+      const auto& table = static_cast<const TableDecl&>(decl);
+      out << Indent(indent) << "table " << table.name() << " {\n";
+      if (!table.keys().empty()) {
+        out << Indent(indent + 1) << "key = {\n";
+        for (const TableKey& key : table.keys()) {
+          out << Indent(indent + 2) << PrintExpr(*key.expr) << " : " << key.match_kind << ";\n";
+        }
+        out << Indent(indent + 1) << "}\n";
+      }
+      out << Indent(indent + 1) << "actions = {\n";
+      for (const std::string& action : table.actions()) {
+        out << Indent(indent + 2) << action << ";\n";
+      }
+      out << Indent(indent + 1) << "}\n";
+      out << Indent(indent + 1) << "default_action = " << table.default_action() << "(";
+      for (size_t i = 0; i < table.default_args().size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << PrintExpr(*table.default_args()[i]);
+      }
+      out << ");\n";
+      out << Indent(indent) << "}\n";
+      break;
+    }
+    case DeclKind::kControl: {
+      const auto& control = static_cast<const ControlDecl&>(decl);
+      out << Indent(indent) << "control " << control.name();
+      PrintParams(out, control.params());
+      out << " {\n";
+      for (const DeclPtr& local : control.locals()) {
+        out << PrintDecl(*local, indent + 1);
+      }
+      out << Indent(indent + 1) << "apply\n" << PrintStmt(control.apply(), indent + 1);
+      out << Indent(indent) << "}\n";
+      break;
+    }
+    case DeclKind::kParser: {
+      const auto& parser = static_cast<const ParserDecl&>(decl);
+      out << Indent(indent) << "parser " << parser.name();
+      PrintParams(out, parser.params());
+      out << " {\n";
+      for (const ParserState& state : parser.states()) {
+        out << Indent(indent + 1) << "state " << state.name << " {\n";
+        for (const StmtPtr& stmt : state.statements) {
+          out << PrintStmt(*stmt, indent + 2);
+        }
+        if (state.select_expr != nullptr) {
+          out << Indent(indent + 2) << "transition select(" << PrintExpr(*state.select_expr)
+              << ") {\n";
+          for (const SelectCase& select_case : state.cases) {
+            out << Indent(indent + 3)
+                << (select_case.value != nullptr ? PrintExpr(*select_case.value) : "default")
+                << ": " << select_case.next_state << ";\n";
+          }
+          out << Indent(indent + 2) << "}\n";
+        } else {
+          GAUNTLET_BUG_CHECK(state.cases.size() == 1, "unconditional transition needs one case");
+          out << Indent(indent + 2) << "transition " << state.cases[0].next_state << ";\n";
+        }
+        out << Indent(indent + 1) << "}\n";
+      }
+      out << Indent(indent) << "}\n";
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::string PrintProgram(const Program& program) {
+  std::ostringstream out;
+  for (const TypePtr& type : program.type_decls()) {
+    out << (type->IsHeader() ? "header " : "struct ") << type->name() << " {\n";
+    for (const Type::Field& field : type->fields()) {
+      out << Indent(1) << field.type->ToString() << " " << field.name << ";\n";
+    }
+    out << "}\n";
+  }
+  for (const DeclPtr& decl : program.decls()) {
+    out << PrintDecl(*decl, 0);
+  }
+  if (!program.package().empty()) {
+    out << "package main {\n";
+    for (const PackageBlock& block : program.package()) {
+      out << Indent(1) << BlockRoleToString(block.role) << " = " << block.decl_name << ";\n";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+uint64_t HashProgram(const Program& program) {
+  const std::string text = PrintProgram(program);
+  uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,93 @@
+#ifndef SRC_FRONTEND_TOKEN_H_
+#define SRC_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/source_location.h"
+
+namespace gauntlet {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kNumber,      // plain decimal integer, e.g. slice bounds
+  kWidthConst,  // width-annotated constant, e.g. 8w255
+
+  // Keywords.
+  kKwHeader,
+  kKwStruct,
+  kKwControl,
+  kKwParser,
+  kKwAction,
+  kKwTable,
+  kKwKey,
+  kKwActions,
+  kKwDefaultAction,
+  kKwApply,
+  kKwState,
+  kKwTransition,
+  kKwSelect,
+  kKwDefault,
+  kKwIf,
+  kKwElse,
+  kKwExit,
+  kKwReturn,
+  kKwTrue,
+  kKwFalse,
+  kKwBit,
+  kKwBool,
+  kKwVoid,
+  kKwIn,
+  kKwInOut,
+  kKwOut,
+  kKwPackage,
+  kKwExact,
+
+  // Punctuation and operators.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kColon,
+  kComma,
+  kDot,
+  kAssign,      // =
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kShl,         // <<
+  kShr,         // >>
+  kPlus,        // +
+  kPlusPlus,    // ++
+  kMinus,       // -
+  kStar,        // *
+  kAmp,         // &
+  kAmpAmp,      // &&
+  kPipe,        // |
+  kPipePipe,    // ||
+  kCaret,       // ^
+  kTilde,       // ~
+  kBang,        // !
+  kQuestion,    // ?
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  uint64_t number = 0;  // value for kNumber; value for kWidthConst
+  uint32_t width = 0;   // width for kWidthConst
+  SourceLocation loc;
+};
+
+std::string TokenKindToString(TokenKind kind);
+
+}  // namespace gauntlet
+
+#endif  // SRC_FRONTEND_TOKEN_H_

@@ -1,0 +1,364 @@
+#include "src/gauntlet/campaign.h"
+
+#include "src/target/bmv2.h"
+#include "src/target/tofino.h"
+#include "src/tv/validator.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+
+std::string DetectionMethodToString(DetectionMethod method) {
+  switch (method) {
+    case DetectionMethod::kCrash:
+      return "crash";
+    case DetectionMethod::kTranslationValidation:
+      return "translation-validation";
+    case DetectionMethod::kPacketTest:
+      return "packet-test";
+  }
+  return "<invalid>";
+}
+
+std::map<BugLocation, int> CampaignReport::DistinctByLocation() const {
+  std::map<BugLocation, int> counts;
+  for (const BugId bug : distinct_bugs) {
+    ++counts[GetBugInfo(bug).location];
+  }
+  return counts;
+}
+
+std::map<BugKind, int> CampaignReport::DistinctByKind() const {
+  std::map<BugKind, int> counts;
+  for (const BugId bug : distinct_bugs) {
+    ++counts[GetBugInfo(bug).kind];
+  }
+  return counts;
+}
+
+int CampaignReport::CountDistinct(BugLocation location, BugKind kind) const {
+  int count = 0;
+  for (const BugId bug : distinct_bugs) {
+    const BugInfo& info = GetBugInfo(bug);
+    count += (info.location == location && info.kind == kind) ? 1 : 0;
+  }
+  return count;
+}
+
+void Campaign::Record(CampaignReport& report, Finding finding) {
+  if (finding.attributed.has_value()) {
+    report.distinct_bugs.insert(*finding.attributed);
+  } else {
+    report.unattributed_components.insert(finding.component);
+  }
+  report.findings.push_back(std::move(finding));
+}
+
+// Maps a crash message to the responsible component and (when the message
+// is distinctive enough) the seeded fault.
+void Campaign::AttributeCrash(Finding& finding, const std::string& message) const {
+  struct Rule {
+    const char* needle;
+    const char* component;
+    std::optional<BugId> bug;
+  };
+  static const Rule rules[] = {
+      {"shift of constant", "TypeChecker", BugId::kTypeCheckerShiftCrash},
+      {"slice index is negative", "TypeChecker", BugId::kTypeCheckerRejectSliceCompare},
+      {"pass SimplifyDefUse", "SimplifyDefUse", BugId::kSimplifyDefUseDropsInoutWrite},
+      {"pass StrengthReduction", "StrengthReduction",
+       BugId::kStrengthReductionNegativeSlice},
+      {"residual function calls", "InlineFunctions", BugId::kInlinerSkipsNestedCall},
+      {"PHV allocation", "TofinoPhvAllocation", BugId::kTofinoCrashOnWideArith},
+      {"stage allocation", "TofinoStageAllocator", BugId::kTofinoCrashManyTables},
+  };
+  for (const Rule& rule : rules) {
+    if (message.find(rule.needle) != std::string::npos) {
+      finding.component = rule.component;
+      finding.attributed = rule.bug;
+      return;
+    }
+  }
+  finding.component = "unknown-crash-site";
+}
+
+// Confirms which seeded fault a translation-validation finding belongs to by
+// re-running the *blamed pass alone* on the retained pre-pass snapshot with
+// each candidate disabled (the developer's "apply the candidate fix, rerun
+// the reproducer" cycle, without paying for the rest of the pipeline).
+void Campaign::AttributeTvFinding(Finding& finding, const TvReport& tv_report,
+                                  const BugConfig& bugs, const std::string& pass_name) const {
+  finding.component = pass_name;
+  if (!options_.attribute_findings) {
+    return;
+  }
+  // Locate the blamed pass's input: the retained version just before it.
+  const Program* before = nullptr;
+  for (size_t i = 1; i < tv_report.versions.size(); ++i) {
+    if (tv_report.versions[i].first == pass_name) {
+      before = tv_report.versions[i - 1].second.get();
+      break;
+    }
+  }
+  if (before == nullptr) {
+    return;
+  }
+  Pass* blamed_pass = nullptr;
+  const PassManager pipeline = PassManager::StandardPipeline();
+  for (const std::unique_ptr<Pass>& pass : pipeline.passes()) {
+    if (pass->name() == pass_name) {
+      blamed_pass = pass.get();
+      break;
+    }
+  }
+  if (blamed_pass == nullptr) {
+    return;
+  }
+  for (const BugInfo& info : BugCatalogue()) {
+    if (pass_name != info.pass_name || !bugs.Has(info.id)) {
+      continue;
+    }
+    BugConfig without = bugs;
+    without.Disable(info.id);
+    try {
+      ProgramPtr transformed = before->Clone();
+      blamed_pass->Run(*transformed, without);
+      TypeCheck(*transformed);
+      const TvPassResult result =
+          TranslationValidator::CompareVersions(*before, *transformed, pass_name);
+      // Attributed if the blamed pass no longer miscompiles with this fault
+      // disabled (an undef-only divergence counts as fixed, matching the
+      // detection side's classification).
+      if (result.verdict != TvVerdict::kSemanticDiff &&
+          result.verdict != TvVerdict::kStructuralMismatch) {
+        finding.attributed = info.id;
+        return;
+      }
+    } catch (const std::exception&) {
+      // The pass still crashes or produces an ill-typed program with this
+      // candidate disabled: not the culprit.
+    }
+  }
+}
+
+// Black-box attribution: recompile the target with one candidate back-end
+// fault disabled at a time and replay the failing test.
+template <typename CompileFn>
+void Campaign::AttributeBlackBox(Finding& finding, const BugConfig& bugs, BugLocation location,
+                                 const PacketTest& test, const CompileFn& compile) const {
+  if (!options_.attribute_findings) {
+    return;
+  }
+  for (const BugInfo& info : BugCatalogue()) {
+    // Only semantic faults at this back end can explain a packet mismatch;
+    // crash-kind faults would have aborted compilation instead.
+    if (info.location != location || info.kind != BugKind::kSemantic || !bugs.Has(info.id)) {
+      continue;
+    }
+    BugConfig without = bugs;
+    without.Disable(info.id);
+    try {
+      const auto target = compile(without);
+      if (RunPacketTest(target, test).passed) {
+        finding.attributed = info.id;
+        finding.component = info.pass_name;
+        return;
+      }
+    } catch (const std::exception&) {
+      // Disabling this fault still crashes the compile: not the culprit.
+    }
+  }
+}
+
+void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int program_index,
+                           CampaignReport& report) const {
+  bool crashed_this_program = false;
+  bool semantic_this_program = false;
+
+  // --- Technique 2 (§5): translation validation over the open pipeline ---
+  if (options_.run_translation_validation) {
+    const TranslationValidator validator(PassManager::StandardPipeline());
+    const TvReport tv_report = validator.Validate(program, bugs);
+    if (tv_report.crashed) {
+      Finding finding;
+      finding.program_index = program_index;
+      finding.method = DetectionMethod::kCrash;
+      finding.kind = BugKind::kCrash;
+      finding.detail = tv_report.crash_message;
+      AttributeCrash(finding, tv_report.crash_message);
+      Record(report, std::move(finding));
+      crashed_this_program = true;
+    }
+    for (const TvPassResult& result : tv_report.pass_results) {
+      switch (result.verdict) {
+        case TvVerdict::kSemanticDiff: {
+          Finding finding;
+          finding.program_index = program_index;
+          finding.method = DetectionMethod::kTranslationValidation;
+          finding.kind = BugKind::kSemantic;
+          finding.detail = result.detail;
+          AttributeTvFinding(finding, tv_report, bugs, result.pass_name);
+          if (finding.component.empty()) {
+            finding.component = result.pass_name;
+          }
+          Record(report, std::move(finding));
+          semantic_this_program = true;
+          break;
+        }
+        case TvVerdict::kUndefDivergence:
+          ++report.undef_divergences;
+          break;
+        case TvVerdict::kStructuralMismatch:
+          ++report.structural_mismatches;
+          break;
+        case TvVerdict::kInvalidEmit: {
+          Finding finding;
+          finding.program_index = program_index;
+          finding.method = DetectionMethod::kTranslationValidation;
+          finding.kind = BugKind::kCrash;
+          finding.component = result.pass_name;
+          finding.detail = "invalid emitted program: " + result.detail;
+          Record(report, std::move(finding));
+          crashed_this_program = true;
+          break;
+        }
+        case TvVerdict::kEquivalent:
+          break;
+      }
+    }
+  }
+
+  // --- Technique 3 (§6): packet tests against the targets ---
+  std::vector<PacketTest> tests;
+  if (options_.run_packet_tests) {
+    try {
+      tests = TestCaseGenerator(options_.testgen).Generate(program);
+      report.tests_generated += static_cast<int>(tests.size());
+    } catch (const UnsupportedError&) {
+      // Outside the supported fragment: skip black-box testing (§8).
+    }
+  }
+
+  if (options_.test_bmv2) {
+    try {
+      const Bmv2Executable target = Bmv2Compiler(bugs).Compile(program);
+      const auto failures = RunPacketTests(target, tests);
+      if (!failures.empty()) {
+        Finding finding;
+        finding.program_index = program_index;
+        finding.method = DetectionMethod::kPacketTest;
+        finding.kind = BugKind::kSemantic;
+        finding.component = "Bmv2BackEnd";
+        finding.detail = failures[0].second.detail;
+        AttributeBlackBox(finding, bugs, BugLocation::kBackEndBmv2, failures[0].first,
+                          [&](const BugConfig& config) {
+                            return Bmv2Compiler(config).Compile(program);
+                          });
+        // Failures not explained by a BMv2-local fault are duplicates of
+        // front/mid-end miscompilations that translation validation already
+        // reported (the paper excludes those from back-end counts, §7.1).
+        if (finding.attributed.has_value() || !options_.run_translation_validation) {
+          Record(report, std::move(finding));
+          semantic_this_program = true;
+        }
+      }
+    } catch (const CompilerBugError& error) {
+      // Front/mid-end crashes were already observed by translation
+      // validation; only count back-end-specific crash sites here.
+      const std::string message = error.what();
+      if (!options_.run_translation_validation ||
+          message.find("residual function calls") != std::string::npos) {
+        Finding finding;
+        finding.program_index = program_index;
+        finding.method = DetectionMethod::kCrash;
+        finding.kind = BugKind::kCrash;
+        finding.detail = message;
+        AttributeCrash(finding, message);
+        Record(report, std::move(finding));
+        crashed_this_program = true;
+      }
+    } catch (const CompileError&) {
+      // Orderly rejection: the program tripped a (possibly seeded)
+      // incorrect rejection already counted by translation validation.
+    }
+  }
+
+  if (options_.test_tofino) {
+    try {
+      const TofinoExecutable target = TofinoCompiler(bugs).Compile(program);
+      const auto failures = RunPacketTests(target, tests);
+      if (!failures.empty()) {
+        Finding finding;
+        finding.program_index = program_index;
+        finding.method = DetectionMethod::kPacketTest;
+        finding.kind = BugKind::kSemantic;
+        finding.component = "TofinoBackEnd";
+        finding.detail = failures[0].second.detail;
+        AttributeBlackBox(finding, bugs, BugLocation::kBackEndTofino, failures[0].first,
+                          [&](const BugConfig& config) {
+                            return TofinoCompiler(config).Compile(program);
+                          });
+        // Skip findings already explained by shared front/mid-end faults
+        // (the paper excludes P4C bugs from its Tofino count, §7.1).
+        if (finding.attributed.has_value() ||
+            !options_.run_translation_validation) {
+          Record(report, std::move(finding));
+          semantic_this_program = true;
+        }
+      }
+    } catch (const CompilerBugError& error) {
+      const std::string message = error.what();
+      if (message.find("PHV allocation") != std::string::npos ||
+          message.find("stage allocation") != std::string::npos) {
+        Finding finding;
+        finding.program_index = program_index;
+        finding.method = DetectionMethod::kCrash;
+        finding.kind = BugKind::kCrash;
+        finding.detail = message;
+        AttributeCrash(finding, message);
+        Record(report, std::move(finding));
+        crashed_this_program = true;
+      }
+    } catch (const CompileError&) {
+      // Already covered.
+    }
+  }
+
+  report.programs_with_crash += crashed_this_program ? 1 : 0;
+  report.programs_with_semantic += semantic_this_program ? 1 : 0;
+}
+
+FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& initial,
+                                 int max_rounds) {
+  FindFixResult result;
+  result.remaining = initial;
+  for (int round = 0; round < max_rounds && !result.remaining.empty(); ++round) {
+    CampaignOptions options = base;
+    options.seed = base.seed + static_cast<uint64_t>(round);
+    CampaignReport report = Campaign(options).Run(result.remaining);
+    const bool found_any = !report.distinct_bugs.empty();
+    for (const BugId bug : report.distinct_bugs) {
+      result.found.insert(bug);
+      result.remaining.Disable(bug);
+    }
+    result.rounds.push_back(std::move(report));
+    if (!found_any) {
+      break;
+    }
+  }
+  return result;
+}
+
+CampaignReport Campaign::Run(const BugConfig& bugs) const {
+  CampaignReport report;
+  GeneratorOptions generator_options = options_.generator;
+  generator_options.seed = options_.seed;
+  ProgramGenerator generator(generator_options);
+  for (int i = 0; i < options_.num_programs; ++i) {
+    ProgramPtr program = generator.Generate();
+    ++report.programs_generated;
+    TestProgram(*program, bugs, i, report);
+  }
+  return report;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,114 @@
+#ifndef SRC_GAUNTLET_CAMPAIGN_H_
+#define SRC_GAUNTLET_CAMPAIGN_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/gen/generator.h"
+#include "src/passes/bugs.h"
+#include "src/testgen/testgen.h"
+#include "src/tv/validator.h"
+
+namespace gauntlet {
+
+// How a finding was detected — the paper's three techniques.
+enum class DetectionMethod {
+  kCrash,                  // random program induced abnormal termination (§4)
+  kTranslationValidation,  // pass-pair equivalence failed (§5)
+  kPacketTest,             // generated test case failed on a target (§6)
+};
+
+std::string DetectionMethodToString(DetectionMethod method);
+
+// One detected compiler bug occurrence.
+struct Finding {
+  int program_index = 0;
+  DetectionMethod method = DetectionMethod::kCrash;
+  BugKind kind = BugKind::kCrash;
+  // The compiler component blamed: the failing pass (translation validation
+  // pinpoints it, §5.2), the crash site, or the back end for black-box
+  // findings.
+  std::string component;
+  // The seeded fault this finding was attributed to (by re-running the
+  // detector with candidate faults disabled — the "fix and confirm" cycle).
+  std::optional<BugId> attributed;
+  std::string detail;
+};
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  int num_programs = 50;
+  GeneratorOptions generator;
+  TestGenOptions testgen;
+  bool run_translation_validation = true;
+  bool run_packet_tests = true;
+  bool test_bmv2 = true;
+  bool test_tofino = true;
+  // Attribute findings to seeded faults via delta-debugging reruns.
+  bool attribute_findings = true;
+};
+
+struct CampaignReport {
+  int programs_generated = 0;
+  int programs_with_crash = 0;
+  int programs_with_semantic = 0;
+  int tests_generated = 0;
+  int undef_divergences = 0;   // "suspicious transformation" reports
+  int structural_mismatches = 0;  // §8 simulation-relation false alarms
+  std::vector<Finding> findings;
+
+  // Distinct confirmed bugs (by attributed fault; unattributed findings
+  // count once per component string).
+  std::set<BugId> distinct_bugs;
+  std::set<std::string> unattributed_components;
+
+  size_t DistinctCount() const {
+    return distinct_bugs.size() + unattributed_components.size();
+  }
+  std::map<BugLocation, int> DistinctByLocation() const;
+  std::map<BugKind, int> DistinctByKind() const;
+  int CountDistinct(BugLocation location, BugKind kind) const;
+};
+
+// A multi-round find->fix sequence: each round runs a full campaign, then
+// disables ("fixes") every fault found before the next round — the paper's
+// 4-month dynamic in miniature (§7.1: crash bugs dominate early rounds,
+// semantic bugs surface once crashes stop pre-empting the pipeline).
+struct FindFixResult {
+  std::set<BugId> found;                 // cumulative distinct faults
+  std::vector<CampaignReport> rounds;    // per-round reports
+  BugConfig remaining;                   // faults never detected
+};
+FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& initial,
+                                 int max_rounds);
+
+// The end-to-end bug-finding campaign: generate random programs (§4), run
+// translation validation over the open pass pipeline (§5), and replay
+// generated test packets on the BMv2 and Tofino targets (§6). Results feed
+// the Table 2 / Table 3 benchmarks.
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options) : options_(std::move(options)) {}
+
+  CampaignReport Run(const BugConfig& bugs) const;
+
+ private:
+  void TestProgram(const Program& program, const BugConfig& bugs, int program_index,
+                   CampaignReport& report) const;
+  void AttributeCrash(Finding& finding, const std::string& message) const;
+  void AttributeTvFinding(Finding& finding, const TvReport& tv_report, const BugConfig& bugs,
+                          const std::string& pass_name) const;
+  template <typename CompileFn>
+  void AttributeBlackBox(Finding& finding, const BugConfig& bugs, BugLocation location,
+                         const PacketTest& test, const CompileFn& compile) const;
+  static void Record(CampaignReport& report, Finding finding);
+
+  CampaignOptions options_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_GAUNTLET_CAMPAIGN_H_

@@ -1,0 +1,73 @@
+#ifndef SRC_GEN_GENERATOR_H_
+#define SRC_GEN_GENERATOR_H_
+
+#include <memory>
+
+#include "src/ast/program.h"
+#include "src/support/rng.h"
+
+namespace gauntlet {
+
+// Which back-end package skeleton to generate for (§4.2: "Our random
+// program generator can be specialized towards different compiler back ends
+// by providing a skeleton of the back-end-specific P4 package").
+enum class GeneratorBackend {
+  kBmv2,    // v1model-like: parser / ingress / deparser
+  kTofino,  // tna-like: same blocks, but biased toward wide arithmetic and
+            // more tables to exercise the chip's resource limits
+};
+
+struct GeneratorOptions {
+  uint64_t seed = 1;
+  GeneratorBackend backend = GeneratorBackend::kBmv2;
+
+  // Size knobs ("the amount of randomly generated code in our tool is
+  // user-configurable, allowing us to keep the size of the program under
+  // test small and targeted", §4.1).
+  int max_headers = 2;
+  int max_fields_per_header = 3;
+  int max_functions = 2;
+  int max_actions = 3;
+  int max_tables = 2;
+  int max_apply_statements = 6;
+  int max_action_statements = 4;
+  int max_expr_depth = 3;
+
+  // Feature probabilities in percent. Each targets a construct family that
+  // a documented p4c bug class lives in (see DESIGN.md's bug catalogue).
+  uint32_t p_function_call = 35;     // copy-in/copy-out stress (Fig. 5a, §7.2)
+  uint32_t p_direct_action = 40;     // RemoveActionParameters (Fig. 5f)
+  uint32_t p_slice_argument = 30;    // slice inout args (Fig. 5d)
+  uint32_t p_exit_in_action = 20;    // exit + copy-out interaction (Fig. 5f)
+  uint32_t p_validity_ops = 35;      // setValid/setInvalid (Fig. 5e)
+  uint32_t p_if_statement = 45;
+  uint32_t p_uninitialized_var = 15; // undefined-value behavior (§4.1, §6.2)
+  uint32_t p_const_shift = 8;       // constant shifted by variable (Fig. 5b)
+  uint32_t p_const_arith = 25;       // foldable constant expressions
+  uint32_t p_parser_select = 50;
+  uint32_t p_wide_arith = 10;        // >32-bit operations (Tofino PHV bugs)
+  uint32_t p_egress = 35;            // emit an egress block (pipeline-glue stress)
+};
+
+// Grows random, well-typed mini-P4 programs (§4): syntactically correct and
+// type-correct by construction, exercising the constructs where the seeded
+// bug catalogue lives. A generated program failing the type checker is a
+// generator bug and raises CompilerBugError (§4.2: "If P4C's parser and
+// type checker (correctly) rejected a generated program, we consider this
+// to be a bug in our random program generator").
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(GeneratorOptions options);
+
+  // Generates one full-pipeline program (parser + ingress + deparser).
+  ProgramPtr Generate();
+
+ private:
+  GeneratorOptions options_;
+  Rng rng_;
+  int program_counter_ = 0;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_GEN_GENERATOR_H_

@@ -1,0 +1,77 @@
+#include "src/passes/bugs.h"
+
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+const std::vector<BugInfo>& BugCatalogue() {
+  static const std::vector<BugInfo> catalogue = {
+      {BugId::kTypeCheckerShiftCrash, "typechecker-shift-crash", BugKind::kCrash,
+       BugLocation::kFrontEnd, "TypeChecker", "Fig. 5b"},
+      {BugId::kTypeCheckerRejectSliceCompare, "typechecker-reject-slice-compare",
+       BugKind::kCrash, BugLocation::kFrontEnd, "TypeChecker", "Fig. 5c"},
+      {BugId::kSideEffectOrderSwap, "side-effect-order-swap", BugKind::kSemantic,
+       BugLocation::kFrontEnd, "SideEffectOrdering", "§7.2 side effects"},
+      {BugId::kInlinerSkipsNestedCall, "inliner-skips-nested-call", BugKind::kCrash,
+       BugLocation::kFrontEnd, "InlineFunctions", "§7.2 snowball effects"},
+      {BugId::kExitIgnoresCopyOut, "exit-ignores-copy-out", BugKind::kSemantic,
+       BugLocation::kFrontEnd, "RemoveActionParameters", "Fig. 5f"},
+      {BugId::kRenameDeclaredUndefined, "rename-declared-undefined", BugKind::kSemantic,
+       BugLocation::kFrontEnd, "UniqueNames", "§8 simulation relations"},
+      {BugId::kSimplifyDefUseDropsInoutWrite, "defuse-drops-inout-write", BugKind::kSemantic,
+       BugLocation::kFrontEnd, "SimplifyDefUse", "Fig. 5a"},
+      {BugId::kSliceWriteTreatedAsFullDef, "slice-write-full-def", BugKind::kSemantic,
+       BugLocation::kFrontEnd, "SimplifyDefUse", "Fig. 5d"},
+      {BugId::kConstantFoldWrapWidth, "constfold-wrap-width", BugKind::kSemantic,
+       BugLocation::kFrontEnd, "ConstantFolding", "§7.2"},
+      {BugId::kStrengthReductionNegativeSlice, "strength-reduction-negative-slice",
+       BugKind::kCrash, BugLocation::kFrontEnd, "StrengthReduction", "Fig. 5c"},
+      {BugId::kPredicationLostElse, "predication-lost-else", BugKind::kSemantic,
+       BugLocation::kMidEnd, "Predication", "§7.2 Predication"},
+      {BugId::kInvalidHeaderCopyProp, "invalid-header-copy-prop", BugKind::kSemantic,
+       BugLocation::kMidEnd, "CopyPropagation", "Fig. 5e"},
+      {BugId::kTempSubstAcrossWrite, "temp-subst-across-write", BugKind::kSemantic,
+       BugLocation::kMidEnd, "LocalCopyElimination", "§7.2"},
+      {BugId::kDeadCodeAfterExitCall, "dce-after-exit-call", BugKind::kSemantic,
+       BugLocation::kMidEnd, "DeadCodeElimination", "§7.2"},
+      {BugId::kEliminateSlicesWrongMask, "eliminate-slices-wrong-mask", BugKind::kSemantic,
+       BugLocation::kMidEnd, "EliminateSlices", "§7.2"},
+      {BugId::kBmv2EmitIgnoresValidity, "bmv2-emit-ignores-validity", BugKind::kSemantic,
+       BugLocation::kBackEndBmv2, "Bmv2Deparser", "§7.1 BMv2 bugs"},
+      {BugId::kBmv2TableMissRunsFirstAction, "bmv2-miss-runs-first-action",
+       BugKind::kSemantic, BugLocation::kBackEndBmv2, "Bmv2TableEngine", "§7.1 BMv2 bugs"},
+      {BugId::kTofinoPhvNarrowWide, "tofino-phv-narrow-wide", BugKind::kSemantic,
+       BugLocation::kBackEndTofino, "TofinoPhvAllocation", "§7.1 Tofino bugs"},
+      {BugId::kTofinoTableDefaultSkipped, "tofino-default-skipped", BugKind::kSemantic,
+       BugLocation::kBackEndTofino, "TofinoTableLowering", "§7.1 Tofino bugs"},
+      {BugId::kTofinoDeparserEmitsInvalid, "tofino-deparser-emits-invalid",
+       BugKind::kSemantic, BugLocation::kBackEndTofino, "TofinoDeparser", "§7.1 Tofino bugs"},
+      {BugId::kTofinoCrashOnWideArith, "tofino-crash-wide-arith", BugKind::kCrash,
+       BugLocation::kBackEndTofino, "TofinoPhvAllocation", "§7.1 Tofino bugs"},
+      {BugId::kTofinoCrashManyTables, "tofino-crash-many-tables", BugKind::kCrash,
+       BugLocation::kBackEndTofino, "TofinoStageAllocator", "§7.1 Tofino bugs"},
+  };
+  return catalogue;
+}
+
+const BugInfo& GetBugInfo(BugId id) {
+  for (const BugInfo& info : BugCatalogue()) {
+    if (info.id == id) {
+      return info;
+    }
+  }
+  GAUNTLET_BUG_CHECK(false, "BugId missing from catalogue");
+  return BugCatalogue().front();
+}
+
+std::string BugIdToString(BugId id) { return GetBugInfo(id).name; }
+
+BugConfig BugConfig::All() {
+  BugConfig config;
+  for (const BugInfo& info : BugCatalogue()) {
+    config.Enable(info.id);
+  }
+  return config;
+}
+
+}  // namespace gauntlet

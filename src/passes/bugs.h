@@ -1,0 +1,89 @@
+#ifndef SRC_PASSES_BUGS_H_
+#define SRC_PASSES_BUGS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gauntlet {
+
+// The seeded-fault catalogue. Each entry models a concrete p4c/Tofino bug
+// class documented in the paper (section 7.2 and Figure 5); enabling one
+// makes the corresponding pass misbehave in exactly that way. The
+// evaluation benchmarks run bug-finding campaigns against subsets of this
+// catalogue to regenerate the paper's tables (see DESIGN.md).
+enum class BugId {
+  // --- type checker (front end) ---
+  kTypeCheckerShiftCrash,          // Fig. 5b: crash inferring a shift width
+  kTypeCheckerRejectSliceCompare,  // Fig. 5c: legal comparison rejected
+
+  // --- front-end passes ---
+  kSideEffectOrderSwap,        // §7.2: argument side effects evaluated right-to-left
+  kInlinerSkipsNestedCall,     // §7.2: InlineFunctions misses a call; later pass crashes
+  kExitIgnoresCopyOut,         // Fig. 5f: statement sunk below exit in RemoveActionParameters
+  kRenameDeclaredUndefined,    // §8: UniqueNames renames an undefined variable (false-alarm)
+  kSimplifyDefUseDropsInoutWrite,  // Fig. 5a: inout uses treated as dead
+  kSliceWriteTreatedAsFullDef,     // Fig. 5d: slice copy-out kills disjoint partial writes
+  kConstantFoldWrapWidth,          // folds at 64-bit, ignoring the declared width
+  kStrengthReductionNegativeSlice, // Fig. 5c trigger: rewrites slices with inverted bounds
+
+  // --- mid-end passes ---
+  kPredicationLostElse,      // §7.2: Predication drops the else-branch write
+  kInvalidHeaderCopyProp,    // Fig. 5e: copy-prop across setValid/setInvalid
+  kTempSubstAcrossWrite,     // LocalCopyElimination substitutes across a clobber
+  kDeadCodeAfterExitCall,    // DCE assumes a call always exits
+  kEliminateSlicesWrongMask, // slice-lowering computes an off-by-one mask
+
+  // --- BMv2 back end ---
+  kBmv2EmitIgnoresValidity,     // deparser emits invalid headers
+  kBmv2TableMissRunsFirstAction,  // miss executes the first listed action
+
+  // --- Tofino back end (closed source; only black-box testing sees these) ---
+  kTofinoPhvNarrowWide,         // >32-bit ALU ops truncated to 32 bits
+  kTofinoTableDefaultSkipped,   // default action skipped on miss
+  kTofinoDeparserEmitsInvalid,  // deparser ignores validity
+  kTofinoCrashOnWideArith,      // crash: no PHV allocation for wide multiply
+  kTofinoCrashManyTables,       // crash: stage allocator asserts on >4 tables
+};
+
+enum class BugKind { kCrash, kSemantic };
+
+// Where in the compiler the fault lives — the paper's Table 3 dimension.
+enum class BugLocation { kFrontEnd, kMidEnd, kBackEndBmv2, kBackEndTofino };
+
+struct BugInfo {
+  BugId id;
+  const char* name;        // stable identifier for reports
+  BugKind kind;
+  BugLocation location;
+  const char* pass_name;   // pass (or component) the fault is seeded into
+  const char* paper_ref;   // figure/section this models
+};
+
+// Full catalogue in a stable order.
+const std::vector<BugInfo>& BugCatalogue();
+const BugInfo& GetBugInfo(BugId id);
+std::string BugIdToString(BugId id);
+
+// The set of faults enabled for one compiler instantiation.
+class BugConfig {
+ public:
+  BugConfig() = default;
+  explicit BugConfig(std::set<BugId> enabled) : enabled_(std::move(enabled)) {}
+
+  static BugConfig None() { return BugConfig(); }
+  static BugConfig All();
+
+  bool Has(BugId id) const { return enabled_.count(id) > 0; }
+  void Enable(BugId id) { enabled_.insert(id); }
+  void Disable(BugId id) { enabled_.erase(id); }
+  const std::set<BugId>& enabled() const { return enabled_; }
+  bool empty() const { return enabled_.empty(); }
+
+ private:
+  std::set<BugId> enabled_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_PASSES_BUGS_H_

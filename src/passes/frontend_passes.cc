@@ -1,0 +1,1443 @@
+#include "src/passes/frontend_passes.h"
+
+#include <map>
+#include <set>
+
+#include "src/ast/visitor.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+
+namespace {
+
+// Applies `fn` to every statement body in the program (function bodies,
+// action bodies, control apply blocks). Parser states hold only extract
+// calls and simple assignments in this subset and are left untouched by
+// statement-restructuring passes, mirroring how p4c's mid end treats them.
+void ForEachBody(Program& program, const std::function<void(BlockStmt&)>& fn) {
+  for (const DeclPtr& decl : program.mutable_decls()) {
+    switch (decl->kind()) {
+      case DeclKind::kFunction:
+        fn(*static_cast<FunctionDecl&>(*decl).mutable_body());
+        break;
+      case DeclKind::kControl: {
+        auto& control = static_cast<ControlDecl&>(*decl);
+        for (const DeclPtr& local : control.mutable_locals()) {
+          if (local->kind() == DeclKind::kAction) {
+            fn(*static_cast<ActionDecl&>(*local).mutable_body());
+          }
+        }
+        fn(*control.mutable_apply());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+// Renames variables according to a map: both declarations and references.
+class RenameRewriter : public Rewriter {
+ public:
+  explicit RenameRewriter(std::map<std::string, std::string> renames)
+      : renames_(std::move(renames)) {}
+
+ protected:
+  ExprPtr PostPath(PathExpr& path) override {
+    auto it = renames_.find(path.name());
+    if (it != renames_.end()) {
+      path.set_name(it->second);
+    }
+    return nullptr;
+  }
+  StmtPtr PostVarDecl(VarDeclStmt& var_decl) override {
+    auto it = renames_.find(var_decl.name());
+    if (it != renames_.end()) {
+      var_decl.set_name(it->second);
+    }
+    return nullptr;
+  }
+
+ private:
+  std::map<std::string, std::string> renames_;
+};
+
+// Ensures a statement is a block (wrapping single statements).
+std::unique_ptr<BlockStmt> AsBlock(StmtPtr stmt) {
+  if (stmt->kind() == StmtKind::kBlock) {
+    return std::unique_ptr<BlockStmt>(static_cast<BlockStmt*>(stmt.release()));
+  }
+  auto block = std::make_unique<BlockStmt>();
+  block->Append(std::move(stmt));
+  return block;
+}
+
+// ===========================================================================
+// SideEffectOrdering
+// ===========================================================================
+
+class SideEffectOrderingPass : public Pass {
+ public:
+  std::string name() const override { return "SideEffectOrdering"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    NameAllocator names(program);
+    const bool swap = bugs.Has(BugId::kSideEffectOrderSwap);
+    ForEachBody(program, [&](BlockStmt& body) { ProcessBlock(body, names, swap); });
+  }
+
+ private:
+  void ProcessBlock(BlockStmt& block, NameAllocator& names, bool swap) {
+    std::vector<StmtPtr> out;
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      std::vector<StmtPtr> hoisted;
+      switch (stmt->kind()) {
+        case StmtKind::kBlock:
+          ProcessBlock(static_cast<BlockStmt&>(*stmt), names, swap);
+          break;
+        case StmtKind::kIf: {
+          auto& if_stmt = static_cast<IfStmt&>(*stmt);
+          Hoist(if_stmt.cond_slot(), hoisted, names, /*keep_top=*/false, swap);
+          if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()), names, swap);
+          if (if_stmt.else_slot() != nullptr) {
+            if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+            ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()), names, swap);
+          }
+          break;
+        }
+        case StmtKind::kAssign: {
+          auto& assign = static_cast<AssignStmt&>(*stmt);
+          // The RHS may stay a bare call (`x = f(..)` is an inliner shape);
+          // its arguments are still scanned.
+          Hoist(assign.value_slot(), hoisted, names, /*keep_top=*/true, swap);
+          break;
+        }
+        case StmtKind::kVarDecl: {
+          auto& var_decl = static_cast<VarDeclStmt&>(*stmt);
+          if (var_decl.init() != nullptr) {
+            Hoist(var_decl.init_slot(), hoisted, names, /*keep_top=*/true, swap);
+          }
+          break;
+        }
+        case StmtKind::kCall: {
+          auto& call_stmt = static_cast<CallStmt&>(*stmt);
+          auto& call = call_stmt.mutable_call();
+          for (ExprPtr& arg : call.mutable_args()) {
+            Hoist(arg, hoisted, names, /*keep_top=*/false, swap);
+          }
+          break;
+        }
+        case StmtKind::kReturn: {
+          auto& return_stmt = static_cast<ReturnStmt&>(*stmt);
+          if (return_stmt.value() != nullptr) {
+            Hoist(return_stmt.value_slot(), hoisted, names, /*keep_top=*/false, swap);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      for (StmtPtr& hoisted_stmt : hoisted) {
+        out.push_back(std::move(hoisted_stmt));
+      }
+      out.push_back(std::move(stmt));
+    }
+    block.mutable_statements() = std::move(out);
+  }
+
+  // Hoists function calls out of `slot` into `out`, recursing depth-first.
+  // `keep_top` leaves the expression in place if it is itself a call (the
+  // shapes the inliner consumes directly). With the seeded swap fault,
+  // sibling hoist groups are emitted in reverse order — dependencies within
+  // a group stay intact, so the program remains well-typed but evaluates
+  // side effects in the wrong order.
+  void Hoist(ExprPtr& slot, std::vector<StmtPtr>& out, NameAllocator& names, bool keep_top,
+             bool swap) {
+    std::vector<std::vector<StmtPtr>> groups;
+    HoistChildren(*slot, groups, names, swap);
+    if (!keep_top && slot->kind() == ExprKind::kCall &&
+        static_cast<CallExpr&>(*slot).call_kind() == CallKind::kFunction) {
+      std::vector<StmtPtr> own;
+      ReplaceWithTemp(slot, own, names);
+      groups.push_back(std::move(own));
+    }
+    EmitGroups(groups, out, swap);
+  }
+
+  void HoistChildren(Expr& expr, std::vector<std::vector<StmtPtr>>& groups,
+                     NameAllocator& names, bool swap) {
+    auto hoist_child = [&](ExprPtr& child) {
+      std::vector<StmtPtr> group;
+      std::vector<std::vector<StmtPtr>> child_groups;
+      HoistChildren(*child, child_groups, names, swap);
+      EmitGroups(child_groups, group, swap);
+      if (child->kind() == ExprKind::kCall &&
+          static_cast<CallExpr&>(*child).call_kind() == CallKind::kFunction) {
+        ReplaceWithTemp(child, group, names);
+      }
+      if (!group.empty()) {
+        groups.push_back(std::move(group));
+      }
+    };
+    switch (expr.kind()) {
+      case ExprKind::kMember:
+        hoist_child(static_cast<MemberExpr&>(expr).base_slot());
+        break;
+      case ExprKind::kSlice:
+        hoist_child(static_cast<SliceExpr&>(expr).base_slot());
+        break;
+      case ExprKind::kUnary:
+        hoist_child(static_cast<UnaryExpr&>(expr).operand_slot());
+        break;
+      case ExprKind::kBinary: {
+        auto& binary = static_cast<BinaryExpr&>(expr);
+        hoist_child(binary.left_slot());
+        hoist_child(binary.right_slot());
+        break;
+      }
+      case ExprKind::kMux: {
+        auto& mux = static_cast<MuxExpr&>(expr);
+        hoist_child(mux.cond_slot());
+        hoist_child(mux.then_slot());
+        hoist_child(mux.else_slot());
+        break;
+      }
+      case ExprKind::kCast:
+        hoist_child(static_cast<CastExpr&>(expr).operand_slot());
+        break;
+      case ExprKind::kCall: {
+        auto& call = static_cast<CallExpr&>(expr);
+        for (ExprPtr& arg : call.mutable_args()) {
+          hoist_child(arg);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void EmitGroups(std::vector<std::vector<StmtPtr>>& groups, std::vector<StmtPtr>& out,
+                  bool swap) {
+    if (swap) {
+      for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+        for (StmtPtr& stmt : *it) {
+          out.push_back(std::move(stmt));
+        }
+      }
+      return;
+    }
+    for (auto& group : groups) {
+      for (StmtPtr& stmt : group) {
+        out.push_back(std::move(stmt));
+      }
+    }
+  }
+
+  void ReplaceWithTemp(ExprPtr& slot, std::vector<StmtPtr>& out, NameAllocator& names) {
+    GAUNTLET_BUG_CHECK(slot->type() != nullptr, "SideEffectOrdering requires typed trees");
+    const std::string temp = names.Fresh("seo_tmp");
+    auto decl = std::make_unique<VarDeclStmt>(temp, slot->type(), std::move(slot));
+    out.push_back(std::move(decl));
+    slot = MakePath(temp);
+  }
+};
+
+// ===========================================================================
+// Return lowering shared by the two inliners
+// ===========================================================================
+
+// Rewrites `return [e]` into `[ret = e;] done = true;` and guards trailing
+// statements with `if (!done)`. Returns true if the list can still fall
+// through (used only for recursion).
+void LowerReturns(BlockStmt& block, const std::string& done_var, const std::string& ret_var) {
+  std::vector<StmtPtr>& stmts = block.mutable_statements();
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    Stmt& stmt = *stmts[i];
+    bool may_return = false;
+    if (stmt.kind() == StmtKind::kReturn) {
+      auto& return_stmt = static_cast<ReturnStmt&>(stmt);
+      auto replacement = std::make_unique<BlockStmt>();
+      if (return_stmt.value() != nullptr) {
+        replacement->Append(std::make_unique<AssignStmt>(MakePath(ret_var),
+                                                         std::move(return_stmt.value_slot())));
+      }
+      replacement->Append(std::make_unique<AssignStmt>(MakePath(done_var), MakeBool(true)));
+      stmts[i] = std::move(replacement);
+      may_return = true;
+    } else if (stmt.kind() == StmtKind::kIf) {
+      auto& if_stmt = static_cast<IfStmt&>(stmt);
+      may_return = ContainsReturn(stmt);
+      if (may_return) {
+        if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+        LowerReturns(static_cast<BlockStmt&>(*if_stmt.then_slot()), done_var, ret_var);
+        if (if_stmt.else_slot() != nullptr) {
+          if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+          LowerReturns(static_cast<BlockStmt&>(*if_stmt.else_slot()), done_var, ret_var);
+        }
+      }
+    } else if (stmt.kind() == StmtKind::kBlock) {
+      may_return = ContainsReturn(stmt);
+      if (may_return) {
+        LowerReturns(static_cast<BlockStmt&>(stmt), done_var, ret_var);
+      }
+    }
+    if (may_return && i + 1 < stmts.size()) {
+      // Guard the remainder of the list (and lower its returns too).
+      auto rest = std::make_unique<BlockStmt>();
+      for (size_t j = i + 1; j < stmts.size(); ++j) {
+        rest->Append(std::move(stmts[j]));
+      }
+      LowerReturns(*rest, done_var, ret_var);
+      stmts.resize(i + 1);
+      stmts.push_back(std::make_unique<IfStmt>(
+          MakeUnary(UnaryOp::kLogicalNot, MakePath(done_var)), std::move(rest), nullptr));
+      return;
+    }
+  }
+}
+
+// ===========================================================================
+// InlineFunctions
+// ===========================================================================
+
+class InlineFunctionsPass : public Pass {
+ public:
+  std::string name() const override { return "InlineFunctions"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    const bool skip_nested = bugs.Has(BugId::kInlinerSkipsNestedCall);
+    NameAllocator names(program);
+    // Iterate: inlined bodies may themselves contain calls to earlier
+    // functions.
+    for (int round = 0; round < 16; ++round) {
+      bool changed = false;
+      ForEachBody(program, [&](BlockStmt& body) {
+        changed |= ProcessBlock(body, program, names, skip_nested, /*depth=*/0);
+      });
+      if (!changed) {
+        break;
+      }
+    }
+    // Drop function declarations once no calls remain anywhere.
+    if (!AnyFunctionCall(program)) {
+      auto& decls = program.mutable_decls();
+      std::vector<DeclPtr> kept;
+      for (DeclPtr& decl : decls) {
+        if (decl->kind() != DeclKind::kFunction) {
+          kept.push_back(std::move(decl));
+        }
+      }
+      decls = std::move(kept);
+    }
+  }
+
+ private:
+  static bool AnyFunctionCall(Program& program) {
+    class Finder : public Inspector {
+     public:
+      bool found = false;
+
+     protected:
+      void OnExpr(const Expr& expr) override {
+        if (expr.kind() == ExprKind::kCall &&
+            static_cast<const CallExpr&>(expr).call_kind() == CallKind::kFunction) {
+          found = true;
+        }
+      }
+    };
+    Finder finder;
+    finder.VisitProgram(program);
+    return finder.found;
+  }
+
+  bool ProcessBlock(BlockStmt& block, Program& program, NameAllocator& names, bool skip_nested,
+                    int depth) {
+    bool changed = false;
+    std::vector<StmtPtr> out;
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      if (stmt->kind() == StmtKind::kBlock) {
+        changed |=
+            ProcessBlock(static_cast<BlockStmt&>(*stmt), program, names, skip_nested, depth);
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      if (stmt->kind() == StmtKind::kIf) {
+        auto& if_stmt = static_cast<IfStmt&>(*stmt);
+        if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+        changed |= ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()), program, names,
+                                skip_nested, depth + 1);
+        if (if_stmt.else_slot() != nullptr) {
+          if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+          changed |= ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()), program, names,
+                                  skip_nested, depth + 1);
+        }
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      // The three shapes SideEffectOrdering guarantees: x = f(..);
+      // T v = f(..); f(..);
+      const CallExpr* call = nullptr;
+      if (stmt->kind() == StmtKind::kAssign) {
+        const auto& assign = static_cast<const AssignStmt&>(*stmt);
+        if (assign.value().kind() == ExprKind::kCall) {
+          const auto& candidate = static_cast<const CallExpr&>(assign.value());
+          if (candidate.call_kind() == CallKind::kFunction) {
+            call = &candidate;
+          }
+        }
+      } else if (stmt->kind() == StmtKind::kVarDecl) {
+        const auto& var_decl = static_cast<const VarDeclStmt&>(*stmt);
+        if (var_decl.init() != nullptr && var_decl.init()->kind() == ExprKind::kCall) {
+          const auto& candidate = static_cast<const CallExpr&>(*var_decl.init());
+          if (candidate.call_kind() == CallKind::kFunction) {
+            call = &candidate;
+          }
+        }
+      } else if (stmt->kind() == StmtKind::kCall) {
+        const auto& candidate = static_cast<const CallStmt&>(*stmt).call();
+        if (candidate.call_kind() == CallKind::kFunction) {
+          call = &candidate;
+        }
+      }
+      if (call == nullptr || (skip_nested && depth > 0)) {
+        // Seeded fault: calls nested inside if-branches are silently left
+        // uninlined; the back end later asserts on them.
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      const FunctionDecl* function = program.FindFunction(call->callee());
+      GAUNTLET_BUG_CHECK(function != nullptr, "inliner: unknown function");
+      StmtPtr expansion = InlineCall(*function, *call, *stmt, names);
+      out.push_back(std::move(expansion));
+      changed = true;
+    }
+    block.mutable_statements() = std::move(out);
+    FlattenBlocks(block);
+    return changed;
+  }
+
+  StmtPtr InlineCall(const FunctionDecl& function, const CallExpr& call, const Stmt& site,
+                     NameAllocator& names) {
+    auto expansion = std::make_unique<BlockStmt>();
+    std::map<std::string, std::string> renames;
+    // Copy-in.
+    struct WriteBack {
+      ExprPtr lvalue;
+      std::string temp;
+    };
+    std::vector<WriteBack> write_backs;
+    for (size_t i = 0; i < function.params().size(); ++i) {
+      const Param& param = function.params()[i];
+      const std::string temp = names.Fresh(function.name() + "_" + param.name);
+      renames[param.name] = temp;
+      if (param.direction == Direction::kOut) {
+        expansion->Append(std::make_unique<VarDeclStmt>(temp, param.type, nullptr));
+      } else {
+        expansion->Append(
+            std::make_unique<VarDeclStmt>(temp, param.type, call.args()[i]->Clone()));
+      }
+      if (param.direction == Direction::kInOut || param.direction == Direction::kOut) {
+        write_backs.push_back(WriteBack{call.args()[i]->Clone(), temp});
+      }
+    }
+    // Rename body locals to fresh names.
+    auto body_stmt = StmtPtr(function.body().Clone());
+    auto body = std::unique_ptr<BlockStmt>(static_cast<BlockStmt*>(body_stmt.release()));
+    class LocalCollector : public Inspector {
+     public:
+      std::vector<std::string> locals;
+
+     protected:
+      void OnStmt(const Stmt& stmt) override {
+        if (stmt.kind() == StmtKind::kVarDecl) {
+          locals.push_back(static_cast<const VarDeclStmt&>(stmt).name());
+        }
+      }
+    };
+    LocalCollector collector;
+    collector.VisitStmt(*body);
+    for (const std::string& local : collector.locals) {
+      renames[local] = names.Fresh(function.name() + "_" + local);
+    }
+    RenameRewriter renamer(renames);
+    StmtPtr body_slot = std::move(body);
+    renamer.RewriteStmt(body_slot);
+    body = AsBlock(std::move(body_slot));
+
+    // Return lowering.
+    const bool has_return = ContainsReturn(*body);
+    std::string ret_var;
+    std::string done_var;
+    if (!function.return_type()->IsVoid()) {
+      ret_var = names.Fresh(function.name() + "_ret");
+      expansion->Append(std::make_unique<VarDeclStmt>(ret_var, function.return_type(), nullptr));
+    }
+    if (has_return) {
+      done_var = names.Fresh(function.name() + "_done");
+      expansion->Append(std::make_unique<VarDeclStmt>(done_var, Type::Bool(), MakeBool(false)));
+      LowerReturns(*body, done_var, ret_var);
+    }
+    expansion->Append(std::move(body));
+    // Copy-out.
+    for (WriteBack& write_back : write_backs) {
+      expansion->Append(
+          std::make_unique<AssignStmt>(std::move(write_back.lvalue), MakePath(write_back.temp)));
+    }
+    // Result use.
+    if (site.kind() == StmtKind::kAssign) {
+      expansion->Append(std::make_unique<AssignStmt>(
+          static_cast<const AssignStmt&>(site).target().Clone(), MakePath(ret_var)));
+    } else if (site.kind() == StmtKind::kVarDecl) {
+      const auto& var_decl = static_cast<const VarDeclStmt&>(site);
+      expansion->Append(
+          std::make_unique<VarDeclStmt>(var_decl.name(), var_decl.var_type(), MakePath(ret_var)));
+    }
+    return expansion;
+  }
+};
+
+// ===========================================================================
+// RemoveActionParameters (direct-action-call inlining, Fig. 5f home)
+// ===========================================================================
+
+class RemoveActionParametersPass : public Pass {
+ public:
+  std::string name() const override { return "RemoveActionParameters"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    const bool exit_bug = bugs.Has(BugId::kExitIgnoresCopyOut);
+    NameAllocator names(program);
+    for (const DeclPtr& decl : program.mutable_decls()) {
+      if (decl->kind() != DeclKind::kControl) {
+        continue;
+      }
+      auto& control = static_cast<ControlDecl&>(*decl);
+      for (int round = 0; round < 16; ++round) {
+        bool changed = false;
+        // Direct calls can occur in the apply block and in other actions.
+        for (const DeclPtr& local : control.mutable_locals()) {
+          if (local->kind() == DeclKind::kAction) {
+            changed |= ProcessBlock(*static_cast<ActionDecl&>(*local).mutable_body(), control,
+                                    names, exit_bug);
+          }
+        }
+        changed |= ProcessBlock(*control.mutable_apply(), control, names, exit_bug);
+        if (!changed) {
+          break;
+        }
+      }
+      RemoveDeadDirectActions(control);
+    }
+  }
+
+ private:
+  bool ProcessBlock(BlockStmt& block, ControlDecl& control, NameAllocator& names,
+                    bool exit_bug) {
+    bool changed = false;
+    std::vector<StmtPtr> out;
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      if (stmt->kind() == StmtKind::kBlock) {
+        changed |= ProcessBlock(static_cast<BlockStmt&>(*stmt), control, names, exit_bug);
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      if (stmt->kind() == StmtKind::kIf) {
+        auto& if_stmt = static_cast<IfStmt&>(*stmt);
+        if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+        changed |=
+            ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()), control, names, exit_bug);
+        if (if_stmt.else_slot() != nullptr) {
+          if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+          changed |= ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()), control, names,
+                                  exit_bug);
+        }
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      if (stmt->kind() != StmtKind::kCall ||
+          static_cast<const CallStmt&>(*stmt).call().call_kind() != CallKind::kAction) {
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      const auto& call = static_cast<const CallStmt&>(*stmt).call();
+      const Decl* local = control.FindLocal(call.callee());
+      GAUNTLET_BUG_CHECK(local != nullptr && local->kind() == DeclKind::kAction,
+                         "RemoveActionParameters: unknown action");
+      const auto& action = static_cast<const ActionDecl&>(*local);
+      if (action.params().empty()) {
+        out.push_back(std::move(stmt));  // parameterless actions stay as calls
+        continue;
+      }
+      out.push_back(InlineActionCall(action, call, names, exit_bug));
+      changed = true;
+    }
+    block.mutable_statements() = std::move(out);
+    FlattenBlocks(block);
+    return changed;
+  }
+
+  StmtPtr InlineActionCall(const ActionDecl& action, const CallExpr& call, NameAllocator& names,
+                           bool exit_bug) {
+    auto expansion = std::make_unique<BlockStmt>();
+    std::map<std::string, std::string> renames;
+    struct WriteBack {
+      ExprPtr lvalue;
+      std::string temp;
+    };
+    std::vector<WriteBack> write_backs;
+    for (size_t i = 0; i < action.params().size(); ++i) {
+      const Param& param = action.params()[i];
+      const std::string temp = names.Fresh(action.name() + "_" + param.name);
+      renames[param.name] = temp;
+      if (param.direction == Direction::kOut) {
+        expansion->Append(std::make_unique<VarDeclStmt>(temp, param.type, nullptr));
+      } else {
+        expansion->Append(
+            std::make_unique<VarDeclStmt>(temp, param.type, call.args()[i]->Clone()));
+      }
+      if (param.direction == Direction::kInOut || param.direction == Direction::kOut) {
+        write_backs.push_back(WriteBack{call.args()[i]->Clone(), temp});
+      }
+    }
+    auto body_stmt = StmtPtr(action.body().Clone());
+    auto body = AsBlock(std::move(body_stmt));
+    class LocalCollector : public Inspector {
+     public:
+      std::vector<std::string> locals;
+
+     protected:
+      void OnStmt(const Stmt& stmt) override {
+        if (stmt.kind() == StmtKind::kVarDecl) {
+          locals.push_back(static_cast<const VarDeclStmt&>(stmt).name());
+        }
+      }
+    };
+    LocalCollector collector;
+    collector.VisitStmt(*body);
+    for (const std::string& local : collector.locals) {
+      renames[local] = names.Fresh(action.name() + "_" + local);
+    }
+    RenameRewriter renamer(renames);
+    StmtPtr body_slot = std::move(body);
+    renamer.RewriteStmt(body_slot);
+    body = AsBlock(std::move(body_slot));
+
+    if (ContainsReturn(*body)) {
+      const std::string done_var = names.Fresh(action.name() + "_done");
+      expansion->Append(std::make_unique<VarDeclStmt>(done_var, Type::Bool(), MakeBool(false)));
+      LowerReturns(*body, done_var, "");
+    }
+    // Copy-out must also happen on the exit path (the specification
+    // interpretation of Fig. 5f). The correct transformation duplicates the
+    // copy-out assignments in front of every inlined `exit`; the seeded
+    // fault leaves exits untouched, so copy-out is skipped when the action
+    // exits — exactly the RemoveActionParameters bug the paper reports.
+    if (!exit_bug && ContainsExit(*body)) {
+      InsertCopyOutBeforeExits(*body, write_backs);
+    }
+    expansion->Append(std::move(body));
+    for (WriteBack& write_back : write_backs) {
+      expansion->Append(
+          std::make_unique<AssignStmt>(std::move(write_back.lvalue), MakePath(write_back.temp)));
+    }
+    return expansion;
+  }
+
+  template <typename WriteBackVec>
+  void InsertCopyOutBeforeExits(BlockStmt& block, const WriteBackVec& write_backs) {
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      if (stmt->kind() == StmtKind::kExit) {
+        auto replacement = std::make_unique<BlockStmt>();
+        for (const auto& write_back : write_backs) {
+          replacement->Append(std::make_unique<AssignStmt>(write_back.lvalue->Clone(),
+                                                           MakePath(write_back.temp)));
+        }
+        replacement->Append(std::make_unique<ExitStmt>());
+        stmt = std::move(replacement);
+      } else if (stmt->kind() == StmtKind::kBlock) {
+        InsertCopyOutBeforeExits(static_cast<BlockStmt&>(*stmt), write_backs);
+      } else if (stmt->kind() == StmtKind::kIf) {
+        auto& if_stmt = static_cast<IfStmt&>(*stmt);
+        if (ContainsExit(*if_stmt.then_slot())) {
+          if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+          InsertCopyOutBeforeExits(static_cast<BlockStmt&>(*if_stmt.then_slot()), write_backs);
+        }
+        if (if_stmt.else_slot() != nullptr && ContainsExit(*if_stmt.else_slot())) {
+          if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+          InsertCopyOutBeforeExits(static_cast<BlockStmt&>(*if_stmt.else_slot()), write_backs);
+        }
+      }
+    }
+  }
+
+  void RemoveDeadDirectActions(ControlDecl& control) {
+    // Actions with directional parameters were all inlined (unless the
+    // seeded fault skipped a site); remove the ones that are no longer
+    // referenced by any call or table.
+    class CallCollector : public Inspector {
+     public:
+      std::set<std::string> called;
+
+     protected:
+      void OnExpr(const Expr& expr) override {
+        if (expr.kind() == ExprKind::kCall) {
+          const auto& call = static_cast<const CallExpr&>(expr);
+          if (call.call_kind() == CallKind::kAction) {
+            called.insert(call.callee());
+          }
+        }
+      }
+    };
+    CallCollector collector;
+    collector.VisitDecl(control);
+    std::set<std::string> table_actions;
+    for (const DeclPtr& local : control.locals()) {
+      if (local->kind() == DeclKind::kTable) {
+        const auto& table = static_cast<const TableDecl&>(*local);
+        for (const std::string& action : table.actions()) {
+          table_actions.insert(action);
+        }
+        table_actions.insert(table.default_action());
+      }
+    }
+    std::vector<DeclPtr> kept;
+    for (DeclPtr& local : control.mutable_locals()) {
+      if (local->kind() == DeclKind::kAction) {
+        const auto& action = static_cast<const ActionDecl&>(*local);
+        const bool directional =
+            !action.params().empty() && action.params()[0].direction != Direction::kNone;
+        if (directional && collector.called.count(action.name()) == 0 &&
+            table_actions.count(action.name()) == 0) {
+          continue;  // dead after inlining
+        }
+      }
+      kept.push_back(std::move(local));
+    }
+    control.mutable_locals() = std::move(kept);
+  }
+};
+
+// ===========================================================================
+// UniqueNames
+// ===========================================================================
+
+class UniqueNamesPass : public Pass {
+ public:
+  std::string name() const override { return "UniqueNames"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    NameAllocator names(program);
+    ForEachBody(program, [&](BlockStmt& body) {
+      class LocalCollector : public Inspector {
+       public:
+        std::vector<std::string> locals;
+
+       protected:
+        void OnStmt(const Stmt& stmt) override {
+          if (stmt.kind() == StmtKind::kVarDecl) {
+            locals.push_back(static_cast<const VarDeclStmt&>(stmt).name());
+          }
+        }
+      };
+      LocalCollector collector;
+      collector.VisitStmt(body);
+      std::map<std::string, std::string> renames;
+      for (const std::string& local : collector.locals) {
+        renames[local] = names.Fresh(local);
+      }
+      RenameRewriter renamer(renames);
+      for (StmtPtr& stmt : body.mutable_statements()) {
+        renamer.RewriteStmt(stmt);
+      }
+      if (bugs.Has(BugId::kRenameDeclaredUndefined)) {
+        // Seeded fault (§8 class): hoist *uninitialized* declarations to the
+        // top of the block. Semantically harmless, but it permutes the order
+        // in which undefined values are allocated, which defeats
+        // name/order-based matching in translation validation — the
+        // "missing simulation relation" false-alarm.
+        HoistUninitialized(body);
+      }
+    });
+  }
+
+ private:
+  void HoistUninitialized(BlockStmt& block) {
+    std::vector<StmtPtr> hoisted;
+    std::vector<StmtPtr> rest;
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      if (stmt->kind() == StmtKind::kVarDecl &&
+          static_cast<const VarDeclStmt&>(*stmt).init() == nullptr) {
+        hoisted.push_back(std::move(stmt));
+      } else {
+        rest.push_back(std::move(stmt));
+      }
+    }
+    // The hoisted declarations come out in reverse order — permuting the
+    // allocation order of undefined values, which is what defeats
+    // name/order matching in the validator.
+    std::vector<StmtPtr> out;
+    for (auto it = hoisted.rbegin(); it != hoisted.rend(); ++it) {
+      out.push_back(std::move(*it));
+    }
+    for (StmtPtr& stmt : rest) {
+      out.push_back(std::move(stmt));
+    }
+    block.mutable_statements() = std::move(out);
+  }
+};
+
+// ===========================================================================
+// ConstantFolding
+// ===========================================================================
+
+class ConstantFoldingRewriter : public Rewriter {
+ public:
+  explicit ConstantFoldingRewriter(bool wrap_bug) : wrap_bug_(wrap_bug) {}
+
+ protected:
+  ExprPtr PostUnary(UnaryExpr& unary) override {
+    if (unary.op() == UnaryOp::kLogicalNot) {
+      if (unary.operand().kind() == ExprKind::kBoolConst) {
+        return MakeBool(!static_cast<const BoolConstExpr&>(unary.operand()).value());
+      }
+      return nullptr;
+    }
+    if (unary.operand().kind() != ExprKind::kConstant) {
+      return nullptr;
+    }
+    const BitValue value = static_cast<const ConstantExpr&>(unary.operand()).value();
+    switch (unary.op()) {
+      case UnaryOp::kComplement:
+        return std::make_unique<ConstantExpr>(value.Not());
+      case UnaryOp::kNegate:
+        return std::make_unique<ConstantExpr>(BitValue(value.width(), 0).Sub(value));
+      default:
+        return nullptr;
+    }
+  }
+
+  ExprPtr PostBinary(BinaryExpr& binary) override {
+    const Expr& left = binary.left();
+    const Expr& right = binary.right();
+    if (left.kind() == ExprKind::kBoolConst && right.kind() == ExprKind::kBoolConst) {
+      const bool a = static_cast<const BoolConstExpr&>(left).value();
+      const bool b = static_cast<const BoolConstExpr&>(right).value();
+      switch (binary.op()) {
+        case BinaryOp::kLogicalAnd:
+          return MakeBool(a && b);
+        case BinaryOp::kLogicalOr:
+          return MakeBool(a || b);
+        case BinaryOp::kEq:
+          return MakeBool(a == b);
+        case BinaryOp::kNe:
+          return MakeBool(a != b);
+        default:
+          return nullptr;
+      }
+    }
+    if (left.kind() != ExprKind::kConstant || right.kind() != ExprKind::kConstant) {
+      // Short-circuit identities on boolean operators.
+      if (binary.op() == BinaryOp::kLogicalAnd && left.kind() == ExprKind::kBoolConst) {
+        return static_cast<const BoolConstExpr&>(left).value() ? binary.right_slot()->Clone()
+                                                               : MakeBool(false);
+      }
+      if (binary.op() == BinaryOp::kLogicalOr && left.kind() == ExprKind::kBoolConst) {
+        return static_cast<const BoolConstExpr&>(left).value() ? MakeBool(true)
+                                                               : binary.right_slot()->Clone();
+      }
+      return nullptr;
+    }
+    const BitValue a = static_cast<const ConstantExpr&>(left).value();
+    const BitValue b = static_cast<const ConstantExpr&>(right).value();
+    switch (binary.op()) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul: {
+        BitValue folded(1, 0);
+        bool overflowed = false;
+        if (binary.op() == BinaryOp::kAdd) {
+          folded = a.Add(b);
+          overflowed = a.bits() + b.bits() != folded.bits();
+        } else if (binary.op() == BinaryOp::kSub) {
+          folded = a.Sub(b);
+          overflowed = a.bits() < b.bits();
+        } else {
+          folded = a.Mul(b);
+          overflowed = a.bits() * b.bits() != folded.bits();
+        }
+        if (wrap_bug_ && overflowed && folded.width() < 64) {
+          // Seeded fault: the fold is computed at the wrong width when the
+          // arithmetic wraps, producing an off-by-carry constant.
+          folded = folded.Add(BitValue(folded.width(), 1));
+        }
+        return std::make_unique<ConstantExpr>(folded);
+      }
+      case BinaryOp::kBitAnd:
+        return std::make_unique<ConstantExpr>(a.And(b));
+      case BinaryOp::kBitOr:
+        return std::make_unique<ConstantExpr>(a.Or(b));
+      case BinaryOp::kBitXor:
+        return std::make_unique<ConstantExpr>(a.Xor(b));
+      case BinaryOp::kShl:
+        return std::make_unique<ConstantExpr>(a.Shl(b));
+      case BinaryOp::kShr:
+        return std::make_unique<ConstantExpr>(a.Shr(b));
+      case BinaryOp::kConcat:
+        return std::make_unique<ConstantExpr>(a.Concat(b));
+      case BinaryOp::kEq:
+        return MakeBool(a.Eq(b));
+      case BinaryOp::kNe:
+        return MakeBool(!a.Eq(b));
+      case BinaryOp::kLt:
+        return MakeBool(a.Lt(b));
+      case BinaryOp::kLe:
+        return MakeBool(a.Le(b));
+      case BinaryOp::kGt:
+        return MakeBool(b.Lt(a));
+      case BinaryOp::kGe:
+        return MakeBool(b.Le(a));
+      default:
+        return nullptr;
+    }
+  }
+
+  ExprPtr PostCast(CastExpr& cast) override {
+    if (cast.operand().kind() != ExprKind::kConstant) {
+      return nullptr;
+    }
+    const BitValue value = static_cast<const ConstantExpr&>(cast.operand()).value();
+    return std::make_unique<ConstantExpr>(value.Cast(cast.target()->width()));
+  }
+
+  ExprPtr PostSlice(SliceExpr& slice) override {
+    if (slice.base().kind() != ExprKind::kConstant) {
+      return nullptr;
+    }
+    const BitValue value = static_cast<const ConstantExpr&>(slice.base()).value();
+    return std::make_unique<ConstantExpr>(value.Slice(slice.hi(), slice.lo()));
+  }
+
+  ExprPtr PostMux(MuxExpr& mux) override {
+    if (mux.cond().kind() != ExprKind::kBoolConst) {
+      return nullptr;
+    }
+    return static_cast<const BoolConstExpr&>(mux.cond()).value() ? mux.then_slot()->Clone()
+                                                                 : mux.else_slot()->Clone();
+  }
+
+  bool RewritesLValues() const override { return false; }
+
+ private:
+  bool wrap_bug_;
+};
+
+class ConstantFoldingPass : public Pass {
+ public:
+  std::string name() const override { return "ConstantFolding"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    ConstantFoldingRewriter rewriter(bugs.Has(BugId::kConstantFoldWrapWidth));
+    rewriter.RewriteProgram(program);
+  }
+};
+
+// ===========================================================================
+// StrengthReduction
+// ===========================================================================
+
+class StrengthReductionRewriter : public Rewriter {
+ public:
+  explicit StrengthReductionRewriter(bool negative_slice_bug)
+      : negative_slice_bug_(negative_slice_bug) {}
+
+ protected:
+  ExprPtr PostBinary(BinaryExpr& binary) override {
+    const bool left_const = binary.left().kind() == ExprKind::kConstant;
+    const bool right_const = binary.right().kind() == ExprKind::kConstant;
+    if (!left_const && !right_const) {
+      return nullptr;
+    }
+    const BitValue constant =
+        left_const ? static_cast<const ConstantExpr&>(binary.left()).value()
+                   : static_cast<const ConstantExpr&>(binary.right()).value();
+    ExprPtr& other_slot = left_const ? binary.right_slot() : binary.left_slot();
+    switch (binary.op()) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor:
+        if (constant.bits() == 0) {
+          return other_slot->Clone();
+        }
+        return nullptr;
+      case BinaryOp::kSub:
+        if (right_const && constant.bits() == 0) {
+          return other_slot->Clone();
+        }
+        return nullptr;
+      case BinaryOp::kBitAnd:
+        if (constant.bits() == 0) {
+          return std::make_unique<ConstantExpr>(BitValue(constant.width(), 0));
+        }
+        if (constant.bits() == BitValue::MaskFor(constant.width())) {
+          return other_slot->Clone();
+        }
+        return nullptr;
+      case BinaryOp::kMul: {
+        if (constant.bits() == 0) {
+          return std::make_unique<ConstantExpr>(BitValue(constant.width(), 0));
+        }
+        if (constant.bits() == 1) {
+          return other_slot->Clone();
+        }
+        // x * 2^k  ->  x << k
+        const uint64_t bits = constant.bits();
+        if ((bits & (bits - 1)) == 0) {
+          uint32_t shift = 0;
+          while ((uint64_t{1} << shift) != bits) {
+            ++shift;
+          }
+          auto result = MakeBinary(BinaryOp::kShl, other_slot->Clone(),
+                                   MakeConstant(constant.width(), shift));
+          result->set_type(binary.type());
+          return result;
+        }
+        return nullptr;
+      }
+      case BinaryOp::kShl:
+        if (right_const && constant.bits() == 0) {
+          return other_slot->Clone();
+        }
+        return nullptr;
+      case BinaryOp::kShr: {
+        if (!right_const) {
+          return nullptr;
+        }
+        if (constant.bits() == 0) {
+          return other_slot->Clone();
+        }
+        if (binary.left().type() == nullptr || !binary.left().type()->IsBit()) {
+          return nullptr;
+        }
+        const uint32_t width = binary.left().type()->width();
+        if (constant.bits() >= width) {
+          return std::make_unique<ConstantExpr>(BitValue(width, 0));
+        }
+        const auto shift = static_cast<uint32_t>(constant.bits());
+        if (negative_slice_bug_) {
+          // Seeded fault (Fig. 5c root cause): the slice bounds are computed
+          // without the safety check, yielding an inverted (hi < lo) slice.
+          // The re-type-check then rejects this valid program.
+          return std::make_unique<CastExpr>(
+              Type::Bit(width),
+              std::make_unique<SliceExpr>(binary.left_slot()->Clone(), shift - 1, width - 1));
+        }
+        // Correct rewrite: x >> c  ->  (bit<w>) x[w-1:c]
+        return std::make_unique<CastExpr>(
+            Type::Bit(width),
+            std::make_unique<SliceExpr>(binary.left_slot()->Clone(), width - 1, shift));
+      }
+      default:
+        return nullptr;
+    }
+  }
+
+  bool RewritesLValues() const override { return false; }
+
+ private:
+  bool negative_slice_bug_;
+};
+
+class StrengthReductionPass : public Pass {
+ public:
+  std::string name() const override { return "StrengthReduction"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    StrengthReductionRewriter rewriter(bugs.Has(BugId::kStrengthReductionNegativeSlice));
+    rewriter.RewriteProgram(program);
+  }
+};
+
+// ===========================================================================
+// SimplifyDefUse (dead-store elimination)
+// ===========================================================================
+
+class SimplifyDefUsePass : public Pass {
+ public:
+  std::string name() const override { return "SimplifyDefUse"; }
+  BugLocation location() const override { return BugLocation::kFrontEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    ignore_inout_uses_ = bugs.Has(BugId::kSimplifyDefUseDropsInoutWrite);
+    slice_kills_ = bugs.Has(BugId::kSliceWriteTreatedAsFullDef);
+    CollectTables(program);
+    ForEachBody(program, [&](BlockStmt& body) {
+      CollectBodyLocals(body);
+      ProcessBlock(body, body);
+      RemoveUnusedDecls(body);
+    });
+  }
+
+ private:
+  std::set<std::string> locals_;
+  std::map<std::string, const TableDecl*> tables_;
+  std::map<std::string, const ActionDecl*> actions_;
+
+  // Indexes tables and actions so that a `t.apply()` can be analyzed
+  // precisely: it reads exactly what its key expressions and listed action
+  // bodies read, rather than being treated as a read of every variable
+  // (which would keep every local alive in table-heavy programs and mask
+  // genuinely dead stores).
+  void CollectTables(const Program& program) {
+    tables_.clear();
+    actions_.clear();
+    for (const DeclPtr& decl : program.decls()) {
+      if (decl->kind() != DeclKind::kControl) {
+        continue;
+      }
+      for (const DeclPtr& local : static_cast<const ControlDecl&>(*decl).locals()) {
+        if (local->kind() == DeclKind::kTable) {
+          tables_[local->name()] = static_cast<const TableDecl*>(local.get());
+        } else if (local->kind() == DeclKind::kAction) {
+          actions_[local->name()] = static_cast<const ActionDecl*>(local.get());
+        }
+      }
+    }
+  }
+
+  // Whether applying `table` can read variable `name`: through a key
+  // expression, a default-action argument, or any listed action's body.
+  bool TableApplyReads(const std::string& table, const std::string& name) const {
+    auto table_it = tables_.find(table);
+    if (table_it == tables_.end()) {
+      return true;  // unknown table: stay conservative
+    }
+    const TableDecl& decl = *table_it->second;
+    for (const TableKey& key : decl.keys()) {
+      if (ExprReadsVar(*key.expr, name)) {
+        return true;
+      }
+    }
+    for (const ExprPtr& arg : decl.default_args()) {
+      if (ExprReadsVar(*arg, name)) {
+        return true;
+      }
+    }
+    for (const std::string& action_name : decl.actions()) {
+      auto action_it = actions_.find(action_name);
+      if (action_it != actions_.end() && StmtReads(action_it->second->body(), name)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void CollectBodyLocals(const BlockStmt& body) {
+    locals_.clear();
+    class Collector : public Inspector {
+     public:
+      explicit Collector(std::set<std::string>& locals) : locals_(locals) {}
+
+     protected:
+      void OnStmt(const Stmt& stmt) override {
+        if (stmt.kind() == StmtKind::kVarDecl) {
+          locals_.insert(static_cast<const VarDeclStmt&>(stmt).name());
+        }
+      }
+
+     private:
+      std::set<std::string>& locals_;
+    };
+    Collector collector(locals_);
+    collector.VisitStmt(body);
+  }
+
+  // Whether `stmt` (or its subtree) reads variable `name`. With the seeded
+  // Fig. 5a fault, inout/out argument positions do not count as uses.
+  bool StmtReads(const Stmt& stmt, const std::string& name) const {
+    switch (stmt.kind()) {
+      case StmtKind::kBlock: {
+        for (const StmtPtr& child : static_cast<const BlockStmt&>(stmt).statements()) {
+          if (StmtReads(*child, name)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        if (ExprReadsVar(assign.value(), name)) {
+          return true;
+        }
+        // A slice assignment to `name` reads the untouched bits — unless
+        // the seeded Fig. 5d fault is active, which is exactly the missing
+        // insight that made p4c delete the disjoint write.
+        if (!slice_kills_ && assign.target().kind() != ExprKind::kPath &&
+            LValueRoot(assign.target()) == name) {
+          return true;
+        }
+        return false;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        if (ExprReadsVar(if_stmt.cond(), name) || StmtReads(if_stmt.then_branch(), name)) {
+          return true;
+        }
+        return if_stmt.else_branch() != nullptr && StmtReads(*if_stmt.else_branch(), name);
+      }
+      case StmtKind::kVarDecl: {
+        const auto& var_decl = static_cast<const VarDeclStmt&>(stmt);
+        return var_decl.init() != nullptr && ExprReadsVar(*var_decl.init(), name);
+      }
+      case StmtKind::kCall: {
+        const auto& call = static_cast<const CallStmt&>(stmt).call();
+        if (call.receiver() != nullptr && ExprReadsVar(*call.receiver(), name)) {
+          return true;
+        }
+        for (const ExprPtr& arg : call.args()) {
+          if (ignore_inout_uses_ && IsLValueShape(*arg) && LValueRoot(*arg) == name) {
+            // Seeded fault: an l-value argument (inout/out position) is not
+            // counted as a use, so the preceding store looks dead.
+            continue;
+          }
+          if (ExprReadsVar(*arg, name)) {
+            return true;
+          }
+        }
+        if (call.call_kind() == CallKind::kTableApply) {
+          return TableApplyReads(call.callee(), name);
+        }
+        return false;
+      }
+      case StmtKind::kReturn: {
+        const auto& return_stmt = static_cast<const ReturnStmt&>(stmt);
+        return return_stmt.value() != nullptr && ExprReadsVar(*return_stmt.value(), name);
+      }
+      case StmtKind::kExit:
+      case StmtKind::kEmpty:
+        return false;
+    }
+    return false;
+  }
+
+  // Whether `stmt` definitely overwrites the whole variable on every path.
+  bool StmtFullyDefines(const Stmt& stmt, const std::string& name) const {
+    if (stmt.kind() == StmtKind::kAssign) {
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      if (assign.target().kind() == ExprKind::kPath &&
+          static_cast<const PathExpr&>(assign.target()).name() == name) {
+        return true;
+      }
+      if (slice_kills_ && assign.target().kind() == ExprKind::kSlice &&
+          LValueRoot(assign.target()) == name) {
+        // Seeded fault (Fig. 5d): a partial (slice) write is treated as a
+        // full definition, killing earlier stores whose untouched bits are
+        // still live.
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Is the store to `name` at position `index` in `stmts` dead? Scans
+  // forward; a full redefinition stops the scan.
+  bool StoreIsDead(const std::vector<StmtPtr>& stmts, size_t index, const std::string& name,
+                   const BlockStmt& body) const {
+    for (size_t i = index + 1; i < stmts.size(); ++i) {
+      if (StmtReads(*stmts[i], name)) {
+        return false;
+      }
+      if (StmtFullyDefines(*stmts[i], name)) {
+        return true;
+      }
+    }
+    // Reached the end of this statement list. If this list is the whole
+    // body, the local dies here; otherwise (nested block/branch) be
+    // conservative and keep the store.
+    return &stmts == &body.statements();
+  }
+
+  void ProcessBlock(BlockStmt& block, const BlockStmt& body) {
+    std::vector<StmtPtr>& stmts = block.mutable_statements();
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      Stmt& stmt = *stmts[i];
+      if (stmt.kind() == StmtKind::kBlock) {
+        ProcessBlock(static_cast<BlockStmt&>(stmt), body);
+        continue;
+      }
+      if (stmt.kind() == StmtKind::kIf) {
+        auto& if_stmt = static_cast<IfStmt&>(stmt);
+        if (if_stmt.then_slot()->kind() == StmtKind::kBlock) {
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()), body);
+        }
+        if (if_stmt.else_slot() != nullptr &&
+            if_stmt.else_slot()->kind() == StmtKind::kBlock) {
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()), body);
+        }
+        continue;
+      }
+      if (stmt.kind() == StmtKind::kVarDecl) {
+        // A dead *initializer* (overwritten before any read) is dropped,
+        // leaving an uninitialized declaration.
+        auto& var_decl = static_cast<VarDeclStmt&>(stmt);
+        // A call in the initializer may write inout/out arguments — the
+        // store's *value* being dead does not make the call removable.
+        if (var_decl.init() != nullptr && !ContainsFunctionCall(*var_decl.init()) &&
+            &stmts == &body.statements() && StoreIsDead(stmts, i, var_decl.name(), body)) {
+          var_decl.init_slot() = nullptr;
+        }
+        continue;
+      }
+      if (stmt.kind() != StmtKind::kAssign) {
+        continue;
+      }
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      if (assign.target().kind() != ExprKind::kPath) {
+        continue;
+      }
+      const std::string& name = static_cast<const PathExpr&>(assign.target()).name();
+      if (locals_.count(name) == 0) {
+        continue;  // parameters and captured state are always live
+      }
+      // Only eliminate stores in the top-level statement list of the body:
+      // stores inside branches require path-sensitive liveness.
+      if (&stmts != &body.statements()) {
+        continue;
+      }
+      // Keep stores whose RHS calls a function: the call's inout/out
+      // writes are side effects that survive the value being dead.
+      if (!ContainsFunctionCall(assign.value()) && StoreIsDead(stmts, i, name, body)) {
+        stmts[i] = std::make_unique<EmptyStmt>();
+      }
+    }
+    FlattenBlocks(block);
+  }
+
+  void RemoveUnusedDecls(BlockStmt& body) {
+    // A declaration with no reads anywhere can go. (With the seeded Fig. 5a
+    // fault, a variable whose only use is an inout argument is judged
+    // unused; deleting its declaration leaves the argument dangling and the
+    // re-type-check crashes — the snowball effect.)
+    std::vector<StmtPtr>& stmts = body.mutable_statements();
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (stmts[i]->kind() != StmtKind::kVarDecl) {
+        continue;
+      }
+      const auto& var_decl = static_cast<const VarDeclStmt&>(*stmts[i]);
+      const std::string& name = var_decl.name();
+      bool used = false;
+      for (size_t j = 0; j < stmts.size(); ++j) {
+        if (j == i) {
+          continue;
+        }
+        if (StmtReads(*stmts[j], name)) {
+          used = true;
+          break;
+        }
+        // Writes via slices/members also require the declaration.
+        if (!ignore_inout_uses_ && WritesVar(*stmts[j], name)) {
+          used = true;
+          break;
+        }
+        if (ignore_inout_uses_ && WritesVarDirectly(*stmts[j], name)) {
+          used = true;
+          break;
+        }
+      }
+      if (!used && (var_decl.init() == nullptr || !ContainsFunctionCall(*var_decl.init()))) {
+        stmts[i] = std::make_unique<EmptyStmt>();
+      }
+    }
+    FlattenBlocks(body);
+  }
+
+  static bool WritesVar(const Stmt& stmt, const std::string& name) {
+    switch (stmt.kind()) {
+      case StmtKind::kBlock: {
+        for (const StmtPtr& child : static_cast<const BlockStmt&>(stmt).statements()) {
+          if (WritesVar(*child, name)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case StmtKind::kAssign:
+        return LValueRoot(static_cast<const AssignStmt&>(stmt).target()) == name;
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        if (WritesVar(if_stmt.then_branch(), name)) {
+          return true;
+        }
+        return if_stmt.else_branch() != nullptr && WritesVar(*if_stmt.else_branch(), name);
+      }
+      case StmtKind::kCall: {
+        const auto& call = static_cast<const CallStmt&>(stmt).call();
+        for (const ExprPtr& arg : call.args()) {
+          if (IsLValueShape(*arg) && LValueRoot(*arg) == name) {
+            return true;
+          }
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  static bool WritesVarDirectly(const Stmt& stmt, const std::string& name) {
+    // Like WritesVar but ignoring call-argument positions (the seeded
+    // fault's view of the world).
+    switch (stmt.kind()) {
+      case StmtKind::kBlock: {
+        for (const StmtPtr& child : static_cast<const BlockStmt&>(stmt).statements()) {
+          if (WritesVarDirectly(*child, name)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case StmtKind::kAssign:
+        return LValueRoot(static_cast<const AssignStmt&>(stmt).target()) == name;
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        if (WritesVarDirectly(if_stmt.then_branch(), name)) {
+          return true;
+        }
+        return if_stmt.else_branch() != nullptr &&
+               WritesVarDirectly(*if_stmt.else_branch(), name);
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool ignore_inout_uses_ = false;
+  bool slice_kills_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeSideEffectOrderingPass() {
+  return std::make_unique<SideEffectOrderingPass>();
+}
+std::unique_ptr<Pass> MakeInlineFunctionsPass() { return std::make_unique<InlineFunctionsPass>(); }
+std::unique_ptr<Pass> MakeRemoveActionParametersPass() {
+  return std::make_unique<RemoveActionParametersPass>();
+}
+std::unique_ptr<Pass> MakeUniqueNamesPass() { return std::make_unique<UniqueNamesPass>(); }
+std::unique_ptr<Pass> MakeConstantFoldingPass() {
+  return std::make_unique<ConstantFoldingPass>();
+}
+std::unique_ptr<Pass> MakeStrengthReductionPass() {
+  return std::make_unique<StrengthReductionPass>();
+}
+std::unique_ptr<Pass> MakeSimplifyDefUsePass() { return std::make_unique<SimplifyDefUsePass>(); }
+
+}  // namespace gauntlet

@@ -1,0 +1,49 @@
+#ifndef SRC_PASSES_FRONTEND_PASSES_H_
+#define SRC_PASSES_FRONTEND_PASSES_H_
+
+#include <memory>
+
+#include "src/passes/pass.h"
+
+namespace gauntlet {
+
+// Hoists function-call subexpressions into temporaries so later passes only
+// see calls in statement position. Seeded fault kSideEffectOrderSwap
+// reverses sibling evaluation order (§7.2's argument-evaluation bug class).
+std::unique_ptr<Pass> MakeSideEffectOrderingPass();
+
+// Inlines all top-level function calls (which, after SideEffectOrdering,
+// appear only as `x = f(..)`, `T v = f(..)`, or `f(..);`). Seeded fault
+// kInlinerSkipsNestedCall leaves calls inside if-branches uninlined; back
+// ends that require call-free programs then crash (§7.2 snowball effects).
+std::unique_ptr<Pass> MakeInlineFunctionsPass();
+
+// Inlines direct action calls, materializing copy-in/copy-out as explicit
+// temporaries — the role p4c's RemoveActionParameters plays. Seeded fault
+// kExitIgnoresCopyOut omits the copy-out duplication before `exit`,
+// reproducing Fig. 5f.
+std::unique_ptr<Pass> MakeRemoveActionParametersPass();
+
+// Renames every local variable to a program-unique name. Seeded fault
+// kRenameDeclaredUndefined additionally hoists uninitialized declarations,
+// reordering undefined-value allocation — the §8 false-alarm class.
+std::unique_ptr<Pass> MakeUniqueNamesPass();
+
+// Evaluates constant expressions. Seeded fault kConstantFoldWrapWidth
+// mis-folds arithmetic whose 64-bit result overflows the declared width.
+std::unique_ptr<Pass> MakeConstantFoldingPass();
+
+// Algebraic simplifications (x*2^k -> x<<k, x&0 -> 0, ...). Seeded fault
+// kStrengthReductionNegativeSlice rewrites right-shifts into slices with
+// inverted bounds, making the re-type-check reject a valid program
+// (Fig. 5c's root cause).
+std::unique_ptr<Pass> MakeStrengthReductionPass();
+
+// Dead-store elimination. Seeded faults: kSimplifyDefUseDropsInoutWrite
+// ignores inout/out argument uses (Fig. 5a); kSliceWriteTreatedAsFullDef
+// treats partial (slice) writes as full definitions (Fig. 5d).
+std::unique_ptr<Pass> MakeSimplifyDefUsePass();
+
+}  // namespace gauntlet
+
+#endif  // SRC_PASSES_FRONTEND_PASSES_H_

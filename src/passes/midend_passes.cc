@@ -1,0 +1,665 @@
+#include "src/passes/midend_passes.h"
+
+#include <map>
+#include <set>
+
+#include "src/ast/visitor.h"
+#include "src/frontend/printer.h"
+
+namespace gauntlet {
+
+namespace {
+
+std::unique_ptr<BlockStmt> AsBlock(StmtPtr stmt) {
+  if (stmt->kind() == StmtKind::kBlock) {
+    return std::unique_ptr<BlockStmt>(static_cast<BlockStmt*>(stmt.release()));
+  }
+  auto block = std::make_unique<BlockStmt>();
+  block->Append(std::move(stmt));
+  return block;
+}
+
+// ===========================================================================
+// Predication
+// ===========================================================================
+
+class PredicationPass : public Pass {
+ public:
+  std::string name() const override { return "Predication"; }
+  BugLocation location() const override { return BugLocation::kMidEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    lost_else_ = bugs.Has(BugId::kPredicationLostElse);
+    NameAllocator names(program);
+    for (const DeclPtr& decl : program.mutable_decls()) {
+      if (decl->kind() != DeclKind::kControl) {
+        continue;
+      }
+      auto& control = static_cast<ControlDecl&>(*decl);
+      for (const DeclPtr& local : control.mutable_locals()) {
+        if (local->kind() == DeclKind::kAction) {
+          ProcessBlock(*static_cast<ActionDecl&>(*local).mutable_body(), names);
+        }
+      }
+    }
+  }
+
+ private:
+  // True if the subtree consists solely of assignments (after recursion,
+  // converted ifs have become assignments too).
+  static bool OnlyAssignments(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign:
+      case StmtKind::kEmpty:
+        return true;
+      case StmtKind::kBlock: {
+        for (const StmtPtr& child : static_cast<const BlockStmt&>(stmt).statements()) {
+          if (!OnlyAssignments(*child)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  void ProcessBlock(BlockStmt& block, NameAllocator& names) {
+    std::vector<StmtPtr> out;
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      if (stmt->kind() == StmtKind::kBlock) {
+        ProcessBlock(static_cast<BlockStmt&>(*stmt), names);
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      if (stmt->kind() != StmtKind::kIf) {
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      auto& if_stmt = static_cast<IfStmt&>(*stmt);
+      // Bottom-up: predicate nested ifs first.
+      if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+      ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()), names);
+      if (if_stmt.else_slot() != nullptr) {
+        if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+        ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()), names);
+      }
+      const bool convertible =
+          OnlyAssignments(*if_stmt.then_slot()) &&
+          (if_stmt.else_slot() == nullptr || OnlyAssignments(*if_stmt.else_slot()));
+      if (!convertible) {
+        out.push_back(std::move(stmt));
+        continue;
+      }
+      // Hoist the condition into a predicate variable: branch bodies may
+      // write variables the condition reads.
+      const std::string pred = names.Fresh("pred");
+      out.push_back(
+          std::make_unique<VarDeclStmt>(pred, Type::Bool(), std::move(if_stmt.cond_slot())));
+      EmitPredicated(static_cast<BlockStmt&>(*if_stmt.then_slot()), pred, /*negate=*/false, out);
+      if (if_stmt.else_slot() != nullptr && !lost_else_) {
+        // Seeded fault: the else branch is silently dropped.
+        EmitPredicated(static_cast<BlockStmt&>(*if_stmt.else_slot()), pred, /*negate=*/true,
+                       out);
+      }
+    }
+    block.mutable_statements() = std::move(out);
+    FlattenBlocks(block);
+  }
+
+  void EmitPredicated(BlockStmt& branch, const std::string& pred, bool negate,
+                      std::vector<StmtPtr>& out) {
+    for (StmtPtr& stmt : branch.mutable_statements()) {
+      if (stmt->kind() == StmtKind::kEmpty) {
+        continue;
+      }
+      if (stmt->kind() == StmtKind::kBlock) {
+        EmitPredicated(static_cast<BlockStmt&>(*stmt), pred, negate, out);
+        continue;
+      }
+      GAUNTLET_BUG_CHECK(stmt->kind() == StmtKind::kAssign, "predication on non-assignment");
+      auto& assign = static_cast<AssignStmt&>(*stmt);
+      ExprPtr cond = negate ? MakeUnary(UnaryOp::kLogicalNot, MakePath(pred)) : MakePath(pred);
+      // x = pred ? value : x   (x = pred ? x : value when negated)
+      ExprPtr old_value = assign.target().Clone();
+      auto mux = std::make_unique<MuxExpr>(std::move(cond), std::move(assign.value_slot()),
+                                           std::move(old_value));
+      out.push_back(
+          std::make_unique<AssignStmt>(std::move(assign.target_slot()), std::move(mux)));
+    }
+  }
+
+  bool lost_else_ = false;
+};
+
+// ===========================================================================
+// CopyPropagation
+// ===========================================================================
+
+class CopyPropagationPass : public Pass {
+ public:
+  std::string name() const override { return "CopyPropagation"; }
+  BugLocation location() const override { return BugLocation::kMidEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    ignore_validity_ = bugs.Has(BugId::kInvalidHeaderCopyProp);
+    for (const DeclPtr& decl : program.mutable_decls()) {
+      if (decl->kind() != DeclKind::kControl) {
+        continue;
+      }
+      auto& control = static_cast<ControlDecl&>(*decl);
+      std::map<std::string, ExprPtr> copies;
+      ProcessBlock(*control.mutable_apply(), copies);
+      for (const DeclPtr& local : control.mutable_locals()) {
+        if (local->kind() == DeclKind::kAction) {
+          std::map<std::string, ExprPtr> action_copies;
+          ProcessBlock(*static_cast<ActionDecl&>(*local).mutable_body(), action_copies);
+        }
+      }
+    }
+  }
+
+ private:
+  // A "simple" expression is a path, member chain, or constant — safe to
+  // remember and substitute.
+  static bool IsSimple(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kConstant:
+      case ExprKind::kBoolConst:
+      case ExprKind::kPath:
+        return true;
+      case ExprKind::kMember:
+        return IsSimple(static_cast<const MemberExpr&>(expr).base());
+      default:
+        return false;
+    }
+  }
+
+  // Dotted-prefix overlap: writing "h.h" clobbers "h.h.a" and vice versa.
+  static bool Overlaps(const std::string& a, const std::string& b) {
+    if (a == b) {
+      return true;
+    }
+    if (a.size() < b.size()) {
+      return b.compare(0, a.size(), a) == 0 && b[a.size()] == '.';
+    }
+    return a.compare(0, b.size(), b) == 0 && a[b.size()] == '.';
+  }
+
+  void InvalidateWrites(std::map<std::string, ExprPtr>& copies, const std::string& written) {
+    for (auto it = copies.begin(); it != copies.end();) {
+      const bool key_hit = Overlaps(it->first, written);
+      const bool value_hit = Overlaps(PrintExpr(*it->second), written);
+      it = key_hit || value_hit ? copies.erase(it) : std::next(it);
+    }
+  }
+
+  void SubstituteReads(ExprPtr& slot, const std::map<std::string, ExprPtr>& copies) {
+    class Substituter : public Rewriter {
+     public:
+      explicit Substituter(const std::map<std::string, ExprPtr>& copies) : copies_(copies) {}
+
+     protected:
+      ExprPtr Replace(const Expr& expr) {
+        auto it = copies_.find(PrintExpr(expr));
+        if (it != copies_.end()) {
+          ExprPtr clone = it->second->Clone();
+          clone->set_type(expr.type());
+          return clone;
+        }
+        return nullptr;
+      }
+      ExprPtr PostPath(PathExpr& path) override { return Replace(path); }
+      ExprPtr PostMember(MemberExpr& member) override { return Replace(member); }
+      bool RewritesLValues() const override { return false; }
+
+     private:
+      const std::map<std::string, ExprPtr>& copies_;
+    };
+    Substituter substituter(copies);
+    substituter.RewriteExpr(slot);
+  }
+
+  void ProcessBlock(BlockStmt& block, std::map<std::string, ExprPtr>& copies) {
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      switch (stmt->kind()) {
+        case StmtKind::kBlock:
+          ProcessBlock(static_cast<BlockStmt&>(*stmt), copies);
+          break;
+        case StmtKind::kAssign: {
+          auto& assign = static_cast<AssignStmt&>(*stmt);
+          SubstituteReads(assign.value_slot(), copies);
+          const std::string target = PrintExpr(assign.target());
+          InvalidateWrites(copies, assign.target().kind() == ExprKind::kSlice
+                                       ? PrintExpr(
+                                             static_cast<const SliceExpr&>(assign.target()).base())
+                                       : target);
+          if (assign.target().kind() != ExprKind::kSlice && IsSimple(assign.value())) {
+            copies[target] = assign.value().Clone();
+          }
+          break;
+        }
+        case StmtKind::kVarDecl: {
+          auto& var_decl = static_cast<VarDeclStmt&>(*stmt);
+          if (var_decl.init() != nullptr) {
+            SubstituteReads(var_decl.init_slot(), copies);
+            if (IsSimple(*var_decl.init())) {
+              copies[var_decl.name()] = var_decl.init()->Clone();
+            }
+          }
+          break;
+        }
+        case StmtKind::kIf: {
+          auto& if_stmt = static_cast<IfStmt&>(*stmt);
+          SubstituteReads(if_stmt.cond_slot(), copies);
+          std::map<std::string, ExprPtr> then_copies;
+          for (const auto& [key, value] : copies) {
+            then_copies.emplace(key, value->Clone());
+          }
+          if_stmt.then_slot() = AsBlock(std::move(if_stmt.then_slot()));
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()), then_copies);
+          if (if_stmt.else_slot() != nullptr) {
+            std::map<std::string, ExprPtr> else_copies;
+            for (const auto& [key, value] : copies) {
+              else_copies.emplace(key, value->Clone());
+            }
+            if_stmt.else_slot() = AsBlock(std::move(if_stmt.else_slot()));
+            ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()), else_copies);
+          }
+          // Conservative join: drop everything (branches may clobber).
+          copies.clear();
+          break;
+        }
+        case StmtKind::kCall: {
+          auto& call = static_cast<CallStmt&>(*stmt).mutable_call();
+          switch (call.call_kind()) {
+            case CallKind::kSetValid:
+            case CallKind::kSetInvalid: {
+              // Validity changes scramble or canonicalize fields: any copy
+              // involving this header is stale. The seeded Fig. 5e fault
+              // skips this invalidation.
+              if (!ignore_validity_) {
+                InvalidateWrites(copies, PrintExpr(*call.receiver()));
+              }
+              break;
+            }
+            case CallKind::kTableApply:
+            case CallKind::kAction:
+            case CallKind::kFunction:
+              // May write arbitrary captured state.
+              copies.clear();
+              break;
+            case CallKind::kEmit: {
+              // Reads only; substitution inside emit is unsafe for l-values,
+              // so leave the receiver untouched.
+              break;
+            }
+            default:
+              break;
+          }
+          break;
+        }
+        case StmtKind::kReturn: {
+          auto& return_stmt = static_cast<ReturnStmt&>(*stmt);
+          if (return_stmt.value() != nullptr) {
+            SubstituteReads(return_stmt.value_slot(), copies);
+          }
+          break;
+        }
+        case StmtKind::kExit:
+        case StmtKind::kEmpty:
+          break;
+      }
+    }
+  }
+
+  bool ignore_validity_ = false;
+};
+
+// ===========================================================================
+// LocalCopyElimination
+// ===========================================================================
+
+class LocalCopyEliminationPass : public Pass {
+ public:
+  std::string name() const override { return "LocalCopyElimination"; }
+  BugLocation location() const override { return BugLocation::kMidEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    skip_write_check_ = bugs.Has(BugId::kTempSubstAcrossWrite);
+    for (const DeclPtr& decl : program.mutable_decls()) {
+      if (decl->kind() != DeclKind::kControl) {
+        continue;
+      }
+      auto& control = static_cast<ControlDecl&>(*decl);
+      ProcessBlock(*control.mutable_apply());
+      for (const DeclPtr& local : control.mutable_locals()) {
+        if (local->kind() == DeclKind::kAction) {
+          ProcessBlock(*static_cast<ActionDecl&>(*local).mutable_body());
+        }
+      }
+    }
+  }
+
+ private:
+  // Roots of every variable `expr` reads.
+  static void CollectReadRoots(const Expr& expr, std::set<std::string>& roots) {
+    class Collector : public Inspector {
+     public:
+      explicit Collector(std::set<std::string>& roots) : roots_(roots) {}
+
+     protected:
+      void OnExpr(const Expr& expr) override {
+        if (expr.kind() == ExprKind::kPath) {
+          roots_.insert(static_cast<const PathExpr&>(expr).name());
+        }
+      }
+
+     private:
+      std::set<std::string>& roots_;
+    };
+    Collector collector(roots);
+    collector.VisitExpr(expr);
+  }
+
+  static size_t CountReads(const Stmt& stmt, const std::string& name) {
+    class Counter : public Inspector {
+     public:
+      explicit Counter(const std::string& name) : name_(name) {}
+      size_t count = 0;
+
+     protected:
+      void OnExpr(const Expr& expr) override {
+        if (expr.kind() == ExprKind::kPath &&
+            static_cast<const PathExpr&>(expr).name() == name_) {
+          ++count;
+        }
+      }
+
+     private:
+      const std::string& name_;
+    };
+    Counter counter(name);
+    counter.VisitStmt(stmt);
+    return counter.count;
+  }
+
+  // Whether the statement may write state (assign target roots, calls).
+  static bool StatementClobbers(const Stmt& stmt, const std::set<std::string>& roots) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign:
+        return roots.count(LValueRoot(static_cast<const AssignStmt&>(stmt).target())) > 0;
+      case StmtKind::kCall:
+        return true;  // conservatively: any call may clobber captured state
+      case StmtKind::kIf:
+      case StmtKind::kBlock:
+        return true;  // conservative for nested control flow
+      default:
+        return false;
+    }
+  }
+
+  void ProcessBlock(BlockStmt& block) {
+    std::vector<StmtPtr>& stmts = block.mutable_statements();
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (stmts[i]->kind() == StmtKind::kBlock) {
+        ProcessBlock(static_cast<BlockStmt&>(*stmts[i]));
+        continue;
+      }
+      if (stmts[i]->kind() == StmtKind::kIf) {
+        auto& if_stmt = static_cast<IfStmt&>(*stmts[i]);
+        if (if_stmt.then_slot()->kind() == StmtKind::kBlock) {
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()));
+        }
+        if (if_stmt.else_slot() != nullptr &&
+            if_stmt.else_slot()->kind() == StmtKind::kBlock) {
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()));
+        }
+        continue;
+      }
+      if (stmts[i]->kind() != StmtKind::kVarDecl) {
+        continue;
+      }
+      auto& var_decl = static_cast<VarDeclStmt&>(*stmts[i]);
+      if (var_decl.init() == nullptr) {
+        continue;
+      }
+      const std::string& temp = var_decl.name();
+      // Count reads across the remainder of the list; find the single read.
+      size_t total_reads = 0;
+      size_t read_index = 0;
+      bool written = false;
+      for (size_t j = i + 1; j < stmts.size(); ++j) {
+        const size_t reads = CountReads(*stmts[j], temp);
+        if (reads > 0 && total_reads == 0) {
+          read_index = j;
+        }
+        total_reads += reads;
+        if (stmts[j]->kind() == StmtKind::kAssign &&
+            LValueRoot(static_cast<const AssignStmt&>(*stmts[j]).target()) == temp) {
+          written = true;
+        }
+      }
+      if (total_reads != 1 || written) {
+        continue;
+      }
+      // The read must be directly in a substitutable position of a
+      // top-level assignment/vardecl.
+      Stmt& read_stmt = *stmts[read_index];
+      ExprPtr* read_slot = nullptr;
+      if (read_stmt.kind() == StmtKind::kAssign) {
+        auto& assign = static_cast<AssignStmt&>(read_stmt);
+        if (CountReads(read_stmt, temp) == 1 && ExprReadsVar(assign.value(), temp)) {
+          read_slot = &assign.value_slot();
+        }
+      } else if (read_stmt.kind() == StmtKind::kVarDecl) {
+        auto& decl = static_cast<VarDeclStmt&>(read_stmt);
+        if (decl.init() != nullptr && ExprReadsVar(*decl.init(), temp)) {
+          read_slot = &decl.init_slot();
+        }
+      }
+      if (read_slot == nullptr) {
+        continue;
+      }
+      // Safety: no intervening statement may clobber the temp's inputs.
+      // The seeded fault skips this check, substituting stale expressions.
+      if (!skip_write_check_) {
+        std::set<std::string> inputs;
+        CollectReadRoots(*var_decl.init(), inputs);
+        bool clobbered = false;
+        for (size_t j = i + 1; j < read_index; ++j) {
+          if (StatementClobbers(*stmts[j], inputs)) {
+            clobbered = true;
+            break;
+          }
+        }
+        if (clobbered) {
+          continue;
+        }
+      }
+      // Substitute and remove the declaration.
+      class Substituter : public Rewriter {
+       public:
+        Substituter(const std::string& name, const Expr& replacement)
+            : name_(name), replacement_(replacement) {}
+
+       protected:
+        ExprPtr PostPath(PathExpr& path) override {
+          if (path.name() == name_) {
+            return replacement_.Clone();
+          }
+          return nullptr;
+        }
+        bool RewritesLValues() const override { return false; }
+
+       private:
+        const std::string& name_;
+        const Expr& replacement_;
+      };
+      Substituter substituter(temp, *var_decl.init());
+      substituter.RewriteExpr(*read_slot);
+      stmts[i] = std::make_unique<EmptyStmt>();
+    }
+    FlattenBlocks(block);
+  }
+
+  bool skip_write_check_ = false;
+};
+
+// ===========================================================================
+// DeadCodeElimination
+// ===========================================================================
+
+class DeadCodeEliminationPass : public Pass {
+ public:
+  std::string name() const override { return "DeadCodeElimination"; }
+  BugLocation location() const override { return BugLocation::kMidEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    exit_call_bug_ = bugs.Has(BugId::kDeadCodeAfterExitCall);
+    for (const DeclPtr& decl : program.mutable_decls()) {
+      if (decl->kind() == DeclKind::kControl) {
+        auto& control = static_cast<ControlDecl&>(*decl);
+        ProcessBlock(*control.mutable_apply());
+        for (const DeclPtr& local : control.mutable_locals()) {
+          if (local->kind() == DeclKind::kAction) {
+            ProcessBlock(*static_cast<ActionDecl&>(*local).mutable_body());
+          }
+        }
+      } else if (decl->kind() == DeclKind::kFunction) {
+        ProcessBlock(*static_cast<FunctionDecl&>(*decl).mutable_body());
+      }
+    }
+  }
+
+ private:
+  static bool EndsWithExit(const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kExit) {
+      return true;
+    }
+    if (stmt.kind() == StmtKind::kBlock) {
+      const auto& block = static_cast<const BlockStmt&>(stmt);
+      return !block.statements().empty() && EndsWithExit(*block.statements().back());
+    }
+    return false;
+  }
+
+  void ProcessBlock(BlockStmt& block) {
+    std::vector<StmtPtr> out;
+    bool dead = false;
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      if (dead) {
+        continue;  // unreachable
+      }
+      if (stmt->kind() == StmtKind::kBlock) {
+        ProcessBlock(static_cast<BlockStmt&>(*stmt));
+      } else if (stmt->kind() == StmtKind::kIf) {
+        auto& if_stmt = static_cast<IfStmt&>(*stmt);
+        if (if_stmt.then_slot()->kind() == StmtKind::kBlock) {
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.then_slot()));
+        }
+        if (if_stmt.else_slot() != nullptr &&
+            if_stmt.else_slot()->kind() == StmtKind::kBlock) {
+          ProcessBlock(static_cast<BlockStmt&>(*if_stmt.else_slot()));
+        }
+        // Constant conditions select a branch statically.
+        if (if_stmt.cond().kind() == ExprKind::kBoolConst) {
+          const bool value = static_cast<const BoolConstExpr&>(if_stmt.cond()).value();
+          if (value) {
+            out.push_back(std::move(if_stmt.then_slot()));
+          } else if (if_stmt.else_slot() != nullptr) {
+            out.push_back(std::move(if_stmt.else_slot()));
+          }
+          continue;
+        }
+        // Seeded fault: a branch that ends in `exit` is assumed to always
+        // execute, so the remainder of this list is "unreachable".
+        if (exit_call_bug_ && EndsWithExit(*if_stmt.then_slot())) {
+          out.push_back(std::move(stmt));
+          dead = true;
+          continue;
+        }
+      } else if (stmt->kind() == StmtKind::kExit) {
+        out.push_back(std::move(stmt));
+        dead = true;
+        continue;
+      }
+      out.push_back(std::move(stmt));
+    }
+    block.mutable_statements() = std::move(out);
+    FlattenBlocks(block);
+  }
+
+  bool exit_call_bug_ = false;
+};
+
+// ===========================================================================
+// EliminateSlices
+// ===========================================================================
+
+class EliminateSlicesPass : public Pass {
+ public:
+  std::string name() const override { return "EliminateSlices"; }
+  BugLocation location() const override { return BugLocation::kMidEnd; }
+
+  void Run(Program& program, const BugConfig& bugs) override {
+    class SliceLowerer : public Rewriter {
+     public:
+      explicit SliceLowerer(bool wrong_mask) : wrong_mask_(wrong_mask) {}
+
+     protected:
+      StmtPtr PostAssign(AssignStmt& assign) override {
+        if (assign.target().kind() != ExprKind::kSlice) {
+          return nullptr;
+        }
+        auto& slice = static_cast<SliceExpr&>(*assign.target_slot());
+        const Expr& base = slice.base();
+        GAUNTLET_BUG_CHECK(base.type() != nullptr && base.type()->IsBit(),
+                           "EliminateSlices requires typed trees");
+        const uint32_t width = base.type()->width();
+        const uint32_t hi = slice.hi();
+        const uint32_t lo = slice.lo();
+        // Seeded fault: the field mask is one bit short.
+        const uint32_t field_bits = hi - lo + (wrong_mask_ ? 0 : 1);
+        const uint64_t field_mask =
+            field_bits == 0 ? 0 : (BitValue::MaskFor(field_bits) << lo);
+        const uint64_t keep_mask = ~field_mask & BitValue::MaskFor(width);
+        // base = (base & keep) | ((bit<w>) value << lo)
+        ExprPtr kept = MakeBinary(BinaryOp::kBitAnd, base.Clone(),
+                                  std::make_unique<ConstantExpr>(BitValue(width, keep_mask)));
+        ExprPtr widened = std::make_unique<CastExpr>(Type::Bit(width),
+                                                     std::move(assign.value_slot()));
+        if (lo > 0) {
+          widened = MakeBinary(BinaryOp::kShl, std::move(widened),
+                               std::make_unique<ConstantExpr>(BitValue(width, lo)));
+        }
+        ExprPtr combined = MakeBinary(BinaryOp::kBitOr, std::move(kept), std::move(widened));
+        return std::make_unique<AssignStmt>(base.Clone(), std::move(combined));
+      }
+
+     private:
+      bool wrong_mask_;
+    };
+    SliceLowerer lowerer(bugs.Has(BugId::kEliminateSlicesWrongMask));
+    lowerer.RewriteProgram(program);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakePredicationPass() { return std::make_unique<PredicationPass>(); }
+std::unique_ptr<Pass> MakeCopyPropagationPass() {
+  return std::make_unique<CopyPropagationPass>();
+}
+std::unique_ptr<Pass> MakeLocalCopyEliminationPass() {
+  return std::make_unique<LocalCopyEliminationPass>();
+}
+std::unique_ptr<Pass> MakeDeadCodeEliminationPass() {
+  return std::make_unique<DeadCodeEliminationPass>();
+}
+std::unique_ptr<Pass> MakeEliminateSlicesPass() {
+  return std::make_unique<EliminateSlicesPass>();
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,38 @@
+#ifndef SRC_PASSES_MIDEND_PASSES_H_
+#define SRC_PASSES_MIDEND_PASSES_H_
+
+#include <memory>
+
+#include "src/passes/pass.h"
+
+namespace gauntlet {
+
+// Converts branches inside action bodies into predicated (mux) assignments,
+// as required by branch-free match-action hardware. Seeded fault
+// kPredicationLostElse silently drops the else-branch writes (the
+// Predication regression stream the paper caught after a p4c merge, §7.2).
+std::unique_ptr<Pass> MakePredicationPass();
+
+// Forward-propagates copies within basic blocks. Seeded fault
+// kInvalidHeaderCopyProp keeps propagating header-field copies across
+// setValid/setInvalid, whose field-scrambling semantics make the cached
+// value stale (Fig. 5e).
+std::unique_ptr<Pass> MakeCopyPropagationPass();
+
+// Substitutes single-use temporaries into their use site. Seeded fault
+// kTempSubstAcrossWrite skips the intervening-write check.
+std::unique_ptr<Pass> MakeLocalCopyEliminationPass();
+
+// Removes unreachable and no-op code (constant branches, statements after
+// exit, empty branches). Seeded fault kDeadCodeAfterExitCall assumes any
+// if-branch ending in `exit` always exits, deleting live trailing code.
+std::unique_ptr<Pass> MakeDeadCodeEliminationPass();
+
+// Lowers slice assignments x[h:l] = v into mask-and-shift whole-variable
+// assignments (back ends without field-slice write support need this).
+// Seeded fault kEliminateSlicesWrongMask computes an off-by-one mask.
+std::unique_ptr<Pass> MakeEliminateSlicesPass();
+
+}  // namespace gauntlet
+
+#endif  // SRC_PASSES_MIDEND_PASSES_H_

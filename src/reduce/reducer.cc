@@ -1,0 +1,367 @@
+#include "src/reduce/reducer.h"
+
+#include "src/ast/visitor.h"
+#include "src/frontend/printer.h"
+#include "src/passes/pass.h"
+#include "src/target/bmv2.h"
+#include "src/tv/validator.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+
+namespace {
+
+// Counts statements in execution order across every body in the program.
+class StmtCounter : public Inspector {
+ public:
+  int count = 0;
+
+ protected:
+  void OnStmt(const Stmt& stmt) override {
+    if (stmt.kind() != StmtKind::kBlock && stmt.kind() != StmtKind::kEmpty) {
+      ++count;
+    }
+  }
+};
+
+// Applies one statement-level mutation to the statement with ordinal
+// `target` (same traversal order as StmtCounter).
+class StmtMutator : public Rewriter {
+ public:
+  enum class Mode { kDelete, kUnwrapThen, kUnwrapElse };
+
+  StmtMutator(int target, Mode mode) : target_(target), mode_(mode) {}
+  bool applied() const { return applied_; }
+
+ protected:
+  StmtPtr Mutate(Stmt& stmt) {
+    if (stmt.kind() == StmtKind::kBlock || stmt.kind() == StmtKind::kEmpty) {
+      return nullptr;
+    }
+    const int ordinal = counter_++;
+    if (ordinal != target_) {
+      return nullptr;
+    }
+    applied_ = true;
+    switch (mode_) {
+      case Mode::kDelete:
+        return std::make_unique<EmptyStmt>();
+      case Mode::kUnwrapThen: {
+        if (stmt.kind() != StmtKind::kIf) {
+          applied_ = false;
+          return nullptr;
+        }
+        auto& if_stmt = static_cast<IfStmt&>(stmt);
+        return std::move(if_stmt.then_slot());
+      }
+      case Mode::kUnwrapElse: {
+        if (stmt.kind() != StmtKind::kIf) {
+          applied_ = false;
+          return nullptr;
+        }
+        auto& if_stmt = static_cast<IfStmt&>(stmt);
+        if (if_stmt.else_slot() == nullptr) {
+          applied_ = false;
+          return nullptr;
+        }
+        return std::move(if_stmt.else_slot());
+      }
+    }
+    return nullptr;
+  }
+
+  // The mutation hook must see the statement *before* children are counted,
+  // so count in the Post hooks (children first is fine: ordinals just need
+  // to be deterministic and stable between the counter and the mutator —
+  // both use post-order via the Rewriter/Inspector pair below).
+  StmtPtr PostAssign(AssignStmt& stmt) override { return Mutate(stmt); }
+  StmtPtr PostIf(IfStmt& stmt) override { return Mutate(stmt); }
+  StmtPtr PostVarDecl(VarDeclStmt& stmt) override { return Mutate(stmt); }
+  StmtPtr PostCallStmt(CallStmt& stmt) override { return Mutate(stmt); }
+  StmtPtr PostExit(ExitStmt& stmt) override { return Mutate(stmt); }
+  StmtPtr PostReturn(ReturnStmt& stmt) override { return Mutate(stmt); }
+
+ private:
+  int target_;
+  Mode mode_;
+  int counter_ = 0;
+  bool applied_ = false;
+};
+
+// Post-order statement counter matching StmtMutator's ordinals.
+class PostOrderStmtCounter : public Rewriter {
+ public:
+  int count = 0;
+
+ protected:
+  StmtPtr Tally(Stmt&) {
+    ++count;
+    return nullptr;
+  }
+  StmtPtr PostAssign(AssignStmt& stmt) override { return Tally(stmt); }
+  StmtPtr PostIf(IfStmt& stmt) override { return Tally(stmt); }
+  StmtPtr PostVarDecl(VarDeclStmt& stmt) override { return Tally(stmt); }
+  StmtPtr PostCallStmt(CallStmt& stmt) override { return Tally(stmt); }
+  StmtPtr PostExit(ExitStmt& stmt) override { return Tally(stmt); }
+  StmtPtr PostReturn(ReturnStmt& stmt) override { return Tally(stmt); }
+};
+
+// Replaces the `target`-th expression (post-order) with one of its operands
+// or a zero constant.
+class ExprMutator : public Rewriter {
+ public:
+  enum class Mode { kZero, kLeftOperand, kRightOperand };
+
+  ExprMutator(int target, Mode mode) : target_(target), mode_(mode) {}
+  bool applied() const { return applied_; }
+
+ protected:
+  ExprPtr Mutate(Expr& expr) {
+    const int ordinal = counter_++;
+    if (ordinal != target_ || applied_) {
+      return nullptr;
+    }
+    switch (mode_) {
+      case Mode::kZero: {
+        if (expr.type() == nullptr) {
+          return nullptr;
+        }
+        if (expr.type()->IsBit()) {
+          applied_ = true;
+          return MakeConstant(expr.type()->width(), 0);
+        }
+        if (expr.type()->IsBool()) {
+          applied_ = true;
+          return MakeBool(false);
+        }
+        return nullptr;
+      }
+      case Mode::kLeftOperand:
+      case Mode::kRightOperand: {
+        if (expr.kind() != ExprKind::kBinary) {
+          return nullptr;
+        }
+        auto& binary = static_cast<BinaryExpr&>(expr);
+        if (binary.type() == nullptr || binary.left().type() == nullptr ||
+            !binary.type()->Equals(*binary.left().type())) {
+          return nullptr;  // operand replacement must preserve the type
+        }
+        applied_ = true;
+        return mode_ == Mode::kLeftOperand ? std::move(binary.left_slot())
+                                           : std::move(binary.right_slot());
+      }
+    }
+    return nullptr;
+  }
+
+  ExprPtr PostBinary(BinaryExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostUnary(UnaryExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostMux(MuxExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostCast(CastExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostCall(CallExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostSlice(SliceExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostMember(MemberExpr& expr) override { return Mutate(expr); }
+  ExprPtr PostPath(PathExpr& expr) override { return Mutate(expr); }
+  bool RewritesLValues() const override { return false; }
+
+ private:
+  int target_;
+  Mode mode_;
+  int counter_ = 0;
+  bool applied_ = false;
+};
+
+class PostOrderExprCounter : public Rewriter {
+ public:
+  int count = 0;
+
+ protected:
+  ExprPtr Tally() {
+    ++count;
+    return nullptr;
+  }
+  ExprPtr PostBinary(BinaryExpr&) override { return Tally(); }
+  ExprPtr PostUnary(UnaryExpr&) override { return Tally(); }
+  ExprPtr PostMux(MuxExpr&) override { return Tally(); }
+  ExprPtr PostCast(CastExpr&) override { return Tally(); }
+  ExprPtr PostCall(CallExpr&) override { return Tally(); }
+  ExprPtr PostSlice(SliceExpr&) override { return Tally(); }
+  ExprPtr PostMember(MemberExpr&) override { return Tally(); }
+  ExprPtr PostPath(PathExpr&) override { return Tally(); }
+  bool RewritesLValues() const override { return false; }
+};
+
+// The candidate is viable if it still type-checks under the *clean* checker
+// (the reducer must not manufacture ill-formed programs) and the oracle
+// still reports the symptom.
+bool Viable(const Program& candidate, const InterestingnessOracle& oracle, int& oracle_calls,
+            const ReducerOptions& options) {
+  if (oracle_calls >= options.max_oracle_calls) {
+    return false;
+  }
+  try {
+    auto check = candidate.Clone();
+    TypeCheck(*check);
+  } catch (const std::exception&) {
+    return false;
+  }
+  ++oracle_calls;
+  return oracle(candidate);
+}
+
+}  // namespace
+
+ReductionResult ReduceProgram(const Program& program, const InterestingnessOracle& oracle,
+                              const ReducerOptions& options) {
+  ReductionResult result;
+  result.program = program.Clone();
+  result.original_size = PrintProgram(program).size();
+  int& oracle_calls = result.oracle_calls;
+
+  if (!Viable(*result.program, oracle, oracle_calls, options)) {
+    result.reduced_size = result.original_size;
+    return result;  // not reproducible: return unchanged
+  }
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool progress = false;
+
+    // Strategy 1: drop top-level declarations not bound in the package.
+    for (size_t i = 0; i < result.program->decls().size();) {
+      const std::string& name = result.program->decls()[i]->name();
+      bool bound = false;
+      for (const PackageBlock& block : result.program->package()) {
+        bound |= block.decl_name == name;
+      }
+      if (bound) {
+        ++i;
+        continue;
+      }
+      auto candidate = result.program->Clone();
+      candidate->mutable_decls().erase(candidate->mutable_decls().begin() +
+                                       static_cast<long>(i));
+      if (Viable(*candidate, oracle, oracle_calls, options)) {
+        result.program = std::move(candidate);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Strategy 2: drop control locals (tables/actions). Collect names
+    // first: the program object is replaced on every accepted candidate.
+    std::vector<std::string> control_names;
+    for (const DeclPtr& decl : result.program->decls()) {
+      if (decl->kind() == DeclKind::kControl) {
+        control_names.push_back(decl->name());
+      }
+    }
+    for (const std::string& control_name : control_names) {
+      const ControlDecl* current = result.program->FindControl(control_name);
+      if (current == nullptr) {
+        continue;
+      }
+      size_t local_count = current->locals().size();
+      for (size_t i = 0; i < local_count;) {
+        auto candidate = result.program->Clone();
+        ControlDecl* control = candidate->FindControl(control_name);
+        control->mutable_locals().erase(control->mutable_locals().begin() +
+                                        static_cast<long>(i));
+        if (Viable(*candidate, oracle, oracle_calls, options)) {
+          result.program = std::move(candidate);
+          progress = true;
+          --local_count;
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // Strategy 3: delete / unwrap statements.
+    for (const StmtMutator::Mode mode :
+         {StmtMutator::Mode::kDelete, StmtMutator::Mode::kUnwrapThen,
+          StmtMutator::Mode::kUnwrapElse}) {
+      PostOrderStmtCounter counter;
+      counter.RewriteProgram(*result.program);
+      for (int target = counter.count - 1; target >= 0; --target) {
+        auto candidate = result.program->Clone();
+        StmtMutator mutator(target, mode);
+        mutator.RewriteProgram(*candidate);
+        if (!mutator.applied()) {
+          continue;
+        }
+        if (Viable(*candidate, oracle, oracle_calls, options)) {
+          result.program = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+
+    // Strategy 4: simplify expressions (operand hoisting, zeroing).
+    for (const ExprMutator::Mode mode :
+         {ExprMutator::Mode::kLeftOperand, ExprMutator::Mode::kRightOperand,
+          ExprMutator::Mode::kZero}) {
+      PostOrderExprCounter counter;
+      counter.RewriteProgram(*result.program);
+      for (int target = counter.count - 1; target >= 0; --target) {
+        auto candidate = result.program->Clone();
+        // Mutators rely on type annotations; refresh them first.
+        try {
+          TypeCheck(*candidate);
+        } catch (const std::exception&) {
+          break;
+        }
+        ExprMutator mutator(target, mode);
+        mutator.RewriteProgram(*candidate);
+        if (!mutator.applied()) {
+          continue;
+        }
+        if (Viable(*candidate, oracle, oracle_calls, options)) {
+          result.program = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+
+    if (!progress || oracle_calls >= options.max_oracle_calls) {
+      break;
+    }
+  }
+
+  result.reduced_size = PrintProgram(*result.program).size();
+  return result;
+}
+
+InterestingnessOracle CrashOracle(const BugConfig& bugs, const std::string& needle) {
+  return [bugs, needle](const Program& candidate) {
+    try {
+      Bmv2Compiler(bugs).Compile(candidate);
+    } catch (const CompilerBugError& error) {
+      return std::string(error.what()).find(needle) != std::string::npos;
+    } catch (const std::exception&) {
+      return false;
+    }
+    return false;
+  };
+}
+
+InterestingnessOracle SemanticDiffOracle(const BugConfig& bugs, const std::string& pass_name) {
+  return [bugs, pass_name](const Program& candidate) {
+    const TranslationValidator validator(PassManager::StandardPipeline());
+    TvReport report;
+    try {
+      report = validator.Validate(candidate, bugs);
+    } catch (const std::exception&) {
+      return false;
+    }
+    for (const TvPassResult& result : report.pass_results) {
+      if (result.verdict == TvVerdict::kSemanticDiff &&
+          (pass_name.empty() || result.pass_name == pass_name)) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,63 @@
+#ifndef SRC_REDUCE_REDUCER_H_
+#define SRC_REDUCE_REDUCER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/passes/bugs.h"
+
+namespace gauntlet {
+
+// Automatic test-case reduction — the paper's stated future work (§8:
+// "We have not developed an automatic test-case reduction suite (e.g.
+// C-Reduce) and still reduce programs in a manual fashion, a laborious
+// process. ... We hope to automate this process.").
+//
+// Given a program and an "interestingness" oracle (does the symptom still
+// reproduce?), the reducer greedily shrinks the program while keeping the
+// oracle satisfied:
+//   1. drop whole top-level declarations (unused functions),
+//   2. drop statements (innermost-first, then outer),
+//   3. unwrap if-statements to a single branch,
+//   4. drop table keys/actions and parser states,
+//   5. replace expression operands with constants / simplify operands.
+// Every candidate is re-type-checked; ill-typed candidates are discarded
+// (the reducer must not manufacture new crashes of its own).
+
+// Returns true if the candidate still exhibits the bug being chased.
+using InterestingnessOracle = std::function<bool(const Program&)>;
+
+struct ReducerOptions {
+  // Hard cap on oracle invocations (each may run a full detection).
+  int max_oracle_calls = 2000;
+  // Fixed-point rounds over all reduction strategies.
+  int max_rounds = 8;
+};
+
+struct ReductionResult {
+  ProgramPtr program;       // the reduced reproducer
+  int oracle_calls = 0;
+  size_t original_size = 0;  // printed characters before/after
+  size_t reduced_size = 0;
+};
+
+// Shrinks `program` while `oracle` stays true. The input program must
+// itself satisfy the oracle; otherwise the original is returned unchanged.
+ReductionResult ReduceProgram(const Program& program, const InterestingnessOracle& oracle,
+                              const ReducerOptions& options = {});
+
+// Convenience oracles for the two symptom classes:
+
+// True if compiling/validating under `bugs` raises a CompilerBugError whose
+// message contains `needle` (crash bugs are deduplicated by assertion
+// message, §7.3).
+InterestingnessOracle CrashOracle(const BugConfig& bugs, const std::string& needle);
+
+// True if translation validation under `bugs` reports a semantic
+// difference pinpointed at pass `pass_name` (empty = any pass).
+InterestingnessOracle SemanticDiffOracle(const BugConfig& bugs, const std::string& pass_name);
+
+}  // namespace gauntlet
+
+#endif  // SRC_REDUCE_REDUCER_H_

@@ -1,0 +1,376 @@
+#include "src/smt/bitblast.h"
+
+namespace gauntlet {
+
+BitBlaster::BitBlaster(const SmtContext& context, SatSolver& solver)
+    : context_(context), solver_(solver) {
+  true_lit_ = FreshLit();
+  solver_.AddClause({true_lit_});
+}
+
+Lit BitBlaster::MkAnd(Lit a, Lit b) {
+  if (a == FalseLit() || b == FalseLit()) {
+    return FalseLit();
+  }
+  if (a == TrueLit()) {
+    return b;
+  }
+  if (b == TrueLit()) {
+    return a;
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a == ~b) {
+    return FalseLit();
+  }
+  const Lit out = FreshLit();
+  solver_.AddClause({~a, ~b, out});
+  solver_.AddClause({a, ~out});
+  solver_.AddClause({b, ~out});
+  return out;
+}
+
+Lit BitBlaster::MkOr(Lit a, Lit b) { return ~MkAnd(~a, ~b); }
+
+Lit BitBlaster::MkXor(Lit a, Lit b) {
+  if (a == FalseLit()) {
+    return b;
+  }
+  if (b == FalseLit()) {
+    return a;
+  }
+  if (a == TrueLit()) {
+    return ~b;
+  }
+  if (b == TrueLit()) {
+    return ~a;
+  }
+  if (a == b) {
+    return FalseLit();
+  }
+  if (a == ~b) {
+    return TrueLit();
+  }
+  const Lit out = FreshLit();
+  solver_.AddClause({~a, ~b, ~out});
+  solver_.AddClause({a, b, ~out});
+  solver_.AddClause({~a, b, out});
+  solver_.AddClause({a, ~b, out});
+  return out;
+}
+
+Lit BitBlaster::MkMux(Lit cond, Lit then_lit, Lit else_lit) {
+  if (cond == TrueLit()) {
+    return then_lit;
+  }
+  if (cond == FalseLit()) {
+    return else_lit;
+  }
+  if (then_lit == else_lit) {
+    return then_lit;
+  }
+  const Lit out = FreshLit();
+  solver_.AddClause({~cond, ~then_lit, out});
+  solver_.AddClause({~cond, then_lit, ~out});
+  solver_.AddClause({cond, ~else_lit, out});
+  solver_.AddClause({cond, else_lit, ~out});
+  return out;
+}
+
+std::vector<Lit> BitBlaster::AddVectors(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                                        Lit carry_in) {
+  GAUNTLET_BUG_CHECK(a.size() == b.size(), "adder width mismatch");
+  std::vector<Lit> sum(a.size());
+  Lit carry = carry_in;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = MkXor(a[i], b[i]);
+    sum[i] = MkXor(axb, carry);
+    // carry_out = (a & b) | (carry & (a ^ b))
+    carry = MkOr(MkAnd(a[i], b[i]), MkAnd(carry, axb));
+  }
+  return sum;
+}
+
+std::vector<Lit> BitBlaster::NegateVector(const std::vector<Lit>& a) {
+  std::vector<Lit> inverted(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    inverted[i] = ~a[i];
+  }
+  std::vector<Lit> zero(a.size(), FalseLit());
+  return AddVectors(inverted, zero, TrueLit());
+}
+
+std::vector<Lit> BitBlaster::MulVectors(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  const size_t width = a.size();
+  std::vector<Lit> acc(width, FalseLit());
+  for (size_t i = 0; i < width; ++i) {
+    // acc += (a << i) & replicate(b[i])
+    std::vector<Lit> addend(width, FalseLit());
+    for (size_t j = i; j < width; ++j) {
+      addend[j] = MkAnd(a[j - i], b[i]);
+    }
+    acc = AddVectors(acc, addend, FalseLit());
+  }
+  return acc;
+}
+
+std::vector<Lit> BitBlaster::ShiftVector(const std::vector<Lit>& value,
+                                         const std::vector<Lit>& amount, bool left) {
+  const size_t width = value.size();
+  std::vector<Lit> current = value;
+  // Barrel shifter over the amount's bits. Stages whose shift quantity
+  // meets or exceeds the width clear the result (P4 shift semantics).
+  for (size_t stage = 0; stage < amount.size(); ++stage) {
+    const uint64_t shift_by = uint64_t{1} << stage;
+    std::vector<Lit> shifted(width, FalseLit());
+    if (shift_by < width) {
+      for (size_t i = 0; i < width; ++i) {
+        if (left) {
+          if (i >= shift_by) {
+            shifted[i] = current[i - shift_by];
+          }
+        } else {
+          if (i + shift_by < width) {
+            shifted[i] = current[i + shift_by];
+          }
+        }
+      }
+    }
+    // else: shifted stays all zero
+    for (size_t i = 0; i < width; ++i) {
+      current[i] = MkMux(amount[stage], shifted[i], current[i]);
+    }
+    if (stage > 63) {
+      break;
+    }
+  }
+  return current;
+}
+
+Lit BitBlaster::UltVectors(const std::vector<Lit>& a, const std::vector<Lit>& b, bool or_equal) {
+  // Ripple from LSB: result = (a_i < b_i) | ((a_i == b_i) & result_below).
+  Lit result = or_equal ? TrueLit() : FalseLit();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Lit lt = MkAnd(~a[i], b[i]);
+    const Lit eq = MkIff(a[i], b[i]);
+    result = MkOr(lt, MkAnd(eq, result));
+  }
+  return result;
+}
+
+Lit BitBlaster::EqVectors(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  Lit result = TrueLit();
+  for (size_t i = 0; i < a.size(); ++i) {
+    result = MkAnd(result, MkIff(a[i], b[i]));
+  }
+  return result;
+}
+
+std::vector<Lit> BitBlaster::BlastVector(SmtRef ref) {
+  auto cached = vector_cache_.find(ref.index);
+  if (cached != vector_cache_.end()) {
+    return cached->second;
+  }
+  const SmtNode& node = context_.node(ref);
+  std::vector<Lit> bits;
+  switch (node.op) {
+    case SmtOp::kConst: {
+      bits.resize(node.width);
+      for (uint32_t i = 0; i < node.width; ++i) {
+        bits[i] = ((node.bits >> i) & 1) != 0 ? TrueLit() : FalseLit();
+      }
+      break;
+    }
+    case SmtOp::kVar: {
+      auto it = var_bits_.find(node.var_id);
+      if (it == var_bits_.end()) {
+        std::vector<Lit> fresh(node.width);
+        for (uint32_t i = 0; i < node.width; ++i) {
+          fresh[i] = FreshLit();
+        }
+        it = var_bits_.emplace(node.var_id, std::move(fresh)).first;
+      }
+      bits = it->second;
+      break;
+    }
+    case SmtOp::kAdd:
+      bits = AddVectors(BlastVector(node.args[0]), BlastVector(node.args[1]), FalseLit());
+      break;
+    case SmtOp::kSub: {
+      std::vector<Lit> rhs = BlastVector(node.args[1]);
+      for (Lit& lit : rhs) {
+        lit = ~lit;
+      }
+      bits = AddVectors(BlastVector(node.args[0]), rhs, TrueLit());
+      break;
+    }
+    case SmtOp::kMul:
+      bits = MulVectors(BlastVector(node.args[0]), BlastVector(node.args[1]));
+      break;
+    case SmtOp::kAnd: {
+      const std::vector<Lit> a = BlastVector(node.args[0]);
+      const std::vector<Lit> b = BlastVector(node.args[1]);
+      bits.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        bits[i] = MkAnd(a[i], b[i]);
+      }
+      break;
+    }
+    case SmtOp::kOr: {
+      const std::vector<Lit> a = BlastVector(node.args[0]);
+      const std::vector<Lit> b = BlastVector(node.args[1]);
+      bits.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        bits[i] = MkOr(a[i], b[i]);
+      }
+      break;
+    }
+    case SmtOp::kXor: {
+      const std::vector<Lit> a = BlastVector(node.args[0]);
+      const std::vector<Lit> b = BlastVector(node.args[1]);
+      bits.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        bits[i] = MkXor(a[i], b[i]);
+      }
+      break;
+    }
+    case SmtOp::kNot: {
+      const std::vector<Lit> a = BlastVector(node.args[0]);
+      bits.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        bits[i] = ~a[i];
+      }
+      break;
+    }
+    case SmtOp::kNeg:
+      bits = NegateVector(BlastVector(node.args[0]));
+      break;
+    case SmtOp::kShl:
+      bits = ShiftVector(BlastVector(node.args[0]), BlastVector(node.args[1]), /*left=*/true);
+      break;
+    case SmtOp::kShr:
+      bits = ShiftVector(BlastVector(node.args[0]), BlastVector(node.args[1]), /*left=*/false);
+      break;
+    case SmtOp::kConcat: {
+      const std::vector<Lit> high = BlastVector(node.args[0]);
+      const std::vector<Lit> low = BlastVector(node.args[1]);
+      bits = low;
+      bits.insert(bits.end(), high.begin(), high.end());
+      break;
+    }
+    case SmtOp::kExtract: {
+      const std::vector<Lit> base = BlastVector(node.args[0]);
+      bits.assign(base.begin() + node.aux1, base.begin() + node.aux0 + 1);
+      break;
+    }
+    case SmtOp::kZext: {
+      bits = BlastVector(node.args[0]);
+      bits.resize(node.width, FalseLit());
+      break;
+    }
+    case SmtOp::kTrunc: {
+      const std::vector<Lit> base = BlastVector(node.args[0]);
+      bits.assign(base.begin(), base.begin() + node.width);
+      break;
+    }
+    case SmtOp::kIte: {
+      const Lit cond = BlastBool(node.args[0]);
+      const std::vector<Lit> then_bits = BlastVector(node.args[1]);
+      const std::vector<Lit> else_bits = BlastVector(node.args[2]);
+      bits.resize(then_bits.size());
+      for (size_t i = 0; i < then_bits.size(); ++i) {
+        bits[i] = MkMux(cond, then_bits[i], else_bits[i]);
+      }
+      break;
+    }
+    default:
+      GAUNTLET_BUG_CHECK(false, "BlastVector on boolean-sorted node");
+  }
+  GAUNTLET_BUG_CHECK(bits.size() == node.width, "blasted width mismatch");
+  return vector_cache_.emplace(ref.index, std::move(bits)).first->second;
+}
+
+Lit BitBlaster::BlastBool(SmtRef ref) {
+  auto cached = bool_cache_.find(ref.index);
+  if (cached != bool_cache_.end()) {
+    return cached->second;
+  }
+  const SmtNode& node = context_.node(ref);
+  Lit lit;
+  switch (node.op) {
+    case SmtOp::kBoolConst:
+      lit = node.bits != 0 ? TrueLit() : FalseLit();
+      break;
+    case SmtOp::kBoolVar: {
+      auto it = bool_var_lits_.find(node.var_id);
+      if (it == bool_var_lits_.end()) {
+        it = bool_var_lits_.emplace(node.var_id, FreshLit()).first;
+      }
+      lit = it->second;
+      break;
+    }
+    case SmtOp::kEq:
+      lit = EqVectors(BlastVector(node.args[0]), BlastVector(node.args[1]));
+      break;
+    case SmtOp::kUlt:
+      lit = UltVectors(BlastVector(node.args[0]), BlastVector(node.args[1]), /*or_equal=*/false);
+      break;
+    case SmtOp::kUle:
+      lit = UltVectors(BlastVector(node.args[0]), BlastVector(node.args[1]), /*or_equal=*/true);
+      break;
+    case SmtOp::kBoolAnd:
+      lit = MkAnd(BlastBool(node.args[0]), BlastBool(node.args[1]));
+      break;
+    case SmtOp::kBoolOr:
+      lit = MkOr(BlastBool(node.args[0]), BlastBool(node.args[1]));
+      break;
+    case SmtOp::kBoolNot:
+      lit = ~BlastBool(node.args[0]);
+      break;
+    case SmtOp::kBoolEq:
+      lit = MkIff(BlastBool(node.args[0]), BlastBool(node.args[1]));
+      break;
+    case SmtOp::kBoolIte:
+      lit = MkMux(BlastBool(node.args[0]), BlastBool(node.args[1]), BlastBool(node.args[2]));
+      break;
+    default:
+      GAUNTLET_BUG_CHECK(false, "BlastBool on bit-vector-sorted node");
+  }
+  bool_cache_.emplace(ref.index, lit);
+  return lit;
+}
+
+uint64_t BitBlaster::VarValue(uint32_t var_id) const {
+  auto it = var_bits_.find(var_id);
+  if (it == var_bits_.end()) {
+    return 0;
+  }
+  uint64_t value = 0;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    const Lit lit = it->second[i];
+    bool bit;
+    if (lit == true_lit_) {
+      bit = true;
+    } else if (lit == ~true_lit_) {
+      bit = false;
+    } else {
+      bit = solver_.ValueOf(lit.var()) != lit.negated();
+    }
+    if (bit) {
+      value |= uint64_t{1} << i;
+    }
+  }
+  return value;
+}
+
+bool BitBlaster::BoolVarValue(uint32_t var_id) const {
+  auto it = bool_var_lits_.find(var_id);
+  if (it == bool_var_lits_.end()) {
+    return false;
+  }
+  const Lit lit = it->second;
+  return solver_.ValueOf(lit.var()) != lit.negated();
+}
+
+}  // namespace gauntlet

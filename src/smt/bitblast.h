@@ -1,0 +1,65 @@
+#ifndef SRC_SMT_BITBLAST_H_
+#define SRC_SMT_BITBLAST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/expr.h"
+#include "src/smt/sat.h"
+
+namespace gauntlet {
+
+// Lowers SMT expressions into CNF over a SatSolver via Tseitin encoding.
+// Bit-vectors become little-endian literal vectors; word-level operators
+// become gate networks (ripple-carry adders, shift-add multipliers, barrel
+// shifters, ripple comparators). One BitBlaster per solve; memoizes per
+// SmtRef so shared subgraphs are encoded once.
+class BitBlaster {
+ public:
+  BitBlaster(const SmtContext& context, SatSolver& solver);
+
+  // Encodes a boolean expression and returns its literal.
+  Lit BlastBool(SmtRef ref);
+  // Encodes a bit-vector expression; result[0] is the least significant bit.
+  std::vector<Lit> BlastVector(SmtRef ref);
+
+  // Asserts that a boolean expression holds.
+  void Assert(SmtRef ref) { solver_.AddClause({BlastBool(ref)}); }
+
+  // After a kSat solve: concrete value of an encoded bit-vector variable.
+  // Variables never encoded default to zero.
+  uint64_t VarValue(uint32_t var_id) const;
+  bool BoolVarValue(uint32_t var_id) const;
+
+ private:
+  Lit TrueLit() const { return true_lit_; }
+  Lit FalseLit() const { return ~true_lit_; }
+  Lit FreshLit() { return Lit(solver_.NewVar(), false); }
+
+  // Gate constructors with constant folding against true_lit_.
+  Lit MkAnd(Lit a, Lit b);
+  Lit MkOr(Lit a, Lit b);
+  Lit MkXor(Lit a, Lit b);
+  Lit MkMux(Lit cond, Lit then_lit, Lit else_lit);
+  Lit MkIff(Lit a, Lit b) { return ~MkXor(a, b); }
+
+  std::vector<Lit> AddVectors(const std::vector<Lit>& a, const std::vector<Lit>& b, Lit carry_in);
+  std::vector<Lit> NegateVector(const std::vector<Lit>& a);
+  std::vector<Lit> MulVectors(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  std::vector<Lit> ShiftVector(const std::vector<Lit>& value, const std::vector<Lit>& amount,
+                               bool left);
+  Lit UltVectors(const std::vector<Lit>& a, const std::vector<Lit>& b, bool or_equal);
+  Lit EqVectors(const std::vector<Lit>& a, const std::vector<Lit>& b);
+
+  const SmtContext& context_;
+  SatSolver& solver_;
+  Lit true_lit_;
+  std::unordered_map<uint32_t, std::vector<Lit>> vector_cache_;  // SmtRef.index -> bits
+  std::unordered_map<uint32_t, Lit> bool_cache_;                 // SmtRef.index -> lit
+  std::unordered_map<uint32_t, std::vector<Lit>> var_bits_;      // var_id -> bits
+  std::unordered_map<uint32_t, Lit> bool_var_lits_;              // var_id -> lit
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_SMT_BITBLAST_H_

@@ -1,0 +1,30 @@
+#ifndef SRC_SMT_EVALUATOR_H_
+#define SRC_SMT_EVALUATOR_H_
+
+#include "src/smt/solver.h"
+
+namespace gauntlet {
+
+// Evaluates an SMT expression DAG under a full model (concrete value per
+// variable; absent variables read as zero, matching model completion).
+// Used by test-case generation to compute the *expected* output packet from
+// the formal semantics — the "generate expected output" box of Figure 4.
+class ModelEvaluator {
+ public:
+  ModelEvaluator(const SmtContext& context, const SmtModel& model)
+      : context_(context), model_(model) {}
+
+  // Value of a bit-vector node (low `width` bits) or a boolean node (0/1).
+  uint64_t Eval(SmtRef ref);
+  bool EvalBool(SmtRef ref) { return Eval(ref) != 0; }
+  BitValue EvalBits(SmtRef ref) { return BitValue(context_.WidthOf(ref), Eval(ref)); }
+
+ private:
+  const SmtContext& context_;
+  const SmtModel& model_;
+  std::map<uint32_t, uint64_t> memo_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_SMT_EVALUATOR_H_

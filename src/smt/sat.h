@@ -1,0 +1,156 @@
+#ifndef SRC_SMT_SAT_H_
+#define SRC_SMT_SAT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gauntlet {
+
+// A literal: variable index with sign. Variables are dense 0-based ints.
+struct Lit {
+  uint32_t code = 0;  // var << 1 | negated
+
+  Lit() = default;
+  Lit(uint32_t var, bool negated) : code((var << 1) | (negated ? 1 : 0)) {}
+
+  uint32_t var() const { return code >> 1; }
+  bool negated() const { return (code & 1) != 0; }
+  Lit operator~() const {
+    Lit other;
+    other.code = code ^ 1;
+    return other;
+  }
+  friend bool operator==(const Lit&, const Lit&) = default;
+};
+
+enum class SatResult {
+  kSat,
+  kUnsat,
+  kUnknown,  // conflict budget exhausted before a verdict
+};
+
+// Conflict-driven clause learning SAT solver: two-watched-literal
+// propagation, first-UIP learning, VSIDS activity with an order heap, phase
+// saving, and Luby restarts. This is the decision engine behind the SMT
+// equivalence checks that replace Z3 in this reproduction.
+//
+// The solver is incremental: clauses may be added between Solve calls, and
+// Solve accepts assumption literals that hold only for that call
+// (MiniSat-style). Incrementality is what makes path enumeration in test
+// generation affordable — the formula is encoded once and each path probe
+// is a cheap assumption solve that reuses all learned clauses.
+class SatSolver {
+ public:
+  // Creates a fresh variable and returns its index.
+  uint32_t NewVar();
+  uint32_t VarCount() const { return static_cast<uint32_t>(assigns_.size()); }
+
+  // Adds a clause (disjunction of literals). An empty clause makes the
+  // instance trivially unsatisfiable.
+  void AddClause(std::vector<Lit> lits);
+
+  SatResult Solve() { return Solve({}); }
+
+  // Solves under the given assumption literals. kUnsat means unsatisfiable
+  // *under these assumptions*; the clause database is unaffected and later
+  // Solve calls with different assumptions behave independently.
+  SatResult Solve(const std::vector<Lit>& assumptions);
+
+  // Caps the number of conflicts a single Solve may spend; 0 means
+  // unlimited. When the budget runs out Solve returns kUnknown — callers
+  // degrade gracefully (a validator reports "budget exceeded", a test
+  // generator skips the path) instead of hanging on pathological instances
+  // like wide-multiplier equivalence.
+  void set_conflict_limit(uint64_t limit) { conflict_limit_ = limit; }
+
+  // Wall-clock budget per Solve; 0 means unlimited. Checked every few
+  // hundred conflicts, so pathological instances (wide-multiplier
+  // equivalence proofs) cannot stall a campaign even when each conflict is
+  // expensive. Exceeding the deadline yields kUnknown, like the conflict
+  // limit.
+  void set_time_limit_ms(uint64_t limit_ms) { time_limit_ms_ = limit_ms; }
+
+  // After a kSat Solve: the value of `var` in the satisfying assignment.
+  // The model persists until the next Solve call.
+  bool ValueOf(uint32_t var) const { return var < model_.size() && model_[var] == kTrue; }
+
+  // Cumulative statistics, exposed for the solver-ablation benchmarks.
+  uint64_t conflicts() const { return conflicts_; }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t propagations() const { return propagations_; }
+
+ private:
+  static constexpr int8_t kTrue = 1;
+  static constexpr int8_t kFalse = 0;
+  static constexpr int8_t kUndef = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+
+  struct Watcher {
+    uint32_t clause_index;
+    Lit blocker;
+  };
+
+  bool Enqueue(Lit lit, int32_t reason_clause);
+  int32_t Propagate();
+  void Analyze(int32_t conflict_clause, std::vector<Lit>& learned, uint32_t& backtrack_level);
+  void Backtrack(uint32_t level);
+  void BumpVar(uint32_t var);
+  void DecayActivities();
+  void AttachClause(uint32_t clause_index);
+  int8_t LitValue(Lit lit) const {
+    const int8_t assigned = assigns_[lit.var()];
+    if (assigned == kUndef) {
+      return kUndef;
+    }
+    return lit.negated() ? static_cast<int8_t>(1 - assigned) : assigned;
+  }
+  uint32_t DecisionLevel() const { return static_cast<uint32_t>(trail_limits_.size()); }
+  static uint32_t Luby(uint32_t index);
+  void ReduceLearnedClauses();
+
+  // VSIDS order heap (max-heap on activity_, lazy deletion of assigned
+  // vars). Every unassigned variable is always present in the heap, so an
+  // empty heap after draining assigned entries means the assignment is
+  // complete.
+  bool HeapLess(uint32_t a, uint32_t b) const { return activity_[a] < activity_[b]; }
+  void HeapSiftUp(size_t index);
+  void HeapSiftDown(size_t index);
+  void HeapInsert(uint32_t var);
+  void HeapRemoveTop();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<int8_t> assigns_;
+  std::vector<int8_t> saved_phase_;
+  std::vector<int8_t> model_;  // snapshot of assigns_ at the last kSat
+  std::vector<int32_t> reason_;       // clause index or -1
+  std::vector<uint32_t> level_;
+  std::vector<double> activity_;
+  std::vector<Lit> trail_;
+  std::vector<uint32_t> trail_limits_;
+  std::vector<uint32_t> heap_;      // var indices, max-heap by activity
+  std::vector<int32_t> heap_pos_;   // var -> index in heap_, or -1
+  size_t propagate_head_ = 0;
+  double var_inc_ = 1.0;
+  bool unsat_ = false;
+
+  uint64_t conflicts_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t propagations_ = 0;
+  uint64_t conflict_limit_ = 0;
+  uint64_t time_limit_ms_ = 0;
+
+  // Scratch for Analyze.
+  std::vector<bool> seen_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_SMT_SAT_H_

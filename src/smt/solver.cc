@@ -1,0 +1,105 @@
+#include "src/smt/solver.h"
+
+namespace gauntlet {
+
+BitValue SmtModel::BitOf(const std::string& name) const {
+  auto it = bit_values.find(name);
+  GAUNTLET_BUG_CHECK(it != bit_values.end(), "no bit variable '" + name + "' in model");
+  return it->second;
+}
+
+bool SmtModel::BoolOf(const std::string& name) const {
+  auto it = bool_values.find(name);
+  GAUNTLET_BUG_CHECK(it != bool_values.end(), "no bool variable '" + name + "' in model");
+  return it->second;
+}
+
+void SmtSolver::EncodePending() {
+  if (sat_ == nullptr) {
+    sat_ = std::make_unique<SatSolver>();
+    blaster_ = std::make_unique<BitBlaster>(context_, *sat_);
+    blasted_count_ = 0;
+  }
+  for (; blasted_count_ < constraints_.size(); ++blasted_count_) {
+    blaster_->Assert(constraints_[blasted_count_]);
+  }
+}
+
+CheckResult SmtSolver::SolveUnder(const std::vector<Lit>& assumptions) {
+  sat_->set_conflict_limit(conflict_limit_);
+  sat_->set_time_limit_ms(time_limit_ms_);
+  const uint64_t conflicts_before = sat_->conflicts();
+  const uint64_t decisions_before = sat_->decisions();
+  const SatResult result = sat_->Solve(assumptions);
+  last_conflicts_ = sat_->conflicts() - conflicts_before;
+  last_decisions_ = sat_->decisions() - decisions_before;
+  last_sat_vars_ = sat_->VarCount();
+  switch (result) {
+    case SatResult::kSat:
+      return CheckResult::kSat;
+    case SatResult::kUnsat:
+      return CheckResult::kUnsat;
+    case SatResult::kUnknown:
+      return CheckResult::kUnknown;
+  }
+  return CheckResult::kUnknown;
+}
+
+CheckResult SmtSolver::CheckUnderAssumptions(const std::vector<SmtRef>& assumptions) {
+  EncodePending();
+  std::vector<Lit> assumed;
+  assumed.reserve(assumptions.size());
+  for (const SmtRef& assumption : assumptions) {
+    assumed.push_back(blaster_->BlastBool(assumption));
+  }
+  return SolveUnder(assumed);
+}
+
+CheckResult SmtSolver::CheckWithPreferences(const std::vector<SmtRef>& preferences,
+                                            const std::vector<SmtRef>& assumptions) {
+  EncodePending();
+  std::vector<Lit> assumed;
+  assumed.reserve(assumptions.size() + preferences.size());
+  for (const SmtRef& assumption : assumptions) {
+    assumed.push_back(blaster_->BlastBool(assumption));
+  }
+  const CheckResult base = SolveUnder(assumed);
+  if (base != CheckResult::kSat) {
+    return base;
+  }
+  // Greedily accept preferences that keep the instance satisfiable. A
+  // rejected preference does not clobber the model: the SAT solver snapshots
+  // its model only on satisfiable outcomes, so after the loop the model
+  // reflects exactly the accepted set.
+  for (const SmtRef& preference : preferences) {
+    const Lit lit = blaster_->BlastBool(preference);
+    assumed.push_back(lit);
+    if (SolveUnder(assumed) != CheckResult::kSat) {
+      assumed.pop_back();
+    }
+  }
+  return CheckResult::kSat;
+}
+
+SmtModel SmtSolver::ExtractModel() const {
+  GAUNTLET_BUG_CHECK(blaster_ != nullptr, "ExtractModel before Check");
+  SmtModel model;
+  for (uint32_t var_id = 0; var_id < context_.VarCount(); ++var_id) {
+    const std::string& name = context_.VarName(var_id);
+    if (context_.VarIsBool(var_id)) {
+      model.bool_values[name] = blaster_->BoolVarValue(var_id);
+    } else {
+      model.bit_values[name] =
+          BitValue(context_.VarWidth(var_id), blaster_->VarValue(var_id));
+    }
+  }
+  return model;
+}
+
+CheckResult CheckSat(SmtContext& context, SmtRef constraint) {
+  SmtSolver solver(context);
+  solver.Assert(constraint);
+  return solver.Check();
+}
+
+}  // namespace gauntlet

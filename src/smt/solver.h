@@ -1,0 +1,101 @@
+#ifndef SRC_SMT_SOLVER_H_
+#define SRC_SMT_SOLVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/smt/bitblast.h"
+
+namespace gauntlet {
+
+enum class CheckResult { kSat, kUnsat, kUnknown };
+
+// A satisfying assignment: every variable in the context gets a value
+// (unconstrained variables default to zero, like Z3's model completion).
+struct SmtModel {
+  std::map<std::string, BitValue> bit_values;
+  std::map<std::string, bool> bool_values;
+
+  BitValue BitOf(const std::string& name) const;
+  bool BoolOf(const std::string& name) const;
+};
+
+// The Z3-replacement facade: collect boolean constraints, check
+// satisfiability (by bit-blasting into the CDCL solver), extract models.
+//
+// The solver is incremental: constraints are encoded once, on first use, and
+// later Check calls only encode what was newly asserted. Check may also be
+// given *assumptions* — constraints that hold for a single call only — which
+// is how test generation probes many program paths against one encoded
+// formula instead of re-blasting per path.
+class SmtSolver {
+ public:
+  explicit SmtSolver(SmtContext& context) : context_(context) {}
+
+  void Assert(SmtRef constraint) { constraints_.push_back(constraint); }
+  void Reset() {
+    constraints_.clear();
+    sat_.reset();
+    blaster_.reset();
+    blasted_count_ = 0;
+  }
+
+  // SAT conflict budget per Check (0 = unlimited); kUnknown on exhaustion.
+  void set_conflict_limit(uint64_t limit) { conflict_limit_ = limit; }
+
+  // Wall-clock budget per Check in milliseconds (0 = unlimited); kUnknown
+  // when exceeded.
+  void set_time_limit_ms(uint64_t limit_ms) { time_limit_ms_ = limit_ms; }
+
+  CheckResult Check() { return CheckUnderAssumptions({}); }
+
+  // Checks satisfiability of the asserted constraints plus `assumptions`,
+  // which are forgotten afterwards. Incremental: learned clauses carry over
+  // between calls, so probing many assumption sets against one formula is
+  // far cheaper than independent solves.
+  CheckResult CheckUnderAssumptions(const std::vector<SmtRef>& assumptions);
+
+  // Greedy soft-constraint pass: after the hard constraints (plus
+  // `assumptions`) are satisfiable, tries to additionally satisfy each
+  // preference in order, keeping those that do not cause unsatisfiability.
+  // This implements the paper's "ask Z3 for non-zero input-output values"
+  // heuristic (section 6.2).
+  CheckResult CheckWithPreferences(const std::vector<SmtRef>& preferences,
+                                   const std::vector<SmtRef>& assumptions = {});
+
+  // Valid after a kSat Check: the full model.
+  SmtModel ExtractModel() const;
+
+  // Statistics from the most recent Check, for the ablation benchmarks.
+  uint64_t last_conflicts() const { return last_conflicts_; }
+  uint64_t last_decisions() const { return last_decisions_; }
+  uint32_t last_sat_vars() const { return last_sat_vars_; }
+
+  SmtContext& context() { return context_; }
+
+ private:
+  // Lazily builds the SAT instance and encodes constraints added since the
+  // previous call.
+  void EncodePending();
+  CheckResult SolveUnder(const std::vector<Lit>& assumptions);
+
+  SmtContext& context_;
+  std::vector<SmtRef> constraints_;
+  size_t blasted_count_ = 0;  // prefix of constraints_ already encoded
+  uint64_t conflict_limit_ = 0;
+  uint64_t time_limit_ms_ = 0;
+  std::unique_ptr<SatSolver> sat_;
+  std::unique_ptr<BitBlaster> blaster_;
+  uint64_t last_conflicts_ = 0;
+  uint64_t last_decisions_ = 0;
+  uint32_t last_sat_vars_ = 0;
+};
+
+// One-shot helper: is `constraint` satisfiable in `context`?
+CheckResult CheckSat(SmtContext& context, SmtRef constraint);
+
+}  // namespace gauntlet
+
+#endif  // SRC_SMT_SOLVER_H_

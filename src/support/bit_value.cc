@@ -1,0 +1,87 @@
+#include "src/support/bit_value.h"
+
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+BitValue::BitValue(uint32_t width, uint64_t bits) : width_(width), bits_(bits & MaskFor(width)) {
+  GAUNTLET_BUG_CHECK(width >= 1 && width <= kMaxWidth, "BitValue width out of range");
+}
+
+uint64_t BitValue::MaskFor(uint32_t width) {
+  if (width >= 64) {
+    return ~uint64_t{0};
+  }
+  return (uint64_t{1} << width) - 1;
+}
+
+BitValue BitValue::Add(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ == other.width_, "width mismatch in Add");
+  return BitValue(width_, bits_ + other.bits_);
+}
+
+BitValue BitValue::Sub(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ == other.width_, "width mismatch in Sub");
+  return BitValue(width_, bits_ - other.bits_);
+}
+
+BitValue BitValue::Mul(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ == other.width_, "width mismatch in Mul");
+  return BitValue(width_, bits_ * other.bits_);
+}
+
+BitValue BitValue::And(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ == other.width_, "width mismatch in And");
+  return BitValue(width_, bits_ & other.bits_);
+}
+
+BitValue BitValue::Or(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ == other.width_, "width mismatch in Or");
+  return BitValue(width_, bits_ | other.bits_);
+}
+
+BitValue BitValue::Xor(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ == other.width_, "width mismatch in Xor");
+  return BitValue(width_, bits_ ^ other.bits_);
+}
+
+BitValue BitValue::Not() const { return BitValue(width_, ~bits_); }
+
+BitValue BitValue::Shl(const BitValue& other) const {
+  if (other.bits_ >= width_) {
+    return BitValue(width_, 0);
+  }
+  return BitValue(width_, bits_ << other.bits_);
+}
+
+BitValue BitValue::Shr(const BitValue& other) const {
+  if (other.bits_ >= width_) {
+    return BitValue(width_, 0);
+  }
+  return BitValue(width_, bits_ >> other.bits_);
+}
+
+BitValue BitValue::Slice(uint32_t hi, uint32_t lo) const {
+  GAUNTLET_BUG_CHECK(hi >= lo && hi < width_, "slice indices out of range");
+  return BitValue(hi - lo + 1, bits_ >> lo);
+}
+
+BitValue BitValue::SetSlice(uint32_t hi, uint32_t lo, const BitValue& value) const {
+  GAUNTLET_BUG_CHECK(hi >= lo && hi < width_, "slice indices out of range");
+  GAUNTLET_BUG_CHECK(value.width_ == hi - lo + 1, "slice value width mismatch");
+  const uint64_t field_mask = MaskFor(hi - lo + 1) << lo;
+  return BitValue(width_, (bits_ & ~field_mask) | (value.bits_ << lo));
+}
+
+BitValue BitValue::Concat(const BitValue& other) const {
+  GAUNTLET_BUG_CHECK(width_ + other.width_ <= kMaxWidth, "concat result too wide");
+  return BitValue(width_ + other.width_, (bits_ << other.width_) | other.bits_);
+}
+
+BitValue BitValue::Cast(uint32_t new_width) const { return BitValue(new_width, bits_); }
+
+std::string BitValue::ToString() const {
+  return std::to_string(width_) + "w" + std::to_string(bits_);
+}
+
+}  // namespace gauntlet

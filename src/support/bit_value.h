@@ -1,0 +1,69 @@
+#ifndef SRC_SUPPORT_BIT_VALUE_H_
+#define SRC_SUPPORT_BIT_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gauntlet {
+
+// A concrete P4 `bit<N>` value, 1 <= N <= 64. All arithmetic is performed
+// modulo 2^N, matching the P4-16 semantics for unsigned fixed-width integers.
+// This is the value type shared by the constant folder, the concrete target
+// interpreters, and SMT model extraction, so that all three agree exactly on
+// arithmetic corner cases (wrap-around, shift-out, slice bounds).
+class BitValue {
+ public:
+  static constexpr uint32_t kMaxWidth = 64;
+
+  BitValue() : width_(1), bits_(0) {}
+  BitValue(uint32_t width, uint64_t bits);
+
+  uint32_t width() const { return width_; }
+  uint64_t bits() const { return bits_; }
+
+  // Mask with exactly `width` low bits set.
+  static uint64_t MaskFor(uint32_t width);
+
+  // Modular arithmetic.
+  BitValue Add(const BitValue& other) const;
+  BitValue Sub(const BitValue& other) const;
+  BitValue Mul(const BitValue& other) const;
+  // Bitwise.
+  BitValue And(const BitValue& other) const;
+  BitValue Or(const BitValue& other) const;
+  BitValue Xor(const BitValue& other) const;
+  BitValue Not() const;
+  // Shifts: the shift amount is the *numeric value* of `other`; amounts >=
+  // width produce 0, matching P4-16 (section 8.5).
+  BitValue Shl(const BitValue& other) const;
+  BitValue Shr(const BitValue& other) const;
+
+  // Comparisons (unsigned).
+  bool Eq(const BitValue& other) const { return bits_ == other.bits_; }
+  bool Lt(const BitValue& other) const { return bits_ < other.bits_; }
+  bool Le(const BitValue& other) const { return bits_ <= other.bits_; }
+
+  // hi/lo are inclusive bit indices, hi >= lo, hi < width. Result width is
+  // hi - lo + 1.
+  BitValue Slice(uint32_t hi, uint32_t lo) const;
+  // Replace bits [hi:lo] with `value` (whose width must be hi - lo + 1).
+  BitValue SetSlice(uint32_t hi, uint32_t lo, const BitValue& value) const;
+  // `this` becomes the most significant part.
+  BitValue Concat(const BitValue& other) const;
+  // Zero-extends or truncates to `new_width`.
+  BitValue Cast(uint32_t new_width) const;
+
+  std::string ToString() const;  // e.g. "8w255"
+
+  friend bool operator==(const BitValue& a, const BitValue& b) {
+    return a.width_ == b.width_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  uint32_t width_;
+  uint64_t bits_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_SUPPORT_BIT_VALUE_H_

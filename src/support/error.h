@@ -1,0 +1,50 @@
+#ifndef SRC_SUPPORT_ERROR_H_
+#define SRC_SUPPORT_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "src/support/source_location.h"
+
+namespace gauntlet {
+
+// Raised when the compiler itself is broken: an internal invariant was
+// violated. This models p4c's BUG() assertion machinery; Gauntlet's crash-bug
+// detection works by observing these escaping the pass pipeline (the paper's
+// "abnormal termination ... assertion violations", section 2.1).
+class CompilerBugError : public std::logic_error {
+ public:
+  explicit CompilerBugError(const std::string& message)
+      : std::logic_error("COMPILER BUG: " + message) {}
+};
+
+// Raised when an input program is rejected: a user-facing, well-formed error
+// message. Rejecting a valid program is still a (semantic/crash) bug, but
+// raising this is the *orderly* failure mode, unlike CompilerBugError.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& message) : std::runtime_error(message) {}
+  CompileError(const SourceLocation& loc, const std::string& message)
+      : std::runtime_error(loc.ToString() + ": error: " + message) {}
+};
+
+// Raised for P4 constructs this reproduction does not model (paper section 8
+// lists the same class of omissions for the original tool).
+class UnsupportedError : public std::runtime_error {
+ public:
+  explicit UnsupportedError(const std::string& message)
+      : std::runtime_error("unsupported: " + message) {}
+};
+
+// Internal-consistency check macro for the compiler: failure indicates a bug
+// in the compiler (or a seeded one), never in the input program.
+#define GAUNTLET_BUG_CHECK(cond, msg)       \
+  do {                                      \
+    if (!(cond)) {                          \
+      throw ::gauntlet::CompilerBugError(msg); \
+    }                                       \
+  } while (0)
+
+}  // namespace gauntlet
+
+#endif  // SRC_SUPPORT_ERROR_H_

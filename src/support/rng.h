@@ -1,0 +1,95 @@
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+// Deterministic pseudo-random source (xoshiro256**, seeded via splitmix64).
+// Every randomized component of the system (program generator, campaign
+// driver, workload synthesis) draws from one of these so that entire
+// bug-finding campaigns are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    GAUNTLET_BUG_CHECK(bound > 0, "Rng::Below with zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    GAUNTLET_BUG_CHECK(lo <= hi, "Rng::Range with inverted bounds");
+    return lo + Below(hi - lo + 1);
+  }
+
+  // True with probability `percent`/100.
+  bool Chance(uint32_t percent) { return Below(100) < percent; }
+
+  // Picks an index according to integer weights; weights must be non-empty
+  // and sum to > 0.
+  size_t PickWeighted(const std::vector<uint32_t>& weights) {
+    uint64_t total = 0;
+    for (uint32_t w : weights) {
+      total += w;
+    }
+    GAUNTLET_BUG_CHECK(total > 0, "Rng::PickWeighted with zero total weight");
+    uint64_t roll = Below(total);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (roll < weights[i]) {
+        return i;
+      }
+      roll -= weights[i];
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  const T& PickFrom(const std::vector<T>& items) {
+    GAUNTLET_BUG_CHECK(!items.empty(), "Rng::PickFrom on empty vector");
+    return items[Below(items.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,30 @@
+#ifndef SRC_SUPPORT_SOURCE_LOCATION_H_
+#define SRC_SUPPORT_SOURCE_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gauntlet {
+
+// A position in a source buffer. Lines and columns are 1-based; a value of 0
+// means "unknown" (e.g. for synthesized nodes produced by compiler passes or
+// the random program generator).
+struct SourceLocation {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  constexpr bool IsKnown() const { return line != 0; }
+
+  std::string ToString() const {
+    if (!IsKnown()) {
+      return "<generated>";
+    }
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_SUPPORT_SOURCE_LOCATION_H_

@@ -1,0 +1,134 @@
+#ifndef SRC_SYM_INTERPRETER_H_
+#define SRC_SYM_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/smt/expr.h"
+#include "src/sym/value.h"
+
+namespace gauntlet {
+
+// Symbolic variable names of the control-plane state of one table: one
+// symbolic match key per key column and one symbolic action index, encoding
+// arbitrary table contents with O(1) symbolic variables (paper Figure 3).
+struct TableInfo {
+  std::string table_name;
+  std::vector<std::string> key_vars;    // "t_key_0", ... (bit vars)
+  std::string action_var;               // "t_action" (bit<16> var)
+  std::vector<std::string> action_names;  // listed actions; index i selects value i+1
+  // action_data_vars[i] are the symbolic control-plane argument names for
+  // action_names[i].
+  std::vector<std::vector<std::string>> action_data_vars;
+};
+
+// The input-output semantics of one programmable block, as a functional
+// form over the SmtContext (the paper's "single nested if-then-else Z3
+// expression", section 5.2, here factored into one expression per output
+// leaf).
+struct BlockSemantics {
+  // Ordered (leaf name, expression) pairs: field paths like "hdr.h.a",
+  // validity leaves like "hdr.h.$valid", deparser emissions like
+  // "emit0.$valid"/"emit0.bits", and the parser-reject flag "$reject".
+  std::vector<std::pair<std::string, SmtRef>> outputs;
+
+  // Decision conditions recorded in evaluation order: if-conditions, table
+  // hit/action-selection conditions, parser select matches. Drives the
+  // test-case generator's path enumeration (section 6).
+  std::vector<SmtRef> branch_conditions;
+
+  // Symbolic control-plane state of every applied table.
+  std::vector<TableInfo> tables;
+
+  // Names of the free input variables created for this block, in creation
+  // order (field paths for in/inout params, packet slices for parsers).
+  std::vector<std::string> input_vars;
+
+  const SmtRef* FindOutput(const std::string& name) const {
+    for (const auto& [output_name, ref] : outputs) {
+      if (output_name == name) {
+        return &ref;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Whole-pipeline semantics: per-block semantics plus the glue equalities
+// that connect one block's outputs to the next block's inputs.
+struct PipelineSemantics {
+  BlockSemantics parser;
+  BlockSemantics ingress;
+  BlockSemantics egress;
+  BlockSemantics deparser;
+  bool has_parser = false;
+  bool has_egress = false;
+  bool has_deparser = false;
+  // Conjunction-ready constraints: next-block input var == previous-block
+  // output expression.
+  std::vector<SmtRef> glue;
+  // Names of downstream input variables covered by a glue constraint;
+  // everything else (e.g. standard metadata) is target-initialized.
+  std::vector<std::string> glued_inputs;
+};
+
+// The symbolic interpreter: converts P4 blocks into SMT formulas. It
+// implements the semantics the paper defines for P4-16:
+//   * copy-in/copy-out calling convention with left-to-right argument
+//     evaluation and unconditional copy-out (the spec interpretation that
+//     resolved the Fig. 5f ambiguity);
+//   * symbolic per-table key and action-index variables (Fig. 3);
+//   * header validity: setValid on an invalid header scrambles the fields
+//     to fresh unknowns; invalid headers contribute canonical zeros to the
+//     block outputs;
+//   * undefined values (out params, uninitialized locals) become fresh
+//     named variables "undef<N>" numbered in interpretation order.
+//
+// One interpreter interprets into one SmtContext; both programs of a
+// translation-validation pair must use the same context so identically
+// named inputs unify.
+class SymbolicInterpreter {
+ public:
+  explicit SymbolicInterpreter(SmtContext& context) : context_(context) {}
+
+  // Interprets a control bound as ingress/egress (match-action) or deparser.
+  BlockSemantics InterpretControl(const Program& program, const ControlDecl& control,
+                                  bool is_deparser);
+  // Interprets a parser block via bounded state-machine unrolling.
+  BlockSemantics InterpretParser(const Program& program, const ParserDecl& parser);
+
+  // Interprets every bound package block with glue constraints between
+  // consecutive blocks.
+  PipelineSemantics InterpretPipeline(const Program& program);
+
+  // Interprets the block bound to `role`.
+  BlockSemantics InterpretRole(const Program& program, BlockRole role);
+
+  SmtContext& context() { return context_; }
+
+  // Maximum parser state visits along one path before the interpreter
+  // reports an unsupported parser loop.
+  static constexpr int kMaxParserDepth = 32;
+
+ private:
+  friend class InterpreterImpl;
+  SmtContext& context_;
+};
+
+// Checks two block semantics for input-output equivalence: returns an
+// SmtRef that is satisfiable iff the blocks disagree on some input
+// (the "simple inequality" query of section 5.2). Output leaf names must
+// match pairwise; a structural mismatch is reported via the `structural_
+// mismatch` out-param instead of a formula.
+struct EquivalenceQuery {
+  bool structural_mismatch = false;
+  std::string mismatch_detail;
+  SmtRef difference;  // valid iff !structural_mismatch
+};
+EquivalenceQuery BuildEquivalenceQuery(SmtContext& context, const BlockSemantics& before,
+                                       const BlockSemantics& after);
+
+}  // namespace gauntlet
+
+#endif  // SRC_SYM_INTERPRETER_H_

@@ -1,0 +1,379 @@
+#include "src/testgen/testgen.h"
+
+#include <functional>
+#include <set>
+
+#include "src/smt/evaluator.h"
+#include "src/sym/interpreter.h"
+
+namespace gauntlet {
+
+namespace {
+
+// Replays the parser under a model to assemble the concrete input packet:
+// walks the state machine, pulling each extracted field's bits from the
+// model's packet variables, and evaluating selects concretely. Supports the
+// generator's parser fragment (extracts + selects over extracted fields).
+class PacketAssembler {
+ public:
+  PacketAssembler(const SmtContext& ctx, const SmtModel& model, const ParserDecl& parser)
+      : ctx_(ctx), model_(model), parser_(parser) {}
+
+  BitString Assemble() {
+    BitString packet;
+    std::string state_name = "start";
+    size_t offset = 0;
+    int steps = 0;
+    while (state_name != "accept" && state_name != "reject") {
+      if (++steps > SymbolicInterpreter::kMaxParserDepth) {
+        throw UnsupportedError("packet assembly exceeded the parser unrolling bound");
+      }
+      const ParserState* state = parser_.FindState(state_name);
+      GAUNTLET_BUG_CHECK(state != nullptr, "unknown parser state during packet assembly");
+      for (const StmtPtr& stmt : state->statements) {
+        if (stmt->kind() == StmtKind::kEmpty) {
+          continue;
+        }
+        if (stmt->kind() != StmtKind::kCall ||
+            static_cast<const CallStmt&>(*stmt).call().call_kind() != CallKind::kExtract) {
+          throw UnsupportedError(
+              "test generation supports only extract statements in parser states");
+        }
+        const CallExpr& call = static_cast<const CallStmt&>(*stmt).call();
+        ExtractHeader(*call.receiver(), packet, offset);
+      }
+      if (state->select_expr == nullptr) {
+        state_name = state->cases[0].next_state;
+        continue;
+      }
+      const BitValue selector = EvalFieldExpr(*state->select_expr);
+      std::string next;
+      for (const SelectCase& select_case : state->cases) {
+        if (select_case.value == nullptr) {
+          next = select_case.next_state;
+          break;
+        }
+        const BitValue case_value =
+            static_cast<const ConstantExpr&>(*select_case.value).value();
+        if (selector.Eq(case_value)) {
+          next = select_case.next_state;
+          break;
+        }
+      }
+      GAUNTLET_BUG_CHECK(!next.empty(), "select without default during packet assembly");
+      state_name = next;
+    }
+    return packet;
+  }
+
+ private:
+  void ExtractHeader(const Expr& header_lvalue, BitString& packet, size_t& offset) {
+    GAUNTLET_BUG_CHECK(header_lvalue.type() != nullptr && header_lvalue.type()->IsHeader(),
+                       "extract target is not a typed header");
+    const std::string path = PathOf(header_lvalue);
+    for (const Type::Field& field : header_lvalue.type()->fields()) {
+      const uint32_t width = field.type->width();
+      const std::string var_name =
+          "p::pkt[" + std::to_string(offset) + "+:" + std::to_string(width) + "]";
+      BitValue bits(width, 0);
+      auto it = model_.bit_values.find(var_name);
+      if (it != model_.bit_values.end()) {
+        bits = BitValue(width, it->second.bits());
+      }
+      packet.AppendBits(bits);
+      fields_[path + "." + field.name] = bits;
+      offset += width;
+    }
+  }
+
+  static std::string PathOf(const Expr& expr) {
+    if (expr.kind() == ExprKind::kPath) {
+      return static_cast<const PathExpr&>(expr).name();
+    }
+    GAUNTLET_BUG_CHECK(expr.kind() == ExprKind::kMember, "unsupported parser l-value");
+    const auto& member = static_cast<const MemberExpr&>(expr);
+    return PathOf(member.base()) + "." + member.member();
+  }
+
+  BitValue EvalFieldExpr(const Expr& expr) const {
+    if (expr.kind() == ExprKind::kPath || expr.kind() == ExprKind::kMember) {
+      auto it = fields_.find(PathOf(expr));
+      if (it == fields_.end()) {
+        throw UnsupportedError("select over a field that was never extracted");
+      }
+      return it->second;
+    }
+    if (expr.kind() == ExprKind::kConstant) {
+      return static_cast<const ConstantExpr&>(expr).value();
+    }
+    throw UnsupportedError("test generation supports only field/constant select expressions");
+  }
+
+  const SmtContext& ctx_;
+  const SmtModel& model_;
+  const ParserDecl& parser_;
+  std::map<std::string, BitValue> fields_;
+};
+
+// Builds the table configuration a model implies: one entry per table whose
+// symbolic action index selects a listed action (Fig. 3 encoding inverted).
+TableConfig TablesFromModel(const SmtModel& model, const std::vector<TableInfo>& tables) {
+  TableConfig config;
+  for (const TableInfo& table : tables) {
+    const uint64_t action_index = model.BitOf(table.action_var).bits();
+    if (action_index < 1 || action_index > table.action_names.size()) {
+      continue;  // model chose "miss / invalid": install nothing
+    }
+    TableEntry entry;
+    for (const std::string& key_var : table.key_vars) {
+      entry.key.push_back(model.BitOf(key_var));
+    }
+    entry.action = table.action_names[action_index - 1];
+    for (const std::string& data_var : table.action_data_vars[action_index - 1]) {
+      auto bit_it = model.bit_values.find(data_var);
+      if (bit_it != model.bit_values.end()) {
+        entry.action_data.push_back(bit_it->second);
+      } else {
+        entry.action_data.push_back(BitValue(1, model.BoolOf(data_var) ? 1 : 0));
+      }
+    }
+    config[table.table_name].push_back(std::move(entry));
+  }
+  return config;
+}
+
+}  // namespace
+
+std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) const {
+  const PackageBlock* parser_block = program.FindBlock(BlockRole::kParser);
+  const PackageBlock* deparser_block = program.FindBlock(BlockRole::kDeparser);
+  if (parser_block == nullptr || deparser_block == nullptr) {
+    throw UnsupportedError("test generation requires a parser and a deparser");
+  }
+  const ParserDecl* parser = program.FindParser(parser_block->decl_name);
+  GAUNTLET_BUG_CHECK(parser != nullptr, "parser binding is not a parser");
+
+  SmtContext ctx;
+  SymbolicInterpreter interpreter(ctx);
+  const PipelineSemantics pipeline = interpreter.InterpretPipeline(program);
+
+  // Hard constraints shared by every path: glue + zero metadata + zero
+  // undefined values.
+  std::vector<SmtRef> hard = pipeline.glue;
+  const std::set<std::string> glued(pipeline.glued_inputs.begin(),
+                                    pipeline.glued_inputs.end());
+  auto pin_unglued = [&](const BlockSemantics& block) {
+    for (const std::string& input : block.input_vars) {
+      if (glued.count(input) > 0 || input.rfind("p::pkt[", 0) == 0) {
+        continue;
+      }
+      const SmtRef var = ctx.FindVar(input);
+      GAUNTLET_BUG_CHECK(var.IsValid(), "input variable vanished");
+      if (ctx.IsBool(var)) {
+        hard.push_back(ctx.BoolNot(var));
+      } else {
+        hard.push_back(ctx.Eq(var, ctx.Const(ctx.WidthOf(var), 0)));
+      }
+    }
+  };
+  pin_unglued(pipeline.ingress);
+  if (pipeline.has_egress) {
+    pin_unglued(pipeline.egress);
+  }
+  pin_unglued(pipeline.deparser);
+  // Pin every undefined value to zero (targets zero-initialize).
+  for (uint32_t var_id = 0; var_id < ctx.VarCount(); ++var_id) {
+    const std::string& name = ctx.VarName(var_id);
+    if (name.find("undef") != std::string::npos) {
+      const SmtRef var = ctx.FindVar(name);
+      if (ctx.VarIsBool(var_id)) {
+        hard.push_back(ctx.BoolNot(var));
+      } else {
+        hard.push_back(ctx.Eq(var, ctx.Const(ctx.VarWidth(var_id), 0)));
+      }
+    }
+  }
+
+  // Decision conditions across all blocks, in pipeline order.
+  std::vector<SmtRef> decisions;
+  for (const BlockSemantics* block :
+       {&pipeline.parser, &pipeline.ingress, &pipeline.egress, &pipeline.deparser}) {
+    for (const SmtRef& condition : block->branch_conditions) {
+      decisions.push_back(condition);
+      if (decisions.size() >= options_.max_decisions) {
+        break;
+      }
+    }
+    if (decisions.size() >= options_.max_decisions) {
+      break;
+    }
+  }
+
+  // One incremental solver carries the hard constraints for the whole
+  // enumeration; every path probe below is an assumption solve that reuses
+  // the encoding and all learned clauses.
+  SmtSolver solver(ctx);
+  solver.set_conflict_limit(100000);
+  solver.set_time_limit_ms(options_.query_time_limit_ms);
+  for (const SmtRef& constraint : hard) {
+    solver.Assert(constraint);
+  }
+
+  // DFS over sign assignments of the decision conditions, pruning
+  // infeasible prefixes with solver calls. Model reuse halves the probes:
+  // the parent prefix's model already decides each condition one way, so
+  // that branch is feasible for free and only the flipped branch needs the
+  // solver.
+  std::vector<std::vector<SmtRef>> paths;
+  std::vector<SmtRef> assumption_stack;
+  std::function<void(size_t, const SmtModel&)> enumerate = [&](size_t index,
+                                                               const SmtModel& model) {
+    if (paths.size() >= options_.max_tests) {
+      return;
+    }
+    if (index == decisions.size()) {
+      paths.push_back(assumption_stack);
+      return;
+    }
+    ModelEvaluator evaluator(ctx, model);
+    const bool model_value = evaluator.EvalBool(decisions[index]);
+    const SmtRef taken = model_value ? decisions[index] : ctx.BoolNot(decisions[index]);
+    const SmtRef flipped = model_value ? ctx.BoolNot(decisions[index]) : decisions[index];
+
+    // Branch the model already satisfies: no solver call needed.
+    assumption_stack.push_back(taken);
+    enumerate(index + 1, model);
+    assumption_stack.pop_back();
+    if (paths.size() >= options_.max_tests) {
+      return;
+    }
+
+    // Flipped branch: probe with the solver; on success recurse with the
+    // fresh witness so deeper levels can keep reusing models.
+    assumption_stack.push_back(flipped);
+    if (solver.CheckUnderAssumptions(assumption_stack) == CheckResult::kSat) {
+      const SmtModel flipped_model = solver.ExtractModel();
+      enumerate(index + 1, flipped_model);
+    }
+    assumption_stack.pop_back();
+  };
+  if (decisions.empty()) {
+    paths.push_back({});
+  } else if (solver.Check() == CheckResult::kSat) {
+    const SmtModel root_model = solver.ExtractModel();
+    enumerate(0, root_model);
+  }
+
+  // Constants the program itself writes (collected from the output DAGs).
+  // An input field that happens to equal such a constant can mask a
+  // miscompilation — e.g. a target that wrongly skips a default action
+  // writing 0xee is invisible on a packet that already carries 0xee. This
+  // generalizes the paper's §6.2 observation (zero inputs mask bugs on
+  // zero-initializing targets) from zero to every program constant.
+  std::set<std::pair<uint32_t, uint64_t>> written_constants;
+  {
+    std::vector<SmtRef> worklist;
+    std::set<uint32_t> visited;
+    for (const BlockSemantics* block :
+         {&pipeline.parser, &pipeline.ingress, &pipeline.egress, &pipeline.deparser}) {
+      for (const auto& [name, ref] : block->outputs) {
+        worklist.push_back(ref);
+      }
+    }
+    while (!worklist.empty() && written_constants.size() < 16) {
+      const SmtRef ref = worklist.back();
+      worklist.pop_back();
+      if (!visited.insert(ref.index).second) {
+        continue;
+      }
+      const SmtNode& node = ctx.node(ref);
+      if (node.op == SmtOp::kConst && node.bits != 0) {
+        written_constants.insert({node.width, node.bits});
+      }
+      worklist.insert(worklist.end(), node.args.begin(), node.args.end());
+    }
+  }
+
+  // Solve each path for a concrete witness and build the test case.
+  std::vector<PacketTest> tests;
+  std::set<std::string> seen;  // dedupe by (packet, tables) fingerprint
+  for (size_t path_index = 0; path_index < paths.size(); ++path_index) {
+    std::vector<SmtRef> preferences;
+    if (options_.prefer_nonzero) {
+      // §6.2: zero values mask erroneous behavior on zero-initializing
+      // targets. Prefer the high bit set (exposes truncation/carry bugs in
+      // wide arithmetic) and non-zero overall; the greedy pass drops
+      // whichever preferences conflict with the path condition.
+      for (const std::string& input : pipeline.parser.input_vars) {
+        if (input.rfind("p::pkt[", 0) == 0) {
+          const SmtRef var = ctx.FindVar(input);
+          const uint32_t width = ctx.WidthOf(var);
+          // Every byte non-zero: spreads entropy across the whole field so
+          // truncation/carry faults in any sub-word are observable.
+          for (uint32_t lo = 0; lo < width; lo += 8) {
+            const uint32_t hi = lo + 7 < width ? lo + 7 : width - 1;
+            preferences.push_back(ctx.BoolNot(
+                ctx.Eq(ctx.Extract(var, hi, lo), ctx.Const(hi - lo + 1, 0))));
+          }
+          // Steer input fields away from the constants the program writes,
+          // so "the buggy output happens to equal the correct output" fix
+          // points are avoided whenever the path allows it.
+          for (const auto& [const_width, const_bits] : written_constants) {
+            if (const_width == width && preferences.size() < 96) {
+              preferences.push_back(
+                  ctx.BoolNot(ctx.Eq(var, ctx.Const(const_width, const_bits))));
+            }
+          }
+        }
+      }
+    }
+    if (solver.CheckWithPreferences(preferences, paths[path_index]) != CheckResult::kSat) {
+      continue;  // path became infeasible under the hard pins
+    }
+    const SmtModel model = solver.ExtractModel();
+
+    PacketTest test;
+    test.name = "path" + std::to_string(path_index);
+    test.input = PacketAssembler(ctx, model, *parser).Assemble();
+    // Combine ingress (+egress) tables; names are unique program-wide.
+    std::vector<TableInfo> all_tables = pipeline.ingress.tables;
+    if (pipeline.has_egress) {
+      all_tables.insert(all_tables.end(), pipeline.egress.tables.begin(),
+                        pipeline.egress.tables.end());
+    }
+    test.tables = TablesFromModel(model, all_tables);
+
+    // Expected output from the formal semantics.
+    ModelEvaluator evaluator(ctx, model);
+    const SmtRef* reject = pipeline.parser.FindOutput("$reject");
+    if (reject != nullptr && evaluator.EvalBool(*reject)) {
+      test.expected.dropped = true;
+    } else {
+      // Walk emit sites in order: emitN.$valid gates the field leaves that
+      // follow it in the outputs vector.
+      bool current_valid = false;
+      for (const auto& [name, ref] : pipeline.deparser.outputs) {
+        if (name.rfind("emit", 0) != 0) {
+          continue;
+        }
+        if (name.find(".$valid") != std::string::npos) {
+          current_valid = evaluator.EvalBool(ref);
+          continue;
+        }
+        if (current_valid) {
+          test.expected.output.AppendBits(evaluator.EvalBits(ref));
+        }
+      }
+    }
+
+    const std::string fingerprint = test.input.ToHex() + "|" +
+                                    std::to_string(test.tables.size()) + "|" +
+                                    test.expected.output.ToHex();
+    if (seen.insert(fingerprint).second) {
+      tests.push_back(std::move(test));
+    }
+  }
+  return tests;
+}
+
+}  // namespace gauntlet

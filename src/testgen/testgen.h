@@ -1,0 +1,54 @@
+#ifndef SRC_TESTGEN_TESTGEN_H_
+#define SRC_TESTGEN_TESTGEN_H_
+
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+struct TestGenOptions {
+  // Upper bound on generated test cases per program (path explosion guard,
+  // §6.2: "the number of paths can be exponential in the length of the
+  // program").
+  size_t max_tests = 32;
+  // Depth cap on the decision-condition enumeration.
+  size_t max_decisions = 12;
+  // Ask the solver for non-zero packet bytes where possible, so that
+  // zero-initializing targets cannot mask miscompilations (§6.2 and the
+  // Fig. 5c discussion).
+  bool prefer_nonzero = true;
+  // Wall-clock budget per solver query (path probes and witness solves);
+  // 0 = unlimited. Paths whose queries exhaust the budget are skipped, like
+  // the silently-dropped test cases of §8.
+  uint64_t query_time_limit_ms = 250;
+};
+
+// Symbolic-execution-based test-case generation (paper Figure 4 and §6):
+// interprets the *source* program into SMT formulas, enumerates feasible
+// paths through its decision conditions, and for each path solves for an
+// input packet + table configuration, computing the expected output packet
+// from the same formulas. The resulting PacketTests run against black-box
+// targets (Tofino) whose intermediate representations are inaccessible.
+//
+// Undefined values are pinned to zero, matching BMv2/Tofino-simulator
+// zero-initialization (the paper's choice 2 in §6.2: "ascribe specific
+// values to undefined variables and check if these values conform with the
+// implementation of the particular target").
+class TestCaseGenerator {
+ public:
+  explicit TestCaseGenerator(TestGenOptions options = {}) : options_(options) {}
+
+  // Requires a package with at least parser + ingress + deparser. May throw
+  // UnsupportedError for constructs outside the supported fragment
+  // (paper §8); callers treat that as "no tests for this program".
+  std::vector<PacketTest> Generate(const Program& program) const;
+
+ private:
+  TestGenOptions options_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_TESTGEN_TESTGEN_H_

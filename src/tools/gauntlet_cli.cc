@@ -1,0 +1,248 @@
+// The `gauntlet` command-line tool: the packaging a downstream user drives.
+//
+//   gauntlet compile <file.p4>              type-check + run the pass pipeline,
+//                                           print the program after every pass
+//   gauntlet validate <file.p4> [--bug B]   translation-validate the pipeline
+//   gauntlet testgen <file.p4>              emit STF-style packet tests
+//   gauntlet fuzz [N] [seed] [--bug B ...]  random-program campaign
+//   gauntlet reduce <file.p4> --bug B       shrink a reproducer
+//   gauntlet bugs                           list the seeded-fault catalogue
+//
+// Programs are mini-P4 (see README). --bug takes catalogue names from
+// `gauntlet bugs`.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+#include "src/gauntlet/campaign.h"
+#include "src/reduce/reducer.h"
+#include "src/target/bmv2.h"
+#include "src/testgen/testgen.h"
+#include "src/tv/validator.h"
+#include "src/typecheck/typecheck.h"
+
+namespace {
+
+using namespace gauntlet;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CompileError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+BugConfig ParseBugFlags(int argc, char** argv) {
+  BugConfig bugs;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--bug") != 0) {
+      continue;
+    }
+    bool known = false;
+    for (const BugInfo& info : BugCatalogue()) {
+      if (info.name == std::string(argv[i + 1])) {
+        bugs.Enable(info.id);
+        known = true;
+      }
+    }
+    if (!known) {
+      throw CompileError(std::string("unknown --bug '") + argv[i + 1] +
+                         "'; run `gauntlet bugs` for the catalogue");
+    }
+  }
+  return bugs;
+}
+
+int CmdBugs() {
+  std::printf("%-36s %-9s %-14s %-22s %s\n", "name", "kind", "location", "component",
+              "models");
+  for (const BugInfo& info : BugCatalogue()) {
+    const char* location = info.location == BugLocation::kFrontEnd    ? "front end"
+                           : info.location == BugLocation::kMidEnd    ? "mid end"
+                           : info.location == BugLocation::kBackEndBmv2 ? "bmv2 backend"
+                                                                        : "tofino backend";
+    std::printf("%-36s %-9s %-14s %-22s %s\n", info.name,
+                info.kind == BugKind::kCrash ? "crash" : "semantic", location,
+                info.pass_name, info.paper_ref);
+  }
+  return 0;
+}
+
+int CmdCompile(const std::string& path, const BugConfig& bugs) {
+  auto program = Parser::ParseString(ReadFile(path));
+  TypeCheckOptions type_options;
+  type_options.bug_shift_crash = bugs.Has(BugId::kTypeCheckerShiftCrash);
+  type_options.bug_reject_slice_compare = bugs.Has(BugId::kTypeCheckerRejectSliceCompare);
+  TypeCheck(*program, type_options);
+  PassManager::StandardPipeline().Run(
+      *program, bugs, [](const std::string& pass_name, const Program& snapshot) {
+        std::printf("---- after %s ----\n%s\n", pass_name.c_str(),
+                    PrintProgram(snapshot).c_str());
+      });
+  std::printf("---- final program ----\n%s", PrintProgram(*program).c_str());
+  return 0;
+}
+
+int CmdValidate(const std::string& path, const BugConfig& bugs) {
+  auto program = Parser::ParseString(ReadFile(path));
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  const TvReport report = validator.Validate(*program, bugs);
+  if (report.crashed) {
+    std::printf("CRASH: %s\n", report.crash_message.c_str());
+  }
+  int problems = report.crashed ? 1 : 0;
+  for (const TvPassResult& result : report.pass_results) {
+    std::printf("%-24s %s%s%s\n", result.pass_name.c_str(),
+                TvVerdictToString(result.verdict).c_str(), result.detail.empty() ? "" : " — ",
+                result.detail.c_str());
+    if (result.verdict == TvVerdict::kSemanticDiff) {
+      ++problems;
+      for (const auto& [name, value] : result.counterexample.bit_values) {
+        if (name.find("undef") == std::string::npos) {
+          std::printf("    witness %s = %s\n", name.c_str(), value.ToString().c_str());
+        }
+      }
+    }
+  }
+  return problems == 0 ? 0 : 1;
+}
+
+int CmdTestgen(const std::string& path) {
+  auto program = Parser::ParseString(ReadFile(path));
+  TypeCheck(*program);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  for (const PacketTest& test : tests) {
+    std::printf("test %s\n  packet %s\n", test.name.c_str(), test.input.ToHex().c_str());
+    for (const auto& [table, entries] : test.tables) {
+      for (const TableEntry& entry : entries) {
+        std::printf("  add %s", table.c_str());
+        for (const BitValue& key : entry.key) {
+          std::printf(" %s", key.ToString().c_str());
+        }
+        std::printf(" -> %s(", entry.action.c_str());
+        for (size_t i = 0; i < entry.action_data.size(); ++i) {
+          std::printf("%s%s", i > 0 ? ", " : "", entry.action_data[i].ToString().c_str());
+        }
+        std::printf(")\n");
+      }
+    }
+    if (test.expected.dropped) {
+      std::printf("  expect drop\n");
+    } else {
+      std::printf("  expect %s\n", test.expected.output.ToHex().c_str());
+    }
+  }
+  std::printf("%zu tests generated\n", tests.size());
+  return 0;
+}
+
+int CmdFuzz(int num_programs, uint64_t seed, const BugConfig& bugs) {
+  CampaignOptions options;
+  options.seed = seed;
+  options.num_programs = num_programs;
+  const CampaignReport report = Campaign(options).Run(bugs);
+  for (const Finding& finding : report.findings) {
+    std::printf("prog %3d  %-22s %-9s %-24s %s\n", finding.program_index,
+                DetectionMethodToString(finding.method).c_str(),
+                finding.kind == BugKind::kCrash ? "crash" : "semantic",
+                finding.component.c_str(),
+                finding.attributed.has_value() ? BugIdToString(*finding.attributed).c_str()
+                                               : "(unattributed)");
+  }
+  std::printf("%d programs, %zu findings, %zu distinct bugs, %d suspicious reports\n",
+              report.programs_generated, report.findings.size(), report.DistinctCount(),
+              report.undef_divergences);
+  return 0;
+}
+
+int CmdReduce(const std::string& path, const BugConfig& bugs) {
+  auto program = Parser::ParseString(ReadFile(path));
+  // Pick the oracle automatically: crash if the buggy compile crashes,
+  // otherwise a semantic-diff oracle over any pass.
+  InterestingnessOracle oracle;
+  try {
+    Bmv2Compiler(bugs).Compile(*program);
+    oracle = SemanticDiffOracle(bugs, "");
+  } catch (const CompilerBugError& error) {
+    // Reduce against the leading assertion text.
+    std::string needle = error.what();
+    if (needle.size() > 40) {
+      needle = needle.substr(0, 40);
+    }
+    oracle = CrashOracle(bugs, needle);
+  } catch (const CompileError&) {
+    oracle = [&bugs](const Program& candidate) {
+      try {
+        Bmv2Compiler(bugs).Compile(candidate);
+        return false;
+      } catch (const CompileError&) {
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+  }
+  const ReductionResult result = ReduceProgram(*program, oracle);
+  std::printf("%s", PrintProgram(*result.program).c_str());
+  std::fprintf(stderr, "reduced %zu -> %zu chars in %d oracle calls\n", result.original_size,
+               result.reduced_size, result.oracle_calls);
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: gauntlet <command> [args]\n"
+      "  compile <file.p4> [--bug B ...]\n"
+      "  validate <file.p4> [--bug B ...]\n"
+      "  testgen <file.p4>\n"
+      "  fuzz [N] [seed] [--bug B ...]\n"
+      "  reduce <file.p4> --bug B [...]\n"
+      "  bugs\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  try {
+    const BugConfig bugs = ParseBugFlags(argc, argv);
+    if (command == "bugs") {
+      return CmdBugs();
+    }
+    if (command == "compile" && argc >= 3) {
+      return CmdCompile(argv[2], bugs);
+    }
+    if (command == "validate" && argc >= 3) {
+      return CmdValidate(argv[2], bugs);
+    }
+    if (command == "testgen" && argc >= 3) {
+      return CmdTestgen(argv[2]);
+    }
+    if (command == "fuzz") {
+      const int num_programs = argc >= 3 && argv[2][0] != '-' ? std::atoi(argv[2]) : 50;
+      const uint64_t seed =
+          argc >= 4 && argv[3][0] != '-' ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+      return CmdFuzz(num_programs, seed, bugs);
+    }
+    if (command == "reduce" && argc >= 3) {
+      return CmdReduce(argv[2], bugs);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "gauntlet: %s\n", error.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,245 @@
+#include "src/tv/validator.h"
+
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+#include "src/sym/interpreter.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+
+std::string TvVerdictToString(TvVerdict verdict) {
+  switch (verdict) {
+    case TvVerdict::kEquivalent:
+      return "equivalent";
+    case TvVerdict::kUndefDivergence:
+      return "undefined-value divergence";
+    case TvVerdict::kSemanticDiff:
+      return "semantic difference";
+    case TvVerdict::kStructuralMismatch:
+      return "structural mismatch";
+    case TvVerdict::kInvalidEmit:
+      return "invalid emitted program";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+// Per-version interpretation cache used while validating one program
+// through the whole pipeline. All versions share one SmtContext so that (a)
+// identically named inputs unify, (b) hash-consing dedupes the largely
+// identical DAGs of consecutive versions, and (c) each version is
+// interpreted once even though it participates in two pass pairs (as the
+// "after" of its own pass and the "before" of the next).
+struct VersionSemantics {
+  bool failed = false;
+  std::string failure;
+  std::vector<std::pair<BlockRole, BlockSemantics>> blocks;
+};
+
+VersionSemantics InterpretVersion(SymbolicInterpreter& interpreter, const Program& program) {
+  VersionSemantics result;
+  try {
+    for (const PackageBlock& block : program.package()) {
+      result.blocks.emplace_back(block.role, interpreter.InterpretRole(program, block.role));
+    }
+  } catch (const UnsupportedError& error) {
+    result.failed = true;
+    result.failure = std::string("interpreter limitation: ") + error.what();
+  }
+  return result;
+}
+
+TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
+                              const VersionSemantics& after, const std::string& pass_name,
+                              const TvOptions& options) {
+  TvPassResult result;
+  result.pass_name = pass_name;
+  if (before.failed || after.failed) {
+    result.verdict = TvVerdict::kStructuralMismatch;
+    result.detail = before.failed ? before.failure : after.failure;
+    return result;
+  }
+  SmtRef any_difference = ctx.False();
+  for (const auto& [role, before_sem] : before.blocks) {
+    const BlockSemantics* after_sem = nullptr;
+    for (const auto& [after_role, sem] : after.blocks) {
+      if (after_role == role) {
+        after_sem = &sem;
+        break;
+      }
+    }
+    if (after_sem == nullptr) {
+      result.verdict = TvVerdict::kStructuralMismatch;
+      result.detail = BlockRoleToString(role) + ": block missing after pass";
+      return result;
+    }
+    const EquivalenceQuery query = BuildEquivalenceQuery(ctx, before_sem, *after_sem);
+    if (query.structural_mismatch) {
+      result.verdict = TvVerdict::kStructuralMismatch;
+      result.detail = BlockRoleToString(role) + ": " + query.mismatch_detail;
+      return result;
+    }
+    any_difference = ctx.BoolOr(any_difference, query.difference);
+  }
+  // Fast path: when a pass made no semantic change, hash-consing collapses
+  // every per-block difference to the constant false — no SAT call needed.
+  if (ctx.IsConst(any_difference) && ctx.ConstBits(any_difference) == 0) {
+    result.verdict = TvVerdict::kEquivalent;
+    return result;
+  }
+
+  // Query 1: is there any input on which the versions disagree? Conflict
+  // and wall-clock budgets keep pathological instances (wide-multiplier
+  // equivalence) from stalling a campaign; exhaustion is reported like a
+  // missing simulation relation (a pass we could not validate, §8).
+  SmtSolver solver(ctx);
+  solver.set_conflict_limit(options.conflict_budget);
+  solver.set_time_limit_ms(options.query_time_limit_ms);
+  solver.Assert(any_difference);
+  const CheckResult first = solver.Check();
+  if (first == CheckResult::kUnsat) {
+    result.verdict = TvVerdict::kEquivalent;
+    return result;
+  }
+  if (first == CheckResult::kUnknown) {
+    result.verdict = TvVerdict::kStructuralMismatch;
+    result.detail = "solver budget (conflicts or wall clock) exceeded";
+    return result;
+  }
+
+  // Query 2: does the disagreement survive pinning every undefined value to
+  // zero? If not, the pass only reshuffled undefined behavior.
+  SmtSolver pinned_solver(ctx);
+  pinned_solver.set_conflict_limit(options.conflict_budget);
+  pinned_solver.set_time_limit_ms(options.query_time_limit_ms);
+  pinned_solver.Assert(any_difference);
+  for (uint32_t var_id = 0; var_id < ctx.VarCount(); ++var_id) {
+    const std::string& name = ctx.VarName(var_id);
+    if (name.rfind("undef", 0) == 0) {
+      const SmtRef var = ctx.FindVar(name);
+      if (ctx.VarIsBool(var_id)) {
+        pinned_solver.Assert(ctx.BoolNot(var));
+      } else {
+        pinned_solver.Assert(ctx.Eq(var, ctx.Const(ctx.VarWidth(var_id), 0)));
+      }
+    }
+  }
+  const CheckResult pinned = pinned_solver.Check();
+  if (pinned == CheckResult::kUnsat) {
+    result.verdict = TvVerdict::kUndefDivergence;
+    result.detail = "versions differ only in undefined-value choices";
+    return result;
+  }
+  if (pinned == CheckResult::kUnknown) {
+    result.verdict = TvVerdict::kStructuralMismatch;
+    result.detail = "solver budget exceeded (undef classification)";
+    return result;
+  }
+  result.verdict = TvVerdict::kSemanticDiff;
+  result.counterexample = pinned_solver.ExtractModel();
+  result.detail = "solver found a disagreeing input";
+  return result;
+}
+
+}  // namespace
+
+TvPassResult TranslationValidator::CompareVersions(const Program& before, const Program& after,
+                                                   const std::string& pass_name) {
+  SmtContext ctx;
+  SymbolicInterpreter interpreter(ctx);
+  const VersionSemantics before_sem = InterpretVersion(interpreter, before);
+  const VersionSemantics after_sem = InterpretVersion(interpreter, after);
+  return CompareSemantics(ctx, before_sem, after_sem, pass_name, TvOptions{});
+}
+
+TvReport TranslationValidator::Validate(const Program& program, const BugConfig& bugs,
+                                        const std::string& stop_after_pass) const {
+  TvReport report;
+
+  // Version 0: the type-checked input program.
+  auto& versions = report.versions;
+  ProgramPtr current = program.Clone();
+  try {
+    TypeCheckOptions type_options;
+    type_options.bug_shift_crash = bugs.Has(BugId::kTypeCheckerShiftCrash);
+    type_options.bug_reject_slice_compare = bugs.Has(BugId::kTypeCheckerRejectSliceCompare);
+    TypeCheck(*current, type_options);
+  } catch (const std::exception& error) {
+    report.crashed = true;
+    report.crash_message = std::string("type checking: ") + error.what();
+    return report;
+  }
+  versions.emplace_back("<input>", current->Clone());
+
+  try {
+    pipeline_.Run(*current, bugs, [&](const std::string& pass_name, const Program& snapshot) {
+      versions.emplace_back(pass_name, snapshot.Clone());
+    });
+  } catch (const std::exception& error) {
+    report.crashed = true;
+    report.crash_message = error.what();
+    // Versions captured before the crash are still validated below — the
+    // paper likewise pinpoints the earliest broken pass.
+  }
+
+  // All versions are interpreted into one shared context: hash-consing
+  // dedupes the largely identical DAGs of consecutive versions, and a pass
+  // that changed nothing semantically short-circuits to a constant-false
+  // difference without a SAT call.
+  SmtContext ctx;
+  SymbolicInterpreter interpreter(ctx);
+  VersionSemantics before_sem = InterpretVersion(interpreter, *versions[0].second);
+  const auto validation_deadline =
+      options_.program_budget_ms == 0
+          ? std::chrono::steady_clock::time_point::max()
+          : std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.program_budget_ms);
+  for (size_t i = 1; i < versions.size(); ++i) {
+    const auto& [pass_name, after] = versions[i];
+    if (std::chrono::steady_clock::now() >= validation_deadline) {
+      // Out of budget for this program: report the remaining passes as
+      // unvalidatable instead of stalling the campaign.
+      TvPassResult skipped;
+      skipped.pass_name = pass_name;
+      skipped.verdict = TvVerdict::kStructuralMismatch;
+      skipped.detail = "per-program validation budget exceeded";
+      report.pass_results.push_back(std::move(skipped));
+      continue;
+    }
+    // Re-parse the emitted program first (ToP4 round-trip, §5.2). Failure is
+    // an "invalid transformation" bug.
+    TvPassResult result;
+    result.pass_name = pass_name;
+    ProgramPtr reparsed;
+    try {
+      reparsed = Parser::ParseString(PrintProgram(*after));
+      TypeCheck(*reparsed);
+    } catch (const std::exception& error) {
+      result.verdict = TvVerdict::kInvalidEmit;
+      result.detail = error.what();
+      report.pass_results.push_back(std::move(result));
+      break;
+    }
+    // The comparison runs against the *reparsed* program, so a semantics-
+    // changing ToP4 or parser bug is caught alongside pass bugs (§5.2).
+    VersionSemantics after_sem = InterpretVersion(interpreter, *reparsed);
+    report.pass_results.push_back(CompareSemantics(ctx, before_sem, after_sem, pass_name, options_));
+    if (!stop_after_pass.empty() && pass_name == stop_after_pass) {
+      break;
+    }
+    if (HashProgram(*reparsed) == HashProgram(*after)) {
+      // Round trip was faithful: reuse the interpretation as the "before"
+      // of the next pass pair.
+      before_sem = std::move(after_sem);
+    } else {
+      // The printed program re-parsed to a different AST. Keep validating
+      // from the in-memory snapshot so a printer bug does not cascade into
+      // every later pass's verdict.
+      before_sem = InterpretVersion(interpreter, *after);
+    }
+  }
+  return report;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,855 @@
+#include "src/typecheck/typecheck.h"
+
+#include <map>
+#include <set>
+
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+namespace {
+
+// What a name refers to during checking.
+struct Binding {
+  TypePtr type;
+  Direction direction = Direction::kNone;  // for params
+  bool is_param = false;
+  bool writable = true;
+};
+
+// Per-declaration checking context.
+class Checker {
+ public:
+  Checker(Program& program, const TypeCheckOptions& options)
+      : program_(program), options_(options) {}
+
+  void Run() {
+    InjectNoAction();
+    std::set<std::string> decl_names;
+    for (size_t i = 0; i < program_.decls().size(); ++i) {
+      Decl& decl = *program_.mutable_decls()[i];
+      if (!decl_names.insert(decl.name()).second) {
+        throw CompileError("duplicate top-level declaration '" + decl.name() + "'");
+      }
+      decl_index_ = i;
+      switch (decl.kind()) {
+        case DeclKind::kFunction:
+          CheckFunction(static_cast<FunctionDecl&>(decl));
+          break;
+        case DeclKind::kControl:
+          CheckControl(static_cast<ControlDecl&>(decl));
+          break;
+        case DeclKind::kParser:
+          CheckParser(static_cast<ParserDecl&>(decl));
+          break;
+        default:
+          throw CompileError("declaration kind not allowed at top level");
+      }
+    }
+    CheckPackage();
+  }
+
+ private:
+  enum class BodyKind { kFunction, kAction, kControlApply, kParserState, kDeparser };
+
+  // Controls that reference the implicit no-op action `NoAction` without
+  // declaring it get a synthesized empty action, matching p4c's core.p4.
+  void InjectNoAction() {
+    for (const DeclPtr& decl : program_.mutable_decls()) {
+      if (decl->kind() != DeclKind::kControl) {
+        continue;
+      }
+      auto& control = static_cast<ControlDecl&>(*decl);
+      bool references = false;
+      for (const DeclPtr& local : control.locals()) {
+        if (local->kind() == DeclKind::kTable) {
+          const auto& table = static_cast<const TableDecl&>(*local);
+          for (const std::string& action : table.actions()) {
+            references |= action == "NoAction";
+          }
+          references |= table.default_action() == "NoAction";
+        }
+      }
+      if (references && control.FindLocal("NoAction") == nullptr) {
+        control.mutable_locals().insert(
+            control.mutable_locals().begin(),
+            std::make_unique<ActionDecl>("NoAction", std::vector<Param>{},
+                                         std::make_unique<BlockStmt>()));
+      }
+    }
+  }
+
+  // --- scope handling ---
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  void Declare(const std::string& name, Binding binding) {
+    if (all_body_names_.count(name) > 0) {
+      throw CompileError("duplicate declaration of '" + name + "' (shadowing is not supported)");
+    }
+    all_body_names_.insert(name);
+    scopes_.back()[name] = std::move(binding);
+  }
+
+  const Binding* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void BindParams(const std::vector<Param>& params, bool directionless_readonly) {
+    for (const Param& param : params) {
+      Binding binding;
+      binding.type = param.type;
+      binding.direction = param.direction;
+      binding.is_param = true;
+      binding.writable = param.direction == Direction::kInOut ||
+                         param.direction == Direction::kOut ||
+                         (param.direction == Direction::kNone && !directionless_readonly);
+      Declare(param.name, binding);
+    }
+  }
+
+  // --- declaration checking ---
+
+  void CheckFunction(FunctionDecl& function) {
+    for (const Param& param : function.params()) {
+      if (param.direction == Direction::kNone) {
+        throw CompileError("function '" + function.name() +
+                           "': parameters must have a direction");
+      }
+      if (!param.type->IsBit() && !param.type->IsBool()) {
+        throw CompileError("function '" + function.name() +
+                           "': only bit/bool parameters are supported");
+      }
+    }
+    if (!function.return_type()->IsVoid() && !function.return_type()->IsBit() &&
+        !function.return_type()->IsBool()) {
+      throw CompileError("function '" + function.name() + "': unsupported return type");
+    }
+    all_body_names_.clear();
+    PushScope();
+    BindParams(function.params(), /*directionless_readonly=*/true);
+    current_return_type_ = function.return_type();
+    CheckBody(*function.mutable_body(), BodyKind::kFunction);
+    if (!function.return_type()->IsVoid() && !MustReturn(function.body())) {
+      throw CompileError("function '" + function.name() + "': not all paths return a value");
+    }
+    current_return_type_ = nullptr;
+    PopScope();
+  }
+
+  void CheckControl(ControlDecl& control) {
+    const bool is_deparser = IsBoundToRole(control.name(), BlockRole::kDeparser);
+    for (const Param& param : control.params()) {
+      if (param.direction == Direction::kNone) {
+        throw CompileError("control '" + control.name() +
+                           "': parameters must have a direction");
+      }
+    }
+    all_body_names_.clear();
+    PushScope();
+    BindParams(control.params(), /*directionless_readonly=*/true);
+    current_control_ = &control;
+
+    std::set<std::string> local_names;
+    for (const DeclPtr& local : control.mutable_locals()) {
+      if (!local_names.insert(local->name()).second) {
+        throw CompileError("control '" + control.name() + "': duplicate local '" +
+                           local->name() + "'");
+      }
+      if (local->kind() == DeclKind::kAction) {
+        CheckAction(static_cast<ActionDecl&>(*local));
+      } else if (local->kind() == DeclKind::kTable) {
+        CheckTable(static_cast<TableDecl&>(*local), control);
+      } else {
+        throw CompileError("control locals must be actions or tables");
+      }
+    }
+    CheckBody(*control.mutable_apply(), is_deparser ? BodyKind::kDeparser
+                                                    : BodyKind::kControlApply);
+    current_control_ = nullptr;
+    PopScope();
+  }
+
+  void CheckAction(ActionDecl& action) {
+    bool any_directional = false;
+    bool any_directionless = false;
+    for (const Param& param : action.params()) {
+      if (!param.type->IsBit() && !param.type->IsBool()) {
+        throw CompileError("action '" + action.name() +
+                           "': only bit/bool parameters are supported");
+      }
+      if (param.direction == Direction::kNone) {
+        any_directionless = true;
+      } else {
+        any_directional = true;
+      }
+    }
+    // Restriction (documented in DESIGN.md): an action is either a
+    // table-action (all params are control-plane action data) or a
+    // direct-call action (all params directional).
+    if (any_directional && any_directionless) {
+      throw CompileError("action '" + action.name() +
+                         "': mixing directional and directionless parameters is unsupported");
+    }
+    PushScope();
+    BindParams(action.params(), /*directionless_readonly=*/true);
+    CheckBody(*action.mutable_body(), BodyKind::kAction);
+    PopScope();
+  }
+
+  void CheckTable(TableDecl& table, const ControlDecl& control) {
+    for (TableKey& key : table.mutable_keys()) {
+      const TypePtr key_type = CheckExpr(*key.expr);
+      if (!key_type->IsBit()) {
+        throw CompileError("table '" + table.name() + "': key must have bit type");
+      }
+    }
+    if (table.actions().empty()) {
+      throw CompileError("table '" + table.name() + "': must list at least one action");
+    }
+    std::set<std::string> listed;
+    for (const std::string& action_name : table.actions()) {
+      if (!listed.insert(action_name).second) {
+        throw CompileError("table '" + table.name() + "': duplicate action '" + action_name +
+                           "'");
+      }
+      const ActionDecl* action = FindLocalAction(control, action_name);
+      if (action == nullptr) {
+        throw CompileError("table '" + table.name() + "': unknown action '" + action_name + "'");
+      }
+      for (const Param& param : action->params()) {
+        if (param.direction != Direction::kNone) {
+          throw CompileError("table '" + table.name() + "': action '" + action_name +
+                             "' has directional parameters and cannot be a table action");
+        }
+      }
+    }
+    const ActionDecl* default_action = FindLocalAction(control, table.default_action());
+    if (default_action == nullptr) {
+      throw CompileError("table '" + table.name() + "': unknown default action '" +
+                         table.default_action() + "'");
+    }
+    if (listed.count(table.default_action()) == 0) {
+      throw CompileError("table '" + table.name() +
+                         "': default action must appear in the actions list");
+    }
+    if (table.default_args().size() != default_action->params().size()) {
+      throw CompileError("table '" + table.name() + "': default action argument count mismatch");
+    }
+    for (size_t i = 0; i < table.default_args().size(); ++i) {
+      Expr& arg = *table.mutable_default_args()[i];
+      const TypePtr arg_type = CheckExpr(arg);
+      if (arg.kind() != ExprKind::kConstant && arg.kind() != ExprKind::kBoolConst) {
+        throw CompileError("table '" + table.name() +
+                           "': default action arguments must be constants");
+      }
+      if (!arg_type->Equals(*default_action->params()[i].type)) {
+        throw CompileError("table '" + table.name() + "': default action argument type mismatch");
+      }
+    }
+  }
+
+  void CheckParser(ParserDecl& parser) {
+    for (const Param& param : parser.params()) {
+      if (param.direction == Direction::kNone) {
+        throw CompileError("parser '" + parser.name() + "': parameters must have a direction");
+      }
+    }
+    if (parser.FindState("start") == nullptr) {
+      throw CompileError("parser '" + parser.name() + "': missing 'start' state");
+    }
+    std::set<std::string> state_names;
+    for (const ParserState& state : parser.states()) {
+      if (!state_names.insert(state.name).second) {
+        throw CompileError("parser '" + parser.name() + "': duplicate state '" + state.name +
+                           "'");
+      }
+      if (state.name == "accept" || state.name == "reject") {
+        throw CompileError("parser '" + parser.name() + "': 'accept'/'reject' are reserved");
+      }
+    }
+    for (ParserState& state : parser.mutable_states()) {
+      all_body_names_.clear();
+      PushScope();
+      BindParams(parser.params(), /*directionless_readonly=*/true);
+      for (StmtPtr& stmt : state.statements) {
+        CheckStmt(*stmt, BodyKind::kParserState);
+      }
+      if (state.select_expr != nullptr) {
+        const TypePtr select_type = CheckExpr(*state.select_expr);
+        if (!select_type->IsBit()) {
+          throw CompileError("parser '" + parser.name() + "': select expression must be bit");
+        }
+        bool has_default = false;
+        for (SelectCase& select_case : state.cases) {
+          if (select_case.value == nullptr) {
+            has_default = true;
+            continue;
+          }
+          const TypePtr case_type = CheckExpr(*select_case.value);
+          if (!case_type->Equals(*select_type)) {
+            throw CompileError("parser '" + parser.name() + "': select case width mismatch");
+          }
+        }
+        if (!has_default) {
+          throw CompileError("parser '" + parser.name() + "': select requires a default case");
+        }
+      }
+      for (const SelectCase& select_case : state.cases) {
+        if (select_case.next_state != "accept" && select_case.next_state != "reject" &&
+            parser.FindState(select_case.next_state) == nullptr) {
+          throw CompileError("parser '" + parser.name() + "': unknown state '" +
+                             select_case.next_state + "'");
+        }
+      }
+      PopScope();
+    }
+  }
+
+  void CheckPackage() {
+    for (const PackageBlock& block : program_.package()) {
+      const Decl* decl = program_.FindDecl(block.decl_name);
+      if (decl == nullptr) {
+        throw CompileError("package: unknown declaration '" + block.decl_name + "'");
+      }
+      if (block.role == BlockRole::kParser) {
+        if (decl->kind() != DeclKind::kParser) {
+          throw CompileError("package: parser slot must be bound to a parser");
+        }
+      } else if (decl->kind() != DeclKind::kControl) {
+        throw CompileError("package: '" + BlockRoleToString(block.role) +
+                           "' slot must be bound to a control");
+      }
+    }
+  }
+
+  // --- statements ---
+
+  void CheckBody(BlockStmt& block, BodyKind body_kind) {
+    PushScope();
+    for (StmtPtr& stmt : block.mutable_statements()) {
+      CheckStmt(*stmt, body_kind);
+    }
+    PopScope();
+  }
+
+  void CheckStmt(Stmt& stmt, BodyKind body_kind) {
+    switch (stmt.kind()) {
+      case StmtKind::kBlock:
+        CheckBody(static_cast<BlockStmt&>(stmt), body_kind);
+        break;
+      case StmtKind::kAssign: {
+        auto& assign = static_cast<AssignStmt&>(stmt);
+        const TypePtr value_type = CheckExpr(*assign.value_slot());
+        const TypePtr target_type = CheckExpr(*assign.target_slot());
+        CheckWritableLValue(*assign.target_slot(), "assignment target");
+        if (!target_type->Equals(*value_type)) {
+          throw CompileError(stmt.loc(), "assignment type mismatch: " + target_type->ToString() +
+                                             " vs " + value_type->ToString());
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        auto& if_stmt = static_cast<IfStmt&>(stmt);
+        const TypePtr cond_type = CheckExpr(*if_stmt.cond_slot());
+        if (!cond_type->IsBool()) {
+          throw CompileError(stmt.loc(), "if condition must be bool");
+        }
+        CheckStmt(*if_stmt.then_slot(), body_kind);
+        if (if_stmt.else_slot() != nullptr) {
+          CheckStmt(*if_stmt.else_slot(), body_kind);
+        }
+        break;
+      }
+      case StmtKind::kVarDecl: {
+        auto& var_decl = static_cast<VarDeclStmt&>(stmt);
+        if (!var_decl.var_type()->IsBit() && !var_decl.var_type()->IsBool()) {
+          throw CompileError(stmt.loc(), "local variables must have bit or bool type");
+        }
+        if (var_decl.init() != nullptr) {
+          const TypePtr init_type = CheckExpr(*var_decl.init_slot());
+          if (!init_type->Equals(*var_decl.var_type())) {
+            throw CompileError(stmt.loc(), "initializer type mismatch for '" + var_decl.name() +
+                                               "'");
+          }
+        }
+        Binding binding;
+        binding.type = var_decl.var_type();
+        binding.writable = true;
+        Declare(var_decl.name(), binding);
+        break;
+      }
+      case StmtKind::kCall: {
+        auto& call_stmt = static_cast<CallStmt&>(stmt);
+        auto& call = call_stmt.mutable_call();
+        switch (call.call_kind()) {
+          case CallKind::kTableApply: {
+            if (body_kind != BodyKind::kControlApply) {
+              throw CompileError(stmt.loc(), "tables can only be applied in control apply blocks");
+            }
+            if (current_control_ == nullptr ||
+                FindLocalTable(*current_control_, call.callee()) == nullptr) {
+              throw CompileError(stmt.loc(), "unknown table '" + call.callee() + "'");
+            }
+            call.set_type(Type::Void());
+            break;
+          }
+          case CallKind::kSetValid:
+          case CallKind::kSetInvalid: {
+            const TypePtr receiver_type = CheckExpr(*call.receiver_slot());
+            if (!receiver_type->IsHeader()) {
+              throw CompileError(stmt.loc(), "setValid/setInvalid requires a header");
+            }
+            CheckWritableLValue(*call.receiver_slot(), "validity method receiver");
+            call.set_type(Type::Void());
+            break;
+          }
+          case CallKind::kExtract: {
+            if (body_kind != BodyKind::kParserState) {
+              throw CompileError(stmt.loc(), "extract() is only allowed in parser states");
+            }
+            if (call.callee() != "pkt") {
+              throw CompileError(stmt.loc(), "extract must be called on the implicit packet 'pkt'");
+            }
+            const TypePtr receiver_type = CheckExpr(*call.receiver_slot());
+            if (!receiver_type->IsHeader()) {
+              throw CompileError(stmt.loc(), "extract() requires a header argument");
+            }
+            CheckWritableLValue(*call.receiver_slot(), "extract argument");
+            call.set_type(Type::Void());
+            break;
+          }
+          case CallKind::kEmit: {
+            if (body_kind != BodyKind::kDeparser) {
+              throw CompileError(stmt.loc(), "emit() is only allowed in deparser controls");
+            }
+            if (call.callee() != "pkt") {
+              throw CompileError(stmt.loc(), "emit must be called on the implicit packet 'pkt'");
+            }
+            const TypePtr receiver_type = CheckExpr(*call.receiver_slot());
+            if (!receiver_type->IsHeader()) {
+              throw CompileError(stmt.loc(), "emit() requires a header argument");
+            }
+            call.set_type(Type::Void());
+            break;
+          }
+          case CallKind::kIsValid:
+            throw CompileError(stmt.loc(), "isValid() cannot be used as a statement");
+          case CallKind::kFunction:
+          case CallKind::kAction: {
+            CheckInvocation(call, body_kind, /*as_statement=*/true);
+            break;
+          }
+        }
+        break;
+      }
+      case StmtKind::kExit:
+        if (body_kind == BodyKind::kFunction) {
+          throw CompileError(stmt.loc(), "exit is not allowed in functions");
+        }
+        if (body_kind == BodyKind::kParserState) {
+          throw CompileError(stmt.loc(), "exit is not allowed in parsers");
+        }
+        break;
+      case StmtKind::kReturn: {
+        auto& return_stmt = static_cast<ReturnStmt&>(stmt);
+        if (body_kind == BodyKind::kFunction) {
+          if (current_return_type_->IsVoid()) {
+            if (return_stmt.value() != nullptr) {
+              throw CompileError(stmt.loc(), "void function cannot return a value");
+            }
+          } else {
+            if (return_stmt.value() == nullptr) {
+              throw CompileError(stmt.loc(), "function must return a value");
+            }
+            const TypePtr value_type = CheckExpr(*return_stmt.value_slot());
+            if (!value_type->Equals(*current_return_type_)) {
+              throw CompileError(stmt.loc(), "return type mismatch");
+            }
+          }
+        } else if (body_kind == BodyKind::kAction) {
+          if (return_stmt.value() != nullptr) {
+            throw CompileError(stmt.loc(), "actions cannot return values");
+          }
+        } else {
+          throw CompileError(stmt.loc(), "return is only allowed in functions and actions");
+        }
+        break;
+      }
+      case StmtKind::kEmpty:
+        break;
+    }
+  }
+
+  // Conservative "all paths return" analysis.
+  static bool MustReturn(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kReturn:
+        return true;
+      case StmtKind::kBlock: {
+        const auto& block = static_cast<const BlockStmt&>(stmt);
+        for (const StmtPtr& child : block.statements()) {
+          if (MustReturn(*child)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        return if_stmt.else_branch() != nullptr && MustReturn(if_stmt.then_branch()) &&
+               MustReturn(*if_stmt.else_branch());
+      }
+      default:
+        return false;
+    }
+  }
+
+  // --- calls ---
+
+  void CheckInvocation(CallExpr& call, BodyKind body_kind, bool as_statement) {
+    // Try an action in the current control first.
+    const ActionDecl* action =
+        current_control_ != nullptr ? FindLocalAction(*current_control_, call.callee()) : nullptr;
+    if (action != nullptr) {
+      if (!as_statement) {
+        throw CompileError("action '" + call.callee() + "' cannot be used in an expression");
+      }
+      if (body_kind != BodyKind::kControlApply && body_kind != BodyKind::kAction) {
+        throw CompileError("actions can only be called from apply blocks or other actions");
+      }
+      call.set_call_kind(CallKind::kAction);
+      bool directionless = !action->params().empty() &&
+                           action->params()[0].direction == Direction::kNone;
+      if (directionless) {
+        throw CompileError("action '" + call.callee() +
+                           "' takes control-plane arguments and cannot be called directly");
+      }
+      CheckArgs(call, action->params());
+      call.set_type(Type::Void());
+      return;
+    }
+    // Otherwise a top-level function declared strictly earlier.
+    const FunctionDecl* function = nullptr;
+    for (size_t i = 0; i < decl_index_; ++i) {
+      const Decl& candidate = *program_.decls()[i];
+      if (candidate.kind() == DeclKind::kFunction && candidate.name() == call.callee()) {
+        function = static_cast<const FunctionDecl*>(&candidate);
+        break;
+      }
+    }
+    if (function == nullptr) {
+      throw CompileError("unknown callable '" + call.callee() + "'");
+    }
+    call.set_call_kind(CallKind::kFunction);
+    CheckArgs(call, function->params());
+    if (as_statement) {
+      call.set_type(Type::Void());
+    } else {
+      if (function->return_type()->IsVoid()) {
+        throw CompileError("void function '" + call.callee() + "' used in an expression");
+      }
+      call.set_type(function->return_type());
+    }
+  }
+
+  void CheckArgs(CallExpr& call, const std::vector<Param>& params) {
+    if (call.args().size() != params.size()) {
+      throw CompileError("call to '" + call.callee() + "': argument count mismatch");
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      Expr& arg = *call.mutable_args()[i];
+      const TypePtr arg_type = CheckExpr(arg);
+      if (!arg_type->Equals(*params[i].type)) {
+        throw CompileError("call to '" + call.callee() + "': argument " + std::to_string(i + 1) +
+                           " type mismatch");
+      }
+      if (params[i].direction == Direction::kInOut || params[i].direction == Direction::kOut) {
+        CheckWritableLValue(arg, "out/inout argument");
+      }
+    }
+  }
+
+  // --- expressions ---
+
+  TypePtr CheckExpr(Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kConstant: {
+        const auto& constant = static_cast<const ConstantExpr&>(expr);
+        expr.set_type(Type::Bit(constant.value().width()));
+        return expr.type();
+      }
+      case ExprKind::kBoolConst:
+        expr.set_type(Type::Bool());
+        return expr.type();
+      case ExprKind::kPath: {
+        const auto& path = static_cast<const PathExpr&>(expr);
+        const Binding* binding = Lookup(path.name());
+        if (binding == nullptr) {
+          throw CompileError(expr.loc(), "unknown identifier '" + path.name() + "'");
+        }
+        expr.set_type(binding->type);
+        return expr.type();
+      }
+      case ExprKind::kMember: {
+        auto& member = static_cast<MemberExpr&>(expr);
+        const TypePtr base_type = CheckExpr(*member.base_slot());
+        if (!base_type->IsStructLike()) {
+          throw CompileError(expr.loc(), "member access on non-struct value");
+        }
+        const Type::Field* field = base_type->FindField(member.member());
+        if (field == nullptr) {
+          throw CompileError(expr.loc(), "no field '" + member.member() + "' in " +
+                                             base_type->ToString());
+        }
+        expr.set_type(field->type);
+        return expr.type();
+      }
+      case ExprKind::kSlice: {
+        auto& slice = static_cast<SliceExpr&>(expr);
+        const TypePtr base_type = CheckExpr(*slice.base_slot());
+        if (!base_type->IsBit()) {
+          throw CompileError(expr.loc(), "slice of non-bit value");
+        }
+        if (slice.hi() < slice.lo() || slice.hi() >= base_type->width()) {
+          throw CompileError(expr.loc(), "slice indices out of range");
+        }
+        expr.set_type(Type::Bit(slice.hi() - slice.lo() + 1));
+        return expr.type();
+      }
+      case ExprKind::kUnary: {
+        auto& unary = static_cast<UnaryExpr&>(expr);
+        const TypePtr operand_type = CheckExpr(*unary.operand_slot());
+        switch (unary.op()) {
+          case UnaryOp::kComplement:
+          case UnaryOp::kNegate:
+            if (!operand_type->IsBit()) {
+              throw CompileError(expr.loc(), "operand of ~/- must be bit");
+            }
+            break;
+          case UnaryOp::kLogicalNot:
+            if (!operand_type->IsBool()) {
+              throw CompileError(expr.loc(), "operand of ! must be bool");
+            }
+            break;
+        }
+        expr.set_type(operand_type);
+        return expr.type();
+      }
+      case ExprKind::kBinary:
+        return CheckBinary(static_cast<BinaryExpr&>(expr));
+      case ExprKind::kMux: {
+        auto& mux = static_cast<MuxExpr&>(expr);
+        const TypePtr cond_type = CheckExpr(*mux.cond_slot());
+        if (!cond_type->IsBool()) {
+          throw CompileError(expr.loc(), "conditional expression requires a bool condition");
+        }
+        const TypePtr then_type = CheckExpr(*mux.then_slot());
+        const TypePtr else_type = CheckExpr(*mux.else_slot());
+        if (!then_type->Equals(*else_type)) {
+          throw CompileError(expr.loc(), "conditional branches have different types");
+        }
+        expr.set_type(then_type);
+        return expr.type();
+      }
+      case ExprKind::kCast: {
+        auto& cast = static_cast<CastExpr&>(expr);
+        const TypePtr operand_type = CheckExpr(*cast.operand_slot());
+        if (!cast.target()->IsBit() || !operand_type->IsBit()) {
+          throw CompileError(expr.loc(), "only bit-to-bit casts are supported");
+        }
+        expr.set_type(cast.target());
+        return expr.type();
+      }
+      case ExprKind::kCall: {
+        auto& call = static_cast<CallExpr&>(expr);
+        if (call.call_kind() == CallKind::kIsValid) {
+          const TypePtr receiver_type = CheckExpr(*call.receiver_slot());
+          if (!receiver_type->IsHeader()) {
+            throw CompileError(expr.loc(), "isValid() requires a header");
+          }
+          expr.set_type(Type::Bool());
+          return expr.type();
+        }
+        if (call.call_kind() == CallKind::kFunction || call.call_kind() == CallKind::kAction) {
+          CheckInvocation(call, BodyKind::kFunction, /*as_statement=*/false);
+          return expr.type();
+        }
+        throw CompileError(expr.loc(), "this call form cannot appear in an expression");
+      }
+    }
+    GAUNTLET_BUG_CHECK(false, "unhandled expression kind in type checker");
+    return nullptr;
+  }
+
+  TypePtr CheckBinary(BinaryExpr& binary) {
+    const TypePtr left = CheckExpr(*binary.left_slot());
+    const TypePtr right = CheckExpr(*binary.right_slot());
+    switch (binary.op()) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kBitAnd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor:
+        if (!left->IsBit() || !right->IsBit() || left->width() != right->width()) {
+          throw CompileError(binary.loc(), "arithmetic requires bit operands of equal width");
+        }
+        binary.set_type(left);
+        return binary.type();
+      case BinaryOp::kShl:
+      case BinaryOp::kShr: {
+        if (!left->IsBit() || !right->IsBit()) {
+          throw CompileError(binary.loc(), "shift requires bit operands");
+        }
+        // Seeded bug (Fig. 5b class): p4c's type checker crashed trying to
+        // infer the width of `1 << x` for non-constant x. We model the same
+        // root cause: a constant shifted by a non-constant amount trips an
+        // internal assertion instead of a clean diagnostic.
+        if (options_.bug_shift_crash &&
+            binary.left().kind() == ExprKind::kConstant &&
+            binary.right().kind() != ExprKind::kConstant) {
+          GAUNTLET_BUG_CHECK(false, "type inference failed for shift of constant");
+        }
+        binary.set_type(left);
+        return binary.type();
+      }
+      case BinaryOp::kConcat: {
+        if (!left->IsBit() || !right->IsBit()) {
+          throw CompileError(binary.loc(), "concat requires bit operands");
+        }
+        if (left->width() + right->width() > 64) {
+          throw CompileError(binary.loc(), "concat result exceeds 64 bits");
+        }
+        binary.set_type(Type::Bit(left->width() + right->width()));
+        return binary.type();
+      }
+      case BinaryOp::kEq:
+      case BinaryOp::kNe: {
+        const bool both_bit =
+            left->IsBit() && right->IsBit() && left->width() == right->width();
+        const bool both_bool = left->IsBool() && right->IsBool();
+        if (!both_bit && !both_bool) {
+          throw CompileError(binary.loc(), "==/!= requires operands of identical type");
+        }
+        // Seeded bug (Fig. 5c class): StrengthReduction computed a negative
+        // slice index and the type checker *incorrectly rejected* a legal
+        // comparison of a slice against a constant.
+        if (options_.bug_reject_slice_compare && both_bit &&
+            (binary.left().kind() == ExprKind::kSlice ||
+             binary.right().kind() == ExprKind::kSlice)) {
+          throw CompileError(binary.loc(),
+                             "slice index is negative (internal strength-reduction artifact)");
+        }
+        binary.set_type(Type::Bool());
+        return binary.type();
+      }
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (!left->IsBit() || !right->IsBit() || left->width() != right->width()) {
+          throw CompileError(binary.loc(), "comparison requires bit operands of equal width");
+        }
+        binary.set_type(Type::Bool());
+        return binary.type();
+      case BinaryOp::kLogicalAnd:
+      case BinaryOp::kLogicalOr:
+        if (!left->IsBool() || !right->IsBool()) {
+          throw CompileError(binary.loc(), "&&/|| requires bool operands");
+        }
+        binary.set_type(Type::Bool());
+        return binary.type();
+    }
+    GAUNTLET_BUG_CHECK(false, "unhandled binary op in type checker");
+    return nullptr;
+  }
+
+  // Validates `expr` as a writable l-value (assignment target, out/inout
+  // argument, extract target). Direction rules: `in` params and action data
+  // are read-only; everything rooted at a writable binding is writable.
+  void CheckWritableLValue(const Expr& expr, const std::string& what) {
+    if (!IsLValueShape(expr)) {
+      throw CompileError(expr.loc(), what + " must be an l-value");
+    }
+    const Expr* root = &expr;
+    for (;;) {
+      if (root->kind() == ExprKind::kMember) {
+        root = &static_cast<const MemberExpr&>(*root).base();
+      } else if (root->kind() == ExprKind::kSlice) {
+        root = &static_cast<const SliceExpr&>(*root).base();
+      } else {
+        break;
+      }
+    }
+    GAUNTLET_BUG_CHECK(root->kind() == ExprKind::kPath, "l-value must be rooted at a path");
+    const Binding* binding = Lookup(static_cast<const PathExpr&>(*root).name());
+    GAUNTLET_BUG_CHECK(binding != nullptr, "l-value root not in scope");
+    if (!binding->writable) {
+      throw CompileError(expr.loc(),
+                         what + ": '" + static_cast<const PathExpr&>(*root).name() +
+                             "' is read-only (in parameter or action data)");
+    }
+  }
+
+  static const ActionDecl* FindLocalAction(const ControlDecl& control, const std::string& name) {
+    const Decl* local = control.FindLocal(name);
+    if (local != nullptr && local->kind() == DeclKind::kAction) {
+      return static_cast<const ActionDecl*>(local);
+    }
+    return nullptr;
+  }
+
+  static const TableDecl* FindLocalTable(const ControlDecl& control, const std::string& name) {
+    const Decl* local = control.FindLocal(name);
+    if (local != nullptr && local->kind() == DeclKind::kTable) {
+      return static_cast<const TableDecl*>(local);
+    }
+    return nullptr;
+  }
+
+  bool IsBoundToRole(const std::string& decl_name, BlockRole role) const {
+    const PackageBlock* block = program_.FindBlock(role);
+    return block != nullptr && block->decl_name == decl_name;
+  }
+
+  Program& program_;
+  const TypeCheckOptions& options_;
+  std::vector<std::map<std::string, Binding>> scopes_;
+  std::set<std::string> all_body_names_;
+  ControlDecl* current_control_ = nullptr;
+  TypePtr current_return_type_;
+  size_t decl_index_ = 0;
+};
+
+}  // namespace
+
+bool IsLValueShape(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kPath:
+      return true;
+    case ExprKind::kMember:
+      return IsLValueShape(static_cast<const MemberExpr&>(expr).base());
+    case ExprKind::kSlice: {
+      // A slice l-value must not itself wrap another slice.
+      const Expr& base = static_cast<const SliceExpr&>(expr).base();
+      return base.kind() != ExprKind::kSlice && IsLValueShape(base);
+    }
+    default:
+      return false;
+  }
+}
+
+void TypeCheck(Program& program, const TypeCheckOptions& options) {
+  Checker checker(program, options);
+  checker.Run();
+}
+
+}  // namespace gauntlet

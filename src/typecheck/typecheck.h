@@ -1,0 +1,40 @@
+#ifndef SRC_TYPECHECK_TYPECHECK_H_
+#define SRC_TYPECHECK_TYPECHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+
+namespace gauntlet {
+
+// Options that seed *deliberate faults* into the type checker, modelling the
+// p4c type-checking crashes the paper reports (18 of 25 front-end crashes
+// were in type checking, section 7.2).
+struct TypeCheckOptions {
+  // Fig. 5b class: crash (CompilerBugError) instead of rejecting a shift
+  // whose width cannot be inferred — modelled as a crash when the checker
+  // sees a shift of a constant by a non-constant amount.
+  bool bug_shift_crash = false;
+  // Fig. 5c class: incorrectly reject a legal slice comparison after
+  // strength reduction produced a narrowed slice (flagged via a negative
+  // index underflow). Modelled as rejecting any comparison between a slice
+  // and a constant of equal width.
+  bool bug_reject_slice_compare = false;
+};
+
+// Type-checks `program` in place: resolves names, assigns types to every
+// expression, enforces direction (copy-in/copy-out) rules, validates tables,
+// parsers and the package. Throws CompileError for ill-formed programs
+// (McKeeman levels 4-5) and CompilerBugError when a seeded checker bug
+// fires. Idempotent: passes re-run it after every rewrite, exactly like
+// p4c's nanopass pipeline re-runs type inference.
+void TypeCheck(Program& program, const TypeCheckOptions& options = {});
+
+// True if `expr` is a valid assignment target in `control`-free contexts:
+// a path, a member chain, or a slice of one.
+bool IsLValueShape(const Expr& expr);
+
+}  // namespace gauntlet
+
+#endif  // SRC_TYPECHECK_TYPECHECK_H_

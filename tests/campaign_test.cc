@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/gauntlet/campaign.h"
+
+namespace gauntlet {
+namespace {
+
+CampaignOptions SmallCampaign(int num_programs) {
+  CampaignOptions options;
+  options.seed = 42;
+  options.num_programs = num_programs;
+  options.testgen.max_tests = 6;
+  options.testgen.max_decisions = 5;
+  return options;
+}
+
+TEST(CampaignTest, CleanCompilerYieldsNoFindings) {
+  const Campaign campaign(SmallCampaign(12));
+  const CampaignReport report = campaign.Run(BugConfig::None());
+  EXPECT_EQ(report.programs_generated, 12);
+  EXPECT_TRUE(report.findings.empty())
+      << "unexpected finding: " << report.findings[0].component << " — "
+      << report.findings[0].detail;
+  EXPECT_EQ(report.DistinctCount(), 0u);
+}
+
+TEST(CampaignTest, SingleCrashBugIsFoundAndAttributed) {
+  BugConfig bugs;
+  bugs.Enable(BugId::kTypeCheckerShiftCrash);
+  const Campaign campaign(SmallCampaign(25));
+  const CampaignReport report = campaign.Run(bugs);
+  EXPECT_TRUE(report.distinct_bugs.count(BugId::kTypeCheckerShiftCrash) > 0)
+      << "findings: " << report.findings.size();
+  for (const Finding& finding : report.findings) {
+    EXPECT_EQ(finding.kind, BugKind::kCrash);
+  }
+}
+
+TEST(CampaignTest, SingleSemanticBugIsFoundByTranslationValidation) {
+  BugConfig bugs;
+  bugs.Enable(BugId::kPredicationLostElse);
+  const Campaign campaign(SmallCampaign(50));
+  const CampaignReport report = campaign.Run(bugs);
+  bool found_by_tv = false;
+  for (const Finding& finding : report.findings) {
+    if (finding.method == DetectionMethod::kTranslationValidation &&
+        finding.component == "Predication") {
+      found_by_tv = true;
+    }
+  }
+  EXPECT_TRUE(found_by_tv);
+  EXPECT_TRUE(report.distinct_bugs.count(BugId::kPredicationLostElse) > 0);
+}
+
+TEST(CampaignTest, TofinoBackEndBugFoundOnlyByPacketTests) {
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoTableDefaultSkipped);
+  CampaignOptions options = SmallCampaign(25);
+  options.generator.backend = GeneratorBackend::kTofino;
+  const Campaign campaign(options);
+  const CampaignReport report = campaign.Run(bugs);
+  bool found = false;
+  for (const Finding& finding : report.findings) {
+    if (finding.attributed == BugId::kTofinoTableDefaultSkipped) {
+      found = true;
+      // Black-box back ends can only be caught by packet replay (§6.1).
+      EXPECT_EQ(finding.method, DetectionMethod::kPacketTest);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CampaignTest, FullCatalogueCampaignFindsBugsInEveryLocation) {
+  CampaignOptions options = SmallCampaign(40);
+  options.generator.backend = GeneratorBackend::kTofino;
+  options.generator.p_wide_arith = 25;
+  const Campaign campaign(options);
+  const CampaignReport report = campaign.Run(BugConfig::All());
+  EXPECT_GT(report.DistinctCount(), 4u);
+  const auto by_kind = report.DistinctByKind();
+  EXPECT_GT(by_kind.count(BugKind::kCrash) > 0 ? by_kind.at(BugKind::kCrash) : 0, 0);
+  const auto by_location = report.DistinctByLocation();
+  EXPECT_GT(by_location.count(BugLocation::kFrontEnd) > 0
+                ? by_location.at(BugLocation::kFrontEnd)
+                : 0,
+            0);
+}
+
+TEST(CampaignTest, FixingBugsShrinksFindings) {
+  // The paper's timeline: crash bugs get fixed first, then semantic bugs
+  // surface. Disabling (fixing) an attributed bug must remove its findings.
+  BugConfig bugs;
+  bugs.Enable(BugId::kTypeCheckerShiftCrash);
+  bugs.Enable(BugId::kPredicationLostElse);
+  const Campaign campaign(SmallCampaign(25));
+  const CampaignReport first = campaign.Run(bugs);
+  ASSERT_GT(first.DistinctCount(), 0u);
+
+  // "Fix" everything that was found and re-run.
+  BugConfig after_fixes = bugs;
+  for (const BugId bug : first.distinct_bugs) {
+    after_fixes.Disable(bug);
+  }
+  const CampaignReport second = campaign.Run(after_fixes);
+  for (const BugId bug : first.distinct_bugs) {
+    EXPECT_EQ(second.distinct_bugs.count(bug), 0u);
+  }
+}
+
+// The fodder-dependent fault classes: each needs a specific program shape
+// (shared-argument call pairs, calls under branches, def-use temporaries,
+// disjoint slice writes) that the generator must emit often enough for a
+// modest campaign to find the fault. Uses the Tofino skeleton because its
+// table-heavy programs are the historical masking case (table applies used
+// to count as reads of everything, hiding every dead-store fault).
+class FodderFaultCampaign : public testing::TestWithParam<BugId> {};
+
+TEST_P(FodderFaultCampaign, RandomCampaignFindsFault) {
+  BugConfig bugs;
+  bugs.Enable(GetParam());
+  CampaignOptions options = SmallCampaign(90);
+  options.seed = 555;
+  options.generator.backend = GeneratorBackend::kTofino;
+  options.generator.p_wide_arith = 20;
+  const CampaignReport report = Campaign(options).Run(bugs);
+  EXPECT_EQ(report.distinct_bugs.count(GetParam()), 1u)
+      << "fault " << BugIdToString(GetParam()) << " not found in 90 random programs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorCoverage, FodderFaultCampaign,
+    testing::Values(BugId::kSideEffectOrderSwap, BugId::kInlinerSkipsNestedCall,
+                    BugId::kSimplifyDefUseDropsInoutWrite,
+                    BugId::kSliceWriteTreatedAsFullDef, BugId::kTofinoCrashOnWideArith),
+    [](const testing::TestParamInfo<BugId>& info) {
+      std::string name = BugIdToString(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(CampaignTest, ReportsAreDeterministicForSeed) {
+  BugConfig bugs;
+  bugs.Enable(BugId::kConstantFoldWrapWidth);
+  const Campaign campaign(SmallCampaign(10));
+  const CampaignReport first = campaign.Run(bugs);
+  const CampaignReport second = campaign.Run(bugs);
+  EXPECT_EQ(first.findings.size(), second.findings.size());
+  EXPECT_EQ(first.distinct_bugs, second.distinct_bugs);
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -1,0 +1,449 @@
+// The detection matrix: every seeded fault in the catalogue, paired with a
+// hand-written trigger program, must be caught by the technique the paper
+// prescribes for its location — translation validation / crash observation
+// for the open front and mid end, packet-test replay for the closed back
+// ends. Parameterized over the whole catalogue so adding a fault without a
+// detection story fails CI.
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/target/bmv2.h"
+#include "src/target/tofino.h"
+#include "src/testgen/testgen.h"
+#include "src/tv/validator.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+enum class ExpectedDetection {
+  kCrash,          // abnormal termination / incorrect rejection observed
+  kSemanticDiff,   // translation validation proves a miscompilation
+  kPacketFailure,  // generated test packet fails on the compiled target
+  kSuspicious,     // undef-divergence warning (the Fig. 5e / §8 classes)
+};
+
+struct MatrixEntry {
+  BugId bug;
+  ExpectedDetection expectation;
+  const char* trigger;
+};
+
+// One trigger program per catalogue entry (full pipelines so the black-box
+// entries can generate packets).
+const std::vector<MatrixEntry>& Matrix() {
+  static const std::vector<MatrixEntry> entries = {
+      {BugId::kTypeCheckerShiftCrash, ExpectedDetection::kCrash, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.a = (8w1 << hdr.h.a) + 8w2; }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTypeCheckerRejectSliceCompare, ExpectedDetection::kCrash, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    if (8w1 != hdr.h.a[7:0]) { hdr.h.a = 8w2; }
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kSideEffectOrderSwap, ExpectedDetection::kSemanticDiff, R"(
+bit<8> twice(inout bit<8> v) { v = v * 8w2; return v; }
+bit<8> inc(inout bit<8> v) { v = v + 8w1; return v; }
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.b = twice(hdr.h.a) - inc(hdr.h.a); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kInlinerSkipsNestedCall, ExpectedDetection::kCrash, R"(
+bit<8> helper(in bit<8> v) { return v + 8w1; }
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    if (hdr.h.a == 8w0) { hdr.h.a = helper(hdr.h.a); }
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kExitIgnoresCopyOut, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<16> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action a(inout bit<16> val) { val = 16w3; exit; }
+  apply { a(hdr.h.a); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kRenameDeclaredUndefined, ExpectedDetection::kSuspicious, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    hdr.h.a = hdr.h.a + 8w1;
+    bit<8> u1;
+    hdr.h.a = u1;
+    bit<8> u2;
+    hdr.h.b = u2;
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kSimplifyDefUseDropsInoutWrite, ExpectedDetection::kCrash, R"(
+void sink(inout bit<8> v) { v = v + 8w1; }
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    bit<8> tmp = hdr.h.a;
+    sink(tmp);
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kSliceWriteTreatedAsFullDef, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    bit<8> v = 8w255;
+    v[0:0] = 1w0;
+    hdr.h.a = v;
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kConstantFoldWrapWidth, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.a = hdr.h.a + (8w200 + 8w100); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kStrengthReductionNegativeSlice, ExpectedDetection::kCrash, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.a = hdr.h.a >> 8w2; }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kPredicationLostElse, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action flip() {
+    if (hdr.h.a == 8w0) { hdr.h.b = 8w1; } else { hdr.h.b = 8w2; }
+  }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { flip; NoAction; }
+    default_action = flip();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kInvalidHeaderCopyProp, ExpectedDetection::kSuspicious, R"(
+header H { bit<8> a; }
+header G { bit<8> a; }
+struct Hdr { H h; G g; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    bit<8> k = hdr.g.a;
+    hdr.g.setValid();
+    hdr.h.a = k;
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); pkt.emit(hdr.g); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTempSubstAcrossWrite, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    bit<8> t = hdr.h.a + 8w1;
+    hdr.h.a = 8w0;
+    hdr.h.b = t;
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kDeadCodeAfterExitCall, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply {
+    if (hdr.h.a == 8w0) { exit; }
+    hdr.h.a = 8w7;
+  }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kEliminateSlicesWrongMask, ExpectedDetection::kSemanticDiff, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.a[5:2] = 4w3; }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kBmv2EmitIgnoresValidity, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); pkt.emit(hdr.g); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kBmv2TableMissRunsFirstAction, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTofinoPhvNarrowWide, ExpectedDetection::kPacketFailure, R"(
+header H { bit<48> a; bit<48> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.a = hdr.h.a + hdr.h.b; }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTofinoTableDefaultSkipped, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action mark() { hdr.h.b = 8w0xee; }
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; mark; }
+    default_action = mark();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTofinoDeparserEmitsInvalid, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      8w1: parse_g;
+      default: accept;
+    }
+  }
+  state parse_g { pkt.extract(hdr.g); transition accept; }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); pkt.emit(hdr.g); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTofinoCrashOnWideArith, ExpectedDetection::kCrash, R"(
+header H { bit<48> a; bit<48> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { hdr.h.a = hdr.h.a * hdr.h.b; }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTofinoCrashManyTables, ExpectedDetection::kCrash, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  table t0 { key = { hdr.h.a : exact; } actions = { NoAction; } default_action = NoAction(); }
+  table t1 { key = { hdr.h.a : exact; } actions = { NoAction; } default_action = NoAction(); }
+  table t2 { key = { hdr.h.a : exact; } actions = { NoAction; } default_action = NoAction(); }
+  table t3 { key = { hdr.h.a : exact; } actions = { NoAction; } default_action = NoAction(); }
+  table t4 { key = { hdr.h.a : exact; } actions = { NoAction; } default_action = NoAction(); }
+  apply { t0.apply(); t1.apply(); t2.apply(); t3.apply(); t4.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+  };
+  return entries;
+}
+
+class DetectionMatrix : public ::testing::TestWithParam<MatrixEntry> {};
+
+TEST_P(DetectionMatrix, SeededFaultIsDetectedByPrescribedTechnique) {
+  const MatrixEntry& entry = GetParam();
+  auto program = Parser::ParseString(entry.trigger);
+  TypeCheck(*program);
+  BugConfig bugs;
+  bugs.Enable(entry.bug);
+
+  // The clean compiler must handle the trigger program.
+  {
+    auto clean = Parser::ParseString(entry.trigger);
+    EXPECT_NO_THROW(Bmv2Compiler(BugConfig::None()).Compile(*clean));
+    EXPECT_NO_THROW(TofinoCompiler(BugConfig::None()).Compile(*clean));
+  }
+
+  const BugInfo& info = GetBugInfo(entry.bug);
+  const bool is_backend = info.location == BugLocation::kBackEndBmv2 ||
+                          info.location == BugLocation::kBackEndTofino;
+
+  switch (entry.expectation) {
+    case ExpectedDetection::kCrash: {
+      if (is_backend) {
+        if (info.location == BugLocation::kBackEndTofino) {
+          EXPECT_THROW(TofinoCompiler(bugs).Compile(*program), CompilerBugError);
+        } else {
+          EXPECT_THROW(Bmv2Compiler(bugs).Compile(*program), CompilerBugError);
+        }
+        return;
+      }
+      const TranslationValidator validator(PassManager::StandardPipeline());
+      const TvReport report = validator.Validate(*program, bugs);
+      if (report.crashed) {
+        return;
+      }
+      // Some front-end faults (e.g. the missed-inlining snowball) only
+      // surface when a back end consumes the mangled program.
+      EXPECT_THROW(Bmv2Compiler(bugs).Compile(*program), CompilerBugError)
+          << "expected a crash; none observed in validation or compilation";
+      return;
+    }
+    case ExpectedDetection::kSemanticDiff: {
+      const TranslationValidator validator(PassManager::StandardPipeline());
+      const TvReport report = validator.Validate(*program, bugs);
+      EXPECT_FALSE(report.crashed) << report.crash_message;
+      EXPECT_TRUE(report.HasSemanticDiff());
+      // Pinpointing: the failing pass matches the catalogue's blame.
+      bool pinpointed = false;
+      for (const TvPassResult& result : report.pass_results) {
+        if (result.verdict == TvVerdict::kSemanticDiff) {
+          pinpointed |= result.pass_name == info.pass_name;
+        }
+      }
+      EXPECT_TRUE(pinpointed) << "semantic diff not pinpointed at " << info.pass_name;
+      return;
+    }
+    case ExpectedDetection::kSuspicious: {
+      const TranslationValidator validator(PassManager::StandardPipeline());
+      const TvReport report = validator.Validate(*program, bugs);
+      EXPECT_FALSE(report.crashed);
+      bool suspicious = false;
+      for (const TvPassResult& result : report.pass_results) {
+        suspicious |= result.verdict == TvVerdict::kUndefDivergence ||
+                      result.verdict == TvVerdict::kSemanticDiff;
+      }
+      EXPECT_TRUE(suspicious) << "no suspicious-transformation report";
+      return;
+    }
+    case ExpectedDetection::kPacketFailure: {
+      // Black-box flow (Fig. 4): tests derived from the source program.
+      const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+      ASSERT_FALSE(tests.empty());
+      if (info.location == BugLocation::kBackEndTofino) {
+        const TofinoExecutable target = TofinoCompiler(bugs).Compile(*program);
+        EXPECT_FALSE(RunPacketTests(target, tests).empty());
+        // And translation validation must be blind to it (closed back end).
+        const TranslationValidator validator(PassManager::StandardPipeline());
+        const TvReport report = validator.Validate(*program, bugs);
+        EXPECT_FALSE(report.HasSemanticDiff())
+            << "a closed-back-end fault leaked into the open pipeline";
+      } else {
+        const Bmv2Executable target = Bmv2Compiler(bugs).Compile(*program);
+        EXPECT_FALSE(RunPacketTests(target, tests).empty());
+      }
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, DetectionMatrix, ::testing::ValuesIn(Matrix()),
+                         [](const ::testing::TestParamInfo<MatrixEntry>& info) {
+                           std::string name = BugIdToString(info.param.bug);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(BugCatalogueTest, EveryEntryHasConsistentMetadata) {
+  for (const BugInfo& info : BugCatalogue()) {
+    EXPECT_STRNE(info.name, "");
+    EXPECT_STRNE(info.pass_name, "");
+    EXPECT_STRNE(info.paper_ref, "");
+    EXPECT_EQ(GetBugInfo(info.id).name, info.name);
+  }
+}
+
+TEST(BugCatalogueTest, MatrixCoversEveryEntry) {
+  std::set<BugId> covered;
+  for (const MatrixEntry& entry : Matrix()) {
+    covered.insert(entry.bug);
+  }
+  EXPECT_EQ(covered.size(), BugCatalogue().size())
+      << "every seeded fault needs a trigger program in the detection matrix";
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/smt/solver.h"
+#include "src/sym/interpreter.h"
+#include "src/target/bmv2.h"
+#include "src/testgen/testgen.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+// A four-block pipeline: parser -> ingress -> egress -> deparser, with the
+// egress undoing part of the ingress's work. Exercises the glue chain and
+// the per-block execution order on both interpreters.
+constexpr const char* kEgressPipeline = R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply {
+    hdr.h.a = hdr.h.a + 8w10;
+    hdr.h.b = 8w1;
+  }
+}
+control eg(inout Hdr hdr) {
+  apply {
+    hdr.h.a = hdr.h.a - 8w3;
+    if (hdr.h.b == 8w1) {
+      hdr.h.b = 8w2;
+    }
+  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; egress = eg; deparser = dp; }
+)";
+
+BitString MakePacket(std::initializer_list<uint8_t> bytes) {
+  BitString packet;
+  for (const uint8_t byte : bytes) {
+    packet.AppendBits(BitValue(8, byte));
+  }
+  return packet;
+}
+
+TEST(EgressTest, ConcreteInterpreterRunsAllFourBlocks) {
+  auto program = Parser::ParseString(kEgressPipeline);
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  const PacketResult result = interpreter.RunPacket(MakePacket({0x20, 0x00}), {});
+  // a: 0x20 + 10 - 3 = 0x27; b: 1 then 2.
+  EXPECT_EQ(result.output, MakePacket({0x27, 0x02}));
+}
+
+TEST(EgressTest, SymbolicPipelineGluesEgress) {
+  auto program = Parser::ParseString(kEgressPipeline);
+  TypeCheck(*program);
+  SmtContext ctx;
+  SymbolicInterpreter interpreter(ctx);
+  const PipelineSemantics pipeline = interpreter.InterpretPipeline(*program);
+  ASSERT_TRUE(pipeline.has_egress);
+  SmtSolver solver(ctx);
+  for (const SmtRef& glue : pipeline.glue) {
+    solver.Assert(glue);
+  }
+  const SmtRef pkt_byte = ctx.FindVar("p::pkt[0+:8]");
+  ASSERT_TRUE(pkt_byte.IsValid());
+  const SmtRef* emit_a = pipeline.deparser.FindOutput("emit0.a");
+  const SmtRef* emit_b = pipeline.deparser.FindOutput("emit0.b");
+  ASSERT_NE(emit_a, nullptr);
+  ASSERT_NE(emit_b, nullptr);
+  solver.Assert(ctx.Eq(pkt_byte, ctx.Const(8, 0x20)));
+  solver.Assert(ctx.BoolNot(ctx.BoolAnd(ctx.Eq(*emit_a, ctx.Const(8, 0x27)),
+                                        ctx.Eq(*emit_b, ctx.Const(8, 0x02)))));
+  EXPECT_EQ(solver.Check(), CheckResult::kUnsat);
+}
+
+TEST(EgressTest, TestGenerationCoversEgressPaths) {
+  auto program = Parser::ParseString(kEgressPipeline);
+  TypeCheck(*program);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  ASSERT_FALSE(tests.empty());
+  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  EXPECT_TRUE(RunPacketTests(target, tests).empty());
+}
+
+TEST(EgressTest, SeededBugInEgressIsDetected) {
+  auto program = Parser::ParseString(kEgressPipeline);
+  TypeCheck(*program);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  BugConfig bugs;
+  bugs.Enable(BugId::kDeadCodeAfterExitCall);  // harmless here (no exits)
+  bugs.Enable(BugId::kConstantFoldWrapWidth);  // also inert on this program
+  // A real behavioral fault: the miss-runs-first-action quirk is inert too
+  // (no tables) — use the emit-ignores-validity fault via a second header.
+  auto program2 = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control eg(inout Hdr hdr) {
+  apply { hdr.h.a = hdr.h.a ^ 8w0xff; }
+}
+control dp(in Hdr hdr) {
+  apply {
+    pkt.emit(hdr.h);
+    pkt.emit(hdr.g);
+  }
+}
+package main { parser = p; ingress = ig; egress = eg; deparser = dp; }
+)");
+  TypeCheck(*program2);
+  const std::vector<PacketTest> tests2 = TestCaseGenerator().Generate(*program2);
+  BugConfig emit_bug;
+  emit_bug.Enable(BugId::kBmv2EmitIgnoresValidity);
+  const Bmv2Executable buggy = Bmv2Compiler(emit_bug).Compile(*program2);
+  EXPECT_FALSE(RunPacketTests(buggy, tests2).empty());
+  const Bmv2Executable clean = Bmv2Compiler(BugConfig::None()).Compile(*program2);
+  EXPECT_TRUE(RunPacketTests(clean, tests2).empty());
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/smt/evaluator.h"
+#include "src/support/rng.h"
+
+namespace gauntlet {
+namespace {
+
+// The model evaluator is how test generation turns a solver model into
+// expected output packets (Fig. 4 "generate expected output"). It must
+// agree exactly with the solver's own semantics: anything it can evaluate
+// to V must be satisfiable as ==V and unsatisfiable as !=V.
+
+TEST(ModelEvaluatorTest, ConstantsEvaluateToThemselves) {
+  SmtContext ctx;
+  SmtModel model;
+  ModelEvaluator evaluator(ctx, model);
+  EXPECT_EQ(evaluator.Eval(ctx.Const(8, 200)), 200u);
+  EXPECT_EQ(evaluator.Eval(ctx.True()), 1u);
+  EXPECT_EQ(evaluator.Eval(ctx.False()), 0u);
+}
+
+TEST(ModelEvaluatorTest, AbsentVariablesReadAsZero) {
+  SmtContext ctx;
+  const SmtRef x = ctx.Var("x", 8);
+  const SmtRef p = ctx.BoolVar("p");
+  SmtModel model;
+  ModelEvaluator evaluator(ctx, model);
+  EXPECT_EQ(evaluator.Eval(x), 0u);
+  EXPECT_FALSE(evaluator.EvalBool(p));
+}
+
+TEST(ModelEvaluatorTest, ModelValuesFlowThroughOperators) {
+  SmtContext ctx;
+  const SmtRef x = ctx.Var("x", 8);
+  const SmtRef y = ctx.Var("y", 8);
+  SmtModel model;
+  model.bit_values["x"] = BitValue(8, 200);
+  model.bit_values["y"] = BitValue(8, 100);
+  ModelEvaluator evaluator(ctx, model);
+  EXPECT_EQ(evaluator.Eval(ctx.Add(x, y)), 44u);  // wraps at 8 bits
+  EXPECT_EQ(evaluator.Eval(ctx.Sub(x, y)), 100u);
+  EXPECT_EQ(evaluator.Eval(ctx.Mul(x, y)), (200u * 100u) & 0xff);
+  EXPECT_EQ(evaluator.Eval(ctx.Concat(x, y)), 200u << 8 | 100u);
+  EXPECT_EQ(evaluator.Eval(ctx.Extract(x, 7, 4)), 200u >> 4);
+  EXPECT_TRUE(evaluator.EvalBool(ctx.Ult(y, x)));
+  EXPECT_FALSE(evaluator.EvalBool(ctx.Eq(x, y)));
+}
+
+TEST(ModelEvaluatorTest, IteSelectsByCondition) {
+  SmtContext ctx;
+  const SmtRef cond = ctx.BoolVar("cond");
+  const SmtRef x = ctx.Var("x", 8);
+  SmtModel model;
+  model.bool_values["cond"] = true;
+  model.bit_values["x"] = BitValue(8, 5);
+  ModelEvaluator evaluator(ctx, model);
+  EXPECT_EQ(evaluator.Eval(ctx.Ite(cond, x, ctx.Const(8, 9))), 5u);
+  SmtModel false_model;
+  false_model.bool_values["cond"] = false;
+  false_model.bit_values["x"] = BitValue(8, 5);
+  ModelEvaluator false_evaluator(ctx, false_model);
+  EXPECT_EQ(false_evaluator.Eval(ctx.Ite(cond, x, ctx.Const(8, 9))), 9u);
+}
+
+TEST(ModelEvaluatorTest, ShiftSemanticsMatchP4) {
+  SmtContext ctx;
+  const SmtRef x = ctx.Var("x", 8);
+  const SmtRef amount = ctx.Var("a", 8);
+  SmtModel model;
+  model.bit_values["x"] = BitValue(8, 0xff);
+  model.bit_values["a"] = BitValue(8, 12);  // >= width -> 0
+  ModelEvaluator evaluator(ctx, model);
+  EXPECT_EQ(evaluator.Eval(ctx.Shl(x, amount)), 0u);
+  EXPECT_EQ(evaluator.Eval(ctx.Shr(x, amount)), 0u);
+}
+
+// Property: the evaluator's value is the unique solver-consistent value.
+TEST(ModelEvaluatorTest, AgreesWithSolverOnRandomExpressions) {
+  Rng rng(4242);
+  for (int round = 0; round < 30; ++round) {
+    SmtContext ctx;
+    const uint32_t width = static_cast<uint32_t>(rng.Range(1, 16));
+    const SmtRef x = ctx.Var("x", width);
+    const SmtRef y = ctx.Var("y", width);
+    const uint64_t x_bits = rng.Below(uint64_t{1} << width);
+    const uint64_t y_bits = rng.Below(uint64_t{1} << width);
+    // A small random expression tree.
+    SmtRef expr = x;
+    for (int i = 0; i < 4; ++i) {
+      const SmtRef operand = rng.Chance(50) ? y : ctx.Const(width, rng.Next());
+      switch (rng.Below(5)) {
+        case 0:
+          expr = ctx.Add(expr, operand);
+          break;
+        case 1:
+          expr = ctx.Xor(expr, operand);
+          break;
+        case 2:
+          expr = ctx.Mul(expr, operand);
+          break;
+        case 3:
+          expr = ctx.Or(expr, operand);
+          break;
+        default:
+          expr = ctx.Ite(ctx.Ult(expr, operand), operand, expr);
+          break;
+      }
+    }
+    SmtModel model;
+    model.bit_values["x"] = BitValue(width, x_bits);
+    model.bit_values["y"] = BitValue(width, y_bits);
+    ModelEvaluator evaluator(ctx, model);
+    const uint64_t value = evaluator.Eval(expr);
+
+    SmtSolver agree(ctx);
+    agree.Assert(ctx.Eq(x, ctx.Const(width, x_bits)));
+    agree.Assert(ctx.Eq(y, ctx.Const(width, y_bits)));
+    agree.Assert(ctx.Eq(expr, ctx.Const(width, value)));
+    EXPECT_EQ(agree.Check(), CheckResult::kSat) << "round " << round;
+
+    SmtSolver disagree(ctx);
+    disagree.Assert(ctx.Eq(x, ctx.Const(width, x_bits)));
+    disagree.Assert(ctx.Eq(y, ctx.Const(width, y_bits)));
+    disagree.Assert(ctx.BoolNot(ctx.Eq(expr, ctx.Const(width, value))));
+    EXPECT_EQ(disagree.Check(), CheckResult::kUnsat) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace gauntlet

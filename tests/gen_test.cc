@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+#include "src/gen/generator.h"
+#include "src/target/bmv2.h"
+#include "src/testgen/testgen.h"
+#include "src/tv/validator.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+TEST(GeneratorTest, ProducesWellTypedProgramsAcrossManySeeds) {
+  // §4.2: a generated program rejected by the type checker is a generator
+  // bug. Sweep many seeds.
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramGenerator generator(options);
+    ProgramPtr program;
+    ASSERT_NO_THROW(program = generator.Generate()) << "seed " << seed;
+    ASSERT_NE(program, nullptr);
+    EXPECT_NO_THROW(TypeCheck(*program)) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, GeneratedProgramsRoundTripThroughPrinter) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    const std::string printed = PrintProgram(*program);
+    ProgramPtr reparsed;
+    ASSERT_NO_THROW(reparsed = Parser::ParseString(printed)) << "seed " << seed << "\n"
+                                                             << printed;
+    EXPECT_EQ(HashProgram(*program), HashProgram(*reparsed)) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.seed = 77;
+  ProgramPtr first = ProgramGenerator(options).Generate();
+  ProgramPtr second = ProgramGenerator(options).Generate();
+  EXPECT_EQ(HashProgram(*first), HashProgram(*second));
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentPrograms) {
+  GeneratorOptions a;
+  a.seed = 1;
+  GeneratorOptions b;
+  b.seed = 2;
+  EXPECT_NE(HashProgram(*ProgramGenerator(a).Generate()),
+            HashProgram(*ProgramGenerator(b).Generate()));
+}
+
+TEST(GeneratorTest, CleanCompilerAcceptsGeneratedPrograms) {
+  // With no seeded faults the full BMv2 compile must succeed on every
+  // generated program: crashes here are bugs in *our* passes.
+  const Bmv2Compiler compiler(BugConfig::None());
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    EXPECT_NO_THROW(compiler.Compile(*program))
+        << "seed " << seed << "\n"
+        << PrintProgram(*program);
+  }
+}
+
+TEST(GeneratorTest, CleanPipelineIsSemanticsPreservingOnGeneratedPrograms) {
+  // Translation validation over the clean pipeline must never report a
+  // semantic difference — this is the interpreter/passes cross-validation
+  // the paper describes bootstrapping with the p4c test suite (§5.2).
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    const TvReport report = validator.Validate(*program, BugConfig::None());
+    EXPECT_FALSE(report.crashed) << "seed " << seed << ": " << report.crash_message;
+    for (const TvPassResult& result : report.pass_results) {
+      EXPECT_NE(result.verdict, TvVerdict::kSemanticDiff)
+          << "seed " << seed << " pass " << result.pass_name << ": " << result.detail << "\n"
+          << PrintProgram(*program);
+      EXPECT_NE(result.verdict, TvVerdict::kInvalidEmit)
+          << "seed " << seed << " pass " << result.pass_name;
+    }
+  }
+}
+
+TEST(GeneratorTest, GeneratedTestsPassOnCleanTarget) {
+  // End-to-end consistency: symbolic semantics (expected outputs) must
+  // agree with the concrete reference target on clean compiles.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    std::vector<PacketTest> tests;
+    try {
+      TestGenOptions testgen_options;
+      testgen_options.max_tests = 8;
+      testgen_options.max_decisions = 6;
+      tests = TestCaseGenerator(testgen_options).Generate(*program);
+    } catch (const UnsupportedError&) {
+      continue;
+    }
+    const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+    const auto failures = RunPacketTests(target, tests);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << ": " << failures.size() << "/" << tests.size()
+        << " failed; first: " << (failures.empty() ? "" : failures[0].second.detail) << "\n"
+        << PrintProgram(*program);
+  }
+}
+
+TEST(GeneratorTest, TofinoSkeletonBiasesTowardWideArithmeticAndTables) {
+  int wide_programs = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    options.backend = GeneratorBackend::kTofino;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    const std::string printed = PrintProgram(*program);
+    if (printed.find("bit<48>") != std::string::npos ||
+        printed.find("bit<64>") != std::string::npos ||
+        printed.find("bit<33>") != std::string::npos) {
+      ++wide_programs;
+    }
+  }
+  EXPECT_GT(wide_programs, 5);
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/lexer.h"
+
+namespace gauntlet {
+namespace {
+
+std::vector<Token> Lex(const std::string& source) { return Lexer(source).Tokenize(); }
+
+TEST(LexerTest, EmptyInputYieldsEndToken) {
+  const auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  const auto tokens = Lex("foo _bar baz42");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "_bar");
+  EXPECT_EQ(tokens[2].text, "baz42");
+}
+
+TEST(LexerTest, KeywordsAreDistinguishedFromIdentifiers) {
+  const auto tokens = Lex("control controls");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwControl);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, PlainNumbers) {
+  const auto tokens = Lex("0 7 123456");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].number, 0u);
+  EXPECT_EQ(tokens[2].number, 123456u);
+}
+
+TEST(LexerTest, WidthAnnotatedConstants) {
+  const auto tokens = Lex("8w255 1w1 64w0");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWidthConst);
+  EXPECT_EQ(tokens[0].width, 8u);
+  EXPECT_EQ(tokens[0].number, 255u);
+  EXPECT_EQ(tokens[1].width, 1u);
+  EXPECT_EQ(tokens[2].width, 64u);
+}
+
+TEST(LexerTest, WidthConstantRangeEnforced) {
+  EXPECT_THROW(Lex("0w1"), CompileError);
+  EXPECT_THROW(Lex("65w1"), CompileError);
+}
+
+TEST(LexerTest, NumberFollowedByIdentifierStartingWithW) {
+  // `8wide` is NOT a width constant (the char after 'w' is not a digit):
+  // it lexes as number 8 then identifier "wide".
+  const auto tokens = Lex("8wide");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "wide");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  const auto tokens = Lex("== != <= >= << >> && || ++");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kShl);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kShr);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kAmpAmp);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kPipePipe);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kPlusPlus);
+}
+
+TEST(LexerTest, SingleCharOperatorsAdjacent) {
+  const auto tokens = Lex("a+b");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPlus);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  const auto tokens = Lex("a // comment until end\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, BlockCommentsAreSkipped) {
+  const auto tokens = Lex("a /* multi\nline */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  EXPECT_THROW(Lex("a /* never closed"), CompileError);
+}
+
+TEST(LexerTest, StrayCharacterIsError) {
+  // McKeeman level 2: a word the language cannot form.
+  EXPECT_THROW(Lex("a $ b"), CompileError);
+  EXPECT_THROW(Lex("a # b"), CompileError);
+}
+
+TEST(LexerTest, SourceLocationsTrackLinesAndColumns) {
+  const auto tokens = Lex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(LexerTest, OversizedLiteralIsError) {
+  EXPECT_THROW(Lex("99999999999999999999999"), CompileError);
+}
+
+TEST(LexerTest, MaxUint64LiteralRoundTrips) {
+  // 2^64-1 is the all-ones mask slice lowering prints for 64-bit fields; it
+  // must lex exactly (regression: a conservative overflow guard rejected
+  // it, making emitted programs unparseable).
+  const auto tokens = Lex("64w18446744073709551615");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kWidthConst);
+  EXPECT_EQ(tokens[0].width, 64u);
+  EXPECT_EQ(tokens[0].number, ~uint64_t{0});
+  // One past 2^64-1 must still be rejected.
+  EXPECT_THROW(Lex("64w18446744073709551616"), CompileError);
+  EXPECT_THROW(Lex("18446744073709551616"), CompileError);
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+
+namespace gauntlet {
+namespace {
+
+// Round-trip invariant: parse(print(parse(src))) must print identically.
+// This mirrors the paper's reparse check on every ToP4 emission (§5.2),
+// which caught 4 "invalid transformation" bugs in p4c.
+void ExpectRoundTrip(const std::string& source) {
+  auto first = Parser::ParseString(source);
+  const std::string printed = PrintProgram(*first);
+  auto second = Parser::ParseString(printed);
+  const std::string reprinted = PrintProgram(*second);
+  EXPECT_EQ(printed, reprinted) << "printer output is not a fixed point";
+  EXPECT_EQ(HashProgram(*first), HashProgram(*second));
+}
+
+TEST(PrinterTest, RoundTripsTypes) {
+  ExpectRoundTrip(R"(
+header H { bit<8> a; bit<16> b; bit<1> c; }
+struct M { bit<32> x; }
+struct Hdr { H h; M m; }
+)");
+}
+
+TEST(PrinterTest, RoundTripsControlWithTable) {
+  ExpectRoundTrip(R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  action assign() { hdr.h.a = 8w1; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { assign; NoAction; }
+    default_action = NoAction();
+  }
+  apply {
+    t.apply();
+  }
+}
+package main { ingress = ig; }
+)");
+}
+
+TEST(PrinterTest, RoundTripsExpressions) {
+  ExpectRoundTrip(R"(
+control c(inout bit<8> x, inout bit<8> y, inout bit<16> w) {
+  apply {
+    x = x + y * x - y;
+    x = (x + y) * (x - y);
+    x = x & y | x ^ y;
+    x = (x | y) & (x ^ y);
+    x = x << y >> x;
+    x = ~x + -y;
+    w = x ++ y;
+    x = x == y ? x : x != y ? y : x;
+    x = (bit<8>) w[11:4];
+    x[7:4] = y[3:0];
+  }
+}
+)");
+}
+
+TEST(PrinterTest, RoundTripsBooleanOperators) {
+  ExpectRoundTrip(R"(
+control c(inout bit<8> x, inout bit<8> y) {
+  apply {
+    if (x == y && (x != 8w0 || !(y < x))) {
+      x = 8w1;
+    } else {
+      x = 8w2;
+    }
+  }
+}
+)");
+}
+
+TEST(PrinterTest, RoundTripsFunctionsAndCalls) {
+  ExpectRoundTrip(R"(
+bit<8> helper(in bit<8> a, inout bit<8> b, out bit<8> c) {
+  c = a + b;
+  b = a;
+  return c;
+}
+control c(inout bit<8> x, inout bit<8> y, inout bit<8> z) {
+  apply {
+    x = helper(x, y, z);
+  }
+}
+)");
+}
+
+TEST(PrinterTest, RoundTripsParser) {
+  ExpectRoundTrip(R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      8w1: parse_g;
+      8w2: accept;
+      default: reject;
+    }
+  }
+  state parse_g {
+    pkt.extract(hdr.g);
+    transition accept;
+  }
+}
+control dp(in Hdr hdr) {
+  apply {
+    pkt.emit(hdr.h);
+    pkt.emit(hdr.g);
+  }
+}
+package main { parser = p; deparser = dp; }
+)");
+}
+
+TEST(PrinterTest, RoundTripsValidityAndExit) {
+  ExpectRoundTrip(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  action a(inout bit<8> v) {
+    v = 8w3;
+    exit;
+  }
+  apply {
+    hdr.h.setValid();
+    if (hdr.h.isValid()) {
+      a(hdr.h.a);
+    }
+    hdr.h.setInvalid();
+  }
+}
+)");
+}
+
+TEST(PrinterTest, PrecedenceParenthesizationIsMinimalButCorrect) {
+  // a + b * c must print without parens; (a + b) * c must keep them.
+  auto program = Parser::ParseString(R"(
+control c(inout bit<8> x) {
+  apply {
+    x = x + x * x;
+    x = (x + x) * x;
+  }
+}
+)");
+  const std::string printed = PrintProgram(*program);
+  EXPECT_NE(printed.find("x = x + x * x;"), std::string::npos);
+  EXPECT_NE(printed.find("x = (x + x) * x;"), std::string::npos);
+}
+
+TEST(PrinterTest, SubtractionAssociativityPreserved) {
+  // (x - y) - z prints as x - y - z, but x - (y - z) needs parens.
+  auto program = Parser::ParseString(R"(
+control c(inout bit<8> x, inout bit<8> y, inout bit<8> z) {
+  apply {
+    x = x - y - z;
+    x = x - (y - z);
+  }
+}
+)");
+  const std::string printed = PrintProgram(*program);
+  EXPECT_NE(printed.find("x = x - y - z;"), std::string::npos);
+  EXPECT_NE(printed.find("x = x - (y - z);"), std::string::npos);
+  ExpectRoundTrip(printed);
+}
+
+TEST(PrinterTest, HashDetectsChanges) {
+  auto program1 = Parser::ParseString("header H { bit<8> a; }");
+  auto program2 = Parser::ParseString("header H { bit<8> b; }");
+  EXPECT_NE(HashProgram(*program1), HashProgram(*program2));
+}
+
+TEST(PrinterTest, HashStableAcrossClone) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  apply { hdr.h.a = 8w1; }
+}
+)");
+  auto clone = program->Clone();
+  EXPECT_EQ(HashProgram(*program), HashProgram(*clone));
+}
+
+}  // namespace
+}  // namespace gauntlet

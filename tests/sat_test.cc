@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "src/smt/sat.h"
+#include "src/support/rng.h"
+
+namespace gauntlet {
+namespace {
+
+TEST(SatSolverTest, EmptyInstanceIsSat) {
+  SatSolver solver;
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, SingleUnitClause) {
+  SatSolver solver;
+  const uint32_t x = solver.NewVar();
+  solver.AddClause({Lit(x, false)});
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_TRUE(solver.ValueOf(x));
+}
+
+TEST(SatSolverTest, ContradictoryUnitsAreUnsat) {
+  SatSolver solver;
+  const uint32_t x = solver.NewVar();
+  solver.AddClause({Lit(x, false)});
+  solver.AddClause({Lit(x, true)});
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, EmptyClauseIsUnsat) {
+  SatSolver solver;
+  solver.NewVar();
+  solver.AddClause({});
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, TautologyClauseIsIgnored) {
+  SatSolver solver;
+  const uint32_t x = solver.NewVar();
+  solver.AddClause({Lit(x, false), Lit(x, true)});
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, SimpleImplicationChain) {
+  SatSolver solver;
+  const uint32_t a = solver.NewVar();
+  const uint32_t b = solver.NewVar();
+  const uint32_t c = solver.NewVar();
+  solver.AddClause({Lit(a, false)});                 // a
+  solver.AddClause({Lit(a, true), Lit(b, false)});   // a -> b
+  solver.AddClause({Lit(b, true), Lit(c, false)});   // b -> c
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_TRUE(solver.ValueOf(a));
+  EXPECT_TRUE(solver.ValueOf(b));
+  EXPECT_TRUE(solver.ValueOf(c));
+}
+
+TEST(SatSolverTest, PigeonholeTwoIntoOneIsUnsat) {
+  // Two pigeons, one hole: p0h0, p1h0, not both.
+  SatSolver solver;
+  const uint32_t p0 = solver.NewVar();
+  const uint32_t p1 = solver.NewVar();
+  solver.AddClause({Lit(p0, false)});
+  solver.AddClause({Lit(p1, false)});
+  solver.AddClause({Lit(p0, true), Lit(p1, true)});
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+// Pigeonhole principle PHP(n+1, n): always unsatisfiable, requires real
+// conflict analysis to solve in reasonable time.
+SatResult SolvePigeonhole(uint32_t holes) {
+  SatSolver solver;
+  const uint32_t pigeons = holes + 1;
+  std::vector<std::vector<uint32_t>> var(pigeons, std::vector<uint32_t>(holes));
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    for (uint32_t h = 0; h < holes; ++h) {
+      var[p][h] = solver.NewVar();
+    }
+  }
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (uint32_t h = 0; h < holes; ++h) {
+      clause.emplace_back(var[p][h], false);
+    }
+    solver.AddClause(clause);
+  }
+  for (uint32_t h = 0; h < holes; ++h) {
+    for (uint32_t p1 = 0; p1 < pigeons; ++p1) {
+      for (uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.AddClause({Lit(var[p1][h], true), Lit(var[p2][h], true)});
+      }
+    }
+  }
+  return solver.Solve();
+}
+
+TEST(SatSolverTest, PigeonholeFamilyIsUnsat) {
+  EXPECT_EQ(SolvePigeonhole(3), SatResult::kUnsat);
+  EXPECT_EQ(SolvePigeonhole(5), SatResult::kUnsat);
+  EXPECT_EQ(SolvePigeonhole(7), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, SatisfiableGraphColoring) {
+  // 3-color a 5-cycle (chromatic number 3 -> satisfiable).
+  SatSolver solver;
+  constexpr int kNodes = 5;
+  constexpr int kColors = 3;
+  uint32_t var[kNodes][kColors];
+  for (auto& node : var) {
+    for (auto& lit : node) {
+      lit = solver.NewVar();
+    }
+  }
+  for (int n = 0; n < kNodes; ++n) {
+    std::vector<Lit> at_least_one;
+    for (int c = 0; c < kColors; ++c) {
+      at_least_one.emplace_back(var[n][c], false);
+    }
+    solver.AddClause(at_least_one);
+    for (int c1 = 0; c1 < kColors; ++c1) {
+      for (int c2 = c1 + 1; c2 < kColors; ++c2) {
+        solver.AddClause({Lit(var[n][c1], true), Lit(var[n][c2], true)});
+      }
+    }
+  }
+  for (int n = 0; n < kNodes; ++n) {
+    const int next = (n + 1) % kNodes;
+    for (int c = 0; c < kColors; ++c) {
+      solver.AddClause({Lit(var[n][c], true), Lit(var[next][c], true)});
+    }
+  }
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  // Verify the model is a proper coloring.
+  for (int n = 0; n < kNodes; ++n) {
+    int count = 0;
+    for (int c = 0; c < kColors; ++c) {
+      count += solver.ValueOf(var[n][c]) ? 1 : 0;
+    }
+    EXPECT_EQ(count, 1);
+    const int next = (n + 1) % kNodes;
+    for (int c = 0; c < kColors; ++c) {
+      EXPECT_FALSE(solver.ValueOf(var[n][c]) && solver.ValueOf(var[next][c]));
+    }
+  }
+}
+
+// Random 3-SAT at low clause/variable ratio: should be satisfiable and the
+// returned model must satisfy every clause. Exercises restarts and clause
+// learning on larger instances.
+TEST(SatSolverTest, RandomThreeSatModelsAreValid) {
+  Rng rng(2024);
+  for (int round = 0; round < 5; ++round) {
+    SatSolver solver;
+    constexpr uint32_t kVars = 60;
+    constexpr uint32_t kClauses = 150;  // ratio 2.5 — almost surely SAT
+    for (uint32_t i = 0; i < kVars; ++i) {
+      solver.NewVar();
+    }
+    std::vector<std::vector<Lit>> clauses;
+    for (uint32_t i = 0; i < kClauses; ++i) {
+      std::vector<Lit> clause;
+      for (int j = 0; j < 3; ++j) {
+        clause.emplace_back(static_cast<uint32_t>(rng.Below(kVars)), rng.Chance(50));
+      }
+      clauses.push_back(clause);
+      solver.AddClause(clause);
+    }
+    ASSERT_EQ(solver.Solve(), SatResult::kSat);
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (const Lit& lit : clause) {
+        satisfied |= solver.ValueOf(lit.var()) != lit.negated();
+      }
+      EXPECT_TRUE(satisfied);
+    }
+  }
+}
+
+TEST(SatSolverTest, AssumptionsRestrictWithoutCommitting) {
+  // x | y with assumption ~x forces y; assuming both ~x and ~y is unsat
+  // under assumptions but the instance stays satisfiable afterwards.
+  SatSolver solver;
+  const uint32_t x = solver.NewVar();
+  const uint32_t y = solver.NewVar();
+  solver.AddClause({Lit(x, false), Lit(y, false)});
+  ASSERT_EQ(solver.Solve({Lit(x, true)}), SatResult::kSat);
+  EXPECT_FALSE(solver.ValueOf(x));
+  EXPECT_TRUE(solver.ValueOf(y));
+  ASSERT_EQ(solver.Solve({Lit(x, true), Lit(y, true)}), SatResult::kUnsat);
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  ASSERT_EQ(solver.Solve({Lit(y, true)}), SatResult::kSat);
+  EXPECT_TRUE(solver.ValueOf(x));
+}
+
+TEST(SatSolverTest, AssumptionContradictingUnitClauseIsUnsat) {
+  SatSolver solver;
+  const uint32_t x = solver.NewVar();
+  solver.AddClause({Lit(x, false)});  // unit: x
+  EXPECT_EQ(solver.Solve({Lit(x, true)}), SatResult::kUnsat);
+  EXPECT_EQ(solver.Solve({Lit(x, false)}), SatResult::kSat);
+}
+
+TEST(SatSolverTest, IncrementalClauseAdditionBetweenSolves) {
+  SatSolver solver;
+  const uint32_t a = solver.NewVar();
+  const uint32_t b = solver.NewVar();
+  solver.AddClause({Lit(a, false), Lit(b, false)});
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  solver.AddClause({Lit(a, true)});
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_FALSE(solver.ValueOf(a));
+  EXPECT_TRUE(solver.ValueOf(b));
+  solver.AddClause({Lit(b, true)});
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+  // A contradictory database stays unsat regardless of assumptions.
+  EXPECT_EQ(solver.Solve({Lit(a, false)}), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, AssumptionSolvesAgreeWithFreshSolves) {
+  // Cross-check: solving random instances under random assumptions must
+  // match solving a fresh instance with the assumptions added as units.
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    constexpr uint32_t kVars = 25;
+    const uint32_t num_clauses = 40 + static_cast<uint32_t>(rng.Below(80));
+    std::vector<std::vector<Lit>> clauses;
+    for (uint32_t i = 0; i < num_clauses; ++i) {
+      std::vector<Lit> clause;
+      for (int j = 0; j < 3; ++j) {
+        clause.emplace_back(static_cast<uint32_t>(rng.Below(kVars)), rng.Chance(50));
+      }
+      clauses.push_back(clause);
+    }
+    std::vector<Lit> assumptions;
+    for (uint32_t var = 0; var < kVars; ++var) {
+      if (rng.Chance(20)) {
+        assumptions.emplace_back(var, rng.Chance(50));
+      }
+    }
+
+    SatSolver incremental;
+    for (uint32_t i = 0; i < kVars; ++i) {
+      incremental.NewVar();
+    }
+    for (const auto& clause : clauses) {
+      incremental.AddClause(clause);
+    }
+    // Exercise the incremental path: a plain solve first, then assumptions.
+    (void)incremental.Solve();
+    const SatResult under_assumptions = incremental.Solve(assumptions);
+
+    SatSolver fresh;
+    for (uint32_t i = 0; i < kVars; ++i) {
+      fresh.NewVar();
+    }
+    for (const auto& clause : clauses) {
+      fresh.AddClause(clause);
+    }
+    for (const Lit& lit : assumptions) {
+      fresh.AddClause({lit});
+    }
+    ASSERT_EQ(under_assumptions, fresh.Solve()) << "round " << round;
+    if (under_assumptions == SatResult::kSat) {
+      for (const Lit& lit : assumptions) {
+        EXPECT_EQ(incremental.ValueOf(lit.var()), !lit.negated());
+      }
+      for (const auto& clause : clauses) {
+        bool satisfied = false;
+        for (const Lit& lit : clause) {
+          satisfied |= incremental.ValueOf(lit.var()) != lit.negated();
+        }
+        EXPECT_TRUE(satisfied);
+      }
+    }
+  }
+}
+
+TEST(SatSolverTest, ModelPersistsAcrossFailedAssumptionSolve) {
+  SatSolver solver;
+  const uint32_t x = solver.NewVar();
+  const uint32_t y = solver.NewVar();
+  solver.AddClause({Lit(x, false), Lit(y, false)});
+  solver.AddClause({Lit(x, true), Lit(y, true)});
+  ASSERT_EQ(solver.Solve({Lit(x, false)}), SatResult::kSat);
+  const bool x_value = solver.ValueOf(x);
+  const bool y_value = solver.ValueOf(y);
+  EXPECT_TRUE(x_value);
+  EXPECT_FALSE(y_value);
+  // Unsat probe must not clobber the last satisfying model.
+  ASSERT_EQ(solver.Solve({Lit(x, false), Lit(y, false)}), SatResult::kUnsat);
+  EXPECT_EQ(solver.ValueOf(x), x_value);
+  EXPECT_EQ(solver.ValueOf(y), y_value);
+}
+
+TEST(SatSolverTest, TimeLimitReturnsUnknownOnHardInstance) {
+  // A pigeonhole-style instance (n+1 pigeons, n holes) is exponentially
+  // hard for resolution; a 1ms budget must give up with kUnknown.
+  SatSolver solver;
+  constexpr uint32_t kHoles = 9;
+  constexpr uint32_t kPigeons = kHoles + 1;
+  std::vector<std::vector<uint32_t>> slot(kPigeons, std::vector<uint32_t>(kHoles));
+  for (uint32_t p = 0; p < kPigeons; ++p) {
+    for (uint32_t h = 0; h < kHoles; ++h) {
+      slot[p][h] = solver.NewVar();
+    }
+  }
+  for (uint32_t p = 0; p < kPigeons; ++p) {
+    std::vector<Lit> at_least_one;
+    for (uint32_t h = 0; h < kHoles; ++h) {
+      at_least_one.emplace_back(slot[p][h], false);
+    }
+    solver.AddClause(at_least_one);
+  }
+  for (uint32_t h = 0; h < kHoles; ++h) {
+    for (uint32_t p1 = 0; p1 < kPigeons; ++p1) {
+      for (uint32_t p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        solver.AddClause({Lit(slot[p1][h], true), Lit(slot[p2][h], true)});
+      }
+    }
+  }
+  solver.set_time_limit_ms(1);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnknown);
+}
+
+TEST(SatSolverTest, StatisticsAdvance) {
+  SatSolver solver;
+  const uint32_t a = solver.NewVar();
+  const uint32_t b = solver.NewVar();
+  solver.AddClause({Lit(a, false), Lit(b, false)});
+  solver.AddClause({Lit(a, true), Lit(b, false)});
+  solver.AddClause({Lit(a, false), Lit(b, true)});
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_GT(solver.decisions() + solver.propagations(), 0u);
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -1,0 +1,472 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/target/bmv2.h"
+#include "src/target/stf.h"
+#include "src/target/tofino.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+constexpr const char* kPipelineProgram = R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)";
+
+BitString MakePacket(std::initializer_list<uint8_t> bytes) {
+  BitString packet;
+  for (const uint8_t byte : bytes) {
+    packet.AppendBits(BitValue(8, byte));
+  }
+  return packet;
+}
+
+TEST(BitStringTest, AppendAndRead) {
+  BitString bits;
+  bits.AppendBits(BitValue(8, 0xab));
+  bits.AppendBits(BitValue(4, 0x5));
+  EXPECT_EQ(bits.size(), 12u);
+  EXPECT_EQ(bits.ReadBits(0, 8)->bits(), 0xabu);
+  EXPECT_EQ(bits.ReadBits(8, 4)->bits(), 0x5u);
+  EXPECT_EQ(bits.ReadBits(4, 8)->bits(), 0xb5u);
+  EXPECT_FALSE(bits.ReadBits(8, 8).has_value());
+}
+
+TEST(BitStringTest, HexRendering) {
+  BitString bits;
+  bits.AppendBits(BitValue(16, 0xdead));
+  EXPECT_EQ(bits.ToHex(), "dead");
+  BitString odd;
+  odd.AppendBits(BitValue(6, 0b101010));
+  EXPECT_EQ(odd.ToHex(), "a8");  // 1010 10(00 pad)
+}
+
+TEST(ConcreteInterpreterTest, PassthroughOnTableMiss) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  const PacketResult result = interpreter.RunPacket(MakePacket({0x11, 0x22}), {});
+  EXPECT_FALSE(result.dropped);
+  EXPECT_EQ(result.output, MakePacket({0x11, 0x22}));
+}
+
+TEST(ConcreteInterpreterTest, TableHitRunsActionWithData) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  TableConfig tables;
+  tables["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(8, 0x99)}});
+  const PacketResult hit = interpreter.RunPacket(MakePacket({0x11, 0x22}), tables);
+  EXPECT_EQ(hit.output, MakePacket({0x11, 0x99}));
+  // A different key misses and leaves the packet unchanged.
+  const PacketResult miss = interpreter.RunPacket(MakePacket({0x44, 0x22}), tables);
+  EXPECT_EQ(miss.output, MakePacket({0x44, 0x22}));
+}
+
+TEST(ConcreteInterpreterTest, ShortPacketIsDropped) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  const PacketResult result = interpreter.RunPacket(MakePacket({0x11}), {});
+  EXPECT_TRUE(result.dropped);
+}
+
+TEST(ConcreteInterpreterTest, ParserRejectDropsPacket) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      8w255: reject;
+      default: accept;
+    }
+  }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  EXPECT_TRUE(interpreter.RunPacket(MakePacket({0xff}), {}).dropped);
+  EXPECT_FALSE(interpreter.RunPacket(MakePacket({0x01}), {}).dropped);
+}
+
+TEST(ConcreteInterpreterTest, InvalidHeaderNotEmitted) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply {
+    if (hdr.h.a == 8w1) {
+      hdr.g.setValid();
+      hdr.g.a = 8w77;
+    }
+  }
+}
+control dp(in Hdr hdr) {
+  apply {
+    pkt.emit(hdr.h);
+    pkt.emit(hdr.g);
+  }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  // g invalid: only h emitted.
+  EXPECT_EQ(interpreter.RunPacket(MakePacket({0x05}), {}).output, MakePacket({0x05}));
+  // g validated: both emitted.
+  EXPECT_EQ(interpreter.RunPacket(MakePacket({0x01}), {}).output, MakePacket({0x01, 77}));
+}
+
+TEST(ConcreteInterpreterTest, ExitStopsControl) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply {
+    if (hdr.h.a == 8w1) {
+      exit;
+    }
+    hdr.h.a = 8w9;
+  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  EXPECT_EQ(interpreter.RunPacket(MakePacket({0x01}), {}).output, MakePacket({0x01}));
+  EXPECT_EQ(interpreter.RunPacket(MakePacket({0x02}), {}).output, MakePacket({0x09}));
+}
+
+TEST(ConcreteInterpreterTest, CopyInCopyOutWithExit) {
+  // Fig. 5f concretely: copy-out must happen despite exit.
+  auto program = Parser::ParseString(R"(
+header Eth { bit<16> eth_type; }
+struct Hdr { Eth eth; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.eth);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action a(inout bit<16> val) {
+    val = 16w3;
+    exit;
+  }
+  apply {
+    a(hdr.eth.eth_type);
+    hdr.eth.eth_type = 16w99;
+  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.eth); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  TypeCheck(*program);
+  ConcreteInterpreter interpreter(*program);
+  const PacketResult result = interpreter.RunPacket(MakePacket({0xaa, 0xbb}), {});
+  EXPECT_EQ(result.output, MakePacket({0x00, 0x03}));
+}
+
+TEST(Bmv2CompilerTest, CleanCompileAndRun) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  const Bmv2Compiler compiler(BugConfig::None());
+  const Bmv2Executable executable = compiler.Compile(*program);
+  const PacketResult result = executable.Run(MakePacket({0x11, 0x22}), {});
+  EXPECT_EQ(result.output, MakePacket({0x11, 0x22}));
+}
+
+TEST(Bmv2CompilerTest, CompiledProgramMatchesSourceBehavior) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  TypeCheck(*program);
+  ConcreteInterpreter source_interpreter(*program);
+  const Bmv2Compiler compiler(BugConfig::None());
+  const Bmv2Executable executable = compiler.Compile(*program);
+  TableConfig tables;
+  tables["t"].push_back(TableEntry{{BitValue(8, 7)}, "set_b", {BitValue(8, 0x42)}});
+  for (uint8_t a = 0; a < 16; ++a) {
+    const BitString packet = MakePacket({a, 0xee});
+    EXPECT_EQ(source_interpreter.RunPacket(packet, tables), executable.Run(packet, tables));
+  }
+}
+
+TEST(Bmv2CompilerTest, InlinerSkipBugCrashesBackEnd) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+bit<8> helper(in bit<8> v) {
+  return v + 8w1;
+}
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply {
+    if (hdr.h.a == 8w0) {
+      hdr.h.a = helper(hdr.h.a);
+    }
+  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  BugConfig bugs;
+  bugs.Enable(BugId::kInlinerSkipsNestedCall);
+  const Bmv2Compiler compiler(bugs);
+  EXPECT_THROW(compiler.Compile(*program), CompilerBugError);
+}
+
+TEST(Bmv2CompilerTest, MissRunsFirstActionQuirk) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  const Bmv2Executable buggy = Bmv2Compiler(bugs).Compile(*program);
+  // Miss: set_b runs with zero data instead of NoAction.
+  const PacketResult result = buggy.Run(MakePacket({0x11, 0x22}), {});
+  EXPECT_EQ(result.output, MakePacket({0x11, 0x00}));
+}
+
+TEST(Bmv2CompilerTest, EmitIgnoresValidityQuirk) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) {
+  apply {
+    pkt.emit(hdr.h);
+    pkt.emit(hdr.g);
+  }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2EmitIgnoresValidity);
+  const Bmv2Executable buggy = Bmv2Compiler(bugs).Compile(*program);
+  // The invalid header g is wrongly emitted (as zeros).
+  EXPECT_EQ(buggy.Run(MakePacket({0x55}), {}).output, MakePacket({0x55, 0x00}));
+}
+
+TEST(TofinoCompilerTest, CleanCompileMatchesBmv2) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  const Bmv2Executable bmv2 = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const TofinoExecutable tofino = TofinoCompiler(BugConfig::None()).Compile(*program);
+  TableConfig tables;
+  tables["t"].push_back(TableEntry{{BitValue(8, 3)}, "set_b", {BitValue(8, 0x77)}});
+  for (uint8_t a = 0; a < 8; ++a) {
+    const BitString packet = MakePacket({a, 0x10});
+    EXPECT_EQ(bmv2.Run(packet, tables), tofino.Run(packet, tables));
+  }
+}
+
+TEST(TofinoCompilerTest, WideArithCrash) {
+  auto program = Parser::ParseString(R"(
+header H { bit<48> a; bit<48> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply {
+    hdr.h.a = hdr.h.a * hdr.h.b;
+  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoCrashOnWideArith);
+  EXPECT_THROW(TofinoCompiler(bugs).Compile(*program), CompilerBugError);
+  // The open-source reference back end handles it fine.
+  EXPECT_NO_THROW(Bmv2Compiler(bugs).Compile(*program));
+}
+
+TEST(TofinoCompilerTest, NarrowWideSemanticBug) {
+  auto program = Parser::ParseString(R"(
+header H { bit<48> a; bit<48> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply {
+    hdr.h.a = hdr.h.a + hdr.h.b;
+  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoPhvNarrowWide);
+  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
+  const TofinoExecutable clean = TofinoCompiler(BugConfig::None()).Compile(*program);
+  // A carry into the upper 16 bits is lost by the 32-bit container fault.
+  BitString packet;
+  packet.AppendBits(BitValue(48, 0xffffffffull));  // a
+  packet.AppendBits(BitValue(48, 1));              // b
+  const PacketResult clean_result = clean.Run(packet, {});
+  const PacketResult buggy_result = buggy.Run(packet, {});
+  EXPECT_NE(clean_result, buggy_result);
+  EXPECT_EQ(clean_result.output.ReadBits(0, 48)->bits(), 0x100000000ull);
+  EXPECT_EQ(buggy_result.output.ReadBits(0, 48)->bits(), 0ull);
+}
+
+TEST(TofinoCompilerTest, ManyTablesCrash) {
+  std::string source = R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+)";
+  for (int i = 0; i < 6; ++i) {
+    source += "  table t" + std::to_string(i) + R"( {
+    key = { hdr.h.a : exact; }
+    actions = { NoAction; }
+    default_action = NoAction();
+  }
+)";
+  }
+  source += "  apply {\n";
+  for (int i = 0; i < 6; ++i) {
+    source += "    t" + std::to_string(i) + ".apply();\n";
+  }
+  source += R"(  }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)";
+  auto program = Parser::ParseString(source);
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoCrashManyTables);
+  EXPECT_THROW(TofinoCompiler(bugs).Compile(*program), CompilerBugError);
+}
+
+TEST(TofinoCompilerTest, DefaultSkippedSemanticBug) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action mark() { hdr.h.b = 8w0xee; }
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; mark; }
+    default_action = mark();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoTableDefaultSkipped);
+  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
+  // On a miss the default action `mark` should set b to 0xee; the fault
+  // replaced it with a no-op.
+  const PacketResult result = buggy.Run(MakePacket({0x01, 0x02}), {});
+  EXPECT_EQ(result.output, MakePacket({0x01, 0x02}));
+  const TofinoExecutable clean = TofinoCompiler(BugConfig::None()).Compile(*program);
+  EXPECT_EQ(clean.Run(MakePacket({0x01, 0x02}), {}).output, MakePacket({0x01, 0xee}));
+}
+
+TEST(StfHarnessTest, PassAndMismatchReporting) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  const Bmv2Executable clean = Bmv2Compiler(BugConfig::None()).Compile(*program);
+
+  PacketTest test;
+  test.name = "passthrough";
+  test.input = MakePacket({0x0a, 0x0b});
+  test.expected.output = MakePacket({0x0a, 0x0b});
+  EXPECT_TRUE(RunPacketTest(clean, test).passed);
+
+  PacketTest wrong = std::move(test);
+  wrong.expected.output = MakePacket({0x0a, 0xff});
+  const PacketTestOutcome outcome = RunPacketTest(clean, wrong);
+  EXPECT_FALSE(outcome.passed);
+  EXPECT_NE(outcome.detail.find("payload mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gauntlet

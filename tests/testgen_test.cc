@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/target/bmv2.h"
+#include "src/target/tofino.h"
+#include "src/testgen/testgen.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+constexpr const char* kPipelineProgram = R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)";
+
+std::unique_ptr<Program> Load(const std::string& source) {
+  auto program = Parser::ParseString(source);
+  TypeCheck(*program);
+  return program;
+}
+
+TEST(TestGenTest, GeneratesTestsCoveringTablePaths) {
+  auto program = Load(kPipelineProgram);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  // At least: miss path, hit-with-set_b path, hit-with-NoAction path.
+  EXPECT_GE(tests.size(), 3u);
+  bool any_with_entry = false;
+  bool any_without_entry = false;
+  for (const PacketTest& test : tests) {
+    any_with_entry |= !test.tables.empty();
+    any_without_entry |= test.tables.empty();
+  }
+  EXPECT_TRUE(any_with_entry);
+  EXPECT_TRUE(any_without_entry);
+}
+
+TEST(TestGenTest, TestsPassOnCleanBmv2) {
+  auto program = Load(kPipelineProgram);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const auto failures = RunPacketTests(target, tests);
+  EXPECT_TRUE(failures.empty()) << failures.size() << " of " << tests.size()
+                                << " generated tests failed; first: "
+                                << (failures.empty() ? "" : failures[0].second.detail);
+}
+
+TEST(TestGenTest, TestsPassOnCleanTofino) {
+  auto program = Load(kPipelineProgram);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  const TofinoExecutable target = TofinoCompiler(BugConfig::None()).Compile(*program);
+  EXPECT_TRUE(RunPacketTests(target, tests).empty());
+}
+
+TEST(TestGenTest, PrefersNonZeroPackets) {
+  auto program = Load(kPipelineProgram);
+  TestGenOptions options;
+  options.prefer_nonzero = true;
+  const std::vector<PacketTest> tests = TestCaseGenerator(options).Generate(*program);
+  size_t nonzero = 0;
+  for (const PacketTest& test : tests) {
+    nonzero += test.input.ToHex() != "0000" ? 1 : 0;
+  }
+  EXPECT_GT(nonzero, 0u);
+}
+
+TEST(TestGenTest, DetectsTofinoDefaultSkippedBug) {
+  // The black-box detection flow of Figure 4: generated tests expose the
+  // proprietary back end's miscompilation even though translation
+  // validation cannot see its IR.
+  auto program = Load(R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action mark() { hdr.h.b = 8w0xee; }
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; mark; }
+    default_action = mark();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoTableDefaultSkipped);
+  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
+  EXPECT_FALSE(RunPacketTests(buggy, tests).empty());
+  const TofinoExecutable clean = TofinoCompiler(BugConfig::None()).Compile(*program);
+  EXPECT_TRUE(RunPacketTests(clean, tests).empty());
+}
+
+TEST(TestGenTest, DetectsTofinoDeparserValidityBug) {
+  auto program = Load(R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      8w1: parse_g;
+      default: accept;
+    }
+  }
+  state parse_g {
+    pkt.extract(hdr.g);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) {
+  apply {
+    pkt.emit(hdr.h);
+    pkt.emit(hdr.g);
+  }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  ASSERT_GE(tests.size(), 2u);  // both select arms
+  BugConfig bugs;
+  bugs.Enable(BugId::kTofinoDeparserEmitsInvalid);
+  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
+  EXPECT_FALSE(RunPacketTests(buggy, tests).empty());
+}
+
+TEST(TestGenTest, DetectsBmv2MissQuirk) {
+  auto program = Load(kPipelineProgram);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  const Bmv2Executable buggy = Bmv2Compiler(bugs).Compile(*program);
+  EXPECT_FALSE(RunPacketTests(buggy, tests).empty());
+}
+
+TEST(TestGenTest, ParserBranchesProduceDistinctPackets) {
+  auto program = Load(R"(
+header H { bit<8> a; }
+struct Hdr { H h; H g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      8w1: parse_g;
+      default: accept;
+    }
+  }
+  state parse_g {
+    pkt.extract(hdr.g);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) {
+  apply {
+    pkt.emit(hdr.h);
+    pkt.emit(hdr.g);
+  }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  bool saw_one_byte = false;
+  bool saw_two_bytes = false;
+  for (const PacketTest& test : tests) {
+    saw_one_byte |= test.input.size() == 8;
+    saw_two_bytes |= test.input.size() == 16;
+  }
+  EXPECT_TRUE(saw_one_byte);
+  EXPECT_TRUE(saw_two_bytes);
+}
+
+TEST(TestGenTest, RequiresParserAndDeparser) {
+  auto program = Load(R"(
+control ig(inout bit<8> x) {
+  apply { x = x + 8w1; }
+}
+package main { ingress = ig; }
+)");
+  EXPECT_THROW(TestCaseGenerator().Generate(*program), UnsupportedError);
+}
+
+TEST(TestGenTest, RespectsMaxTestsCap) {
+  auto program = Load(kPipelineProgram);
+  TestGenOptions options;
+  options.max_tests = 2;
+  const std::vector<PacketTest> tests = TestCaseGenerator(options).Generate(*program);
+  EXPECT_LE(tests.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gauntlet

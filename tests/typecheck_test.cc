@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+void ExpectAccepts(const std::string& source) {
+  auto program = Parser::ParseString(source);
+  EXPECT_NO_THROW(TypeCheck(*program));
+}
+
+void ExpectRejects(const std::string& source) {
+  auto program = Parser::ParseString(source);
+  EXPECT_THROW(TypeCheck(*program), CompileError);
+}
+
+TEST(TypeCheckTest, AcceptsFigure3Program) {
+  ExpectAccepts(R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  action assign() { hdr.h.a = 8w1; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { assign; NoAction; }
+    default_action = NoAction();
+  }
+  apply {
+    t.apply();
+  }
+}
+package main { ingress = ig; }
+)");
+}
+
+TEST(TypeCheckTest, InjectsNoActionWhenReferenced) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+)");
+  TypeCheck(*program);
+  EXPECT_NE(program->FindControl("ig")->FindLocal("NoAction"), nullptr);
+}
+
+TEST(TypeCheckTest, RejectsUnknownIdentifier) {
+  // McKeeman level 5: statically non-conforming.
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply { x = ghost; }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsWidthMismatch) {
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply { x = 16w1; }
+}
+)");
+  ExpectRejects(R"(
+control c(inout bit<8> x, inout bit<16> y) {
+  apply { x = x + y; }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsBoolBitConfusion) {
+  // McKeeman level 4: type errors.
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply { if (x) { x = 8w1; } }
+}
+)");
+  ExpectRejects(R"(
+control c(inout bit<8> x, inout bool b) {
+  apply { x = x + b; }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsWriteToInParameter) {
+  // Copy-in/copy-out direction rules, P4-16 section 6.7.
+  ExpectRejects(R"(
+control c(in bit<8> x, inout bit<8> y) {
+  apply { x = y; }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsInParameterAsInoutArgument) {
+  ExpectRejects(R"(
+void f(inout bit<8> v) { v = 8w1; }
+control c(in bit<8> x) {
+  apply { f(x); }
+}
+)");
+}
+
+TEST(TypeCheckTest, AcceptsSliceAsInoutArgument) {
+  // Fig. 5d exercises exactly this form.
+  ExpectAccepts(R"(
+control c(inout bit<8> x) {
+  action a(inout bit<7> val) { x[0:0] = 1w0; }
+  apply { a(x[7:1]); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsNonLValueAsOutArgument) {
+  ExpectRejects(R"(
+void f(out bit<8> v) { v = 8w1; }
+control c(inout bit<8> x) {
+  apply { f(x + 8w1); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsSliceOutOfRange) {
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply { x = (bit<8>) x[8:1]; }
+}
+)");
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply { x = (bit<8>) x[2:5]; }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsUnknownField) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  apply { hdr.h.z = 8w1; }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsValidityMethodOnNonHeader) {
+  ExpectRejects(R"(
+struct S { bit<8> a; }
+struct Hdr { S s; }
+control c(inout Hdr hdr) {
+  apply { hdr.s.setValid(); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsTableActionWithDirectionalParams) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  action a(inout bit<8> v) { v = 8w1; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { a; }
+    default_action = a(hdr.h.a);
+  }
+  apply { t.apply(); }
+}
+)");
+}
+
+TEST(TypeCheckTest, AcceptsTableActionWithActionData) {
+  ExpectAccepts(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  action set_field(bit<8> value) { hdr.h.a = value; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_field; NoAction; }
+    default_action = set_field(8w7);
+  }
+  apply { t.apply(); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsDirectCallOfTableAction) {
+  // Control-plane (directionless) parameters cannot be bound at a call site.
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  action set_field(bit<8> value) { hdr.h.a = value; }
+  apply { set_field(8w1); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsDefaultActionNotInActionList) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  action a() { hdr.h.a = 8w1; }
+  action b() { hdr.h.a = 8w2; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { a; }
+    default_action = b();
+  }
+  apply { t.apply(); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsNonConstantDefaultActionArgs) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  action set_field(bit<8> value) { hdr.h.a = value; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_field; }
+    default_action = set_field(hdr.h.a);
+  }
+  apply { t.apply(); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsExitInFunction) {
+  ExpectRejects(R"(
+void f(inout bit<8> v) { exit; }
+control c(inout bit<8> x) {
+  apply { f(x); }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsMissingReturnOnSomePath) {
+  // McKeeman level 5.
+  ExpectRejects(R"(
+bit<8> f(in bit<8> v) {
+  if (v == 8w0) {
+    return 8w1;
+  }
+}
+)");
+  ExpectAccepts(R"(
+bit<8> f(in bit<8> v) {
+  if (v == 8w0) {
+    return 8w1;
+  } else {
+    return 8w2;
+  }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsRecursion) {
+  // Declare-before-use makes recursion unreachable; a self-call is unknown.
+  ExpectRejects(R"(
+bit<8> f(in bit<8> v) {
+  return f(v);
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsDuplicateLocalNames) {
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply {
+    bit<8> tmp = x;
+    bit<8> tmp = x;
+  }
+}
+)");
+  // Shadowing across nested scopes is also rejected (documented subset
+  // restriction enabling block flattening).
+  ExpectRejects(R"(
+control c(inout bit<8> x) {
+  apply {
+    bit<8> tmp = x;
+    if (x == 8w0) {
+      bit<8> tmp = x;
+      x = tmp;
+    }
+  }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsParserWithoutStartState) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state begin {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsSelectWithoutDefault) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      8w1: accept;
+    }
+  }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsSelectCaseWidthMismatch) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition select(hdr.h.a) {
+      16w1: accept;
+      default: accept;
+    }
+  }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsTransitionToUnknownState) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition nowhere;
+  }
+}
+)");
+}
+
+TEST(TypeCheckTest, RejectsEmitOutsideDeparser) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { ingress = ig; }
+)");
+}
+
+TEST(TypeCheckTest, AcceptsEmitInDeparser) {
+  ExpectAccepts(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { deparser = dp; }
+)");
+}
+
+TEST(TypeCheckTest, RejectsPackageBindingKindMismatch) {
+  ExpectRejects(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  apply { }
+}
+package main { parser = ig; }
+)");
+}
+
+TEST(TypeCheckTest, SeededShiftCrashFires) {
+  // Fig. 5b: `(1 << h.h.c) + 8w2` crashed p4c's type checker.
+  auto program = Parser::ParseString(R"(
+control c(inout bit<8> x) {
+  apply { x = (8w1 << x) + 8w2; }
+}
+)");
+  TypeCheckOptions options;
+  options.bug_shift_crash = true;
+  EXPECT_THROW(TypeCheck(*program, options), CompilerBugError);
+  // Without the seeded bug the program is legal.
+  auto clean = Parser::ParseString(R"(
+control c(inout bit<8> x) {
+  apply { x = (8w1 << x) + 8w2; }
+}
+)");
+  EXPECT_NO_THROW(TypeCheck(*clean));
+}
+
+TEST(TypeCheckTest, SeededSliceCompareRejectionFires) {
+  // Fig. 5c: `1 != 8w2[7:0]`-style comparisons were incorrectly rejected.
+  auto program = Parser::ParseString(R"(
+control c(inout bit<8> x) {
+  apply {
+    bool tmp = 8w1 != x[7:0];
+  }
+}
+)");
+  TypeCheckOptions options;
+  options.bug_reject_slice_compare = true;
+  EXPECT_THROW(TypeCheck(*program, options), CompileError);
+  auto clean = Parser::ParseString(R"(
+control c(inout bit<8> x) {
+  apply {
+    bool tmp = 8w1 != x[7:0];
+  }
+}
+)");
+  EXPECT_NO_THROW(TypeCheck(*clean));
+}
+
+TEST(TypeCheckTest, TypesAreAnnotatedAfterChecking) {
+  auto program = Parser::ParseString(R"(
+control c(inout bit<8> x) {
+  apply { x = x + 8w1; }
+}
+)");
+  TypeCheck(*program);
+  const auto& assign =
+      static_cast<const AssignStmt&>(*program->FindControl("c")->apply().statements()[0]);
+  ASSERT_NE(assign.value().type(), nullptr);
+  EXPECT_EQ(assign.value().type()->width(), 8u);
+}
+
+TEST(TypeCheckTest, IsLValueShape) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control c(inout Hdr hdr) {
+  apply { hdr.h.a[3:0] = hdr.h.a[7:4]; }
+}
+)");
+  EXPECT_NO_THROW(TypeCheck(*program));
+}
+
+}  // namespace
+}  // namespace gauntlet
