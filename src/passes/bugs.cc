@@ -74,4 +74,11 @@ BugConfig BugConfig::All() {
   return config;
 }
 
+TypeCheckOptions TypeCheckOptionsFromBugs(const BugConfig& bugs) {
+  TypeCheckOptions options;
+  options.bug_shift_crash = bugs.Has(BugId::kTypeCheckerShiftCrash);
+  options.bug_reject_slice_compare = bugs.Has(BugId::kTypeCheckerRejectSliceCompare);
+  return options;
+}
+
 }  // namespace gauntlet

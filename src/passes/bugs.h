@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/typecheck/typecheck.h"
+
 namespace gauntlet {
 
 // The seeded-fault catalogue. Each entry models a concrete p4c/Tofino bug
@@ -83,6 +85,11 @@ class BugConfig {
  private:
   std::set<BugId> enabled_;
 };
+
+// The type checker is configured separately from the pass pipeline; this is
+// the single place that maps the checker's catalogue entries onto its
+// options, shared by the validator, the CLI, and the back-end compilers.
+TypeCheckOptions TypeCheckOptionsFromBugs(const BugConfig& bugs);
 
 }  // namespace gauntlet
 

@@ -1,0 +1,16 @@
+#include "src/target/bmv2.h"
+
+#include "src/target/lowering.h"
+
+namespace gauntlet {
+
+Bmv2Executable Bmv2Compiler::Compile(const Program& program) const {
+  ProgramPtr lowered = LowerThroughPipeline(program, bugs_);
+  CheckNoResidualCalls(*lowered, "BMv2");
+  TargetQuirks quirks;
+  quirks.emit_ignores_validity = bugs_.Has(BugId::kBmv2EmitIgnoresValidity);
+  quirks.miss_runs_first_action = bugs_.Has(BugId::kBmv2TableMissRunsFirstAction);
+  return Bmv2Executable(std::move(lowered), quirks);
+}
+
+}  // namespace gauntlet

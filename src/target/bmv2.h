@@ -1,0 +1,50 @@
+#ifndef SRC_TARGET_BMV2_H_
+#define SRC_TARGET_BMV2_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/passes/bugs.h"
+#include "src/target/concrete.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+// The compiled artifact the BMv2 (open-source reference) back end produces:
+// the lowered program plus whatever behavioral quirks the compiler's seeded
+// faults baked in. From the harness's point of view this is a black box
+// that eats packets — the only interface the paper's technique 3 relies on.
+class Bmv2Executable {
+ public:
+  PacketResult Run(const BitString& packet, const TableConfig& tables) const {
+    return ConcreteInterpreter(*program_, quirks_).RunPacket(packet, tables);
+  }
+
+  const Program& program() const { return *program_; }
+
+ private:
+  friend class Bmv2Compiler;
+  Bmv2Executable(std::shared_ptr<const Program> program, TargetQuirks quirks)
+      : program_(std::move(program)), quirks_(quirks) {}
+
+  std::shared_ptr<const Program> program_;
+  TargetQuirks quirks_;
+};
+
+// The BMv2 compiler: shared front/mid-end lowering (with whatever seeded
+// faults `bugs` enables), then the BMv2-specific back end, which honors the
+// seeded BMv2 semantic faults and crashes on residual function calls (the
+// section 7.2 snowball site).
+class Bmv2Compiler {
+ public:
+  explicit Bmv2Compiler(BugConfig bugs) : bugs_(std::move(bugs)) {}
+
+  Bmv2Executable Compile(const Program& program) const;
+
+ private:
+  BugConfig bugs_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_TARGET_BMV2_H_

@@ -1,0 +1,917 @@
+#include "src/target/concrete.h"
+
+#include <utility>
+#include <vector>
+
+namespace gauntlet {
+
+namespace {
+
+// Matches SymbolicInterpreter::kMaxParserDepth so the concrete and symbolic
+// sides reject the same looping parsers.
+constexpr int kMaxParserDepth = 32;
+
+// Internal control flow: an extract ran past the end of the packet. Real
+// targets raise PacketTooShort and drop; this never escapes RunPacket.
+struct PacketTooShortSignal {};
+
+// A concrete scalar: a bit<N> value or a bool.
+struct Datum {
+  bool is_bool = false;
+  bool b = false;
+  BitValue bits;
+};
+
+Datum BitDatum(BitValue value) {
+  Datum datum;
+  datum.bits = value;
+  return datum;
+}
+
+Datum BoolDatum(bool value) {
+  Datum datum;
+  datum.is_bool = true;
+  datum.b = value;
+  return datum;
+}
+
+// Concrete counterpart of SymValue: a scalar, or a struct-like tree of
+// named fields; headers carry a validity bit.
+struct CValue {
+  TypePtr type;
+  Datum scalar;                                          // bit/bool leaves
+  bool valid = false;                                    // headers only
+  std::vector<std::pair<std::string, CValue>> fields;    // struct/header
+
+  bool IsScalar() const { return type->IsBit() || type->IsBool(); }
+
+  CValue* FindField(const std::string& name) {
+    for (auto& [field_name, value] : fields) {
+      if (field_name == name) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// An all-zero value of `type`: zero scalars, invalid headers. This is both
+// the undefined value (undef variables are pinned to zero, section 6.2) and
+// the target-initialized state of unglued block inputs.
+CValue ZeroValue(const Program& program, const Type& type) {
+  CValue value;
+  if (type.IsBit()) {
+    value.type = Type::Bit(type.width());
+    value.scalar = BitDatum(BitValue(type.width(), 0));
+    return value;
+  }
+  if (type.IsBool()) {
+    value.type = Type::Bool();
+    value.scalar = BoolDatum(false);
+    return value;
+  }
+  value.type = program.FindType(type.name());
+  GAUNTLET_BUG_CHECK(value.type != nullptr, "unknown struct type in concrete ZeroValue");
+  for (const Type::Field& field : type.fields()) {
+    value.fields.emplace_back(field.name, ZeroValue(program, *field.type));
+  }
+  value.valid = false;
+  return value;
+}
+
+// Builds a block input value from upstream leaf values, mirroring the
+// symbolic glue: each leaf path that the upstream produced supplies the
+// value; everything else is target-initialized to zero.
+CValue ValueFromLeaves(const Program& program, const Type& type, const std::string& path,
+                       const std::map<std::string, BitValue>& leaves) {
+  CValue value;
+  if (type.IsBit() || type.IsBool()) {
+    auto it = leaves.find(path);
+    const uint64_t bits = it != leaves.end() ? it->second.bits() : 0;
+    if (type.IsBit()) {
+      value.type = Type::Bit(type.width());
+      value.scalar = BitDatum(BitValue(type.width(), bits));
+    } else {
+      value.type = Type::Bool();
+      value.scalar = BoolDatum(bits != 0);
+    }
+    return value;
+  }
+  value.type = program.FindType(type.name());
+  GAUNTLET_BUG_CHECK(value.type != nullptr, "unknown struct type in concrete input binding");
+  for (const Type::Field& field : type.fields()) {
+    value.fields.emplace_back(field.name,
+                              ValueFromLeaves(program, *field.type, path + "." + field.name, leaves));
+  }
+  if (type.IsHeader()) {
+    auto it = leaves.find(path + ".$valid");
+    value.valid = it != leaves.end() && it->second.bits() != 0;
+  }
+  return value;
+}
+
+// Flattens a value into named scalar leaves, mirroring the symbolic
+// FlattenOutput: headers contribute a "path.$valid" leaf, and fields under
+// any invalid header are canonicalized to zero.
+void FlattenLeaves(const CValue& value, const std::string& path, bool enclosing_invalid,
+                   std::map<std::string, BitValue>& out) {
+  if (value.IsScalar()) {
+    if (value.scalar.is_bool) {
+      out[path] = BitValue(1, !enclosing_invalid && value.scalar.b ? 1 : 0);
+    } else if (enclosing_invalid) {
+      out[path] = BitValue(value.scalar.bits.width(), 0);
+    } else {
+      out[path] = value.scalar.bits;
+    }
+    return;
+  }
+  bool invalid = enclosing_invalid;
+  if (value.type->IsHeader()) {
+    out[path + ".$valid"] = BitValue(1, value.valid ? 1 : 0);
+    invalid = invalid || !value.valid;
+  }
+  for (const auto& [name, field] : value.fields) {
+    FlattenLeaves(field, path + "." + name, invalid, out);
+  }
+}
+
+// Lexically scoped concrete environment (the concrete SymEnv).
+class Env {
+ public:
+  void PushLayer() { layers_.emplace_back(); }
+  void PopLayer() { layers_.pop_back(); }
+
+  void Bind(const std::string& name, CValue value) {
+    GAUNTLET_BUG_CHECK(!layers_.empty(), "concrete Bind with no scope layer");
+    layers_.back()[name] = std::move(value);
+  }
+
+  CValue* Find(const std::string& name) {
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::map<std::string, CValue>> layers_;
+};
+
+// Executes one package block (a parser or a control) concretely.
+class BlockExec {
+ public:
+  BlockExec(const Program& program, const TargetQuirks& quirks, const TableConfig& tables)
+      : program_(program), quirks_(quirks), tables_(tables) {}
+
+  Env& env() { return env_; }
+  bool exited() const { return exited_; }
+  bool rejected() const { return rejected_; }
+  const BitString& emitted() const { return emitted_; }
+
+  // Runs a control; its parameters must already be bound in an env layer.
+  void RunControl(const ControlDecl& control, bool is_deparser) {
+    control_ = &control;
+    in_deparser_ = is_deparser;
+    frames_.push_back(Frame{});
+    env_.PushLayer();  // apply-body scope
+    ExecBlock(control.apply());
+    env_.PopLayer();
+    frames_.pop_back();
+  }
+
+  // Runs the parser state machine on `packet`; parameters must already be
+  // bound. Throws PacketTooShortSignal when an extract runs out of bits.
+  void RunParser(const ParserDecl& parser, const BitString& packet) {
+    in_parser_ = true;
+    packet_ = &packet;
+    frames_.push_back(Frame{});
+    std::string state_name = "start";
+    int steps = 0;
+    while (state_name != "accept" && state_name != "reject") {
+      if (++steps > kMaxParserDepth) {
+        throw UnsupportedError("parser state loop exceeds the unrolling bound");
+      }
+      const ParserState* state = parser.FindState(state_name);
+      GAUNTLET_BUG_CHECK(state != nullptr, "unknown parser state at concrete execution time");
+      env_.PushLayer();  // state-local scope
+      for (const StmtPtr& stmt : state->statements) {
+        ExecStmt(*stmt);
+      }
+      std::string next;
+      if (state->select_expr == nullptr) {
+        GAUNTLET_BUG_CHECK(state->cases.size() == 1, "malformed unconditional transition");
+        next = state->cases[0].next_state;
+      } else {
+        const Datum selector = Eval(*state->select_expr);
+        for (const SelectCase& select_case : state->cases) {
+          if (select_case.value == nullptr) {
+            next = select_case.next_state;
+            break;
+          }
+          const BitValue case_value =
+              static_cast<const ConstantExpr&>(*select_case.value).value();
+          if (selector.bits.Eq(case_value)) {
+            next = select_case.next_state;
+            break;
+          }
+        }
+        if (next.empty()) {
+          next = "reject";  // no case matched and no default: P4 rejects
+        }
+      }
+      env_.PopLayer();
+      state_name = next;
+    }
+    rejected_ = state_name == "reject";
+    frames_.pop_back();
+  }
+
+ private:
+  struct Frame {
+    bool returned = false;
+    // The value of the executed `return` (value functions always return on
+    // every path — the type checker enforces it); zero Datum otherwise.
+    Datum ret;
+  };
+
+  bool Live() const { return !exited_ && !frames_.back().returned; }
+
+  // --- l-values ---
+
+  CValue* ResolveValue(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kPath: {
+        CValue* value = env_.Find(static_cast<const PathExpr&>(expr).name());
+        GAUNTLET_BUG_CHECK(value != nullptr,
+                           "unbound variable '" + static_cast<const PathExpr&>(expr).name() +
+                               "' at concrete execution time");
+        return value;
+      }
+      case ExprKind::kMember: {
+        const auto& member = static_cast<const MemberExpr&>(expr);
+        CValue* base = ResolveValue(member.base());
+        CValue* field = base->FindField(member.member());
+        GAUNTLET_BUG_CHECK(field != nullptr, "missing field at concrete execution time");
+        return field;
+      }
+      default:
+        GAUNTLET_BUG_CHECK(false, "not a resolvable l-value shape");
+        return nullptr;
+    }
+  }
+
+  void WriteLValue(const Expr& target, const Datum& value) {
+    if (target.kind() == ExprKind::kSlice) {
+      const auto& slice = static_cast<const SliceExpr&>(target);
+      CValue* leaf = ResolveValue(slice.base());
+      GAUNTLET_BUG_CHECK(leaf->IsScalar() && !leaf->scalar.is_bool,
+                         "slice assignment to non-bit l-value");
+      leaf->scalar.bits = leaf->scalar.bits.SetSlice(slice.hi(), slice.lo(), value.bits);
+      return;
+    }
+    CValue* leaf = ResolveValue(target);
+    GAUNTLET_BUG_CHECK(leaf->IsScalar(), "assignment to non-scalar l-value");
+    leaf->scalar = value;
+  }
+
+  // --- expressions ---
+
+  Datum Eval(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kConstant:
+        return BitDatum(static_cast<const ConstantExpr&>(expr).value());
+      case ExprKind::kBoolConst:
+        return BoolDatum(static_cast<const BoolConstExpr&>(expr).value());
+      case ExprKind::kPath:
+      case ExprKind::kMember: {
+        const CValue* value = ResolveValue(expr);
+        GAUNTLET_BUG_CHECK(value->IsScalar(), "reading non-scalar value");
+        return value->scalar;
+      }
+      case ExprKind::kSlice: {
+        const auto& slice = static_cast<const SliceExpr&>(expr);
+        return BitDatum(Eval(slice.base()).bits.Slice(slice.hi(), slice.lo()));
+      }
+      case ExprKind::kUnary: {
+        const auto& unary = static_cast<const UnaryExpr&>(expr);
+        const Datum operand = Eval(unary.operand());
+        switch (unary.op()) {
+          case UnaryOp::kComplement:
+            return BitDatum(operand.bits.Not());
+          case UnaryOp::kNegate:
+            return BitDatum(BitValue(operand.bits.width(), 0).Sub(operand.bits));
+          case UnaryOp::kLogicalNot:
+            return BoolDatum(!operand.b);
+        }
+        break;
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(static_cast<const BinaryExpr&>(expr));
+      case ExprKind::kMux: {
+        // The symbolic interpreter evaluates all three operands eagerly
+        // (the fragment keeps effectful calls out of pure positions), so
+        // the concrete side does too.
+        const auto& mux = static_cast<const MuxExpr&>(expr);
+        const Datum cond = Eval(mux.cond());
+        const Datum then_value = Eval(mux.then_expr());
+        const Datum else_value = Eval(mux.else_expr());
+        return cond.b ? then_value : else_value;
+      }
+      case ExprKind::kCast: {
+        const auto& cast = static_cast<const CastExpr&>(expr);
+        const Datum operand = Eval(cast.operand());
+        const uint64_t bits = operand.is_bool ? (operand.b ? 1 : 0) : operand.bits.bits();
+        return BitDatum(BitValue(cast.target()->width(), bits));
+      }
+      case ExprKind::kCall: {
+        const auto& call = static_cast<const CallExpr&>(expr);
+        if (call.call_kind() == CallKind::kIsValid) {
+          const CValue* header = ResolveValue(*call.receiver());
+          GAUNTLET_BUG_CHECK(header->type->IsHeader(), "isValid on non-header");
+          return BoolDatum(header->valid);
+        }
+        GAUNTLET_BUG_CHECK(call.call_kind() == CallKind::kFunction,
+                           "unexpected call kind in expression");
+        const FunctionDecl* function = program_.FindFunction(call.callee());
+        GAUNTLET_BUG_CHECK(function != nullptr, "unknown function at concrete execution time");
+        return ExecCall(function->params(), function->body(), call.args());
+      }
+    }
+    GAUNTLET_BUG_CHECK(false, "unhandled expression in concrete interpreter");
+    return Datum{};
+  }
+
+  Datum EvalBinary(const BinaryExpr& binary) {
+    // Left-to-right, eager — exactly the symbolic evaluation order, so
+    // side effects of expression-position calls line up.
+    const Datum left = Eval(binary.left());
+    const Datum right = Eval(binary.right());
+    switch (binary.op()) {
+      case BinaryOp::kAdd:
+        return BitDatum(NarrowAlu(left.bits.Add(right.bits), left.bits, right.bits,
+                                  BinaryOp::kAdd));
+      case BinaryOp::kSub:
+        return BitDatum(NarrowAlu(left.bits.Sub(right.bits), left.bits, right.bits,
+                                  BinaryOp::kSub));
+      case BinaryOp::kMul:
+        return BitDatum(NarrowAlu(left.bits.Mul(right.bits), left.bits, right.bits,
+                                  BinaryOp::kMul));
+      case BinaryOp::kBitAnd:
+        return BitDatum(left.bits.And(right.bits));
+      case BinaryOp::kBitOr:
+        return BitDatum(left.bits.Or(right.bits));
+      case BinaryOp::kBitXor:
+        return BitDatum(left.bits.Xor(right.bits));
+      case BinaryOp::kShl:
+        return BitDatum(left.bits.Shl(right.bits));
+      case BinaryOp::kShr:
+        return BitDatum(left.bits.Shr(right.bits));
+      case BinaryOp::kConcat:
+        return BitDatum(left.bits.Concat(right.bits));
+      case BinaryOp::kEq:
+        return BoolDatum(left.is_bool ? left.b == right.b : left.bits.Eq(right.bits));
+      case BinaryOp::kNe:
+        return BoolDatum(left.is_bool ? left.b != right.b : !left.bits.Eq(right.bits));
+      case BinaryOp::kLt:
+        return BoolDatum(left.bits.Lt(right.bits));
+      case BinaryOp::kLe:
+        return BoolDatum(left.bits.Le(right.bits));
+      case BinaryOp::kGt:
+        return BoolDatum(right.bits.Lt(left.bits));
+      case BinaryOp::kGe:
+        return BoolDatum(right.bits.Le(left.bits));
+      case BinaryOp::kLogicalAnd:
+        return BoolDatum(left.b && right.b);
+      case BinaryOp::kLogicalOr:
+        return BoolDatum(left.b || right.b);
+    }
+    GAUNTLET_BUG_CHECK(false, "unhandled binary op in concrete interpreter");
+    return Datum{};
+  }
+
+  // The kTofinoPhvNarrowWide fault: arithmetic wider than a 32-bit PHV
+  // container is computed modulo 2^32 and zero-extended back.
+  BitValue NarrowAlu(BitValue correct, const BitValue& left, const BitValue& right,
+                     BinaryOp op) const {
+    const uint32_t width = correct.width();
+    if (!quirks_.narrow_alu_containers || width <= 32) {
+      return correct;
+    }
+    const BitValue left32 = left.Cast(32);
+    const BitValue right32 = right.Cast(32);
+    BitValue narrow(1, 0);
+    switch (op) {
+      case BinaryOp::kAdd:
+        narrow = left32.Add(right32);
+        break;
+      case BinaryOp::kSub:
+        narrow = left32.Sub(right32);
+        break;
+      case BinaryOp::kMul:
+        narrow = left32.Mul(right32);
+        break;
+      default:
+        GAUNTLET_BUG_CHECK(false, "NarrowAlu on a non-arithmetic op");
+    }
+    return narrow.Cast(width);
+  }
+
+  // --- calls: copy-in/copy-out (P4-16 section 6.7) ---
+
+  Datum ExecCall(const std::vector<Param>& params, const BlockStmt& body,
+                 const std::vector<ExprPtr>& args) {
+    struct CopyOut {
+      const Expr* lvalue;
+      std::string param_name;
+    };
+    std::vector<CopyOut> copy_outs;
+    std::vector<std::pair<std::string, CValue>> bindings;
+    for (size_t i = 0; i < params.size(); ++i) {
+      const Param& param = params[i];
+      CValue bound;
+      if (param.direction == Direction::kOut) {
+        bound = ZeroValue(program_, *param.type);  // undefined = zero
+      } else {
+        bound.type = param.type;
+        bound.scalar = Eval(*args[i]);
+      }
+      if (param.direction == Direction::kOut || param.direction == Direction::kInOut) {
+        copy_outs.push_back(CopyOut{args[i].get(), param.name});
+      }
+      bindings.emplace_back(param.name, std::move(bound));
+    }
+    env_.PushLayer();
+    for (auto& [name, value] : bindings) {
+      env_.Bind(name, std::move(value));
+    }
+    frames_.push_back(Frame{});
+    ExecBlock(body);
+    const Datum ret = frames_.back().ret;
+    frames_.pop_back();
+    // Copy-out happens unconditionally — on return AND on exit (the
+    // specification interpretation that resolved the Fig. 5f ambiguity).
+    std::vector<std::pair<const Expr*, Datum>> writebacks;
+    writebacks.reserve(copy_outs.size());
+    for (const CopyOut& copy_out : copy_outs) {
+      const CValue* param_value = env_.Find(copy_out.param_name);
+      GAUNTLET_BUG_CHECK(param_value != nullptr && param_value->IsScalar(),
+                         "copy-out of non-scalar parameter");
+      writebacks.emplace_back(copy_out.lvalue, param_value->scalar);
+    }
+    env_.PopLayer();
+    for (const auto& [lvalue, value] : writebacks) {
+      WriteLValue(*lvalue, value);
+    }
+    return ret;
+  }
+
+  // Runs an action whose parameters are pre-bound (table-invoked actions).
+  void ExecBoundAction(const ActionDecl& action,
+                       std::vector<std::pair<std::string, CValue>> bindings) {
+    env_.PushLayer();
+    for (auto& [name, value] : bindings) {
+      env_.Bind(name, std::move(value));
+    }
+    frames_.push_back(Frame{});
+    ExecBlock(action.body());
+    frames_.pop_back();
+    env_.PopLayer();
+  }
+
+  // --- tables (paper Figure 3, concretely) ---
+
+  const ActionDecl* FindAction(const std::string& name) const {
+    GAUNTLET_BUG_CHECK(control_ != nullptr, "table applied outside a control");
+    const Decl* local = control_->FindLocal(name);
+    if (local != nullptr && local->kind() == DeclKind::kAction) {
+      return static_cast<const ActionDecl*>(local);
+    }
+    return nullptr;
+  }
+
+  void ApplyTable(const TableDecl& table) {
+    std::vector<BitValue> lookup_key;
+    lookup_key.reserve(table.keys().size());
+    for (const TableKey& key : table.keys()) {
+      lookup_key.push_back(Eval(*key.expr).bits);
+    }
+
+    // Exact-match lookup, first installed entry wins. A keyless table can
+    // only run its default action, matching the symbolic encoding.
+    // Malformed control-plane rows (wrong arity/width, unlisted action) are
+    // rejected loudly — a silently ignored entry would make a hand-edited
+    // reproducer stop reproducing without any indication.
+    const TableEntry* hit = nullptr;
+    if (!table.keys().empty()) {
+      auto entries_it = tables_.find(table.name());
+      if (entries_it != tables_.end()) {
+        for (const TableEntry& entry : entries_it->second) {
+          ValidateEntry(table, entry, lookup_key);
+          bool matches = true;
+          for (size_t i = 0; i < lookup_key.size(); ++i) {
+            matches &= entry.key[i].bits() == lookup_key[i].bits();
+          }
+          if (matches && hit == nullptr) {
+            hit = &entry;  // first match wins; keep validating the rest
+          }
+        }
+      }
+    }
+
+    if (hit != nullptr) {
+      const ActionDecl* action = FindAction(hit->action);
+      GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at concrete execution time");
+      ExecBoundAction(*action, BindActionData(*action, hit->action_data));
+      return;
+    }
+
+    // Miss path.
+    if (quirks_.miss_runs_first_action && !table.actions().empty()) {
+      // The seeded BMv2 fault: the first listed action runs with zeroed
+      // control-plane data instead of the default action.
+      const ActionDecl* action = FindAction(table.actions()[0]);
+      GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at concrete execution time");
+      ExecBoundAction(*action, BindActionData(*action, {}));
+      return;
+    }
+    if (quirks_.skip_default_action) {
+      return;  // the seeded Tofino fault: the default action is dropped
+    }
+    const ActionDecl* default_action = FindAction(table.default_action());
+    GAUNTLET_BUG_CHECK(default_action != nullptr, "unknown default action");
+    std::vector<std::pair<std::string, CValue>> bindings;
+    for (size_t i = 0; i < default_action->params().size(); ++i) {
+      CValue value;
+      value.type = default_action->params()[i].type;
+      value.scalar = Eval(*table.default_args()[i]);
+      bindings.emplace_back(default_action->params()[i].name, std::move(value));
+    }
+    ExecBoundAction(*default_action, std::move(bindings));
+  }
+
+  // Rejects malformed installed entries (wrong key arity/width, unlisted
+  // action, wrong action-data shape) instead of silently mismatching them.
+  void ValidateEntry(const TableDecl& table, const TableEntry& entry,
+                     const std::vector<BitValue>& lookup_key) const {
+    if (entry.key.size() != lookup_key.size()) {
+      throw CompileError("table '" + table.name() + "': installed entry has " +
+                         std::to_string(entry.key.size()) + " key columns, expected " +
+                         std::to_string(lookup_key.size()));
+    }
+    for (size_t i = 0; i < lookup_key.size(); ++i) {
+      if (entry.key[i].width() != lookup_key[i].width()) {
+        throw CompileError("table '" + table.name() + "': entry key column " +
+                           std::to_string(i) + " is " + entry.key[i].ToString() +
+                           " but the table key is bit<" +
+                           std::to_string(lookup_key[i].width()) + ">");
+      }
+    }
+    bool listed = false;
+    for (const std::string& action_name : table.actions()) {
+      listed |= action_name == entry.action;
+    }
+    if (!listed) {
+      throw CompileError("table '" + table.name() + "': entry action '" + entry.action +
+                         "' is not among the table's listed actions");
+    }
+    const ActionDecl* action = FindAction(entry.action);
+    GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at concrete execution time");
+    if (entry.action_data.size() != action->params().size()) {
+      throw CompileError("table '" + table.name() + "': entry supplies " +
+                         std::to_string(entry.action_data.size()) + " action-data values, '" +
+                         entry.action + "' takes " +
+                         std::to_string(action->params().size()));
+    }
+    for (size_t i = 0; i < entry.action_data.size(); ++i) {
+      const TypePtr& param_type = action->params()[i].type;
+      const uint32_t expected = param_type->IsBool() ? 1 : param_type->width();
+      if (entry.action_data[i].width() != expected) {
+        throw CompileError("table '" + table.name() + "': action-data value " +
+                           std::to_string(i) + " is " + entry.action_data[i].ToString() +
+                           " but '" + entry.action + "' parameter " + std::to_string(i) +
+                           " is " + std::to_string(expected) + " bits wide");
+      }
+    }
+  }
+
+  // Binds control-plane action data to an action's parameters; missing
+  // trailing values read as zero (the miss-quirk path installs zeroed data).
+  std::vector<std::pair<std::string, CValue>> BindActionData(
+      const ActionDecl& action, const std::vector<BitValue>& data) {
+    std::vector<std::pair<std::string, CValue>> bindings;
+    for (size_t i = 0; i < action.params().size(); ++i) {
+      const Param& param = action.params()[i];
+      CValue value;
+      value.type = param.type;
+      const uint64_t bits = i < data.size() ? data[i].bits() : 0;
+      if (param.type->IsBool()) {
+        value.scalar = BoolDatum(bits != 0);
+      } else {
+        value.scalar = BitDatum(BitValue(param.type->width(), bits));
+      }
+      bindings.emplace_back(param.name, std::move(value));
+    }
+    return bindings;
+  }
+
+  // --- statements ---
+
+  void ExecBlock(const BlockStmt& block) {
+    for (const StmtPtr& stmt : block.statements()) {
+      ExecStmt(*stmt);
+    }
+  }
+
+  void ExecStmt(const Stmt& stmt) {
+    if (!Live()) {
+      return;
+    }
+    switch (stmt.kind()) {
+      case StmtKind::kBlock:
+        ExecBlock(static_cast<const BlockStmt&>(stmt));
+        return;
+      case StmtKind::kEmpty:
+        return;
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        const Datum value = Eval(assign.value());
+        WriteLValue(assign.target(), value);
+        return;
+      }
+      case StmtKind::kVarDecl: {
+        const auto& var_decl = static_cast<const VarDeclStmt&>(stmt);
+        CValue value;
+        value.type = var_decl.var_type();
+        if (var_decl.init() != nullptr) {
+          value.scalar = Eval(*var_decl.init());
+        } else if (var_decl.var_type()->IsBool()) {
+          value.scalar = BoolDatum(false);  // undefined = zero
+        } else {
+          value.scalar = BitDatum(BitValue(var_decl.var_type()->width(), 0));
+        }
+        env_.Bind(var_decl.name(), std::move(value));
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        if (Eval(if_stmt.cond()).b) {
+          ExecStmt(if_stmt.then_branch());
+        } else if (if_stmt.else_branch() != nullptr) {
+          ExecStmt(*if_stmt.else_branch());
+        }
+        return;
+      }
+      case StmtKind::kExit:
+        exited_ = true;
+        return;
+      case StmtKind::kReturn: {
+        const auto& return_stmt = static_cast<const ReturnStmt&>(stmt);
+        Frame& frame = frames_.back();
+        if (return_stmt.value() != nullptr) {
+          frame.ret = Eval(*return_stmt.value());
+        }
+        frame.returned = true;
+        return;
+      }
+      case StmtKind::kCall:
+        ExecCallStmt(static_cast<const CallStmt&>(stmt).call());
+        return;
+    }
+  }
+
+  void ExecCallStmt(const CallExpr& call) {
+    switch (call.call_kind()) {
+      case CallKind::kTableApply: {
+        GAUNTLET_BUG_CHECK(control_ != nullptr, "table applied outside a control");
+        const Decl* local = control_->FindLocal(call.callee());
+        GAUNTLET_BUG_CHECK(local != nullptr && local->kind() == DeclKind::kTable,
+                           "unknown table at concrete execution time");
+        ApplyTable(static_cast<const TableDecl&>(*local));
+        return;
+      }
+      case CallKind::kSetValid: {
+        CValue* header = ResolveValue(*call.receiver());
+        if (!header->valid) {
+          // Newly validated headers have arbitrary field contents — fresh
+          // unknowns, which concretely read as zero.
+          for (auto& [name, field] : header->fields) {
+            (void)name;
+            if (field.scalar.is_bool || field.type->IsBool()) {
+              field.scalar = BoolDatum(false);
+            } else {
+              field.scalar = BitDatum(BitValue(field.type->width(), 0));
+            }
+          }
+          header->valid = true;
+        }
+        return;
+      }
+      case CallKind::kSetInvalid: {
+        CValue* header = ResolveValue(*call.receiver());
+        header->valid = false;
+        return;
+      }
+      case CallKind::kEmit: {
+        GAUNTLET_BUG_CHECK(in_deparser_, "emit outside deparser at concrete execution time");
+        const CValue* header = ResolveValue(*call.receiver());
+        if (header->valid || quirks_.emit_ignores_validity) {
+          for (const auto& [name, field] : header->fields) {
+            (void)name;
+            emitted_.AppendBits(field.scalar.is_bool ? BitValue(1, field.scalar.b ? 1 : 0)
+                                                     : field.scalar.bits);
+          }
+        }
+        return;
+      }
+      case CallKind::kExtract: {
+        GAUNTLET_BUG_CHECK(in_parser_, "extract outside a parser at concrete execution time");
+        CValue* header = ResolveValue(*call.receiver());
+        for (auto& [name, field] : header->fields) {
+          (void)name;
+          const uint32_t width = field.type->width();
+          const std::optional<BitValue> bits = packet_->ReadBits(parse_offset_, width);
+          if (!bits.has_value()) {
+            throw PacketTooShortSignal{};
+          }
+          field.scalar = BitDatum(*bits);
+          parse_offset_ += width;
+        }
+        header->valid = true;
+        return;
+      }
+      case CallKind::kAction: {
+        const ActionDecl* action = FindAction(call.callee());
+        GAUNTLET_BUG_CHECK(action != nullptr, "unknown action at concrete execution time");
+        ExecCall(action->params(), action->body(), call.args());
+        return;
+      }
+      case CallKind::kFunction: {
+        const FunctionDecl* function = program_.FindFunction(call.callee());
+        GAUNTLET_BUG_CHECK(function != nullptr, "unknown function at concrete execution time");
+        ExecCall(function->params(), function->body(), call.args());
+        return;
+      }
+      case CallKind::kIsValid:
+        GAUNTLET_BUG_CHECK(false, "unexpected call kind as statement");
+    }
+  }
+
+  const Program& program_;
+  const TargetQuirks& quirks_;
+  const TableConfig& tables_;
+  Env env_;
+  std::vector<Frame> frames_;
+  bool exited_ = false;
+  bool rejected_ = false;
+  bool in_deparser_ = false;
+  bool in_parser_ = false;
+  const ControlDecl* control_ = nullptr;
+  const BitString* packet_ = nullptr;
+  size_t parse_offset_ = 0;
+  BitString emitted_;
+};
+
+// Flattens the inout/out parameters of a finished block into canonicalized
+// leaves — the concrete image of CollectParamOutputs + FlattenOutput.
+std::map<std::string, BitValue> CollectParamLeaves(const std::vector<Param>& params,
+                                                   BlockExec& exec) {
+  std::map<std::string, BitValue> leaves;
+  for (const Param& param : params) {
+    if (param.direction == Direction::kInOut || param.direction == Direction::kOut) {
+      const CValue* value = exec.env().Find(param.name);
+      GAUNTLET_BUG_CHECK(value != nullptr, "lost block parameter");
+      FlattenLeaves(*value, param.name, /*enclosing_invalid=*/false, leaves);
+    }
+  }
+  return leaves;
+}
+
+// Rejects a TableConfig that names tables the program does not declare, or
+// installs entries on keyless tables (P4 forbids both; a typo'd table name
+// would otherwise make every lookup a silent miss).
+void ValidateTableConfig(const Program& program, const TableConfig& tables) {
+  std::map<std::string, const TableDecl*> declared;
+  for (const DeclPtr& decl : program.decls()) {
+    if (decl->kind() != DeclKind::kControl) {
+      continue;
+    }
+    for (const DeclPtr& local : static_cast<const ControlDecl&>(*decl).locals()) {
+      if (local->kind() == DeclKind::kTable) {
+        declared[local->name()] = static_cast<const TableDecl*>(local.get());
+      }
+    }
+  }
+  for (const auto& [name, entries] : tables) {
+    auto it = declared.find(name);
+    if (it == declared.end()) {
+      throw CompileError("table config names '" + name +
+                         "', but the program declares no such table");
+    }
+    if (!entries.empty() && it->second->keys().empty()) {
+      throw CompileError("table '" + name +
+                         "' is keyless; entries cannot be installed on it");
+    }
+  }
+}
+
+// Binds a control's parameters from upstream leaves (out params start
+// undefined = zero, like the symbolic MakeUndefValue binding).
+void BindControlParams(const Program& program, BlockExec& exec,
+                       const std::vector<Param>& params,
+                       const std::map<std::string, BitValue>& leaves) {
+  exec.env().PushLayer();
+  for (const Param& param : params) {
+    if (param.direction == Direction::kOut) {
+      exec.env().Bind(param.name, ZeroValue(program, *param.type));
+    } else {
+      exec.env().Bind(param.name, ValueFromLeaves(program, *param.type, param.name, leaves));
+    }
+  }
+}
+
+}  // namespace
+
+PacketResult ConcreteInterpreter::RunPacket(const BitString& packet,
+                                            const TableConfig& tables) const {
+  const PackageBlock* parser_block = program_.FindBlock(BlockRole::kParser);
+  const PackageBlock* ingress_block = program_.FindBlock(BlockRole::kIngress);
+  const PackageBlock* egress_block = program_.FindBlock(BlockRole::kEgress);
+  const PackageBlock* deparser_block = program_.FindBlock(BlockRole::kDeparser);
+  if (parser_block == nullptr || ingress_block == nullptr || deparser_block == nullptr) {
+    throw UnsupportedError(
+        "concrete packet execution requires parser, ingress and deparser blocks");
+  }
+  const ParserDecl* parser = program_.FindParser(parser_block->decl_name);
+  GAUNTLET_BUG_CHECK(parser != nullptr, "parser binding is not a parser");
+  ValidateTableConfig(program_, tables);
+
+  PacketResult result;
+
+  // --- parser ---
+  std::map<std::string, BitValue> leaves;
+  {
+    BlockExec exec(program_, quirks_, tables);
+    exec.env().PushLayer();
+    // Parser parameters start with invalid headers and undefined (= zero)
+    // scalars.
+    for (const Param& param : parser->params()) {
+      exec.env().Bind(param.name, ZeroValue(program_, *param.type));
+    }
+    try {
+      exec.RunParser(*parser, packet);
+    } catch (const PacketTooShortSignal&) {
+      result.dropped = true;
+      return result;
+    }
+    if (exec.rejected()) {
+      result.dropped = true;
+      return result;
+    }
+    leaves = CollectParamLeaves(parser->params(), exec);
+  }
+
+  // --- match-action controls ---
+  for (const PackageBlock* block : {ingress_block, egress_block}) {
+    if (block == nullptr) {
+      continue;
+    }
+    const ControlDecl* control = program_.FindControl(block->decl_name);
+    GAUNTLET_BUG_CHECK(control != nullptr, "control binding is not a control");
+    BlockExec exec(program_, quirks_, tables);
+    BindControlParams(program_, exec, control->params(), leaves);
+    exec.RunControl(*control, /*is_deparser=*/false);
+    leaves = CollectParamLeaves(control->params(), exec);
+  }
+
+  // --- deparser ---
+  {
+    const ControlDecl* deparser = program_.FindControl(deparser_block->decl_name);
+    GAUNTLET_BUG_CHECK(deparser != nullptr, "deparser binding is not a control");
+    BlockExec exec(program_, quirks_, tables);
+    BindControlParams(program_, exec, deparser->params(), leaves);
+    exec.RunControl(*deparser, /*is_deparser=*/true);
+    result.output = exec.emitted();
+  }
+  return result;
+}
+
+std::map<std::string, BitValue> ConcreteInterpreter::RunIngressOnScalars(
+    const std::map<std::string, BitValue>& inputs, const TableConfig& tables) const {
+  const PackageBlock* ingress_block = program_.FindBlock(BlockRole::kIngress);
+  GAUNTLET_BUG_CHECK(ingress_block != nullptr, "package binds no ingress block");
+  const ControlDecl* control = program_.FindControl(ingress_block->decl_name);
+  GAUNTLET_BUG_CHECK(control != nullptr, "ingress binding is not a control");
+  ValidateTableConfig(program_, tables);
+
+  BlockExec exec(program_, quirks_, tables);
+  BindControlParams(program_, exec, control->params(), inputs);
+  exec.RunControl(*control, /*is_deparser=*/false);
+  std::map<std::string, BitValue> outputs = CollectParamLeaves(control->params(), exec);
+  outputs["$exited"] = BitValue(1, exec.exited() ? 1 : 0);
+  return outputs;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,78 @@
+#ifndef SRC_TARGET_CONCRETE_H_
+#define SRC_TARGET_CONCRETE_H_
+
+#include <map>
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+// Behavioral deviations a buggy back end bakes into its compiled artifact
+// (the semantic, non-crashing entries of the back-end fault catalogue in
+// src/passes/bugs.h). The compilers translate enabled BugIds into this
+// struct; the clean configuration is all-false.
+struct TargetQuirks {
+  // kBmv2EmitIgnoresValidity / kTofinoDeparserEmitsInvalid: the deparser
+  // emits headers regardless of their validity bit.
+  bool emit_ignores_validity = false;
+  // kBmv2TableMissRunsFirstAction: a table miss runs the first listed
+  // action with zeroed action data instead of the default action.
+  bool miss_runs_first_action = false;
+  // kTofinoTableDefaultSkipped: a table miss skips the default action.
+  bool skip_default_action = false;
+  // kTofinoPhvNarrowWide: >32-bit add/sub/mul are computed in a 32-bit
+  // container, losing carries into (and contents of) the upper bits.
+  bool narrow_alu_containers = false;
+};
+
+// The concrete reference executor: runs a type-checked program on one
+// concrete packet plus table configuration, block by block along the
+// package pipeline (Figure 1). It implements exactly the semantics the
+// symbolic interpreter encodes into SMT, with every undefined value pinned
+// to zero (the zero-initializing-target convention of section 6.2):
+//
+//   * copy-in/copy-out calling convention, with copy-out happening
+//     unconditionally even when the callee exits (the specification
+//     interpretation that resolved the Fig. 5f ambiguity);
+//   * Fig. 3 table semantics: exact-match lookup over the installed
+//     entries, default action (with its compile-time arguments) on a miss,
+//     keyless tables always run the default;
+//   * header validity: setValid on an invalid header zeroes the fields
+//     (fresh unknowns = zero); only valid headers are emitted; fields of
+//     invalid headers read as zero across block boundaries;
+//   * parsers: extract consumes packet bits in order, a short packet or a
+//     reject transition drops the packet, select takes the first matching
+//     case in order.
+//
+// The same executor, parameterized by TargetQuirks, is the execution engine
+// behind Bmv2Executable and TofinoExecutable; with default quirks it is the
+// trustworthy source-level oracle those targets are compared against.
+class ConcreteInterpreter {
+ public:
+  explicit ConcreteInterpreter(const Program& program, const TargetQuirks& quirks = {})
+      : program_(program), quirks_(quirks) {}
+
+  // Full pipeline: parser -> ingress [-> egress] -> deparser. Requires the
+  // package to bind at least parser, ingress and deparser blocks (throws
+  // UnsupportedError otherwise).
+  PacketResult RunPacket(const BitString& packet, const TableConfig& tables) const;
+
+  // Runs only the ingress control on scalar leaf inputs named exactly like
+  // the symbolic interpreter's input variables ("hdr.h0.f0",
+  // "hdr.h0.$valid", ...; bools as width-1 values; missing leaves read as
+  // zero). Returns every output leaf the symbolic block semantics would
+  // produce — flattened inout/out parameters with invalid-header fields
+  // canonicalized to zero, plus "$exited".
+  std::map<std::string, BitValue> RunIngressOnScalars(
+      const std::map<std::string, BitValue>& inputs, const TableConfig& tables) const;
+
+ private:
+  const Program& program_;
+  TargetQuirks quirks_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_TARGET_CONCRETE_H_

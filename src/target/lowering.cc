@@ -1,0 +1,69 @@
+#include "src/target/lowering.h"
+
+#include "src/ast/visitor.h"
+#include "src/passes/pass.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+
+ProgramPtr LowerThroughPipeline(const Program& program, const BugConfig& bugs) {
+  ProgramPtr lowered = program.Clone();
+  TypeCheck(*lowered, TypeCheckOptionsFromBugs(bugs));
+  PassManager::StandardPipeline().Run(*lowered, bugs);
+  return lowered;
+}
+
+void CheckNoResidualCalls(const Program& program, const char* backend_name) {
+  class Finder : public Inspector {
+   public:
+    bool found = false;
+
+   protected:
+    void OnExpr(const Expr& expr) override {
+      if (expr.kind() == ExprKind::kCall) {
+        found |= static_cast<const CallExpr&>(expr).call_kind() == CallKind::kFunction;
+      }
+    }
+  };
+  Finder finder;
+  finder.VisitProgram(program);
+  if (finder.found) {
+    throw CompilerBugError(std::string(backend_name) +
+                           " back end cannot lower residual function calls");
+  }
+}
+
+int CountTables(const Program& program) {
+  class Counter : public Inspector {
+   public:
+    int count = 0;
+
+   protected:
+    void OnTable(const TableDecl&) override { ++count; }
+  };
+  Counter counter;
+  counter.VisitProgram(program);
+  return counter.count;
+}
+
+bool HasWideMultiply(const Program& program) {
+  class Finder : public Inspector {
+   public:
+    bool found = false;
+
+   protected:
+    void OnExpr(const Expr& expr) override {
+      if (expr.kind() != ExprKind::kBinary) {
+        return;
+      }
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      found |= binary.op() == BinaryOp::kMul && binary.type() != nullptr &&
+               binary.type()->IsBit() && binary.type()->width() > 32;
+    }
+  };
+  Finder finder;
+  finder.VisitProgram(program);
+  return finder.found;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,31 @@
+#ifndef SRC_TARGET_LOWERING_H_
+#define SRC_TARGET_LOWERING_H_
+
+#include "src/ast/program.h"
+#include "src/passes/bugs.h"
+
+namespace gauntlet {
+
+// The front/mid-end lowering both back ends share (P4C's role in Figure 1):
+// clone the program, type-check it — with the seeded type-checker faults
+// applied, when enabled — and run the standard pass pipeline under `bugs`.
+// Throws CompileError for rejected programs and CompilerBugError when a
+// seeded fault crashes a pass or snowballs into an ill-typed program.
+ProgramPtr LowerThroughPipeline(const Program& program, const BugConfig& bugs);
+
+// Back ends consume call-free programs: InlineFunctions must have removed
+// every top-level function call. When the seeded kInlinerSkipsNestedCall
+// fault leaves one behind, this is the later pass that crashes on it (the
+// section 7.2 snowball). The message contains "residual function calls",
+// which crash attribution keys on.
+void CheckNoResidualCalls(const Program& program, const char* backend_name);
+
+// Structural queries the Tofino resource model (its seeded crash faults)
+// needs: the number of match tables and whether any multiply wider than a
+// 32-bit PHV container remains after lowering.
+int CountTables(const Program& program);
+bool HasWideMultiply(const Program& program);
+
+}  // namespace gauntlet
+
+#endif  // SRC_TARGET_LOWERING_H_

@@ -1,0 +1,348 @@
+#include "src/target/stf.h"
+
+#include <sstream>
+
+namespace gauntlet {
+
+void BitString::AppendBits(const BitValue& value) {
+  for (uint32_t i = value.width(); i > 0; --i) {
+    bits_.push_back(((value.bits() >> (i - 1)) & 1) != 0);
+  }
+}
+
+void BitString::Append(const BitString& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+std::optional<BitValue> BitString::ReadBits(size_t offset, uint32_t width) const {
+  if (width == 0 || width > BitValue::kMaxWidth || offset + width > bits_.size()) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < width; ++i) {
+    value = (value << 1) | (bits_[offset + i] ? 1 : 0);
+  }
+  return BitValue(width, value);
+}
+
+std::string BitString::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve((bits_.size() + 3) / 4);
+  for (size_t i = 0; i < bits_.size(); i += 4) {
+    unsigned nibble = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      nibble = (nibble << 1) | (i + j < bits_.size() && bits_[i + j] ? 1 : 0);
+    }
+    hex.push_back(kDigits[nibble]);
+  }
+  return hex;
+}
+
+BitString BitString::FromHex(const std::string& hex, size_t bit_count) {
+  if (bit_count > hex.size() * 4 || (bit_count + 3) / 4 != hex.size()) {
+    throw CompileError("STF: bit count " + std::to_string(bit_count) +
+                       " does not match hex digit count " + std::to_string(hex.size()));
+  }
+  BitString bits;
+  for (size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[i];
+    unsigned nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<unsigned>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<unsigned>(c - 'A') + 10;
+    } else {
+      throw CompileError(std::string("STF: invalid hex digit '") + c + "'");
+    }
+    for (unsigned j = 0; j < 4; ++j) {
+      const bool bit = ((nibble >> (3 - j)) & 1) != 0;
+      if (i * 4 + j < bit_count) {
+        bits.AppendBit(bit);
+      } else if (bit) {
+        // Padding past bit_count must be zero (ToHex always pads with
+        // zeros); a set bit there means the hex and the length disagree.
+        throw CompileError("STF: nonzero padding bits past bit " +
+                           std::to_string(bit_count) + " in '" + hex + "'");
+      }
+    }
+  }
+  return bits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BitString& bits) {
+  return os << bits.ToHex() << "/" << bits.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const PacketResult& result) {
+  if (result.dropped) {
+    return os << "<dropped>";
+  }
+  return os << result.output;
+}
+
+PacketTestOutcome JudgePacketTest(const PacketTest& test, const PacketResult& observed) {
+  PacketTestOutcome outcome;
+  outcome.observed = observed;
+  if (test.expected.dropped != observed.dropped) {
+    outcome.passed = false;
+    if (test.expected.dropped) {
+      outcome.detail = "expected drop, target emitted " + observed.output.ToHex() + " (" +
+                       std::to_string(observed.output.size()) + " bits)";
+    } else {
+      outcome.detail = "target dropped the packet, expected " + test.expected.output.ToHex() +
+                       " (" + std::to_string(test.expected.output.size()) + " bits)";
+    }
+    return outcome;
+  }
+  if (!observed.dropped && observed.output != test.expected.output) {
+    outcome.passed = false;
+    outcome.detail = "payload mismatch: expected " + test.expected.output.ToHex() + " (" +
+                     std::to_string(test.expected.output.size()) + " bits), observed " +
+                     observed.output.ToHex() + " (" +
+                     std::to_string(observed.output.size()) + " bits)";
+    return outcome;
+  }
+  outcome.passed = true;
+  return outcome;
+}
+
+// --- STF text format -------------------------------------------------------
+
+namespace {
+
+std::string PacketToken(const BitString& bits) {
+  return bits.ToHex() + "/" + std::to_string(bits.size());
+}
+
+// Strict unsigned decimal: every character must be a digit (stoul-style
+// parsing would silently accept signs and trailing garbage in hand-edited
+// reproducers).
+uint64_t ParseDecimal(const std::string& text, int line_number) {
+  if (text.empty()) {
+    throw CompileError("STF line " + std::to_string(line_number) + ": missing number");
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw CompileError("STF line " + std::to_string(line_number) + ": bad number '" + text +
+                         "'");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw CompileError("STF line " + std::to_string(line_number) + ": number '" + text +
+                         "' overflows 64 bits");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+BitString ParsePacketToken(const std::string& token, int line_number) {
+  const size_t slash = token.rfind('/');
+  if (slash == std::string::npos) {
+    throw CompileError("STF line " + std::to_string(line_number) +
+                       ": expected <hex>/<bits>, got '" + token + "'");
+  }
+  const std::string hex = token.substr(0, slash);
+  const size_t bit_count = ParseDecimal(token.substr(slash + 1), line_number);
+  return BitString::FromHex(hex, bit_count);
+}
+
+BitValue ParseValueToken(const std::string& token, int line_number) {
+  const size_t w = token.find('w');
+  if (w == std::string::npos || w == 0 || w + 1 >= token.size()) {
+    throw CompileError("STF line " + std::to_string(line_number) +
+                       ": expected <width>w<value>, got '" + token + "'");
+  }
+  const uint64_t width = ParseDecimal(token.substr(0, w), line_number);
+  const uint64_t value = ParseDecimal(token.substr(w + 1), line_number);
+  if (width == 0 || width > BitValue::kMaxWidth) {
+    throw CompileError("STF line " + std::to_string(line_number) + ": width out of range in '" +
+                       token + "'");
+  }
+  if (value > BitValue::MaskFor(static_cast<uint32_t>(width))) {
+    throw CompileError("STF line " + std::to_string(line_number) + ": value '" + token +
+                       "' does not fit in " + std::to_string(width) + " bits");
+  }
+  return BitValue(static_cast<uint32_t>(width), value);
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string EmitStf(const PacketTest& test) {
+  // Whitespace or '#' in a name would break the documented
+  // Emit -> Parse -> Emit identity (the name would tokenize or truncate).
+  if (test.name.empty()) {
+    throw CompileError("STF: cannot emit a test with an empty name");
+  }
+  for (const char c : test.name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#') {
+      throw CompileError("STF: test name '" + test.name +
+                         "' contains whitespace or '#' and cannot be emitted");
+    }
+  }
+  std::string out = "test " + test.name + "\n";
+  for (const auto& [table, entries] : test.tables) {
+    for (const TableEntry& entry : entries) {
+      out += "add " + table;
+      for (const BitValue& key : entry.key) {
+        out += " " + key.ToString();
+      }
+      out += " " + entry.action + "(";
+      for (size_t i = 0; i < entry.action_data.size(); ++i) {
+        out += (i > 0 ? "," : "") + entry.action_data[i].ToString();
+      }
+      out += ")\n";
+    }
+  }
+  out += "packet " + PacketToken(test.input) + "\n";
+  if (test.expected.dropped) {
+    out += "expect drop\n";
+  } else {
+    out += "expect " + PacketToken(test.expected.output) + "\n";
+  }
+  return out;
+}
+
+std::string EmitStf(const std::vector<PacketTest>& tests) {
+  std::string out;
+  for (size_t i = 0; i < tests.size(); ++i) {
+    if (i > 0) {
+      out += "\n";
+    }
+    out += EmitStf(tests[i]);
+  }
+  return out;
+}
+
+std::vector<PacketTest> ParseStf(const std::string& text) {
+  std::vector<PacketTest> tests;
+  PacketTest current;
+  bool in_test = false;
+  bool has_packet = false;
+  bool has_expect = false;
+  auto flush = [&] {
+    if (in_test) {
+      if (!has_packet || !has_expect) {
+        throw CompileError("STF: test '" + current.name + "' is missing " +
+                           (has_packet ? "an 'expect'" : "a 'packet'") + " line");
+      }
+      tests.push_back(std::move(current));
+      current = PacketTest{};
+      in_test = false;
+      has_packet = false;
+      has_expect = false;
+    }
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) {
+      line = line.substr(0, comment);
+    }
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& directive = tokens[0];
+    if (directive == "test") {
+      flush();
+      if (tokens.size() != 2) {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": expected 'test <name>'");
+      }
+      in_test = true;
+      current.name = tokens[1];
+      continue;
+    }
+    if (!in_test) {
+      throw CompileError("STF line " + std::to_string(line_number) + ": directive '" +
+                         directive + "' outside a test block");
+    }
+    if (directive == "add") {
+      // add <table> <key>... <action>(<data>,...)
+      if (tokens.size() < 3) {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": expected 'add <table> <key>... <action>(...)'");
+      }
+      const std::string& action_spec = tokens.back();
+      const size_t open = action_spec.find('(');
+      if (open == std::string::npos || action_spec.back() != ')') {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": malformed action spec '" + action_spec + "'");
+      }
+      TableEntry entry;
+      entry.action = action_spec.substr(0, open);
+      const std::string args = action_spec.substr(open + 1, action_spec.size() - open - 2);
+      size_t start = 0;
+      while (start < args.size()) {
+        size_t end = args.find(',', start);
+        if (end == std::string::npos) {
+          end = args.size();
+        }
+        entry.action_data.push_back(ParseValueToken(args.substr(start, end - start), line_number));
+        start = end + 1;
+      }
+      for (size_t i = 2; i + 1 < tokens.size(); ++i) {
+        entry.key.push_back(ParseValueToken(tokens[i], line_number));
+      }
+      current.tables[tokens[1]].push_back(std::move(entry));
+      continue;
+    }
+    if (directive == "packet") {
+      if (tokens.size() != 2) {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": expected 'packet <hex>/<bits>'");
+      }
+      if (has_packet) {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": duplicate 'packet' line in test '" + current.name + "'");
+      }
+      current.input = ParsePacketToken(tokens[1], line_number);
+      has_packet = true;
+      continue;
+    }
+    if (directive == "expect") {
+      if (has_expect) {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": duplicate 'expect' line in test '" + current.name + "'");
+      }
+      if (tokens.size() == 2 && tokens[1] == "drop") {
+        current.expected.dropped = true;
+        has_expect = true;
+        continue;
+      }
+      if (tokens.size() != 2) {
+        throw CompileError("STF line " + std::to_string(line_number) +
+                           ": expected 'expect drop' or 'expect <hex>/<bits>'");
+      }
+      current.expected.dropped = false;
+      current.expected.output = ParsePacketToken(tokens[1], line_number);
+      has_expect = true;
+      continue;
+    }
+    throw CompileError("STF line " + std::to_string(line_number) + ": unknown directive '" +
+                       directive + "'");
+  }
+  flush();
+  return tests;
+}
+
+}  // namespace gauntlet

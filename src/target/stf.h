@@ -1,0 +1,161 @@
+#ifndef SRC_TARGET_STF_H_
+#define SRC_TARGET_STF_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/bit_value.h"
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+// The packet-test harness layer (paper section 6, Figure 4): the data types
+// a black-box target consumes — raw packets, control-plane table state and
+// input/expected-output test cases — plus the PTF/STF-style replay driver
+// and an on-disk text format for reproducers.
+
+// A packet as a bit string. P4 headers are not byte-aligned in general
+// (bit<N> fields with arbitrary N), so the packet abstraction is
+// bit-granular: appends and reads address individual bit ranges, and hex
+// rendering pads the trailing nibble with zero bits, exactly like p4c's STF
+// tooling does when it prints byte strings.
+class BitString {
+ public:
+  BitString() = default;
+
+  // Number of bits.
+  size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  void AppendBit(bool bit) { bits_.push_back(bit); }
+  // Appends `value.width()` bits, most significant bit first.
+  void AppendBits(const BitValue& value);
+  void Append(const BitString& other);
+
+  // Reads `width` bits starting at bit `offset` (0 = first appended bit).
+  // Returns nullopt if the range runs past the end — the "packet too short"
+  // condition a target reacts to by dropping the packet.
+  std::optional<BitValue> ReadBits(size_t offset, uint32_t width) const;
+
+  // Hex string, one char per 4 bits, zero-padded at the tail: 16 bits
+  // 0xdead -> "dead"; 6 bits 0b101010 -> "a8".
+  std::string ToHex() const;
+
+  // Inverse of ToHex given the exact bit length (hex alone cannot represent
+  // lengths that are not multiples of four). Throws CompileError on
+  // malformed hex or when `bit_count` does not fit the digit count.
+  static BitString FromHex(const std::string& hex, size_t bit_count);
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const BitString& a, const BitString& b) { return !(a == b); }
+
+ private:
+  std::vector<bool> bits_;  // in append order, MSB of each value first
+};
+
+std::ostream& operator<<(std::ostream& os, const BitString& bits);
+
+// One installed table entry: exact-match key values (one per key column),
+// the action to run on a hit, and its control-plane action data.
+struct TableEntry {
+  std::vector<BitValue> key;
+  std::string action;
+  std::vector<BitValue> action_data;
+};
+
+// Control-plane state for one test: table name -> installed entries.
+// Lookup is first-match in installation order.
+using TableConfig = std::map<std::string, std::vector<TableEntry>>;
+
+// What a target did with one input packet.
+struct PacketResult {
+  BitString output;
+  bool dropped = false;
+};
+
+inline bool operator==(const PacketResult& a, const PacketResult& b) {
+  return a.dropped == b.dropped && (a.dropped || a.output == b.output);
+}
+inline bool operator!=(const PacketResult& a, const PacketResult& b) { return !(a == b); }
+
+std::ostream& operator<<(std::ostream& os, const PacketResult& result);
+
+// The oracle side of a test case, derived from the source program's formal
+// semantics (Figure 4's "compute expected output" box).
+struct ExpectedResult {
+  bool dropped = false;
+  BitString output;
+};
+
+// One self-contained packet test: input packet + table state + expectation.
+struct PacketTest {
+  std::string name;
+  BitString input;
+  TableConfig tables;
+  ExpectedResult expected;
+};
+
+// Outcome of replaying one test on a target.
+struct PacketTestOutcome {
+  bool passed = false;
+  PacketResult observed;
+  std::string detail;  // human-readable mismatch diagnosis, empty if passed
+};
+
+// Compares an observed result against a test's expectation and produces the
+// harness diagnostic ("payload mismatch: ..." / drop mismatches).
+PacketTestOutcome JudgePacketTest(const PacketTest& test, const PacketResult& observed);
+
+// Replays one test on any target exposing
+//   PacketResult Run(const BitString&, const TableConfig&) const.
+template <typename Target>
+PacketTestOutcome RunPacketTest(const Target& target, const PacketTest& test) {
+  return JudgePacketTest(test, target.Run(test.input, test.tables));
+}
+
+// Replays a batch; returns the failing (test, outcome) pairs in order.
+template <typename Target>
+std::vector<std::pair<PacketTest, PacketTestOutcome>> RunPacketTests(
+    const Target& target, const std::vector<PacketTest>& tests) {
+  std::vector<std::pair<PacketTest, PacketTestOutcome>> failures;
+  for (const PacketTest& test : tests) {
+    PacketTestOutcome outcome = RunPacketTest(target, test);
+    if (!outcome.passed) {
+      failures.emplace_back(test, std::move(outcome));
+    }
+  }
+  return failures;
+}
+
+// --- STF text format -------------------------------------------------------
+//
+// On-disk reproducers in a p4c-STF-flavoured line format:
+//
+//   test path0
+//   add t 8w17 8w2 set_b(8w153)
+//   packet 0a0b/16
+//   expect 0a0b/16        # or: expect drop
+//
+// One `test` block per test case. `add` installs a table entry (key values
+// in column order, then action(data,...)); values use the BitValue syntax
+// "<width>w<decimal>". Packets are "<hex>/<bits>" so non-nibble-aligned
+// payloads round-trip exactly. '#' starts a comment; blank lines separate
+// blocks. Emit -> Parse -> Emit is the identity.
+
+std::string EmitStf(const PacketTest& test);
+std::string EmitStf(const std::vector<PacketTest>& tests);
+
+// Parses STF text; throws CompileError with a line number on malformed
+// input.
+std::vector<PacketTest> ParseStf(const std::string& text);
+
+}  // namespace gauntlet
+
+#endif  // SRC_TARGET_STF_H_

@@ -1,0 +1,43 @@
+#include "src/target/tofino.h"
+
+#include <string>
+
+#include "src/target/lowering.h"
+
+namespace gauntlet {
+
+namespace {
+
+// The modelled chip's match-stage budget: the seeded stage-allocator fault
+// asserts once a program needs more tables than this.
+constexpr int kStageTableBudget = 4;
+
+}  // namespace
+
+TofinoExecutable TofinoCompiler::Compile(const Program& program) const {
+  ProgramPtr lowered = LowerThroughPipeline(program, bugs_);
+  CheckNoResidualCalls(*lowered, "Tofino");
+
+  // Seeded back-end crash faults (resource-model assertions).
+  if (bugs_.Has(BugId::kTofinoCrashOnWideArith) && HasWideMultiply(*lowered)) {
+    throw CompilerBugError(
+        "Tofino back end: PHV allocation failed: no container class fits a >32-bit multiply");
+  }
+  if (bugs_.Has(BugId::kTofinoCrashManyTables)) {
+    const int tables = CountTables(*lowered);
+    if (tables > kStageTableBudget) {
+      throw CompilerBugError("Tofino back end: stage allocation asserted: " +
+                             std::to_string(tables) + " match tables exceed the " +
+                             std::to_string(kStageTableBudget) + "-stage budget");
+    }
+  }
+
+  // Seeded back-end semantic faults become artifact quirks.
+  TargetQuirks quirks;
+  quirks.emit_ignores_validity = bugs_.Has(BugId::kTofinoDeparserEmitsInvalid);
+  quirks.skip_default_action = bugs_.Has(BugId::kTofinoTableDefaultSkipped);
+  quirks.narrow_alu_containers = bugs_.Has(BugId::kTofinoPhvNarrowWide);
+  return TofinoExecutable(std::move(lowered), quirks);
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,50 @@
+#ifndef SRC_TARGET_TOFINO_H_
+#define SRC_TARGET_TOFINO_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/passes/bugs.h"
+#include "src/target/concrete.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+// The proprietary-back-end artifact (paper section 6.1): its intermediate
+// representations are closed, so translation validation cannot look inside
+// — packet replay through Run is the only available oracle.
+class TofinoExecutable {
+ public:
+  PacketResult Run(const BitString& packet, const TableConfig& tables) const {
+    return ConcreteInterpreter(*program_, quirks_).RunPacket(packet, tables);
+  }
+
+  const Program& program() const { return *program_; }
+
+ private:
+  friend class TofinoCompiler;
+  TofinoExecutable(std::shared_ptr<const Program> program, TargetQuirks quirks)
+      : program_(std::move(program)), quirks_(quirks) {}
+
+  std::shared_ptr<const Program> program_;
+  TargetQuirks quirks_;
+};
+
+// The Tofino compiler: the same shared lowering, then a chip-flavoured back
+// end with a PHV/stage resource model. Its seeded crash faults abort
+// compilation ("PHV allocation" / "stage allocation" assertions); its
+// seeded semantic faults silently change the compiled artifact's behavior —
+// exactly the split in the fault catalogue's Tofino section.
+class TofinoCompiler {
+ public:
+  explicit TofinoCompiler(BugConfig bugs) : bugs_(std::move(bugs)) {}
+
+  TofinoExecutable Compile(const Program& program) const;
+
+ private:
+  BugConfig bugs_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_TARGET_TOFINO_H_

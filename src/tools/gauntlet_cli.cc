@@ -79,10 +79,7 @@ int CmdBugs() {
 
 int CmdCompile(const std::string& path, const BugConfig& bugs) {
   auto program = Parser::ParseString(ReadFile(path));
-  TypeCheckOptions type_options;
-  type_options.bug_shift_crash = bugs.Has(BugId::kTypeCheckerShiftCrash);
-  type_options.bug_reject_slice_compare = bugs.Has(BugId::kTypeCheckerRejectSliceCompare);
-  TypeCheck(*program, type_options);
+  TypeCheck(*program, TypeCheckOptionsFromBugs(bugs));
   PassManager::StandardPipeline().Run(
       *program, bugs, [](const std::string& pass_name, const Program& snapshot) {
         std::printf("---- after %s ----\n%s\n", pass_name.c_str(),
@@ -111,8 +108,14 @@ int CmdValidate(const std::string& path, const BugConfig& bugs) {
           std::printf("    witness %s = %s\n", name.c_str(), value.ToString().c_str());
         }
       }
+    } else if (result.verdict == TvVerdict::kInvalidEmit) {
+      // An emitted program that fails to re-parse/re-typecheck is a
+      // definite compiler bug (campaign.cc counts it as a crash finding).
+      ++problems;
     }
   }
+  std::printf("%zu changed-pass pairs validated, %d problem%s found\n",
+              report.pass_results.size(), problems, problems == 1 ? "" : "s");
   return problems == 0 ? 0 : 1;
 }
 
@@ -120,28 +123,10 @@ int CmdTestgen(const std::string& path) {
   auto program = Parser::ParseString(ReadFile(path));
   TypeCheck(*program);
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
-  for (const PacketTest& test : tests) {
-    std::printf("test %s\n  packet %s\n", test.name.c_str(), test.input.ToHex().c_str());
-    for (const auto& [table, entries] : test.tables) {
-      for (const TableEntry& entry : entries) {
-        std::printf("  add %s", table.c_str());
-        for (const BitValue& key : entry.key) {
-          std::printf(" %s", key.ToString().c_str());
-        }
-        std::printf(" -> %s(", entry.action.c_str());
-        for (size_t i = 0; i < entry.action_data.size(); ++i) {
-          std::printf("%s%s", i > 0 ? ", " : "", entry.action_data[i].ToString().c_str());
-        }
-        std::printf(")\n");
-      }
-    }
-    if (test.expected.dropped) {
-      std::printf("  expect drop\n");
-    } else {
-      std::printf("  expect %s\n", test.expected.output.ToHex().c_str());
-    }
-  }
-  std::printf("%zu tests generated\n", tests.size());
+  // STF text on stdout: redirect into a .stf file to get an on-disk
+  // reproducer that ParseStf reads back.
+  std::printf("%s", EmitStf(tests).c_str());
+  std::fprintf(stderr, "%zu tests generated\n", tests.size());
   return 0;
 }
 

@@ -161,10 +161,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
   auto& versions = report.versions;
   ProgramPtr current = program.Clone();
   try {
-    TypeCheckOptions type_options;
-    type_options.bug_shift_crash = bugs.Has(BugId::kTypeCheckerShiftCrash);
-    type_options.bug_reject_slice_compare = bugs.Has(BugId::kTypeCheckerRejectSliceCompare);
-    TypeCheck(*current, type_options);
+    TypeCheck(*current, TypeCheckOptionsFromBugs(bugs));
   } catch (const std::exception& error) {
     report.crashed = true;
     report.crash_message = std::string("type checking: ") + error.what();

@@ -1,0 +1,207 @@
+// STF harness coverage: the emit -> parse -> emit round trip for on-disk
+// reproducers, and the differential property tying the compiled BMv2
+// artifact back to the source-level reference executor.
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/gen/generator.h"
+#include "src/support/rng.h"
+#include "src/target/bmv2.h"
+#include "src/target/concrete.h"
+#include "src/target/stf.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+PacketTest MakeSampleTest() {
+  PacketTest test;
+  test.name = "path3";
+  test.input.AppendBits(BitValue(8, 0x0a));
+  test.input.AppendBits(BitValue(8, 0x0b));
+  TableEntry entry;
+  entry.key = {BitValue(8, 17), BitValue(4, 2)};
+  entry.action = "set_b";
+  entry.action_data = {BitValue(8, 153), BitValue(1, 1)};
+  test.tables["t"].push_back(entry);
+  test.expected.output.AppendBits(BitValue(8, 0x0a));
+  test.expected.output.AppendBits(BitValue(8, 0x99));
+  return test;
+}
+
+TEST(StfFormatTest, EmitGolden) {
+  EXPECT_EQ(EmitStf(MakeSampleTest()),
+            "test path3\n"
+            "add t 8w17 4w2 set_b(8w153,1w1)\n"
+            "packet 0a0b/16\n"
+            "expect 0a99/16\n");
+}
+
+TEST(StfFormatTest, EmitGoldenDrop) {
+  PacketTest test;
+  test.name = "rejected";
+  test.input.AppendBits(BitValue(6, 0b101010));  // non-nibble-aligned
+  test.expected.dropped = true;
+  EXPECT_EQ(EmitStf(test),
+            "test rejected\n"
+            "packet a8/6\n"
+            "expect drop\n");
+}
+
+TEST(StfFormatTest, EmitParseEmitIsIdentity) {
+  std::vector<PacketTest> tests;
+  tests.push_back(MakeSampleTest());
+  PacketTest drop;
+  drop.name = "drop0";
+  drop.input.AppendBits(BitValue(12, 0xabc));
+  drop.expected.dropped = true;
+  tests.push_back(drop);
+
+  const std::string first = EmitStf(tests);
+  const std::vector<PacketTest> parsed = ParseStf(first);
+  ASSERT_EQ(parsed.size(), tests.size());
+  EXPECT_EQ(EmitStf(parsed), first);
+
+  // Structural spot checks, not just textual ones.
+  EXPECT_EQ(parsed[0].name, "path3");
+  ASSERT_EQ(parsed[0].tables.count("t"), 1u);
+  const TableEntry& entry = parsed[0].tables.at("t")[0];
+  EXPECT_EQ(entry.key.size(), 2u);
+  EXPECT_EQ(entry.key[1], BitValue(4, 2));
+  EXPECT_EQ(entry.action, "set_b");
+  ASSERT_EQ(entry.action_data.size(), 2u);
+  EXPECT_EQ(entry.action_data[0], BitValue(8, 153));
+  EXPECT_EQ(parsed[0].input.ToHex(), "0a0b");
+  EXPECT_FALSE(parsed[0].expected.dropped);
+  EXPECT_TRUE(parsed[1].expected.dropped);
+  EXPECT_EQ(parsed[1].input.size(), 12u);
+}
+
+TEST(StfFormatTest, ParseToleratesCommentsAndBlankLines) {
+  const std::vector<PacketTest> parsed = ParseStf(
+      "# reproducer for the default-skipped fault\n"
+      "\n"
+      "test miss\n"
+      "packet ff/8   # all-ones probe\n"
+      "expect drop\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "miss");
+  EXPECT_EQ(parsed[0].input.ToHex(), "ff");
+  EXPECT_TRUE(parsed[0].expected.dropped);
+}
+
+TEST(StfFormatTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(ParseStf("packet ff/8\n"), CompileError);          // outside a test
+  EXPECT_THROW(ParseStf("test t\npacket zz/8\n"), CompileError);  // bad hex
+  EXPECT_THROW(ParseStf("test t\npacket ff\n"), CompileError);    // missing bit count
+  EXPECT_THROW(ParseStf("test t\nfrobnicate\n"), CompileError);   // unknown directive
+  EXPECT_THROW(ParseStf("test t\nadd t 8w1 set_b\n"), CompileError);  // malformed action
+  EXPECT_THROW(ParseStf("test t\npacket ab/16\n"), CompileError);  // count/digit mismatch
+  EXPECT_THROW(ParseStf("test t\npacket ff/8\n"), CompileError);   // truncated: no expect
+  EXPECT_THROW(ParseStf("test t\nexpect drop\n"), CompileError);   // truncated: no packet
+  EXPECT_THROW(ParseStf("test t\nadd t 8w-1 a()\npacket ff/8\nexpect drop\n"),
+               CompileError);                                      // signed value
+  EXPECT_THROW(ParseStf("test t\npacket ff/8x\nexpect drop\n"), CompileError);  // garbage
+  EXPECT_THROW(ParseStf("test t\npacket ab/6\nexpect drop\n"),
+               CompileError);  // nonzero padding bits past the bit count
+  EXPECT_THROW(ParseStf("test t\nadd t 8w300 a()\npacket ff/8\nexpect drop\n"),
+               CompileError);  // value overflows its declared width
+  EXPECT_THROW(ParseStf("test t\npacket ff/8\nexpect ff/8\nexpect drop\n"),
+               CompileError);  // duplicate expect: stale line kept by mistake
+  EXPECT_THROW(ParseStf("test t\npacket ff/8\npacket 00/8\nexpect drop\n"),
+               CompileError);  // duplicate packet
+  PacketTest bad_name;
+  bad_name.name = "path 3";  // whitespace would not re-parse
+  EXPECT_THROW(EmitStf(bad_name), CompileError);
+}
+
+// Malformed control-plane rows are rejected at replay time, not silently
+// skipped — a hand-edited reproducer must fail loudly, not stop reproducing.
+TEST(StfFormatTest, ReplayRejectsMalformedTableEntries) {
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  BitString packet;
+  packet.AppendBits(BitValue(16, 0x1122));
+
+  TableConfig wrong_data_width;
+  wrong_data_width["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(16, 409)}});
+  EXPECT_THROW(target.Run(packet, wrong_data_width), CompileError);
+
+  TableConfig wrong_key_width;
+  wrong_key_width["t"].push_back(TableEntry{{BitValue(4, 2)}, "set_b", {BitValue(8, 1)}});
+  EXPECT_THROW(target.Run(packet, wrong_key_width), CompileError);
+
+  TableConfig unlisted_action;
+  unlisted_action["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "nope", {}});
+  EXPECT_THROW(target.Run(packet, unlisted_action), CompileError);
+
+  TableConfig typoed_table;
+  typoed_table["tt"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(8, 1)}});
+  EXPECT_THROW(target.Run(packet, typoed_table), CompileError);
+
+  TableConfig well_formed;
+  well_formed["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(8, 0x99)}});
+  EXPECT_EQ(target.Run(packet, well_formed).output.ToHex(), "1199");
+}
+
+TEST(StfFormatTest, BitStringHexRoundTripsOddLengths) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    BitString bits;
+    const size_t length = rng.Range(0, 67);
+    for (size_t i = 0; i < length; ++i) {
+      bits.AppendBit(rng.Chance(50));
+    }
+    EXPECT_EQ(BitString::FromHex(bits.ToHex(), bits.size()), bits);
+  }
+}
+
+// The differential property behind the whole back-end story: on a clean
+// compiler, the compiled BMv2 artifact must agree with the source-level
+// reference executor packet-for-packet on generator-produced programs.
+TEST(StfDifferentialTest, CompiledBmv2AgreesWithSourceInterpreter) {
+  for (uint64_t seed = 4000; seed < 4015; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ProgramPtr program = ProgramGenerator(options).Generate();
+    TypeCheck(*program);
+    ConcreteInterpreter source(*program);
+    const Bmv2Executable compiled = Bmv2Compiler(BugConfig::None()).Compile(*program);
+    Rng rng(seed * 13 + 5);
+    for (int round = 0; round < 6; ++round) {
+      BitString packet;
+      const size_t bytes = rng.Range(0, 20);
+      for (size_t i = 0; i < bytes; ++i) {
+        packet.AppendBits(BitValue(8, rng.Next()));
+      }
+      EXPECT_EQ(source.RunPacket(packet, {}), compiled.Run(packet, {}))
+          << "seed " << seed << " round " << round << " input " << packet.ToHex();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gauntlet
