@@ -44,6 +44,21 @@ int CampaignReport::CountDistinct(BugLocation location, BugKind kind) const {
   return count;
 }
 
+void CampaignReport::Merge(CampaignReport&& other) {
+  programs_generated += other.programs_generated;
+  programs_with_crash += other.programs_with_crash;
+  programs_with_semantic += other.programs_with_semantic;
+  tests_generated += other.tests_generated;
+  undef_divergences += other.undef_divergences;
+  structural_mismatches += other.structural_mismatches;
+  for (Finding& finding : other.findings) {
+    findings.push_back(std::move(finding));
+  }
+  distinct_bugs.insert(other.distinct_bugs.begin(), other.distinct_bugs.end());
+  unattributed_components.insert(other.unattributed_components.begin(),
+                                 other.unattributed_components.end());
+}
+
 void Campaign::Record(CampaignReport& report, Finding finding) {
   if (finding.attributed.has_value()) {
     report.distinct_bugs.insert(*finding.attributed);
@@ -249,6 +264,7 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
         finding.kind = BugKind::kSemantic;
         finding.component = "Bmv2BackEnd";
         finding.detail = failures[0].second.detail;
+        finding.repro_test = failures[0].first;
         AttributeBlackBox(finding, bugs, BugLocation::kBackEndBmv2, failures[0].first,
                           [&](const BugConfig& config) {
                             return Bmv2Compiler(config).Compile(program);
@@ -293,6 +309,7 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
         finding.kind = BugKind::kSemantic;
         finding.component = "TofinoBackEnd";
         finding.detail = failures[0].second.detail;
+        finding.repro_test = failures[0].first;
         AttributeBlackBox(finding, bugs, BugLocation::kBackEndTofino, failures[0].first,
                           [&](const BugConfig& config) {
                             return TofinoCompiler(config).Compile(program);

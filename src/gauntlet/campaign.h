@@ -36,6 +36,9 @@ struct Finding {
   // detector with candidate faults disabled — the "fix and confirm" cycle).
   std::optional<BugId> attributed;
   std::string detail;
+  // For packet-test findings: the failing test, ready for an STF corpus
+  // (crash and translation-validation findings carry no packet).
+  std::optional<PacketTest> repro_test;
 };
 
 struct CampaignOptions {
@@ -71,6 +74,11 @@ struct CampaignReport {
   std::map<BugLocation, int> DistinctByLocation() const;
   std::map<BugKind, int> DistinctByKind() const;
   int CountDistinct(BugLocation location, BugKind kind) const;
+
+  // Folds `other` into this report: counters add, findings append in
+  // `other`'s order, distinct sets union. Merging per-program reports in
+  // program-index order reproduces the serial report exactly.
+  void Merge(CampaignReport&& other);
 };
 
 // A multi-round find->fix sequence: each round runs a full campaign, then
@@ -95,9 +103,14 @@ class Campaign {
 
   CampaignReport Run(const BugConfig& bugs) const;
 
- private:
+  // Runs all three detection techniques on one program, recording findings
+  // into `report`. Public so drivers that own the program stream (the
+  // parallel campaign in src/runtime/) can reuse the detection machinery;
+  // const and self-contained, so concurrent calls on one Campaign are safe.
   void TestProgram(const Program& program, const BugConfig& bugs, int program_index,
                    CampaignReport& report) const;
+
+ private:
   void AttributeCrash(Finding& finding, const std::string& message) const;
   void AttributeTvFinding(Finding& finding, const TvReport& tv_report, const BugConfig& bugs,
                           const std::string& pass_name) const;

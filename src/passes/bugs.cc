@@ -40,12 +40,18 @@ const std::vector<BugInfo>& BugCatalogue() {
        BugLocation::kBackEndBmv2, "Bmv2Deparser", "§7.1 BMv2 bugs"},
       {BugId::kBmv2TableMissRunsFirstAction, "bmv2-miss-runs-first-action",
        BugKind::kSemantic, BugLocation::kBackEndBmv2, "Bmv2TableEngine", "§7.1 BMv2 bugs"},
+      {BugId::kBmv2TablePriorityInversion, "bmv2-table-priority-inversion",
+       BugKind::kSemantic, BugLocation::kBackEndBmv2, "Bmv2TableEngine",
+       "§7.1 BMv2 bugs (entry shadowing)"},
       {BugId::kTofinoPhvNarrowWide, "tofino-phv-narrow-wide", BugKind::kSemantic,
        BugLocation::kBackEndTofino, "TofinoPhvAllocation", "§7.1 Tofino bugs"},
       {BugId::kTofinoTableDefaultSkipped, "tofino-default-skipped", BugKind::kSemantic,
        BugLocation::kBackEndTofino, "TofinoTableLowering", "§7.1 Tofino bugs"},
       {BugId::kTofinoDeparserEmitsInvalid, "tofino-deparser-emits-invalid",
        BugKind::kSemantic, BugLocation::kBackEndTofino, "TofinoDeparser", "§7.1 Tofino bugs"},
+      {BugId::kTofinoActionDataEndianSwap, "tofino-action-data-endian-swap",
+       BugKind::kSemantic, BugLocation::kBackEndTofino, "TofinoActionDataPacking",
+       "§7.1 Tofino bugs (driver packing)"},
       {BugId::kTofinoCrashOnWideArith, "tofino-crash-wide-arith", BugKind::kCrash,
        BugLocation::kBackEndTofino, "TofinoPhvAllocation", "§7.1 Tofino bugs"},
       {BugId::kTofinoCrashManyTables, "tofino-crash-many-tables", BugKind::kCrash,

@@ -39,11 +39,13 @@ enum class BugId {
   // --- BMv2 back end ---
   kBmv2EmitIgnoresValidity,     // deparser emits invalid headers
   kBmv2TableMissRunsFirstAction,  // miss executes the first listed action
+  kBmv2TablePriorityInversion,  // last matching entry wins instead of first
 
   // --- Tofino back end (closed source; only black-box testing sees these) ---
   kTofinoPhvNarrowWide,         // >32-bit ALU ops truncated to 32 bits
   kTofinoTableDefaultSkipped,   // default action skipped on miss
   kTofinoDeparserEmitsInvalid,  // deparser ignores validity
+  kTofinoActionDataEndianSwap,  // multi-byte action data loaded byte-reversed
   kTofinoCrashOnWideArith,      // crash: no PHV allocation for wide multiply
   kTofinoCrashManyTables,       // crash: stage allocator asserts on >4 tables
 };

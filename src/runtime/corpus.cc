@@ -1,0 +1,226 @@
+#include "src/runtime/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/frontend/parser.h"
+#include "src/frontend/printer.h"
+#include "src/target/bmv2.h"
+#include "src/target/tofino.h"
+
+namespace gauntlet {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// File-name- and JSON-safe slug: catalogue names are already kebab-case;
+// component strings can hold arbitrary crash-site text.
+std::string Sanitize(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '-');
+  }
+  return out.empty() ? std::string("finding") : out;
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void WriteFileOrThrow(const fs::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    throw CompileError("corpus: cannot write '" + path.string() + "'");
+  }
+  out << content;
+}
+
+std::string ReadFileOrThrow(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CompileError("corpus: cannot read '" + path.string() + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string FindingJson(const std::string& key, const Finding& finding) {
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"key\": \"" << JsonEscape(key) << "\",\n"
+       << "  \"program_index\": " << finding.program_index << ",\n"
+       << "  \"method\": \"" << DetectionMethodToString(finding.method) << "\",\n"
+       << "  \"kind\": \"" << (finding.kind == BugKind::kCrash ? "crash" : "semantic")
+       << "\",\n"
+       << "  \"component\": \"" << JsonEscape(finding.component) << "\",\n"
+       << "  \"attributed\": ";
+  if (finding.attributed.has_value()) {
+    json << "\"" << BugIdToString(*finding.attributed) << "\"";
+  } else {
+    json << "null";
+  }
+  json << ",\n"
+       << "  \"detail\": \"" << JsonEscape(finding.detail) << "\"\n"
+       << "}\n";
+  return json.str();
+}
+
+}  // namespace
+
+CorpusStore::CorpusStore(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec || !fs::is_directory(directory_)) {
+    throw CompileError("corpus: cannot create directory '" + directory_ + "'");
+  }
+}
+
+std::string CorpusStore::KeyFor(const Finding& finding) {
+  if (finding.attributed.has_value()) {
+    return Sanitize(BugIdToString(*finding.attributed));
+  }
+  return "unattributed-" + Sanitize(finding.component);
+}
+
+std::string CorpusStore::Add(const Program& program, const Finding& finding) {
+  const std::string key = KeyFor(finding);
+  const fs::path base = fs::path(directory_) / key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!keys_.insert(key).second || fs::exists(base.string() + ".finding.json")) {
+      return "";
+    }
+    ++stored_;
+  }
+  // Writes happen outside the lock: keys_ already claimed this slot, so no
+  // other worker can race onto the same files.
+  WriteFileOrThrow(base.string() + ".p4", PrintProgram(program));
+  const std::string stf =
+      finding.repro_test.has_value() ? EmitStf(*finding.repro_test) : std::string();
+  WriteFileOrThrow(base.string() + ".stf", stf);
+  WriteFileOrThrow(base.string() + ".finding.json", FindingJson(key, finding));
+  return key;
+}
+
+int CorpusStore::stored_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stored_;
+}
+
+bool CorpusStore::HasKey(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.count(key) > 0 ||
+         fs::exists((fs::path(directory_) / (key + ".finding.json")));
+}
+
+int CountCorpus(const std::string& directory) {
+  int count = 0;
+  if (!fs::is_directory(directory)) {
+    return count;
+  }
+  for (const fs::directory_entry& file : fs::directory_iterator(directory)) {
+    const fs::path path = file.path();
+    fs::path stf = path;
+    stf.replace_extension(".stf");
+    count += path.extension() == ".p4" && fs::exists(stf) ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<CorpusEntry> ListCorpus(const std::string& directory) {
+  std::vector<CorpusEntry> entries;
+  if (!fs::is_directory(directory)) {
+    return entries;
+  }
+  for (const fs::directory_entry& file : fs::directory_iterator(directory)) {
+    const fs::path path = file.path();
+    if (path.extension() != ".p4") {
+      continue;
+    }
+    fs::path stf = path;
+    stf.replace_extension(".stf");
+    if (!fs::exists(stf)) {
+      continue;
+    }
+    CorpusEntry entry;
+    entry.key = path.stem().string();
+    entry.program_text = ReadFileOrThrow(path);
+    entry.stf_text = ReadFileOrThrow(stf);
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
+ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>& tests,
+                          const BugConfig& bugs, bool on_bmv2, bool on_tofino) {
+  ReplayOutcome outcome;
+  if (on_bmv2) {
+    const Bmv2Executable target = Bmv2Compiler(bugs).Compile(program);
+    for (const PacketTest& test : tests) {
+      ++outcome.tests_run;
+      const PacketTestOutcome result = RunPacketTest(target, test);
+      if (!result.passed) {
+        ++outcome.failures;
+        outcome.failure_details.push_back("bmv2 " + test.name + ": " + result.detail);
+      }
+    }
+  }
+  if (on_tofino) {
+    const TofinoExecutable target = TofinoCompiler(bugs).Compile(program);
+    for (const PacketTest& test : tests) {
+      ++outcome.tests_run;
+      const PacketTestOutcome result = RunPacketTest(target, test);
+      if (!result.passed) {
+        ++outcome.failures;
+        outcome.failure_details.push_back("tofino " + test.name + ": " + result.detail);
+      }
+    }
+  }
+  return outcome;
+}
+
+ReplayOutcome ReplayStfText(const std::string& program_text, const std::string& stf_text,
+                            const BugConfig& bugs) {
+  const ProgramPtr program = Parser::ParseString(program_text);
+  const std::vector<PacketTest> tests = ParseStf(stf_text);
+  return ReplayTests(*program, tests, bugs, /*on_bmv2=*/true, /*on_tofino=*/true);
+}
+
+}  // namespace gauntlet

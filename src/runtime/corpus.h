@@ -1,0 +1,99 @@
+#ifndef SRC_RUNTIME_CORPUS_H_
+#define SRC_RUNTIME_CORPUS_H_
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/gauntlet/campaign.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+// Persists campaign findings as replayable reproducer triples under one
+// directory:
+//
+//   <key>.p4            the generated program (printer output, re-parseable)
+//   <key>.stf           the failing packet test (empty for crash findings)
+//   <key>.finding.json  method / kind / component / attribution / detail
+//
+// `key` is the attributed fault's catalogue name, or the blamed component
+// for unattributed findings — so the corpus holds one reproducer per
+// distinct bug, matching the campaign report's dedup. A key that already
+// exists on disk (from this run or a previous one) is skipped; campaigns
+// can be re-run into the same corpus without churning files. Add is
+// thread-safe, though the parallel campaign stores findings post-merge in
+// finding order so corpus contents are jobs-count-deterministic too.
+class CorpusStore {
+ public:
+  // Creates `directory` (and parents) if missing; throws CompileError when
+  // the path cannot be created or is not a directory.
+  explicit CorpusStore(std::string directory);
+
+  // Stores one finding's reproducer. Returns the key when files were
+  // written, empty string when the finding was a duplicate of a stored key.
+  std::string Add(const Program& program, const Finding& finding);
+
+  // True when `key` is already stored (by this instance or on disk from a
+  // previous run). Lets callers skip preparing the program for an Add that
+  // would dedup anyway.
+  bool HasKey(const std::string& key) const;
+
+  // Number of reproducers written by this store instance.
+  int stored_count() const;
+
+  const std::string& directory() const { return directory_; }
+
+  // The dedup/file-name key for a finding.
+  static std::string KeyFor(const Finding& finding);
+
+ private:
+  std::string directory_;
+  mutable std::mutex mutex_;
+  std::set<std::string> keys_;  // keys seen by this instance
+  int stored_ = 0;
+};
+
+// One stored reproducer read back from a corpus directory.
+struct CorpusEntry {
+  std::string key;
+  std::string program_text;
+  std::string stf_text;
+};
+
+// Lists the reproducer triples in a corpus directory, sorted by key.
+// Entries missing their .p4 or .stf sibling are skipped.
+std::vector<CorpusEntry> ListCorpus(const std::string& directory);
+
+// Counts the reproducer triples without reading their contents (stat-only
+// directory scan).
+int CountCorpus(const std::string& directory);
+
+// --- replay -----------------------------------------------------------------
+
+struct ReplayOutcome {
+  int tests_run = 0;
+  int failures = 0;
+  // One line per failure: "<target> <test>: <harness diagnosis>".
+  std::vector<std::string> failure_details;
+  bool passed() const { return failures == 0; }
+};
+
+// Re-runs stored STF tests through the BMv2 and/or Tofino back ends,
+// compiled with `bugs` (None() = the clean compilers, i.e. "does this
+// reproducer still fail after the fix?"). Compile crashes surface as
+// CompilerBugError to the caller — a reproducer whose compile aborts is a
+// crash reproducer, not a packet mismatch.
+ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>& tests,
+                          const BugConfig& bugs, bool on_bmv2, bool on_tofino);
+
+// Convenience wrapper: parses the program and STF text (throwing
+// CompileError loudly on malformed input) and replays on both back ends.
+ReplayOutcome ReplayStfText(const std::string& program_text, const std::string& stf_text,
+                            const BugConfig& bugs);
+
+}  // namespace gauntlet
+
+#endif  // SRC_RUNTIME_CORPUS_H_

@@ -1,0 +1,67 @@
+#include "src/runtime/parallel_campaign.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/gen/generator.h"
+#include "src/runtime/worker_pool.h"
+
+namespace gauntlet {
+
+uint64_t ParallelCampaign::ProgramSeed(uint64_t campaign_seed, int program_index) {
+  // splitmix64 finalizer over the index, then XOR into the campaign seed.
+  uint64_t z = static_cast<uint64_t>(program_index) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return campaign_seed ^ z;
+}
+
+CampaignReport ParallelCampaign::Run(const BugConfig& bugs) const {
+  const int total = options_.campaign.num_programs;
+  const Campaign campaign(options_.campaign);
+
+  GeneratorOptions generator_options = options_.campaign.generator;
+  const auto generate = [&generator_options, this](int index) {
+    GeneratorOptions per_program = generator_options;
+    per_program.seed = ProgramSeed(options_.campaign.seed, index);
+    return ProgramGenerator(per_program).Generate();
+  };
+
+  // One report slot per program: workers never share mutable state, so the
+  // merge below is order-deterministic no matter how indices were scheduled.
+  std::vector<CampaignReport> slots(static_cast<size_t>(total > 0 ? total : 0));
+  const int jobs = options_.jobs == 0 ? WorkerPool::HardwareThreads() : options_.jobs;
+  WorkerPool pool(jobs);
+  ParallelFor(pool, total, [&](int index) {
+    const ProgramPtr program = generate(index);
+    CampaignReport& slot = slots[static_cast<size_t>(index)];
+    ++slot.programs_generated;
+    campaign.TestProgram(*program, bugs, index, slot);
+  });
+
+  CampaignReport report;
+  for (CampaignReport& slot : slots) {
+    report.Merge(std::move(slot));
+  }
+
+  // Corpus writes happen after the merge, in finding order, so the stored
+  // triple for each key comes from the *first* program that tripped it —
+  // deterministic for any jobs count, like the report itself. Regenerating
+  // a program from its per-index seed costs microseconds next to the
+  // solver time its findings already consumed, and the HasKey pre-check
+  // skips even that for the (common) repeat findings of one hot fault.
+  if (!options_.corpus_dir.empty()) {
+    CorpusStore corpus(options_.corpus_dir);
+    for (const Finding& finding : report.findings) {
+      if (corpus.HasKey(CorpusStore::KeyFor(finding))) {
+        continue;
+      }
+      corpus.Add(*generate(finding.program_index), finding);
+    }
+  }
+  return report;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,50 @@
+#ifndef SRC_RUNTIME_PARALLEL_CAMPAIGN_H_
+#define SRC_RUNTIME_PARALLEL_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/gauntlet/campaign.h"
+#include "src/runtime/corpus.h"
+
+namespace gauntlet {
+
+struct ParallelCampaignOptions {
+  CampaignOptions campaign;
+  // Worker threads; 0 = one per hardware thread. Any jobs value produces
+  // the identical report (determinism is per-program, not per-schedule).
+  int jobs = 1;
+  // When non-empty, every distinct finding is persisted as a
+  // <key>.p4 / <key>.stf / <key>.finding.json reproducer triple here.
+  std::string corpus_dir;
+};
+
+// The scaled campaign driver (ROADMAP "parallel campaign workers"): shards
+// the program loop across a WorkerPool. Campaign iterations are fully
+// independent — per-program state, per-program solver — and the hot path is
+// solver time, so throughput scales near-linearly with cores.
+//
+// Determinism: program i is generated from the derived seed
+// ProgramSeed(seed, i) (splitmix64-mixed, not the serial generator's
+// sequential stream), and every program's findings land in a per-program
+// slot merged in index order. The report is therefore bit-identical for any
+// --jobs value, and `--jobs 1` *is* the serial baseline.
+class ParallelCampaign {
+ public:
+  explicit ParallelCampaign(ParallelCampaignOptions options)
+      : options_(std::move(options)) {}
+
+  CampaignReport Run(const BugConfig& bugs) const;
+
+  // The per-program generator seed: campaign seed XOR a splitmix64 hash of
+  // the program index (hashing keeps neighbouring indices' xoshiro seed
+  // states decorrelated; index 0 hashes to a non-zero word).
+  static uint64_t ProgramSeed(uint64_t campaign_seed, int program_index);
+
+ private:
+  ParallelCampaignOptions options_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_RUNTIME_PARALLEL_CAMPAIGN_H_

@@ -1,0 +1,106 @@
+#include "src/runtime/worker_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace gauntlet {
+
+WorkerPool::WorkerPool(int threads) {
+  const int count = threads < 1 ? 1 : threads;
+  threads_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void WorkerPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+int WorkerPool::HardwareThreads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
+}
+
+void ParallelFor(WorkerPool& pool, int total, const std::function<void(int)>& body) {
+  if (total <= 0) {
+    return;
+  }
+  auto next = std::make_shared<std::atomic<int>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+  const int lanes = pool.thread_count() < total ? pool.thread_count() : total;
+  for (int lane = 0; lane < lanes; ++lane) {
+    pool.Submit([next, first_error, error, error_mutex, total, &body] {
+      for (;;) {
+        const int index = next->fetch_add(1);
+        if (index >= total) {
+          return;
+        }
+        if (first_error->load()) {
+          continue;  // drain remaining indices without doing work
+        }
+        try {
+          body(index);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(*error_mutex);
+          if (!first_error->exchange(true)) {
+            *error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  pool.Wait();
+  if (first_error->load()) {
+    std::rethrow_exception(*error);
+  }
+}
+
+}  // namespace gauntlet

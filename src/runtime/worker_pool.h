@@ -1,0 +1,63 @@
+#ifndef SRC_RUNTIME_WORKER_POOL_H_
+#define SRC_RUNTIME_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gauntlet {
+
+// A fixed pool of std::threads draining a shared task queue. Campaign
+// workloads are coarse-grained (one task amortizes a full solver run), so a
+// single mutex-protected queue with dynamic pull — each idle worker steals
+// the next task the moment it frees up — load-balances as well as per-thread
+// deques would, without their complexity.
+class WorkerPool {
+ public:
+  // threads < 1 is clamped to 1; a 1-thread pool still runs tasks on its
+  // worker thread, so the serial and parallel paths share one code path.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running (not merely been
+  // dequeued). Tasks may Submit further tasks; Wait covers those too.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  // std::thread::hardware_concurrency with a floor of 1 (the standard
+  // allows it to report 0).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;  // dequeued but not yet finished
+  bool stopping_ = false;
+};
+
+// Runs body(0..total-1) across the pool and blocks until all complete.
+// Indices are claimed dynamically (chunk size 1): campaign iterations vary
+// wildly in cost — a program that trips the solver's conflict limit takes
+// orders of magnitude longer than one rejected by the type checker — so
+// static sharding would leave threads idle. The first exception any
+// iteration throws is rethrown on the calling thread after all iterations
+// have settled.
+void ParallelFor(WorkerPool& pool, int total, const std::function<void(int)>& body);
+
+}  // namespace gauntlet
+
+#endif  // SRC_RUNTIME_WORKER_POOL_H_

@@ -464,6 +464,7 @@ class InterpreterImpl {
     const std::string action_var_name = prefix_ + table.name() + "_action";
     const SmtRef action_var = ctx_.Var(action_var_name, 16);
     info.action_var = action_var_name;
+    info.hit_condition = hit;
     result_.branch_conditions.push_back(ctx_.BoolAnd(guard, hit));
 
     SmtRef any_selected = ctx_.False();

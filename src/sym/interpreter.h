@@ -21,6 +21,10 @@ struct TableInfo {
   // action_data_vars[i] are the symbolic control-plane argument names for
   // action_names[i].
   std::vector<std::vector<std::string>> action_data_vars;
+  // The unguarded hit condition (key expression == key vars); False for
+  // keyless tables. Lets a model consumer distinguish "this path hits the
+  // installed entry" from "the action index merely landed in range".
+  SmtRef hit_condition;
 };
 
 // The input-output semantics of one programmable block, as a functional

@@ -10,6 +10,7 @@ Bmv2Executable Bmv2Compiler::Compile(const Program& program) const {
   TargetQuirks quirks;
   quirks.emit_ignores_validity = bugs_.Has(BugId::kBmv2EmitIgnoresValidity);
   quirks.miss_runs_first_action = bugs_.Has(BugId::kBmv2TableMissRunsFirstAction);
+  quirks.match_last_entry = bugs_.Has(BugId::kBmv2TablePriorityInversion);
   return Bmv2Executable(std::move(lowered), quirks);
 }
 

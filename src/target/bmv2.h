@@ -17,7 +17,7 @@ namespace gauntlet {
 class Bmv2Executable {
  public:
   PacketResult Run(const BitString& packet, const TableConfig& tables) const {
-    return ConcreteInterpreter(*program_, quirks_).RunPacket(packet, tables);
+    return interpreter_.RunPacket(packet, tables);
   }
 
   const Program& program() const { return *program_; }
@@ -25,10 +25,14 @@ class Bmv2Executable {
  private:
   friend class Bmv2Compiler;
   Bmv2Executable(std::shared_ptr<const Program> program, TargetQuirks quirks)
-      : program_(std::move(program)), quirks_(quirks) {}
+      : program_(std::move(program)), interpreter_(*program_, quirks) {}
 
   std::shared_ptr<const Program> program_;
-  TargetQuirks quirks_;
+  // One execution engine per compiled artifact, reused across every Run —
+  // batch packet replay pays interpreter setup once per program (the
+  // ROADMAP "scale knobs" item). References *program_, whose heap address
+  // is stable across copies/moves of the executable.
+  ConcreteInterpreter interpreter_;
 };
 
 // The BMv2 compiler: shared front/mid-end lowering (with whatever seeded

@@ -514,8 +514,11 @@ class BlockExec {
           for (size_t i = 0; i < lookup_key.size(); ++i) {
             matches &= entry.key[i].bits() == lookup_key[i].bits();
           }
-          if (matches && hit == nullptr) {
-            hit = &entry;  // first match wins; keep validating the rest
+          if (matches && (hit == nullptr || quirks_.match_last_entry)) {
+            // First match wins (keep validating the rest); the seeded
+            // priority-inversion fault keeps overwriting, so the last
+            // installed match wins instead.
+            hit = &entry;
           }
         }
       }
@@ -597,6 +600,20 @@ class BlockExec {
     }
   }
 
+  // The kTofinoActionDataEndianSwap fault: byte-aligned multi-byte action
+  // data is loaded with its bytes reversed. Sub-byte and non-byte-aligned
+  // arguments ride in single containers and are unaffected.
+  uint64_t SwapActionDataBytes(uint64_t bits, uint32_t width) const {
+    if (!quirks_.swap_action_data_bytes || width <= 8 || width % 8 != 0) {
+      return bits;
+    }
+    uint64_t swapped = 0;
+    for (uint32_t byte = 0; byte < width / 8; ++byte) {
+      swapped = (swapped << 8) | ((bits >> (8 * byte)) & 0xffu);
+    }
+    return swapped;
+  }
+
   // Binds control-plane action data to an action's parameters; missing
   // trailing values read as zero (the miss-quirk path installs zeroed data).
   std::vector<std::pair<std::string, CValue>> BindActionData(
@@ -610,7 +627,8 @@ class BlockExec {
       if (param.type->IsBool()) {
         value.scalar = BoolDatum(bits != 0);
       } else {
-        value.scalar = BitDatum(BitValue(param.type->width(), bits));
+        const uint32_t width = param.type->width();
+        value.scalar = BitDatum(BitValue(width, SwapActionDataBytes(bits, width)));
       }
       bindings.emplace_back(param.name, std::move(value));
     }

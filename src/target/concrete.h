@@ -25,6 +25,14 @@ struct TargetQuirks {
   // kTofinoPhvNarrowWide: >32-bit add/sub/mul are computed in a 32-bit
   // container, losing carries into (and contents of) the upper bits.
   bool narrow_alu_containers = false;
+  // kBmv2TablePriorityInversion: when several installed entries match a
+  // key, the last installed entry wins instead of the first (first-match
+  // shadowing is inverted).
+  bool match_last_entry = false;
+  // kTofinoActionDataEndianSwap: control-plane action data wider than one
+  // byte is loaded with its byte order reversed (driver packs the argument
+  // little-endian, the match unit reads it big-endian).
+  bool swap_action_data_bytes = false;
 };
 
 // The concrete reference executor: runs a type-checked program on one

@@ -37,6 +37,7 @@ TofinoExecutable TofinoCompiler::Compile(const Program& program) const {
   quirks.emit_ignores_validity = bugs_.Has(BugId::kTofinoDeparserEmitsInvalid);
   quirks.skip_default_action = bugs_.Has(BugId::kTofinoTableDefaultSkipped);
   quirks.narrow_alu_containers = bugs_.Has(BugId::kTofinoPhvNarrowWide);
+  quirks.swap_action_data_bytes = bugs_.Has(BugId::kTofinoActionDataEndianSwap);
   return TofinoExecutable(std::move(lowered), quirks);
 }
 

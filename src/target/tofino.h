@@ -16,7 +16,7 @@ namespace gauntlet {
 class TofinoExecutable {
  public:
   PacketResult Run(const BitString& packet, const TableConfig& tables) const {
-    return ConcreteInterpreter(*program_, quirks_).RunPacket(packet, tables);
+    return interpreter_.RunPacket(packet, tables);
   }
 
   const Program& program() const { return *program_; }
@@ -24,10 +24,13 @@ class TofinoExecutable {
  private:
   friend class TofinoCompiler;
   TofinoExecutable(std::shared_ptr<const Program> program, TargetQuirks quirks)
-      : program_(std::move(program)), quirks_(quirks) {}
+      : program_(std::move(program)), interpreter_(*program_, quirks) {}
 
   std::shared_ptr<const Program> program_;
-  TargetQuirks quirks_;
+  // One execution engine per compiled artifact, reused across every Run
+  // (see Bmv2Executable). References *program_, whose heap address is
+  // stable across copies/moves of the executable.
+  ConcreteInterpreter interpreter_;
 };
 
 // The Tofino compiler: the same shared lowering, then a chip-flavoured back

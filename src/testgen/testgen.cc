@@ -116,13 +116,21 @@ class PacketAssembler {
 };
 
 // Builds the table configuration a model implies: one entry per table whose
-// symbolic action index selects a listed action (Fig. 3 encoding inverted).
-TableConfig TablesFromModel(const SmtModel& model, const std::vector<TableInfo>& tables) {
+// path actually hits (Fig. 3 encoding inverted) with a listed action. A
+// miss-path model whose unconstrained action index happens to land in range
+// installs nothing — the multi-entry stress below adds deliberately
+// non-matching entries instead.
+TableConfig TablesFromModel(const SmtContext& ctx, const SmtModel& model,
+                            const std::vector<TableInfo>& tables) {
   TableConfig config;
+  ModelEvaluator evaluator(ctx, model);
   for (const TableInfo& table : tables) {
     const uint64_t action_index = model.BitOf(table.action_var).bits();
     if (action_index < 1 || action_index > table.action_names.size()) {
       continue;  // model chose "miss / invalid": install nothing
+    }
+    if (table.hit_condition.IsValid() && !evaluator.EvalBool(table.hit_condition)) {
+      continue;  // miss path: the entry would not match anyway
     }
     TableEntry entry;
     for (const std::string& key_var : table.key_vars) {
@@ -140,6 +148,43 @@ TableConfig TablesFromModel(const SmtModel& model, const std::vector<TableInfo>&
     config[table.table_name].push_back(std::move(entry));
   }
   return config;
+}
+
+// Multi-entry table stress: pads every hit table's config to 2–4 entries
+// with overlapping keys. The real entry stays first; the decoys are chosen
+// so that correct first-match semantics never runs them:
+//   * a shadowed twin — same key, same action, complemented action data —
+//     installed after the real entry (a back end that resolves overlapping
+//     entries last-match-first runs it and miscomputes);
+//   * one or two entries whose keys provably differ from the matched key
+//     (complement / successor of the real key), exercising lookup over a
+//     populated table without affecting the hit.
+void AddTableStressEntries(TableConfig& config) {
+  for (auto& [table_name, entries] : config) {
+    if (entries.size() != 1 || entries[0].key.empty()) {
+      continue;
+    }
+    const TableEntry real = entries[0];
+
+    TableEntry shadowed = real;
+    for (BitValue& value : shadowed.action_data) {
+      value = value.Not();
+    }
+    entries.push_back(std::move(shadowed));
+
+    TableEntry miss_a = real;
+    for (BitValue& value : miss_a.key) {
+      value = value.Not();
+    }
+    entries.push_back(miss_a);
+
+    TableEntry miss_b = real;
+    miss_b.key[0] = miss_b.key[0].Add(BitValue(miss_b.key[0].width(), 1));
+    // bit<1> keys: complement and successor coincide; skip the duplicate.
+    if (miss_b.key[0].bits() != miss_a.key[0].bits()) {
+      entries.push_back(std::move(miss_b));
+    }
+  }
 }
 
 }  // namespace
@@ -294,6 +339,14 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
     }
   }
 
+  // Tables whose control-plane state the tests must populate; names are
+  // unique program-wide, so ingress and egress tables can share one list.
+  std::vector<TableInfo> all_tables = pipeline.ingress.tables;
+  if (pipeline.has_egress) {
+    all_tables.insert(all_tables.end(), pipeline.egress.tables.begin(),
+                      pipeline.egress.tables.end());
+  }
+
   // Solve each path for a concrete witness and build the test case.
   std::vector<PacketTest> tests;
   std::set<std::string> seen;  // dedupe by (packet, tables) fingerprint
@@ -326,6 +379,50 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
           }
         }
       }
+      // Control-plane stress preferences, per table:
+      //  * hit paths should run the action carrying the most control-plane
+      //    data — a hit on a parameterless action cannot expose faults in
+      //    how the target loads installed entries (shadowed decoys,
+      //    byte-swapped action data);
+      //  * multi-byte action data should have first byte != last byte, so
+      //    a byte-reversed load is observable.
+      for (const TableInfo& table : all_tables) {
+        size_t best = table.action_names.size();
+        uint32_t best_bits = 0;
+        for (size_t i = 0; i < table.action_data_vars.size(); ++i) {
+          uint32_t bits = 0;
+          for (const std::string& data_var : table.action_data_vars[i]) {
+            const SmtRef var = ctx.FindVar(data_var);
+            if (var.IsValid()) {
+              bits += ctx.IsBool(var) ? 1 : ctx.WidthOf(var);
+            }
+          }
+          if (bits > best_bits) {
+            best_bits = bits;
+            best = i;
+          }
+        }
+        const SmtRef action_var = ctx.FindVar(table.action_var);
+        if (best < table.action_names.size() && action_var.IsValid() &&
+            table.hit_condition.IsValid() && preferences.size() < 112) {
+          preferences.push_back(
+              ctx.BoolOr(ctx.BoolNot(table.hit_condition),
+                         ctx.Eq(action_var, ctx.Const(16, best + 1))));
+        }
+        for (const std::vector<std::string>& data_vars : table.action_data_vars) {
+          for (const std::string& data_var : data_vars) {
+            const SmtRef var = ctx.FindVar(data_var);
+            if (!var.IsValid() || ctx.IsBool(var) || preferences.size() >= 112) {
+              continue;
+            }
+            const uint32_t width = ctx.WidthOf(var);
+            if (width >= 16 && width % 8 == 0) {
+              preferences.push_back(ctx.BoolNot(ctx.Eq(
+                  ctx.Extract(var, width - 1, width - 8), ctx.Extract(var, 7, 0))));
+            }
+          }
+        }
+      }
     }
     if (solver.CheckWithPreferences(preferences, paths[path_index]) != CheckResult::kSat) {
       continue;  // path became infeasible under the hard pins
@@ -335,13 +432,10 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
     PacketTest test;
     test.name = "path" + std::to_string(path_index);
     test.input = PacketAssembler(ctx, model, *parser).Assemble();
-    // Combine ingress (+egress) tables; names are unique program-wide.
-    std::vector<TableInfo> all_tables = pipeline.ingress.tables;
-    if (pipeline.has_egress) {
-      all_tables.insert(all_tables.end(), pipeline.egress.tables.begin(),
-                        pipeline.egress.tables.end());
+    test.tables = TablesFromModel(ctx, model, all_tables);
+    if (options_.table_stress) {
+      AddTableStressEntries(test.tables);
     }
-    test.tables = TablesFromModel(model, all_tables);
 
     // Expected output from the formal semantics.
     ModelEvaluator evaluator(ctx, model);
@@ -366,10 +460,12 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
       }
     }
 
-    const std::string fingerprint = test.input.ToHex() + "|" +
-                                    std::to_string(test.tables.size()) + "|" +
-                                    test.expected.output.ToHex();
-    if (seen.insert(fingerprint).second) {
+    // Dedupe on the full serialized test (packet + installed entries +
+    // expectation): two paths that differ only in which table entry they
+    // hit are distinct control-plane stimuli and must both survive.
+    std::string fingerprint = EmitStf(test);
+    fingerprint.erase(0, fingerprint.find('\n'));  // drop the name line
+    if (seen.insert(std::move(fingerprint)).second) {
       tests.push_back(std::move(test));
     }
   }

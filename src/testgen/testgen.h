@@ -23,6 +23,12 @@ struct TestGenOptions {
   // 0 = unlimited. Paths whose queries exhaust the budget are skipped, like
   // the silently-dropped test cases of §8.
   uint64_t query_time_limit_ms = 250;
+  // Install 2–4 entries per hit table instead of one: a same-key decoy with
+  // complemented action data *after* the real entry (first-match semantics
+  // must shadow it — catches priority-inversion back ends) plus
+  // non-matching overlap entries. Decoys never change the expected output
+  // of a correct target, so the Fig. 3 single-entry encoding stays sound.
+  bool table_stress = true;
 };
 
 // Symbolic-execution-based test-case generation (paper Figure 4 and §6):

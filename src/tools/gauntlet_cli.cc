@@ -4,16 +4,26 @@
 //                                           print the program after every pass
 //   gauntlet validate <file.p4> [--bug B]   translation-validate the pipeline
 //   gauntlet testgen <file.p4>              emit STF-style packet tests
-//   gauntlet fuzz [N] [seed] [--bug B ...]  random-program campaign
+//   gauntlet fuzz [N] [seed] [--bug B ...]  random-program campaign (serial)
+//   gauntlet campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...]
+//                                           parallel campaign + STF corpus
+//   gauntlet replay <file.p4> <file.stf> [--bug B ...]
+//                                           re-run a stored reproducer
 //   gauntlet reduce <file.p4> --bug B       shrink a reproducer
 //   gauntlet bugs                           list the seeded-fault catalogue
 //
 // Programs are mini-P4 (see README). --bug takes catalogue names from
 // `gauntlet bugs`.
+//
+// Exit codes are gateable: commands that *check* something (validate,
+// testgen, fuzz, campaign, replay) exit nonzero when they find problems —
+// semantic diffs, zero generated tests, campaign findings, packet
+// mismatches — so CI scripts can run them directly.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +32,8 @@
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
 #include "src/reduce/reducer.h"
+#include "src/runtime/corpus.h"
+#include "src/runtime/parallel_campaign.h"
 #include "src/target/bmv2.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
@@ -43,9 +55,12 @@ std::string ReadFile(const std::string& path) {
 
 BugConfig ParseBugFlags(int argc, char** argv) {
   BugConfig bugs;
-  for (int i = 1; i + 1 < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bug") != 0) {
       continue;
+    }
+    if (i + 1 >= argc) {
+      throw CompileError("--bug expects a catalogue name; run `gauntlet bugs`");
     }
     bool known = false;
     for (const BugInfo& info : BugCatalogue()) {
@@ -60,6 +75,36 @@ BugConfig ParseBugFlags(int argc, char** argv) {
     }
   }
   return bugs;
+}
+
+// Splits a command's arguments (argv[2:]) into positionals and value-taking
+// flags. Every `--flag` must be listed in `value_flags` and must have a
+// value: a flag's value is never mistaken for a positional (the
+// `campaign --jobs 4` ≠ `campaign 4` trap), and a trailing flag with its
+// value forgotten fails fast instead of being silently dropped.
+std::vector<std::string> SplitArgs(int argc, char** argv,
+                                   const std::vector<std::string>& value_flags,
+                                   std::map<std::string, std::string>& flags) {
+  std::vector<std::string> positionals;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals.push_back(arg);
+      continue;
+    }
+    bool known = false;
+    for (const std::string& flag : value_flags) {
+      known |= flag == arg;
+    }
+    if (!known) {
+      throw CompileError("unknown flag '" + arg + "' for this command");
+    }
+    if (i + 1 >= argc) {
+      throw CompileError("flag '" + arg + "' expects a value");
+    }
+    flags[arg] = argv[++i];
+  }
+  return positionals;
 }
 
 int CmdBugs() {
@@ -122,19 +167,23 @@ int CmdValidate(const std::string& path, const BugConfig& bugs) {
 int CmdTestgen(const std::string& path) {
   auto program = Parser::ParseString(ReadFile(path));
   TypeCheck(*program);
-  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  std::vector<PacketTest> tests;
+  try {
+    tests = TestCaseGenerator().Generate(*program);
+  } catch (const UnsupportedError& error) {
+    std::fprintf(stderr, "testgen: unsupported program: %s\n", error.what());
+    return 1;
+  }
   // STF text on stdout: redirect into a .stf file to get an on-disk
   // reproducer that ParseStf reads back.
   std::printf("%s", EmitStf(tests).c_str());
   std::fprintf(stderr, "%zu tests generated\n", tests.size());
-  return 0;
+  // No tests means no coverage — scripts piping this into a replay harness
+  // must be able to gate on it.
+  return tests.empty() ? 1 : 0;
 }
 
-int CmdFuzz(int num_programs, uint64_t seed, const BugConfig& bugs) {
-  CampaignOptions options;
-  options.seed = seed;
-  options.num_programs = num_programs;
-  const CampaignReport report = Campaign(options).Run(bugs);
+void PrintReport(const CampaignReport& report) {
   for (const Finding& finding : report.findings) {
     std::printf("prog %3d  %-22s %-9s %-24s %s\n", finding.program_index,
                 DetectionMethodToString(finding.method).c_str(),
@@ -146,7 +195,55 @@ int CmdFuzz(int num_programs, uint64_t seed, const BugConfig& bugs) {
   std::printf("%d programs, %zu findings, %zu distinct bugs, %d suspicious reports\n",
               report.programs_generated, report.findings.size(), report.DistinctCount(),
               report.undef_divergences);
-  return 0;
+}
+
+int CmdFuzz(int argc, char** argv, const BugConfig& bugs) {
+  std::map<std::string, std::string> flags;
+  const std::vector<std::string> positionals = SplitArgs(argc, argv, {"--bug"}, flags);
+  CampaignOptions options;
+  options.num_programs = positionals.size() >= 1 ? std::atoi(positionals[0].c_str()) : 50;
+  options.seed =
+      positionals.size() >= 2 ? static_cast<uint64_t>(std::atoll(positionals[1].c_str())) : 1;
+  const CampaignReport report = Campaign(options).Run(bugs);
+  PrintReport(report);
+  return report.findings.empty() ? 0 : 1;
+}
+
+int CmdCampaign(int argc, char** argv, const BugConfig& bugs) {
+  std::map<std::string, std::string> flags;
+  const std::vector<std::string> positionals =
+      SplitArgs(argc, argv, {"--jobs", "--corpus", "--bug"}, flags);
+  ParallelCampaignOptions options;
+  options.campaign.num_programs =
+      positionals.size() >= 1 ? std::atoi(positionals[0].c_str()) : 50;
+  options.campaign.seed =
+      positionals.size() >= 2 ? static_cast<uint64_t>(std::atoll(positionals[1].c_str())) : 1;
+  if (flags.count("--jobs") > 0) {
+    options.jobs = std::atoi(flags.at("--jobs").c_str());
+  }
+  if (flags.count("--corpus") > 0) {
+    options.corpus_dir = flags.at("--corpus");
+  }
+  const CampaignReport report = ParallelCampaign(options).Run(bugs);
+  PrintReport(report);
+  if (!options.corpus_dir.empty()) {
+    // Stat-only count; the corpus dedups across runs, so the directory can
+    // legitimately hold more reproducers than this run's findings.
+    std::fprintf(stderr, "corpus: %d reproducers under %s (all runs)\n",
+                 CountCorpus(options.corpus_dir), options.corpus_dir.c_str());
+  }
+  return report.findings.empty() ? 0 : 1;
+}
+
+int CmdReplay(const std::string& p4_path, const std::string& stf_path,
+              const BugConfig& bugs) {
+  const ReplayOutcome outcome = ReplayStfText(ReadFile(p4_path), ReadFile(stf_path), bugs);
+  for (const std::string& detail : outcome.failure_details) {
+    std::printf("FAIL %s\n", detail.c_str());
+  }
+  std::printf("%d tests replayed, %d mismatch%s\n", outcome.tests_run, outcome.failures,
+              outcome.failures == 1 ? "" : "es");
+  return outcome.passed() ? 0 : 1;
 }
 
 int CmdReduce(const std::string& path, const BugConfig& bugs) {
@@ -190,6 +287,8 @@ int Usage() {
       "  validate <file.p4> [--bug B ...]\n"
       "  testgen <file.p4>\n"
       "  fuzz [N] [seed] [--bug B ...]\n"
+      "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...]\n"
+      "  replay <file.p4> <file.stf> [--bug B ...]\n"
       "  reduce <file.p4> --bug B [...]\n"
       "  bugs\n");
   return 2;
@@ -217,10 +316,13 @@ int main(int argc, char** argv) {
       return CmdTestgen(argv[2]);
     }
     if (command == "fuzz") {
-      const int num_programs = argc >= 3 && argv[2][0] != '-' ? std::atoi(argv[2]) : 50;
-      const uint64_t seed =
-          argc >= 4 && argv[3][0] != '-' ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
-      return CmdFuzz(num_programs, seed, bugs);
+      return CmdFuzz(argc, argv, bugs);
+    }
+    if (command == "campaign") {
+      return CmdCampaign(argc, argv, bugs);
+    }
+    if (command == "replay" && argc >= 4) {
+      return CmdReplay(argv[2], argv[3], bugs);
     }
     if (command == "reduce" && argc >= 3) {
       return CmdReduce(argv[2], bugs);

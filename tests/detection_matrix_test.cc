@@ -252,6 +252,22 @@ control ig(inout Hdr hdr) {
 control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
 package main { parser = p; ingress = ig; deparser = dp; }
 )"},
+      {BugId::kBmv2TablePriorityInversion, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
       {BugId::kTofinoPhvNarrowWide, ExpectedDetection::kPacketFailure, R"(
 header H { bit<48> a; bit<48> b; }
 struct Hdr { H h; }
@@ -296,6 +312,22 @@ control ig(inout Hdr hdr) {
   apply { }
 }
 control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); pkt.emit(hdr.g); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kTofinoActionDataEndianSwap, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; bit<16> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action set_b(bit<16> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
 package main { parser = p; ingress = ig; deparser = dp; }
 )"},
       {BugId::kTofinoCrashOnWideArith, ExpectedDetection::kCrash, R"(

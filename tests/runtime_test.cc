@@ -1,0 +1,238 @@
+// The src/runtime/ subsystem: worker pool, parallel campaign determinism
+// (same seed, any --jobs -> bit-identical report), and the STF corpus
+// store -> replay round trip.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "src/frontend/parser.h"
+#include "src/runtime/corpus.h"
+#include "src/runtime/parallel_campaign.h"
+#include "src/runtime/worker_pool.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- worker pool -----------------------------------------------------------
+
+TEST(WorkerPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& hit : hits) {
+    hit = 0;
+  }
+  ParallelFor(pool, 257, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, PoolIsReusableAcrossParallelFors) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  ParallelFor(pool, 10, [&](int) { ++total; });
+  ParallelFor(pool, 15, [&](int) { ++total; });
+  EXPECT_EQ(total.load(), 25);
+}
+
+TEST(WorkerPoolTest, ParallelForRethrowsBodyException) {
+  WorkerPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 8,
+                           [&](int i) {
+                             if (i == 5) {
+                               throw CompileError("boom");
+                             }
+                           }),
+               CompileError);
+}
+
+// --- parallel campaign determinism ----------------------------------------
+
+ParallelCampaignOptions SmallCampaign(int num_programs, int jobs) {
+  ParallelCampaignOptions options;
+  options.campaign.seed = 42;
+  options.campaign.num_programs = num_programs;
+  options.campaign.testgen.max_tests = 6;
+  options.campaign.testgen.max_decisions = 5;
+  options.jobs = jobs;
+  return options;
+}
+
+void ExpectIdenticalReports(const CampaignReport& a, const CampaignReport& b) {
+  EXPECT_EQ(a.programs_generated, b.programs_generated);
+  EXPECT_EQ(a.programs_with_crash, b.programs_with_crash);
+  EXPECT_EQ(a.programs_with_semantic, b.programs_with_semantic);
+  EXPECT_EQ(a.tests_generated, b.tests_generated);
+  EXPECT_EQ(a.undef_divergences, b.undef_divergences);
+  EXPECT_EQ(a.structural_mismatches, b.structural_mismatches);
+  EXPECT_EQ(a.distinct_bugs, b.distinct_bugs);
+  EXPECT_EQ(a.unattributed_components, b.unattributed_components);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    const Finding& fa = a.findings[i];
+    const Finding& fb = b.findings[i];
+    EXPECT_EQ(fa.program_index, fb.program_index);
+    EXPECT_EQ(fa.method, fb.method);
+    EXPECT_EQ(fa.kind, fb.kind);
+    EXPECT_EQ(fa.component, fb.component);
+    EXPECT_EQ(fa.attributed, fb.attributed);
+    EXPECT_EQ(fa.detail, fb.detail);
+    EXPECT_EQ(fa.repro_test.has_value(), fb.repro_test.has_value());
+    if (fa.repro_test.has_value() && fb.repro_test.has_value()) {
+      EXPECT_EQ(EmitStf(*fa.repro_test), EmitStf(*fb.repro_test));
+    }
+  }
+}
+
+TEST(ParallelCampaignTest, SameSeedSameReportForOneAndEightJobs) {
+  BugConfig bugs;
+  bugs.Enable(BugId::kTypeCheckerShiftCrash);
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  const CampaignReport serial = ParallelCampaign(SmallCampaign(16, 1)).Run(bugs);
+  const CampaignReport parallel = ParallelCampaign(SmallCampaign(16, 8)).Run(bugs);
+  EXPECT_EQ(serial.programs_generated, 16);
+  ExpectIdenticalReports(serial, parallel);
+}
+
+TEST(ParallelCampaignTest, ZeroJobsMeansHardwareThreadsAndStaysDeterministic) {
+  const BugConfig bugs = BugConfig::None();
+  const CampaignReport a = ParallelCampaign(SmallCampaign(6, 0)).Run(bugs);
+  const CampaignReport b = ParallelCampaign(SmallCampaign(6, 3)).Run(bugs);
+  ExpectIdenticalReports(a, b);
+}
+
+TEST(ParallelCampaignTest, ProgramSeedsAreDecorrelated) {
+  // Neighbouring indices must not produce near-identical generator seeds.
+  const uint64_t s0 = ParallelCampaign::ProgramSeed(1, 0);
+  const uint64_t s1 = ParallelCampaign::ProgramSeed(1, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, 1u);  // index 0 must still be mixed
+  EXPECT_NE(ParallelCampaign::ProgramSeed(1, 0), ParallelCampaign::ProgramSeed(2, 0));
+}
+
+// --- corpus store + replay round trip --------------------------------------
+
+class CorpusRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: ctest registers each test case separately and
+    // runs them in parallel, so a shared path would race.
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = (fs::temp_directory_path() / ("gauntlet_corpus_" + name)).string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CorpusRoundTrip, CampaignStoresReplayableReproducer) {
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  ParallelCampaignOptions options = SmallCampaign(25, 4);
+  options.corpus_dir = dir_;
+  const CampaignReport report = ParallelCampaign(options).Run(bugs);
+  ASSERT_GT(report.distinct_bugs.count(BugId::kBmv2TableMissRunsFirstAction), 0u)
+      << "campaign never tripped the seeded fault; corpus has nothing to store";
+
+  const std::vector<CorpusEntry> entries = ListCorpus(dir_);
+  ASSERT_FALSE(entries.empty());
+  bool found = false;
+  for (const CorpusEntry& entry : entries) {
+    if (entry.key != "bmv2-miss-runs-first-action") {
+      continue;
+    }
+    found = true;
+    // The triple is complete: program + failing STF + finding metadata.
+    EXPECT_FALSE(entry.program_text.empty());
+    EXPECT_FALSE(entry.stf_text.empty());
+    EXPECT_TRUE(fs::exists(fs::path(dir_) / (entry.key + ".finding.json")));
+
+    // Replay through the buggy compiler: the mismatch must reproduce.
+    const ReplayOutcome buggy = ReplayStfText(entry.program_text, entry.stf_text, bugs);
+    EXPECT_GT(buggy.failures, 0) << "stored reproducer no longer reproduces";
+
+    // Replay through the clean compilers: the reproducer must pass (the
+    // expected outputs come from the source semantics).
+    const ReplayOutcome clean =
+        ReplayStfText(entry.program_text, entry.stf_text, BugConfig::None());
+    EXPECT_EQ(clean.failures, 0)
+        << (clean.failure_details.empty() ? "" : clean.failure_details[0]);
+  }
+  EXPECT_TRUE(found) << "no corpus triple stored for the attributed fault";
+}
+
+TEST_F(CorpusRoundTrip, DuplicateFindingsAreStoredOnce) {
+  CorpusStore store(dir_);
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) { apply { } }
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  Finding finding;
+  finding.attributed = BugId::kBmv2EmitIgnoresValidity;
+  finding.component = "Bmv2Deparser";
+  EXPECT_EQ(store.Add(*program, finding), "bmv2-emit-ignores-validity");
+  EXPECT_EQ(store.Add(*program, finding), "");
+  EXPECT_EQ(store.stored_count(), 1);
+  // A fresh store over the same directory also refuses to clobber.
+  CorpusStore reopened(dir_);
+  EXPECT_EQ(reopened.Add(*program, finding), "");
+}
+
+TEST_F(CorpusRoundTrip, CorruptStfFailsLoudly) {
+  CorpusStore store(dir_);
+  auto program = Parser::ParseString(R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) { apply { hdr.h.a = hdr.h.a + 8w1; } }
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  PacketTest test;
+  test.name = "t0";
+  test.input = BitString::FromHex("0a", 8);
+  test.expected.output = BitString::FromHex("0b", 8);
+  Finding finding;
+  finding.component = "Bmv2BackEnd";
+  finding.repro_test = test;
+  ASSERT_NE(store.Add(*program, finding), "");
+
+  const std::vector<CorpusEntry> entries = ListCorpus(dir_);
+  ASSERT_EQ(entries.size(), 1u);
+
+  // Well-formed STF but a wrong expectation: replay must flag the mismatch.
+  std::string wrong_expectation = entries[0].stf_text;
+  const size_t pos = wrong_expectation.rfind("0b");
+  ASSERT_NE(pos, std::string::npos);
+  wrong_expectation.replace(pos, 2, "ff");
+  const ReplayOutcome mismatch =
+      ReplayStfText(entries[0].program_text, wrong_expectation, BugConfig::None());
+  EXPECT_GT(mismatch.failures, 0);
+
+  // Syntactically corrupt STF: the parser must throw, not silently pass.
+  EXPECT_THROW(
+      ReplayStfText(entries[0].program_text, "packet zz/not-a-number\n", BugConfig::None()),
+      CompileError);
+}
+
+TEST_F(CorpusRoundTrip, UnattributedFindingsKeyOnComponent) {
+  Finding finding;
+  finding.component = "TofinoBackEnd";
+  EXPECT_EQ(CorpusStore::KeyFor(finding), "unattributed-TofinoBackEnd");
+  finding.attributed = BugId::kTofinoPhvNarrowWide;
+  EXPECT_EQ(CorpusStore::KeyFor(finding), "tofino-phv-narrow-wide");
+}
+
+}  // namespace
+}  // namespace gauntlet
