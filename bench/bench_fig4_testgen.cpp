@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "src/gen/generator.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 
 namespace {
@@ -76,9 +76,9 @@ void BM_ReplayTestsOnTarget(benchmark::State& state) {
     state.SkipWithError("unsupported");
     return;
   }
-  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const auto target = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
   for (auto _ : state) {
-    const auto failures = RunPacketTests(target, tests);
+    const auto failures = RunPacketTests(*target, tests);
     benchmark::DoNotOptimize(failures);
   }
   state.counters["packets/iter"] = static_cast<double>(tests.size());

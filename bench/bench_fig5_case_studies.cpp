@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/frontend/parser.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"

@@ -15,7 +15,7 @@
 #include "src/frontend/printer.h"
 #include "src/gen/generator.h"
 #include "src/support/rng.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/typecheck/typecheck.h"
 
 namespace {

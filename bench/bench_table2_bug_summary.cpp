@@ -111,30 +111,38 @@ int main() {
   const auto kP4c = {BugLocation::kFrontEnd, BugLocation::kMidEnd};
   const auto kBmv2 = {BugLocation::kBackEndBmv2};
   const auto kTofino = {BugLocation::kBackEndTofino};
+  const auto kEbpf = {BugLocation::kBackEndEbpf};
 
   std::printf("=== Table 2: bug summary (this reproduction) ===\n");
-  std::printf("%-10s %-10s %6s %6s %8s\n", "bug type", "status", "P4C", "BMv2", "Tofino");
-  std::printf("%-10s %-10s %6d %6d %8d\n", "crash", "filed",
+  std::printf("%-10s %-10s %6s %6s %8s %6s\n", "bug type", "status", "P4C", "BMv2", "Tofino",
+              "eBPF");
+  std::printf("%-10s %-10s %6d %6d %8d %6d\n", "crash", "filed",
               count(filed, BugKind::kCrash, kP4c),
               count(filed, BugKind::kCrash, kBmv2),
-              count(filed, BugKind::kCrash, kTofino));
-  std::printf("%-10s %-10s %6d %6d %8d\n", "crash", "confirmed",
+              count(filed, BugKind::kCrash, kTofino),
+              count(filed, BugKind::kCrash, kEbpf));
+  std::printf("%-10s %-10s %6d %6d %8d %6d\n", "crash", "confirmed",
               count(confirmed, BugKind::kCrash, kP4c), count(confirmed, BugKind::kCrash, kBmv2),
-              count(confirmed, BugKind::kCrash, kTofino));
-  std::printf("%-10s %-10s %6d %6d %8d\n", "crash", "fixed",
+              count(confirmed, BugKind::kCrash, kTofino),
+              count(confirmed, BugKind::kCrash, kEbpf));
+  std::printf("%-10s %-10s %6d %6d %8d %6d\n", "crash", "fixed",
               count(fixed, BugKind::kCrash, kP4c), count(fixed, BugKind::kCrash, kBmv2),
-              count(fixed, BugKind::kCrash, kTofino));
-  std::printf("%-10s %-10s %6d %6d %8d\n", "semantic", "filed",
+              count(fixed, BugKind::kCrash, kTofino),
+              count(fixed, BugKind::kCrash, kEbpf));
+  std::printf("%-10s %-10s %6d %6d %8d %6d\n", "semantic", "filed",
               count(filed, BugKind::kSemantic, kP4c),
               count(filed, BugKind::kSemantic, kBmv2),
-              count(filed, BugKind::kSemantic, kTofino));
-  std::printf("%-10s %-10s %6d %6d %8d\n", "semantic", "confirmed",
+              count(filed, BugKind::kSemantic, kTofino),
+              count(filed, BugKind::kSemantic, kEbpf));
+  std::printf("%-10s %-10s %6d %6d %8d %6d\n", "semantic", "confirmed",
               count(confirmed, BugKind::kSemantic, kP4c),
               count(confirmed, BugKind::kSemantic, kBmv2),
-              count(confirmed, BugKind::kSemantic, kTofino));
-  std::printf("%-10s %-10s %6d %6d %8d\n", "semantic", "fixed",
+              count(confirmed, BugKind::kSemantic, kTofino),
+              count(confirmed, BugKind::kSemantic, kEbpf));
+  std::printf("%-10s %-10s %6d %6d %8d %6d\n", "semantic", "fixed",
               count(fixed, BugKind::kSemantic, kP4c), count(fixed, BugKind::kSemantic, kBmv2),
-              count(fixed, BugKind::kSemantic, kTofino));
+              count(fixed, BugKind::kSemantic, kTofino),
+              count(fixed, BugKind::kSemantic, kEbpf));
   std::printf("total distinct bugs filed: %zu (of %zu seeded)\n\n", filed.size(),
               BugCatalogue().size());
 

@@ -34,13 +34,16 @@ int main() {
   const int mid = at(BugLocation::kMidEnd);
   const int bmv2 = at(BugLocation::kBackEndBmv2);
   const int tofino = at(BugLocation::kBackEndTofino);
+  const int ebpf = at(BugLocation::kBackEndEbpf);
 
   std::printf("=== Table 3: distribution of bugs (this reproduction) ===\n");
-  std::printf("%-12s %6s %6s %8s %7s\n", "location", "P4C", "BMv2", "Tofino", "total");
-  std::printf("%-12s %6d %6s %8s %7d\n", "front end", front, "-", "-", front);
-  std::printf("%-12s %6d %6s %8s %7d\n", "mid end", mid, "-", "-", mid);
-  std::printf("%-12s %6s %6d %8d %7d\n", "back end", "-", bmv2, tofino, bmv2 + tofino);
-  std::printf("%-12s %6d %6d %8d %7zu\n", "total", front + mid, bmv2, tofino,
+  std::printf("%-12s %6s %6s %8s %6s %7s\n", "location", "P4C", "BMv2", "Tofino", "eBPF",
+              "total");
+  std::printf("%-12s %6d %6s %8s %6s %7d\n", "front end", front, "-", "-", "-", front);
+  std::printf("%-12s %6d %6s %8s %6s %7d\n", "mid end", mid, "-", "-", "-", mid);
+  std::printf("%-12s %6s %6d %8d %6d %7d\n", "back end", "-", bmv2, tofino, ebpf,
+              bmv2 + tofino + ebpf);
+  std::printf("%-12s %6d %6d %8d %6d %7zu\n", "total", front + mid, bmv2, tofino, ebpf,
               result.found.size());
 
   std::printf("\npaper (Table 3): front 33, mid 13, back 32 (BMv2 4 + Tofino 28)\n");

@@ -11,7 +11,7 @@
 
 #include "src/frontend/printer.h"
 #include "src/gen/generator.h"
-#include "src/target/tofino.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 
 int main(int argc, char** argv) {
@@ -46,16 +46,17 @@ int main(int argc, char** argv) {
     } catch (const UnsupportedError&) {
       continue;  // outside the supported fragment (§8)
     }
-    TofinoExecutable target = [&] {
+    const Target& tofino = TargetRegistry::Get("tofino");
+    std::unique_ptr<Executable> target = [&] {
       try {
-        return TofinoCompiler(bugs).Compile(*program);
+        return tofino.Compile(*program, bugs);
       } catch (const std::exception&) {
-        return TofinoCompiler(BugConfig::None()).Compile(*program);
+        return tofino.Compile(*program, BugConfig::None());
       }
     }();
     ++programs_tested;
     tests_run += static_cast<int>(tests.size());
-    const auto failures = RunPacketTests(target, tests);
+    const auto failures = RunPacketTests(*target, tests);
     if (failures.empty()) {
       continue;
     }

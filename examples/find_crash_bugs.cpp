@@ -12,8 +12,7 @@
 
 #include "src/frontend/printer.h"
 #include "src/gen/generator.h"
-#include "src/target/bmv2.h"
-#include "src/target/tofino.h"
+#include "src/target/target.h"
 
 int main(int argc, char** argv) {
   using namespace gauntlet;
@@ -28,6 +27,7 @@ int main(int argc, char** argv) {
   bugs.Enable(BugId::kSimplifyDefUseDropsInoutWrite);
   bugs.Enable(BugId::kTofinoCrashOnWideArith);
   bugs.Enable(BugId::kTofinoCrashManyTables);
+  bugs.Enable(BugId::kEbpfCrashStackOverflow);
 
   GeneratorOptions generator_options;
   generator_options.seed = seed;
@@ -39,17 +39,11 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> first_reproducer;
   int crashes = 0;
 
-  const Bmv2Compiler bmv2(bugs);
-  const TofinoCompiler tofino(bugs);
   for (int i = 0; i < num_programs; ++i) {
     ProgramPtr program = generator.Generate();
-    for (const char* backend : {"bmv2", "tofino"}) {
+    for (const Target* target : TargetRegistry::All()) {
       try {
-        if (backend[0] == 'b') {
-          bmv2.Compile(*program);
-        } else {
-          tofino.Compile(*program);
-        }
+        target->Compile(*program, bugs);
       } catch (const CompilerBugError& error) {
         ++crashes;
         // Distinct crash bugs are identified by their assertion message —

@@ -13,8 +13,7 @@
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
-#include "src/target/bmv2.h"
-#include "src/target/tofino.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
@@ -56,10 +55,10 @@ int main() {
   TypeCheck(*program);
   std::printf("== program under test ==\n%s\n", PrintProgram(*program).c_str());
 
-  const Bmv2Executable clean = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const auto clean = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
   BitString packet;
   packet.AppendBits(BitValue(16, 0xaabb));
-  const PacketResult result = clean.Run(packet, {});
+  const PacketResult result = clean->Run(packet, {});
   std::printf("clean BMv2: in=aabb out=%s (exit still copies out: 0003)\n\n",
               result.output.ToHex().c_str());
 
@@ -120,11 +119,13 @@ package main { parser = p; ingress = ig; deparser = dp; }
   std::printf("generated %zu path-covering test cases\n", tests.size());
   BugConfig tofino_bugs;
   tofino_bugs.Enable(BugId::kTofinoDeparserEmitsInvalid);
-  const TofinoExecutable tofino = TofinoCompiler(tofino_bugs).Compile(*tofino_program);
-  const auto failures = RunPacketTests(tofino, tests);
+  const Target& tofino_target = TargetRegistry::Get("tofino");
+  const auto tofino = tofino_target.Compile(*tofino_program, tofino_bugs);
+  const auto failures = RunPacketTests(*tofino, tests);
   std::printf(
       "failures on buggy Tofino: %zu  (clean Tofino: %zu)\n", failures.size(),
-      RunPacketTests(TofinoCompiler(BugConfig::None()).Compile(*tofino_program), tests).size());
+      RunPacketTests(*tofino_target.Compile(*tofino_program, BugConfig::None()), tests)
+          .size());
   if (!failures.empty()) {
     std::printf("  first mismatch: %s\n", failures[0].second.detail.c_str());
   }

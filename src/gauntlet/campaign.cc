@@ -1,7 +1,9 @@
 #include "src/gauntlet/campaign.h"
 
-#include "src/target/bmv2.h"
-#include "src/target/tofino.h"
+#include <set>
+
+#include "src/target/lowering.h"
+#include "src/target/target.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
 
@@ -69,28 +71,32 @@ void Campaign::Record(CampaignReport& report, Finding finding) {
 }
 
 // Maps a crash message to the responsible component and (when the message
-// is distinctive enough) the seeded fault.
+// is distinctive enough) the seeded fault. Front/mid-end crash sites are
+// listed here; back-end crash sites (resource-model assertions) come from
+// each registered target's CrashRules contribution.
 void Campaign::AttributeCrash(Finding& finding, const std::string& message) const {
-  struct Rule {
-    const char* needle;
-    const char* component;
-    std::optional<BugId> bug;
-  };
-  static const Rule rules[] = {
+  static const TargetCrashRule shared_rules[] = {
       {"shift of constant", "TypeChecker", BugId::kTypeCheckerShiftCrash},
       {"slice index is negative", "TypeChecker", BugId::kTypeCheckerRejectSliceCompare},
       {"pass SimplifyDefUse", "SimplifyDefUse", BugId::kSimplifyDefUseDropsInoutWrite},
       {"pass StrengthReduction", "StrengthReduction",
        BugId::kStrengthReductionNegativeSlice},
-      {"residual function calls", "InlineFunctions", BugId::kInlinerSkipsNestedCall},
-      {"PHV allocation", "TofinoPhvAllocation", BugId::kTofinoCrashOnWideArith},
-      {"stage allocation", "TofinoStageAllocator", BugId::kTofinoCrashManyTables},
+      {kResidualCallsNeedle, "InlineFunctions", BugId::kInlinerSkipsNestedCall},
   };
-  for (const Rule& rule : rules) {
+  for (const TargetCrashRule& rule : shared_rules) {
     if (message.find(rule.needle) != std::string::npos) {
       finding.component = rule.component;
       finding.attributed = rule.bug;
       return;
+    }
+  }
+  for (const Target* target : TargetRegistry::All()) {
+    for (const TargetCrashRule& rule : target->CrashRules()) {
+      if (message.find(rule.needle) != std::string::npos) {
+        finding.component = rule.component;
+        finding.attributed = rule.bug;
+        return;
+      }
     }
   }
   finding.component = "unknown-crash-site";
@@ -157,23 +163,23 @@ void Campaign::AttributeTvFinding(Finding& finding, const TvReport& tv_report,
 
 // Black-box attribution: recompile the target with one candidate back-end
 // fault disabled at a time and replay the failing test.
-template <typename CompileFn>
-void Campaign::AttributeBlackBox(Finding& finding, const BugConfig& bugs, BugLocation location,
-                                 const PacketTest& test, const CompileFn& compile) const {
+void Campaign::AttributeBlackBox(Finding& finding, const BugConfig& bugs, const Target& target,
+                                 const Program& program, const PacketTest& test) const {
   if (!options_.attribute_findings) {
     return;
   }
   for (const BugInfo& info : BugCatalogue()) {
     // Only semantic faults at this back end can explain a packet mismatch;
     // crash-kind faults would have aborted compilation instead.
-    if (info.location != location || info.kind != BugKind::kSemantic || !bugs.Has(info.id)) {
+    if (info.location != target.location() || info.kind != BugKind::kSemantic ||
+        !bugs.Has(info.id)) {
       continue;
     }
     BugConfig without = bugs;
     without.Disable(info.id);
     try {
-      const auto target = compile(without);
-      if (RunPacketTest(target, test).passed) {
+      const std::unique_ptr<Executable> candidate = target.Compile(program, without);
+      if (RunPacketTest(*candidate, test).passed) {
         finding.attributed = info.id;
         finding.component = info.pass_name;
         return;
@@ -253,25 +259,29 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
     }
   }
 
-  if (options_.test_bmv2) {
+  // The same compile crash surfaces once per target (the shared lowering
+  // runs inside every Compile, and every back end runs the residual-call
+  // check — with the back end's name embedded in the message). Dedup on
+  // the *attributed* crash site, not the raw message, so one front/mid-end
+  // crash is recorded once however many back ends observe it.
+  std::set<std::string> recorded_crash_sites;
+  for (const Target* target : SelectedTargets()) {
     try {
-      const Bmv2Executable target = Bmv2Compiler(bugs).Compile(program);
-      const auto failures = RunPacketTests(target, tests);
+      const std::unique_ptr<Executable> executable = target->Compile(program, bugs);
+      const auto failures = RunPacketTests(*executable, tests);
       if (!failures.empty()) {
         Finding finding;
         finding.program_index = program_index;
         finding.method = DetectionMethod::kPacketTest;
         finding.kind = BugKind::kSemantic;
-        finding.component = "Bmv2BackEnd";
+        finding.component = target->component();
         finding.detail = failures[0].second.detail;
         finding.repro_test = failures[0].first;
-        AttributeBlackBox(finding, bugs, BugLocation::kBackEndBmv2, failures[0].first,
-                          [&](const BugConfig& config) {
-                            return Bmv2Compiler(config).Compile(program);
-                          });
-        // Failures not explained by a BMv2-local fault are duplicates of
-        // front/mid-end miscompilations that translation validation already
-        // reported (the paper excludes those from back-end counts, §7.1).
+        AttributeBlackBox(finding, bugs, *target, program, failures[0].first);
+        // Failures not explained by a fault local to this back end are
+        // duplicates of front/mid-end miscompilations that translation
+        // validation already reported (the paper excludes those from
+        // back-end counts, §7.1).
         if (finding.attributed.has_value() || !options_.run_translation_validation) {
           Record(report, std::move(finding));
           semantic_this_program = true;
@@ -279,18 +289,23 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
       }
     } catch (const CompilerBugError& error) {
       // Front/mid-end crashes were already observed by translation
-      // validation; only count back-end-specific crash sites here.
+      // validation; with validation on, only crash sites *inside* the back
+      // end (which validation cannot see) are counted here.
       const std::string message = error.what();
-      if (!options_.run_translation_validation ||
-          message.find("residual function calls") != std::string::npos) {
+      if (target->OwnsCrashMessage(message) || !options_.run_translation_validation) {
         Finding finding;
         finding.program_index = program_index;
         finding.method = DetectionMethod::kCrash;
         finding.kind = BugKind::kCrash;
         finding.detail = message;
         AttributeCrash(finding, message);
-        Record(report, std::move(finding));
-        crashed_this_program = true;
+        const std::string site_key =
+            finding.component + "\n" +
+            (finding.attributed.has_value() ? BugIdToString(*finding.attributed) : message);
+        if (recorded_crash_sites.insert(site_key).second) {
+          Record(report, std::move(finding));
+          crashed_this_program = true;
+        }
       }
     } catch (const CompileError&) {
       // Orderly rejection: the program tripped a (possibly seeded)
@@ -298,50 +313,12 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
     }
   }
 
-  if (options_.test_tofino) {
-    try {
-      const TofinoExecutable target = TofinoCompiler(bugs).Compile(program);
-      const auto failures = RunPacketTests(target, tests);
-      if (!failures.empty()) {
-        Finding finding;
-        finding.program_index = program_index;
-        finding.method = DetectionMethod::kPacketTest;
-        finding.kind = BugKind::kSemantic;
-        finding.component = "TofinoBackEnd";
-        finding.detail = failures[0].second.detail;
-        finding.repro_test = failures[0].first;
-        AttributeBlackBox(finding, bugs, BugLocation::kBackEndTofino, failures[0].first,
-                          [&](const BugConfig& config) {
-                            return TofinoCompiler(config).Compile(program);
-                          });
-        // Skip findings already explained by shared front/mid-end faults
-        // (the paper excludes P4C bugs from its Tofino count, §7.1).
-        if (finding.attributed.has_value() ||
-            !options_.run_translation_validation) {
-          Record(report, std::move(finding));
-          semantic_this_program = true;
-        }
-      }
-    } catch (const CompilerBugError& error) {
-      const std::string message = error.what();
-      if (message.find("PHV allocation") != std::string::npos ||
-          message.find("stage allocation") != std::string::npos) {
-        Finding finding;
-        finding.program_index = program_index;
-        finding.method = DetectionMethod::kCrash;
-        finding.kind = BugKind::kCrash;
-        finding.detail = message;
-        AttributeCrash(finding, message);
-        Record(report, std::move(finding));
-        crashed_this_program = true;
-      }
-    } catch (const CompileError&) {
-      // Already covered.
-    }
-  }
-
   report.programs_with_crash += crashed_this_program ? 1 : 0;
   report.programs_with_semantic += semantic_this_program ? 1 : 0;
+}
+
+std::vector<const Target*> Campaign::SelectedTargets() const {
+  return TargetRegistry::Resolve(options_.targets);
 }
 
 FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& initial,

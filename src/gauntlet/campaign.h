@@ -9,6 +9,7 @@
 
 #include "src/gen/generator.h"
 #include "src/passes/bugs.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 
@@ -48,8 +49,9 @@ struct CampaignOptions {
   TestGenOptions testgen;
   bool run_translation_validation = true;
   bool run_packet_tests = true;
-  bool test_bmv2 = true;
-  bool test_tofino = true;
+  // Back ends to replay packet tests on, by registry name, in this order.
+  // Empty means every registered target in registration order.
+  std::vector<std::string> targets;
   // Attribute findings to seeded faults via delta-debugging reruns.
   bool attribute_findings = true;
 };
@@ -95,8 +97,8 @@ FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& i
 
 // The end-to-end bug-finding campaign: generate random programs (§4), run
 // translation validation over the open pass pipeline (§5), and replay
-// generated test packets on the BMv2 and Tofino targets (§6). Results feed
-// the Table 2 / Table 3 benchmarks.
+// generated test packets on every selected registered target (§6). Results
+// feed the Table 2 / Table 3 benchmarks.
 class Campaign {
  public:
   explicit Campaign(CampaignOptions options) : options_(std::move(options)) {}
@@ -110,13 +112,16 @@ class Campaign {
   void TestProgram(const Program& program, const BugConfig& bugs, int program_index,
                    CampaignReport& report) const;
 
+  // The targets this campaign replays on (options.targets resolved against
+  // the registry; throws CompileError on an unknown name).
+  std::vector<const Target*> SelectedTargets() const;
+
  private:
   void AttributeCrash(Finding& finding, const std::string& message) const;
   void AttributeTvFinding(Finding& finding, const TvReport& tv_report, const BugConfig& bugs,
                           const std::string& pass_name) const;
-  template <typename CompileFn>
-  void AttributeBlackBox(Finding& finding, const BugConfig& bugs, BugLocation location,
-                         const PacketTest& test, const CompileFn& compile) const;
+  void AttributeBlackBox(Finding& finding, const BugConfig& bugs, const Target& target,
+                         const Program& program, const PacketTest& test) const;
   static void Record(CampaignReport& report, Finding finding);
 
   CampaignOptions options_;

@@ -56,8 +56,37 @@ const std::vector<BugInfo>& BugCatalogue() {
        BugLocation::kBackEndTofino, "TofinoPhvAllocation", "§7.1 Tofino bugs"},
       {BugId::kTofinoCrashManyTables, "tofino-crash-many-tables", BugKind::kCrash,
        BugLocation::kBackEndTofino, "TofinoStageAllocator", "§7.1 Tofino bugs"},
+      {BugId::kEbpfParserExtractReversed, "ebpf-parser-extract-reversed",
+       BugKind::kSemantic, BugLocation::kBackEndEbpf, "EbpfParserGen",
+       "§4.2 back-end skeletons (parser field order)"},
+      {BugId::kEbpfMapMissDropsPacket, "ebpf-map-miss-drops-packet", BugKind::kSemantic,
+       BugLocation::kBackEndEbpf, "EbpfMapLowering", "§4.2 back-end skeletons (map miss)"},
+      {BugId::kEbpfCrashStackOverflow, "ebpf-crash-stack-overflow", BugKind::kCrash,
+       BugLocation::kBackEndEbpf, "EbpfStackAllocator",
+       "§4.2 back-end skeletons (stack frame)"},
   };
   return catalogue;
+}
+
+std::string BugLocationToString(BugLocation location) {
+  switch (location) {
+    case BugLocation::kFrontEnd:
+      return "front end";
+    case BugLocation::kMidEnd:
+      return "mid end";
+    case BugLocation::kBackEndBmv2:
+      return "bmv2 backend";
+    case BugLocation::kBackEndTofino:
+      return "tofino backend";
+    case BugLocation::kBackEndEbpf:
+      return "ebpf backend";
+  }
+  return "<invalid>";
+}
+
+bool IsBackEndLocation(BugLocation location) {
+  return location == BugLocation::kBackEndBmv2 || location == BugLocation::kBackEndTofino ||
+         location == BugLocation::kBackEndEbpf;
 }
 
 const BugInfo& GetBugInfo(BugId id) {

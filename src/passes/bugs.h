@@ -48,12 +48,24 @@ enum class BugId {
   kTofinoActionDataEndianSwap,  // multi-byte action data loaded byte-reversed
   kTofinoCrashOnWideArith,      // crash: no PHV allocation for wide multiply
   kTofinoCrashManyTables,       // crash: stage allocator asserts on >4 tables
+
+  // --- eBPF back end (XDP-flavoured software target) ---
+  kEbpfParserExtractReversed,  // parser extracts a header's fields in reverse order
+  kEbpfMapMissDropsPacket,     // a map (table) miss aborts/drops instead of the default
+  kEbpfCrashStackOverflow,     // crash: parsed headers exceed the modelled stack frame
 };
 
 enum class BugKind { kCrash, kSemantic };
 
 // Where in the compiler the fault lives — the paper's Table 3 dimension.
-enum class BugLocation { kFrontEnd, kMidEnd, kBackEndBmv2, kBackEndTofino };
+enum class BugLocation { kFrontEnd, kMidEnd, kBackEndBmv2, kBackEndTofino, kBackEndEbpf };
+
+// Human-readable location label ("front end", "bmv2 backend", ...).
+std::string BugLocationToString(BugLocation location);
+
+// True for the black-box back-end locations (everything behind the target
+// layer; only packet-test replay can see faults seeded there).
+bool IsBackEndLocation(BugLocation location);
 
 struct BugInfo {
   BugId id;

@@ -3,7 +3,7 @@
 #include "src/ast/visitor.h"
 #include "src/frontend/printer.h"
 #include "src/passes/pass.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
 
@@ -333,13 +333,20 @@ ReductionResult ReduceProgram(const Program& program, const InterestingnessOracl
 }
 
 InterestingnessOracle CrashOracle(const BugConfig& bugs, const std::string& needle) {
+  // Any registered back end reproducing the crash keeps the candidate
+  // interesting — target-specific assertions (PHV/stage/stack) only fire
+  // in their own back end's compile.
   return [bugs, needle](const Program& candidate) {
-    try {
-      Bmv2Compiler(bugs).Compile(candidate);
-    } catch (const CompilerBugError& error) {
-      return std::string(error.what()).find(needle) != std::string::npos;
-    } catch (const std::exception&) {
-      return false;
+    for (const Target* target : TargetRegistry::All()) {
+      try {
+        target->Compile(candidate, bugs);
+      } catch (const CompilerBugError& error) {
+        if (std::string(error.what()).find(needle) != std::string::npos) {
+          return true;
+        }
+      } catch (const std::exception&) {
+        // Rejected or otherwise uninteresting on this back end.
+      }
     }
     return false;
   };

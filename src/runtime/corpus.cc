@@ -9,8 +9,7 @@
 
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
-#include "src/target/bmv2.h"
-#include "src/target/tofino.h"
+#include "src/target/target.h"
 
 namespace gauntlet {
 
@@ -189,27 +188,17 @@ std::vector<CorpusEntry> ListCorpus(const std::string& directory) {
 }
 
 ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>& tests,
-                          const BugConfig& bugs, bool on_bmv2, bool on_tofino) {
+                          const BugConfig& bugs, const std::vector<std::string>& targets) {
   ReplayOutcome outcome;
-  if (on_bmv2) {
-    const Bmv2Executable target = Bmv2Compiler(bugs).Compile(program);
+  for (const Target* target : TargetRegistry::Resolve(targets)) {
+    const std::unique_ptr<Executable> executable = target->Compile(program, bugs);
     for (const PacketTest& test : tests) {
       ++outcome.tests_run;
-      const PacketTestOutcome result = RunPacketTest(target, test);
+      const PacketTestOutcome result = RunPacketTest(*executable, test);
       if (!result.passed) {
         ++outcome.failures;
-        outcome.failure_details.push_back("bmv2 " + test.name + ": " + result.detail);
-      }
-    }
-  }
-  if (on_tofino) {
-    const TofinoExecutable target = TofinoCompiler(bugs).Compile(program);
-    for (const PacketTest& test : tests) {
-      ++outcome.tests_run;
-      const PacketTestOutcome result = RunPacketTest(target, test);
-      if (!result.passed) {
-        ++outcome.failures;
-        outcome.failure_details.push_back("tofino " + test.name + ": " + result.detail);
+        outcome.failure_details.push_back(std::string(target->name()) + " " + test.name +
+                                          ": " + result.detail);
       }
     }
   }
@@ -217,10 +206,30 @@ ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>&
 }
 
 ReplayOutcome ReplayStfText(const std::string& program_text, const std::string& stf_text,
-                            const BugConfig& bugs) {
+                            const BugConfig& bugs, const std::vector<std::string>& targets) {
   const ProgramPtr program = Parser::ParseString(program_text);
   const std::vector<PacketTest> tests = ParseStf(stf_text);
-  return ReplayTests(*program, tests, bugs, /*on_bmv2=*/true, /*on_tofino=*/true);
+  return ReplayTests(*program, tests, bugs, targets);
+}
+
+CorpusReplaySummary ReplayCorpus(const std::string& directory, const BugConfig& bugs,
+                                 const std::vector<std::string>& targets) {
+  CorpusReplaySummary summary;
+  for (const CorpusEntry& entry : ListCorpus(directory)) {
+    CorpusReplayResult result;
+    result.key = entry.key;
+    try {
+      result.outcome = ReplayStfText(entry.program_text, entry.stf_text, bugs, targets);
+    } catch (const CompilerBugError& error) {
+      // The compile itself still aborts: this is a live crash reproducer.
+      ++result.outcome.failures;
+      result.outcome.failure_details.push_back(std::string("compile crash: ") + error.what());
+    }
+    ++summary.entries;
+    summary.failed_entries += result.outcome.passed() ? 0 : 1;
+    summary.results.push_back(std::move(result));
+  }
+  return summary;
 }
 
 }  // namespace gauntlet

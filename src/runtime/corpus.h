@@ -81,18 +81,46 @@ struct ReplayOutcome {
   bool passed() const { return failures == 0; }
 };
 
-// Re-runs stored STF tests through the BMv2 and/or Tofino back ends,
-// compiled with `bugs` (None() = the clean compilers, i.e. "does this
-// reproducer still fail after the fix?"). Compile crashes surface as
-// CompilerBugError to the caller — a reproducer whose compile aborts is a
-// crash reproducer, not a packet mismatch.
+// Re-runs stored STF tests through the named registered back ends (empty =
+// every registered target), compiled with `bugs` (None() = the clean
+// compilers, i.e. "does this reproducer still fail after the fix?").
+// Compile crashes surface as CompilerBugError to the caller — a reproducer
+// whose compile aborts is a crash reproducer, not a packet mismatch.
 ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>& tests,
-                          const BugConfig& bugs, bool on_bmv2, bool on_tofino);
+                          const BugConfig& bugs,
+                          const std::vector<std::string>& targets = {});
 
 // Convenience wrapper: parses the program and STF text (throwing
-// CompileError loudly on malformed input) and replays on both back ends.
+// CompileError loudly on malformed input) and replays on the named back
+// ends (empty = all registered).
 ReplayOutcome ReplayStfText(const std::string& program_text, const std::string& stf_text,
-                            const BugConfig& bugs);
+                            const BugConfig& bugs,
+                            const std::vector<std::string>& targets = {});
+
+// --- bulk replay (corpus-driven regression runs) ---------------------------
+
+// One corpus entry's bulk-replay result. A compile crash during replay
+// counts as a failure (the reproducer still reproduces a crash) and is
+// reported in the outcome's failure_details.
+struct CorpusReplayResult {
+  std::string key;
+  ReplayOutcome outcome;
+};
+
+struct CorpusReplaySummary {
+  int entries = 0;
+  int failed_entries = 0;
+  std::vector<CorpusReplayResult> results;  // sorted by key, like ListCorpus
+  bool passed() const { return failed_entries == 0; }
+};
+
+// Replays every stored triple in `directory` through the named back ends
+// (empty = all registered), compiled with `bugs`. The gate for
+// corpus-driven regression runs: with BugConfig::None() every reproducer's
+// expected outputs (derived from source semantics) must pass on the fixed
+// compilers.
+CorpusReplaySummary ReplayCorpus(const std::string& directory, const BugConfig& bugs,
+                                 const std::vector<std::string>& targets = {});
 
 }  // namespace gauntlet
 

@@ -1,17 +1,20 @@
 #include "src/target/bmv2.h"
 
+#include <utility>
+
 #include "src/target/lowering.h"
 
 namespace gauntlet {
 
-Bmv2Executable Bmv2Compiler::Compile(const Program& program) const {
-  ProgramPtr lowered = LowerThroughPipeline(program, bugs_);
+std::unique_ptr<Executable> Bmv2Target::Compile(const Program& program,
+                                                const BugConfig& bugs) const {
+  ProgramPtr lowered = LowerThroughPipeline(program, bugs);
   CheckNoResidualCalls(*lowered, "BMv2");
   TargetQuirks quirks;
-  quirks.emit_ignores_validity = bugs_.Has(BugId::kBmv2EmitIgnoresValidity);
-  quirks.miss_runs_first_action = bugs_.Has(BugId::kBmv2TableMissRunsFirstAction);
-  quirks.match_last_entry = bugs_.Has(BugId::kBmv2TablePriorityInversion);
-  return Bmv2Executable(std::move(lowered), quirks);
+  quirks.emit_ignores_validity = bugs.Has(BugId::kBmv2EmitIgnoresValidity);
+  quirks.miss_runs_first_action = bugs.Has(BugId::kBmv2TableMissRunsFirstAction);
+  quirks.match_last_entry = bugs.Has(BugId::kBmv2TablePriorityInversion);
+  return std::make_unique<ConcreteExecutable>(std::move(lowered), quirks);
 }
 
 }  // namespace gauntlet

@@ -2,51 +2,24 @@
 #define SRC_TARGET_BMV2_H_
 
 #include <memory>
-#include <utility>
 
-#include "src/passes/bugs.h"
-#include "src/target/concrete.h"
-#include "src/target/stf.h"
+#include "src/target/target.h"
 
 namespace gauntlet {
 
-// The compiled artifact the BMv2 (open-source reference) back end produces:
-// the lowered program plus whatever behavioral quirks the compiler's seeded
-// faults baked in. From the harness's point of view this is a black box
-// that eats packets — the only interface the paper's technique 3 relies on.
-class Bmv2Executable {
+// The BMv2 (open-source reference) back end: shared front/mid-end lowering
+// (with whatever seeded faults `bugs` enables), then the BMv2-specific
+// stage, which bakes the seeded BMv2 semantic faults into the artifact's
+// quirks and crashes on residual function calls (the section 7.2 snowball
+// site). Registered as "bmv2".
+class Bmv2Target : public Target {
  public:
-  PacketResult Run(const BitString& packet, const TableConfig& tables) const {
-    return interpreter_.RunPacket(packet, tables);
-  }
+  const char* name() const override { return "bmv2"; }
+  const char* component() const override { return "Bmv2BackEnd"; }
+  BugLocation location() const override { return BugLocation::kBackEndBmv2; }
 
-  const Program& program() const { return *program_; }
-
- private:
-  friend class Bmv2Compiler;
-  Bmv2Executable(std::shared_ptr<const Program> program, TargetQuirks quirks)
-      : program_(std::move(program)), interpreter_(*program_, quirks) {}
-
-  std::shared_ptr<const Program> program_;
-  // One execution engine per compiled artifact, reused across every Run —
-  // batch packet replay pays interpreter setup once per program (the
-  // ROADMAP "scale knobs" item). References *program_, whose heap address
-  // is stable across copies/moves of the executable.
-  ConcreteInterpreter interpreter_;
-};
-
-// The BMv2 compiler: shared front/mid-end lowering (with whatever seeded
-// faults `bugs` enables), then the BMv2-specific back end, which honors the
-// seeded BMv2 semantic faults and crashes on residual function calls (the
-// section 7.2 snowball site).
-class Bmv2Compiler {
- public:
-  explicit Bmv2Compiler(BugConfig bugs) : bugs_(std::move(bugs)) {}
-
-  Bmv2Executable Compile(const Program& program) const;
-
- private:
-  BugConfig bugs_;
+  std::unique_ptr<Executable> Compile(const Program& program,
+                                      const BugConfig& bugs) const override;
 };
 
 }  // namespace gauntlet

@@ -1,5 +1,6 @@
 #include "src/target/concrete.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -169,6 +170,7 @@ class BlockExec {
   Env& env() { return env_; }
   bool exited() const { return exited_; }
   bool rejected() const { return rejected_; }
+  bool dropped() const { return dropped_; }
   const BitString& emitted() const { return emitted_; }
 
   // Runs a control; its parameters must already be bound in an env layer.
@@ -237,7 +239,7 @@ class BlockExec {
     Datum ret;
   };
 
-  bool Live() const { return !exited_ && !frames_.back().returned; }
+  bool Live() const { return !exited_ && !dropped_ && !frames_.back().returned; }
 
   // --- l-values ---
 
@@ -532,6 +534,13 @@ class BlockExec {
     }
 
     // Miss path.
+    if (quirks_.miss_drops_packet && !table.keys().empty()) {
+      // The seeded eBPF fault: a map lookup miss aborts the program
+      // (XDP_ABORTED) instead of running the default action. Keyless tables
+      // compile to direct calls, not map lookups, and are unaffected.
+      dropped_ = true;
+      return;
+    }
     if (quirks_.miss_runs_first_action && !table.actions().empty()) {
       // The seeded BMv2 fault: the first listed action runs with zeroed
       // control-plane data instead of the default action.
@@ -747,14 +756,25 @@ class BlockExec {
       case CallKind::kExtract: {
         GAUNTLET_BUG_CHECK(in_parser_, "extract outside a parser at concrete execution time");
         CValue* header = ResolveValue(*call.receiver());
+        // The seeded eBPF fault walks the field list backwards, so the
+        // first bits on the wire land in the *last* declared field; the
+        // total bit consumption is unchanged, only the assignment order.
+        std::vector<CValue*> order;
+        order.reserve(header->fields.size());
         for (auto& [name, field] : header->fields) {
           (void)name;
-          const uint32_t width = field.type->width();
+          order.push_back(&field);
+        }
+        if (quirks_.reverse_extract_field_order) {
+          std::reverse(order.begin(), order.end());
+        }
+        for (CValue* field : order) {
+          const uint32_t width = field->type->width();
           const std::optional<BitValue> bits = packet_->ReadBits(parse_offset_, width);
           if (!bits.has_value()) {
             throw PacketTooShortSignal{};
           }
-          field.scalar = BitDatum(*bits);
+          field->scalar = BitDatum(*bits);
           parse_offset_ += width;
         }
         header->valid = true;
@@ -784,6 +804,7 @@ class BlockExec {
   std::vector<Frame> frames_;
   bool exited_ = false;
   bool rejected_ = false;
+  bool dropped_ = false;
   bool in_deparser_ = false;
   bool in_parser_ = false;
   const ControlDecl* control_ = nullptr;
@@ -901,6 +922,12 @@ PacketResult ConcreteInterpreter::RunPacket(const BitString& packet,
     BlockExec exec(program_, quirks_, tables);
     BindControlParams(program_, exec, control->params(), leaves);
     exec.RunControl(*control, /*is_deparser=*/false);
+    if (exec.dropped()) {
+      // The miss-drops-packet quirk aborted the program mid-control; no
+      // deparsing happens for an aborted packet.
+      result.dropped = true;
+      return result;
+    }
     leaves = CollectParamLeaves(control->params(), exec);
   }
 

@@ -33,6 +33,14 @@ struct TargetQuirks {
   // byte is loaded with its byte order reversed (driver packs the argument
   // little-endian, the match unit reads it big-endian).
   bool swap_action_data_bytes = false;
+  // kEbpfParserExtractReversed: extract fills a header's fields in reverse
+  // declaration order (the generated parse loop walks the field list
+  // backwards), so the first bits on the wire land in the last field.
+  bool reverse_extract_field_order = false;
+  // kEbpfMapMissDropsPacket: a lookup miss on a keyed table aborts the
+  // program (XDP_ABORTED) instead of running the default action, dropping
+  // the packet.
+  bool miss_drops_packet = false;
 };
 
 // The concrete reference executor: runs a type-checked program on one
@@ -55,8 +63,9 @@ struct TargetQuirks {
 //     case in order.
 //
 // The same executor, parameterized by TargetQuirks, is the execution engine
-// behind Bmv2Executable and TofinoExecutable; with default quirks it is the
-// trustworthy source-level oracle those targets are compared against.
+// behind every registered target's compiled artifact (ConcreteExecutable in
+// target.h); with default quirks it is the trustworthy source-level oracle
+// those targets are compared against.
 class ConcreteInterpreter {
  public:
   explicit ConcreteInterpreter(const Program& program, const TargetQuirks& quirks = {})

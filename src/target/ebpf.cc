@@ -1,0 +1,42 @@
+#include "src/target/ebpf.h"
+
+#include <string>
+#include <utility>
+
+#include "src/target/lowering.h"
+
+namespace gauntlet {
+
+namespace {
+
+// The modelled stack frame available for parsed headers, in bits. Real BPF
+// programs get 512 bytes for everything; the model scales it down so the
+// seeded fault is reachable by hand-written triggers (40 bytes of header).
+constexpr int kStackBitBudget = 320;
+
+}  // namespace
+
+std::unique_ptr<Executable> EbpfTarget::Compile(const Program& program,
+                                                const BugConfig& bugs) const {
+  ProgramPtr lowered = LowerThroughPipeline(program, bugs);
+  CheckNoResidualCalls(*lowered, "eBPF");
+
+  // Seeded back-end crash fault (resource-model assertion).
+  if (bugs.Has(BugId::kEbpfCrashStackOverflow)) {
+    const int bits = TotalHeaderBits(*lowered);
+    if (bits > kStackBitBudget) {
+      throw CompilerBugError("eBPF back end: stack frame allocation failed: " +
+                             std::to_string((bits + 7) / 8) + " bytes of parsed headers "
+                             "exceed the " + std::to_string(kStackBitBudget / 8) +
+                             "-byte stack frame");
+    }
+  }
+
+  // Seeded back-end semantic faults become artifact quirks.
+  TargetQuirks quirks;
+  quirks.reverse_extract_field_order = bugs.Has(BugId::kEbpfParserExtractReversed);
+  quirks.miss_drops_packet = bugs.Has(BugId::kEbpfMapMissDropsPacket);
+  return std::make_unique<ConcreteExecutable>(std::move(lowered), quirks);
+}
+
+}  // namespace gauntlet

@@ -28,8 +28,8 @@ void CheckNoResidualCalls(const Program& program, const char* backend_name) {
   Finder finder;
   finder.VisitProgram(program);
   if (finder.found) {
-    throw CompilerBugError(std::string(backend_name) +
-                           " back end cannot lower residual function calls");
+    throw CompilerBugError(std::string(backend_name) + " back end cannot lower " +
+                           kResidualCallsNeedle);
   }
 }
 
@@ -44,6 +44,19 @@ int CountTables(const Program& program) {
   Counter counter;
   counter.VisitProgram(program);
   return counter.count;
+}
+
+int TotalHeaderBits(const Program& program) {
+  int bits = 0;
+  for (const TypePtr& type : program.type_decls()) {
+    if (!type->IsHeader()) {
+      continue;
+    }
+    for (const Type::Field& field : type->fields()) {
+      bits += static_cast<int>(field.type->width());
+    }
+  }
+  return bits;
 }
 
 bool HasWideMultiply(const Program& program) {

@@ -16,8 +16,10 @@ ProgramPtr LowerThroughPipeline(const Program& program, const BugConfig& bugs);
 // Back ends consume call-free programs: InlineFunctions must have removed
 // every top-level function call. When the seeded kInlinerSkipsNestedCall
 // fault leaves one behind, this is the later pass that crashes on it (the
-// section 7.2 snowball). The message contains "residual function calls",
-// which crash attribution keys on.
+// section 7.2 snowball). The message contains kResidualCallsNeedle, which
+// crash ownership (Target::OwnsCrashMessage) and attribution
+// (Campaign::AttributeCrash) both key on — one spelling for all three.
+inline constexpr const char* kResidualCallsNeedle = "residual function calls";
 void CheckNoResidualCalls(const Program& program, const char* backend_name);
 
 // Structural queries the Tofino resource model (its seeded crash faults)
@@ -25,6 +27,11 @@ void CheckNoResidualCalls(const Program& program, const char* backend_name);
 // 32-bit PHV container remains after lowering.
 int CountTables(const Program& program);
 bool HasWideMultiply(const Program& program);
+
+// Total bits across every field of every declared header type — the eBPF
+// resource model's stack-frame footprint (parsed headers live on the
+// program stack in generated XDP code).
+int TotalHeaderBits(const Program& program);
 
 }  // namespace gauntlet
 

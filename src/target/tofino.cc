@@ -1,6 +1,7 @@
 #include "src/target/tofino.h"
 
 #include <string>
+#include <utility>
 
 #include "src/target/lowering.h"
 
@@ -14,16 +15,17 @@ constexpr int kStageTableBudget = 4;
 
 }  // namespace
 
-TofinoExecutable TofinoCompiler::Compile(const Program& program) const {
-  ProgramPtr lowered = LowerThroughPipeline(program, bugs_);
+std::unique_ptr<Executable> TofinoTarget::Compile(const Program& program,
+                                                  const BugConfig& bugs) const {
+  ProgramPtr lowered = LowerThroughPipeline(program, bugs);
   CheckNoResidualCalls(*lowered, "Tofino");
 
   // Seeded back-end crash faults (resource-model assertions).
-  if (bugs_.Has(BugId::kTofinoCrashOnWideArith) && HasWideMultiply(*lowered)) {
+  if (bugs.Has(BugId::kTofinoCrashOnWideArith) && HasWideMultiply(*lowered)) {
     throw CompilerBugError(
         "Tofino back end: PHV allocation failed: no container class fits a >32-bit multiply");
   }
-  if (bugs_.Has(BugId::kTofinoCrashManyTables)) {
+  if (bugs.Has(BugId::kTofinoCrashManyTables)) {
     const int tables = CountTables(*lowered);
     if (tables > kStageTableBudget) {
       throw CompilerBugError("Tofino back end: stage allocation asserted: " +
@@ -34,11 +36,11 @@ TofinoExecutable TofinoCompiler::Compile(const Program& program) const {
 
   // Seeded back-end semantic faults become artifact quirks.
   TargetQuirks quirks;
-  quirks.emit_ignores_validity = bugs_.Has(BugId::kTofinoDeparserEmitsInvalid);
-  quirks.skip_default_action = bugs_.Has(BugId::kTofinoTableDefaultSkipped);
-  quirks.narrow_alu_containers = bugs_.Has(BugId::kTofinoPhvNarrowWide);
-  quirks.swap_action_data_bytes = bugs_.Has(BugId::kTofinoActionDataEndianSwap);
-  return TofinoExecutable(std::move(lowered), quirks);
+  quirks.emit_ignores_validity = bugs.Has(BugId::kTofinoDeparserEmitsInvalid);
+  quirks.skip_default_action = bugs.Has(BugId::kTofinoTableDefaultSkipped);
+  quirks.narrow_alu_containers = bugs.Has(BugId::kTofinoPhvNarrowWide);
+  quirks.swap_action_data_bytes = bugs.Has(BugId::kTofinoActionDataEndianSwap);
+  return std::make_unique<ConcreteExecutable>(std::move(lowered), quirks);
 }
 
 }  // namespace gauntlet

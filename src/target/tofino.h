@@ -2,50 +2,35 @@
 #define SRC_TARGET_TOFINO_H_
 
 #include <memory>
-#include <utility>
+#include <vector>
 
-#include "src/passes/bugs.h"
-#include "src/target/concrete.h"
-#include "src/target/stf.h"
+#include "src/target/target.h"
 
 namespace gauntlet {
 
-// The proprietary-back-end artifact (paper section 6.1): its intermediate
+// The proprietary back end (paper section 6.1): its intermediate
 // representations are closed, so translation validation cannot look inside
-// — packet replay through Run is the only available oracle.
-class TofinoExecutable {
+// — packet replay through the compiled artifact is the only available
+// oracle. The same shared lowering, then a chip-flavoured stage with a
+// PHV/stage resource model: its seeded crash faults abort compilation
+// ("PHV allocation" / "stage allocation" assertions); its seeded semantic
+// faults silently change the artifact's behavior — exactly the split in
+// the fault catalogue's Tofino section. Registered as "tofino".
+class TofinoTarget : public Target {
  public:
-  PacketResult Run(const BitString& packet, const TableConfig& tables) const {
-    return interpreter_.RunPacket(packet, tables);
+  const char* name() const override { return "tofino"; }
+  const char* component() const override { return "TofinoBackEnd"; }
+  BugLocation location() const override { return BugLocation::kBackEndTofino; }
+
+  std::unique_ptr<Executable> Compile(const Program& program,
+                                      const BugConfig& bugs) const override;
+
+  std::vector<TargetCrashRule> CrashRules() const override {
+    return {
+        {"PHV allocation", "TofinoPhvAllocation", BugId::kTofinoCrashOnWideArith},
+        {"stage allocation", "TofinoStageAllocator", BugId::kTofinoCrashManyTables},
+    };
   }
-
-  const Program& program() const { return *program_; }
-
- private:
-  friend class TofinoCompiler;
-  TofinoExecutable(std::shared_ptr<const Program> program, TargetQuirks quirks)
-      : program_(std::move(program)), interpreter_(*program_, quirks) {}
-
-  std::shared_ptr<const Program> program_;
-  // One execution engine per compiled artifact, reused across every Run
-  // (see Bmv2Executable). References *program_, whose heap address is
-  // stable across copies/moves of the executable.
-  ConcreteInterpreter interpreter_;
-};
-
-// The Tofino compiler: the same shared lowering, then a chip-flavoured back
-// end with a PHV/stage resource model. Its seeded crash faults abort
-// compilation ("PHV allocation" / "stage allocation" assertions); its
-// seeded semantic faults silently change the compiled artifact's behavior —
-// exactly the split in the fault catalogue's Tofino section.
-class TofinoCompiler {
- public:
-  explicit TofinoCompiler(BugConfig bugs) : bugs_(std::move(bugs)) {}
-
-  TofinoExecutable Compile(const Program& program) const;
-
- private:
-  BugConfig bugs_;
 };
 
 }  // namespace gauntlet

@@ -5,26 +5,33 @@
 //   gauntlet validate <file.p4> [--bug B]   translation-validate the pipeline
 //   gauntlet testgen <file.p4>              emit STF-style packet tests
 //   gauntlet fuzz [N] [seed] [--bug B ...]  random-program campaign (serial)
-//   gauntlet campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...]
+//   gauntlet campaign [N] [seed] [--jobs J] [--corpus DIR] [--targets T,..]
 //                                           parallel campaign + STF corpus
-//   gauntlet replay <file.p4> <file.stf> [--bug B ...]
-//                                           re-run a stored reproducer
+//   gauntlet replay <file.p4> <file.stf>    re-run a stored reproducer
+//   gauntlet replay --corpus DIR            bulk-replay every stored triple
 //   gauntlet reduce <file.p4> --bug B       shrink a reproducer
 //   gauntlet bugs                           list the seeded-fault catalogue
 //
 // Programs are mini-P4 (see README). --bug takes catalogue names from
-// `gauntlet bugs`.
+// `gauntlet bugs`; --targets takes a comma-separated subset of the
+// registered back ends (default: all of them).
+//
+// Argument handling is strict: unknown flags, malformed numbers, missing
+// flag values and surplus positionals are usage errors (exit 2), never
+// silently ignored.
 //
 // Exit codes are gateable: commands that *check* something (validate,
 // testgen, fuzz, campaign, replay) exit nonzero when they find problems —
 // semantic diffs, zero generated tests, campaign findings, packet
-// mismatches — so CI scripts can run them directly.
+// mismatches, still-failing reproducers — so CI scripts can run them
+// directly.
 
 #include <cstdio>
-#include <cstring>
-#include <fstream>
+#include <limits>
 #include <map>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,7 +41,7 @@
 #include "src/reduce/reducer.h"
 #include "src/runtime/corpus.h"
 #include "src/runtime/parallel_campaign.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
@@ -42,6 +49,13 @@
 namespace {
 
 using namespace gauntlet;
+
+// A command-line mistake (unknown flag, bad value, wrong arity): reported
+// with the usage text and exit code 2, distinct from runtime failures.
+class CliUsageError : public std::runtime_error {
+ public:
+  explicit CliUsageError(const std::string& message) : std::runtime_error(message) {}
+};
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -53,43 +67,30 @@ std::string ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-BugConfig ParseBugFlags(int argc, char** argv) {
-  BugConfig bugs;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--bug") != 0) {
-      continue;
-    }
-    if (i + 1 >= argc) {
-      throw CompileError("--bug expects a catalogue name; run `gauntlet bugs`");
-    }
-    bool known = false;
-    for (const BugInfo& info : BugCatalogue()) {
-      if (info.name == std::string(argv[i + 1])) {
-        bugs.Enable(info.id);
-        known = true;
-      }
-    }
-    if (!known) {
-      throw CompileError(std::string("unknown --bug '") + argv[i + 1] +
-                         "'; run `gauntlet bugs` for the catalogue");
-    }
-  }
-  return bugs;
-}
+// A command's parsed arguments: positionals in order, and every occurrence
+// of each value-taking flag.
+struct ParsedArgs {
+  std::vector<std::string> positionals;
+  std::map<std::string, std::vector<std::string>> flags;
+
+  bool Has(const std::string& flag) const { return flags.count(flag) > 0; }
+  const std::string& Last(const std::string& flag) const { return flags.at(flag).back(); }
+};
 
 // Splits a command's arguments (argv[2:]) into positionals and value-taking
 // flags. Every `--flag` must be listed in `value_flags` and must have a
 // value: a flag's value is never mistaken for a positional (the
-// `campaign --jobs 4` ≠ `campaign 4` trap), and a trailing flag with its
-// value forgotten fails fast instead of being silently dropped.
-std::vector<std::string> SplitArgs(int argc, char** argv,
-                                   const std::vector<std::string>& value_flags,
-                                   std::map<std::string, std::string>& flags) {
-  std::vector<std::string> positionals;
+// `campaign --jobs 4` ≠ `campaign 4` trap), an unknown flag is rejected
+// instead of silently ignored, and a trailing flag with its value
+// forgotten fails fast.
+ParsedArgs ParseCommandArgs(int argc, char** argv,
+                            const std::vector<std::string>& value_flags,
+                            size_t max_positionals) {
+  ParsedArgs parsed;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      positionals.push_back(arg);
+      parsed.positionals.push_back(arg);
       continue;
     }
     bool known = false;
@@ -97,27 +98,101 @@ std::vector<std::string> SplitArgs(int argc, char** argv,
       known |= flag == arg;
     }
     if (!known) {
-      throw CompileError("unknown flag '" + arg + "' for this command");
+      throw CliUsageError("unknown flag '" + arg + "' for this command");
     }
     if (i + 1 >= argc) {
-      throw CompileError("flag '" + arg + "' expects a value");
+      throw CliUsageError("flag '" + arg + "' expects a value");
     }
-    flags[arg] = argv[++i];
+    parsed.flags[arg].push_back(argv[++i]);
   }
-  return positionals;
+  if (parsed.positionals.size() > max_positionals) {
+    throw CliUsageError("unexpected argument '" + parsed.positionals[max_positionals] + "'");
+  }
+  return parsed;
+}
+
+// Strict decimal parse; rejects "abc", "4x", out-of-range and empty
+// strings instead of the silent-zero behavior of atoi.
+long long ParseNumber(const std::string& text, const std::string& what) {
+  try {
+    size_t consumed = 0;
+    const long long value = std::stoll(text, &consumed);
+    if (consumed != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw CliUsageError(what + " expects a number, got '" + text + "'");
+  }
+}
+
+// A count argument (program counts, worker counts): numeric, within int,
+// and at least `minimum` — `campaign -5` must be a usage error, not a
+// silently empty run.
+int ParseCount(const std::string& text, const std::string& what, int minimum) {
+  const long long value = ParseNumber(text, what);
+  if (value < minimum || value > std::numeric_limits<int>::max()) {
+    throw CliUsageError(what + " expects a count >= " + std::to_string(minimum) + ", got '" +
+                        text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+BugConfig BugsFromFlags(const ParsedArgs& args) {
+  BugConfig bugs;
+  if (!args.Has("--bug")) {
+    return bugs;
+  }
+  for (const std::string& name : args.flags.at("--bug")) {
+    bool known = false;
+    for (const BugInfo& info : BugCatalogue()) {
+      if (info.name == name) {
+        bugs.Enable(info.id);
+        known = true;
+      }
+    }
+    if (!known) {
+      throw CliUsageError("unknown --bug '" + name +
+                          "'; run `gauntlet bugs` for the catalogue");
+    }
+  }
+  return bugs;
+}
+
+// Parses `--targets bmv2,tofino,...` occurrences into registry names,
+// validating each against the registered back ends.
+std::vector<std::string> TargetsFromFlags(const ParsedArgs& args) {
+  std::vector<std::string> targets;
+  if (!args.Has("--targets")) {
+    return targets;
+  }
+  for (const std::string& list : args.flags.at("--targets")) {
+    std::stringstream stream(list);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      if (name.empty()) {
+        continue;
+      }
+      if (TargetRegistry::Find(name) == nullptr) {
+        throw CliUsageError("unknown target '" + name + "'; registered targets: " +
+                            TargetRegistry::JoinedNames());
+      }
+      targets.push_back(name);
+    }
+  }
+  if (targets.empty()) {
+    throw CliUsageError("--targets expects a comma-separated list of registered targets");
+  }
+  return targets;
 }
 
 int CmdBugs() {
-  std::printf("%-36s %-9s %-14s %-22s %s\n", "name", "kind", "location", "component",
+  std::printf("%-36s %-9s %-16s %-22s %s\n", "name", "kind", "location", "component",
               "models");
   for (const BugInfo& info : BugCatalogue()) {
-    const char* location = info.location == BugLocation::kFrontEnd    ? "front end"
-                           : info.location == BugLocation::kMidEnd    ? "mid end"
-                           : info.location == BugLocation::kBackEndBmv2 ? "bmv2 backend"
-                                                                        : "tofino backend";
-    std::printf("%-36s %-9s %-14s %-22s %s\n", info.name,
-                info.kind == BugKind::kCrash ? "crash" : "semantic", location,
-                info.pass_name, info.paper_ref);
+    std::printf("%-36s %-9s %-16s %-22s %s\n", info.name,
+                info.kind == BugKind::kCrash ? "crash" : "semantic",
+                BugLocationToString(info.location).c_str(), info.pass_name, info.paper_ref);
   }
   return 0;
 }
@@ -197,32 +272,40 @@ void PrintReport(const CampaignReport& report) {
               report.undef_divergences);
 }
 
-int CmdFuzz(int argc, char** argv, const BugConfig& bugs) {
-  std::map<std::string, std::string> flags;
-  const std::vector<std::string> positionals = SplitArgs(argc, argv, {"--bug"}, flags);
+int CmdFuzz(int argc, char** argv) {
+  const ParsedArgs args =
+      ParseCommandArgs(argc, argv, {"--bug", "--targets"}, /*max_positionals=*/2);
+  const BugConfig bugs = BugsFromFlags(args);
   CampaignOptions options;
-  options.num_programs = positionals.size() >= 1 ? std::atoi(positionals[0].c_str()) : 50;
-  options.seed =
-      positionals.size() >= 2 ? static_cast<uint64_t>(std::atoll(positionals[1].c_str())) : 1;
+  options.targets = TargetsFromFlags(args);
+  if (args.positionals.size() >= 1) {
+    options.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
+  }
+  if (args.positionals.size() >= 2) {
+    options.seed = static_cast<uint64_t>(ParseNumber(args.positionals[1], "seed"));
+  }
   const CampaignReport report = Campaign(options).Run(bugs);
   PrintReport(report);
   return report.findings.empty() ? 0 : 1;
 }
 
-int CmdCampaign(int argc, char** argv, const BugConfig& bugs) {
-  std::map<std::string, std::string> flags;
-  const std::vector<std::string> positionals =
-      SplitArgs(argc, argv, {"--jobs", "--corpus", "--bug"}, flags);
+int CmdCampaign(int argc, char** argv) {
+  const ParsedArgs args = ParseCommandArgs(
+      argc, argv, {"--jobs", "--corpus", "--bug", "--targets"}, /*max_positionals=*/2);
+  const BugConfig bugs = BugsFromFlags(args);
   ParallelCampaignOptions options;
-  options.campaign.num_programs =
-      positionals.size() >= 1 ? std::atoi(positionals[0].c_str()) : 50;
-  options.campaign.seed =
-      positionals.size() >= 2 ? static_cast<uint64_t>(std::atoll(positionals[1].c_str())) : 1;
-  if (flags.count("--jobs") > 0) {
-    options.jobs = std::atoi(flags.at("--jobs").c_str());
+  options.campaign.targets = TargetsFromFlags(args);
+  if (args.positionals.size() >= 1) {
+    options.campaign.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
   }
-  if (flags.count("--corpus") > 0) {
-    options.corpus_dir = flags.at("--corpus");
+  if (args.positionals.size() >= 2) {
+    options.campaign.seed = static_cast<uint64_t>(ParseNumber(args.positionals[1], "seed"));
+  }
+  if (args.Has("--jobs")) {
+    options.jobs = ParseCount(args.Last("--jobs"), "--jobs", /*minimum=*/1);
+  }
+  if (args.Has("--corpus")) {
+    options.corpus_dir = args.Last("--corpus");
   }
   const CampaignReport report = ParallelCampaign(options).Run(bugs);
   PrintReport(report);
@@ -235,9 +318,46 @@ int CmdCampaign(int argc, char** argv, const BugConfig& bugs) {
   return report.findings.empty() ? 0 : 1;
 }
 
-int CmdReplay(const std::string& p4_path, const std::string& stf_path,
-              const BugConfig& bugs) {
-  const ReplayOutcome outcome = ReplayStfText(ReadFile(p4_path), ReadFile(stf_path), bugs);
+int CmdReplay(int argc, char** argv) {
+  const ParsedArgs args = ParseCommandArgs(
+      argc, argv, {"--bug", "--targets", "--corpus"}, /*max_positionals=*/2);
+  const BugConfig bugs = BugsFromFlags(args);
+  const std::vector<std::string> targets = TargetsFromFlags(args);
+
+  // Bulk mode: replay every stored triple in a corpus directory and gate
+  // on the summary (the corpus-driven regression run).
+  if (args.Has("--corpus")) {
+    if (!args.positionals.empty()) {
+      throw CliUsageError("replay --corpus takes no positional arguments");
+    }
+    const std::string directory = args.Last("--corpus");
+    const CorpusReplaySummary summary = ReplayCorpus(directory, bugs, targets);
+    if (summary.entries == 0) {
+      // A regression gate that replayed nothing must not green-light: a
+      // typo'd path and a never-populated corpus both look like this.
+      throw CompileError("corpus '" + directory + "' holds no reproducer triples");
+    }
+    for (const CorpusReplayResult& result : summary.results) {
+      if (result.outcome.passed()) {
+        std::printf("PASS %-40s (%d tests)\n", result.key.c_str(),
+                    result.outcome.tests_run);
+      } else {
+        std::printf("FAIL %-40s %s\n", result.key.c_str(),
+                    result.outcome.failure_details.empty()
+                        ? ""
+                        : result.outcome.failure_details[0].c_str());
+      }
+    }
+    std::printf("%d reproducers replayed, %d still failing\n", summary.entries,
+                summary.failed_entries);
+    return summary.passed() ? 0 : 1;
+  }
+
+  if (args.positionals.size() != 2) {
+    throw CliUsageError("replay expects <file.p4> <file.stf> (or --corpus DIR)");
+  }
+  const ReplayOutcome outcome = ReplayStfText(ReadFile(args.positionals[0]),
+                                              ReadFile(args.positionals[1]), bugs, targets);
   for (const std::string& detail : outcome.failure_details) {
     std::printf("FAIL %s\n", detail.c_str());
   }
@@ -248,30 +368,42 @@ int CmdReplay(const std::string& p4_path, const std::string& stf_path,
 
 int CmdReduce(const std::string& path, const BugConfig& bugs) {
   auto program = Parser::ParseString(ReadFile(path));
-  // Pick the oracle automatically: crash if the buggy compile crashes,
-  // otherwise a semantic-diff oracle over any pass.
+  // Pick the oracle automatically: crash if any buggy back-end compile
+  // crashes, otherwise a semantic-diff oracle over any pass.
   InterestingnessOracle oracle;
-  try {
-    Bmv2Compiler(bugs).Compile(*program);
-    oracle = SemanticDiffOracle(bugs, "");
-  } catch (const CompilerBugError& error) {
-    // Reduce against the leading assertion text.
-    std::string needle = error.what();
-    if (needle.size() > 40) {
-      needle = needle.substr(0, 40);
+  std::string crash_needle;
+  bool rejected = false;
+  for (const Target* target : TargetRegistry::All()) {
+    try {
+      target->Compile(*program, bugs);
+    } catch (const CompilerBugError& error) {
+      crash_needle = error.what();
+      break;
+    } catch (const CompileError&) {
+      rejected = true;
     }
-    oracle = CrashOracle(bugs, needle);
-  } catch (const CompileError&) {
+  }
+  if (!crash_needle.empty()) {
+    // Reduce against the leading assertion text.
+    if (crash_needle.size() > 40) {
+      crash_needle = crash_needle.substr(0, 40);
+    }
+    oracle = CrashOracle(bugs, crash_needle);
+  } else if (rejected) {
     oracle = [&bugs](const Program& candidate) {
-      try {
-        Bmv2Compiler(bugs).Compile(candidate);
-        return false;
-      } catch (const CompileError&) {
-        return true;
-      } catch (const std::exception&) {
-        return false;
+      for (const Target* target : TargetRegistry::All()) {
+        try {
+          target->Compile(candidate, bugs);
+        } catch (const CompileError&) {
+          return true;
+        } catch (const std::exception&) {
+          return false;
+        }
       }
+      return false;
     };
+  } else {
+    oracle = SemanticDiffOracle(bugs, "");
   }
   const ReductionResult result = ReduceProgram(*program, oracle);
   std::printf("%s", PrintProgram(*result.program).c_str());
@@ -280,56 +412,86 @@ int CmdReduce(const std::string& path, const BugConfig& bugs) {
   return 0;
 }
 
-int Usage() {
-  std::printf(
-      "usage: gauntlet <command> [args]\n"
-      "  compile <file.p4> [--bug B ...]\n"
-      "  validate <file.p4> [--bug B ...]\n"
-      "  testgen <file.p4>\n"
-      "  fuzz [N] [seed] [--bug B ...]\n"
-      "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...]\n"
-      "  replay <file.p4> <file.stf> [--bug B ...]\n"
-      "  reduce <file.p4> --bug B [...]\n"
-      "  bugs\n");
-  return 2;
+int Usage(std::FILE* out) {
+  const std::string targets = TargetRegistry::JoinedNames();
+  std::fprintf(out,
+               "usage: gauntlet <command> [args]\n"
+               "  compile <file.p4> [--bug B ...]\n"
+               "  validate <file.p4> [--bug B ...]\n"
+               "  testgen <file.p4>\n"
+               "  fuzz [N] [seed] [--bug B ...] [--targets T,...]\n"
+               "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...] "
+               "[--targets T,...]\n"
+               "  replay <file.p4> <file.stf> [--bug B ...] [--targets T,...]\n"
+               "  replay --corpus DIR [--bug B ...] [--targets T,...]\n"
+               "  reduce <file.p4> --bug B [...]\n"
+               "  bugs\n"
+               "\n"
+               "registered targets: %s   (--targets defaults to all of them)\n"
+               "--bug names come from `gauntlet bugs`; --jobs must be >= 1\n",
+               targets.c_str());
+  return out == stdout ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    return Usage();
+    return Usage(stderr);
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return Usage(stdout);
+  }
   try {
-    const BugConfig bugs = ParseBugFlags(argc, argv);
     if (command == "bugs") {
+      ParseCommandArgs(argc, argv, {}, /*max_positionals=*/0);
       return CmdBugs();
     }
-    if (command == "compile" && argc >= 3) {
-      return CmdCompile(argv[2], bugs);
+    if (command == "compile") {
+      const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1);
+      if (args.positionals.size() != 1) {
+        throw CliUsageError("compile expects exactly one <file.p4>");
+      }
+      return CmdCompile(args.positionals[0], BugsFromFlags(args));
     }
-    if (command == "validate" && argc >= 3) {
-      return CmdValidate(argv[2], bugs);
+    if (command == "validate") {
+      const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1);
+      if (args.positionals.size() != 1) {
+        throw CliUsageError("validate expects exactly one <file.p4>");
+      }
+      return CmdValidate(args.positionals[0], BugsFromFlags(args));
     }
-    if (command == "testgen" && argc >= 3) {
-      return CmdTestgen(argv[2]);
+    if (command == "testgen") {
+      const ParsedArgs args = ParseCommandArgs(argc, argv, {}, /*max_positionals=*/1);
+      if (args.positionals.size() != 1) {
+        throw CliUsageError("testgen expects exactly one <file.p4>");
+      }
+      return CmdTestgen(args.positionals[0]);
     }
     if (command == "fuzz") {
-      return CmdFuzz(argc, argv, bugs);
+      return CmdFuzz(argc, argv);
     }
     if (command == "campaign") {
-      return CmdCampaign(argc, argv, bugs);
+      return CmdCampaign(argc, argv);
     }
-    if (command == "replay" && argc >= 4) {
-      return CmdReplay(argv[2], argv[3], bugs);
+    if (command == "replay") {
+      return CmdReplay(argc, argv);
     }
-    if (command == "reduce" && argc >= 3) {
-      return CmdReduce(argv[2], bugs);
+    if (command == "reduce") {
+      const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1);
+      if (args.positionals.size() != 1) {
+        throw CliUsageError("reduce expects exactly one <file.p4>");
+      }
+      return CmdReduce(args.positionals[0], BugsFromFlags(args));
     }
+  } catch (const CliUsageError& error) {
+    std::fprintf(stderr, "gauntlet: %s\n", error.what());
+    return Usage(stderr);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "gauntlet: %s\n", error.what());
     return 1;
   }
-  return Usage();
+  std::fprintf(stderr, "gauntlet: unknown command '%s'\n", command.c_str());
+  return Usage(stderr);
 }

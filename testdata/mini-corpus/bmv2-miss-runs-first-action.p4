@@ -1,0 +1,138 @@
+header H0 {
+  bit<8> f0;
+  bit<8> f1;
+  bit<8> f2;
+}
+header H1 {
+  bit<1> f0;
+}
+struct Hdr {
+  H0 h0;
+  H1 h1;
+}
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h0);
+    transition select(hdr.h0.f0) {
+      8w130: parse_h1;
+      default: accept;
+    }
+  }
+  state parse_h1 {
+    pkt.extract(hdr.h1);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action NoAction()
+  {
+  }
+  action act0(bit<1> act0_d0, bit<7> act0_d1)
+  {
+    if (33w8285543380 < 33w2243573122 && act0_d1 < act0_d1)
+    {
+      hdr.h0.f0[7:1] = act0_d1;
+    }
+    else
+    {
+      hdr.h0.f2[4:1] = 4w10 >> 4w3;
+    }
+    if (12w931 == 12w3041 || false)
+    {
+      hdr.h0.f1[7:1] = 7w8;
+    }
+    else
+    {
+      hdr.h0.f0[6:0] = -7w4;
+    }
+    if ((true ? 2w0 : 2w2) > 2w0)
+    {
+      hdr.h0.f2 = hdr.h0.f0;
+    }
+    else
+    {
+    }
+  }
+  action act1(bit<64> act1_d0)
+  {
+    hdr.h0.f1[4:1] = 4w0;
+  }
+  action act2(out bit<1> act2_v0, inout bit<7> act2_v1)
+  {
+    act2_v0 = ~act2_v0;
+    hdr.h1.f0 = hdr.h0.f1[5:5];
+  }
+  table t3 {
+    key = {
+      hdr.h0.f0 : exact;
+      hdr.h0.f0 : exact;
+    }
+    actions = {
+      act0;
+      act1;
+      NoAction;
+    }
+    default_action = act1(64w13532858092533440647);
+  }
+  apply
+  {
+    hdr.h0.f1[4:3] = ~2w3;
+    act2(hdr.h1.f0, hdr.h0.f1[7:1]);
+    hdr.h1.f0 = 1w1;
+    if (false)
+    {
+    }
+    else
+    {
+      hdr.h0.f0 = (bit<8>) (bit<1>) 7w54;
+    }
+    t3.apply();
+  }
+}
+control eg(inout Hdr hdr) {
+  action NoAction()
+  {
+  }
+  action act4(bit<12> act4_d0)
+  {
+    if (!(4w13 == 4w4))
+    {
+      hdr.h0.f2[7:1] = 7w30 & act4_d0[6:0];
+    }
+    else
+    {
+      hdr.h0.f2[4:3] = ~hdr.h0.f2[1:0];
+    }
+  }
+  table t5 {
+    key = {
+      hdr.h1.f0 : exact;
+    }
+    actions = {
+      act4;
+      NoAction;
+    }
+    default_action = NoAction();
+  }
+  apply
+  {
+    hdr.h1.setInvalid();
+    bit<8> k6 = hdr.h0.f0;
+    hdr.h0.setValid();
+    hdr.h0.f2 = k6;
+    t5.apply();
+  }
+}
+control dp(in Hdr hdr) {
+  apply
+  {
+    pkt.emit(hdr.h0);
+    pkt.emit(hdr.h1);
+  }
+}
+package main {
+  parser = p;
+  ingress = ig;
+  egress = eg;
+  deparser = dp;
+}

@@ -1,0 +1,122 @@
+header H0 {
+  bit<4> f0;
+}
+header H1 {
+  bit<4> f0;
+  bit<7> f1;
+  bit<64> f2;
+}
+struct Hdr {
+  H0 h0;
+  H1 h1;
+}
+bit<2> fn0(inout bit<1> fn0_p0, out bit<48> fn0_p1, inout bit<2> fn0_p2)
+{
+  fn0_p1 = 48w149680536302112;
+  fn0_p1[36:29] = -(bit<8>) 8w129;
+  fn0_p1[17:2] = 16w29352;
+  if (!true)
+  {
+    return 2w1;
+  }
+  return fn0_p2 - (bit<2>) 7w48;
+}
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h0);
+    pkt.extract(hdr.h1);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action act1(inout bit<1> act1_v0)
+  {
+    if (2w0 == 2w2)
+    {
+      hdr.h1.f0 = 4w1;
+    }
+    else
+    {
+      hdr.h1.f2[49:2] = 48w238053003452711;
+    }
+  }
+  action act2(inout bit<8> act2_v0, out bit<7> act2_v1)
+  {
+    act2_v1 = -7w72;
+    if (act2_v0 > act2_v0)
+    {
+      hdr.h1.f1[4:3] = (bit<2>) act2_v0 << 2w2;
+    }
+    else
+    {
+      act2_v0 = hdr.h1.f2[20:13] ^ (bit<8>) 8w176;
+    }
+    hdr.h1.f1[2:2] = ~(false ? 1w1 : 1w0);
+    if (!true && 16w6894 > 16w21198)
+    {
+      hdr.h1.f2[60:45] = 16w7844 + 16w34292;
+    }
+    else
+    {
+      hdr.h1.f2[51:45] = hdr.h1.f2[25:19];
+    }
+  }
+  action act3(bit<7> act3_d0, bit<48> act3_d1)
+  {
+    hdr.h0.f0[1:1] = ~1w0;
+  }
+  apply
+  {
+    hdr.h1.f2[30:19] = ~(true ? 12w3136 : 12w2254);
+    hdr.h0.setValid();
+    if (hdr.h1.f2[16:9] != 8w219)
+    {
+      hdr.h1.f2[34:33] = fn0(hdr.h1.f1[4:4], hdr.h1.f2[61:14], hdr.h0.f0[1:0]);
+    }
+    hdr.h0.f0 = hdr.h1.f2 & 64w1608589118809632109 < hdr.h1.f2 ? hdr.h1.f2[12:9] : 4w14 + 4w8;
+    hdr.h1.f1[4:4] = 1w1 | 1w0;
+    if ((bit<7>) 16w52102 >= hdr.h1.f2[61:55])
+    {
+      hdr.h0.f0[2:1] = fn0(hdr.h0.f0[2:2], hdr.h1.f2[54:7], hdr.h1.f1[3:2]);
+    }
+  }
+}
+control eg(inout Hdr hdr) {
+  action NoAction()
+  {
+  }
+  action act4(bit<12> act4_d0, bit<7> act4_d1)
+  {
+    hdr.h1.f2 = true ? hdr.h1.f2 : hdr.h1.f2;
+  }
+  table t5 {
+    key = {
+      hdr.h1.f0 : exact;
+    }
+    actions = {
+      act4;
+      NoAction;
+    }
+    default_action = NoAction();
+  }
+  apply
+  {
+    hdr.h0.setValid();
+    bit<1> v6 = 1w0;
+    fn0(v6, hdr.h1.f2[56:9], hdr.h1.f0[3:2]);
+    t5.apply();
+  }
+}
+control dp(in Hdr hdr) {
+  apply
+  {
+    pkt.emit(hdr.h0);
+    pkt.emit(hdr.h1);
+  }
+}
+package main {
+  parser = p;
+  ingress = ig;
+  egress = eg;
+  deparser = dp;
+}

@@ -1,0 +1,145 @@
+header H0 {
+  bit<16> f0;
+  bit<1> f1;
+}
+header H1 {
+  bit<8> f0;
+}
+struct Hdr {
+  H0 h0;
+  H1 h1;
+}
+bit<1> fn0(inout bit<1> fn0_p0)
+{
+  fn0_p0 = fn0_p0 + 1w0;
+  if (2w1 < 2w3)
+  {
+    return fn0_p0 ^ fn0_p0;
+  }
+  return fn0_p0 ^ 1w1;
+}
+bit<1> fn1(inout bit<4> fn1_p0)
+{
+  return 1w0 * -1w1;
+}
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h0);
+    transition select(hdr.h0.f0) {
+      16w15438: parse_h1;
+      default: accept;
+    }
+  }
+  state parse_h1 {
+    pkt.extract(hdr.h1);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  action NoAction()
+  {
+  }
+  action act2(inout bit<8> act2_v0)
+  {
+    act2_v0[6:3] = (bit<4>) (false ? 16w48858 : hdr.h0.f0);
+  }
+  action act3(bit<1> act3_d0, bit<12> act3_d1)
+  {
+    if (false)
+    {
+      hdr.h1.f0[3:0] = 4w11;
+    }
+    else
+    {
+      hdr.h0.f0[15:4] = true && true ? (bit<12>) 7w111 : 12w692;
+    }
+    hdr.h1.f0[7:1] = hdr.h1.f0[7:1];
+    hdr.h0.f0 = 16w35245 + 16w62959;
+    hdr.h0.f0[8:2] = true && false ? hdr.h0.f0[15:9] : 7w57;
+  }
+  table t4 {
+    key = {
+      hdr.h0.f0 : exact;
+      hdr.h1.f0 : exact;
+    }
+    actions = {
+      act3;
+      NoAction;
+    }
+    default_action = NoAction();
+  }
+  apply
+  {
+    bit<12> v5 = 12w3258;
+    v5[3:2] = !true ? hdr.h1.f0[3:2] * 2w1 : (bit<2>) 7w118;
+    t4.apply();
+  }
+}
+control eg(inout Hdr hdr) {
+  action NoAction()
+  {
+  }
+  action act6(out bit<16> act6_v0, inout bit<16> act6_v1)
+  {
+    act6_v0 = hdr.h0.f0;
+    if (hdr.h0.f0 == -16w63496)
+    {
+      hdr.h0.f1 = (bit<1>) 4w7 * act6_v1[4:4];
+    }
+    if (!hdr.h1.isValid())
+    {
+      hdr.h0.f0[14:13] = 2w0 * 2w2;
+    }
+    else
+    {
+      act6_v1 = 16w23369;
+    }
+  }
+  action act7(bit<7> act7_d0, bit<16> act7_d1)
+  {
+    if (true || hdr.h1.isValid())
+    {
+      hdr.h0.f0[7:1] = hdr.h1.f0[7:1];
+    }
+    else
+    {
+      hdr.h0.f0[13:2] = ~12w2739;
+    }
+    hdr.h0.f0 = act7_d1;
+  }
+  table t8 {
+    key = {
+      hdr.h1.f0 : exact;
+    }
+    actions = {
+      act7;
+      NoAction;
+    }
+    default_action = NoAction();
+  }
+  apply
+  {
+    if (!(true && false))
+    {
+      hdr.h0.f1 = fn0(hdr.h0.f0[10:10]);
+    }
+    if (12w1645 >= 12w3367 && (false && false))
+    {
+      hdr.h0.f1 = fn0(hdr.h0.f0[13:13]);
+    }
+    t8.apply();
+  }
+}
+control dp(in Hdr hdr) {
+  apply
+  {
+    pkt.emit(hdr.h0);
+    pkt.emit(hdr.h1);
+  }
+}
+package main {
+  parser = p;
+  ingress = ig;
+  egress = eg;
+  deparser = dp;
+}

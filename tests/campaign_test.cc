@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/gauntlet/campaign.h"
 
 namespace gauntlet {
@@ -141,6 +143,83 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+TEST(CampaignTest, TargetSubsettingChangesOnlySelectedBackEndsFindings) {
+  // Seed one fault per back end; the program stream and the open-pipeline
+  // techniques are identical for any --targets value, so subsetting to one
+  // back end must reproduce exactly that back end's packet-test findings
+  // and drop the others'.
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  bugs.Enable(BugId::kTofinoTableDefaultSkipped);
+  bugs.Enable(BugId::kEbpfParserExtractReversed);
+
+  CampaignOptions all = SmallCampaign(30);
+  const CampaignReport full = Campaign(all).Run(bugs);
+
+  CampaignOptions only_ebpf = all;
+  only_ebpf.targets = {"ebpf"};
+  const CampaignReport subset = Campaign(only_ebpf).Run(bugs);
+
+  // The subset run found only eBPF bugs...
+  EXPECT_GT(subset.distinct_bugs.count(BugId::kEbpfParserExtractReversed), 0u);
+  EXPECT_EQ(subset.distinct_bugs.count(BugId::kBmv2TableMissRunsFirstAction), 0u);
+  EXPECT_EQ(subset.distinct_bugs.count(BugId::kTofinoTableDefaultSkipped), 0u);
+  // ...and the full run found every back end's.
+  EXPECT_GT(full.distinct_bugs.count(BugId::kEbpfParserExtractReversed), 0u);
+  EXPECT_GT(full.distinct_bugs.count(BugId::kBmv2TableMissRunsFirstAction), 0u);
+  EXPECT_GT(full.distinct_bugs.count(BugId::kTofinoTableDefaultSkipped), 0u);
+
+  // The eBPF findings themselves are identical in both runs: subsetting
+  // never perturbs the selected back ends' results.
+  std::vector<std::string> full_ebpf;
+  for (const Finding& finding : full.findings) {
+    if (finding.method == DetectionMethod::kPacketTest &&
+        finding.attributed.has_value() &&
+        GetBugInfo(*finding.attributed).location == BugLocation::kBackEndEbpf) {
+      full_ebpf.push_back(std::to_string(finding.program_index) + ":" +
+                          BugIdToString(*finding.attributed) + ":" + finding.detail);
+    }
+  }
+  std::vector<std::string> subset_ebpf;
+  for (const Finding& finding : subset.findings) {
+    if (finding.method == DetectionMethod::kPacketTest &&
+        finding.attributed.has_value()) {
+      EXPECT_EQ(GetBugInfo(*finding.attributed).location, BugLocation::kBackEndEbpf);
+      subset_ebpf.push_back(std::to_string(finding.program_index) + ":" +
+                            BugIdToString(*finding.attributed) + ":" + finding.detail);
+    }
+  }
+  EXPECT_EQ(full_ebpf, subset_ebpf);
+}
+
+TEST(CampaignTest, SharedCrashSiteRecordedOncePerProgramAcrossTargets) {
+  // The inliner snowball crashes *every* back end's compile (the message
+  // embeds the back end's name); one program must still yield exactly one
+  // residual-calls finding, not one per registered target.
+  BugConfig bugs;
+  bugs.Enable(BugId::kInlinerSkipsNestedCall);
+  CampaignOptions options = SmallCampaign(90);
+  options.seed = 555;
+  const CampaignReport report = Campaign(options).Run(bugs);
+  ASSERT_GT(report.distinct_bugs.count(BugId::kInlinerSkipsNestedCall), 0u);
+  std::map<int, int> residual_findings_per_program;
+  for (const Finding& finding : report.findings) {
+    if (finding.attributed == BugId::kInlinerSkipsNestedCall) {
+      ++residual_findings_per_program[finding.program_index];
+    }
+  }
+  for (const auto& [program_index, count] : residual_findings_per_program) {
+    EXPECT_EQ(count, 1) << "program " << program_index
+                        << " recorded the shared crash once per back end";
+  }
+}
+
+TEST(CampaignTest, UnknownTargetNameFailsLoudly) {
+  CampaignOptions options = SmallCampaign(1);
+  options.targets = {"bmv2", "hexagon"};
+  EXPECT_THROW(Campaign(options).Run(BugConfig::None()), CompileError);
+}
 
 TEST(CampaignTest, ReportsAreDeterministicForSeed) {
   BugConfig bugs;

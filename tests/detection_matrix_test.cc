@@ -8,8 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/frontend/parser.h"
-#include "src/target/bmv2.h"
-#include "src/target/tofino.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
@@ -355,6 +354,43 @@ control ig(inout Hdr hdr) {
 control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
 package main { parser = p; ingress = ig; deparser = dp; }
 )"},
+      {BugId::kEbpfParserExtractReversed, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kEbpfMapMissDropsPacket, ExpectedDetection::kPacketFailure, R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
+      {BugId::kEbpfCrashStackOverflow, ExpectedDetection::kCrash, R"(
+header H { bit<64> a; bit<64> b; bit<64> c; }
+header G { bit<64> a; bit<64> b; bit<64> c; }
+struct Hdr { H h; G g; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
   };
   return entries;
 }
@@ -368,25 +404,25 @@ TEST_P(DetectionMatrix, SeededFaultIsDetectedByPrescribedTechnique) {
   BugConfig bugs;
   bugs.Enable(entry.bug);
 
-  // The clean compiler must handle the trigger program.
+  // Every registered clean back end must handle the trigger program.
   {
     auto clean = Parser::ParseString(entry.trigger);
-    EXPECT_NO_THROW(Bmv2Compiler(BugConfig::None()).Compile(*clean));
-    EXPECT_NO_THROW(TofinoCompiler(BugConfig::None()).Compile(*clean));
+    for (const Target* target : TargetRegistry::All()) {
+      EXPECT_NO_THROW(target->Compile(*clean, BugConfig::None())) << target->name();
+    }
   }
 
   const BugInfo& info = GetBugInfo(entry.bug);
-  const bool is_backend = info.location == BugLocation::kBackEndBmv2 ||
-                          info.location == BugLocation::kBackEndTofino;
+  const bool is_backend = IsBackEndLocation(info.location);
+  // The back end whose catalogue section holds this fault (back-end
+  // entries only).
+  const Target* owner = TargetRegistry::ForLocation(info.location);
 
   switch (entry.expectation) {
     case ExpectedDetection::kCrash: {
       if (is_backend) {
-        if (info.location == BugLocation::kBackEndTofino) {
-          EXPECT_THROW(TofinoCompiler(bugs).Compile(*program), CompilerBugError);
-        } else {
-          EXPECT_THROW(Bmv2Compiler(bugs).Compile(*program), CompilerBugError);
-        }
+        ASSERT_NE(owner, nullptr);
+        EXPECT_THROW(owner->Compile(*program, bugs), CompilerBugError);
         return;
       }
       const TranslationValidator validator(PassManager::StandardPipeline());
@@ -396,7 +432,7 @@ TEST_P(DetectionMatrix, SeededFaultIsDetectedByPrescribedTechnique) {
       }
       // Some front-end faults (e.g. the missed-inlining snowball) only
       // surface when a back end consumes the mangled program.
-      EXPECT_THROW(Bmv2Compiler(bugs).Compile(*program), CompilerBugError)
+      EXPECT_THROW(TargetRegistry::Get("bmv2").Compile(*program, bugs), CompilerBugError)
           << "expected a crash; none observed in validation or compilation";
       return;
     }
@@ -431,18 +467,15 @@ TEST_P(DetectionMatrix, SeededFaultIsDetectedByPrescribedTechnique) {
       // Black-box flow (Fig. 4): tests derived from the source program.
       const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
       ASSERT_FALSE(tests.empty());
-      if (info.location == BugLocation::kBackEndTofino) {
-        const TofinoExecutable target = TofinoCompiler(bugs).Compile(*program);
-        EXPECT_FALSE(RunPacketTests(target, tests).empty());
-        // And translation validation must be blind to it (closed back end).
-        const TranslationValidator validator(PassManager::StandardPipeline());
-        const TvReport report = validator.Validate(*program, bugs);
-        EXPECT_FALSE(report.HasSemanticDiff())
-            << "a closed-back-end fault leaked into the open pipeline";
-      } else {
-        const Bmv2Executable target = Bmv2Compiler(bugs).Compile(*program);
-        EXPECT_FALSE(RunPacketTests(target, tests).empty());
-      }
+      ASSERT_NE(owner, nullptr);
+      const auto target = owner->Compile(*program, bugs);
+      EXPECT_FALSE(RunPacketTests(*target, tests).empty());
+      // And translation validation must be blind to it (back-end faults
+      // live behind the black box).
+      const TranslationValidator validator(PassManager::StandardPipeline());
+      const TvReport report = validator.Validate(*program, bugs);
+      EXPECT_FALSE(report.HasSemanticDiff())
+          << "a back-end fault leaked into the open pipeline";
       return;
     }
   }

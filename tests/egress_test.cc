@@ -3,7 +3,7 @@
 #include "src/frontend/parser.h"
 #include "src/smt/solver.h"
 #include "src/sym/interpreter.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/typecheck/typecheck.h"
 
@@ -87,8 +87,8 @@ TEST(EgressTest, TestGenerationCoversEgressPaths) {
   TypeCheck(*program);
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
   ASSERT_FALSE(tests.empty());
-  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
-  EXPECT_TRUE(RunPacketTests(target, tests).empty());
+  const auto target = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
+  EXPECT_TRUE(RunPacketTests(*target, tests).empty());
 }
 
 TEST(EgressTest, SeededBugInEgressIsDetected) {
@@ -127,10 +127,10 @@ package main { parser = p; ingress = ig; egress = eg; deparser = dp; }
   const std::vector<PacketTest> tests2 = TestCaseGenerator().Generate(*program2);
   BugConfig emit_bug;
   emit_bug.Enable(BugId::kBmv2EmitIgnoresValidity);
-  const Bmv2Executable buggy = Bmv2Compiler(emit_bug).Compile(*program2);
-  EXPECT_FALSE(RunPacketTests(buggy, tests2).empty());
-  const Bmv2Executable clean = Bmv2Compiler(BugConfig::None()).Compile(*program2);
-  EXPECT_TRUE(RunPacketTests(clean, tests2).empty());
+  const auto buggy = TargetRegistry::Get("bmv2").Compile(*program2, emit_bug);
+  EXPECT_FALSE(RunPacketTests(*buggy, tests2).empty());
+  const auto clean = TargetRegistry::Get("bmv2").Compile(*program2, BugConfig::None());
+  EXPECT_TRUE(RunPacketTests(*clean, tests2).empty());
 }
 
 }  // namespace

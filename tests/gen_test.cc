@@ -3,7 +3,7 @@
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/gen/generator.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
@@ -58,12 +58,12 @@ TEST(GeneratorTest, DifferentSeedsProduceDifferentPrograms) {
 TEST(GeneratorTest, CleanCompilerAcceptsGeneratedPrograms) {
   // With no seeded faults the full BMv2 compile must succeed on every
   // generated program: crashes here are bugs in *our* passes.
-  const Bmv2Compiler compiler(BugConfig::None());
+  const Target& bmv2 = TargetRegistry::Get("bmv2");
   for (uint64_t seed = 1; seed <= 60; ++seed) {
     GeneratorOptions options;
     options.seed = seed;
     ProgramPtr program = ProgramGenerator(options).Generate();
-    EXPECT_NO_THROW(compiler.Compile(*program))
+    EXPECT_NO_THROW(bmv2.Compile(*program, BugConfig::None()))
         << "seed " << seed << "\n"
         << PrintProgram(*program);
   }
@@ -106,8 +106,8 @@ TEST(GeneratorTest, GeneratedTestsPassOnCleanTarget) {
     } catch (const UnsupportedError&) {
       continue;
     }
-    const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
-    const auto failures = RunPacketTests(target, tests);
+    const auto target = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
+    const auto failures = RunPacketTests(*target, tests);
     EXPECT_TRUE(failures.empty())
         << "seed " << seed << ": " << failures.size() << "/" << tests.size()
         << " failed; first: " << (failures.empty() ? "" : failures[0].second.detail) << "\n"

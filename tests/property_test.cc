@@ -18,9 +18,8 @@
 #include "src/smt/evaluator.h"
 #include "src/smt/solver.h"
 #include "src/sym/interpreter.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/target/concrete.h"
-#include "src/target/tofino.h"
 #include "src/testgen/testgen.h"
 #include "src/tv/validator.h"
 #include "src/typecheck/typecheck.h"
@@ -245,7 +244,7 @@ TEST_P(CompiledBehaviorProperty, CompiledTargetMatchesSourceOnRandomPackets) {
   TypeCheck(*program);
   // Source-level reference vs fully compiled artifact.
   ConcreteInterpreter source(*program);
-  const Bmv2Executable compiled = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const auto compiled = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
   Rng rng(seed + 99);
   for (int round = 0; round < 8; ++round) {
     BitString packet;
@@ -254,7 +253,7 @@ TEST_P(CompiledBehaviorProperty, CompiledTargetMatchesSourceOnRandomPackets) {
       packet.AppendBits(BitValue(8, rng.Next()));
     }
     const PacketResult source_result = source.RunPacket(packet, {});
-    const PacketResult compiled_result = compiled.Run(packet, {});
+    const PacketResult compiled_result = compiled->Run(packet, {});
     EXPECT_EQ(source_result, compiled_result)
         << "seed " << seed << " round " << round << " input " << packet.ToHex() << "\n"
         << PrintProgram(*program);
@@ -291,14 +290,14 @@ TEST_P(TestgenOracleProperty, GeneratedTestsPassOnCleanTargets) {
   } catch (const UnsupportedError&) {
     GTEST_SKIP() << "program outside the supported testgen fragment";
   }
-  const Bmv2Executable bmv2 = Bmv2Compiler(BugConfig::None()).Compile(*program);
-  for (const auto& [test, result] : RunPacketTests(bmv2, tests)) {
+  const auto bmv2 = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
+  for (const auto& [test, result] : RunPacketTests(*bmv2, tests)) {
     ADD_FAILURE() << "BMv2 failed " << test.name << ": " << result.detail << "\nseed " << seed
                   << "\n"
                   << PrintProgram(*program);
   }
-  const TofinoExecutable tofino = TofinoCompiler(BugConfig::None()).Compile(*program);
-  for (const auto& [test, result] : RunPacketTests(tofino, tests)) {
+  const auto tofino = TargetRegistry::Get("tofino").Compile(*program, BugConfig::None());
+  for (const auto& [test, result] : RunPacketTests(*tofino, tests)) {
     ADD_FAILURE() << "Tofino failed " << test.name << ": " << result.detail << "\nseed "
                   << seed << "\n"
                   << PrintProgram(*program);

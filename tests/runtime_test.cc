@@ -226,6 +226,47 @@ package main { parser = p; ingress = ig; deparser = dp; }
       CompileError);
 }
 
+TEST_F(CorpusRoundTrip, BulkReplayGatesOnStillFailingReproducers) {
+  // Build a small corpus from a campaign that trips one fault per back end.
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  bugs.Enable(BugId::kEbpfParserExtractReversed);
+  ParallelCampaignOptions options = SmallCampaign(25, 4);
+  options.corpus_dir = dir_;
+  const CampaignReport report = ParallelCampaign(options).Run(bugs);
+  ASSERT_FALSE(report.findings.empty());
+  ASSERT_GT(CountCorpus(dir_), 0);
+
+  // With the faults still enabled every stored reproducer must fail — the
+  // regression run reports them as live.
+  const CorpusReplaySummary live = ReplayCorpus(dir_, bugs);
+  EXPECT_EQ(live.entries, CountCorpus(dir_));
+  EXPECT_GT(live.failed_entries, 0);
+  EXPECT_FALSE(live.passed());
+
+  // After the "fix" (clean compilers) the whole corpus must pass: the
+  // expected outputs come from the source semantics.
+  const CorpusReplaySummary fixed = ReplayCorpus(dir_, BugConfig::None());
+  EXPECT_EQ(fixed.entries, live.entries);
+  EXPECT_TRUE(fixed.passed())
+      << (fixed.results.empty() || fixed.results[0].outcome.failure_details.empty()
+              ? ""
+              : fixed.results[0].outcome.failure_details[0]);
+
+  // Target subsetting: the eBPF fault is invisible on bmv2 (quirks only
+  // ever land in their own back end's artifact), and live on ebpf.
+  BugConfig ebpf_only;
+  ebpf_only.Enable(BugId::kEbpfParserExtractReversed);
+  EXPECT_TRUE(ReplayCorpus(dir_, ebpf_only, {"bmv2"}).passed());
+  bool ebpf_repro_failed = false;
+  for (const CorpusReplayResult& result : ReplayCorpus(dir_, ebpf_only, {"ebpf"}).results) {
+    if (result.key == "ebpf-parser-extract-reversed") {
+      ebpf_repro_failed = !result.outcome.passed();
+    }
+  }
+  EXPECT_TRUE(ebpf_repro_failed);
+}
+
 TEST_F(CorpusRoundTrip, UnattributedFindingsKeyOnComponent) {
   Finding finding;
   finding.component = "TofinoBackEnd";

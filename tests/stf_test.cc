@@ -7,7 +7,7 @@
 #include "src/frontend/parser.h"
 #include "src/gen/generator.h"
 #include "src/support/rng.h"
-#include "src/target/bmv2.h"
+#include "src/target/target.h"
 #include "src/target/concrete.h"
 #include "src/target/stf.h"
 #include "src/typecheck/typecheck.h"
@@ -142,29 +142,29 @@ control dp(in Hdr hdr) {
 }
 package main { parser = p; ingress = ig; deparser = dp; }
 )");
-  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const auto target = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
   BitString packet;
   packet.AppendBits(BitValue(16, 0x1122));
 
   TableConfig wrong_data_width;
   wrong_data_width["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(16, 409)}});
-  EXPECT_THROW(target.Run(packet, wrong_data_width), CompileError);
+  EXPECT_THROW(target->Run(packet, wrong_data_width), CompileError);
 
   TableConfig wrong_key_width;
   wrong_key_width["t"].push_back(TableEntry{{BitValue(4, 2)}, "set_b", {BitValue(8, 1)}});
-  EXPECT_THROW(target.Run(packet, wrong_key_width), CompileError);
+  EXPECT_THROW(target->Run(packet, wrong_key_width), CompileError);
 
   TableConfig unlisted_action;
   unlisted_action["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "nope", {}});
-  EXPECT_THROW(target.Run(packet, unlisted_action), CompileError);
+  EXPECT_THROW(target->Run(packet, unlisted_action), CompileError);
 
   TableConfig typoed_table;
   typoed_table["tt"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(8, 1)}});
-  EXPECT_THROW(target.Run(packet, typoed_table), CompileError);
+  EXPECT_THROW(target->Run(packet, typoed_table), CompileError);
 
   TableConfig well_formed;
   well_formed["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(8, 0x99)}});
-  EXPECT_EQ(target.Run(packet, well_formed).output.ToHex(), "1199");
+  EXPECT_EQ(target->Run(packet, well_formed).output.ToHex(), "1199");
 }
 
 TEST(StfFormatTest, BitStringHexRoundTripsOddLengths) {
@@ -189,7 +189,7 @@ TEST(StfDifferentialTest, CompiledBmv2AgreesWithSourceInterpreter) {
     ProgramPtr program = ProgramGenerator(options).Generate();
     TypeCheck(*program);
     ConcreteInterpreter source(*program);
-    const Bmv2Executable compiled = Bmv2Compiler(BugConfig::None()).Compile(*program);
+    const auto compiled = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
     Rng rng(seed * 13 + 5);
     for (int round = 0; round < 6; ++round) {
       BitString packet;
@@ -197,7 +197,7 @@ TEST(StfDifferentialTest, CompiledBmv2AgreesWithSourceInterpreter) {
       for (size_t i = 0; i < bytes; ++i) {
         packet.AppendBits(BitValue(8, rng.Next()));
       }
-      EXPECT_EQ(source.RunPacket(packet, {}), compiled.Run(packet, {}))
+      EXPECT_EQ(source.RunPacket(packet, {}), compiled->Run(packet, {}))
           << "seed " << seed << " round " << round << " input " << packet.ToHex();
     }
   }

@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "src/frontend/parser.h"
-#include "src/target/bmv2.h"
-#include "src/target/stf.h"
-#include "src/target/tofino.h"
+#include "src/gauntlet/campaign.h"
+#include "src/target/target.h"
+#include "src/testgen/testgen.h"
 #include "src/typecheck/typecheck.h"
 
 namespace gauntlet {
@@ -39,6 +39,11 @@ BitString MakePacket(std::initializer_list<uint8_t> bytes) {
     packet.AppendBits(BitValue(8, byte));
   }
   return packet;
+}
+
+std::unique_ptr<Executable> Compile(const char* target, const Program& program,
+                                    const BugConfig& bugs = BugConfig::None()) {
+  return TargetRegistry::Get(target).Compile(program, bugs);
 }
 
 TEST(BitStringTest, AppendAndRead) {
@@ -213,29 +218,123 @@ package main { parser = p; ingress = ig; deparser = dp; }
   EXPECT_EQ(result.output, MakePacket({0x00, 0x03}));
 }
 
-TEST(Bmv2CompilerTest, CleanCompileAndRun) {
+// ---------------------------------------------------------------------------
+// Registry conformance suite: every registered back end must satisfy the
+// Target contract — clean compiles run packets, clean behavior matches the
+// source-level oracle (quirk honoring: no quirks without a seeded fault),
+// and a campaign pointed only at this target finds its seeded faults.
+// ---------------------------------------------------------------------------
+
+class TargetConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TargetConformance, RegistryMetadataIsConsistent) {
+  const Target& target = TargetRegistry::Get(GetParam());
+  EXPECT_EQ(target.name(), GetParam());
+  EXPECT_STRNE(target.component(), "");
+  EXPECT_TRUE(IsBackEndLocation(target.location()));
+  EXPECT_EQ(TargetRegistry::ForLocation(target.location()), &target);
+  // Every back end contributes at least one semantic fault to the
+  // catalogue — otherwise packet replay has nothing to find there.
+  bool has_semantic = false;
+  for (const BugId bug : target.CatalogueFaults()) {
+    has_semantic |= GetBugInfo(bug).kind == BugKind::kSemantic;
+  }
+  EXPECT_TRUE(has_semantic);
+}
+
+TEST_P(TargetConformance, CleanCompileAndRun) {
   auto program = Parser::ParseString(kPipelineProgram);
-  const Bmv2Compiler compiler(BugConfig::None());
-  const Bmv2Executable executable = compiler.Compile(*program);
-  const PacketResult result = executable.Run(MakePacket({0x11, 0x22}), {});
+  const auto executable = Compile(GetParam().c_str(), *program);
+  const PacketResult result = executable->Run(MakePacket({0x11, 0x22}), {});
   EXPECT_EQ(result.output, MakePacket({0x11, 0x22}));
 }
 
-TEST(Bmv2CompilerTest, CompiledProgramMatchesSourceBehavior) {
+TEST_P(TargetConformance, CleanCompileMatchesSourceOracle) {
   auto program = Parser::ParseString(kPipelineProgram);
   TypeCheck(*program);
-  ConcreteInterpreter source_interpreter(*program);
-  const Bmv2Compiler compiler(BugConfig::None());
-  const Bmv2Executable executable = compiler.Compile(*program);
+  ConcreteInterpreter source(*program);
+  const auto executable = Compile(GetParam().c_str(), *program);
   TableConfig tables;
   tables["t"].push_back(TableEntry{{BitValue(8, 7)}, "set_b", {BitValue(8, 0x42)}});
   for (uint8_t a = 0; a < 16; ++a) {
     const BitString packet = MakePacket({a, 0xee});
-    EXPECT_EQ(source_interpreter.RunPacket(packet, tables), executable.Run(packet, tables));
+    EXPECT_EQ(source.RunPacket(packet, tables), executable->Run(packet, tables));
   }
 }
 
-TEST(Bmv2CompilerTest, InlinerSkipBugCrashesBackEnd) {
+TEST_P(TargetConformance, CleanCompilePassesGeneratedTests) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  TypeCheck(*program);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  ASSERT_FALSE(tests.empty());
+  const auto executable = Compile(GetParam().c_str(), *program);
+  EXPECT_TRUE(RunPacketTests(*executable, tests).empty());
+}
+
+TEST_P(TargetConformance, SemanticFaultsCompileIntoRunnableQuirkyArtifacts) {
+  // Semantic faults never abort compilation — they silently change the
+  // artifact (the catalogue's crash/semantic split).
+  auto program = Parser::ParseString(kPipelineProgram);
+  const Target& target = TargetRegistry::Get(GetParam());
+  for (const BugId bug : target.CatalogueFaults()) {
+    if (GetBugInfo(bug).kind != BugKind::kSemantic) {
+      continue;
+    }
+    BugConfig bugs;
+    bugs.Enable(bug);
+    std::unique_ptr<Executable> executable;
+    ASSERT_NO_THROW(executable = target.Compile(*program, bugs)) << BugIdToString(bug);
+    EXPECT_NO_THROW(executable->Run(MakePacket({0x11, 0x22}), {})) << BugIdToString(bug);
+  }
+}
+
+TEST_P(TargetConformance, CampaignAgainstThisTargetFindsItsSeededFaults) {
+  // Fault-detection smoke: a campaign replaying only on this back end, with
+  // all of its faults seeded, must find at least one of them — and must
+  // never blame another back end.
+  const Target& target = TargetRegistry::Get(GetParam());
+  BugConfig bugs;
+  for (const BugId bug : target.CatalogueFaults()) {
+    bugs.Enable(bug);
+  }
+  CampaignOptions options;
+  options.seed = 99;
+  options.num_programs = 40;
+  options.targets = {GetParam()};
+  options.testgen.max_tests = 6;
+  options.testgen.max_decisions = 5;
+  const CampaignReport report = Campaign(options).Run(bugs);
+  EXPECT_FALSE(report.distinct_bugs.empty())
+      << "no seeded " << GetParam() << " fault found in 40 random programs";
+  for (const BugId bug : report.distinct_bugs) {
+    EXPECT_EQ(GetBugInfo(bug).location, target.location()) << BugIdToString(bug);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, TargetConformance,
+                         ::testing::ValuesIn(TargetRegistry::Names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(TargetRegistryTest, AtLeastThreeBackEndsRegistered) {
+  const std::vector<std::string> names = TargetRegistry::Names();
+  EXPECT_GE(names.size(), 3u);
+  EXPECT_NE(TargetRegistry::Find("bmv2"), nullptr);
+  EXPECT_NE(TargetRegistry::Find("tofino"), nullptr);
+  EXPECT_NE(TargetRegistry::Find("ebpf"), nullptr);
+}
+
+TEST(TargetRegistryTest, UnknownTargetFailsLoudly) {
+  EXPECT_EQ(TargetRegistry::Find("hexagon"), nullptr);
+  EXPECT_THROW(TargetRegistry::Get("hexagon"), CompileError);
+}
+
+// ---------------------------------------------------------------------------
+// Back-end-specific quirk and resource-model tests.
+// ---------------------------------------------------------------------------
+
+TEST(Bmv2TargetTest, InlinerSkipBugCrashesBackEnd) {
   auto program = Parser::ParseString(R"(
 header H { bit<8> a; }
 struct Hdr { H h; }
@@ -262,21 +361,20 @@ package main { parser = p; ingress = ig; deparser = dp; }
 )");
   BugConfig bugs;
   bugs.Enable(BugId::kInlinerSkipsNestedCall);
-  const Bmv2Compiler compiler(bugs);
-  EXPECT_THROW(compiler.Compile(*program), CompilerBugError);
+  EXPECT_THROW(Compile("bmv2", *program, bugs), CompilerBugError);
 }
 
-TEST(Bmv2CompilerTest, MissRunsFirstActionQuirk) {
+TEST(Bmv2TargetTest, MissRunsFirstActionQuirk) {
   auto program = Parser::ParseString(kPipelineProgram);
   BugConfig bugs;
   bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
-  const Bmv2Executable buggy = Bmv2Compiler(bugs).Compile(*program);
+  const auto buggy = Compile("bmv2", *program, bugs);
   // Miss: set_b runs with zero data instead of NoAction.
-  const PacketResult result = buggy.Run(MakePacket({0x11, 0x22}), {});
+  const PacketResult result = buggy->Run(MakePacket({0x11, 0x22}), {});
   EXPECT_EQ(result.output, MakePacket({0x11, 0x00}));
 }
 
-TEST(Bmv2CompilerTest, EmitIgnoresValidityQuirk) {
+TEST(Bmv2TargetTest, EmitIgnoresValidityQuirk) {
   auto program = Parser::ParseString(R"(
 header H { bit<8> a; }
 struct Hdr { H h; H g; }
@@ -299,24 +397,12 @@ package main { parser = p; ingress = ig; deparser = dp; }
 )");
   BugConfig bugs;
   bugs.Enable(BugId::kBmv2EmitIgnoresValidity);
-  const Bmv2Executable buggy = Bmv2Compiler(bugs).Compile(*program);
+  const auto buggy = Compile("bmv2", *program, bugs);
   // The invalid header g is wrongly emitted (as zeros).
-  EXPECT_EQ(buggy.Run(MakePacket({0x55}), {}).output, MakePacket({0x55, 0x00}));
+  EXPECT_EQ(buggy->Run(MakePacket({0x55}), {}).output, MakePacket({0x55, 0x00}));
 }
 
-TEST(TofinoCompilerTest, CleanCompileMatchesBmv2) {
-  auto program = Parser::ParseString(kPipelineProgram);
-  const Bmv2Executable bmv2 = Bmv2Compiler(BugConfig::None()).Compile(*program);
-  const TofinoExecutable tofino = TofinoCompiler(BugConfig::None()).Compile(*program);
-  TableConfig tables;
-  tables["t"].push_back(TableEntry{{BitValue(8, 3)}, "set_b", {BitValue(8, 0x77)}});
-  for (uint8_t a = 0; a < 8; ++a) {
-    const BitString packet = MakePacket({a, 0x10});
-    EXPECT_EQ(bmv2.Run(packet, tables), tofino.Run(packet, tables));
-  }
-}
-
-TEST(TofinoCompilerTest, WideArithCrash) {
+TEST(TofinoTargetTest, WideArithCrash) {
   auto program = Parser::ParseString(R"(
 header H { bit<48> a; bit<48> b; }
 struct Hdr { H h; }
@@ -338,12 +424,12 @@ package main { parser = p; ingress = ig; deparser = dp; }
 )");
   BugConfig bugs;
   bugs.Enable(BugId::kTofinoCrashOnWideArith);
-  EXPECT_THROW(TofinoCompiler(bugs).Compile(*program), CompilerBugError);
+  EXPECT_THROW(Compile("tofino", *program, bugs), CompilerBugError);
   // The open-source reference back end handles it fine.
-  EXPECT_NO_THROW(Bmv2Compiler(bugs).Compile(*program));
+  EXPECT_NO_THROW(Compile("bmv2", *program, bugs));
 }
 
-TEST(TofinoCompilerTest, NarrowWideSemanticBug) {
+TEST(TofinoTargetTest, NarrowWideSemanticBug) {
   auto program = Parser::ParseString(R"(
 header H { bit<48> a; bit<48> b; }
 struct Hdr { H h; }
@@ -365,20 +451,20 @@ package main { parser = p; ingress = ig; deparser = dp; }
 )");
   BugConfig bugs;
   bugs.Enable(BugId::kTofinoPhvNarrowWide);
-  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
-  const TofinoExecutable clean = TofinoCompiler(BugConfig::None()).Compile(*program);
+  const auto buggy = Compile("tofino", *program, bugs);
+  const auto clean = Compile("tofino", *program);
   // A carry into the upper 16 bits is lost by the 32-bit container fault.
   BitString packet;
   packet.AppendBits(BitValue(48, 0xffffffffull));  // a
   packet.AppendBits(BitValue(48, 1));              // b
-  const PacketResult clean_result = clean.Run(packet, {});
-  const PacketResult buggy_result = buggy.Run(packet, {});
+  const PacketResult clean_result = clean->Run(packet, {});
+  const PacketResult buggy_result = buggy->Run(packet, {});
   EXPECT_NE(clean_result, buggy_result);
   EXPECT_EQ(clean_result.output.ReadBits(0, 48)->bits(), 0x100000000ull);
   EXPECT_EQ(buggy_result.output.ReadBits(0, 48)->bits(), 0ull);
 }
 
-TEST(TofinoCompilerTest, ManyTablesCrash) {
+TEST(TofinoTargetTest, ManyTablesCrash) {
   std::string source = R"(
 header H { bit<8> a; }
 struct Hdr { H h; }
@@ -412,10 +498,10 @@ package main { parser = p; ingress = ig; deparser = dp; }
   auto program = Parser::ParseString(source);
   BugConfig bugs;
   bugs.Enable(BugId::kTofinoCrashManyTables);
-  EXPECT_THROW(TofinoCompiler(bugs).Compile(*program), CompilerBugError);
+  EXPECT_THROW(Compile("tofino", *program, bugs), CompilerBugError);
 }
 
-TEST(TofinoCompilerTest, DefaultSkippedSemanticBug) {
+TEST(TofinoTargetTest, DefaultSkippedSemanticBug) {
   auto program = Parser::ParseString(R"(
 header H { bit<8> a; bit<8> b; }
 struct Hdr { H h; }
@@ -442,28 +528,86 @@ package main { parser = p; ingress = ig; deparser = dp; }
 )");
   BugConfig bugs;
   bugs.Enable(BugId::kTofinoTableDefaultSkipped);
-  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
+  const auto buggy = Compile("tofino", *program, bugs);
   // On a miss the default action `mark` should set b to 0xee; the fault
   // replaced it with a no-op.
-  const PacketResult result = buggy.Run(MakePacket({0x01, 0x02}), {});
+  const PacketResult result = buggy->Run(MakePacket({0x01, 0x02}), {});
   EXPECT_EQ(result.output, MakePacket({0x01, 0x02}));
-  const TofinoExecutable clean = TofinoCompiler(BugConfig::None()).Compile(*program);
-  EXPECT_EQ(clean.Run(MakePacket({0x01, 0x02}), {}).output, MakePacket({0x01, 0xee}));
+  const auto clean = Compile("tofino", *program);
+  EXPECT_EQ(clean->Run(MakePacket({0x01, 0x02}), {}).output, MakePacket({0x01, 0xee}));
+}
+
+TEST(EbpfTargetTest, ParserExtractReversedQuirk) {
+  // The ROADMAP parser fault model: the buggy parser generator extracts a
+  // header's fields in reverse order, so the wire bytes land swapped.
+  auto program = Parser::ParseString(kPipelineProgram);
+  BugConfig bugs;
+  bugs.Enable(BugId::kEbpfParserExtractReversed);
+  const auto buggy = Compile("ebpf", *program, bugs);
+  // Wire: a=0x11 b=0x22. Reversed extraction loads b first: a=0x22, b=0x11.
+  EXPECT_EQ(buggy->Run(MakePacket({0x11, 0x22}), {}).output, MakePacket({0x22, 0x11}));
+  const auto clean = Compile("ebpf", *program);
+  EXPECT_EQ(clean->Run(MakePacket({0x11, 0x22}), {}).output, MakePacket({0x11, 0x22}));
+}
+
+TEST(EbpfTargetTest, MapMissDropsPacketQuirk) {
+  auto program = Parser::ParseString(kPipelineProgram);
+  BugConfig bugs;
+  bugs.Enable(BugId::kEbpfMapMissDropsPacket);
+  const auto buggy = Compile("ebpf", *program, bugs);
+  TableConfig tables;
+  tables["t"].push_back(TableEntry{{BitValue(8, 0x11)}, "set_b", {BitValue(8, 0x99)}});
+  // Hit: unaffected.
+  EXPECT_EQ(buggy->Run(MakePacket({0x11, 0x22}), tables).output, MakePacket({0x11, 0x99}));
+  // Miss: XDP_ABORTED — the packet disappears instead of running NoAction.
+  EXPECT_TRUE(buggy->Run(MakePacket({0x44, 0x22}), tables).dropped);
+  const auto clean = Compile("ebpf", *program);
+  EXPECT_FALSE(clean->Run(MakePacket({0x44, 0x22}), tables).dropped);
+}
+
+TEST(EbpfTargetTest, StackOverflowCrash) {
+  // 6 * 64 = 384 header bits > the modelled 320-bit stack frame.
+  auto program = Parser::ParseString(R"(
+header H { bit<64> a; bit<64> b; bit<64> c; }
+header G { bit<64> a; bit<64> b; bit<64> c; }
+struct Hdr { H h; G g; }
+parser p(out Hdr hdr) {
+  state start {
+    pkt.extract(hdr.h);
+    transition accept;
+  }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) {
+  apply { pkt.emit(hdr.h); }
+}
+package main { parser = p; ingress = ig; deparser = dp; }
+)");
+  BugConfig bugs;
+  bugs.Enable(BugId::kEbpfCrashStackOverflow);
+  EXPECT_THROW(Compile("ebpf", *program, bugs), CompilerBugError);
+  // The other back ends take the same program fine.
+  EXPECT_NO_THROW(Compile("bmv2", *program, bugs));
+  EXPECT_NO_THROW(Compile("tofino", *program, bugs));
+  // And the clean eBPF back end has no such limit.
+  EXPECT_NO_THROW(Compile("ebpf", *program));
 }
 
 TEST(StfHarnessTest, PassAndMismatchReporting) {
   auto program = Parser::ParseString(kPipelineProgram);
-  const Bmv2Executable clean = Bmv2Compiler(BugConfig::None()).Compile(*program);
+  const auto clean = Compile("bmv2", *program);
 
   PacketTest test;
   test.name = "passthrough";
   test.input = MakePacket({0x0a, 0x0b});
   test.expected.output = MakePacket({0x0a, 0x0b});
-  EXPECT_TRUE(RunPacketTest(clean, test).passed);
+  EXPECT_TRUE(RunPacketTest(*clean, test).passed);
 
   PacketTest wrong = std::move(test);
   wrong.expected.output = MakePacket({0x0a, 0xff});
-  const PacketTestOutcome outcome = RunPacketTest(clean, wrong);
+  const PacketTestOutcome outcome = RunPacketTest(*clean, wrong);
   EXPECT_FALSE(outcome.passed);
   EXPECT_NE(outcome.detail.find("payload mismatch"), std::string::npos);
 }

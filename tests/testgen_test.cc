@@ -1,8 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/frontend/parser.h"
-#include "src/target/bmv2.h"
-#include "src/target/tofino.h"
+#include "src/target/target.h"
 #include "src/testgen/testgen.h"
 #include "src/typecheck/typecheck.h"
 
@@ -57,8 +56,8 @@ TEST(TestGenTest, GeneratesTestsCoveringTablePaths) {
 TEST(TestGenTest, TestsPassOnCleanBmv2) {
   auto program = Load(kPipelineProgram);
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
-  const Bmv2Executable target = Bmv2Compiler(BugConfig::None()).Compile(*program);
-  const auto failures = RunPacketTests(target, tests);
+  const auto target = TargetRegistry::Get("bmv2").Compile(*program, BugConfig::None());
+  const auto failures = RunPacketTests(*target, tests);
   EXPECT_TRUE(failures.empty()) << failures.size() << " of " << tests.size()
                                 << " generated tests failed; first: "
                                 << (failures.empty() ? "" : failures[0].second.detail);
@@ -67,8 +66,8 @@ TEST(TestGenTest, TestsPassOnCleanBmv2) {
 TEST(TestGenTest, TestsPassOnCleanTofino) {
   auto program = Load(kPipelineProgram);
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
-  const TofinoExecutable target = TofinoCompiler(BugConfig::None()).Compile(*program);
-  EXPECT_TRUE(RunPacketTests(target, tests).empty());
+  const auto target = TargetRegistry::Get("tofino").Compile(*program, BugConfig::None());
+  EXPECT_TRUE(RunPacketTests(*target, tests).empty());
 }
 
 TEST(TestGenTest, PrefersNonZeroPackets) {
@@ -114,10 +113,10 @@ package main { parser = p; ingress = ig; deparser = dp; }
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
   BugConfig bugs;
   bugs.Enable(BugId::kTofinoTableDefaultSkipped);
-  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
-  EXPECT_FALSE(RunPacketTests(buggy, tests).empty());
-  const TofinoExecutable clean = TofinoCompiler(BugConfig::None()).Compile(*program);
-  EXPECT_TRUE(RunPacketTests(clean, tests).empty());
+  const auto buggy = TargetRegistry::Get("tofino").Compile(*program, bugs);
+  EXPECT_FALSE(RunPacketTests(*buggy, tests).empty());
+  const auto clean = TargetRegistry::Get("tofino").Compile(*program, BugConfig::None());
+  EXPECT_TRUE(RunPacketTests(*clean, tests).empty());
 }
 
 TEST(TestGenTest, DetectsTofinoDeparserValidityBug) {
@@ -152,8 +151,8 @@ package main { parser = p; ingress = ig; deparser = dp; }
   ASSERT_GE(tests.size(), 2u);  // both select arms
   BugConfig bugs;
   bugs.Enable(BugId::kTofinoDeparserEmitsInvalid);
-  const TofinoExecutable buggy = TofinoCompiler(bugs).Compile(*program);
-  EXPECT_FALSE(RunPacketTests(buggy, tests).empty());
+  const auto buggy = TargetRegistry::Get("tofino").Compile(*program, bugs);
+  EXPECT_FALSE(RunPacketTests(*buggy, tests).empty());
 }
 
 TEST(TestGenTest, DetectsBmv2MissQuirk) {
@@ -161,8 +160,8 @@ TEST(TestGenTest, DetectsBmv2MissQuirk) {
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
   BugConfig bugs;
   bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
-  const Bmv2Executable buggy = Bmv2Compiler(bugs).Compile(*program);
-  EXPECT_FALSE(RunPacketTests(buggy, tests).empty());
+  const auto buggy = TargetRegistry::Get("bmv2").Compile(*program, bugs);
+  EXPECT_FALSE(RunPacketTests(*buggy, tests).empty());
 }
 
 TEST(TestGenTest, ParserBranchesProduceDistinctPackets) {
