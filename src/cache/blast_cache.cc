@@ -1,0 +1,23 @@
+#include "src/cache/blast_cache.h"
+
+namespace gauntlet {
+
+const BlastTemplate* BlastCache::Find(const Fingerprint& fp) {
+  auto it = templates_.find(fp);
+  if (it == templates_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  clauses_reused_ += it->second.clause_count;
+  return &it->second;
+}
+
+void BlastCache::Insert(const Fingerprint& fp, BlastTemplate tpl) {
+  if (templates_.size() >= kMaxTemplates) {
+    return;
+  }
+  templates_.emplace(fp, std::move(tpl));
+}
+
+}  // namespace gauntlet

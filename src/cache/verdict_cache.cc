@@ -1,0 +1,67 @@
+#include "src/cache/verdict_cache.h"
+
+#include <sstream>
+
+#include "src/sym/interpreter.h"
+
+namespace gauntlet {
+
+void CacheStats::Merge(const CacheStats& other) {
+  blast_hits += other.blast_hits;
+  blast_misses += other.blast_misses;
+  clauses_reused += other.clauses_reused;
+  verdict_hits += other.verdict_hits;
+  verdict_misses += other.verdict_misses;
+  queries_skipped += other.queries_skipped;
+  pairs_short_circuited += other.pairs_short_circuited;
+}
+
+std::string CacheStats::ToString() const {
+  const uint64_t blast_total = blast_hits + blast_misses;
+  const uint64_t verdict_total = verdict_hits + verdict_misses;
+  std::ostringstream out;
+  out << "cache: blast " << blast_hits << "/" << blast_total << " hits, " << clauses_reused
+      << " clauses reused; verdicts " << verdict_hits << "/" << verdict_total << " hits, "
+      << queries_skipped << " queries skipped, " << pairs_short_circuited
+      << " pairs short-circuited";
+  return out.str();
+}
+
+const VerdictCache::Entry* VerdictCache::Find(const Fingerprint& before,
+                                              const Fingerprint& after) {
+  auto it = entries_.find(CombineFingerprints(before, after));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void VerdictCache::Insert(const Fingerprint& before, const Fingerprint& after,
+                          TvPassResult result, uint32_t queries) {
+  entries_.emplace(CombineFingerprints(before, after), Entry{std::move(result), queries});
+}
+
+Fingerprint SemanticsFingerprint(StructHasher& hasher, const BlockSemantics& semantics) {
+  Fingerprint fp = FingerprintOfString("block-semantics");
+  for (const auto& [name, ref] : semantics.outputs) {
+    fp = CombineFingerprints(fp, FingerprintOfString(name));
+    fp = CombineFingerprints(fp, hasher.Hash(ref));
+  }
+  return fp;
+}
+
+CacheStats ValidationCache::Stats() const {
+  CacheStats stats;
+  stats.blast_hits = blast_.hits();
+  stats.blast_misses = blast_.misses();
+  stats.clauses_reused = blast_.clauses_reused();
+  stats.verdict_hits = verdicts_.hits();
+  stats.verdict_misses = verdicts_.misses();
+  stats.queries_skipped = queries_skipped_;
+  stats.pairs_short_circuited = pairs_short_circuited_;
+  return stats;
+}
+
+}  // namespace gauntlet

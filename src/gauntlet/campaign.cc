@@ -1,7 +1,9 @@
 #include "src/gauntlet/campaign.h"
 
+#include <memory>
 #include <set>
 
+#include "src/cache/verdict_cache.h"
 #include "src/target/lowering.h"
 #include "src/target/target.h"
 #include "src/tv/validator.h"
@@ -107,7 +109,8 @@ void Campaign::AttributeCrash(Finding& finding, const std::string& message) cons
 // each candidate disabled (the developer's "apply the candidate fix, rerun
 // the reproducer" cycle, without paying for the rest of the pipeline).
 void Campaign::AttributeTvFinding(Finding& finding, const TvReport& tv_report,
-                                  const BugConfig& bugs, const std::string& pass_name) const {
+                                  const BugConfig& bugs, const std::string& pass_name,
+                                  ValidationCache* cache) const {
   finding.component = pass_name;
   if (!options_.attribute_findings) {
     return;
@@ -144,8 +147,8 @@ void Campaign::AttributeTvFinding(Finding& finding, const TvReport& tv_report,
       ProgramPtr transformed = before->Clone();
       blamed_pass->Run(*transformed, without);
       TypeCheck(*transformed);
-      const TvPassResult result =
-          TranslationValidator::CompareVersions(*before, *transformed, pass_name);
+      const TvPassResult result = TranslationValidator::CompareVersions(
+          *before, *transformed, pass_name, cache, options_.tv);
       // Attributed if the blamed pass no longer miscompiles with this fault
       // disabled (an undef-only divergence counts as fixed, matching the
       // detection side's classification).
@@ -191,14 +194,20 @@ void Campaign::AttributeBlackBox(Finding& finding, const BugConfig& bugs, const 
 }
 
 void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int program_index,
-                           CampaignReport& report) const {
+                           CampaignReport& report, ValidationCache* cache) const {
   bool crashed_this_program = false;
   bool semantic_this_program = false;
+  if (cache != nullptr) {
+    // Blast templates persist across programs; verdict entries do not (see
+    // ValidationCache), keeping results independent of which programs this
+    // worker happened to process before.
+    cache->BeginProgram();
+  }
 
   // --- Technique 2 (§5): translation validation over the open pipeline ---
   if (options_.run_translation_validation) {
-    const TranslationValidator validator(PassManager::StandardPipeline());
-    const TvReport tv_report = validator.Validate(program, bugs);
+    const TranslationValidator validator(PassManager::StandardPipeline(), options_.tv);
+    const TvReport tv_report = validator.Validate(program, bugs, /*stop_after_pass=*/{}, cache);
     if (tv_report.crashed) {
       Finding finding;
       finding.program_index = program_index;
@@ -217,7 +226,7 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
           finding.method = DetectionMethod::kTranslationValidation;
           finding.kind = BugKind::kSemantic;
           finding.detail = result.detail;
-          AttributeTvFinding(finding, tv_report, bugs, result.pass_name);
+          AttributeTvFinding(finding, tv_report, bugs, result.pass_name, cache);
           if (finding.component.empty()) {
             finding.component = result.pass_name;
           }
@@ -252,7 +261,7 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
   std::vector<PacketTest> tests;
   if (options_.run_packet_tests) {
     try {
-      tests = TestCaseGenerator(options_.testgen).Generate(program);
+      tests = TestCaseGenerator(options_.testgen).Generate(program, cache);
       report.tests_generated += static_cast<int>(tests.size());
     } catch (const UnsupportedError&) {
       // Outside the supported fragment: skip black-box testing (§8).
@@ -321,6 +330,14 @@ std::vector<const Target*> Campaign::SelectedTargets() const {
   return TargetRegistry::Resolve(options_.targets);
 }
 
+GeneratorOptions Campaign::EffectiveGeneratorOptions() const {
+  GeneratorOptions generator = options_.generator;
+  if (options_.bias_generator && options_.targets.size() == 1) {
+    generator = TargetRegistry::Get(options_.targets[0]).GeneratorBias(generator);
+  }
+  return generator;
+}
+
 FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& initial,
                                  int max_rounds) {
   FindFixResult result;
@@ -342,15 +359,20 @@ FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& i
   return result;
 }
 
-CampaignReport Campaign::Run(const BugConfig& bugs) const {
+CampaignReport Campaign::Run(const BugConfig& bugs, CacheStats* stats_out) const {
   CampaignReport report;
-  GeneratorOptions generator_options = options_.generator;
+  GeneratorOptions generator_options = EffectiveGeneratorOptions();
   generator_options.seed = options_.seed;
   ProgramGenerator generator(generator_options);
+  const std::unique_ptr<ValidationCache> cache =
+      options_.use_cache ? std::make_unique<ValidationCache>() : nullptr;
   for (int i = 0; i < options_.num_programs; ++i) {
     ProgramPtr program = generator.Generate();
     ++report.programs_generated;
-    TestProgram(*program, bugs, i, report);
+    TestProgram(*program, bugs, i, report, cache.get());
+  }
+  if (stats_out != nullptr) {
+    *stats_out = cache != nullptr ? cache->Stats() : CacheStats{};
   }
   return report;
 }

@@ -15,6 +15,9 @@
 
 namespace gauntlet {
 
+struct CacheStats;
+class ValidationCache;
+
 // How a finding was detected — the paper's three techniques.
 enum class DetectionMethod {
   kCrash,                  // random program induced abnormal termination (§4)
@@ -47,6 +50,8 @@ struct CampaignOptions {
   int num_programs = 50;
   GeneratorOptions generator;
   TestGenOptions testgen;
+  // Budgets for the per-program translation validation runs.
+  TvOptions tv;
   bool run_translation_validation = true;
   bool run_packet_tests = true;
   // Back ends to replay packet tests on, by registry name, in this order.
@@ -54,6 +59,14 @@ struct CampaignOptions {
   std::vector<std::string> targets;
   // Attribute findings to seeded faults via delta-debugging reruns.
   bool attribute_findings = true;
+  // Memoize bit-blasted fragments and equivalence verdicts across the
+  // programs a worker processes (src/cache/). Replay is bit-exact, so the
+  // report is identical either way; `gauntlet ... --no-cache` turns it off.
+  bool use_cache = true;
+  // When the campaign targets exactly one back end, shape the generated
+  // fodder with that target's GeneratorBias (the §4.2 back-end-specific
+  // skeleton). Off = the target-agnostic program stream.
+  bool bias_generator = true;
 };
 
 struct CampaignReport {
@@ -103,23 +116,32 @@ class Campaign {
  public:
   explicit Campaign(CampaignOptions options) : options_(std::move(options)) {}
 
-  CampaignReport Run(const BugConfig& bugs) const;
+  // `stats_out`, when non-null, receives the cache counters the run
+  // accumulated (zeros with use_cache off). They live outside the report:
+  // reports are bit-identical for any scheduling, hit patterns are not.
+  CampaignReport Run(const BugConfig& bugs, CacheStats* stats_out = nullptr) const;
 
   // Runs all three detection techniques on one program, recording findings
   // into `report`. Public so drivers that own the program stream (the
   // parallel campaign in src/runtime/) can reuse the detection machinery;
-  // const and self-contained, so concurrent calls on one Campaign are safe.
+  // const and self-contained, so concurrent calls on one Campaign are safe
+  // as long as each carries its own `cache` (or none).
   void TestProgram(const Program& program, const BugConfig& bugs, int program_index,
-                   CampaignReport& report) const;
+                   CampaignReport& report, ValidationCache* cache = nullptr) const;
 
   // The targets this campaign replays on (options.targets resolved against
   // the registry; throws CompileError on an unknown name).
   std::vector<const Target*> SelectedTargets() const;
 
+  // The generator options this campaign actually runs: the configured base,
+  // reshaped by the single selected target's GeneratorBias when exactly one
+  // back end is targeted (and bias_generator is on).
+  GeneratorOptions EffectiveGeneratorOptions() const;
+
  private:
   void AttributeCrash(Finding& finding, const std::string& message) const;
   void AttributeTvFinding(Finding& finding, const TvReport& tv_report, const BugConfig& bugs,
-                          const std::string& pass_name) const;
+                          const std::string& pass_name, ValidationCache* cache) const;
   void AttributeBlackBox(Finding& finding, const BugConfig& bugs, const Target& target,
                          const Program& program, const PacketTest& test) const;
   static void Record(CampaignReport& report, Finding finding);

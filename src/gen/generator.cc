@@ -50,11 +50,14 @@ class Builder {
   uint32_t PickWidth() {
     static const std::vector<uint32_t> narrow = {1, 2, 4, 7, 8, 12, 16};
     static const std::vector<uint32_t> wide = {33, 48, 64};
+    static const std::vector<uint32_t> narrow_bytes = {8, 8, 16, 16, 24, 32};
+    static const std::vector<uint32_t> wide_bytes = {40, 48, 64};
+    const bool bytes = options_.byte_aligned_fields;
     if (rng_.Chance(options_.p_wide_arith) ||
         (options_.backend == GeneratorBackend::kTofino && rng_.Chance(20))) {
-      return rng_.PickFrom(wide);
+      return rng_.PickFrom(bytes ? wide_bytes : wide);
     }
-    return rng_.PickFrom(narrow);
+    return rng_.PickFrom(bytes ? narrow_bytes : narrow);
   }
 
   std::string Fresh(const std::string& hint) {

@@ -21,6 +21,12 @@ struct GeneratorOptions {
   uint64_t seed = 1;
   GeneratorBackend backend = GeneratorBackend::kBmv2;
 
+  // Restrict field/variable widths to whole bytes (8..64). Back ends that
+  // marshal values through byte-oriented interfaces (eBPF map keys, packed
+  // action data) advertise this via Target::GeneratorBias so their fodder
+  // exercises multi-byte codecs instead of odd-width slices.
+  bool byte_aligned_fields = false;
+
   // Size knobs ("the amount of randomly generated code in our tool is
   // user-configurable, allowing us to keep the size of the program under
   // test small and targeted", §4.1).

@@ -61,6 +61,9 @@ const std::vector<BugInfo>& BugCatalogue() {
        "§4.2 back-end skeletons (parser field order)"},
       {BugId::kEbpfMapMissDropsPacket, "ebpf-map-miss-drops-packet", BugKind::kSemantic,
        BugLocation::kBackEndEbpf, "EbpfMapLowering", "§4.2 back-end skeletons (map miss)"},
+      {BugId::kEbpfMapKeyByteOrderSwap, "ebpf-map-key-byte-order", BugKind::kSemantic,
+       BugLocation::kBackEndEbpf, "EbpfMapKeyCodec",
+       "§4.2 back-end skeletons (map-key byte order)"},
       {BugId::kEbpfCrashStackOverflow, "ebpf-crash-stack-overflow", BugKind::kCrash,
        BugLocation::kBackEndEbpf, "EbpfStackAllocator",
        "§4.2 back-end skeletons (stack frame)"},

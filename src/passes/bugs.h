@@ -52,6 +52,8 @@ enum class BugId {
   // --- eBPF back end (XDP-flavoured software target) ---
   kEbpfParserExtractReversed,  // parser extracts a header's fields in reverse order
   kEbpfMapMissDropsPacket,     // a map (table) miss aborts/drops instead of the default
+  kEbpfMapKeyByteOrderSwap,    // map lookups read multi-byte keys host-order while the
+                               // control plane installed them network-order
   kEbpfCrashStackOverflow,     // crash: parsed headers exceed the modelled stack frame
 };
 

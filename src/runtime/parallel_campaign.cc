@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/cache/verdict_cache.h"
 #include "src/gen/generator.h"
 #include "src/runtime/worker_pool.h"
 
@@ -18,11 +19,13 @@ uint64_t ParallelCampaign::ProgramSeed(uint64_t campaign_seed, int program_index
   return campaign_seed ^ z;
 }
 
-CampaignReport ParallelCampaign::Run(const BugConfig& bugs) const {
+CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_out) const {
   const int total = options_.campaign.num_programs;
   const Campaign campaign(options_.campaign);
 
-  GeneratorOptions generator_options = options_.campaign.generator;
+  // The single-target generator bias resolves once, up front: every derived
+  // per-program seed reshapes the same effective options.
+  GeneratorOptions generator_options = campaign.EffectiveGeneratorOptions();
   const auto generate = [&generator_options, this](int index) {
     GeneratorOptions per_program = generator_options;
     per_program.seed = ProgramSeed(options_.campaign.seed, index);
@@ -33,17 +36,39 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs) const {
   // merge below is order-deterministic no matter how indices were scheduled.
   std::vector<CampaignReport> slots(static_cast<size_t>(total > 0 ? total : 0));
   const int jobs = options_.jobs == 0 ? WorkerPool::HardwareThreads() : options_.jobs;
+
+  // One cache per worker, created up front so the task bodies only ever
+  // touch their own slot.
+  std::vector<std::unique_ptr<ValidationCache>> caches;
+  if (options_.campaign.use_cache) {
+    caches.resize(static_cast<size_t>(jobs < 1 ? 1 : jobs));
+    for (auto& cache : caches) {
+      cache = std::make_unique<ValidationCache>();
+    }
+  }
+
   WorkerPool pool(jobs);
   ParallelFor(pool, total, [&](int index) {
     const ProgramPtr program = generate(index);
     CampaignReport& slot = slots[static_cast<size_t>(index)];
     ++slot.programs_generated;
-    campaign.TestProgram(*program, bugs, index, slot);
+    const int worker = WorkerPool::CurrentWorkerIndex();
+    ValidationCache* cache =
+        (!caches.empty() && worker >= 0 && worker < static_cast<int>(caches.size()))
+            ? caches[static_cast<size_t>(worker)].get()
+            : nullptr;
+    campaign.TestProgram(*program, bugs, index, slot, cache);
   });
 
   CampaignReport report;
   for (CampaignReport& slot : slots) {
     report.Merge(std::move(slot));
+  }
+  if (stats_out != nullptr) {
+    *stats_out = CacheStats{};
+    for (const auto& cache : caches) {
+      stats_out->Merge(cache->Stats());
+    }
   }
 
   // Corpus writes happen after the merge, in finding order, so the stored

@@ -29,12 +29,20 @@ struct ParallelCampaignOptions {
 // sequential stream), and every program's findings land in a per-program
 // slot merged in index order. The report is therefore bit-identical for any
 // --jobs value, and `--jobs 1` *is* the serial baseline.
+//
+// Caching (campaign.use_cache): each worker owns one ValidationCache, so
+// workers never contend and — because blast-template replay is bit-exact
+// and verdict entries are program-scoped — the report stays bit-identical
+// for any scheduling and any jobs count, cache on or off.
 class ParallelCampaign {
  public:
   explicit ParallelCampaign(ParallelCampaignOptions options)
       : options_(std::move(options)) {}
 
-  CampaignReport Run(const BugConfig& bugs) const;
+  // `stats_out`, when non-null, receives the cache counters summed over the
+  // workers. Kept out of the report: hit patterns depend on which programs
+  // each worker happened to claim.
+  CampaignReport Run(const BugConfig& bugs, CacheStats* stats_out = nullptr) const;
 
   // The per-program generator seed: campaign seed XOR a splitmix64 hash of
   // the program index (hashing keeps neighbouring indices' xoshiro seed

@@ -6,13 +6,22 @@
 
 namespace gauntlet {
 
+namespace {
+thread_local int current_worker_index = -1;
+}  // namespace
+
 WorkerPool::WorkerPool(int threads) {
   const int count = threads < 1 ? 1 : threads;
   threads_.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+      current_worker_index = i;
+      WorkerLoop();
+    });
   }
 }
+
+int WorkerPool::CurrentWorkerIndex() { return current_worker_index; }
 
 WorkerPool::~WorkerPool() {
   {

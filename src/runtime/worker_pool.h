@@ -33,6 +33,11 @@ class WorkerPool {
 
   int thread_count() const { return static_cast<int>(threads_.size()); }
 
+  // The index of the pool worker running the calling thread, in
+  // [0, thread_count); -1 on threads that are not pool workers. Lets task
+  // bodies reach worker-scoped state (per-worker caches) without locking.
+  static int CurrentWorkerIndex();
+
   // std::thread::hardware_concurrency with a floor of 1 (the standard
   // allows it to report 0).
   static int HardwareThreads();

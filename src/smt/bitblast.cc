@@ -1,11 +1,104 @@
 #include "src/smt/bitblast.h"
 
+#include "src/cache/blast_cache.h"
+
 namespace gauntlet {
 
-BitBlaster::BitBlaster(const SmtContext& context, SatSolver& solver)
-    : context_(context), solver_(solver) {
-  true_lit_ = FreshLit();
+BitBlaster::BitBlaster(const SmtContext& context, SatSolver& solver, BlastCache* cache)
+    : context_(context), solver_(solver), cache_(cache) {
+  true_lit_ = Lit(solver_.NewVar(), false);
   solver_.AddClause({true_lit_});
+  if (cache_ != nullptr) {
+    // Exact mode: the cache replays recorded clause streams, which is only
+    // sound for nodes that would lower to the very same gate network —
+    // commutative normalization belongs to the semantic (verdict) layer.
+    hasher_ = std::make_unique<StructHasher>(context_, StructHasher::Mode::kExact);
+  }
+}
+
+BitBlaster::~BitBlaster() = default;
+
+Lit BitBlaster::FreshLit() {
+  const Lit lit(solver_.NewVar(), false);
+  if (recording_) {
+    recording_template_->events.push_back(-1);
+    ++recording_template_->fresh_count;
+    RegisterRecordedLit(lit);
+  }
+  return lit;
+}
+
+void BitBlaster::EmitClause(std::vector<Lit> lits) {
+  if (recording_) {
+    recording_template_->events.push_back(static_cast<int32_t>(lits.size()));
+    ++recording_template_->clause_count;
+    for (const Lit lit : lits) {
+      recording_template_->clause_lits.push_back(TemplateLit{MapRecordedLit(lit)});
+    }
+  }
+  solver_.AddClause(std::move(lits));
+}
+
+void BitBlaster::StartRecording(const std::vector<Lit>& inputs) {
+  recording_ = true;
+  recording_template_ = std::make_unique<BlastTemplate>();
+  recording_template_->input_count = static_cast<uint32_t>(inputs.size());
+  recording_next_slot_ = 0;
+  recording_slots_.clear();
+  RegisterRecordedLit(true_lit_);  // slot 0
+  for (const Lit input : inputs) {
+    RegisterRecordedLit(input);
+  }
+}
+
+void BitBlaster::RegisterRecordedLit(Lit lit) {
+  // First registration wins: when two tape slots carry the same literal
+  // (shared bits across children, a constant input equal to true/false),
+  // mapping every later reference through the first slot is sound because
+  // replay binds both slots to equally shared literals — the sharing
+  // pattern is fixed by the exact structural fingerprint.
+  const uint32_t slot = recording_next_slot_++;
+  recording_slots_.emplace(lit.var(), (slot << 1) | (lit.negated() ? 1u : 0u));
+}
+
+uint32_t BitBlaster::MapRecordedLit(Lit lit) const {
+  auto it = recording_slots_.find(lit.var());
+  GAUNTLET_BUG_CHECK(it != recording_slots_.end(),
+                     "recorded clause references a literal outside the node");
+  const uint32_t slot = it->second >> 1;
+  const bool base_negated = (it->second & 1) != 0;
+  return (slot << 1) | ((base_negated != lit.negated()) ? 1u : 0u);
+}
+
+std::vector<Lit> BitBlaster::ReplayTemplate(const BlastTemplate& tpl,
+                                            const std::vector<Lit>& inputs) {
+  GAUNTLET_BUG_CHECK(inputs.size() == tpl.input_count, "blast template arity mismatch");
+  std::vector<Lit> tape;
+  tape.reserve(1 + inputs.size() + tpl.fresh_count);
+  tape.push_back(true_lit_);
+  tape.insert(tape.end(), inputs.begin(), inputs.end());
+  const auto lit_of = [&tape](TemplateLit ref) {
+    const Lit lit = tape[ref.code >> 1];
+    return (ref.code & 1) != 0 ? ~lit : lit;
+  };
+  size_t lit_pos = 0;
+  for (const int32_t event : tpl.events) {
+    if (event < 0) {
+      tape.push_back(Lit(solver_.NewVar(), false));
+      continue;
+    }
+    std::vector<Lit> clause(static_cast<size_t>(event));
+    for (int32_t i = 0; i < event; ++i) {
+      clause[static_cast<size_t>(i)] = lit_of(tpl.clause_lits[lit_pos++]);
+    }
+    solver_.AddClause(std::move(clause));
+  }
+  std::vector<Lit> outputs;
+  outputs.reserve(tpl.outputs.size());
+  for (const TemplateLit out : tpl.outputs) {
+    outputs.push_back(lit_of(out));
+  }
+  return outputs;
 }
 
 Lit BitBlaster::MkAnd(Lit a, Lit b) {
@@ -25,9 +118,9 @@ Lit BitBlaster::MkAnd(Lit a, Lit b) {
     return FalseLit();
   }
   const Lit out = FreshLit();
-  solver_.AddClause({~a, ~b, out});
-  solver_.AddClause({a, ~out});
-  solver_.AddClause({b, ~out});
+  EmitClause({~a, ~b, out});
+  EmitClause({a, ~out});
+  EmitClause({b, ~out});
   return out;
 }
 
@@ -53,10 +146,10 @@ Lit BitBlaster::MkXor(Lit a, Lit b) {
     return TrueLit();
   }
   const Lit out = FreshLit();
-  solver_.AddClause({~a, ~b, ~out});
-  solver_.AddClause({a, b, ~out});
-  solver_.AddClause({~a, b, out});
-  solver_.AddClause({a, ~b, out});
+  EmitClause({~a, ~b, ~out});
+  EmitClause({a, b, ~out});
+  EmitClause({~a, b, out});
+  EmitClause({a, ~b, out});
   return out;
 }
 
@@ -71,10 +164,10 @@ Lit BitBlaster::MkMux(Lit cond, Lit then_lit, Lit else_lit) {
     return then_lit;
   }
   const Lit out = FreshLit();
-  solver_.AddClause({~cond, ~then_lit, out});
-  solver_.AddClause({~cond, then_lit, ~out});
-  solver_.AddClause({cond, ~else_lit, out});
-  solver_.AddClause({cond, else_lit, ~out});
+  EmitClause({~cond, ~then_lit, out});
+  EmitClause({~cond, then_lit, ~out});
+  EmitClause({cond, ~else_lit, out});
+  EmitClause({cond, else_lit, ~out});
   return out;
 }
 
@@ -167,6 +260,124 @@ Lit BitBlaster::EqVectors(const std::vector<Lit>& a, const std::vector<Lit>& b) 
   return result;
 }
 
+std::vector<Lit> BitBlaster::ConstructGates(const SmtNode& node,
+                                            const std::vector<std::vector<Lit>>& kids) {
+  std::vector<Lit> bits;
+  switch (node.op) {
+    case SmtOp::kAdd:
+      bits = AddVectors(kids[0], kids[1], FalseLit());
+      break;
+    case SmtOp::kSub: {
+      std::vector<Lit> rhs = kids[1];
+      for (Lit& lit : rhs) {
+        lit = ~lit;
+      }
+      bits = AddVectors(kids[0], rhs, TrueLit());
+      break;
+    }
+    case SmtOp::kMul:
+      bits = MulVectors(kids[0], kids[1]);
+      break;
+    case SmtOp::kAnd: {
+      bits.resize(kids[0].size());
+      for (size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = MkAnd(kids[0][i], kids[1][i]);
+      }
+      break;
+    }
+    case SmtOp::kOr: {
+      bits.resize(kids[0].size());
+      for (size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = MkOr(kids[0][i], kids[1][i]);
+      }
+      break;
+    }
+    case SmtOp::kXor: {
+      bits.resize(kids[0].size());
+      for (size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = MkXor(kids[0][i], kids[1][i]);
+      }
+      break;
+    }
+    case SmtOp::kNeg:
+      bits = NegateVector(kids[0]);
+      break;
+    case SmtOp::kShl:
+      bits = ShiftVector(kids[0], kids[1], /*left=*/true);
+      break;
+    case SmtOp::kShr:
+      bits = ShiftVector(kids[0], kids[1], /*left=*/false);
+      break;
+    case SmtOp::kIte: {
+      const Lit cond = kids[0][0];
+      bits.resize(kids[1].size());
+      for (size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = MkMux(cond, kids[1][i], kids[2][i]);
+      }
+      break;
+    }
+    case SmtOp::kEq:
+      bits = {EqVectors(kids[0], kids[1])};
+      break;
+    case SmtOp::kUlt:
+      bits = {UltVectors(kids[0], kids[1], /*or_equal=*/false)};
+      break;
+    case SmtOp::kUle:
+      bits = {UltVectors(kids[0], kids[1], /*or_equal=*/true)};
+      break;
+    case SmtOp::kBoolAnd:
+      bits = {MkAnd(kids[0][0], kids[1][0])};
+      break;
+    case SmtOp::kBoolOr:
+      bits = {MkOr(kids[0][0], kids[1][0])};
+      break;
+    case SmtOp::kBoolEq:
+      bits = {MkIff(kids[0][0], kids[1][0])};
+      break;
+    case SmtOp::kBoolIte:
+      bits = {MkMux(kids[0][0], kids[1][0], kids[2][0])};
+      break;
+    default:
+      GAUNTLET_BUG_CHECK(false, "ConstructGates on a wiring/leaf node");
+  }
+  return bits;
+}
+
+std::vector<Lit> BitBlaster::BlastGateNode(SmtRef ref, const SmtNode& node) {
+  // Children first (outside any recording): templates are node-local, so a
+  // child's own clauses belong to the child's template, and a child shared
+  // with an earlier node comes straight from the per-solve memo.
+  std::vector<std::vector<Lit>> kids;
+  kids.reserve(node.args.size());
+  for (const SmtRef& arg : node.args) {
+    if (context_.IsBool(arg)) {
+      kids.push_back({BlastBool(arg)});
+    } else {
+      kids.push_back(BlastVector(arg));
+    }
+  }
+  if (cache_ == nullptr) {
+    return ConstructGates(node, kids);
+  }
+  std::vector<Lit> inputs;
+  for (const std::vector<Lit>& kid : kids) {
+    inputs.insert(inputs.end(), kid.begin(), kid.end());
+  }
+  const Fingerprint fp = hasher_->Hash(ref);
+  if (const BlastTemplate* tpl = cache_->Find(fp)) {
+    return ReplayTemplate(*tpl, inputs);
+  }
+  StartRecording(inputs);
+  std::vector<Lit> bits = ConstructGates(node, kids);
+  for (const Lit bit : bits) {
+    recording_template_->outputs.push_back(TemplateLit{MapRecordedLit(bit)});
+  }
+  recording_ = false;
+  cache_->Insert(fp, std::move(*recording_template_));
+  recording_template_.reset();
+  return bits;
+}
+
 std::vector<Lit> BitBlaster::BlastVector(SmtRef ref) {
   auto cached = vector_cache_.find(ref.index);
   if (cached != vector_cache_.end()) {
@@ -187,54 +398,15 @@ std::vector<Lit> BitBlaster::BlastVector(SmtRef ref) {
       if (it == var_bits_.end()) {
         std::vector<Lit> fresh(node.width);
         for (uint32_t i = 0; i < node.width; ++i) {
-          fresh[i] = FreshLit();
+          fresh[i] = Lit(solver_.NewVar(), false);
         }
         it = var_bits_.emplace(node.var_id, std::move(fresh)).first;
       }
       bits = it->second;
       break;
     }
-    case SmtOp::kAdd:
-      bits = AddVectors(BlastVector(node.args[0]), BlastVector(node.args[1]), FalseLit());
-      break;
-    case SmtOp::kSub: {
-      std::vector<Lit> rhs = BlastVector(node.args[1]);
-      for (Lit& lit : rhs) {
-        lit = ~lit;
-      }
-      bits = AddVectors(BlastVector(node.args[0]), rhs, TrueLit());
-      break;
-    }
-    case SmtOp::kMul:
-      bits = MulVectors(BlastVector(node.args[0]), BlastVector(node.args[1]));
-      break;
-    case SmtOp::kAnd: {
-      const std::vector<Lit> a = BlastVector(node.args[0]);
-      const std::vector<Lit> b = BlastVector(node.args[1]);
-      bits.resize(a.size());
-      for (size_t i = 0; i < a.size(); ++i) {
-        bits[i] = MkAnd(a[i], b[i]);
-      }
-      break;
-    }
-    case SmtOp::kOr: {
-      const std::vector<Lit> a = BlastVector(node.args[0]);
-      const std::vector<Lit> b = BlastVector(node.args[1]);
-      bits.resize(a.size());
-      for (size_t i = 0; i < a.size(); ++i) {
-        bits[i] = MkOr(a[i], b[i]);
-      }
-      break;
-    }
-    case SmtOp::kXor: {
-      const std::vector<Lit> a = BlastVector(node.args[0]);
-      const std::vector<Lit> b = BlastVector(node.args[1]);
-      bits.resize(a.size());
-      for (size_t i = 0; i < a.size(); ++i) {
-        bits[i] = MkXor(a[i], b[i]);
-      }
-      break;
-    }
+    // Pure bit wiring: no gates, no clauses — cheaper to rebuild than to
+    // look up, so these stay outside the blast cache.
     case SmtOp::kNot: {
       const std::vector<Lit> a = BlastVector(node.args[0]);
       bits.resize(a.size());
@@ -243,15 +415,6 @@ std::vector<Lit> BitBlaster::BlastVector(SmtRef ref) {
       }
       break;
     }
-    case SmtOp::kNeg:
-      bits = NegateVector(BlastVector(node.args[0]));
-      break;
-    case SmtOp::kShl:
-      bits = ShiftVector(BlastVector(node.args[0]), BlastVector(node.args[1]), /*left=*/true);
-      break;
-    case SmtOp::kShr:
-      bits = ShiftVector(BlastVector(node.args[0]), BlastVector(node.args[1]), /*left=*/false);
-      break;
     case SmtOp::kConcat: {
       const std::vector<Lit> high = BlastVector(node.args[0]);
       const std::vector<Lit> low = BlastVector(node.args[1]);
@@ -274,16 +437,18 @@ std::vector<Lit> BitBlaster::BlastVector(SmtRef ref) {
       bits.assign(base.begin(), base.begin() + node.width);
       break;
     }
-    case SmtOp::kIte: {
-      const Lit cond = BlastBool(node.args[0]);
-      const std::vector<Lit> then_bits = BlastVector(node.args[1]);
-      const std::vector<Lit> else_bits = BlastVector(node.args[2]);
-      bits.resize(then_bits.size());
-      for (size_t i = 0; i < then_bits.size(); ++i) {
-        bits[i] = MkMux(cond, then_bits[i], else_bits[i]);
-      }
+    case SmtOp::kAdd:
+    case SmtOp::kSub:
+    case SmtOp::kMul:
+    case SmtOp::kAnd:
+    case SmtOp::kOr:
+    case SmtOp::kXor:
+    case SmtOp::kNeg:
+    case SmtOp::kShl:
+    case SmtOp::kShr:
+    case SmtOp::kIte:
+      bits = BlastGateNode(ref, node);
       break;
-    }
     default:
       GAUNTLET_BUG_CHECK(false, "BlastVector on boolean-sorted node");
   }
@@ -305,34 +470,22 @@ Lit BitBlaster::BlastBool(SmtRef ref) {
     case SmtOp::kBoolVar: {
       auto it = bool_var_lits_.find(node.var_id);
       if (it == bool_var_lits_.end()) {
-        it = bool_var_lits_.emplace(node.var_id, FreshLit()).first;
+        it = bool_var_lits_.emplace(node.var_id, Lit(solver_.NewVar(), false)).first;
       }
       lit = it->second;
       break;
     }
-    case SmtOp::kEq:
-      lit = EqVectors(BlastVector(node.args[0]), BlastVector(node.args[1]));
-      break;
-    case SmtOp::kUlt:
-      lit = UltVectors(BlastVector(node.args[0]), BlastVector(node.args[1]), /*or_equal=*/false);
-      break;
-    case SmtOp::kUle:
-      lit = UltVectors(BlastVector(node.args[0]), BlastVector(node.args[1]), /*or_equal=*/true);
-      break;
-    case SmtOp::kBoolAnd:
-      lit = MkAnd(BlastBool(node.args[0]), BlastBool(node.args[1]));
-      break;
-    case SmtOp::kBoolOr:
-      lit = MkOr(BlastBool(node.args[0]), BlastBool(node.args[1]));
-      break;
     case SmtOp::kBoolNot:
       lit = ~BlastBool(node.args[0]);
       break;
+    case SmtOp::kEq:
+    case SmtOp::kUlt:
+    case SmtOp::kUle:
+    case SmtOp::kBoolAnd:
+    case SmtOp::kBoolOr:
     case SmtOp::kBoolEq:
-      lit = MkIff(BlastBool(node.args[0]), BlastBool(node.args[1]));
-      break;
     case SmtOp::kBoolIte:
-      lit = MkMux(BlastBool(node.args[0]), BlastBool(node.args[1]), BlastBool(node.args[2]));
+      lit = BlastGateNode(ref, node)[0];
       break;
     default:
       GAUNTLET_BUG_CHECK(false, "BlastBool on bit-vector-sorted node");

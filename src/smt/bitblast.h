@@ -1,6 +1,7 @@
 #ifndef SRC_SMT_BITBLAST_H_
 #define SRC_SMT_BITBLAST_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -9,14 +10,26 @@
 
 namespace gauntlet {
 
+class BlastCache;
+struct BlastTemplate;
+class StructHasher;
+
 // Lowers SMT expressions into CNF over a SatSolver via Tseitin encoding.
 // Bit-vectors become little-endian literal vectors; word-level operators
 // become gate networks (ripple-carry adders, shift-add multipliers, barrel
 // shifters, ripple comparators). One BitBlaster per solve; memoizes per
 // SmtRef so shared subgraphs are encoded once.
+//
+// With a BlastCache attached, gate nodes are additionally memoized *across*
+// solves (and contexts) by exact structural fingerprint: the first lowering
+// of a node records its clause fragment as a template, later lowerings
+// replay the fragment with the variables remapped instead of re-running the
+// gate constructors. Replay is bit-exact (see blast_cache.h), so attaching
+// a cache never changes the produced SAT instance.
 class BitBlaster {
  public:
-  BitBlaster(const SmtContext& context, SatSolver& solver);
+  BitBlaster(const SmtContext& context, SatSolver& solver, BlastCache* cache = nullptr);
+  ~BitBlaster();
 
   // Encodes a boolean expression and returns its literal.
   Lit BlastBool(SmtRef ref);
@@ -34,7 +47,10 @@ class BitBlaster {
  private:
   Lit TrueLit() const { return true_lit_; }
   Lit FalseLit() const { return ~true_lit_; }
-  Lit FreshLit() { return Lit(solver_.NewVar(), false); }
+  Lit FreshLit();
+  // Clause sink for the gate constructors: forwards to the SAT solver and,
+  // while recording, captures the clause into the template being built.
+  void EmitClause(std::vector<Lit> lits);
 
   // Gate constructors with constant folding against true_lit_.
   Lit MkAnd(Lit a, Lit b);
@@ -51,6 +67,18 @@ class BitBlaster {
   Lit UltVectors(const std::vector<Lit>& a, const std::vector<Lit>& b, bool or_equal);
   Lit EqVectors(const std::vector<Lit>& a, const std::vector<Lit>& b);
 
+  // The cache-aware lowering of a gate node (every non-leaf op that builds
+  // gates, as opposed to pure bit wiring): blasts the children, then either
+  // replays a cached template or constructs the gates while recording one.
+  // Boolean-sorted nodes return a single-literal vector.
+  std::vector<Lit> BlastGateNode(SmtRef ref, const SmtNode& node);
+  std::vector<Lit> ConstructGates(const SmtNode& node,
+                                  const std::vector<std::vector<Lit>>& kids);
+  std::vector<Lit> ReplayTemplate(const BlastTemplate& tpl, const std::vector<Lit>& inputs);
+  void StartRecording(const std::vector<Lit>& inputs);
+  void RegisterRecordedLit(Lit lit);
+  uint32_t MapRecordedLit(Lit lit) const;
+
   const SmtContext& context_;
   SatSolver& solver_;
   Lit true_lit_;
@@ -58,6 +86,14 @@ class BitBlaster {
   std::unordered_map<uint32_t, Lit> bool_cache_;                 // SmtRef.index -> lit
   std::unordered_map<uint32_t, std::vector<Lit>> var_bits_;      // var_id -> bits
   std::unordered_map<uint32_t, Lit> bool_var_lits_;              // var_id -> lit
+
+  // Cross-solver memoization (optional).
+  BlastCache* cache_ = nullptr;
+  std::unique_ptr<StructHasher> hasher_;  // exact-mode, lazily sized memo
+  bool recording_ = false;
+  std::unique_ptr<BlastTemplate> recording_template_;
+  uint32_t recording_next_slot_ = 0;
+  std::unordered_map<uint32_t, uint32_t> recording_slots_;  // var -> slot<<1|neg
 };
 
 }  // namespace gauntlet

@@ -17,7 +17,7 @@ bool SmtModel::BoolOf(const std::string& name) const {
 void SmtSolver::EncodePending() {
   if (sat_ == nullptr) {
     sat_ = std::make_unique<SatSolver>();
-    blaster_ = std::make_unique<BitBlaster>(context_, *sat_);
+    blaster_ = std::make_unique<BitBlaster>(context_, *sat_, blast_cache_);
     blasted_count_ = 0;
   }
   for (; blasted_count_ < constraints_.size(); ++blasted_count_) {

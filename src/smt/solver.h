@@ -42,6 +42,17 @@ class SmtSolver {
     blasted_count_ = 0;
   }
 
+  // Attaches a cross-solve bit-blast memo (src/cache/): sub-DAGs another
+  // solver already lowered are replayed from their recorded CNF fragments
+  // instead of re-blasted. Replay is bit-exact, so the produced SAT
+  // instance — and therefore every Check result and model — is identical
+  // with or without a cache. Must be set before the first Check (or after
+  // Reset); the cache must outlive the solver.
+  void set_blast_cache(BlastCache* cache) {
+    GAUNTLET_BUG_CHECK(blaster_ == nullptr, "set_blast_cache after encoding started");
+    blast_cache_ = cache;
+  }
+
   // SAT conflict budget per Check (0 = unlimited); kUnknown on exhaustion.
   void set_conflict_limit(uint64_t limit) { conflict_limit_ = limit; }
 
@@ -83,6 +94,7 @@ class SmtSolver {
 
   SmtContext& context_;
   std::vector<SmtRef> constraints_;
+  BlastCache* blast_cache_ = nullptr;
   size_t blasted_count_ = 0;  // prefix of constraints_ already encoded
   uint64_t conflict_limit_ = 0;
   uint64_t time_limit_ms_ = 0;

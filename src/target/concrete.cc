@@ -500,6 +500,14 @@ class BlockExec {
     for (const TableKey& key : table.keys()) {
       lookup_key.push_back(Eval(*key.expr).bits);
     }
+    if (quirks_.swap_map_key_bytes) {
+      // The seeded eBPF fault: the generated lookup reads the key in host
+      // byte order while the installed entries were packed network-order —
+      // every whole-byte multi-byte key column compares byte-reversed.
+      for (BitValue& column : lookup_key) {
+        column = ReverseKeyBytes(column);
+      }
+    }
 
     // Exact-match lookup, first installed entry wins. A keyless table can
     // only run its default action, matching the symbolic encoding.
@@ -564,6 +572,24 @@ class BlockExec {
     ExecBoundAction(*default_action, std::move(bindings));
   }
 
+  // Byte-reverses a whole-byte value of 16+ bits; narrower or odd-width
+  // values pass through (a single byte has no order to confuse). Shared by
+  // the action-data and map-key byte-order quirks.
+  static uint64_t ReverseBytes(uint64_t bits, uint32_t width) {
+    if (width < 16 || width % 8 != 0) {
+      return bits;
+    }
+    uint64_t reversed = 0;
+    for (uint32_t byte = 0; byte < width / 8; ++byte) {
+      reversed = (reversed << 8) | ((bits >> (8 * byte)) & 0xffu);
+    }
+    return reversed;
+  }
+
+  static BitValue ReverseKeyBytes(const BitValue& value) {
+    return BitValue(value.width(), ReverseBytes(value.bits(), value.width()));
+  }
+
   // Rejects malformed installed entries (wrong key arity/width, unlisted
   // action, wrong action-data shape) instead of silently mismatching them.
   void ValidateEntry(const TableDecl& table, const TableEntry& entry,
@@ -613,14 +639,7 @@ class BlockExec {
   // data is loaded with its bytes reversed. Sub-byte and non-byte-aligned
   // arguments ride in single containers and are unaffected.
   uint64_t SwapActionDataBytes(uint64_t bits, uint32_t width) const {
-    if (!quirks_.swap_action_data_bytes || width <= 8 || width % 8 != 0) {
-      return bits;
-    }
-    uint64_t swapped = 0;
-    for (uint32_t byte = 0; byte < width / 8; ++byte) {
-      swapped = (swapped << 8) | ((bits >> (8 * byte)) & 0xffu);
-    }
-    return swapped;
+    return quirks_.swap_action_data_bytes ? ReverseBytes(bits, width) : bits;
   }
 
   // Binds control-plane action data to an action's parameters; missing

@@ -41,6 +41,11 @@ struct TargetQuirks {
   // program (XDP_ABORTED) instead of running the default action, dropping
   // the packet.
   bool miss_drops_packet = false;
+  // kEbpfMapKeyByteOrderSwap: multi-byte lookup keys are read in host byte
+  // order while the control plane installed the entries in network order,
+  // so the lookup compares byte-reversed keys against the installed ones.
+  // Whole-byte keys of 16+ bits only; single bytes have no order to confuse.
+  bool swap_map_key_bytes = false;
 };
 
 // The concrete reference executor: runs a type-checked program on one

@@ -36,6 +36,7 @@ std::unique_ptr<Executable> EbpfTarget::Compile(const Program& program,
   TargetQuirks quirks;
   quirks.reverse_extract_field_order = bugs.Has(BugId::kEbpfParserExtractReversed);
   quirks.miss_drops_packet = bugs.Has(BugId::kEbpfMapMissDropsPacket);
+  quirks.swap_map_key_bytes = bugs.Has(BugId::kEbpfMapKeyByteOrderSwap);
   return std::make_unique<ConcreteExecutable>(std::move(lowered), quirks);
 }
 

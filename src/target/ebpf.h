@@ -39,6 +39,21 @@ class EbpfTarget : public Target {
         {"stack frame", "EbpfStackAllocator", BugId::kEbpfCrashStackOverflow},
     };
   }
+
+  // Kernel-shaped fodder: whole-byte fields (map keys and packet loads go
+  // through byte-oriented codecs — exercises the byte-order fault class)
+  // and a modest header budget so programs hover near the modelled stack
+  // frame instead of blowing far past it.
+  GeneratorOptions GeneratorBias(GeneratorOptions base) const override {
+    base.byte_aligned_fields = true;
+    if (base.max_fields_per_header > 3) {
+      base.max_fields_per_header = 3;
+    }
+    if (base.p_wide_arith > 10) {
+      base.p_wide_arith = 10;
+    }
+    return base;
+  }
 };
 
 }  // namespace gauntlet

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/ast/program.h"
+#include "src/gen/generator.h"
 #include "src/passes/bugs.h"
 #include "src/target/concrete.h"
 #include "src/target/stf.h"
@@ -66,6 +67,13 @@ class Target {
   // This back end's own crash sites (resource-model assertions). Used both
   // to attribute crash findings and to decide crash ownership below.
   virtual std::vector<TargetCrashRule> CrashRules() const { return {}; }
+
+  // The back end's preferred random-program shaping (the §4.2 "back-end-
+  // specific skeleton"): returns `base` with the knobs this target wants
+  // tweaked — byte-aligned small-stack programs for eBPF, wide-arithmetic
+  // table-heavy fodder for Tofino. Campaigns apply it when `--targets X`
+  // selects exactly this target; the default is no bias.
+  virtual GeneratorOptions GeneratorBias(GeneratorOptions base) const { return base; }
 
   // Whether a compile-time crash with this message happened *inside* this
   // back end — i.e. translation validation over the open pipeline could not

@@ -31,6 +31,16 @@ class TofinoTarget : public Target {
         {"stage allocation", "TofinoStageAllocator", BugId::kTofinoCrashManyTables},
     };
   }
+
+  // The chip wants fodder that stresses its resource models: the tna-like
+  // skeleton (more tables) plus a higher share of wide arithmetic.
+  GeneratorOptions GeneratorBias(GeneratorOptions base) const override {
+    base.backend = GeneratorBackend::kTofino;
+    if (base.p_wide_arith < 20) {
+      base.p_wide_arith = 20;
+    }
+    return base;
+  }
 };
 
 }  // namespace gauntlet

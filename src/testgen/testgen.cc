@@ -3,6 +3,7 @@
 #include <functional>
 #include <set>
 
+#include "src/cache/verdict_cache.h"
 #include "src/smt/evaluator.h"
 #include "src/sym/interpreter.h"
 
@@ -189,7 +190,8 @@ void AddTableStressEntries(TableConfig& config) {
 
 }  // namespace
 
-std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) const {
+std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
+                                                    ValidationCache* cache) const {
   const PackageBlock* parser_block = program.FindBlock(BlockRole::kParser);
   const PackageBlock* deparser_block = program.FindBlock(BlockRole::kDeparser);
   if (parser_block == nullptr || deparser_block == nullptr) {
@@ -258,6 +260,9 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
   // enumeration; every path probe below is an assumption solve that reuses
   // the encoding and all learned clauses.
   SmtSolver solver(ctx);
+  if (cache != nullptr) {
+    solver.set_blast_cache(&cache->blast());
+  }
   solver.set_conflict_limit(100000);
   solver.set_time_limit_ms(options_.query_time_limit_ms);
   for (const SmtRef& constraint : hard) {
@@ -352,6 +357,36 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
   std::set<std::string> seen;  // dedupe by (packet, tables) fingerprint
   for (size_t path_index = 0; path_index < paths.size(); ++path_index) {
     std::vector<SmtRef> preferences;
+    // Preference budget: packet-shaping preferences claim the budget first,
+    // control-plane (action data) steering next, key asymmetry last — the
+    // greedy CheckWithPreferences pass costs one assumption solve per
+    // preference, so each later class gets a slightly larger cap instead
+    // of starving behind an unbounded earlier one.
+    constexpr size_t kPacketCap = 96;
+    constexpr size_t kTableCap = 112;
+    constexpr size_t kKeyCap = 120;
+    // First byte != last byte on a whole-byte multi-byte value: makes any
+    // byte-reversed load/lookup (endian-swap action data, byte-order-
+    // confused map keys) observable.
+    const auto prefer_byte_asymmetric = [&](SmtRef var, size_t cap) {
+      const uint32_t width = ctx.WidthOf(var);
+      if (width >= 16 && width % 8 == 0 && preferences.size() < cap) {
+        preferences.push_back(ctx.BoolNot(ctx.Eq(
+            ctx.Extract(var, width - 1, width - 8), ctx.Extract(var, 7, 0))));
+      }
+    };
+    // Steer a value away from the constants the program writes, so "the
+    // buggy output happens to equal the correct output" fix points are
+    // avoided whenever the path allows it.
+    const auto prefer_avoid_written_constants = [&](SmtRef var, size_t cap) {
+      const uint32_t width = ctx.WidthOf(var);
+      for (const auto& [const_width, const_bits] : written_constants) {
+        if (const_width == width && preferences.size() < cap) {
+          preferences.push_back(
+              ctx.BoolNot(ctx.Eq(var, ctx.Const(const_width, const_bits))));
+        }
+      }
+    };
     if (options_.prefer_nonzero) {
       // §6.2: zero values mask erroneous behavior on zero-initializing
       // targets. Prefer the high bit set (exposes truncation/carry bugs in
@@ -368,15 +403,7 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
             preferences.push_back(ctx.BoolNot(
                 ctx.Eq(ctx.Extract(var, hi, lo), ctx.Const(hi - lo + 1, 0))));
           }
-          // Steer input fields away from the constants the program writes,
-          // so "the buggy output happens to equal the correct output" fix
-          // points are avoided whenever the path allows it.
-          for (const auto& [const_width, const_bits] : written_constants) {
-            if (const_width == width && preferences.size() < 96) {
-              preferences.push_back(
-                  ctx.BoolNot(ctx.Eq(var, ctx.Const(const_width, const_bits))));
-            }
-          }
+          prefer_avoid_written_constants(var, kPacketCap);
         }
       }
       // Control-plane stress preferences, per table:
@@ -404,7 +431,7 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
         }
         const SmtRef action_var = ctx.FindVar(table.action_var);
         if (best < table.action_names.size() && action_var.IsValid() &&
-            table.hit_condition.IsValid() && preferences.size() < 112) {
+            table.hit_condition.IsValid() && preferences.size() < kTableCap) {
           preferences.push_back(
               ctx.BoolOr(ctx.BoolNot(table.hit_condition),
                          ctx.Eq(action_var, ctx.Const(16, best + 1))));
@@ -412,14 +439,40 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program) cons
         for (const std::vector<std::string>& data_vars : table.action_data_vars) {
           for (const std::string& data_var : data_vars) {
             const SmtRef var = ctx.FindVar(data_var);
-            if (!var.IsValid() || ctx.IsBool(var) || preferences.size() >= 112) {
+            if (!var.IsValid() || ctx.IsBool(var)) {
               continue;
             }
+            prefer_byte_asymmetric(var, kTableCap);
+            // A hit whose action data coincides with what the miss path
+            // would leave behind is a fix point: the buggy and correct
+            // outputs agree and the fault stays invisible. Steer the data
+            // away from the masking candidates — zero, the program's own
+            // constants, and the same-width input fields it might
+            // overwrite — whenever the path allows it.
             const uint32_t width = ctx.WidthOf(var);
-            if (width >= 16 && width % 8 == 0) {
-              preferences.push_back(ctx.BoolNot(ctx.Eq(
-                  ctx.Extract(var, width - 1, width - 8), ctx.Extract(var, 7, 0))));
+            if (preferences.size() < kTableCap) {
+              preferences.push_back(
+                  ctx.BoolNot(ctx.Eq(var, ctx.Const(width, 0))));
             }
+            prefer_avoid_written_constants(var, kTableCap);
+            for (const std::string& input : pipeline.parser.input_vars) {
+              if (input.rfind("p::pkt[", 0) != 0 || preferences.size() >= kTableCap) {
+                continue;
+              }
+              const SmtRef input_var = ctx.FindVar(input);
+              if (input_var.IsValid() && ctx.WidthOf(input_var) == width) {
+                preferences.push_back(ctx.BoolNot(ctx.Eq(var, input_var)));
+              }
+            }
+          }
+        }
+        // Multi-byte match keys should be byte-asymmetric too: a back end
+        // that looks keys up in the wrong byte order (network-vs-host
+        // confusion) behaves correctly on palindromic keys.
+        for (const std::string& key_var : table.key_vars) {
+          const SmtRef var = ctx.FindVar(key_var);
+          if (var.IsValid() && !ctx.IsBool(var)) {
+            prefer_byte_asymmetric(var, kKeyCap);
           }
         }
       }

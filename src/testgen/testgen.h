@@ -8,6 +8,8 @@
 
 namespace gauntlet {
 
+class ValidationCache;
+
 struct TestGenOptions {
   // Upper bound on generated test cases per program (path explosion guard,
   // §6.2: "the number of paths can be exponential in the length of the
@@ -49,7 +51,14 @@ class TestCaseGenerator {
   // Requires a package with at least parser + ingress + deparser. May throw
   // UnsupportedError for constructs outside the supported fragment
   // (paper §8); callers treat that as "no tests for this program".
-  std::vector<PacketTest> Generate(const Program& program) const;
+  //
+  // With a `cache` (src/cache/), the path-probe solver reuses bit-blasted
+  // fragments recorded by earlier solves — including the translation
+  // validator's, since fingerprints key on variable names and the source
+  // program's block semantics are shared between the two techniques.
+  // Replay is bit-exact, so the generated tests are identical either way.
+  std::vector<PacketTest> Generate(const Program& program,
+                                   ValidationCache* cache = nullptr) const;
 
  private:
   TestGenOptions options_;

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
@@ -77,20 +78,30 @@ struct ParsedArgs {
   const std::string& Last(const std::string& flag) const { return flags.at(flag).back(); }
 };
 
-// Splits a command's arguments (argv[2:]) into positionals and value-taking
-// flags. Every `--flag` must be listed in `value_flags` and must have a
-// value: a flag's value is never mistaken for a positional (the
-// `campaign --jobs 4` ≠ `campaign 4` trap), an unknown flag is rejected
-// instead of silently ignored, and a trailing flag with its value
+// Splits a command's arguments (argv[2:]) into positionals, value-taking
+// flags and boolean switches. Every `--flag` must be listed in
+// `value_flags` (and must have a value: a flag's value is never mistaken
+// for a positional — the `campaign --jobs 4` ≠ `campaign 4` trap) or in
+// `switch_flags` (recorded with no value); an unknown flag is rejected
+// instead of silently ignored, and a trailing value flag with its value
 // forgotten fails fast.
 ParsedArgs ParseCommandArgs(int argc, char** argv,
                             const std::vector<std::string>& value_flags,
-                            size_t max_positionals) {
+                            size_t max_positionals,
+                            const std::vector<std::string>& switch_flags = {}) {
   ParsedArgs parsed;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
       parsed.positionals.push_back(arg);
+      continue;
+    }
+    bool is_switch = false;
+    for (const std::string& flag : switch_flags) {
+      is_switch |= flag == arg;
+    }
+    if (is_switch) {
+      parsed.flags[arg];  // present, no value
       continue;
     }
     bool known = false;
@@ -109,6 +120,22 @@ ParsedArgs ParseCommandArgs(int argc, char** argv,
     throw CliUsageError("unexpected argument '" + parsed.positionals[max_positionals] + "'");
   }
   return parsed;
+}
+
+// The two cache switches shared by the validating commands.
+const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats"};
+
+void MaybePrintCacheStats(const ParsedArgs& args, const CacheStats& stats) {
+  if (!args.Has("--cache-stats")) {
+    return;
+  }
+  if (args.Has("--no-cache")) {
+    // All-zero counters from a disabled cache read as "cache never hit";
+    // say what actually happened instead.
+    std::fprintf(stderr, "cache: disabled (--no-cache)\n");
+    return;
+  }
+  std::fprintf(stderr, "%s\n", stats.ToString().c_str());
 }
 
 // Strict decimal parse; rejects "abc", "4x", out-of-range and empty
@@ -209,10 +236,12 @@ int CmdCompile(const std::string& path, const BugConfig& bugs) {
   return 0;
 }
 
-int CmdValidate(const std::string& path, const BugConfig& bugs) {
+int CmdValidate(const std::string& path, const BugConfig& bugs, const ParsedArgs& args) {
   auto program = Parser::ParseString(ReadFile(path));
   const TranslationValidator validator(PassManager::StandardPipeline());
-  const TvReport report = validator.Validate(*program, bugs);
+  ValidationCache cache;
+  ValidationCache* cache_ptr = args.Has("--no-cache") ? nullptr : &cache;
+  const TvReport report = validator.Validate(*program, bugs, /*stop_after_pass=*/{}, cache_ptr);
   if (report.crashed) {
     std::printf("CRASH: %s\n", report.crash_message.c_str());
   }
@@ -236,15 +265,18 @@ int CmdValidate(const std::string& path, const BugConfig& bugs) {
   }
   std::printf("%zu changed-pass pairs validated, %d problem%s found\n",
               report.pass_results.size(), problems, problems == 1 ? "" : "s");
+  MaybePrintCacheStats(args, cache.Stats());
   return problems == 0 ? 0 : 1;
 }
 
-int CmdTestgen(const std::string& path) {
+int CmdTestgen(const std::string& path, const ParsedArgs& args) {
   auto program = Parser::ParseString(ReadFile(path));
   TypeCheck(*program);
+  ValidationCache cache;
+  ValidationCache* cache_ptr = args.Has("--no-cache") ? nullptr : &cache;
   std::vector<PacketTest> tests;
   try {
-    tests = TestCaseGenerator().Generate(*program);
+    tests = TestCaseGenerator().Generate(*program, cache_ptr);
   } catch (const UnsupportedError& error) {
     std::fprintf(stderr, "testgen: unsupported program: %s\n", error.what());
     return 1;
@@ -253,6 +285,7 @@ int CmdTestgen(const std::string& path) {
   // reproducer that ParseStf reads back.
   std::printf("%s", EmitStf(tests).c_str());
   std::fprintf(stderr, "%zu tests generated\n", tests.size());
+  MaybePrintCacheStats(args, cache.Stats());
   // No tests means no coverage — scripts piping this into a replay harness
   // must be able to gate on it.
   return tests.empty() ? 1 : 0;
@@ -273,28 +306,33 @@ void PrintReport(const CampaignReport& report) {
 }
 
 int CmdFuzz(int argc, char** argv) {
-  const ParsedArgs args =
-      ParseCommandArgs(argc, argv, {"--bug", "--targets"}, /*max_positionals=*/2);
+  const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug", "--targets"},
+                                           /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
   CampaignOptions options;
   options.targets = TargetsFromFlags(args);
+  options.use_cache = !args.Has("--no-cache");
   if (args.positionals.size() >= 1) {
     options.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
   }
   if (args.positionals.size() >= 2) {
     options.seed = static_cast<uint64_t>(ParseNumber(args.positionals[1], "seed"));
   }
-  const CampaignReport report = Campaign(options).Run(bugs);
+  CacheStats stats;
+  const CampaignReport report = Campaign(options).Run(bugs, &stats);
   PrintReport(report);
+  MaybePrintCacheStats(args, stats);
   return report.findings.empty() ? 0 : 1;
 }
 
 int CmdCampaign(int argc, char** argv) {
-  const ParsedArgs args = ParseCommandArgs(
-      argc, argv, {"--jobs", "--corpus", "--bug", "--targets"}, /*max_positionals=*/2);
+  const ParsedArgs args =
+      ParseCommandArgs(argc, argv, {"--jobs", "--corpus", "--bug", "--targets"},
+                       /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
   ParallelCampaignOptions options;
   options.campaign.targets = TargetsFromFlags(args);
+  options.campaign.use_cache = !args.Has("--no-cache");
   if (args.positionals.size() >= 1) {
     options.campaign.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
   }
@@ -307,8 +345,10 @@ int CmdCampaign(int argc, char** argv) {
   if (args.Has("--corpus")) {
     options.corpus_dir = args.Last("--corpus");
   }
-  const CampaignReport report = ParallelCampaign(options).Run(bugs);
+  CacheStats stats;
+  const CampaignReport report = ParallelCampaign(options).Run(bugs, &stats);
   PrintReport(report);
+  MaybePrintCacheStats(args, stats);
   if (!options.corpus_dir.empty()) {
     // Stat-only count; the corpus dedups across runs, so the directory can
     // legitimately hold more reproducers than this run's findings.
@@ -417,18 +457,21 @@ int Usage(std::FILE* out) {
   std::fprintf(out,
                "usage: gauntlet <command> [args]\n"
                "  compile <file.p4> [--bug B ...]\n"
-               "  validate <file.p4> [--bug B ...]\n"
-               "  testgen <file.p4>\n"
-               "  fuzz [N] [seed] [--bug B ...] [--targets T,...]\n"
+               "  validate <file.p4> [--bug B ...] [--no-cache] [--cache-stats]\n"
+               "  testgen <file.p4> [--no-cache] [--cache-stats]\n"
+               "  fuzz [N] [seed] [--bug B ...] [--targets T,...] [--no-cache] "
+               "[--cache-stats]\n"
                "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...] "
-               "[--targets T,...]\n"
+               "[--targets T,...] [--no-cache] [--cache-stats]\n"
                "  replay <file.p4> <file.stf> [--bug B ...] [--targets T,...]\n"
                "  replay --corpus DIR [--bug B ...] [--targets T,...]\n"
                "  reduce <file.p4> --bug B [...]\n"
                "  bugs\n"
                "\n"
                "registered targets: %s   (--targets defaults to all of them)\n"
-               "--bug names come from `gauntlet bugs`; --jobs must be >= 1\n",
+               "--bug names come from `gauntlet bugs`; --jobs must be >= 1\n"
+               "validation memoization is on by default: --no-cache disables it,\n"
+               "--cache-stats prints hit/reuse counters to stderr\n",
                targets.c_str());
   return out == stdout ? 0 : 2;
 }
@@ -456,18 +499,20 @@ int main(int argc, char** argv) {
       return CmdCompile(args.positionals[0], BugsFromFlags(args));
     }
     if (command == "validate") {
-      const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1);
+      const ParsedArgs args =
+          ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1, kCacheSwitches);
       if (args.positionals.size() != 1) {
         throw CliUsageError("validate expects exactly one <file.p4>");
       }
-      return CmdValidate(args.positionals[0], BugsFromFlags(args));
+      return CmdValidate(args.positionals[0], BugsFromFlags(args), args);
     }
     if (command == "testgen") {
-      const ParsedArgs args = ParseCommandArgs(argc, argv, {}, /*max_positionals=*/1);
+      const ParsedArgs args =
+          ParseCommandArgs(argc, argv, {}, /*max_positionals=*/1, kCacheSwitches);
       if (args.positionals.size() != 1) {
         throw CliUsageError("testgen expects exactly one <file.p4>");
       }
-      return CmdTestgen(args.positionals[0]);
+      return CmdTestgen(args.positionals[0], args);
     }
     if (command == "fuzz") {
       return CmdFuzz(argc, argv);

@@ -1,5 +1,8 @@
 #include "src/tv/validator.h"
 
+#include <optional>
+
+#include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/sym/interpreter.h"
@@ -50,9 +53,22 @@ VersionSemantics InterpretVersion(SymbolicInterpreter& interpreter, const Progra
   return result;
 }
 
+// The canonical fingerprint of a whole version: every block's role plus its
+// semantics fingerprint, in block order. Equal fingerprints imply the
+// versions are input-output equivalent block by block.
+Fingerprint VersionFingerprint(StructHasher& hasher, const VersionSemantics& version) {
+  Fingerprint fp = FingerprintOfString("version-semantics");
+  for (const auto& [role, semantics] : version.blocks) {
+    fp = CombineFingerprints(fp, FingerprintOfString(BlockRoleToString(role)));
+    fp = CombineFingerprints(fp, SemanticsFingerprint(hasher, semantics));
+  }
+  return fp;
+}
+
 TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
                               const VersionSemantics& after, const std::string& pass_name,
-                              const TvOptions& options) {
+                              const TvOptions& options, ValidationCache* cache,
+                              StructHasher* canonical_hasher) {
   TvPassResult result;
   result.pass_name = pass_name;
   if (before.failed || after.failed) {
@@ -60,6 +76,34 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
     result.detail = before.failed ? before.failure : after.failure;
     return result;
   }
+
+  // Memoized equivalence queries: a pair whose canonical fingerprints are
+  // equal is equivalent outright (commutative reshuffles included); a pair
+  // matching an already-answered pair reuses that verdict (and, for a
+  // semantic diff, its witness) without touching the solver.
+  Fingerprint fp_before;
+  Fingerprint fp_after;
+  if (cache != nullptr) {
+    fp_before = VersionFingerprint(*canonical_hasher, before);
+    fp_after = VersionFingerprint(*canonical_hasher, after);
+    if (fp_before == fp_after) {
+      cache->CountShortCircuit();
+      result.verdict = TvVerdict::kEquivalent;
+      return result;
+    }
+    if (const VerdictCache::Entry* hit = cache->verdicts().Find(fp_before, fp_after)) {
+      cache->CountSkippedQueries(hit->queries);
+      result = hit->result;
+      result.pass_name = pass_name;
+      return result;
+    }
+  }
+  const auto remember = [&](const TvPassResult& definitive, uint32_t queries) {
+    if (cache != nullptr) {
+      cache->verdicts().Insert(fp_before, fp_after, definitive, queries);
+    }
+  };
+
   SmtRef any_difference = ctx.False();
   for (const auto& [role, before_sem] : before.blocks) {
     const BlockSemantics* after_sem = nullptr;
@@ -86,6 +130,7 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
   // every per-block difference to the constant false — no SAT call needed.
   if (ctx.IsConst(any_difference) && ctx.ConstBits(any_difference) == 0) {
     result.verdict = TvVerdict::kEquivalent;
+    remember(result, /*queries=*/0);
     return result;
   }
 
@@ -94,12 +139,16 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
   // equivalence) from stalling a campaign; exhaustion is reported like a
   // missing simulation relation (a pass we could not validate, §8).
   SmtSolver solver(ctx);
+  if (cache != nullptr) {
+    solver.set_blast_cache(&cache->blast());
+  }
   solver.set_conflict_limit(options.conflict_budget);
   solver.set_time_limit_ms(options.query_time_limit_ms);
   solver.Assert(any_difference);
   const CheckResult first = solver.Check();
   if (first == CheckResult::kUnsat) {
     result.verdict = TvVerdict::kEquivalent;
+    remember(result, /*queries=*/1);
     return result;
   }
   if (first == CheckResult::kUnknown) {
@@ -111,6 +160,9 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
   // Query 2: does the disagreement survive pinning every undefined value to
   // zero? If not, the pass only reshuffled undefined behavior.
   SmtSolver pinned_solver(ctx);
+  if (cache != nullptr) {
+    pinned_solver.set_blast_cache(&cache->blast());
+  }
   pinned_solver.set_conflict_limit(options.conflict_budget);
   pinned_solver.set_time_limit_ms(options.query_time_limit_ms);
   pinned_solver.Assert(any_difference);
@@ -129,6 +181,7 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
   if (pinned == CheckResult::kUnsat) {
     result.verdict = TvVerdict::kUndefDivergence;
     result.detail = "versions differ only in undefined-value choices";
+    remember(result, /*queries=*/2);
     return result;
   }
   if (pinned == CheckResult::kUnknown) {
@@ -139,22 +192,30 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
   result.verdict = TvVerdict::kSemanticDiff;
   result.counterexample = pinned_solver.ExtractModel();
   result.detail = "solver found a disagreeing input";
+  remember(result, /*queries=*/2);
   return result;
 }
 
 }  // namespace
 
 TvPassResult TranslationValidator::CompareVersions(const Program& before, const Program& after,
-                                                   const std::string& pass_name) {
+                                                   const std::string& pass_name,
+                                                   ValidationCache* cache, TvOptions options) {
   SmtContext ctx;
   SymbolicInterpreter interpreter(ctx);
   const VersionSemantics before_sem = InterpretVersion(interpreter, before);
   const VersionSemantics after_sem = InterpretVersion(interpreter, after);
-  return CompareSemantics(ctx, before_sem, after_sem, pass_name, TvOptions{});
+  std::optional<StructHasher> canonical;
+  if (cache != nullptr) {
+    canonical.emplace(ctx, StructHasher::Mode::kCanonical);
+  }
+  return CompareSemantics(ctx, before_sem, after_sem, pass_name, options, cache,
+                          canonical.has_value() ? &*canonical : nullptr);
 }
 
 TvReport TranslationValidator::Validate(const Program& program, const BugConfig& bugs,
-                                        const std::string& stop_after_pass) const {
+                                        const std::string& stop_after_pass,
+                                        ValidationCache* cache) const {
   TvReport report;
 
   // Version 0: the type-checked input program.
@@ -186,6 +247,12 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
   // difference without a SAT call.
   SmtContext ctx;
   SymbolicInterpreter interpreter(ctx);
+  // One canonical hasher spans every pass pair: its per-node memo is what
+  // makes re-fingerprinting the shared version of consecutive pairs cheap.
+  std::optional<StructHasher> canonical;
+  if (cache != nullptr) {
+    canonical.emplace(ctx, StructHasher::Mode::kCanonical);
+  }
   VersionSemantics before_sem = InterpretVersion(interpreter, *versions[0].second);
   const auto validation_deadline =
       options_.program_budget_ms == 0
@@ -221,7 +288,9 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
     // The comparison runs against the *reparsed* program, so a semantics-
     // changing ToP4 or parser bug is caught alongside pass bugs (§5.2).
     VersionSemantics after_sem = InterpretVersion(interpreter, *reparsed);
-    report.pass_results.push_back(CompareSemantics(ctx, before_sem, after_sem, pass_name, options_));
+    report.pass_results.push_back(
+        CompareSemantics(ctx, before_sem, after_sem, pass_name, options_, cache,
+                         canonical.has_value() ? &*canonical : nullptr));
     if (!stop_after_pass.empty() && pass_name == stop_after_pass) {
       break;
     }

@@ -12,6 +12,8 @@
 
 namespace gauntlet {
 
+class ValidationCache;
+
 // Verdict for one compiler pass under translation validation.
 enum class TvVerdict {
   kEquivalent,          // proven input-output equivalent
@@ -98,12 +100,24 @@ class TranslationValidator {
   // non-empty, pass-pair comparison stops once that pass has a verdict —
   // the fault-attribution reruns only need the blamed pass's verdict, not
   // the whole pipeline's.
+  //
+  // With a `cache` (src/cache/), bit-blasted fragments are reused across
+  // the pass pairs' solver queries and hash-matching pairs skip their
+  // queries outright. Verdicts are identical with or without a cache
+  // whenever the uncached queries finish within their budgets (a repeated
+  // kSemanticDiff pair reuses the first pair's witness instead of
+  // re-solving for one); where an uncached query would exhaust its budget,
+  // a verdict-cache hit can only upgrade that "could not validate" outcome
+  // into the proven verdict.
   TvReport Validate(const Program& program, const BugConfig& bugs,
-                    const std::string& stop_after_pass = {}) const;
+                    const std::string& stop_after_pass = {},
+                    ValidationCache* cache = nullptr) const;
 
   // Compares two standalone programs (all package blocks pairwise).
   static TvPassResult CompareVersions(const Program& before, const Program& after,
-                                      const std::string& pass_name);
+                                      const std::string& pass_name,
+                                      ValidationCache* cache = nullptr,
+                                      TvOptions options = {});
 
  private:
   PassManager pipeline_;

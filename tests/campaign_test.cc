@@ -145,16 +145,19 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(CampaignTest, TargetSubsettingChangesOnlySelectedBackEndsFindings) {
-  // Seed one fault per back end; the program stream and the open-pipeline
-  // techniques are identical for any --targets value, so subsetting to one
-  // back end must reproduce exactly that back end's packet-test findings
-  // and drop the others'.
+  // Seed one fault per back end; with the single-target generator bias
+  // disabled the program stream and the open-pipeline techniques are
+  // identical for any --targets value, so subsetting to one back end must
+  // reproduce exactly that back end's packet-test findings and drop the
+  // others'. (With bias on, a single-target campaign deliberately generates
+  // different fodder — covered by SingleTargetCampaignAppliesGeneratorBias.)
   BugConfig bugs;
   bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
   bugs.Enable(BugId::kTofinoTableDefaultSkipped);
   bugs.Enable(BugId::kEbpfParserExtractReversed);
 
   CampaignOptions all = SmallCampaign(30);
+  all.bias_generator = false;
   const CampaignReport full = Campaign(all).Run(bugs);
 
   CampaignOptions only_ebpf = all;
@@ -191,6 +194,33 @@ TEST(CampaignTest, TargetSubsettingChangesOnlySelectedBackEndsFindings) {
     }
   }
   EXPECT_EQ(full_ebpf, subset_ebpf);
+}
+
+TEST(CampaignTest, SingleTargetCampaignAppliesGeneratorBias) {
+  // A campaign pointed at exactly one back end reshapes its fodder with
+  // that target's GeneratorBias (the §4.2 back-end-specific skeleton): the
+  // biased run equals a run whose generator options were biased by hand,
+  // and differs from the unbiased stream.
+  BugConfig bugs;
+  bugs.Enable(BugId::kEbpfParserExtractReversed);
+
+  CampaignOptions biased = SmallCampaign(10);
+  biased.targets = {"ebpf"};
+  const CampaignReport auto_biased = Campaign(biased).Run(bugs);
+
+  CampaignOptions manual = biased;
+  manual.bias_generator = false;
+  manual.generator = TargetRegistry::Get("ebpf").GeneratorBias(manual.generator);
+  const CampaignReport hand_biased = Campaign(manual).Run(bugs);
+  EXPECT_EQ(auto_biased.tests_generated, hand_biased.tests_generated);
+  EXPECT_EQ(auto_biased.findings.size(), hand_biased.findings.size());
+  EXPECT_EQ(auto_biased.distinct_bugs, hand_biased.distinct_bugs);
+
+  // The eBPF bias restricts widths to whole bytes — the options really do
+  // change under the bias.
+  const GeneratorOptions shaped = Campaign(biased).EffectiveGeneratorOptions();
+  EXPECT_TRUE(shaped.byte_aligned_fields);
+  EXPECT_FALSE(CampaignOptions{}.generator.byte_aligned_fields);
 }
 
 TEST(CampaignTest, SharedCrashSiteRecordedOncePerProgramAcrossTargets) {

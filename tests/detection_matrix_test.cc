@@ -380,6 +380,22 @@ control ig(inout Hdr hdr) {
 control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
 package main { parser = p; ingress = ig; deparser = dp; }
 )"},
+      {BugId::kEbpfMapKeyByteOrderSwap, ExpectedDetection::kPacketFailure, R"(
+header H { bit<16> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
       {BugId::kEbpfCrashStackOverflow, ExpectedDetection::kCrash, R"(
 header H { bit<64> a; bit<64> b; bit<64> c; }
 header G { bit<64> a; bit<64> b; bit<64> c; }
