@@ -1,0 +1,291 @@
+#include "src/cache/cache_file.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/cache/verdict_cache.h"
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+namespace {
+
+constexpr const char* kMagic = "gauntletcache";
+constexpr int kVersion = 1;
+
+// Strings are hex-encoded ("-" for empty) so whitespace and arbitrary bytes
+// in details / witness variable names survive the line-oriented format.
+std::string ToHexToken(const std::string& text) {
+  if (text.empty()) {
+    return "-";
+  }
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(text.size() * 2);
+  for (const unsigned char c : text) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return -1;
+}
+
+std::string FromHexToken(const std::string& token, int line) {
+  if (token == "-") {
+    return "";
+  }
+  if (token.size() % 2 != 0) {
+    throw CompileError("cache file line " + std::to_string(line) + ": odd hex token");
+  }
+  std::string text;
+  text.reserve(token.size() / 2);
+  for (size_t i = 0; i < token.size(); i += 2) {
+    const int hi = HexNibble(token[i]);
+    const int lo = HexNibble(token[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw CompileError("cache file line " + std::to_string(line) + ": bad hex token");
+    }
+    text.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return text;
+}
+
+// Strict per-line reader: every extraction failure carries the line number.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  bool NextLine() {
+    while (std::getline(in_, line_)) {
+      ++line_number_;
+      if (!line_.empty()) {
+        tokens_.str(line_);
+        tokens_.clear();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RequireLine(const char* what) {
+    if (!NextLine()) {
+      throw CompileError(std::string("cache file truncated: expected ") + what);
+    }
+  }
+
+  uint64_t U64(const char* what) {
+    uint64_t value = 0;
+    if (!(tokens_ >> value)) {
+      Fail(what);
+    }
+    return value;
+  }
+
+  std::string Token(const char* what) {
+    std::string token;
+    if (!(tokens_ >> token)) {
+      Fail(what);
+    }
+    return token;
+  }
+
+  void ExpectWord(const char* word) {
+    if (Token(word) != word) {
+      Fail(word);
+    }
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  [[noreturn]] void Fail(const char* what) {
+    throw CompileError("cache file line " + std::to_string(line_number_) + ": expected " +
+                       what);
+  }
+
+  std::istream& in_;
+  std::string line_;
+  std::istringstream tokens_;
+  int line_number_ = 0;
+};
+
+void WriteTemplate(std::ostream& out, const Fingerprint& fp, const BlastTemplate& tpl) {
+  out << fp.hi << ' ' << fp.lo << ' ' << tpl.input_count << ' ' << tpl.fresh_count << ' '
+      << tpl.clause_count << ' ' << tpl.events.size();
+  for (const int32_t event : tpl.events) {
+    out << ' ' << event;
+  }
+  out << ' ' << tpl.clause_lits.size();
+  for (const TemplateLit lit : tpl.clause_lits) {
+    out << ' ' << lit.code;
+  }
+  out << ' ' << tpl.outputs.size();
+  for (const TemplateLit lit : tpl.outputs) {
+    out << ' ' << lit.code;
+  }
+  out << '\n';
+}
+
+void WriteVerdict(std::ostream& out, const Fingerprint& key, const VerdictCache::Entry& entry) {
+  const TvPassResult& result = entry.result;
+  out << key.hi << ' ' << key.lo << ' ' << entry.queries << ' '
+      << static_cast<int>(result.verdict) << ' ' << ToHexToken(result.pass_name) << ' '
+      << ToHexToken(result.detail) << ' ' << result.counterexample.bit_values.size();
+  for (const auto& [name, value] : result.counterexample.bit_values) {
+    out << ' ' << ToHexToken(name) << ' ' << value.width() << ' ' << value.bits();
+  }
+  out << ' ' << result.counterexample.bool_values.size();
+  for (const auto& [name, value] : result.counterexample.bool_values) {
+    out << ' ' << ToHexToken(name) << ' ' << (value ? 1 : 0);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void SaveValidationCaches(const std::vector<ValidationCache*>& caches, std::ostream& out) {
+  // Merge per-worker state: templates dedup by fingerprint (bit-exact replay
+  // makes every copy identical in effect), verdicts dedup by (program, key).
+  std::map<Fingerprint, const BlastTemplate*> templates;
+  std::map<uint64_t, std::map<Fingerprint, const VerdictCache::Entry*>> verdicts;
+  for (ValidationCache* cache : caches) {
+    cache->Seal();
+    for (const auto& [fp, tpl] : cache->blast().templates()) {
+      templates.emplace(fp, &tpl);
+    }
+    for (const auto& [program_key, entries] : cache->stored_verdicts()) {
+      auto& group = verdicts[program_key];
+      for (const auto& [key, entry] : entries) {
+        group.emplace(key, &entry);
+      }
+    }
+  }
+
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "blast " << templates.size() << '\n';
+  for (const auto& [fp, tpl] : templates) {
+    WriteTemplate(out, fp, *tpl);
+  }
+  out << "programs " << verdicts.size() << '\n';
+  for (const auto& [program_key, entries] : verdicts) {
+    out << "prog " << program_key << ' ' << entries.size() << '\n';
+    for (const auto& [key, entry] : entries) {
+      WriteVerdict(out, key, *entry);
+    }
+  }
+}
+
+void LoadValidationCache(std::istream& in, ValidationCache& cache) {
+  LineReader reader(in);
+  reader.RequireLine("header");
+  reader.ExpectWord(kMagic);
+  const uint64_t version = reader.U64("version");
+  if (version != static_cast<uint64_t>(kVersion)) {
+    throw CompileError("cache file version " + std::to_string(version) +
+                       " is not supported (expected " + std::to_string(kVersion) + ")");
+  }
+
+  reader.RequireLine("blast section");
+  reader.ExpectWord("blast");
+  const uint64_t template_count = reader.U64("template count");
+  for (uint64_t i = 0; i < template_count; ++i) {
+    reader.RequireLine("blast template");
+    Fingerprint fp;
+    fp.hi = reader.U64("fingerprint hi");
+    fp.lo = reader.U64("fingerprint lo");
+    BlastTemplate tpl;
+    tpl.input_count = static_cast<uint32_t>(reader.U64("input count"));
+    tpl.fresh_count = static_cast<uint32_t>(reader.U64("fresh count"));
+    tpl.clause_count = static_cast<uint32_t>(reader.U64("clause count"));
+    const uint64_t event_count = reader.U64("event count");
+    tpl.events.reserve(event_count);
+    for (uint64_t e = 0; e < event_count; ++e) {
+      tpl.events.push_back(static_cast<int32_t>(static_cast<int64_t>(reader.U64("event"))));
+    }
+    const uint64_t lit_count = reader.U64("clause literal count");
+    tpl.clause_lits.reserve(lit_count);
+    for (uint64_t l = 0; l < lit_count; ++l) {
+      tpl.clause_lits.push_back(TemplateLit{static_cast<uint32_t>(reader.U64("literal"))});
+    }
+    const uint64_t output_count = reader.U64("output count");
+    tpl.outputs.reserve(output_count);
+    for (uint64_t o = 0; o < output_count; ++o) {
+      tpl.outputs.push_back(TemplateLit{static_cast<uint32_t>(reader.U64("output"))});
+    }
+    cache.blast().Insert(fp, std::move(tpl));
+  }
+
+  reader.RequireLine("programs section");
+  reader.ExpectWord("programs");
+  const uint64_t program_count = reader.U64("program count");
+  for (uint64_t p = 0; p < program_count; ++p) {
+    reader.RequireLine("program group");
+    reader.ExpectWord("prog");
+    const uint64_t program_key = reader.U64("program key");
+    const uint64_t entry_count = reader.U64("entry count");
+    for (uint64_t e = 0; e < entry_count; ++e) {
+      reader.RequireLine("verdict entry");
+      Fingerprint key;
+      key.hi = reader.U64("verdict key hi");
+      key.lo = reader.U64("verdict key lo");
+      VerdictCache::Entry entry;
+      entry.queries = static_cast<uint32_t>(reader.U64("query count"));
+      const uint64_t verdict = reader.U64("verdict code");
+      if (verdict > static_cast<uint64_t>(TvVerdict::kInvalidEmit)) {
+        throw CompileError("cache file line " + std::to_string(reader.line_number()) +
+                           ": unknown verdict code " + std::to_string(verdict));
+      }
+      entry.result.verdict = static_cast<TvVerdict>(verdict);
+      entry.result.pass_name = FromHexToken(reader.Token("pass name"), reader.line_number());
+      entry.result.detail = FromHexToken(reader.Token("detail"), reader.line_number());
+      const uint64_t bit_count = reader.U64("bit witness count");
+      for (uint64_t b = 0; b < bit_count; ++b) {
+        const std::string name = FromHexToken(reader.Token("witness name"), reader.line_number());
+        const uint32_t width = static_cast<uint32_t>(reader.U64("witness width"));
+        const uint64_t bits = reader.U64("witness bits");
+        entry.result.counterexample.bit_values.emplace(name, BitValue(width, bits));
+      }
+      const uint64_t bool_count = reader.U64("bool witness count");
+      for (uint64_t b = 0; b < bool_count; ++b) {
+        const std::string name = FromHexToken(reader.Token("witness name"), reader.line_number());
+        entry.result.counterexample.bool_values.emplace(name, reader.U64("witness bool") != 0);
+      }
+      cache.PreloadVerdict(program_key, key, std::move(entry));
+    }
+  }
+}
+
+bool LoadValidationCacheFile(const std::string& path, ValidationCache& cache) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;  // cold start
+  }
+  LoadValidationCache(in, cache);
+  return true;
+}
+
+void SaveValidationCacheFile(const std::string& path,
+                             const std::vector<ValidationCache*>& caches) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw CompileError("cannot write cache file '" + path + "'");
+  }
+  SaveValidationCaches(caches, out);
+  out.flush();
+  if (!out) {
+    throw CompileError("failed writing cache file '" + path + "'");
+  }
+}
+
+}  // namespace gauntlet

@@ -52,6 +52,38 @@ Fingerprint SemanticsFingerprint(StructHasher& hasher, const BlockSemantics& sem
   return fp;
 }
 
+void ValidationCache::BeginProgram(uint64_t program_key) {
+  FlushProgramVerdicts();
+  verdicts_.Clear();
+  current_program_key_ = program_key;
+  if (program_key != 0) {
+    auto it = stored_verdicts_.find(program_key);
+    if (it != stored_verdicts_.end()) {
+      for (const auto& [key, entry] : it->second) {
+        verdicts_.InsertByKey(key, entry);
+      }
+    }
+  }
+}
+
+void ValidationCache::FlushProgramVerdicts() {
+  if (current_program_key_ == 0) {
+    return;
+  }
+  auto& archived = stored_verdicts_[current_program_key_];
+  for (const auto& [key, entry] : verdicts_.entries()) {
+    archived.emplace(key, entry);
+  }
+}
+
+void ValidationCache::PreloadVerdict(uint64_t program_key, const Fingerprint& key,
+                                     VerdictCache::Entry entry) {
+  if (program_key == 0) {
+    return;
+  }
+  stored_verdicts_[program_key].emplace(key, std::move(entry));
+}
+
 CacheStats ValidationCache::Stats() const {
   CacheStats stats;
   stats.blast_hits = blast_.hits();

@@ -60,8 +60,17 @@ class VerdictCache {
   const Entry* Find(const Fingerprint& before, const Fingerprint& after);
   void Insert(const Fingerprint& before, const Fingerprint& after, TvPassResult result,
               uint32_t queries);
+  // Insert under an already-combined (before, after) key — the reload path
+  // of cross-run persistence, where only the combined key was stored.
+  void InsertByKey(const Fingerprint& key, Entry entry) {
+    entries_.emplace(key, std::move(entry));
+  }
   void Clear() { entries_.clear(); }
   size_t size() const { return entries_.size(); }
+
+  const std::unordered_map<Fingerprint, Entry, FingerprintHash>& entries() const {
+    return entries_;
+  }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -88,12 +97,35 @@ Fingerprint SemanticsFingerprint(StructHasher& hasher, const BlockSemantics& sem
 // cross-program verdict reuse would make a worker's answers depend on which
 // programs it happened to process, and parallel campaign reports must stay
 // bit-identical for any scheduling.
+//
+// Cross-run persistence (src/cache/cache_file) keeps that scoping: stored
+// verdicts are grouped under a caller-supplied *program key* (a content hash
+// of the program), and BeginProgram(key) preloads exactly that program's
+// stored entries — a warm worker answers a program's queries from what any
+// previous run learned about *that program*, never from a neighbour.
 class ValidationCache {
  public:
   BlastCache& blast() { return blast_; }
   VerdictCache& verdicts() { return verdicts_; }
 
-  void BeginProgram() { verdicts_.Clear(); }
+  // Starts a new program scope. Key 0 = anonymous: verdicts are cleared but
+  // nothing is stored or preloaded. A non-zero key archives the finished
+  // program's verdicts under its key and preloads any stored entries for
+  // the new one.
+  void BeginProgram(uint64_t program_key = 0);
+
+  // Archives the open program's verdicts (call before serializing).
+  void Seal() { FlushProgramVerdicts(); }
+
+  // The reload path: installs one stored verdict under `program_key`.
+  void PreloadVerdict(uint64_t program_key, const Fingerprint& key, VerdictCache::Entry entry);
+
+  // Stored verdicts, grouped by program key in key order (deterministic
+  // serialization).
+  const std::map<uint64_t, std::map<Fingerprint, VerdictCache::Entry>>& stored_verdicts()
+      const {
+    return stored_verdicts_;
+  }
 
   // Counters accumulated since construction (verdict-layer counters are
   // kept across BeginProgram).
@@ -102,8 +134,14 @@ class ValidationCache {
   void CountShortCircuit() { ++pairs_short_circuited_; }
 
  private:
+  void FlushProgramVerdicts();
+
   BlastCache blast_;
   VerdictCache verdicts_;
+  uint64_t current_program_key_ = 0;
+  // Verdicts archived per program key; ordered maps so serialization is
+  // deterministic for any insertion order.
+  std::map<uint64_t, std::map<Fingerprint, VerdictCache::Entry>> stored_verdicts_;
   uint64_t queries_skipped_ = 0;
   uint64_t pairs_short_circuited_ = 0;
 };

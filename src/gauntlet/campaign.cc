@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/cache/verdict_cache.h"
+#include "src/frontend/printer.h"
 #include "src/target/lowering.h"
 #include "src/target/target.h"
 #include "src/tv/validator.h"
@@ -198,10 +199,12 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
   bool crashed_this_program = false;
   bool semantic_this_program = false;
   if (cache != nullptr) {
-    // Blast templates persist across programs; verdict entries do not (see
-    // ValidationCache), keeping results independent of which programs this
-    // worker happened to process before.
-    cache->BeginProgram();
+    // Blast templates persist across programs; verdict entries are scoped
+    // to this program's content hash (see ValidationCache), keeping results
+    // independent of which programs this worker happened to process before
+    // — and letting a --cache-file warm start reload exactly this program's
+    // verdicts from an earlier run.
+    cache->BeginProgram(HashProgram(program));
   }
 
   // --- Technique 2 (§5): translation validation over the open pipeline ---

@@ -67,6 +67,9 @@ const std::vector<BugInfo>& BugCatalogue() {
       {BugId::kEbpfCrashStackOverflow, "ebpf-crash-stack-overflow", BugKind::kCrash,
        BugLocation::kBackEndEbpf, "EbpfStackAllocator",
        "§4.2 back-end skeletons (stack frame)"},
+      {BugId::kEbpfCrashVerifierLoopBound, "ebpf-crash-verifier-loop-bound", BugKind::kCrash,
+       BugLocation::kBackEndEbpf, "EbpfVerifier",
+       "§4.2 back-end skeletons (bounded parse loop)"},
   };
   return catalogue;
 }

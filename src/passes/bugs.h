@@ -55,6 +55,8 @@ enum class BugId {
   kEbpfMapKeyByteOrderSwap,    // map lookups read multi-byte keys host-order while the
                                // control plane installed them network-order
   kEbpfCrashStackOverflow,     // crash: parsed headers exceed the modelled stack frame
+  kEbpfCrashVerifierLoopBound, // crash: the in-kernel verifier rejects a parse loop
+                               // unrolled past its bounded-iteration budget
 };
 
 enum class BugKind { kCrash, kSemantic };

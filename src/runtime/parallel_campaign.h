@@ -17,6 +17,12 @@ struct ParallelCampaignOptions {
   // When non-empty, every distinct finding is persisted as a
   // <key>.p4 / <key>.stf / <key>.finding.json reproducer triple here.
   std::string corpus_dir;
+  // When non-empty (and campaign.use_cache is on), warm-starts every worker
+  // from this serialized cache (src/cache/cache_file) and rewrites it with
+  // the merged worker caches after the run — repeated CI campaigns reuse
+  // blast templates and per-program verdicts across processes. Every worker
+  // loads the identical file, so reports stay bit-identical for any --jobs.
+  std::string cache_file;
 };
 
 // The scaled campaign driver (ROADMAP "parallel campaign workers"): shards

@@ -1,6 +1,7 @@
 #include "src/sym/interpreter.h"
 
 #include "src/support/error.h"
+#include "src/table/table_model.h"
 
 namespace gauntlet {
 
@@ -9,8 +10,9 @@ namespace {
 // Shared implementation state for interpreting one block.
 class InterpreterImpl {
  public:
-  InterpreterImpl(SmtContext& context, const Program& program, const std::string& prefix)
-      : ctx_(context), program_(program), prefix_(prefix) {
+  InterpreterImpl(SmtContext& context, const Program& program, const std::string& prefix,
+                  size_t table_entries)
+      : ctx_(context), program_(program), prefix_(prefix), table_entries_(table_entries) {
     exited_ = ctx_.False();
   }
 
@@ -441,73 +443,67 @@ class InterpreterImpl {
     env_.PopLayer();
   }
 
-  // --- tables (paper Figure 3) ---
+  // --- tables (paper Figure 3, generalized to N entries — src/table/) ---
 
   void ApplyTable(const TableDecl& table, SmtRef path_guard) {
     const SmtRef guard = EffectiveGuard(path_guard);
-    TableInfo info;
-    info.table_name = table.name();
-    // Hit condition: every key column equals its symbolic match variable.
-    SmtRef hit = ctx_.True();
-    for (size_t i = 0; i < table.keys().size(); ++i) {
-      const SmtRef key_value = Eval(*table.keys()[i].expr, path_guard);
-      const std::string var_name =
-          prefix_ + table.name() + "_key_" + std::to_string(i);
-      const SmtRef key_var = ctx_.Var(var_name, ctx_.WidthOf(key_value));
-      info.key_vars.push_back(var_name);
-      hit = ctx_.BoolAnd(hit, ctx_.Eq(key_value, key_var));
+    GAUNTLET_BUG_CHECK(current_control_ != nullptr, "table applied outside a control");
+    const TableModel model(*current_control_, table);
+
+    // Key expressions evaluate once, in column order (their side effects —
+    // there are none in the supported fragment — would land here).
+    std::vector<SmtRef> key_values;
+    key_values.reserve(table.keys().size());
+    for (const TableKey& key : table.keys()) {
+      key_values.push_back(Eval(*key.expr, path_guard));
     }
-    if (table.keys().empty()) {
-      // A keyless table can only run its default action.
-      hit = ctx_.False();
+    SymbolicEntrySet entry_set(ctx_, model, prefix_, key_values, table_entries_);
+
+    // Decision conditions, in evaluation order: which slot wins the lookup,
+    // whether adjacent slots overlap on the key (the entry-shadowing
+    // scenario), then which listed action the winner selects. Path
+    // enumeration flipping these is what makes "hit the second installed
+    // entry" and "two installed entries match this packet" ordinary
+    // symbolic paths.
+    for (const SymbolicTableEntry& entry : entry_set.info().entries) {
+      result_.branch_conditions.push_back(ctx_.BoolAnd(guard, entry.win_condition));
     }
-    const std::string action_var_name = prefix_ + table.name() + "_action";
-    const SmtRef action_var = ctx_.Var(action_var_name, 16);
-    info.action_var = action_var_name;
-    info.hit_condition = hit;
-    result_.branch_conditions.push_back(ctx_.BoolAnd(guard, hit));
+    for (const SmtRef& overlap : entry_set.OverlapConditions()) {
+      result_.branch_conditions.push_back(ctx_.BoolAnd(guard, overlap));
+    }
 
     SmtRef any_selected = ctx_.False();
-    for (size_t i = 0; i < table.actions().size(); ++i) {
-      const std::string& action_name = table.actions()[i];
-      const ActionDecl* action = FindAction(action_name);
-      GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at interpretation time");
-      const SmtRef selected =
-          ctx_.BoolAnd(hit, ctx_.Eq(action_var, ctx_.Const(16, i + 1)));
-      result_.branch_conditions.push_back(ctx_.BoolAnd(guard, selected));
-      // Control-plane action data: one symbolic variable per parameter.
-      std::vector<std::pair<std::string, SymValue>> bindings;
-      std::vector<std::string> data_vars;
-      for (const Param& param : action->params()) {
-        const std::string var_name =
-            prefix_ + table.name() + "_" + action_name + "_" + param.name;
-        SymValue value;
-        value.type = param.type;
-        value.scalar = param.type->IsBool() ? ctx_.BoolVar(var_name)
-                                            : ctx_.Var(var_name, param.type->width());
-        data_vars.push_back(var_name);
-        bindings.emplace_back(param.name, std::move(value));
+    if (entry_set.size() > 0) {
+      for (size_t i = 0; i < model.action_count(); ++i) {
+        const ActionDecl& action = model.action(i);
+        const SmtRef selected = entry_set.ActionSelected(i);
+        result_.branch_conditions.push_back(ctx_.BoolAnd(guard, selected));
+        // Control-plane action data: the winning slot's symbolic arguments.
+        std::vector<std::pair<std::string, SymValue>> bindings;
+        for (size_t p = 0; p < action.params().size(); ++p) {
+          SymValue value;
+          value.type = action.params()[p].type;
+          value.scalar = entry_set.ActionDataValue(i, p);
+          bindings.emplace_back(action.params()[p].name, std::move(value));
+        }
+        ExecBoundAction(action, std::move(bindings), ctx_.BoolAnd(path_guard, selected));
+        any_selected = ctx_.BoolOr(any_selected, selected);
       }
-      info.action_names.push_back(action_name);
-      info.action_data_vars.push_back(std::move(data_vars));
-      ExecBoundAction(*action, std::move(bindings), ctx_.BoolAnd(path_guard, selected));
-      any_selected = ctx_.BoolOr(any_selected, selected);
     }
 
-    // Miss (or an action index outside the listed set) runs the default
+    // Miss — no slot wins (keyless tables never hit) — runs the default
     // action with its compile-time constant arguments.
-    const ActionDecl* default_action = FindAction(table.default_action());
-    GAUNTLET_BUG_CHECK(default_action != nullptr, "unknown default action");
+    const ActionDecl& default_action = model.default_action();
     std::vector<std::pair<std::string, SymValue>> default_bindings;
-    for (size_t i = 0; i < default_action->params().size(); ++i) {
+    for (size_t i = 0; i < default_action.params().size(); ++i) {
       SymValue value;
-      value.type = default_action->params()[i].type;
+      value.type = default_action.params()[i].type;
       value.scalar = Eval(*table.default_args()[i], path_guard);
-      default_bindings.emplace_back(default_action->params()[i].name, std::move(value));
+      default_bindings.emplace_back(default_action.params()[i].name, std::move(value));
     }
     const SmtRef default_guard = ctx_.BoolAnd(path_guard, ctx_.BoolNot(any_selected));
-    ExecBoundAction(*default_action, std::move(default_bindings), default_guard);
-    result_.tables.push_back(std::move(info));
+    ExecBoundAction(default_action, std::move(default_bindings), default_guard);
+    result_.tables.push_back(entry_set.TakeInfo());
   }
 
   const ActionDecl* FindAction(const std::string& name) const {
@@ -736,6 +732,7 @@ class InterpreterImpl {
   SmtContext& ctx_;
   const Program& program_;
   std::string prefix_;
+  size_t table_entries_;
   BlockSemantics result_;
   SymEnv env_;
   std::vector<Frame> frames_;
@@ -755,13 +752,13 @@ class InterpreterImpl {
 BlockSemantics SymbolicInterpreter::InterpretControl(const Program& program,
                                                      const ControlDecl& control,
                                                      bool is_deparser) {
-  InterpreterImpl impl(context_, program, "");
+  InterpreterImpl impl(context_, program, "", table_entries_);
   return impl.InterpretControl(control, is_deparser);
 }
 
 BlockSemantics SymbolicInterpreter::InterpretParser(const Program& program,
                                                     const ParserDecl& parser) {
-  InterpreterImpl impl(context_, program, "");
+  InterpreterImpl impl(context_, program, "", table_entries_);
   return impl.InterpretParser(parser);
 }
 
@@ -783,8 +780,9 @@ namespace {
 // Interprets a block with a name prefix so several blocks can share one
 // context without variable collisions.
 BlockSemantics InterpretWithPrefix(SmtContext& context, const Program& program,
-                                   const PackageBlock& block, const std::string& prefix) {
-  InterpreterImpl impl(context, program, prefix);
+                                   const PackageBlock& block, const std::string& prefix,
+                                   size_t table_entries) {
+  InterpreterImpl impl(context, program, prefix, table_entries);
   if (block.role == BlockRole::kParser) {
     const ParserDecl* parser = program.FindParser(block.decl_name);
     GAUNTLET_BUG_CHECK(parser != nullptr, "parser binding is not a parser");
@@ -828,23 +826,23 @@ PipelineSemantics SymbolicInterpreter::InterpretPipeline(const Program& program)
 
   const BlockSemantics* previous = nullptr;
   if (parser_block != nullptr) {
-    pipeline.parser = InterpretWithPrefix(context_, program, *parser_block, "p::");
+    pipeline.parser = InterpretWithPrefix(context_, program, *parser_block, "p::", table_entries_);
     pipeline.has_parser = true;
     previous = &pipeline.parser;
   }
-  pipeline.ingress = InterpretWithPrefix(context_, program, *ingress_block, "ig::");
+  pipeline.ingress = InterpretWithPrefix(context_, program, *ingress_block, "ig::", table_entries_);
   if (previous != nullptr) {
     GlueBlocks(context_, *previous, "ig::", pipeline.ingress, pipeline.glue, pipeline.glued_inputs);
   }
   previous = &pipeline.ingress;
   if (egress_block != nullptr) {
-    pipeline.egress = InterpretWithPrefix(context_, program, *egress_block, "eg::");
+    pipeline.egress = InterpretWithPrefix(context_, program, *egress_block, "eg::", table_entries_);
     pipeline.has_egress = true;
     GlueBlocks(context_, *previous, "eg::", pipeline.egress, pipeline.glue, pipeline.glued_inputs);
     previous = &pipeline.egress;
   }
   if (deparser_block != nullptr) {
-    pipeline.deparser = InterpretWithPrefix(context_, program, *deparser_block, "dp::");
+    pipeline.deparser = InterpretWithPrefix(context_, program, *deparser_block, "dp::", table_entries_);
     pipeline.has_deparser = true;
     GlueBlocks(context_, *previous, "dp::", pipeline.deparser, pipeline.glue, pipeline.glued_inputs);
   }

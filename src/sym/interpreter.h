@@ -7,25 +7,15 @@
 #include "src/ast/program.h"
 #include "src/smt/expr.h"
 #include "src/sym/value.h"
+#include "src/table/entry_set.h"
 
 namespace gauntlet {
 
-// Symbolic variable names of the control-plane state of one table: one
-// symbolic match key per key column and one symbolic action index, encoding
-// arbitrary table contents with O(1) symbolic variables (paper Figure 3).
-struct TableInfo {
-  std::string table_name;
-  std::vector<std::string> key_vars;    // "t_key_0", ... (bit vars)
-  std::string action_var;               // "t_action" (bit<16> var)
-  std::vector<std::string> action_names;  // listed actions; index i selects value i+1
-  // action_data_vars[i] are the symbolic control-plane argument names for
-  // action_names[i].
-  std::vector<std::vector<std::string>> action_data_vars;
-  // The unguarded hit condition (key expression == key vars); False for
-  // keyless tables. Lets a model consumer distinguish "this path hits the
-  // installed entry" from "the action index merely landed in range".
-  SmtRef hit_condition;
-};
+// The number of symbolic entry slots the interpreter encodes per table by
+// default (src/table/entry_set.h, paper Fig. 3 generalized to N entries).
+// Two slots make entry shadowing and non-first-entry hits symbolically
+// reachable while keeping formula growth linear in N.
+inline constexpr size_t kDefaultSymbolicTableEntries = 2;
 
 // The input-output semantics of one programmable block, as a functional
 // form over the SmtContext (the paper's "single nested if-then-else Z3
@@ -38,11 +28,12 @@ struct BlockSemantics {
   std::vector<std::pair<std::string, SmtRef>> outputs;
 
   // Decision conditions recorded in evaluation order: if-conditions, table
-  // hit/action-selection conditions, parser select matches. Drives the
-  // test-case generator's path enumeration (section 6).
+  // entry-win / entry-overlap / action-selection conditions, parser select
+  // matches. Drives the test-case generator's path enumeration (section 6).
   std::vector<SmtRef> branch_conditions;
 
-  // Symbolic control-plane state of every applied table.
+  // Symbolic control-plane state of every applied table (the N-entry
+  // encoding of src/table/entry_set.h).
   std::vector<TableInfo> tables;
 
   // Names of the free input variables created for this block, in creation
@@ -82,7 +73,10 @@ struct PipelineSemantics {
 //   * copy-in/copy-out calling convention with left-to-right argument
 //     evaluation and unconditional copy-out (the spec interpretation that
 //     resolved the Fig. 5f ambiguity);
-//   * symbolic per-table key and action-index variables (Fig. 3);
+//   * N symbolic entry slots per table — per-slot key / action-index /
+//     action-data / priority variables (Fig. 3 generalized; the encoding
+//     itself lives in src/table/entry_set.h so it cannot drift from the
+//     concrete executor's table semantics);
 //   * header validity: setValid on an invalid header scrambles the fields
 //     to fresh unknowns; invalid headers contribute canonical zeros to the
 //     block outputs;
@@ -90,11 +84,14 @@ struct PipelineSemantics {
 //     named variables "undef<N>" numbered in interpretation order.
 //
 // One interpreter interprets into one SmtContext; both programs of a
-// translation-validation pair must use the same context so identically
-// named inputs unify.
+// translation-validation pair must use the same context — and the same
+// `table_entries` count, so their table encodings unify variable-for-
+// variable.
 class SymbolicInterpreter {
  public:
-  explicit SymbolicInterpreter(SmtContext& context) : context_(context) {}
+  explicit SymbolicInterpreter(SmtContext& context,
+                               size_t table_entries = kDefaultSymbolicTableEntries)
+      : context_(context), table_entries_(table_entries == 0 ? 1 : table_entries) {}
 
   // Interprets a control bound as ingress/egress (match-action) or deparser.
   BlockSemantics InterpretControl(const Program& program, const ControlDecl& control,
@@ -110,6 +107,7 @@ class SymbolicInterpreter {
   BlockSemantics InterpretRole(const Program& program, BlockRole role);
 
   SmtContext& context() { return context_; }
+  size_t table_entries() const { return table_entries_; }
 
   // Maximum parser state visits along one path before the interpreter
   // reports an unsupported parser loop.
@@ -118,6 +116,7 @@ class SymbolicInterpreter {
  private:
   friend class InterpreterImpl;
   SmtContext& context_;
+  size_t table_entries_;
 };
 
 // Checks two block semantics for input-output equivalence: returns an

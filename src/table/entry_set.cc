@@ -1,0 +1,186 @@
+#include "src/table/entry_set.h"
+
+#include <algorithm>
+
+#include "src/support/error.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+SymbolicEntrySet::SymbolicEntrySet(SmtContext& ctx, const TableModel& model,
+                                   const std::string& prefix,
+                                   const std::vector<SmtRef>& key_values, size_t num_entries)
+    : ctx_(ctx) {
+  info_.table_name = model.name();
+  for (size_t i = 0; i < model.action_count(); ++i) {
+    info_.action_names.push_back(model.action_name(i));
+  }
+  info_.hit_condition = ctx.False();
+  if (model.keyless()) {
+    // A keyless table has no lookup: no slots, hit stays False, and the
+    // default action is the only behavior.
+    return;
+  }
+  GAUNTLET_BUG_CHECK(key_values.size() == model.key_count(),
+                     "key value count does not match the table declaration");
+
+  const std::string base = prefix + model.name();
+  for (size_t slot = 0; slot < num_entries; ++slot) {
+    SymbolicTableEntry entry;
+    const std::string slot_base = base + "_e" + std::to_string(slot);
+
+    SmtRef keys_equal = ctx.True();
+    for (size_t i = 0; i < key_values.size(); ++i) {
+      const std::string var_name = slot_base + "_key_" + std::to_string(i);
+      const SmtRef key_var = ctx.Var(var_name, ctx.WidthOf(key_values[i]));
+      entry.key_vars.push_back(var_name);
+      keys_equal = ctx.BoolAnd(keys_equal, ctx.Eq(key_values[i], key_var));
+    }
+
+    entry.action_var = slot_base + "_action";
+    const SmtRef action_var = ctx.Var(entry.action_var, kActionIndexWidth);
+    entry.priority_var = slot_base + "_prio";
+    const SmtRef priority_var = ctx.Var(entry.priority_var, kPriorityWidth);
+
+    // Installed iff the action index selects a listed action (1-based; 0 and
+    // out-of-range mean the slot is empty).
+    entry.installed_condition = ctx.BoolAnd(
+        ctx.BoolNot(ctx.Eq(action_var, ctx.Const(kActionIndexWidth, 0))),
+        ctx.Ule(action_var, ctx.Const(kActionIndexWidth, model.action_count())));
+    entry.match_condition = ctx.BoolAnd(entry.installed_condition, keys_equal);
+
+    for (size_t i = 0; i < model.action_count(); ++i) {
+      const ActionDecl& action = model.action(i);
+      std::vector<std::string> data_vars;
+      for (const Param& param : action.params()) {
+        data_vars.push_back(slot_base + "_" + model.action_name(i) + "_" + param.name);
+      }
+      entry.action_data_vars.push_back(std::move(data_vars));
+    }
+
+    action_refs_.push_back(action_var);
+    priority_refs_.push_back(priority_var);
+    info_.entries.push_back(std::move(entry));
+  }
+
+  // Materialize the data variables (after the loop so allocation order is
+  // slot-major, matching the names the testgen model reader expects).
+  data_refs_.resize(info_.entries.size());
+  for (size_t slot = 0; slot < info_.entries.size(); ++slot) {
+    data_refs_[slot].resize(model.action_count());
+    for (size_t i = 0; i < model.action_count(); ++i) {
+      const ActionDecl& action = model.action(i);
+      for (size_t p = 0; p < action.params().size(); ++p) {
+        const std::string& var_name = info_.entries[slot].action_data_vars[i][p];
+        const TypePtr& param_type = action.params()[p].type;
+        data_refs_[slot][i].push_back(param_type->IsBool()
+                                          ? ctx.BoolVar(var_name)
+                                          : ctx.Var(var_name, param_type->width()));
+      }
+    }
+  }
+
+  // Winner: the matching slot with the lowest priority; ties break toward
+  // the lower slot index. This is first-match over the (priority, slot)
+  // installation order EntriesFromModel emits.
+  for (size_t slot = 0; slot < info_.entries.size(); ++slot) {
+    SmtRef wins = info_.entries[slot].match_condition;
+    for (size_t other = 0; other < info_.entries.size(); ++other) {
+      if (other == slot) {
+        continue;
+      }
+      const SmtRef beats = slot < other
+                               ? ctx.Ule(priority_refs_[slot], priority_refs_[other])
+                               : ctx.Ult(priority_refs_[slot], priority_refs_[other]);
+      wins = ctx.BoolAnd(
+          wins, ctx.BoolOr(ctx.BoolNot(info_.entries[other].match_condition), beats));
+    }
+    info_.entries[slot].win_condition = wins;
+    info_.hit_condition = ctx.BoolOr(info_.hit_condition, wins);
+  }
+}
+
+SmtRef SymbolicEntrySet::ActionSelected(size_t action_index) const {
+  SmtRef selected = ctx_.False();
+  for (size_t slot = 0; slot < info_.entries.size(); ++slot) {
+    selected = ctx_.BoolOr(
+        selected,
+        ctx_.BoolAnd(info_.entries[slot].win_condition,
+                     ctx_.Eq(action_refs_[slot],
+                             ctx_.Const(kActionIndexWidth, action_index + 1))));
+  }
+  return selected;
+}
+
+SmtRef SymbolicEntrySet::ActionDataValue(size_t action_index, size_t param_index) const {
+  GAUNTLET_BUG_CHECK(!info_.entries.empty(), "action data requested from an empty entry set");
+  SmtRef value = data_refs_[0][action_index][param_index];
+  const bool is_bool = ctx_.IsBool(value);
+  for (size_t slot = 1; slot < info_.entries.size(); ++slot) {
+    const SmtRef slot_value = data_refs_[slot][action_index][param_index];
+    value = is_bool ? ctx_.BoolIte(info_.entries[slot].win_condition, slot_value, value)
+                    : ctx_.Ite(info_.entries[slot].win_condition, slot_value, value);
+  }
+  return value;
+}
+
+std::vector<SmtRef> SymbolicEntrySet::OverlapConditions() const {
+  std::vector<SmtRef> overlaps;
+  for (size_t slot = 1; slot < info_.entries.size(); ++slot) {
+    overlaps.push_back(ctx_.BoolAnd(info_.entries[slot - 1].match_condition,
+                                    info_.entries[slot].match_condition));
+  }
+  return overlaps;
+}
+
+std::vector<TableEntry> EntriesFromModel(const SmtModel& model, const TableInfo& info) {
+  // A variable absent from the model reads as zero — solver models are
+  // complete, but hand-built models (tests) only mention installed slots,
+  // and an absent action index is exactly "slot empty".
+  const auto bits_of = [&model](const std::string& name) {
+    const auto it = model.bit_values.find(name);
+    return it != model.bit_values.end() ? it->second.bits() : 0;
+  };
+  struct Installed {
+    uint64_t priority;
+    size_t slot;
+    TableEntry entry;
+  };
+  std::vector<Installed> installed;
+  for (size_t slot = 0; slot < info.entries.size(); ++slot) {
+    const SymbolicTableEntry& symbolic = info.entries[slot];
+    const uint64_t action_index = bits_of(symbolic.action_var);
+    if (action_index < 1 || action_index > info.action_names.size()) {
+      continue;  // empty slot
+    }
+    Installed record;
+    record.priority = bits_of(symbolic.priority_var);
+    record.slot = slot;
+    for (const std::string& key_var : symbolic.key_vars) {
+      record.entry.key.push_back(model.BitOf(key_var));
+    }
+    record.entry.action = info.action_names[action_index - 1];
+    for (const std::string& data_var : symbolic.action_data_vars[action_index - 1]) {
+      auto bit_it = model.bit_values.find(data_var);
+      if (bit_it != model.bit_values.end()) {
+        record.entry.action_data.push_back(bit_it->second);
+      } else {
+        record.entry.action_data.push_back(BitValue(1, model.BoolOf(data_var) ? 1 : 0));
+      }
+    }
+    installed.push_back(std::move(record));
+  }
+  std::stable_sort(installed.begin(), installed.end(),
+                   [](const Installed& a, const Installed& b) {
+                     return a.priority != b.priority ? a.priority < b.priority
+                                                     : a.slot < b.slot;
+                   });
+  std::vector<TableEntry> entries;
+  entries.reserve(installed.size());
+  for (Installed& record : installed) {
+    entries.push_back(std::move(record.entry));
+  }
+  return entries;
+}
+
+}  // namespace gauntlet

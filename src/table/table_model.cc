@@ -1,0 +1,178 @@
+#include "src/table/table_model.h"
+
+#include "src/support/error.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+
+uint64_t ReverseWholeBytes(uint64_t bits, uint32_t width) {
+  if (width < 16 || width % 8 != 0) {
+    return bits;
+  }
+  uint64_t reversed = 0;
+  for (uint32_t byte = 0; byte < width / 8; ++byte) {
+    reversed = (reversed << 8) | ((bits >> (8 * byte)) & 0xffu);
+  }
+  return reversed;
+}
+
+BitValue ApplyKeyTransform(KeyTransform transform, const BitValue& value) {
+  if (transform == KeyTransform::kIdentity) {
+    return value;
+  }
+  return BitValue(value.width(), ReverseWholeBytes(value.bits(), value.width()));
+}
+
+BitValue ApplyDataTransform(DataTransform transform, const BitValue& value) {
+  if (transform == DataTransform::kIdentity) {
+    return value;
+  }
+  return BitValue(value.width(), ReverseWholeBytes(value.bits(), value.width()));
+}
+
+const ActionDecl* TableModel::FindControlAction(const ControlDecl& control,
+                                                const std::string& name) const {
+  const Decl* local = control.FindLocal(name);
+  if (local != nullptr && local->kind() == DeclKind::kAction) {
+    return static_cast<const ActionDecl*>(local);
+  }
+  return nullptr;
+}
+
+TableModel::TableModel(const ControlDecl& control, const TableDecl& table) : table_(&table) {
+  actions_.reserve(table.actions().size());
+  for (const std::string& action_name : table.actions()) {
+    const ActionDecl* action = FindControlAction(control, action_name);
+    GAUNTLET_BUG_CHECK(action != nullptr,
+                       "table '" + table.name() + "' lists unknown action '" + action_name + "'");
+    actions_.push_back(action);
+  }
+  default_action_ = FindControlAction(control, table.default_action());
+  GAUNTLET_BUG_CHECK(default_action_ != nullptr,
+                     "table '" + table.name() + "' has unknown default action '" +
+                         table.default_action() + "'");
+}
+
+size_t TableModel::ActionNumber(const std::string& action_name) const {
+  for (size_t i = 0; i < table_->actions().size(); ++i) {
+    if (table_->actions()[i] == action_name) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+void TableModel::ValidateEntry(const TableEntry& entry,
+                               const std::vector<uint32_t>& key_widths) const {
+  if (entry.key.size() != key_widths.size()) {
+    throw CompileError("table '" + name() + "': installed entry has " +
+                       std::to_string(entry.key.size()) + " key columns, expected " +
+                       std::to_string(key_widths.size()));
+  }
+  for (size_t i = 0; i < key_widths.size(); ++i) {
+    if (entry.key[i].width() != key_widths[i]) {
+      throw CompileError("table '" + name() + "': entry key column " + std::to_string(i) +
+                         " is " + entry.key[i].ToString() + " but the table key is bit<" +
+                         std::to_string(key_widths[i]) + ">");
+    }
+  }
+  const size_t action_number = ActionNumber(entry.action);
+  if (action_number == 0) {
+    throw CompileError("table '" + name() + "': entry action '" + entry.action +
+                       "' is not among the table's listed actions");
+  }
+  const ActionDecl& entry_action = action(action_number - 1);
+  if (entry.action_data.size() != entry_action.params().size()) {
+    throw CompileError("table '" + name() + "': entry supplies " +
+                       std::to_string(entry.action_data.size()) + " action-data values, '" +
+                       entry.action + "' takes " +
+                       std::to_string(entry_action.params().size()));
+  }
+  for (size_t i = 0; i < entry.action_data.size(); ++i) {
+    const TypePtr& param_type = entry_action.params()[i].type;
+    const uint32_t expected = param_type->IsBool() ? 1 : param_type->width();
+    if (entry.action_data[i].width() != expected) {
+      throw CompileError("table '" + name() + "': action-data value " + std::to_string(i) +
+                         " is " + entry.action_data[i].ToString() + " but '" + entry.action +
+                         "' parameter " + std::to_string(i) + " is " +
+                         std::to_string(expected) + " bits wide");
+    }
+  }
+}
+
+TableModel::Outcome TableModel::Resolve(const std::vector<TableEntry>& entries,
+                                        const std::vector<BitValue>& lookup_key,
+                                        const TableSemantics& semantics) const {
+  Outcome outcome;
+
+  // A keyless table can never hit: it compiles to a direct call on the miss
+  // path (so the key transform has nothing to touch).
+  if (!keyless()) {
+    std::vector<BitValue> transformed_key;
+    std::vector<uint32_t> key_widths;
+    transformed_key.reserve(lookup_key.size());
+    key_widths.reserve(lookup_key.size());
+    for (const BitValue& column : lookup_key) {
+      transformed_key.push_back(ApplyKeyTransform(semantics.key_transform, column));
+      key_widths.push_back(column.width());
+    }
+
+    // Every installed entry is validated, matching or not: a malformed row
+    // must fail loudly even when another entry would win the lookup.
+    const TableEntry* hit = nullptr;
+    for (const TableEntry& entry : entries) {
+      ValidateEntry(entry, key_widths);
+      bool matches = true;
+      for (size_t i = 0; i < transformed_key.size(); ++i) {
+        matches &= entry.key[i].bits() == transformed_key[i].bits();
+      }
+      if (matches && (hit == nullptr || semantics.order == MatchOrder::kLastInstalled)) {
+        hit = &entry;
+      }
+    }
+
+    if (hit != nullptr) {
+      const size_t action_number = ActionNumber(hit->action);
+      outcome.kind = Outcome::Kind::kRunAction;
+      outcome.action = &action(action_number - 1);
+      outcome.action_data.reserve(hit->action_data.size());
+      for (const BitValue& value : hit->action_data) {
+        outcome.action_data.push_back(ApplyDataTransform(semantics.data_transform, value));
+      }
+      return outcome;
+    }
+  }
+
+  // Miss path (a keyless table always misses). The miss rewrites apply here
+  // with one exception: kDropPacket models a *map lookup* aborting, and
+  // keyless tables compile to direct calls, not map lookups.
+  switch (semantics.miss) {
+    case MissBehavior::kRunDefaultAction:
+      break;
+    case MissBehavior::kDropPacket:
+      if (!keyless()) {
+        outcome.kind = Outcome::Kind::kDropPacket;
+        return outcome;
+      }
+      break;
+    case MissBehavior::kRunFirstActionZeroData:
+      if (!actions_.empty()) {
+        outcome.kind = Outcome::Kind::kRunAction;
+        outcome.action = actions_.front();
+        for (const Param& param : actions_.front()->params()) {
+          outcome.action_data.emplace_back(param.type->IsBool() ? 1 : param.type->width(), 0);
+        }
+        return outcome;
+      }
+      break;
+    case MissBehavior::kNoAction:
+      outcome.kind = Outcome::Kind::kNoAction;
+      return outcome;
+  }
+
+  outcome.kind = Outcome::Kind::kRunDefaultAction;
+  outcome.action = default_action_;
+  return outcome;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,156 @@
+#ifndef SRC_TABLE_TABLE_MODEL_H_
+#define SRC_TABLE_TABLE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/support/bit_value.h"
+
+namespace gauntlet {
+
+struct TableEntry;
+
+// ---------------------------------------------------------------------------
+// The shared table-semantics layer (paper Figure 3, generalized).
+//
+// Match-action semantics — key matching, entry ordering, default-action
+// fallback — used to be re-implemented independently by the symbolic
+// interpreter (src/sym), the concrete reference executor (src/target) and
+// test generation (src/testgen), with every back-end table fault a bespoke
+// branch in one of them. This layer owns those semantics exactly once:
+//
+//   * TableModel       resolves a declared table against its control's
+//                      actions and answers every structural question the
+//                      engines need (listed actions, default action, key
+//                      arity/widths, entry validation);
+//   * TableSemantics   is the *declarative* description of how a target
+//                      resolves lookups — the reference semantics is one
+//                      value of it, and every seeded back-end table fault is
+//                      a one-field rewrite of it (TargetQuirks are translated
+//                      into a TableSemantics in src/target/concrete.cc);
+//   * Resolve          turns (installed entries, lookup key, semantics) into
+//                      the single action invocation a target performs.
+//
+// The symbolic side of the same model — N symbolic entries per table with a
+// symbolic priority order — lives next door in entry_set.h and inverts to
+// exactly the installed-entry lists Resolve consumes.
+// ---------------------------------------------------------------------------
+
+// How lookups resolve when several installed entries match one key. The
+// reference semantics is first-installed-wins; kLastInstalled is the
+// bmv2-table-priority-inversion rewrite.
+enum class MatchOrder { kFirstInstalled, kLastInstalled };
+
+// Transform applied to the lookup key before comparing against installed
+// entries. kReverseBytes is the ebpf-map-key-byte-order rewrite: the lookup
+// reads multi-byte keys host-order while the control plane installed them
+// network-order (whole-byte columns of 16+ bits only).
+enum class KeyTransform { kIdentity, kReverseBytes };
+
+// Transform applied to a matched entry's control-plane action data before it
+// is bound to the action's parameters. kReverseBytes is the
+// tofino-action-data-endian-swap rewrite (byte-aligned multi-byte arguments
+// only).
+enum class DataTransform { kIdentity, kReverseBytes };
+
+// What happens when no installed entry matches (keyed tables only; keyless
+// tables always run their default action regardless of this field).
+//   kRunDefaultAction       the reference semantics
+//   kDropPacket             ebpf-map-miss-drops-packet (XDP_ABORTED)
+//   kRunFirstActionZeroData bmv2-miss-runs-first-action
+//   kNoAction               tofino-default-skipped
+enum class MissBehavior { kRunDefaultAction, kDropPacket, kRunFirstActionZeroData, kNoAction };
+
+// One target's table semantics as a declarative value. Default-constructed
+// == the reference (source-language) semantics; each seeded table fault is a
+// single-field deviation from it.
+struct TableSemantics {
+  MatchOrder order = MatchOrder::kFirstInstalled;
+  KeyTransform key_transform = KeyTransform::kIdentity;
+  DataTransform data_transform = DataTransform::kIdentity;
+  MissBehavior miss = MissBehavior::kRunDefaultAction;
+
+  static TableSemantics Reference() { return TableSemantics{}; }
+  bool IsReference() const {
+    return order == MatchOrder::kFirstInstalled && key_transform == KeyTransform::kIdentity &&
+           data_transform == DataTransform::kIdentity &&
+           miss == MissBehavior::kRunDefaultAction;
+  }
+};
+
+// Byte-reverses a whole-byte value of 16+ bits; narrower or non-byte-aligned
+// values pass through unchanged (a single byte has no order to confuse).
+// The one spelling of "reverse the bytes" shared by the key and action-data
+// rewrites on both the installing and the looking-up side.
+uint64_t ReverseWholeBytes(uint64_t bits, uint32_t width);
+BitValue ApplyKeyTransform(KeyTransform transform, const BitValue& value);
+BitValue ApplyDataTransform(DataTransform transform, const BitValue& value);
+
+// The authoritative model of one declared table: the declaration resolved
+// against its enclosing control's action declarations. Engines ask the model
+// structural questions instead of re-walking the AST, so the action-index
+// convention (1-based, 0 = miss/uninstalled — paper Fig. 3) and the entry
+// validation rules exist in exactly one place.
+class TableModel {
+ public:
+  // Throws CompilerBugError when the table lists (or defaults to) an action
+  // the control does not declare — the same internal invariant both
+  // interpreters used to assert independently.
+  TableModel(const ControlDecl& control, const TableDecl& table);
+
+  const TableDecl& decl() const { return *table_; }
+  const std::string& name() const { return table_->name(); }
+  bool keyless() const { return table_->keys().empty(); }
+  size_t key_count() const { return table_->keys().size(); }
+
+  size_t action_count() const { return actions_.size(); }
+  const std::string& action_name(size_t index) const { return table_->actions()[index]; }
+  const ActionDecl& action(size_t index) const { return *actions_[index]; }
+  const ActionDecl& default_action() const { return *default_action_; }
+
+  // The Fig. 3 action-index convention: listed action i is selected by index
+  // i + 1; 0 (or any out-of-range index) means miss / not installed.
+  // Returns 0 for an unlisted name.
+  size_t ActionNumber(const std::string& action_name) const;
+
+  // Rejects a malformed installed entry (wrong key arity/width, unlisted
+  // action, wrong action-data shape) with a loud CompileError — a silently
+  // ignored entry would make a hand-edited reproducer stop reproducing
+  // without any indication. `key_widths` are the evaluated key-column widths.
+  void ValidateEntry(const TableEntry& entry, const std::vector<uint32_t>& key_widths) const;
+
+  // The single table invocation a target performs for one lookup.
+  struct Outcome {
+    enum class Kind {
+      kRunAction,         // a matched entry: `action` with `action_data`
+      kRunDefaultAction,  // miss (or keyless): the declared default
+      kDropPacket,        // the kDropPacket miss rewrite fired
+      kNoAction,          // the kNoAction miss rewrite fired
+    };
+    Kind kind = Kind::kRunDefaultAction;
+    const ActionDecl* action = nullptr;   // valid iff kind == kRunAction
+    // Transformed control-plane data, zero-padded to the action's parameter
+    // count (the zero-data miss rewrite installs all-zero arguments).
+    std::vector<BitValue> action_data;
+  };
+
+  // Resolves one lookup under `semantics`: validates every installed entry,
+  // applies the key transform, picks the winner per the match order, and
+  // applies the data transform — or resolves the miss per the miss behavior.
+  // `entries` is the installed control-plane state in installation order.
+  Outcome Resolve(const std::vector<TableEntry>& entries, const std::vector<BitValue>& lookup_key,
+                  const TableSemantics& semantics) const;
+
+ private:
+  const ActionDecl* FindControlAction(const ControlDecl& control, const std::string& name) const;
+
+  const TableDecl* table_;
+  std::vector<const ActionDecl*> actions_;  // resolved, in listed order
+  const ActionDecl* default_action_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_TABLE_TABLE_MODEL_H_

@@ -6,6 +6,30 @@
 
 namespace gauntlet {
 
+TableSemantics TableSemanticsFromQuirks(const TargetQuirks& quirks) {
+  TableSemantics semantics;
+  if (quirks.match_last_entry) {
+    semantics.order = MatchOrder::kLastInstalled;
+  }
+  if (quirks.swap_map_key_bytes) {
+    semantics.key_transform = KeyTransform::kReverseBytes;
+  }
+  if (quirks.swap_action_data_bytes) {
+    semantics.data_transform = DataTransform::kReverseBytes;
+  }
+  // The miss rewrites are mutually exclusive in the catalogue (one per back
+  // end); when several are seeded at once the most destructive wins, which
+  // matches how the old branch chain resolved them.
+  if (quirks.miss_drops_packet) {
+    semantics.miss = MissBehavior::kDropPacket;
+  } else if (quirks.miss_runs_first_action) {
+    semantics.miss = MissBehavior::kRunFirstActionZeroData;
+  } else if (quirks.skip_default_action) {
+    semantics.miss = MissBehavior::kNoAction;
+  }
+  return semantics;
+}
+
 namespace {
 
 // Matches SymbolicInterpreter::kMaxParserDepth so the concrete and symbolic
@@ -164,8 +188,13 @@ class Env {
 // Executes one package block (a parser or a control) concretely.
 class BlockExec {
  public:
-  BlockExec(const Program& program, const TargetQuirks& quirks, const TableConfig& tables)
-      : program_(program), quirks_(quirks), tables_(tables) {}
+  BlockExec(const Program& program, const TargetQuirks& quirks,
+            const std::map<const TableDecl*, TableModel>& models, const TableConfig& tables)
+      : program_(program),
+        quirks_(quirks),
+        table_semantics_(TableSemanticsFromQuirks(quirks)),
+        models_(models),
+        tables_(tables) {}
 
   Env& env() { return env_; }
   bool exited() const { return exited_; }
@@ -483,7 +512,7 @@ class BlockExec {
     env_.PopLayer();
   }
 
-  // --- tables (paper Figure 3, concretely) ---
+  // --- tables (resolved through the shared model layer, src/table/) ---
 
   const ActionDecl* FindAction(const std::string& name) const {
     GAUNTLET_BUG_CHECK(control_ != nullptr, "table applied outside a control");
@@ -495,155 +524,51 @@ class BlockExec {
   }
 
   void ApplyTable(const TableDecl& table) {
+    GAUNTLET_BUG_CHECK(control_ != nullptr, "table applied outside a control");
+    const auto model_it = models_.find(&table);
+    GAUNTLET_BUG_CHECK(model_it != models_.end(), "table missing from the prebuilt models");
+    const TableModel& model = model_it->second;
     std::vector<BitValue> lookup_key;
     lookup_key.reserve(table.keys().size());
     for (const TableKey& key : table.keys()) {
       lookup_key.push_back(Eval(*key.expr).bits);
     }
-    if (quirks_.swap_map_key_bytes) {
-      // The seeded eBPF fault: the generated lookup reads the key in host
-      // byte order while the installed entries were packed network-order —
-      // every whole-byte multi-byte key column compares byte-reversed.
-      for (BitValue& column : lookup_key) {
-        column = ReverseKeyBytes(column);
-      }
-    }
+    static const std::vector<TableEntry> kNoEntries;
+    const auto entries_it = tables_.find(table.name());
+    const std::vector<TableEntry>& entries =
+        entries_it != tables_.end() ? entries_it->second : kNoEntries;
 
-    // Exact-match lookup, first installed entry wins. A keyless table can
-    // only run its default action, matching the symbolic encoding.
-    // Malformed control-plane rows (wrong arity/width, unlisted action) are
-    // rejected loudly — a silently ignored entry would make a hand-edited
-    // reproducer stop reproducing without any indication.
-    const TableEntry* hit = nullptr;
-    if (!table.keys().empty()) {
-      auto entries_it = tables_.find(table.name());
-      if (entries_it != tables_.end()) {
-        for (const TableEntry& entry : entries_it->second) {
-          ValidateEntry(table, entry, lookup_key);
-          bool matches = true;
-          for (size_t i = 0; i < lookup_key.size(); ++i) {
-            matches &= entry.key[i].bits() == lookup_key[i].bits();
-          }
-          if (matches && (hit == nullptr || quirks_.match_last_entry)) {
-            // First match wins (keep validating the rest); the seeded
-            // priority-inversion fault keeps overwriting, so the last
-            // installed match wins instead.
-            hit = &entry;
-          }
-        }
-      }
+    const TableModel::Outcome outcome =
+        model.Resolve(entries, lookup_key, table_semantics_);
+    switch (outcome.kind) {
+      case TableModel::Outcome::Kind::kRunAction:
+        ExecBoundAction(*outcome.action, BindActionData(*outcome.action, outcome.action_data));
+        return;
+      case TableModel::Outcome::Kind::kDropPacket:
+        // The map-miss rewrite: the program aborts (XDP_ABORTED) and the
+        // packet is dropped.
+        dropped_ = true;
+        return;
+      case TableModel::Outcome::Kind::kNoAction:
+        return;  // the skipped-default rewrite: the miss does nothing
+      case TableModel::Outcome::Kind::kRunDefaultAction:
+        break;
     }
-
-    if (hit != nullptr) {
-      const ActionDecl* action = FindAction(hit->action);
-      GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at concrete execution time");
-      ExecBoundAction(*action, BindActionData(*action, hit->action_data));
-      return;
-    }
-
-    // Miss path.
-    if (quirks_.miss_drops_packet && !table.keys().empty()) {
-      // The seeded eBPF fault: a map lookup miss aborts the program
-      // (XDP_ABORTED) instead of running the default action. Keyless tables
-      // compile to direct calls, not map lookups, and are unaffected.
-      dropped_ = true;
-      return;
-    }
-    if (quirks_.miss_runs_first_action && !table.actions().empty()) {
-      // The seeded BMv2 fault: the first listed action runs with zeroed
-      // control-plane data instead of the default action.
-      const ActionDecl* action = FindAction(table.actions()[0]);
-      GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at concrete execution time");
-      ExecBoundAction(*action, BindActionData(*action, {}));
-      return;
-    }
-    if (quirks_.skip_default_action) {
-      return;  // the seeded Tofino fault: the default action is dropped
-    }
-    const ActionDecl* default_action = FindAction(table.default_action());
-    GAUNTLET_BUG_CHECK(default_action != nullptr, "unknown default action");
+    // Default action with its compile-time argument expressions, which only
+    // the executor can evaluate (they may reference control state).
+    const ActionDecl& default_action = model.default_action();
     std::vector<std::pair<std::string, CValue>> bindings;
-    for (size_t i = 0; i < default_action->params().size(); ++i) {
+    for (size_t i = 0; i < default_action.params().size(); ++i) {
       CValue value;
-      value.type = default_action->params()[i].type;
+      value.type = default_action.params()[i].type;
       value.scalar = Eval(*table.default_args()[i]);
-      bindings.emplace_back(default_action->params()[i].name, std::move(value));
+      bindings.emplace_back(default_action.params()[i].name, std::move(value));
     }
-    ExecBoundAction(*default_action, std::move(bindings));
+    ExecBoundAction(default_action, std::move(bindings));
   }
 
-  // Byte-reverses a whole-byte value of 16+ bits; narrower or odd-width
-  // values pass through (a single byte has no order to confuse). Shared by
-  // the action-data and map-key byte-order quirks.
-  static uint64_t ReverseBytes(uint64_t bits, uint32_t width) {
-    if (width < 16 || width % 8 != 0) {
-      return bits;
-    }
-    uint64_t reversed = 0;
-    for (uint32_t byte = 0; byte < width / 8; ++byte) {
-      reversed = (reversed << 8) | ((bits >> (8 * byte)) & 0xffu);
-    }
-    return reversed;
-  }
-
-  static BitValue ReverseKeyBytes(const BitValue& value) {
-    return BitValue(value.width(), ReverseBytes(value.bits(), value.width()));
-  }
-
-  // Rejects malformed installed entries (wrong key arity/width, unlisted
-  // action, wrong action-data shape) instead of silently mismatching them.
-  void ValidateEntry(const TableDecl& table, const TableEntry& entry,
-                     const std::vector<BitValue>& lookup_key) const {
-    if (entry.key.size() != lookup_key.size()) {
-      throw CompileError("table '" + table.name() + "': installed entry has " +
-                         std::to_string(entry.key.size()) + " key columns, expected " +
-                         std::to_string(lookup_key.size()));
-    }
-    for (size_t i = 0; i < lookup_key.size(); ++i) {
-      if (entry.key[i].width() != lookup_key[i].width()) {
-        throw CompileError("table '" + table.name() + "': entry key column " +
-                           std::to_string(i) + " is " + entry.key[i].ToString() +
-                           " but the table key is bit<" +
-                           std::to_string(lookup_key[i].width()) + ">");
-      }
-    }
-    bool listed = false;
-    for (const std::string& action_name : table.actions()) {
-      listed |= action_name == entry.action;
-    }
-    if (!listed) {
-      throw CompileError("table '" + table.name() + "': entry action '" + entry.action +
-                         "' is not among the table's listed actions");
-    }
-    const ActionDecl* action = FindAction(entry.action);
-    GAUNTLET_BUG_CHECK(action != nullptr, "unknown table action at concrete execution time");
-    if (entry.action_data.size() != action->params().size()) {
-      throw CompileError("table '" + table.name() + "': entry supplies " +
-                         std::to_string(entry.action_data.size()) + " action-data values, '" +
-                         entry.action + "' takes " +
-                         std::to_string(action->params().size()));
-    }
-    for (size_t i = 0; i < entry.action_data.size(); ++i) {
-      const TypePtr& param_type = action->params()[i].type;
-      const uint32_t expected = param_type->IsBool() ? 1 : param_type->width();
-      if (entry.action_data[i].width() != expected) {
-        throw CompileError("table '" + table.name() + "': action-data value " +
-                           std::to_string(i) + " is " + entry.action_data[i].ToString() +
-                           " but '" + entry.action + "' parameter " + std::to_string(i) +
-                           " is " + std::to_string(expected) + " bits wide");
-      }
-    }
-  }
-
-  // The kTofinoActionDataEndianSwap fault: byte-aligned multi-byte action
-  // data is loaded with its bytes reversed. Sub-byte and non-byte-aligned
-  // arguments ride in single containers and are unaffected.
-  uint64_t SwapActionDataBytes(uint64_t bits, uint32_t width) const {
-    return quirks_.swap_action_data_bytes ? ReverseBytes(bits, width) : bits;
-  }
-
-  // Binds control-plane action data to an action's parameters; missing
-  // trailing values read as zero (the miss-quirk path installs zeroed data).
+  // Binds control-plane action data (already transformed and zero-padded by
+  // the model's Resolve) to an action's parameters.
   std::vector<std::pair<std::string, CValue>> BindActionData(
       const ActionDecl& action, const std::vector<BitValue>& data) {
     std::vector<std::pair<std::string, CValue>> bindings;
@@ -655,8 +580,7 @@ class BlockExec {
       if (param.type->IsBool()) {
         value.scalar = BoolDatum(bits != 0);
       } else {
-        const uint32_t width = param.type->width();
-        value.scalar = BitDatum(BitValue(width, SwapActionDataBytes(bits, width)));
+        value.scalar = BitDatum(BitValue(param.type->width(), bits));
       }
       bindings.emplace_back(param.name, std::move(value));
     }
@@ -818,6 +742,8 @@ class BlockExec {
 
   const Program& program_;
   const TargetQuirks& quirks_;
+  const TableSemantics table_semantics_;
+  const std::map<const TableDecl*, TableModel>& models_;
   const TableConfig& tables_;
   Env env_;
   std::vector<Frame> frames_;
@@ -892,6 +818,22 @@ void BindControlParams(const Program& program, BlockExec& exec,
 
 }  // namespace
 
+ConcreteInterpreter::ConcreteInterpreter(const Program& program, const TargetQuirks& quirks)
+    : program_(program), quirks_(quirks) {
+  for (const DeclPtr& decl : program.decls()) {
+    if (decl->kind() != DeclKind::kControl) {
+      continue;
+    }
+    const auto& control = static_cast<const ControlDecl&>(*decl);
+    for (const DeclPtr& local : control.locals()) {
+      if (local->kind() == DeclKind::kTable) {
+        const auto* table = static_cast<const TableDecl*>(local.get());
+        models_.emplace(table, TableModel(control, *table));
+      }
+    }
+  }
+}
+
 PacketResult ConcreteInterpreter::RunPacket(const BitString& packet,
                                             const TableConfig& tables) const {
   const PackageBlock* parser_block = program_.FindBlock(BlockRole::kParser);
@@ -911,7 +853,7 @@ PacketResult ConcreteInterpreter::RunPacket(const BitString& packet,
   // --- parser ---
   std::map<std::string, BitValue> leaves;
   {
-    BlockExec exec(program_, quirks_, tables);
+    BlockExec exec(program_, quirks_, models_, tables);
     exec.env().PushLayer();
     // Parser parameters start with invalid headers and undefined (= zero)
     // scalars.
@@ -938,7 +880,7 @@ PacketResult ConcreteInterpreter::RunPacket(const BitString& packet,
     }
     const ControlDecl* control = program_.FindControl(block->decl_name);
     GAUNTLET_BUG_CHECK(control != nullptr, "control binding is not a control");
-    BlockExec exec(program_, quirks_, tables);
+    BlockExec exec(program_, quirks_, models_, tables);
     BindControlParams(program_, exec, control->params(), leaves);
     exec.RunControl(*control, /*is_deparser=*/false);
     if (exec.dropped()) {
@@ -954,7 +896,7 @@ PacketResult ConcreteInterpreter::RunPacket(const BitString& packet,
   {
     const ControlDecl* deparser = program_.FindControl(deparser_block->decl_name);
     GAUNTLET_BUG_CHECK(deparser != nullptr, "deparser binding is not a control");
-    BlockExec exec(program_, quirks_, tables);
+    BlockExec exec(program_, quirks_, models_, tables);
     BindControlParams(program_, exec, deparser->params(), leaves);
     exec.RunControl(*deparser, /*is_deparser=*/true);
     result.output = exec.emitted();
@@ -970,7 +912,7 @@ std::map<std::string, BitValue> ConcreteInterpreter::RunIngressOnScalars(
   GAUNTLET_BUG_CHECK(control != nullptr, "ingress binding is not a control");
   ValidateTableConfig(program_, tables);
 
-  BlockExec exec(program_, quirks_, tables);
+  BlockExec exec(program_, quirks_, models_, tables);
   BindControlParams(program_, exec, control->params(), inputs);
   exec.RunControl(*control, /*is_deparser=*/false);
   std::map<std::string, BitValue> outputs = CollectParamLeaves(control->params(), exec);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/ast/program.h"
+#include "src/table/table_model.h"
 #include "src/target/stf.h"
 
 namespace gauntlet {
@@ -48,6 +49,16 @@ struct TargetQuirks {
   bool swap_map_key_bytes = false;
 };
 
+// Translates the table-related quirk bits into the declarative table
+// semantics of src/table/: match_last_entry -> MatchOrder::kLastInstalled,
+// swap_map_key_bytes -> KeyTransform::kReverseBytes, swap_action_data_bytes
+// -> DataTransform::kReverseBytes, and the miss-behavior trio
+// (miss_drops_packet / miss_runs_first_action / skip_default_action) onto
+// MissBehavior. This is the *only* place quirk booleans meet table
+// semantics; everything downstream consumes the TableSemantics value, so the
+// concrete executor cannot drift from the shared model.
+TableSemantics TableSemanticsFromQuirks(const TargetQuirks& quirks);
+
 // The concrete reference executor: runs a type-checked program on one
 // concrete packet plus table configuration, block by block along the
 // package pipeline (Figure 1). It implements exactly the semantics the
@@ -57,9 +68,11 @@ struct TargetQuirks {
 //   * copy-in/copy-out calling convention, with copy-out happening
 //     unconditionally even when the callee exits (the specification
 //     interpretation that resolved the Fig. 5f ambiguity);
-//   * Fig. 3 table semantics: exact-match lookup over the installed
-//     entries, default action (with its compile-time arguments) on a miss,
-//     keyless tables always run the default;
+//   * table semantics come from the shared model layer (src/table/): each
+//     lookup resolves through TableModel::Resolve under the TableSemantics
+//     the enabled quirks translate to — exact-match over the installed
+//     entries, first-installed wins, default action (with its compile-time
+//     arguments) on a miss, keyless tables always run the default;
 //   * header validity: setValid on an invalid header zeroes the fields
 //     (fresh unknowns = zero); only valid headers are emitted; fields of
 //     invalid headers read as zero across block boundaries;
@@ -73,8 +86,10 @@ struct TargetQuirks {
 // those targets are compared against.
 class ConcreteInterpreter {
  public:
-  explicit ConcreteInterpreter(const Program& program, const TargetQuirks& quirks = {})
-      : program_(program), quirks_(quirks) {}
+  // Resolves every declared table through the shared model layer once, up
+  // front — packet replay then pays a map lookup per table apply instead of
+  // re-walking the control's action declarations.
+  explicit ConcreteInterpreter(const Program& program, const TargetQuirks& quirks = {});
 
   // Full pipeline: parser -> ingress [-> egress] -> deparser. Requires the
   // package to bind at least parser, ingress and deparser blocks (throws
@@ -93,6 +108,8 @@ class ConcreteInterpreter {
  private:
   const Program& program_;
   TargetQuirks quirks_;
+  // One model per declared table, keyed by the interned declaration.
+  std::map<const TableDecl*, TableModel> models_;
 };
 
 }  // namespace gauntlet

@@ -14,6 +14,13 @@ namespace {
 // seeded fault is reachable by hand-written triggers (40 bytes of header).
 constexpr int kStackBitBudget = 320;
 
+// The modelled verifier budget for the generated parse loop: how many
+// sequential parser states the unrolled loop may chain before the in-kernel
+// verifier rejects the program. Real verifiers bound total instructions /
+// loop iterations; the model scales it down so the seeded fault is
+// reachable by hand-written triggers (a five-state chain).
+constexpr int kVerifierLoopBound = 4;
+
 }  // namespace
 
 std::unique_ptr<Executable> EbpfTarget::Compile(const Program& program,
@@ -21,7 +28,7 @@ std::unique_ptr<Executable> EbpfTarget::Compile(const Program& program,
   ProgramPtr lowered = LowerThroughPipeline(program, bugs);
   CheckNoResidualCalls(*lowered, "eBPF");
 
-  // Seeded back-end crash fault (resource-model assertion).
+  // Seeded back-end crash faults (resource-model assertions).
   if (bugs.Has(BugId::kEbpfCrashStackOverflow)) {
     const int bits = TotalHeaderBits(*lowered);
     if (bits > kStackBitBudget) {
@@ -29,6 +36,15 @@ std::unique_ptr<Executable> EbpfTarget::Compile(const Program& program,
                              std::to_string((bits + 7) / 8) + " bytes of parsed headers "
                              "exceed the " + std::to_string(kStackBitBudget / 8) +
                              "-byte stack frame");
+    }
+  }
+  if (bugs.Has(BugId::kEbpfCrashVerifierLoopBound)) {
+    const int depth = ParserMaxChainDepth(*lowered);
+    if (depth > kVerifierLoopBound) {
+      throw CompilerBugError("eBPF back end: verifier rejected the parse loop: " +
+                             std::to_string(depth) + " chained parser states exceed the " +
+                             std::to_string(kVerifierLoopBound) +
+                             "-iteration loop bound");
     }
   }
 

@@ -22,7 +22,11 @@ namespace gauntlet {
 //   * the parser compiles to a generated field-extraction loop — the
 //     seeded parser-gen fault walks a header's field list in reverse, so
 //     fields are extracted in the wrong order (the ROADMAP parser fault
-//     model).
+//     model);
+//   * that parse loop is unrolled under the in-kernel verifier's
+//     bounded-iteration budget — the seeded verifier fault rejects any
+//     program whose parser chains more states than the modelled bound
+//     (the ROADMAP bounded-loop crash class).
 //
 // Registered as "ebpf".
 class EbpfTarget : public Target {
@@ -37,6 +41,7 @@ class EbpfTarget : public Target {
   std::vector<TargetCrashRule> CrashRules() const override {
     return {
         {"stack frame", "EbpfStackAllocator", BugId::kEbpfCrashStackOverflow},
+        {"parse loop", "EbpfVerifier", BugId::kEbpfCrashVerifierLoopBound},
     };
   }
 

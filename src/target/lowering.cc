@@ -1,5 +1,9 @@
 #include "src/target/lowering.h"
 
+#include <functional>
+#include <map>
+#include <set>
+
 #include "src/ast/visitor.h"
 #include "src/passes/pass.h"
 #include "src/typecheck/typecheck.h"
@@ -57,6 +61,50 @@ int TotalHeaderBits(const Program& program) {
     }
   }
   return bits;
+}
+
+int ParserMaxChainDepth(const Program& program, int limit) {
+  const PackageBlock* parser_block = program.FindBlock(BlockRole::kParser);
+  if (parser_block == nullptr) {
+    return 0;
+  }
+  const ParserDecl* parser = program.FindParser(parser_block->decl_name);
+  if (parser == nullptr) {
+    return 0;
+  }
+  // Memoized longest-chain DFS: linear in states x transitions for acyclic
+  // graphs (a naive path walk is exponential in branching select chains).
+  // A state on a cycle counts as `limit` — its chain is unbounded, which is
+  // all the resource model needs to know.
+  std::map<std::string, int> memo;
+  std::set<std::string> on_path;
+  const std::function<int(const std::string&)> chain = [&](const std::string& name) -> int {
+    if (name == "accept" || name == "reject") {
+      return 0;
+    }
+    if (on_path.count(name) > 0) {
+      return limit;  // back edge: the parse loop never terminates statically
+    }
+    const auto known = memo.find(name);
+    if (known != memo.end()) {
+      return known->second;
+    }
+    const ParserState* state = parser->FindState(name);
+    if (state == nullptr) {
+      return 0;  // malformed transitions are the type checker's problem
+    }
+    on_path.insert(name);
+    int deepest = 1;
+    for (const SelectCase& select_case : state->cases) {
+      const int branch = 1 + chain(select_case.next_state);
+      deepest = branch > deepest ? branch : deepest;
+    }
+    on_path.erase(name);
+    deepest = deepest > limit ? limit : deepest;
+    memo[name] = deepest;
+    return deepest;
+  };
+  return chain("start");
 }
 
 bool HasWideMultiply(const Program& program) {

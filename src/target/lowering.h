@@ -33,6 +33,13 @@ bool HasWideMultiply(const Program& program);
 // program stack in generated XDP code).
 int TotalHeaderBits(const Program& program);
 
+// The longest chain of parser states reachable from "start" — the number of
+// iterations the generated eBPF parse loop unrolls to, which the in-kernel
+// verifier bounds. Cycles in the state graph are cut at `limit` (the chain
+// is "at least limit", which is all the resource model needs). 0 when the
+// package binds no parser.
+int ParserMaxChainDepth(const Program& program, int limit = 64);
+
 }  // namespace gauntlet
 
 #endif  // SRC_TARGET_LOWERING_H_

@@ -116,76 +116,20 @@ class PacketAssembler {
   std::map<std::string, BitValue> fields_;
 };
 
-// Builds the table configuration a model implies: one entry per table whose
-// path actually hits (Fig. 3 encoding inverted) with a listed action. A
-// miss-path model whose unconstrained action index happens to land in range
-// installs nothing — the multi-entry stress below adds deliberately
-// non-matching entries instead.
-TableConfig TablesFromModel(const SmtContext& ctx, const SmtModel& model,
-                            const std::vector<TableInfo>& tables) {
+// Builds the table configuration a model implies: every installed entry
+// slot of the N-entry encoding, in the installation order its solved
+// priorities dictate (src/table/entry_set.h). Miss-path models now install
+// their non-matching slots too — a populated table the lookup misses is an
+// ordinary solved scenario, not a post-solve decoy.
+TableConfig TablesFromModel(const SmtModel& model, const std::vector<TableInfo>& tables) {
   TableConfig config;
-  ModelEvaluator evaluator(ctx, model);
   for (const TableInfo& table : tables) {
-    const uint64_t action_index = model.BitOf(table.action_var).bits();
-    if (action_index < 1 || action_index > table.action_names.size()) {
-      continue;  // model chose "miss / invalid": install nothing
+    std::vector<TableEntry> entries = EntriesFromModel(model, table);
+    if (!entries.empty()) {
+      config[table.table_name] = std::move(entries);
     }
-    if (table.hit_condition.IsValid() && !evaluator.EvalBool(table.hit_condition)) {
-      continue;  // miss path: the entry would not match anyway
-    }
-    TableEntry entry;
-    for (const std::string& key_var : table.key_vars) {
-      entry.key.push_back(model.BitOf(key_var));
-    }
-    entry.action = table.action_names[action_index - 1];
-    for (const std::string& data_var : table.action_data_vars[action_index - 1]) {
-      auto bit_it = model.bit_values.find(data_var);
-      if (bit_it != model.bit_values.end()) {
-        entry.action_data.push_back(bit_it->second);
-      } else {
-        entry.action_data.push_back(BitValue(1, model.BoolOf(data_var) ? 1 : 0));
-      }
-    }
-    config[table.table_name].push_back(std::move(entry));
   }
   return config;
-}
-
-// Multi-entry table stress: pads every hit table's config to 2–4 entries
-// with overlapping keys. The real entry stays first; the decoys are chosen
-// so that correct first-match semantics never runs them:
-//   * a shadowed twin — same key, same action, complemented action data —
-//     installed after the real entry (a back end that resolves overlapping
-//     entries last-match-first runs it and miscomputes);
-//   * one or two entries whose keys provably differ from the matched key
-//     (complement / successor of the real key), exercising lookup over a
-//     populated table without affecting the hit.
-void AddTableStressEntries(TableConfig& config) {
-  for (auto& [table_name, entries] : config) {
-    if (entries.size() != 1 || entries[0].key.empty()) {
-      continue;
-    }
-    const TableEntry real = entries[0];
-
-    TableEntry shadowed = real;
-    for (BitValue& value : shadowed.action_data) {
-      value = value.Not();
-    }
-    entries.push_back(std::move(shadowed));
-
-    TableEntry miss_a = real;
-    for (BitValue& value : miss_a.key) {
-      value = value.Not();
-    }
-    entries.push_back(miss_a);
-
-    TableEntry miss_b = real;
-    miss_b.key[0] = miss_b.key[0].Add(BitValue(miss_b.key[0].width(), 1));
-    // bit<1> keys: complement and successor coincide; skip the duplicate.
-    if (miss_b.key[0].bits() != miss_a.key[0].bits()) {
-      entries.push_back(std::move(miss_b));
-    }
-  }
 }
 
 }  // namespace
@@ -201,7 +145,7 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
   GAUNTLET_BUG_CHECK(parser != nullptr, "parser binding is not a parser");
 
   SmtContext ctx;
-  SymbolicInterpreter interpreter(ctx);
+  SymbolicInterpreter interpreter(ctx, options_.symbolic_table_entries);
   const PipelineSemantics pipeline = interpreter.InterpretPipeline(program);
 
   // Hard constraints shared by every path: glue + zero metadata + zero
@@ -363,8 +307,8 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
     // preference, so each later class gets a slightly larger cap instead
     // of starving behind an unbounded earlier one.
     constexpr size_t kPacketCap = 96;
-    constexpr size_t kTableCap = 112;
-    constexpr size_t kKeyCap = 120;
+    constexpr size_t kTableCap = 144;
+    constexpr size_t kKeyCap = 160;
     // First byte != last byte on a whole-byte multi-byte value: makes any
     // byte-reversed load/lookup (endian-swap action data, byte-order-
     // confused map keys) observable.
@@ -392,6 +336,7 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
       // targets. Prefer the high bit set (exposes truncation/carry bugs in
       // wide arithmetic) and non-zero overall; the greedy pass drops
       // whichever preferences conflict with the path condition.
+      SmtRef previous_slice;
       for (const std::string& input : pipeline.parser.input_vars) {
         if (input.rfind("p::pkt[", 0) == 0) {
           const SmtRef var = ctx.FindVar(input);
@@ -403,22 +348,48 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
             preferences.push_back(ctx.BoolNot(
                 ctx.Eq(ctx.Extract(var, hi, lo), ctx.Const(hi - lo + 1, 0))));
           }
+          // Fields wider than a PHV container should carry their high bit,
+          // so arithmetic on them overflows the container observably
+          // instead of cancelling out in the truncated word.
+          if (width > 32 && preferences.size() < kPacketCap) {
+            preferences.push_back(
+                ctx.Eq(ctx.Extract(var, width - 1, width - 1), ctx.Const(1, 1)));
+          }
+          // Consecutive equal-width fields should differ: a back end that
+          // permutes field order (reversed extraction) or byte order is
+          // invisible on packets whose swapped fields happen to agree.
+          if (previous_slice.IsValid() && ctx.WidthOf(previous_slice) == width &&
+              preferences.size() < kPacketCap) {
+            preferences.push_back(ctx.BoolNot(ctx.Eq(previous_slice, var)));
+          }
+          previous_slice = var;
           prefer_avoid_written_constants(var, kPacketCap);
         }
       }
       // Control-plane stress preferences, per table:
       //  * hit paths should run the action carrying the most control-plane
       //    data — a hit on a parameterless action cannot expose faults in
-      //    how the target loads installed entries (shadowed decoys,
+      //    how the target loads installed entries (shadowed entries,
       //    byte-swapped action data);
+      //  * every entry slot should actually be installed, so solved paths
+      //    carry populated multi-entry tables;
+      //  * a later slot's win should be a genuine non-first *installed* hit
+      //    (the earlier slot installed first, at a lower priority);
+      //  * overlapping (shadowed) slots should behave differently — a back
+      //    end that resolves the overlap in the wrong order is observable;
       //  * multi-byte action data should have first byte != last byte, so
       //    a byte-reversed load is observable.
       for (const TableInfo& table : all_tables) {
+        if (table.entries.empty()) {
+          continue;  // keyless: no control-plane state to shape
+        }
+        // The data-richest listed action, measured on slot 0 (widths are
+        // identical across slots).
         size_t best = table.action_names.size();
         uint32_t best_bits = 0;
-        for (size_t i = 0; i < table.action_data_vars.size(); ++i) {
+        for (size_t i = 0; i < table.entries[0].action_data_vars.size(); ++i) {
           uint32_t bits = 0;
-          for (const std::string& data_var : table.action_data_vars[i]) {
+          for (const std::string& data_var : table.entries[0].action_data_vars[i]) {
             const SmtRef var = ctx.FindVar(data_var);
             if (var.IsValid()) {
               bits += ctx.IsBool(var) ? 1 : ctx.WidthOf(var);
@@ -429,39 +400,91 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
             best = i;
           }
         }
-        const SmtRef action_var = ctx.FindVar(table.action_var);
-        if (best < table.action_names.size() && action_var.IsValid() &&
-            table.hit_condition.IsValid() && preferences.size() < kTableCap) {
-          preferences.push_back(
-              ctx.BoolOr(ctx.BoolNot(table.hit_condition),
-                         ctx.Eq(action_var, ctx.Const(16, best + 1))));
+        if (best < table.action_names.size() && table.hit_condition.IsValid() &&
+            preferences.size() < kTableCap) {
+          SmtRef best_selected = ctx.False();
+          for (const SymbolicTableEntry& entry : table.entries) {
+            const SmtRef entry_action = ctx.FindVar(entry.action_var);
+            if (entry_action.IsValid()) {
+              best_selected = ctx.BoolOr(
+                  best_selected, ctx.BoolAnd(entry.win_condition,
+                                             ctx.Eq(entry_action, ctx.Const(kActionIndexWidth, best + 1))));
+            }
+          }
+          preferences.push_back(ctx.BoolOr(ctx.BoolNot(table.hit_condition), best_selected));
         }
-        for (const std::vector<std::string>& data_vars : table.action_data_vars) {
-          for (const std::string& data_var : data_vars) {
-            const SmtRef var = ctx.FindVar(data_var);
-            if (!var.IsValid() || ctx.IsBool(var)) {
-              continue;
-            }
-            prefer_byte_asymmetric(var, kTableCap);
-            // A hit whose action data coincides with what the miss path
-            // would leave behind is a fix point: the buggy and correct
-            // outputs agree and the fault stays invisible. Steer the data
-            // away from the masking candidates — zero, the program's own
-            // constants, and the same-width input fields it might
-            // overwrite — whenever the path allows it.
-            const uint32_t width = ctx.WidthOf(var);
-            if (preferences.size() < kTableCap) {
-              preferences.push_back(
-                  ctx.BoolNot(ctx.Eq(var, ctx.Const(width, 0))));
-            }
-            prefer_avoid_written_constants(var, kTableCap);
-            for (const std::string& input : pipeline.parser.input_vars) {
-              if (input.rfind("p::pkt[", 0) != 0 || preferences.size() >= kTableCap) {
+        // Structural multi-entry shaping.
+        for (const SymbolicTableEntry& entry : table.entries) {
+          if (entry.installed_condition.IsValid() && preferences.size() < kTableCap) {
+            preferences.push_back(entry.installed_condition);
+          }
+        }
+        for (size_t slot = 1; slot < table.entries.size(); ++slot) {
+          const SymbolicTableEntry& prev = table.entries[slot - 1];
+          const SymbolicTableEntry& entry = table.entries[slot];
+          const SmtRef prev_prio = ctx.FindVar(prev.priority_var);
+          const SmtRef prio = ctx.FindVar(entry.priority_var);
+          const SmtRef prev_action = ctx.FindVar(prev.action_var);
+          const SmtRef entry_action = ctx.FindVar(entry.action_var);
+          if (!prev_prio.IsValid() || !prio.IsValid()) {
+            continue;
+          }
+          if (preferences.size() < kTableCap) {
+            preferences.push_back(
+                ctx.BoolOr(ctx.BoolNot(entry.win_condition),
+                           ctx.BoolAnd(prev.installed_condition, ctx.Ult(prev_prio, prio))));
+          }
+          if (prev_action.IsValid() && entry_action.IsValid() &&
+              preferences.size() < kTableCap) {
+            preferences.push_back(ctx.BoolOr(
+                ctx.BoolNot(ctx.BoolAnd(prev.match_condition, entry.match_condition)),
+                ctx.BoolNot(ctx.Eq(prev_action, entry_action))));
+          }
+        }
+        for (const SymbolicTableEntry& entry : table.entries) {
+          for (const std::vector<std::string>& data_vars : entry.action_data_vars) {
+            for (const std::string& data_var : data_vars) {
+              const SmtRef var = ctx.FindVar(data_var);
+              if (!var.IsValid() || ctx.IsBool(var)) {
                 continue;
               }
-              const SmtRef input_var = ctx.FindVar(input);
-              if (input_var.IsValid() && ctx.WidthOf(input_var) == width) {
-                preferences.push_back(ctx.BoolNot(ctx.Eq(var, input_var)));
+              prefer_byte_asymmetric(var, kTableCap);
+              // A hit whose action data coincides with what the miss path
+              // would leave behind is a fix point: the buggy and correct
+              // outputs agree and the fault stays invisible. Steer the data
+              // away from the masking candidates — zero, the program's own
+              // constants, and the same-width input fields it might
+              // overwrite — whenever the path allows it.
+              const uint32_t width = ctx.WidthOf(var);
+              if (preferences.size() < kTableCap) {
+                preferences.push_back(ctx.BoolNot(ctx.Eq(var, ctx.Const(width, 0))));
+              }
+              prefer_avoid_written_constants(var, kTableCap);
+              for (const std::string& input : pipeline.parser.input_vars) {
+                if (input.rfind("p::pkt[", 0) != 0 || preferences.size() >= kTableCap) {
+                  continue;
+                }
+                const SmtRef input_var = ctx.FindVar(input);
+                if (input_var.IsValid() && ctx.WidthOf(input_var) == width) {
+                  preferences.push_back(ctx.BoolNot(ctx.Eq(var, input_var)));
+                }
+              }
+            }
+          }
+        }
+        // Shadow divergence: the same (action, param) data variable should
+        // differ across slots, so whichever overlapping entry a back end
+        // wrongly picks computes a different output.
+        for (size_t slot = 1; slot < table.entries.size(); ++slot) {
+          const SymbolicTableEntry& prev = table.entries[slot - 1];
+          const SymbolicTableEntry& entry = table.entries[slot];
+          for (size_t i = 0; i < entry.action_data_vars.size(); ++i) {
+            for (size_t p = 0; p < entry.action_data_vars[i].size(); ++p) {
+              const SmtRef a = ctx.FindVar(prev.action_data_vars[i][p]);
+              const SmtRef b = ctx.FindVar(entry.action_data_vars[i][p]);
+              if (a.IsValid() && b.IsValid() && !ctx.IsBool(a) &&
+                  preferences.size() < kTableCap) {
+                preferences.push_back(ctx.BoolNot(ctx.Eq(a, b)));
               }
             }
           }
@@ -469,10 +492,12 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
         // Multi-byte match keys should be byte-asymmetric too: a back end
         // that looks keys up in the wrong byte order (network-vs-host
         // confusion) behaves correctly on palindromic keys.
-        for (const std::string& key_var : table.key_vars) {
-          const SmtRef var = ctx.FindVar(key_var);
-          if (var.IsValid() && !ctx.IsBool(var)) {
-            prefer_byte_asymmetric(var, kKeyCap);
+        for (const SymbolicTableEntry& entry : table.entries) {
+          for (const std::string& key_var : entry.key_vars) {
+            const SmtRef var = ctx.FindVar(key_var);
+            if (var.IsValid() && !ctx.IsBool(var)) {
+              prefer_byte_asymmetric(var, kKeyCap);
+            }
           }
         }
       }
@@ -485,10 +510,7 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
     PacketTest test;
     test.name = "path" + std::to_string(path_index);
     test.input = PacketAssembler(ctx, model, *parser).Assemble();
-    test.tables = TablesFromModel(ctx, model, all_tables);
-    if (options_.table_stress) {
-      AddTableStressEntries(test.tables);
-    }
+    test.tables = TablesFromModel(model, all_tables);
 
     // Expected output from the formal semantics.
     ModelEvaluator evaluator(ctx, model);

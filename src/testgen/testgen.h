@@ -15,8 +15,11 @@ struct TestGenOptions {
   // §6.2: "the number of paths can be exponential in the length of the
   // program").
   size_t max_tests = 32;
-  // Depth cap on the decision-condition enumeration.
-  size_t max_decisions = 12;
+  // Depth cap on the decision-condition enumeration. The N-entry table
+  // encoding contributes more conditions per table (per-slot wins, slot
+  // overlaps, action selections) than the old single-entry hit condition,
+  // so the cap is sized to keep two multi-entry tables fully enumerable.
+  size_t max_decisions = 16;
   // Ask the solver for non-zero packet bytes where possible, so that
   // zero-initializing targets cannot mask miscompilations (§6.2 and the
   // Fig. 5c discussion).
@@ -25,12 +28,13 @@ struct TestGenOptions {
   // 0 = unlimited. Paths whose queries exhaust the budget are skipped, like
   // the silently-dropped test cases of §8.
   uint64_t query_time_limit_ms = 250;
-  // Install 2–4 entries per hit table instead of one: a same-key decoy with
-  // complemented action data *after* the real entry (first-match semantics
-  // must shadow it — catches priority-inversion back ends) plus
-  // non-matching overlap entries. Decoys never change the expected output
-  // of a correct target, so the Fig. 3 single-entry encoding stays sound.
-  bool table_stress = true;
+  // Symbolic entry slots per table (src/table/entry_set.h; paper Fig. 3
+  // generalized). With >= 2, path enumeration can solve for hits on
+  // different installed entries, populated-table misses, and overlapping
+  // (shadowed) entries *before* any packet exists — the scenarios that
+  // expose priority-inversion and map-key back-end faults. 1 recovers the
+  // paper's single-entry encoding (the bench_table_model baseline).
+  size_t symbolic_table_entries = 2;
 };
 
 // Symbolic-execution-based test-case generation (paper Figure 4 and §6):

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/cache_file.h"
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
@@ -327,12 +328,18 @@ int CmdFuzz(int argc, char** argv) {
 
 int CmdCampaign(int argc, char** argv) {
   const ParsedArgs args =
-      ParseCommandArgs(argc, argv, {"--jobs", "--corpus", "--bug", "--targets"},
+      ParseCommandArgs(argc, argv, {"--jobs", "--corpus", "--bug", "--targets", "--cache-file"},
                        /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
   ParallelCampaignOptions options;
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
+  if (args.Has("--cache-file")) {
+    if (args.Has("--no-cache")) {
+      throw CliUsageError("--cache-file needs the cache; drop --no-cache");
+    }
+    options.cache_file = args.Last("--cache-file");
+  }
   if (args.positionals.size() >= 1) {
     options.campaign.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
   }
@@ -360,9 +367,18 @@ int CmdCampaign(int argc, char** argv) {
 
 int CmdReplay(int argc, char** argv) {
   const ParsedArgs args = ParseCommandArgs(
-      argc, argv, {"--bug", "--targets", "--corpus"}, /*max_positionals=*/2);
+      argc, argv, {"--bug", "--targets", "--corpus", "--cache-file"}, /*max_positionals=*/2);
   const BugConfig bugs = BugsFromFlags(args);
   const std::vector<std::string> targets = TargetsFromFlags(args);
+  if (args.Has("--cache-file")) {
+    // Replay performs no solver queries, so the warm-start file is loaded
+    // (validating it — a corrupt *or missing* file must fail the CI job
+    // that carries it, not the next campaign) and left unchanged on disk.
+    ValidationCache cache;
+    if (!LoadValidationCacheFile(args.Last("--cache-file"), cache)) {
+      throw CompileError("cache file '" + args.Last("--cache-file") + "' does not exist");
+    }
+  }
 
   // Bulk mode: replay every stored triple in a corpus directory and gate
   // on the summary (the corpus-driven regression run).
@@ -462,16 +478,19 @@ int Usage(std::FILE* out) {
                "  fuzz [N] [seed] [--bug B ...] [--targets T,...] [--no-cache] "
                "[--cache-stats]\n"
                "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...] "
-               "[--targets T,...] [--no-cache] [--cache-stats]\n"
-               "  replay <file.p4> <file.stf> [--bug B ...] [--targets T,...]\n"
-               "  replay --corpus DIR [--bug B ...] [--targets T,...]\n"
+               "[--targets T,...] [--no-cache] [--cache-stats] [--cache-file F]\n"
+               "  replay <file.p4> <file.stf> [--bug B ...] [--targets T,...] "
+               "[--cache-file F]\n"
+               "  replay --corpus DIR [--bug B ...] [--targets T,...] [--cache-file F]\n"
                "  reduce <file.p4> --bug B [...]\n"
                "  bugs\n"
                "\n"
                "registered targets: %s   (--targets defaults to all of them)\n"
                "--bug names come from `gauntlet bugs`; --jobs must be >= 1\n"
                "validation memoization is on by default: --no-cache disables it,\n"
-               "--cache-stats prints hit/reuse counters to stderr\n",
+               "--cache-stats prints hit/reuse counters to stderr\n"
+               "--cache-file persists blast templates + per-program verdicts across\n"
+               "runs (campaign reads and rewrites it; replay only validates it)\n",
                targets.c_str());
   return out == stdout ? 0 : 2;
 }

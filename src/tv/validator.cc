@@ -202,7 +202,7 @@ TvPassResult TranslationValidator::CompareVersions(const Program& before, const 
                                                    const std::string& pass_name,
                                                    ValidationCache* cache, TvOptions options) {
   SmtContext ctx;
-  SymbolicInterpreter interpreter(ctx);
+  SymbolicInterpreter interpreter(ctx, options.symbolic_table_entries);
   const VersionSemantics before_sem = InterpretVersion(interpreter, before);
   const VersionSemantics after_sem = InterpretVersion(interpreter, after);
   std::optional<StructHasher> canonical;
@@ -246,7 +246,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
   // that changed nothing semantically short-circuits to a constant-false
   // difference without a SAT call.
   SmtContext ctx;
-  SymbolicInterpreter interpreter(ctx);
+  SymbolicInterpreter interpreter(ctx, options_.symbolic_table_entries);
   // One canonical hasher spans every pass pair: its per-node memo is what
   // makes re-fingerprinting the shared version of consecutive pairs cheap.
   std::optional<StructHasher> canonical;

@@ -9,6 +9,7 @@
 #include "src/ast/program.h"
 #include "src/passes/pass.h"
 #include "src/smt/solver.h"
+#include "src/sym/interpreter.h"
 
 namespace gauntlet {
 
@@ -79,6 +80,14 @@ struct TvOptions {
   uint64_t conflict_budget = 120000;     // SAT conflicts per query
   uint64_t query_time_limit_ms = 250;    // wall clock per solver query
   uint64_t program_budget_ms = 1500;     // wall clock per validated program
+  // Symbolic entry slots per table (src/table/entry_set.h). Both versions of
+  // a pass pair are encoded with the same count so their table variables
+  // unify. Defaults to 1: a single symbolic entry already quantifies over
+  // arbitrary installed contents, and no pass can touch control-plane state,
+  // so extra slots only grow the equivalence queries. Test generation runs
+  // the same shared encoding at kDefaultSymbolicTableEntries, where the
+  // extra slots *do* buy new scenarios (non-first-entry hits, shadowing).
+  size_t symbolic_table_entries = 1;
 };
 
 // The translation-validation engine: runs the pass pipeline on a copy of

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cache/cache_file.h"
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/runtime/parallel_campaign.h"
@@ -253,6 +254,94 @@ TEST(VerdictCacheTest, BeginProgramScopesVerdictsButKeepsTemplates) {
   EXPECT_GE(cache.Stats().verdict_misses, verdicts);
 }
 
+// --- cross-run persistence (src/cache/cache_file) --------------------------
+
+TEST(CacheFileTest, RoundTripRestoresTemplatesAndProgramScopedVerdicts) {
+  // Populate a cache the way a campaign does: validate a program under a
+  // program key, then serialize and reload into a fresh cache.
+  auto program = Parser::ParseString(kMultiPassProgram);
+  ValidationCache original;
+  original.BeginProgram(/*program_key=*/0x1234);
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  validator.Validate(*program, BugConfig::None(), /*stop_after_pass=*/{}, &original);
+  ASSERT_GT(original.blast().size(), 0u);
+  ASSERT_GT(original.verdicts().size(), 0u);
+  const size_t verdict_count = original.verdicts().size();
+
+  std::stringstream stream;
+  SaveValidationCaches({&original}, stream);
+
+  ValidationCache reloaded;
+  LoadValidationCache(stream, reloaded);
+  EXPECT_EQ(reloaded.blast().size(), original.blast().size());
+  ASSERT_EQ(reloaded.stored_verdicts().count(0x1234), 1u);
+  EXPECT_EQ(reloaded.stored_verdicts().at(0x1234).size(), verdict_count);
+
+  // The verdicts are program-scoped: entering a different program preloads
+  // nothing, entering the stored key preloads everything.
+  reloaded.BeginProgram(0x9999);
+  EXPECT_EQ(reloaded.verdicts().size(), 0u);
+  reloaded.BeginProgram(0x1234);
+  EXPECT_EQ(reloaded.verdicts().size(), verdict_count);
+
+  // A warm re-validation answers every pass pair from the reloaded state
+  // with the identical verdicts.
+  const TvReport cold = validator.Validate(*program, BugConfig::None());
+  const TvReport warm =
+      validator.Validate(*program, BugConfig::None(), /*stop_after_pass=*/{}, &reloaded);
+  ASSERT_EQ(warm.pass_results.size(), cold.pass_results.size());
+  for (size_t i = 0; i < warm.pass_results.size(); ++i) {
+    EXPECT_EQ(warm.pass_results[i].verdict, cold.pass_results[i].verdict);
+    EXPECT_EQ(warm.pass_results[i].pass_name, cold.pass_results[i].pass_name);
+  }
+}
+
+TEST(CacheFileTest, SemanticDiffWitnessSurvivesTheRoundTrip) {
+  // A stored kSemanticDiff entry must reload with its witness model intact —
+  // the reuse path hands the witness back instead of re-solving for one.
+  VerdictCache::Entry entry;
+  entry.queries = 2;
+  entry.result.pass_name = "Predication";
+  entry.result.verdict = TvVerdict::kSemanticDiff;
+  entry.result.detail = "solver found a disagreeing input";
+  entry.result.counterexample.bit_values.emplace("hdr.h.a", BitValue(8, 0xab));
+  entry.result.counterexample.bool_values.emplace("hdr.h.$valid", true);
+  ValidationCache original;
+  original.PreloadVerdict(7, Fingerprint{1, 2}, entry);
+
+  std::stringstream stream;
+  SaveValidationCaches({&original}, stream);
+  ValidationCache reloaded;
+  LoadValidationCache(stream, reloaded);
+
+  const auto& group = reloaded.stored_verdicts().at(7);
+  ASSERT_EQ(group.size(), 1u);
+  const VerdictCache::Entry& back = group.at(Fingerprint{1, 2});
+  EXPECT_EQ(back.queries, 2u);
+  EXPECT_EQ(back.result.verdict, TvVerdict::kSemanticDiff);
+  EXPECT_EQ(back.result.detail, "solver found a disagreeing input");
+  EXPECT_EQ(back.result.counterexample.bit_values.at("hdr.h.a").bits(), 0xabu);
+  EXPECT_TRUE(back.result.counterexample.bool_values.at("hdr.h.$valid"));
+}
+
+TEST(CacheFileTest, MalformedInputFailsLoudly) {
+  ValidationCache cache;
+  {
+    std::stringstream garbage("not a cache file\n");
+    EXPECT_THROW(LoadValidationCache(garbage, cache), CompileError);
+  }
+  {
+    std::stringstream wrong_version("gauntletcache 99\n");
+    EXPECT_THROW(LoadValidationCache(wrong_version, cache), CompileError);
+  }
+  {
+    std::stringstream truncated("gauntletcache 1\nblast 2\n1 2 0 0 0 0 0 0\n");
+    EXPECT_THROW(LoadValidationCache(truncated, cache), CompileError);
+  }
+  // A missing file is a cold start, not an error.
+  EXPECT_FALSE(LoadValidationCacheFile("/nonexistent/gauntlet.cache", cache));
+}
+
 // --- end-to-end bit-identity ----------------------------------------------
 
 void ExpectIdenticalReports(const CampaignReport& a, const CampaignReport& b) {
@@ -309,9 +398,12 @@ TEST(CacheIdentityTest, CampaignReportsAreBitIdenticalWithAndWithoutCache) {
   options.campaign.num_programs = 14;
   options.campaign.testgen.max_tests = 6;
   options.campaign.testgen.max_decisions = 5;
-  // Unlimited per-program wall clock: the cached run finishing faster must
-  // not be able to change a verdict through the time budget.
+  // Unlimited wall clocks (conflict budgets still bound the work): the
+  // cached run finishing faster — or ctest load slowing either run — must
+  // not be able to change a verdict or drop a path through a time budget.
   options.campaign.tv.program_budget_ms = 0;
+  options.campaign.tv.query_time_limit_ms = 0;
+  options.campaign.testgen.query_time_limit_ms = 0;
   options.jobs = 4;
 
   ParallelCampaignOptions no_cache = options;

@@ -12,7 +12,9 @@ CampaignOptions SmallCampaign(int num_programs) {
   options.seed = 42;
   options.num_programs = num_programs;
   options.testgen.max_tests = 6;
-  options.testgen.max_decisions = 5;
+  // Sized so two multi-entry tables' decision conditions (per-slot wins,
+  // slot overlap, action selections) fit the enumeration budget.
+  options.testgen.max_decisions = 10;
   return options;
 }
 

@@ -407,6 +407,22 @@ control ig(inout Hdr hdr) {
 control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
 package main { parser = p; ingress = ig; deparser = dp; }
 )"},
+      {BugId::kEbpfCrashVerifierLoopBound, ExpectedDetection::kCrash, R"(
+header H { bit<8> a; }
+struct Hdr { H h0; H h1; H h2; H h3; H h4; }
+parser p(out Hdr hdr) {
+  state start { pkt.extract(hdr.h0); transition s1; }
+  state s1 { pkt.extract(hdr.h1); transition s2; }
+  state s2 { pkt.extract(hdr.h2); transition s3; }
+  state s3 { pkt.extract(hdr.h3); transition s4; }
+  state s4 { pkt.extract(hdr.h4); transition accept; }
+}
+control ig(inout Hdr hdr) {
+  apply { }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h0); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)"},
   };
   return entries;
 }

@@ -132,36 +132,40 @@ TEST_P(SymbolicVsConcrete, IngressOutputsAgreeOnRandomInputs) {
         concrete_inputs[input] = value;
       }
     }
-    // Random control-plane state: for each table, either leave it empty
-    // (miss everywhere) or install one entry and mirror it symbolically.
+    // Random control-plane state: each symbolic entry slot is independently
+    // left empty (its action var defaults to 0 in the model) or installed
+    // with random key/action/data/priority values. The concrete config is
+    // the model *inverted through the shared table layer* (EntriesFromModel,
+    // src/table/entry_set.h), so this differential also pins the
+    // priority-to-installation-order contract between the two engines.
     TableConfig tables;
     for (const TableInfo& table : semantics.tables) {
-      if (rng.Chance(40) || table.action_names.empty()) {
-        continue;  // miss: action var defaults to 0 in the model
-      }
-      const size_t action_index = rng.Below(table.action_names.size());
-      TableEntry entry;
-      for (const std::string& key_var : table.key_vars) {
-        const SmtRef var = ctx.FindVar(key_var);
-        const BitValue key(ctx.WidthOf(var), rng.Next());
-        model.bit_values[key_var] = key;
-        entry.key.push_back(key);
-      }
-      model.bit_values[table.action_var] = BitValue(16, action_index + 1);
-      entry.action = table.action_names[action_index];
-      for (const std::string& data_var : table.action_data_vars[action_index]) {
-        const SmtRef var = ctx.FindVar(data_var);
-        if (ctx.IsBool(var)) {
-          const bool value = rng.Chance(50);
-          model.bool_values[data_var] = value;
-          entry.action_data.push_back(BitValue(1, value ? 1 : 0));
-        } else {
-          const BitValue value(ctx.WidthOf(var), rng.Next());
-          model.bit_values[data_var] = value;
-          entry.action_data.push_back(value);
+      for (const SymbolicTableEntry& slot : table.entries) {
+        if (rng.Chance(40) || table.action_names.empty()) {
+          continue;  // slot stays empty
+        }
+        const size_t action_index = rng.Below(table.action_names.size());
+        model.bit_values[slot.action_var] = BitValue(16, action_index + 1);
+        const SmtRef prio_var = ctx.FindVar(slot.priority_var);
+        ASSERT_TRUE(prio_var.IsValid());
+        model.bit_values[slot.priority_var] = BitValue(ctx.WidthOf(prio_var), rng.Next());
+        for (const std::string& key_var : slot.key_vars) {
+          const SmtRef var = ctx.FindVar(key_var);
+          model.bit_values[key_var] = BitValue(ctx.WidthOf(var), rng.Next());
+        }
+        for (const std::string& data_var : slot.action_data_vars[action_index]) {
+          const SmtRef var = ctx.FindVar(data_var);
+          if (ctx.IsBool(var)) {
+            model.bool_values[data_var] = rng.Chance(50);
+          } else {
+            model.bit_values[data_var] = BitValue(ctx.WidthOf(var), rng.Next());
+          }
         }
       }
-      tables[table.table_name].push_back(std::move(entry));
+      std::vector<TableEntry> entries = EntriesFromModel(model, table);
+      if (!entries.empty()) {
+        tables[table.table_name] = std::move(entries);
+      }
     }
     // Undefined values stay absent from the model: ModelEvaluator reads
     // them as zero, exactly like the zero-initializing concrete target.

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/runtime/corpus.h"
 #include "src/runtime/parallel_campaign.h"
@@ -54,12 +55,23 @@ TEST(WorkerPoolTest, ParallelForRethrowsBodyException) {
 
 // --- parallel campaign determinism ----------------------------------------
 
+// Disables every wall-clock solver budget (conflict budgets stay): outcomes
+// become machine-load-independent, which the report-identity tests below
+// require — a query that times out only under parallel ctest load would
+// change which tests get generated and make bit-identity checks flaky.
+void RemoveWallClockBudgets(CampaignOptions& options) {
+  options.testgen.query_time_limit_ms = 0;
+  options.tv.query_time_limit_ms = 0;
+  options.tv.program_budget_ms = 0;
+}
+
 ParallelCampaignOptions SmallCampaign(int num_programs, int jobs) {
   ParallelCampaignOptions options;
   options.campaign.seed = 42;
   options.campaign.num_programs = num_programs;
   options.campaign.testgen.max_tests = 6;
   options.campaign.testgen.max_decisions = 5;
+  RemoveWallClockBudgets(options.campaign);
   options.jobs = jobs;
   return options;
 }
@@ -105,6 +117,57 @@ TEST(ParallelCampaignTest, ZeroJobsMeansHardwareThreadsAndStaysDeterministic) {
   const CampaignReport a = ParallelCampaign(SmallCampaign(6, 0)).Run(bugs);
   const CampaignReport b = ParallelCampaign(SmallCampaign(6, 3)).Run(bugs);
   ExpectIdenticalReports(a, b);
+}
+
+TEST(ParallelCampaignTest, MultiEntryEncodingKeepsJobsBitIdentity) {
+  // The acceptance gate for the N-entry table encoding: with the
+  // priority-inversion fault seeded (caught *only* through multi-entry
+  // shadowing scenarios), the report must stay bit-identical across --jobs.
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TablePriorityInversion);
+  ParallelCampaignOptions serial_options;
+  serial_options.campaign.seed = 5;
+  serial_options.campaign.num_programs = 25;
+  RemoveWallClockBudgets(serial_options.campaign);
+  serial_options.jobs = 1;
+  ParallelCampaignOptions parallel_options = serial_options;
+  parallel_options.jobs = 8;
+  const CampaignReport serial = ParallelCampaign(serial_options).Run(bugs);
+  const CampaignReport parallel = ParallelCampaign(parallel_options).Run(bugs);
+  ExpectIdenticalReports(serial, parallel);
+  // The workload genuinely exercises the multi-entry scenarios.
+  EXPECT_GT(serial.distinct_bugs.count(BugId::kBmv2TablePriorityInversion), 0u);
+}
+
+TEST(ParallelCampaignTest, CacheFileWarmStartKeepsReportsBitIdentical) {
+  // Cross-run persistence: a campaign writes its cache file; re-running warm
+  // must produce the identical report (for any jobs count) while actually
+  // hitting the persisted templates and verdicts.
+  const fs::path cache_file =
+      fs::temp_directory_path() / "gauntlet_cache_file_test.cache";
+  fs::remove(cache_file);
+
+  BugConfig bugs;
+  bugs.Enable(BugId::kPredicationLostElse);
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  ParallelCampaignOptions options = SmallCampaign(12, 1);
+  options.cache_file = cache_file.string();
+
+  const CampaignReport cold = ParallelCampaign(options).Run(bugs);
+  ASSERT_TRUE(fs::exists(cache_file));
+
+  CacheStats warm_stats;
+  const CampaignReport warm = ParallelCampaign(options).Run(bugs, &warm_stats);
+  ExpectIdenticalReports(cold, warm);
+  EXPECT_GT(warm_stats.blast_hits, 0u);
+  EXPECT_GT(warm_stats.verdict_hits, 0u);
+
+  ParallelCampaignOptions parallel_options = options;
+  parallel_options.jobs = 8;
+  const CampaignReport warm_parallel = ParallelCampaign(parallel_options).Run(bugs);
+  ExpectIdenticalReports(cold, warm_parallel);
+
+  fs::remove(cache_file);
 }
 
 TEST(ParallelCampaignTest, ProgramSeedsAreDecorrelated) {

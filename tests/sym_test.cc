@@ -9,11 +9,14 @@ namespace gauntlet {
 namespace {
 
 // Interprets the ingress control of `source` and returns its semantics.
+// Defaults to a single symbolic entry slot per table so the focused Fig. 3
+// algebra tests constrain exactly one entry; the multi-entry tests below
+// pass 2 explicitly.
 BlockSemantics Interpret(SmtContext& ctx, const std::string& source,
-                         std::unique_ptr<Program>& program_out) {
+                         std::unique_ptr<Program>& program_out, size_t table_entries = 1) {
   program_out = Parser::ParseString(source);
   TypeCheck(*program_out);
-  SymbolicInterpreter interpreter(ctx);
+  SymbolicInterpreter interpreter(ctx, table_entries);
   return interpreter.InterpretRole(*program_out, BlockRole::kIngress);
 }
 
@@ -95,7 +98,8 @@ package main { ingress = ig; }
   ASSERT_EQ(semantics.tables.size(), 1u);
   const TableInfo& table = semantics.tables[0];
   EXPECT_EQ(table.table_name, "t");
-  ASSERT_EQ(table.key_vars.size(), 1u);
+  ASSERT_EQ(table.entries.size(), 1u);
+  ASSERT_EQ(table.entries[0].key_vars.size(), 1u);
   // NoAction is injected first, so listed actions are [NoAction? no—source
   // order]: the actions list in the program is {assign, NoAction}.
   ASSERT_EQ(table.action_names.size(), 2u);
@@ -105,8 +109,8 @@ package main { ingress = ig; }
   const SmtRef out_b = *semantics.FindOutput("hdr.h.b");
   const SmtRef in_a = ctx.FindVar("hdr.h.a");
   const SmtRef in_b = ctx.FindVar("hdr.h.b");
-  const SmtRef key = ctx.FindVar("t_key_0");
-  const SmtRef action = ctx.FindVar("t_action");
+  const SmtRef key = ctx.FindVar("t_e0_key_0");
+  const SmtRef action = ctx.FindVar("t_e0_action");
   const SmtRef valid = ctx.FindVar("hdr.h.$valid");
   ASSERT_TRUE(key.IsValid());
   ASSERT_TRUE(action.IsValid());
@@ -146,9 +150,9 @@ package main { ingress = ig; }
                                              program);
   const SmtRef out_a = *semantics.FindOutput("hdr.h.a");
   const SmtRef in_a = ctx.FindVar("hdr.h.a");
-  const SmtRef key = ctx.FindVar("t_key_0");
-  const SmtRef action = ctx.FindVar("t_action");
-  const SmtRef data = ctx.FindVar("t_set_field_value");
+  const SmtRef key = ctx.FindVar("t_e0_key_0");
+  const SmtRef action = ctx.FindVar("t_e0_action");
+  const SmtRef data = ctx.FindVar("t_e0_set_field_value");
   const SmtRef valid = ctx.FindVar("hdr.h.$valid");
   ASSERT_TRUE(data.IsValid());
   // On hit with set_field, the output equals the control-plane value.
@@ -159,6 +163,68 @@ package main { ingress = ig; }
   EXPECT_TRUE(Satisfiable(
       ctx, {valid, ctx.Eq(in_a, key), ctx.Eq(action, ctx.Const(16, 1)),
             ctx.Eq(out_a, ctx.Const(8, 0xab))}));
+}
+
+TEST(SymInterpreterTest, MultiEntryTableEncodesPriorityOrder) {
+  SmtContext ctx;
+  std::unique_ptr<Program> program;
+  const BlockSemantics semantics = Interpret(ctx, R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  action set_field(bit<8> value) { hdr.h.a = value; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_field; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+package main { ingress = ig; }
+)",
+                                             program, /*table_entries=*/2);
+  ASSERT_EQ(semantics.tables.size(), 1u);
+  const TableInfo& table = semantics.tables[0];
+  ASSERT_EQ(table.entries.size(), 2u);
+
+  const SmtRef out_a = *semantics.FindOutput("hdr.h.a");
+  const SmtRef in_a = ctx.FindVar("hdr.h.a");
+  const SmtRef valid = ctx.FindVar("hdr.h.$valid");
+  const SmtRef key0 = ctx.FindVar("t_e0_key_0");
+  const SmtRef key1 = ctx.FindVar("t_e1_key_0");
+  const SmtRef act0 = ctx.FindVar("t_e0_action");
+  const SmtRef act1 = ctx.FindVar("t_e1_action");
+  const SmtRef data0 = ctx.FindVar("t_e0_set_field_value");
+  const SmtRef data1 = ctx.FindVar("t_e1_set_field_value");
+  const SmtRef prio0 = ctx.FindVar("t_e0_prio");
+  const SmtRef prio1 = ctx.FindVar("t_e1_prio");
+  ASSERT_TRUE(key0.IsValid() && key1.IsValid() && act1.IsValid() && data1.IsValid() &&
+              prio0.IsValid() && prio1.IsValid());
+
+  // Slot 1 matches while slot 0 does not: the output is slot 1's
+  // control-plane data — a non-first-entry hit, which the single-entry
+  // encoding could not express symbolically.
+  EXPECT_FALSE(Satisfiable(
+      ctx, {valid, ctx.BoolNot(ctx.Eq(in_a, key0)), ctx.Eq(in_a, key1),
+            ctx.Eq(act0, ctx.Const(16, 1)), ctx.Eq(act1, ctx.Const(16, 1)),
+            ctx.BoolNot(ctx.Eq(out_a, data1))}));
+  // Overlapping slots (both match the lookup key): the lower priority wins
+  // — first-match once EntriesFromModel installs them in priority order.
+  EXPECT_FALSE(Satisfiable(
+      ctx, {valid, ctx.Eq(in_a, key0), ctx.Eq(in_a, key1),
+            ctx.Eq(act0, ctx.Const(16, 1)), ctx.Eq(act1, ctx.Const(16, 1)),
+            ctx.Ult(prio1, prio0), ctx.BoolNot(ctx.Eq(out_a, data1))}));
+  EXPECT_FALSE(Satisfiable(
+      ctx, {valid, ctx.Eq(in_a, key0), ctx.Eq(in_a, key1),
+            ctx.Eq(act0, ctx.Const(16, 1)), ctx.Eq(act1, ctx.Const(16, 1)),
+            ctx.Ult(prio0, prio1), ctx.BoolNot(ctx.Eq(out_a, data0))}));
+  // At most one slot wins any lookup.
+  EXPECT_FALSE(
+      Satisfiable(ctx, {table.entries[0].win_condition, table.entries[1].win_condition}));
+  // Both slots empty: miss, the default leaves the header unchanged.
+  EXPECT_FALSE(Satisfiable(
+      ctx, {valid, ctx.Eq(act0, ctx.Const(16, 0)), ctx.Eq(act1, ctx.Const(16, 0)),
+            ctx.BoolNot(ctx.Eq(out_a, in_a))}));
 }
 
 TEST(SymInterpreterTest, CopyInCopyOutSliceArgument) {

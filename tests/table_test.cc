@@ -1,0 +1,286 @@
+// The shared table-semantics layer (src/table/): the declarative semantics
+// value, the resolved TableModel, concrete lookup under quirk rewrites, and
+// the N-entry symbolic encoding's model inversion. These semantics used to
+// live in three places; this suite pins the one authoritative copy.
+
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/smt/solver.h"
+#include "src/sym/interpreter.h"
+#include "src/table/entry_set.h"
+#include "src/table/table_model.h"
+#include "src/target/concrete.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+namespace {
+
+constexpr const char* kTableProgram = R"(
+header H { bit<16> a; bit<8> b; }
+struct Hdr { H h; }
+control ig(inout Hdr hdr) {
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  action wide(bit<16> w) { hdr.h.a = w; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_b; wide; NoAction; }
+    default_action = NoAction();
+  }
+  apply { t.apply(); }
+}
+package main { ingress = ig; }
+)";
+
+struct Fixture {
+  std::unique_ptr<Program> program;
+  const ControlDecl* control = nullptr;
+  const TableDecl* table = nullptr;
+
+  Fixture() {
+    program = Parser::ParseString(kTableProgram);
+    TypeCheck(*program);
+    control = program->FindControl("ig");
+    table = static_cast<const TableDecl*>(control->FindLocal("t"));
+  }
+};
+
+TableEntry MakeEntry(uint64_t key, const std::string& action,
+                     std::vector<BitValue> data = {}) {
+  TableEntry entry;
+  entry.key.push_back(BitValue(16, key));
+  entry.action = action;
+  entry.action_data = std::move(data);
+  return entry;
+}
+
+// --- declarative semantics --------------------------------------------------
+
+TEST(TableSemanticsTest, ReferenceIsTheDefault) {
+  EXPECT_TRUE(TableSemantics().IsReference());
+  EXPECT_TRUE(TableSemantics::Reference().IsReference());
+  TableSemantics inverted;
+  inverted.order = MatchOrder::kLastInstalled;
+  EXPECT_FALSE(inverted.IsReference());
+}
+
+TEST(TableSemanticsTest, QuirkTranslationIsDeclarative) {
+  EXPECT_TRUE(TableSemanticsFromQuirks(TargetQuirks{}).IsReference());
+
+  TargetQuirks quirks;
+  quirks.match_last_entry = true;
+  EXPECT_EQ(TableSemanticsFromQuirks(quirks).order, MatchOrder::kLastInstalled);
+
+  quirks = TargetQuirks{};
+  quirks.swap_map_key_bytes = true;
+  EXPECT_EQ(TableSemanticsFromQuirks(quirks).key_transform, KeyTransform::kReverseBytes);
+
+  quirks = TargetQuirks{};
+  quirks.swap_action_data_bytes = true;
+  EXPECT_EQ(TableSemanticsFromQuirks(quirks).data_transform, DataTransform::kReverseBytes);
+
+  quirks = TargetQuirks{};
+  quirks.miss_drops_packet = true;
+  EXPECT_EQ(TableSemanticsFromQuirks(quirks).miss, MissBehavior::kDropPacket);
+  quirks = TargetQuirks{};
+  quirks.miss_runs_first_action = true;
+  EXPECT_EQ(TableSemanticsFromQuirks(quirks).miss, MissBehavior::kRunFirstActionZeroData);
+  quirks = TargetQuirks{};
+  quirks.skip_default_action = true;
+  EXPECT_EQ(TableSemanticsFromQuirks(quirks).miss, MissBehavior::kNoAction);
+}
+
+TEST(TableSemanticsTest, ByteReversalOnlyTouchesWholeMultiByteValues) {
+  EXPECT_EQ(ReverseWholeBytes(0x1234, 16), 0x3412u);
+  EXPECT_EQ(ReverseWholeBytes(0x123456, 24), 0x563412u);
+  EXPECT_EQ(ReverseWholeBytes(0xab, 8), 0xabu);     // single byte: no order
+  EXPECT_EQ(ReverseWholeBytes(0x1ff, 9), 0x1ffu);   // not byte-aligned
+  EXPECT_EQ(ApplyKeyTransform(KeyTransform::kIdentity, BitValue(16, 0x1234)).bits(), 0x1234u);
+  EXPECT_EQ(ApplyKeyTransform(KeyTransform::kReverseBytes, BitValue(16, 0x1234)).bits(),
+            0x3412u);
+  EXPECT_EQ(ApplyDataTransform(DataTransform::kReverseBytes, BitValue(16, 0x1234)).bits(),
+            0x3412u);
+}
+
+// --- TableModel structure ---------------------------------------------------
+
+TEST(TableModelTest, ResolvesActionsAndIndexConvention) {
+  Fixture fx;
+  const TableModel model(*fx.control, *fx.table);
+  EXPECT_EQ(model.name(), "t");
+  EXPECT_FALSE(model.keyless());
+  EXPECT_EQ(model.key_count(), 1u);
+  ASSERT_EQ(model.action_count(), 3u);
+  EXPECT_EQ(model.action_name(0), "set_b");
+  EXPECT_EQ(static_cast<const Decl*>(&model.action(0)), fx.control->FindLocal("set_b"));
+  EXPECT_EQ(static_cast<const Decl*>(&model.default_action()),
+            fx.control->FindLocal("NoAction"));
+  // The Fig. 3 convention: listed action i is index i + 1, 0 = miss.
+  EXPECT_EQ(model.ActionNumber("set_b"), 1u);
+  EXPECT_EQ(model.ActionNumber("wide"), 2u);
+  EXPECT_EQ(model.ActionNumber("NoAction"), 3u);
+  EXPECT_EQ(model.ActionNumber("unlisted"), 0u);
+}
+
+// --- concrete lookup under the rewrites -------------------------------------
+
+TEST(TableModelTest, ReferenceLookupIsFirstInstalledMatchThenDefault) {
+  Fixture fx;
+  const TableModel model(*fx.control, *fx.table);
+  const std::vector<TableEntry> entries = {
+      MakeEntry(0x0102, "set_b", {BitValue(8, 0x11)}),
+      MakeEntry(0x0102, "set_b", {BitValue(8, 0x22)}),  // shadowed twin
+      MakeEntry(0x0304, "wide", {BitValue(16, 0xbeef)}),
+  };
+  const auto hit =
+      model.Resolve(entries, {BitValue(16, 0x0102)}, TableSemantics::Reference());
+  ASSERT_EQ(hit.kind, TableModel::Outcome::Kind::kRunAction);
+  EXPECT_EQ(hit.action, fx.control->FindLocal("set_b"));
+  ASSERT_EQ(hit.action_data.size(), 1u);
+  EXPECT_EQ(hit.action_data[0].bits(), 0x11u);  // first installed wins
+
+  const auto miss =
+      model.Resolve(entries, {BitValue(16, 0x9999)}, TableSemantics::Reference());
+  EXPECT_EQ(miss.kind, TableModel::Outcome::Kind::kRunDefaultAction);
+  EXPECT_EQ(miss.action, fx.control->FindLocal("NoAction"));
+}
+
+TEST(TableModelTest, LastInstalledRewriteInvertsShadowing) {
+  Fixture fx;
+  const TableModel model(*fx.control, *fx.table);
+  const std::vector<TableEntry> entries = {
+      MakeEntry(0x0102, "set_b", {BitValue(8, 0x11)}),
+      MakeEntry(0x0102, "set_b", {BitValue(8, 0x22)}),
+  };
+  TableSemantics inverted;
+  inverted.order = MatchOrder::kLastInstalled;
+  const auto hit = model.Resolve(entries, {BitValue(16, 0x0102)}, inverted);
+  ASSERT_EQ(hit.kind, TableModel::Outcome::Kind::kRunAction);
+  EXPECT_EQ(hit.action_data[0].bits(), 0x22u);  // the shadowed twin runs
+}
+
+TEST(TableModelTest, KeyAndDataTransformsApply) {
+  Fixture fx;
+  const TableModel model(*fx.control, *fx.table);
+  const std::vector<TableEntry> entries = {
+      MakeEntry(0x3412, "wide", {BitValue(16, 0x1234)}),
+  };
+  TableSemantics swapped;
+  swapped.key_transform = KeyTransform::kReverseBytes;
+  swapped.data_transform = DataTransform::kReverseBytes;
+  // The lookup key 0x1234 reads byte-reversed as 0x3412 and now matches the
+  // installed entry; its data is loaded byte-reversed too.
+  const auto hit = model.Resolve(entries, {BitValue(16, 0x1234)}, swapped);
+  ASSERT_EQ(hit.kind, TableModel::Outcome::Kind::kRunAction);
+  EXPECT_EQ(hit.action_data[0].bits(), 0x3412u);
+  // Under reference semantics the same lookup misses.
+  const auto miss =
+      model.Resolve(entries, {BitValue(16, 0x1234)}, TableSemantics::Reference());
+  EXPECT_EQ(miss.kind, TableModel::Outcome::Kind::kRunDefaultAction);
+}
+
+TEST(TableModelTest, MissRewritesResolveThroughTheModel) {
+  Fixture fx;
+  const TableModel model(*fx.control, *fx.table);
+  const std::vector<BitValue> miss_key = {BitValue(16, 1)};
+
+  TableSemantics drops;
+  drops.miss = MissBehavior::kDropPacket;
+  EXPECT_EQ(model.Resolve({}, miss_key, drops).kind, TableModel::Outcome::Kind::kDropPacket);
+
+  TableSemantics first_action;
+  first_action.miss = MissBehavior::kRunFirstActionZeroData;
+  const auto first = model.Resolve({}, miss_key, first_action);
+  ASSERT_EQ(first.kind, TableModel::Outcome::Kind::kRunAction);
+  EXPECT_EQ(first.action, fx.control->FindLocal("set_b"));
+  ASSERT_EQ(first.action_data.size(), 1u);
+  EXPECT_EQ(first.action_data[0].bits(), 0u);  // zeroed control-plane data
+
+  TableSemantics skipped;
+  skipped.miss = MissBehavior::kNoAction;
+  EXPECT_EQ(model.Resolve({}, miss_key, skipped).kind, TableModel::Outcome::Kind::kNoAction);
+}
+
+TEST(TableModelTest, MalformedEntriesFailLoudly) {
+  Fixture fx;
+  const TableModel model(*fx.control, *fx.table);
+  const std::vector<BitValue> key = {BitValue(16, 1)};
+
+  TableEntry wrong_arity = MakeEntry(1, "set_b", {BitValue(8, 1)});
+  wrong_arity.key.push_back(BitValue(16, 2));
+  EXPECT_THROW(model.Resolve({wrong_arity}, key, TableSemantics::Reference()), CompileError);
+
+  TableEntry wrong_width = MakeEntry(1, "set_b", {BitValue(8, 1)});
+  wrong_width.key[0] = BitValue(8, 1);
+  EXPECT_THROW(model.Resolve({wrong_width}, key, TableSemantics::Reference()), CompileError);
+
+  EXPECT_THROW(model.Resolve({MakeEntry(1, "unlisted")}, key, TableSemantics::Reference()),
+               CompileError);
+  EXPECT_THROW(model.Resolve({MakeEntry(1, "set_b")}, key, TableSemantics::Reference()),
+               CompileError);  // set_b takes one argument
+  // A malformed entry fails even when another entry would win the lookup.
+  EXPECT_THROW(model.Resolve({MakeEntry(1, "set_b", {BitValue(8, 7)}),
+                              MakeEntry(2, "unlisted")},
+                             key, TableSemantics::Reference()),
+               CompileError);
+}
+
+// --- symbolic entry set: model inversion ------------------------------------
+
+TEST(EntrySetTest, EntriesFromModelInstallsInPriorityOrder) {
+  SmtContext ctx;
+  auto program = Parser::ParseString(kTableProgram);
+  TypeCheck(*program);
+  SymbolicInterpreter interpreter(ctx, /*table_entries=*/3);
+  const BlockSemantics semantics = interpreter.InterpretRole(*program, BlockRole::kIngress);
+  ASSERT_EQ(semantics.tables.size(), 1u);
+  const TableInfo& info = semantics.tables[0];
+  ASSERT_EQ(info.entries.size(), 3u);
+
+  SmtModel model;
+  // Slot 0: installed at priority 9; slot 1: empty; slot 2: priority 3 —
+  // install order must be [slot 2, slot 0].
+  model.bit_values[info.entries[0].action_var] = BitValue(16, 1);
+  model.bit_values[info.entries[0].priority_var] = BitValue(4, 9);
+  model.bit_values[info.entries[0].key_vars[0]] = BitValue(16, 0xaaaa);
+  model.bit_values[info.entries[0].action_data_vars[0][0]] = BitValue(8, 0x11);
+  model.bit_values[info.entries[2].action_var] = BitValue(16, 3);  // NoAction
+  model.bit_values[info.entries[2].priority_var] = BitValue(4, 3);
+  model.bit_values[info.entries[2].key_vars[0]] = BitValue(16, 0xbbbb);
+
+  const std::vector<TableEntry> entries = EntriesFromModel(model, info);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key[0].bits(), 0xbbbbu);
+  EXPECT_EQ(entries[0].action, "NoAction");
+  EXPECT_EQ(entries[1].key[0].bits(), 0xaaaau);
+  EXPECT_EQ(entries[1].action, "set_b");
+  ASSERT_EQ(entries[1].action_data.size(), 1u);
+  EXPECT_EQ(entries[1].action_data[0].bits(), 0x11u);
+}
+
+TEST(EntrySetTest, PriorityTiesBreakTowardLowerSlotIndex) {
+  SmtContext ctx;
+  auto program = Parser::ParseString(kTableProgram);
+  TypeCheck(*program);
+  SymbolicInterpreter interpreter(ctx, /*table_entries=*/2);
+  const BlockSemantics semantics = interpreter.InterpretRole(*program, BlockRole::kIngress);
+  const TableInfo& info = semantics.tables[0];
+
+  SmtModel model;
+  for (size_t slot = 0; slot < 2; ++slot) {
+    model.bit_values[info.entries[slot].action_var] = BitValue(16, 1);
+    model.bit_values[info.entries[slot].key_vars[0]] = BitValue(16, 0x0102);
+    model.bit_values[info.entries[slot].action_data_vars[0][0]] =
+        BitValue(8, slot == 0 ? 0x11 : 0x22);
+    // Equal priorities (absent from the model -> 0 for both).
+  }
+  const std::vector<TableEntry> entries = EntriesFromModel(model, info);
+  ASSERT_EQ(entries.size(), 2u);
+  // Slot 0 installs first on a tie — matching the symbolic tie-break, so
+  // first-match lookup runs slot 0's data, like the win conditions say.
+  EXPECT_EQ(entries[0].action_data[0].bits(), 0x11u);
+  EXPECT_EQ(entries[1].action_data[0].bits(), 0x22u);
+}
+
+}  // namespace
+}  // namespace gauntlet

@@ -43,14 +43,100 @@ TEST(TestGenTest, GeneratesTestsCoveringTablePaths) {
   const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
   // At least: miss path, hit-with-set_b path, hit-with-NoAction path.
   EXPECT_GE(tests.size(), 3u);
-  bool any_with_entry = false;
-  bool any_without_entry = false;
+  bool any_hit = false;
+  bool any_miss = false;
   for (const PacketTest& test : tests) {
-    any_with_entry |= !test.tables.empty();
-    any_without_entry |= test.tables.empty();
+    // The table key is the packet's first byte.
+    const std::optional<BitValue> key = test.input.ReadBits(0, 8);
+    ASSERT_TRUE(key.has_value());
+    bool hits = false;
+    const auto it = test.tables.find("t");
+    if (it != test.tables.end()) {
+      for (const TableEntry& entry : it->second) {
+        hits |= entry.key[0].bits() == key->bits();
+      }
+    }
+    any_hit |= hits;
+    any_miss |= !hits;
   }
-  EXPECT_TRUE(any_with_entry);
-  EXPECT_TRUE(any_without_entry);
+  EXPECT_TRUE(any_hit);
+  EXPECT_TRUE(any_miss);
+}
+
+TEST(TestGenTest, SolvesMultiEntryScenariosPreSolve) {
+  // The Fig. 3 N-entry generalization: path enumeration itself produces
+  // multi-entry control-plane state — no post-solve decoys. At least one
+  // test must install >= 2 entries on one table, and at least one test must
+  // hit a *non-first installed* entry: the packet key misses the first
+  // installed entry and matches a later one, on a true symbolic path.
+  auto program = Load(kPipelineProgram);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  bool any_multi_entry = false;
+  bool any_non_first_hit = false;
+  for (const PacketTest& test : tests) {
+    const auto it = test.tables.find("t");
+    if (it == test.tables.end()) {
+      continue;
+    }
+    const std::vector<TableEntry>& entries = it->second;
+    any_multi_entry |= entries.size() >= 2;
+    const std::optional<BitValue> key = test.input.ReadBits(0, 8);
+    ASSERT_TRUE(key.has_value());
+    if (entries.size() >= 2 && entries[0].key[0].bits() != key->bits()) {
+      for (size_t i = 1; i < entries.size(); ++i) {
+        any_non_first_hit |= entries[i].key[0].bits() == key->bits();
+      }
+    }
+  }
+  EXPECT_TRUE(any_multi_entry) << "no generated test installed >= 2 entries pre-solve";
+  EXPECT_TRUE(any_non_first_hit) << "no generated test hits a non-first installed entry";
+}
+
+TEST(TestGenTest, PriorityInversionCaughtViaSymbolicShadowedEntries) {
+  // The bmv2-table-priority-inversion fault (last matching installed entry
+  // wins instead of the first) is only observable on a test whose table
+  // holds >= 2 entries matching the same packet key with different
+  // behavior. With the N-entry encoding that scenario is solved *pre-solve*
+  // — no post-solve decoys exist anymore — so a failing test here proves
+  // the fault is caught on a true symbolic path.
+  auto program = Load(kPipelineProgram);
+  const std::vector<PacketTest> tests = TestCaseGenerator().Generate(*program);
+  BugConfig bugs;
+  bugs.Enable(BugId::kBmv2TablePriorityInversion);
+  const auto target = TargetRegistry::Get("bmv2").Compile(*program, bugs);
+  const auto failures = RunPacketTests(*target, tests);
+  ASSERT_FALSE(failures.empty()) << "priority inversion not caught";
+  bool shadowed_failure = false;
+  for (const auto& [test, outcome] : failures) {
+    const std::optional<BitValue> key = test.input.ReadBits(0, 8);
+    ASSERT_TRUE(key.has_value());
+    const auto it = test.tables.find("t");
+    if (it == test.tables.end()) {
+      continue;
+    }
+    size_t matching = 0;
+    for (const TableEntry& entry : it->second) {
+      matching += entry.key[0].bits() == key->bits() ? 1 : 0;
+    }
+    shadowed_failure |= it->second.size() >= 2 && matching >= 2;
+  }
+  EXPECT_TRUE(shadowed_failure)
+      << "no failing test carries overlapping (shadowed) installed entries";
+}
+
+TEST(TestGenTest, SingleEntryOptionRecoversFig3Baseline) {
+  // symbolic_table_entries = 1 is the paper's original encoding — at most
+  // one installed entry per table (the bench_table_model baseline).
+  auto program = Load(kPipelineProgram);
+  TestGenOptions options;
+  options.symbolic_table_entries = 1;
+  const std::vector<PacketTest> tests = TestCaseGenerator(options).Generate(*program);
+  EXPECT_GE(tests.size(), 3u);
+  for (const PacketTest& test : tests) {
+    for (const auto& [name, entries] : test.tables) {
+      EXPECT_LE(entries.size(), 1u) << name;
+    }
+  }
 }
 
 TEST(TestGenTest, TestsPassOnCleanBmv2) {
