@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/sym/interpreter.h"
 
 namespace gauntlet {
@@ -16,14 +17,29 @@ void CacheStats::Merge(const CacheStats& other) {
   pairs_short_circuited += other.pairs_short_circuited;
 }
 
+void CacheStats::RecordMetrics(MetricsRegistry& registry) const {
+  const auto kTiming = MetricScope::kTiming;
+  registry.Count("cache/blast_hits", kTiming, blast_hits);
+  registry.Count("cache/blast_misses", kTiming, blast_misses);
+  registry.Count("cache/clauses_reused", kTiming, clauses_reused);
+  registry.Count("cache/pairs_short_circuited", kTiming, pairs_short_circuited);
+  registry.Count("cache/queries_skipped", kTiming, queries_skipped);
+  registry.Count("cache/verdict_hits", kTiming, verdict_hits);
+  registry.Count("cache/verdict_misses", kTiming, verdict_misses);
+}
+
 std::string CacheStats::ToString() const {
-  const uint64_t blast_total = blast_hits + blast_misses;
-  const uint64_t verdict_total = verdict_hits + verdict_misses;
+  // Render through the registry so --cache-stats and metrics.json can never
+  // drift apart: same names, same key-sorted order.
+  MetricsRegistry registry;
+  RecordMetrics(registry);
   std::ostringstream out;
-  out << "cache: blast " << blast_hits << "/" << blast_total << " hits, " << clauses_reused
-      << " clauses reused; verdicts " << verdict_hits << "/" << verdict_total << " hits, "
-      << queries_skipped << " queries skipped, " << pairs_short_circuited
-      << " pairs short-circuited";
+  bool first = true;
+  for (const auto& [name, metric] : registry.metrics()) {
+    if (!first) out << "\n";
+    first = false;
+    out << name << " " << metric.value;
+  }
   return out.str();
 }
 

@@ -11,6 +11,7 @@
 namespace gauntlet {
 
 struct BlockSemantics;
+class MetricsRegistry;
 
 // Counters describing what the memoization subsystem saved. Aggregated
 // per worker and surfaced by `gauntlet ... --cache-stats`; never part of a
@@ -26,6 +27,13 @@ struct CacheStats {
   uint64_t pairs_short_circuited = 0;  // canonically identical (before, after)
 
   void Merge(const CacheStats& other);
+
+  // Folds the counters into `registry` under stable `cache/...` names
+  // (timing scope — hit patterns are schedule-dependent, see above).
+  void RecordMetrics(MetricsRegistry& registry) const;
+
+  // Stable key-sorted rendering, one `cache/<counter> <value>` line per
+  // counter — greppable in scripts and diffable in CI.
   std::string ToString() const;
 };
 

@@ -5,6 +5,8 @@
 
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/target/lowering.h"
 #include "src/target/target.h"
 #include "src/tv/validator.h"
@@ -62,6 +64,43 @@ void CampaignReport::Merge(CampaignReport&& other) {
   distinct_bugs.insert(other.distinct_bugs.begin(), other.distinct_bugs.end());
   unattributed_components.insert(other.unattributed_components.begin(),
                                  other.unattributed_components.end());
+}
+
+void CampaignReport::RecordMetrics(MetricsRegistry& registry) const {
+  const auto kDet = MetricScope::kDeterministic;
+  // Zero-delta counts still create their keys, so the deterministic
+  // section's key set — and hence its bytes — is stable across runs that
+  // merely found different amounts.
+  registry.Count("campaign/programs_generated", kDet, static_cast<uint64_t>(programs_generated));
+  registry.Count("campaign/programs_with_crash", kDet,
+                 static_cast<uint64_t>(programs_with_crash));
+  registry.Count("campaign/programs_with_semantic", kDet,
+                 static_cast<uint64_t>(programs_with_semantic));
+  registry.Count("campaign/tests_generated", kDet, static_cast<uint64_t>(tests_generated));
+  registry.Count("campaign/undef_divergences", kDet, static_cast<uint64_t>(undef_divergences));
+  registry.Count("campaign/structural_mismatches", MetricScope::kTiming,
+                 static_cast<uint64_t>(structural_mismatches));
+  registry.Count("campaign/findings_total", kDet, findings.size());
+  for (const Finding& finding : findings) {
+    registry.Count("campaign/findings/method/" + DetectionMethodToString(finding.method), kDet);
+    registry.Count(finding.kind == BugKind::kCrash ? "campaign/findings/kind/crash"
+                                                   : "campaign/findings/kind/semantic",
+                   kDet);
+    registry.Count("campaign/findings/bug/" + (finding.attributed.has_value()
+                                                   ? BugIdToString(*finding.attributed)
+                                                   : "unattributed:" + finding.component),
+                   kDet);
+  }
+  registry.Count("campaign/distinct_bugs", kDet, DistinctCount());
+  for (const auto& [location, count] : DistinctByLocation()) {
+    registry.Count("campaign/distinct/location/" + BugLocationToString(location), kDet,
+                   static_cast<uint64_t>(count));
+  }
+  for (const auto& [kind, count] : DistinctByKind()) {
+    registry.Count(kind == BugKind::kCrash ? "campaign/distinct/kind/crash"
+                                           : "campaign/distinct/kind/semantic",
+                   kDet, static_cast<uint64_t>(count));
+  }
 }
 
 void Campaign::Record(CampaignReport& report, Finding finding) {
@@ -210,7 +249,11 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
   // --- Technique 2 (§5): translation validation over the open pipeline ---
   if (options_.run_translation_validation) {
     const TranslationValidator validator(PassManager::StandardPipeline(), options_.tv);
-    const TvReport tv_report = validator.Validate(program, bugs, /*stop_after_pass=*/{}, cache);
+    TvReport tv_report;
+    {
+      TraceSpan span("validate", "tv");
+      tv_report = validator.Validate(program, bugs, /*stop_after_pass=*/{}, cache);
+    }
     if (tv_report.crashed) {
       Finding finding;
       finding.program_index = program_index;
@@ -229,7 +272,10 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
           finding.method = DetectionMethod::kTranslationValidation;
           finding.kind = BugKind::kSemantic;
           finding.detail = result.detail;
-          AttributeTvFinding(finding, tv_report, bugs, result.pass_name, cache);
+          {
+            TraceSpan span("attribute", "tv");
+            AttributeTvFinding(finding, tv_report, bugs, result.pass_name, cache);
+          }
           if (finding.component.empty()) {
             finding.component = result.pass_name;
           }
@@ -279,8 +325,16 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
   std::set<std::string> recorded_crash_sites;
   for (const Target* target : SelectedTargets()) {
     try {
-      const std::unique_ptr<Executable> executable = target->Compile(program, bugs);
-      const auto failures = RunPacketTests(*executable, tests);
+      std::unique_ptr<Executable> executable;
+      {
+        TraceSpan span(std::string("compile:") + target->name(), "target");
+        executable = target->Compile(program, bugs);
+      }
+      std::vector<std::pair<PacketTest, PacketTestOutcome>> failures;
+      {
+        TraceSpan span(std::string("execute:") + target->name(), "target");
+        failures = RunPacketTests(*executable, tests);
+      }
       if (!failures.empty()) {
         Finding finding;
         finding.program_index = program_index;
@@ -289,7 +343,10 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
         finding.component = target->component();
         finding.detail = failures[0].second.detail;
         finding.repro_test = failures[0].first;
-        AttributeBlackBox(finding, bugs, *target, program, failures[0].first);
+        {
+          TraceSpan span("attribute", "target");
+          AttributeBlackBox(finding, bugs, *target, program, failures[0].first);
+        }
         // Failures not explained by a fault local to this back end are
         // duplicates of front/mid-end miscompilations that translation
         // validation already reported (the paper excludes those from
@@ -369,10 +426,34 @@ CampaignReport Campaign::Run(const BugConfig& bugs, CacheStats* stats_out) const
   ProgramGenerator generator(generator_options);
   const std::unique_ptr<ValidationCache> cache =
       options_.use_cache ? std::make_unique<ValidationCache>() : nullptr;
-  for (int i = 0; i < options_.num_programs; ++i) {
-    ProgramPtr program = generator.Generate();
-    ++report.programs_generated;
-    TestProgram(*program, bugs, i, report, cache.get());
+  {
+    // Serial driver: one live registry/buffer pair for the whole run. The
+    // parallel driver (src/runtime/) installs per-worker sinks instead.
+    MetricsRegistry live;
+    ScopedMetricsSink metrics_sink(options_.metrics != nullptr ? &live : nullptr);
+    ScopedTraceSink trace_sink(options_.trace != nullptr ? options_.trace->NewBuffer(0)
+                                                         : nullptr);
+    for (int i = 0; i < options_.num_programs; ++i) {
+      ProgramPtr program;
+      {
+        TraceSpan span("generate", "gen");
+        program = generator.Generate();
+      }
+      ++report.programs_generated;
+      TestProgram(*program, bugs, i, report, cache.get());
+      if (options_.progress) {
+        options_.progress(static_cast<uint64_t>(i) + 1, report.findings.size());
+      }
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->MergeFrom(live);
+    }
+  }
+  if (options_.metrics != nullptr) {
+    report.RecordMetrics(*options_.metrics);
+    if (cache != nullptr) {
+      cache->Stats().RecordMetrics(*options_.metrics);
+    }
   }
   if (stats_out != nullptr) {
     *stats_out = cache != nullptr ? cache->Stats() : CacheStats{};

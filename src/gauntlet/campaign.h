@@ -1,6 +1,8 @@
 #ifndef SRC_GAUNTLET_CAMPAIGN_H_
 #define SRC_GAUNTLET_CAMPAIGN_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -16,6 +18,8 @@
 namespace gauntlet {
 
 struct CacheStats;
+class MetricsRegistry;
+class TraceCollector;
 class ValidationCache;
 
 // How a finding was detected — the paper's three techniques.
@@ -67,6 +71,20 @@ struct CampaignOptions {
   // fodder with that target's GeneratorBias (the §4.2 back-end-specific
   // skeleton). Off = the target-agnostic program stream.
   bool bias_generator = true;
+
+  // --- observability (src/obs/), all optional and observation-only ---
+  // Findings and reports are bit-identical with these on or off.
+  //
+  // Destination for the run's metrics; the driver merges per-worker
+  // registries into it in worker-index order and folds in the report's
+  // deterministic counters. Owned by the caller, must outlive the run.
+  MetricsRegistry* metrics = nullptr;
+  // Destination for TraceSpan phase timings (Chrome trace-event JSON via
+  // src/obs/run_report.h). Owned by the caller, must outlive the run.
+  TraceCollector* trace = nullptr;
+  // Called after each tested program with (programs done, findings so far).
+  // May be invoked concurrently from workers; drives `--progress`.
+  std::function<void(uint64_t, uint64_t)> progress;
 };
 
 struct CampaignReport {
@@ -94,6 +112,12 @@ struct CampaignReport {
   // `other`'s order, distinct sets union. Merging per-program reports in
   // program-index order reproduces the serial report exactly.
   void Merge(CampaignReport&& other);
+
+  // Folds the report's outcome counters into `registry` under `campaign/...`
+  // names. Everything derived from the (schedule-independent) merged report
+  // lands in the deterministic section, except structural_mismatches, which
+  // includes wall-clock budget exhaustion and therefore stays timing-scoped.
+  void RecordMetrics(MetricsRegistry& registry) const;
 };
 
 // A multi-round find->fix sequence: each round runs a full campaign, then

@@ -1,0 +1,46 @@
+#include "src/obs/progress.h"
+
+namespace gauntlet {
+
+ProgressMeter::ProgressMeter(std::string label, uint64_t total, std::FILE* stream,
+                             uint64_t min_interval_ms)
+    : label_(std::move(label)),
+      total_(total),
+      stream_(stream != nullptr ? stream : stderr),
+      min_interval_ms_(min_interval_ms),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::Tick(uint64_t done, uint64_t findings) {
+  Emit(done, findings, /*final_line=*/false);
+}
+
+void ProgressMeter::Finish(uint64_t done, uint64_t findings) {
+  Emit(done, findings, /*final_line=*/true);
+}
+
+void ProgressMeter::Emit(uint64_t done, uint64_t findings, bool final_line) {
+  const uint64_t elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                                            start_)
+          .count());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!final_line && elapsed_ms < next_emit_ms_) {
+    return;
+  }
+  next_emit_ms_ = elapsed_ms + min_interval_ms_;
+
+  char eta[32] = "";
+  if (!final_line && done > 0 && done < total_) {
+    const uint64_t eta_s = (elapsed_ms * (total_ - done) / done + 999) / 1000;
+    std::snprintf(eta, sizeof(eta), ", eta %llus", static_cast<unsigned long long>(eta_s));
+  }
+  // One fprintf per line keeps concurrent heartbeats line-atomic in practice.
+  std::fprintf(stream_, "progress: %llu/%llu %s, %llu findings, %llu.%llus elapsed%s%s\n",
+               static_cast<unsigned long long>(done), static_cast<unsigned long long>(total_),
+               label_.c_str(), static_cast<unsigned long long>(findings),
+               static_cast<unsigned long long>(elapsed_ms / 1000),
+               static_cast<unsigned long long>((elapsed_ms % 1000) / 100), eta,
+               final_line ? ", done" : "");
+}
+
+}  // namespace gauntlet

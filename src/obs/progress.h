@@ -1,0 +1,42 @@
+#ifndef SRC_OBS_PROGRESS_H_
+#define SRC_OBS_PROGRESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace gauntlet {
+
+// Throttled campaign heartbeat on stderr:
+//
+//   progress: 12/50 programs, 3 findings, 4.2s elapsed, eta 13s
+//
+// Reports stay on stdout, the heartbeat on stderr, so redirecting either
+// stream never interleaves the two. Tick is thread-safe (workers call it
+// concurrently) and rate-limited; Finish always prints a final line.
+class ProgressMeter {
+ public:
+  // `stream` defaults to stderr; tests inject a memstream.
+  ProgressMeter(std::string label, uint64_t total, std::FILE* stream = nullptr,
+                uint64_t min_interval_ms = 250);
+
+  void Tick(uint64_t done, uint64_t findings);
+  void Finish(uint64_t done, uint64_t findings);
+
+ private:
+  void Emit(uint64_t done, uint64_t findings, bool final_line);
+
+  std::string label_;
+  uint64_t total_;
+  std::FILE* stream_;
+  uint64_t min_interval_ms_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  uint64_t next_emit_ms_ = 0;  // guarded by mutex_
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_OBS_PROGRESS_H_

@@ -1,0 +1,176 @@
+#include "src/obs/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gauntlet {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void AppendNumberArray(std::ostringstream& out, const std::vector<uint64_t>& values) {
+  out << '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << values[i];
+  }
+  out << ']';
+}
+
+void AppendSection(std::ostringstream& out, const MetricsRegistry& registry, MetricScope scope) {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, metric] : registry.metrics()) {
+    if (metric.scope != scope) {
+      continue;
+    }
+    if (!first) out << ",";
+    first = false;
+    out << "\n    ";
+    AppendJsonString(out, name);
+    out << ": ";
+    if (metric.kind == MetricKind::kHistogram) {
+      out << "{\"bounds\": ";
+      AppendNumberArray(out, metric.bounds);
+      out << ", \"counts\": ";
+      AppendNumberArray(out, metric.counts);
+      out << ", \"total\": " << metric.value << "}";
+    } else {
+      out << metric.value;
+    }
+  }
+  if (!first) out << "\n  ";
+  out << "}";
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "{\n  \"version\": " << kRunReportVersion << ",\n  \"deterministic\": ";
+  AppendSection(out, registry, MetricScope::kDeterministic);
+  out << ",\n  \"timing\": ";
+  AppendSection(out, registry, MetricScope::kTiming);
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string DeterministicSection(const std::string& metrics_json) {
+  const std::string marker = "\"deterministic\": ";
+  const size_t at = metrics_json.find(marker);
+  if (at == std::string::npos) {
+    return "";
+  }
+  size_t open = metrics_json.find('{', at);
+  if (open == std::string::npos) {
+    return "";
+  }
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = open; i < metrics_json.size(); ++i) {
+    const char c = metrics_json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        return metrics_json.substr(open, i - open + 1);
+      }
+    }
+  }
+  return "";
+}
+
+std::string TraceJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": ";
+    AppendJsonString(out, event.name);
+    out << ", \"cat\": ";
+    AppendJsonString(out, event.category);
+    out << ", \"ph\": \"X\", \"ts\": " << event.start_us << ", \"dur\": " << event.duration_us
+        << ", \"pid\": 1, \"tid\": " << event.tid;
+    if (!event.args.empty()) {
+      out << ", \"args\": {";
+      for (size_t i = 0; i < event.args.size(); ++i) {
+        if (i != 0) out << ", ";
+        AppendJsonString(out, event.args[i].first);
+        out << ": " << event.args[i].second;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+namespace {
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
+bool WriteMetricsFile(const std::string& path, const MetricsRegistry& registry) {
+  return WriteTextFile(path, MetricsJson(registry));
+}
+
+bool WriteTraceFile(const std::string& path, const TraceCollector& collector) {
+  return WriteTextFile(path, TraceJson(collector.SortedEvents()));
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,47 @@
+#ifndef SRC_OBS_RUN_REPORT_H_
+#define SRC_OBS_RUN_REPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace gauntlet {
+
+// Schema version of the metrics.json snapshot. Bump when keys are renamed
+// or the section layout changes, so report consumers can gate on it.
+inline constexpr int kRunReportVersion = 1;
+
+// Renders a registry as the versioned two-section run report:
+//
+//   {
+//     "version": 1,
+//     "deterministic": { "campaign/findings_total": 3, ... },
+//     "timing": { "smt/conflicts": 812, "time/validate/micros": 94012, ... }
+//   }
+//
+// Keys are sorted, the layout is byte-stable (2-space indent, one key per
+// line), and histograms render as {"bounds": [...], "counts": [...],
+// "total": N}. Two registries with equal deterministic metrics therefore
+// produce byte-identical "deterministic" sections — the property the
+// campaign determinism tests and CI gates diff on.
+std::string MetricsJson(const MetricsRegistry& registry);
+
+// Extracts the byte span of the "deterministic": {...} object from a
+// MetricsJson string (brace-matched), for byte-level comparisons without a
+// JSON parser. Returns an empty string if the section is absent.
+std::string DeterministicSection(const std::string& metrics_json);
+
+// Renders collected spans in Chrome trace-event format — a JSON object with
+// a "traceEvents" array of complete ("ph":"X") events — loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+std::string TraceJson(const std::vector<TraceEvent>& events);
+
+// Write helpers; false (with a message on stderr) when the file cannot be
+// opened.
+bool WriteMetricsFile(const std::string& path, const MetricsRegistry& registry);
+bool WriteTraceFile(const std::string& path, const TraceCollector& collector);
+
+}  // namespace gauntlet
+
+#endif  // SRC_OBS_RUN_REPORT_H_

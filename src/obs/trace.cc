@@ -1,0 +1,103 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace gauntlet {
+
+namespace {
+thread_local TraceBuffer* g_current_trace = nullptr;
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch)
+                                   .count());
+}
+
+TraceBuffer* TraceCollector::NewBuffer(int tid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<TraceBuffer>(tid));
+  return buffers_.back().get();
+}
+
+std::vector<TraceEvent> TraceCollector::SortedEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers_) {
+    events.insert(events.end(), buffer->events().begin(), buffer->events().end());
+  }
+  std::stable_sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.duration_us > b.duration_us;  // parent before child at equal start
+  });
+  return events;
+}
+
+bool TraceCollector::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    if (!buffer->events().empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceBuffer* CurrentTrace() { return g_current_trace; }
+
+ScopedTraceSink::ScopedTraceSink(TraceBuffer* buffer) : previous_(g_current_trace) {
+  g_current_trace = buffer;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { g_current_trace = previous_; }
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view category)
+    : buffer_(g_current_trace), metrics_(CurrentMetrics()) {
+  if (buffer_ == nullptr && metrics_ == nullptr) {
+    return;
+  }
+  name_.assign(name);
+  category_.assign(category);
+  start_us_ = TraceNowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr && metrics_ == nullptr) {
+    return;
+  }
+  const uint64_t duration = TraceNowMicros() - start_us_;
+  if (metrics_ != nullptr) {
+    metrics_->Count("time/" + name_ + "/micros", MetricScope::kTiming, duration);
+    metrics_->Count("time/" + name_ + "/calls", MetricScope::kTiming, 1);
+  }
+  if (buffer_ != nullptr) {
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.start_us = start_us_;
+    event.duration_us = duration;
+    event.args = std::move(args_);
+    buffer_->Append(std::move(event));
+  }
+}
+
+void TraceSpan::Arg(std::string_view key, uint64_t value) {
+  if (buffer_ == nullptr) {
+    return;
+  }
+  args_.emplace_back(std::string(key), value);
+}
+
+uint64_t TraceSpan::ElapsedMicros() const {
+  if (buffer_ == nullptr && metrics_ == nullptr) {
+    return 0;
+  }
+  return TraceNowMicros() - start_us_;
+}
+
+}  // namespace gauntlet

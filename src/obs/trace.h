@@ -1,0 +1,114 @@
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gauntlet {
+
+class MetricsRegistry;
+
+// Microseconds since a process-wide steady-clock epoch (fixed at first use).
+// All trace timestamps share this epoch so spans from different workers line
+// up on one timeline.
+uint64_t TraceNowMicros();
+
+// One completed phase: rendered as a Chrome trace-event "complete" event
+// ("ph":"X") that Perfetto and chrome://tracing draw as a nested bar.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  int tid = 0;  // worker index; 0 for single-threaded drivers
+  std::vector<std::pair<std::string, uint64_t>> args;
+};
+
+// Per-worker event sink: a plain vector, appended to by exactly one thread
+// at a time (the worker the campaign driver assigned it to), so recording a
+// span is one push_back with no synchronization.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(int tid) : tid_(tid) {}
+
+  void Append(TraceEvent event) {
+    event.tid = tid_;
+    events_.push_back(std::move(event));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  int tid() const { return tid_; }
+
+ private:
+  int tid_;
+  std::vector<TraceEvent> events_;
+};
+
+// Owns one TraceBuffer per worker. Buffer creation is mutex-protected;
+// event recording is not (each buffer belongs to one worker), and reading
+// requires the run to have finished.
+class TraceCollector {
+ public:
+  TraceBuffer* NewBuffer(int tid);
+
+  // All events across buffers, ordered by (start, tid, longer-first) so
+  // parents precede their children in the emitted JSON.
+  std::vector<TraceEvent> SortedEvents() const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+// --- thread-local sink -----------------------------------------------------
+
+TraceBuffer* CurrentTrace();
+
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceBuffer* buffer);
+  ~ScopedTraceSink();
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceBuffer* previous_;
+};
+
+// RAII phase timer. On destruction it appends a complete event to the
+// thread's trace sink (if any) and folds the elapsed time into the metrics
+// sink (if any) as `time/<name>/micros` + `time/<name>/calls`. When neither
+// sink is installed, construction does not even read the clock.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view category = "phase");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a numeric argument shown in the trace viewer's detail pane.
+  // Must be called before destruction; no-op when tracing is off.
+  void Arg(std::string_view key, uint64_t value);
+
+  // Elapsed so far; 0 when both sinks are off.
+  uint64_t ElapsedMicros() const;
+
+ private:
+  TraceBuffer* buffer_;
+  MetricsRegistry* metrics_;
+  std::string name_;
+  std::string category_;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> args_;
+};
+
+}  // namespace gauntlet
+
+#endif  // SRC_OBS_TRACE_H_

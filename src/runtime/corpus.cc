@@ -9,6 +9,8 @@
 
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/target/target.h"
 
 namespace gauntlet {
@@ -191,7 +193,12 @@ ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>&
                           const BugConfig& bugs, const std::vector<std::string>& targets) {
   ReplayOutcome outcome;
   for (const Target* target : TargetRegistry::Resolve(targets)) {
-    const std::unique_ptr<Executable> executable = target->Compile(program, bugs);
+    std::unique_ptr<Executable> executable;
+    {
+      TraceSpan span(std::string("compile:") + target->name(), "target");
+      executable = target->Compile(program, bugs);
+    }
+    TraceSpan span(std::string("execute:") + target->name(), "target");
     for (const PacketTest& test : tests) {
       ++outcome.tests_run;
       const PacketTestOutcome result = RunPacketTest(*executable, test);
@@ -202,6 +209,9 @@ ReplayOutcome ReplayTests(const Program& program, const std::vector<PacketTest>&
       }
     }
   }
+  CountMetric("replay/tests_run", MetricScope::kTiming, static_cast<uint64_t>(outcome.tests_run));
+  CountMetric("replay/test_failures", MetricScope::kTiming,
+              static_cast<uint64_t>(outcome.failures));
   return outcome;
 }
 
@@ -213,9 +223,11 @@ ReplayOutcome ReplayStfText(const std::string& program_text, const std::string& 
 }
 
 CorpusReplaySummary ReplayCorpus(const std::string& directory, const BugConfig& bugs,
-                                 const std::vector<std::string>& targets) {
+                                 const std::vector<std::string>& targets,
+                                 const std::function<void(int, int)>& progress) {
   CorpusReplaySummary summary;
   for (const CorpusEntry& entry : ListCorpus(directory)) {
+    TraceSpan span("replay:" + entry.key, "replay");
     CorpusReplayResult result;
     result.key = entry.key;
     try {
@@ -228,7 +240,13 @@ CorpusReplaySummary ReplayCorpus(const std::string& directory, const BugConfig& 
     ++summary.entries;
     summary.failed_entries += result.outcome.passed() ? 0 : 1;
     summary.results.push_back(std::move(result));
+    if (progress) {
+      progress(summary.entries, summary.failed_entries);
+    }
   }
+  CountMetric("replay/entries", MetricScope::kTiming, static_cast<uint64_t>(summary.entries));
+  CountMetric("replay/failed_entries", MetricScope::kTiming,
+              static_cast<uint64_t>(summary.failed_entries));
   return summary;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SRC_RUNTIME_CORPUS_H_
 #define SRC_RUNTIME_CORPUS_H_
 
+#include <functional>
 #include <mutex>
 #include <set>
 #include <string>
@@ -119,8 +120,11 @@ struct CorpusReplaySummary {
 // corpus-driven regression runs: with BugConfig::None() every reproducer's
 // expected outputs (derived from source semantics) must pass on the fixed
 // compilers.
+// `progress`, when set, is called after each entry with (entries done,
+// entries failed so far) — the `gauntlet replay --progress` heartbeat.
 CorpusReplaySummary ReplayCorpus(const std::string& directory, const BugConfig& bugs,
-                                 const std::vector<std::string>& targets = {});
+                                 const std::vector<std::string>& targets = {},
+                                 const std::function<void(int, int)>& progress = {});
 
 }  // namespace gauntlet
 

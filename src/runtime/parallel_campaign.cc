@@ -1,5 +1,6 @@
 #include "src/runtime/parallel_campaign.h"
 
+#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -7,6 +8,8 @@
 #include "src/cache/cache_file.h"
 #include "src/cache/verdict_cache.h"
 #include "src/gen/generator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/worker_pool.h"
 
 namespace gauntlet {
@@ -59,28 +62,71 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
     }
   }
 
+  // Telemetry sinks mirror the cache layout: one registry and one trace
+  // buffer per worker, owned up front, merged in index order after the run.
+  // Only the merge order matters for determinism — and only for metrics the
+  // instrumentation sites marked deterministic (schedule-independent).
+  const size_t sink_count = static_cast<size_t>(jobs < 1 ? 1 : jobs);
+  std::vector<MetricsRegistry> worker_metrics(
+      options_.campaign.metrics != nullptr ? sink_count : 0);
+  std::vector<TraceBuffer*> worker_traces;
+  if (options_.campaign.trace != nullptr) {
+    worker_traces.reserve(sink_count);
+    for (size_t i = 0; i < sink_count; ++i) {
+      worker_traces.push_back(options_.campaign.trace->NewBuffer(static_cast<int>(i)));
+    }
+  }
+  std::atomic<uint64_t> programs_done{0};
+  std::atomic<uint64_t> findings_found{0};
+
   WorkerPool pool(jobs);
   ParallelFor(pool, total, [&](int index) {
-    const ProgramPtr program = generate(index);
-    CampaignReport& slot = slots[static_cast<size_t>(index)];
-    ++slot.programs_generated;
     const int worker = WorkerPool::CurrentWorkerIndex();
+    const bool worker_known = worker >= 0 && static_cast<size_t>(worker) < sink_count;
+    ScopedMetricsSink metrics_sink(
+        worker_known && !worker_metrics.empty() ? &worker_metrics[static_cast<size_t>(worker)]
+                                                : nullptr);
+    ScopedTraceSink trace_sink(worker_known && !worker_traces.empty()
+                                   ? worker_traces[static_cast<size_t>(worker)]
+                                   : nullptr);
+    CampaignReport& slot = slots[static_cast<size_t>(index)];
+    ProgramPtr program;
+    {
+      TraceSpan span("generate", "gen");
+      program = generate(index);
+    }
+    ++slot.programs_generated;
     ValidationCache* cache =
         (!caches.empty() && worker >= 0 && worker < static_cast<int>(caches.size()))
             ? caches[static_cast<size_t>(worker)].get()
             : nullptr;
     campaign.TestProgram(*program, bugs, index, slot, cache);
+    if (options_.campaign.progress) {
+      findings_found.fetch_add(slot.findings.size(), std::memory_order_relaxed);
+      options_.campaign.progress(programs_done.fetch_add(1, std::memory_order_relaxed) + 1,
+                                 findings_found.load(std::memory_order_relaxed));
+    }
   });
 
   CampaignReport report;
   for (CampaignReport& slot : slots) {
     report.Merge(std::move(slot));
   }
-  if (stats_out != nullptr) {
-    *stats_out = CacheStats{};
-    for (const auto& cache : caches) {
-      stats_out->Merge(cache->Stats());
+  CacheStats merged_stats;
+  for (const auto& cache : caches) {
+    merged_stats.Merge(cache->Stats());
+  }
+  if (options_.campaign.metrics != nullptr) {
+    for (const MetricsRegistry& registry : worker_metrics) {
+      options_.campaign.metrics->MergeFrom(registry);
     }
+    report.RecordMetrics(*options_.campaign.metrics);
+    if (!caches.empty()) {
+      merged_stats.RecordMetrics(*options_.campaign.metrics);
+    }
+  }
+  if (stats_out != nullptr) {
+    *stats_out = merged_stats;
   }
 
   // Persist the merged worker caches for the next run. The file contents may

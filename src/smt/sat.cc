@@ -344,6 +344,12 @@ void SatSolver::ReduceLearnedClauses() {
 }
 
 SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
+  // Re-baseline the per-solve statistics before any early return, so even
+  // trivially-unsat calls report an exact (zero) per-solve effort.
+  solve_base_conflicts_ = conflicts_;
+  solve_base_decisions_ = decisions_;
+  solve_base_propagations_ = propagations_;
+  solve_base_restarts_ = restarts_;
   if (unsat_) {
     return SatResult::kUnsat;
   }
@@ -401,6 +407,7 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
     }
     if (conflicts_this_restart >= conflict_budget) {
       ++restart_count;
+      ++restarts_;
       conflict_budget = 100 * Luby(restart_count);
       conflicts_this_restart = 0;
       Backtrack(0);

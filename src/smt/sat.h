@@ -80,6 +80,15 @@ class SatSolver {
   uint64_t conflicts() const { return conflicts_; }
   uint64_t decisions() const { return decisions_; }
   uint64_t propagations() const { return propagations_; }
+  uint64_t restarts() const { return restarts_; }
+
+  // Statistics attributed to the most recent Solve call alone. The baseline
+  // is re-captured on every Solve entry, so per-solve telemetry spans get
+  // exact attribution even though the counters above stay cumulative.
+  uint64_t solve_conflicts() const { return conflicts_ - solve_base_conflicts_; }
+  uint64_t solve_decisions() const { return decisions_ - solve_base_decisions_; }
+  uint64_t solve_propagations() const { return propagations_ - solve_base_propagations_; }
+  uint64_t solve_restarts() const { return restarts_ - solve_base_restarts_; }
 
  private:
   static constexpr int8_t kTrue = 1;
@@ -144,6 +153,11 @@ class SatSolver {
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;
   uint64_t propagations_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t solve_base_conflicts_ = 0;
+  uint64_t solve_base_decisions_ = 0;
+  uint64_t solve_base_propagations_ = 0;
+  uint64_t solve_base_restarts_ = 0;
   uint64_t conflict_limit_ = 0;
   uint64_t time_limit_ms_ = 0;
 

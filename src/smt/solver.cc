@@ -2,7 +2,15 @@
 
 #include <functional>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace gauntlet {
+
+namespace {
+// Bucket edges (microseconds) for the per-solve latency histogram.
+const std::vector<uint64_t> kSolveMicrosBounds = {100, 1000, 10000, 100000, 1000000};
+}  // namespace
 
 BitValue SmtModel::BitOf(const std::string& name) const {
   auto it = bit_values.find(name);
@@ -17,6 +25,10 @@ bool SmtModel::BoolOf(const std::string& name) const {
 }
 
 void SmtSolver::EncodePending() {
+  if (sat_ != nullptr && blasted_count_ == constraints_.size()) {
+    return;
+  }
+  TraceSpan span("smt-encode", "smt");
   if (sat_ == nullptr) {
     sat_ = std::make_unique<SatSolver>();
     blaster_ = std::make_unique<BitBlaster>(context_, *sat_, blast_cache_);
@@ -30,12 +42,30 @@ void SmtSolver::EncodePending() {
 CheckResult SmtSolver::SolveUnder(const std::vector<Lit>& assumptions) {
   sat_->set_conflict_limit(conflict_limit_);
   sat_->set_time_limit_ms(time_limit_ms_);
-  const uint64_t conflicts_before = sat_->conflicts();
-  const uint64_t decisions_before = sat_->decisions();
+  TraceSpan span("smt-solve", "smt");
   const SatResult result = sat_->Solve(assumptions);
-  last_conflicts_ = sat_->conflicts() - conflicts_before;
-  last_decisions_ = sat_->decisions() - decisions_before;
+  last_conflicts_ = sat_->solve_conflicts();
+  last_decisions_ = sat_->solve_decisions();
+  last_propagations_ = sat_->solve_propagations();
+  last_restarts_ = sat_->solve_restarts();
   last_sat_vars_ = sat_->VarCount();
+  span.Arg("conflicts", last_conflicts_);
+  span.Arg("decisions", last_decisions_);
+  span.Arg("propagations", last_propagations_);
+  span.Arg("restarts", last_restarts_);
+  span.Arg("vars", last_sat_vars_);
+  const auto kTiming = MetricScope::kTiming;
+  CountMetric("smt/solves", kTiming);
+  CountMetric("smt/conflicts", kTiming, last_conflicts_);
+  CountMetric("smt/decisions", kTiming, last_decisions_);
+  CountMetric("smt/propagations", kTiming, last_propagations_);
+  CountMetric("smt/restarts", kTiming, last_restarts_);
+  CountMetric(result == SatResult::kSat      ? "smt/result/sat"
+              : result == SatResult::kUnsat  ? "smt/result/unsat"
+                                             : "smt/result/unknown",
+              kTiming);
+  ObserveMetric("smt/solve_micros", kTiming, kSolveMicrosBounds, span.ElapsedMicros());
+  GaugeMaxMetric("smt/max_vars", kTiming, last_sat_vars_);
   switch (result) {
     case SatResult::kSat:
       return CheckResult::kSat;

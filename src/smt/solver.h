@@ -79,9 +79,12 @@ class SmtSolver {
   // Valid after a kSat Check: the full model.
   SmtModel ExtractModel() const;
 
-  // Statistics from the most recent Check, for the ablation benchmarks.
+  // Statistics from the most recent Check, for the ablation benchmarks and
+  // the telemetry layer (src/obs/). Each reflects that solve alone.
   uint64_t last_conflicts() const { return last_conflicts_; }
   uint64_t last_decisions() const { return last_decisions_; }
+  uint64_t last_propagations() const { return last_propagations_; }
+  uint64_t last_restarts() const { return last_restarts_; }
   uint32_t last_sat_vars() const { return last_sat_vars_; }
 
   SmtContext& context() { return context_; }
@@ -102,6 +105,8 @@ class SmtSolver {
   std::unique_ptr<BitBlaster> blaster_;
   uint64_t last_conflicts_ = 0;
   uint64_t last_decisions_ = 0;
+  uint64_t last_propagations_ = 0;
+  uint64_t last_restarts_ = 0;
   uint32_t last_sat_vars_ = 0;
 };
 

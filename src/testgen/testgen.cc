@@ -4,12 +4,19 @@
 #include <set>
 
 #include "src/cache/verdict_cache.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/smt/evaluator.h"
 #include "src/sym/interpreter.h"
 
 namespace gauntlet {
 
 namespace {
+
+// Bucket edges for the tests-per-program yield histogram (§6.2 evaluation
+// dimension). Deterministic scope: path enumeration replays bit-exactly for
+// any --jobs value and with the cache on or off.
+const std::vector<uint64_t> kTestsPerProgramBounds = {0, 1, 2, 4, 8, 16, 32};
 
 // Replays the parser under a model to assemble the concrete input packet:
 // walks the state machine, pulling each extracted field's bits from the
@@ -251,12 +258,18 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
     }
     assumption_stack.pop_back();
   };
-  if (decisions.empty()) {
-    paths.push_back({});
-  } else if (solver.Check() == CheckResult::kSat) {
-    const SmtModel root_model = solver.ExtractModel();
-    enumerate(0, root_model);
+  {
+    TraceSpan span("testgen-enumerate", "testgen");
+    if (decisions.empty()) {
+      paths.push_back({});
+    } else if (solver.Check() == CheckResult::kSat) {
+      const SmtModel root_model = solver.ExtractModel();
+      enumerate(0, root_model);
+    }
+    span.Arg("decisions", decisions.size());
+    span.Arg("paths", paths.size());
   }
+  CountMetric("testgen/paths", MetricScope::kTiming, paths.size());
 
   // Constants the program itself writes (collected from the output DAGs).
   // An input field that happens to equal such a constant can mask a
@@ -297,6 +310,7 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
   }
 
   // Solve each path for a concrete witness and build the test case.
+  TraceSpan witness_span("testgen-witness", "testgen");
   std::vector<PacketTest> tests;
   std::set<std::string> seen;  // dedupe by (packet, tables) fingerprint
   for (size_t path_index = 0; path_index < paths.size(); ++path_index) {
@@ -544,6 +558,10 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
       tests.push_back(std::move(test));
     }
   }
+  witness_span.Arg("tests", tests.size());
+  CountMetric("testgen/tests", MetricScope::kTiming, tests.size());
+  ObserveMetric("testgen/tests_per_program", MetricScope::kDeterministic, kTestsPerProgramBounds,
+                tests.size());
   return tests;
 }
 

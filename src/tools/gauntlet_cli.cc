@@ -27,8 +27,10 @@
 // directly.
 
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -40,6 +42,10 @@
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/run_report.h"
+#include "src/obs/trace.h"
 #include "src/reduce/reducer.h"
 #include "src/runtime/corpus.h"
 #include "src/runtime/parallel_campaign.h"
@@ -123,8 +129,59 @@ ParsedArgs ParseCommandArgs(int argc, char** argv,
   return parsed;
 }
 
-// The two cache switches shared by the validating commands.
-const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats"};
+// The two cache switches shared by the validating commands, plus the
+// telemetry heartbeat switch they all accept.
+const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats", "--progress"};
+
+// The telemetry output flags shared by every instrumented command.
+const std::vector<std::string> kTelemetryFlags = {"--metrics-out", "--trace-out"};
+
+std::vector<std::string> WithTelemetryFlags(std::vector<std::string> value_flags) {
+  value_flags.insert(value_flags.end(), kTelemetryFlags.begin(), kTelemetryFlags.end());
+  return value_flags;
+}
+
+// Telemetry destinations parsed from --metrics-out/--trace-out: owns the
+// registry and trace collector for the command's lifetime and renders them
+// to disk once the command has finished.
+struct Telemetry {
+  explicit Telemetry(const ParsedArgs& args) {
+    if (args.Has("--metrics-out")) {
+      metrics_path = args.Last("--metrics-out");
+    }
+    if (args.Has("--trace-out")) {
+      trace_path = args.Last("--trace-out");
+    }
+  }
+
+  MetricsRegistry* registry_or_null() { return metrics_path.empty() ? nullptr : &registry; }
+  TraceCollector* collector_or_null() { return trace_path.empty() ? nullptr : &collector; }
+
+  void Write() {
+    if (!metrics_path.empty() && !WriteMetricsFile(metrics_path, registry)) {
+      throw CompileError("cannot write metrics file '" + metrics_path + "'");
+    }
+    if (!trace_path.empty() && !WriteTraceFile(trace_path, collector)) {
+      throw CompileError("cannot write trace file '" + trace_path + "'");
+    }
+  }
+
+  MetricsRegistry registry;
+  TraceCollector collector;
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+// Installs the single-threaded commands' telemetry sinks for a scope (the
+// campaign drivers install their own per-worker sinks instead).
+struct ScopedTelemetry {
+  explicit ScopedTelemetry(Telemetry& telemetry)
+      : metrics_sink(telemetry.registry_or_null()),
+        trace_sink(telemetry.collector_or_null() != nullptr ? telemetry.collector.NewBuffer(0)
+                                                            : nullptr) {}
+  ScopedMetricsSink metrics_sink;
+  ScopedTraceSink trace_sink;
+};
 
 void MaybePrintCacheStats(const ParsedArgs& args, const CacheStats& stats) {
   if (!args.Has("--cache-stats")) {
@@ -238,11 +295,19 @@ int CmdCompile(const std::string& path, const BugConfig& bugs) {
 }
 
 int CmdValidate(const std::string& path, const BugConfig& bugs, const ParsedArgs& args) {
+  Telemetry telemetry(args);
   auto program = Parser::ParseString(ReadFile(path));
   const TranslationValidator validator(PassManager::StandardPipeline());
   ValidationCache cache;
   ValidationCache* cache_ptr = args.Has("--no-cache") ? nullptr : &cache;
-  const TvReport report = validator.Validate(*program, bugs, /*stop_after_pass=*/{}, cache_ptr);
+  if (args.Has("--progress")) {
+    std::fprintf(stderr, "progress: validating %s\n", path.c_str());
+  }
+  TvReport report;
+  {
+    ScopedTelemetry sinks(telemetry);
+    report = validator.Validate(*program, bugs, /*stop_after_pass=*/{}, cache_ptr);
+  }
   if (report.crashed) {
     std::printf("CRASH: %s\n", report.crash_message.c_str());
   }
@@ -266,17 +331,30 @@ int CmdValidate(const std::string& path, const BugConfig& bugs, const ParsedArgs
   }
   std::printf("%zu changed-pass pairs validated, %d problem%s found\n",
               report.pass_results.size(), problems, problems == 1 ? "" : "s");
+  if (args.Has("--progress")) {
+    std::fprintf(stderr, "progress: %zu pass pairs validated, done\n",
+                 report.pass_results.size());
+  }
+  if (cache_ptr != nullptr && telemetry.registry_or_null() != nullptr) {
+    cache.Stats().RecordMetrics(telemetry.registry);
+  }
   MaybePrintCacheStats(args, cache.Stats());
+  telemetry.Write();
   return problems == 0 ? 0 : 1;
 }
 
 int CmdTestgen(const std::string& path, const ParsedArgs& args) {
+  Telemetry telemetry(args);
   auto program = Parser::ParseString(ReadFile(path));
   TypeCheck(*program);
   ValidationCache cache;
   ValidationCache* cache_ptr = args.Has("--no-cache") ? nullptr : &cache;
+  if (args.Has("--progress")) {
+    std::fprintf(stderr, "progress: enumerating paths in %s\n", path.c_str());
+  }
   std::vector<PacketTest> tests;
   try {
+    ScopedTelemetry sinks(telemetry);
     tests = TestCaseGenerator().Generate(*program, cache_ptr);
   } catch (const UnsupportedError& error) {
     std::fprintf(stderr, "testgen: unsupported program: %s\n", error.what());
@@ -286,7 +364,14 @@ int CmdTestgen(const std::string& path, const ParsedArgs& args) {
   // reproducer that ParseStf reads back.
   std::printf("%s", EmitStf(tests).c_str());
   std::fprintf(stderr, "%zu tests generated\n", tests.size());
+  if (args.Has("--progress")) {
+    std::fprintf(stderr, "progress: %zu tests generated, done\n", tests.size());
+  }
+  if (cache_ptr != nullptr && telemetry.registry_or_null() != nullptr) {
+    cache.Stats().RecordMetrics(telemetry.registry);
+  }
   MaybePrintCacheStats(args, cache.Stats());
+  telemetry.Write();
   // No tests means no coverage — scripts piping this into a replay harness
   // must be able to gate on it.
   return tests.empty() ? 1 : 0;
@@ -306,10 +391,31 @@ void PrintReport(const CampaignReport& report) {
               report.undef_divergences);
 }
 
+// Wires the telemetry destinations and the optional --progress heartbeat
+// into a (serial or parallel) campaign's options. The meter outlives the
+// run — callers Finish() it before printing the report so the stderr
+// heartbeat never interleaves with the stdout report.
+std::unique_ptr<ProgressMeter> WireCampaignTelemetry(const ParsedArgs& args,
+                                                     Telemetry& telemetry,
+                                                     CampaignOptions& options) {
+  options.metrics = telemetry.registry_or_null();
+  options.trace = telemetry.collector_or_null();
+  std::unique_ptr<ProgressMeter> meter;
+  if (args.Has("--progress")) {
+    meter = std::make_unique<ProgressMeter>("programs",
+                                            static_cast<uint64_t>(options.num_programs));
+    ProgressMeter* raw = meter.get();
+    options.progress = [raw](uint64_t done, uint64_t findings) { raw->Tick(done, findings); };
+  }
+  return meter;
+}
+
 int CmdFuzz(int argc, char** argv) {
-  const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug", "--targets"},
-                                           /*max_positionals=*/2, kCacheSwitches);
+  const ParsedArgs args =
+      ParseCommandArgs(argc, argv, WithTelemetryFlags({"--bug", "--targets"}),
+                       /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
+  Telemetry telemetry(args);
   CampaignOptions options;
   options.targets = TargetsFromFlags(args);
   options.use_cache = !args.Has("--no-cache");
@@ -319,18 +425,25 @@ int CmdFuzz(int argc, char** argv) {
   if (args.positionals.size() >= 2) {
     options.seed = static_cast<uint64_t>(ParseNumber(args.positionals[1], "seed"));
   }
+  const std::unique_ptr<ProgressMeter> meter = WireCampaignTelemetry(args, telemetry, options);
   CacheStats stats;
   const CampaignReport report = Campaign(options).Run(bugs, &stats);
+  if (meter != nullptr) {
+    meter->Finish(static_cast<uint64_t>(report.programs_generated), report.findings.size());
+  }
   PrintReport(report);
   MaybePrintCacheStats(args, stats);
+  telemetry.Write();
   return report.findings.empty() ? 0 : 1;
 }
 
 int CmdCampaign(int argc, char** argv) {
-  const ParsedArgs args =
-      ParseCommandArgs(argc, argv, {"--jobs", "--corpus", "--bug", "--targets", "--cache-file"},
-                       /*max_positionals=*/2, kCacheSwitches);
+  const ParsedArgs args = ParseCommandArgs(
+      argc, argv,
+      WithTelemetryFlags({"--jobs", "--corpus", "--bug", "--targets", "--cache-file"}),
+      /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
+  Telemetry telemetry(args);
   ParallelCampaignOptions options;
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
@@ -352,10 +465,16 @@ int CmdCampaign(int argc, char** argv) {
   if (args.Has("--corpus")) {
     options.corpus_dir = args.Last("--corpus");
   }
+  const std::unique_ptr<ProgressMeter> meter =
+      WireCampaignTelemetry(args, telemetry, options.campaign);
   CacheStats stats;
   const CampaignReport report = ParallelCampaign(options).Run(bugs, &stats);
+  if (meter != nullptr) {
+    meter->Finish(static_cast<uint64_t>(report.programs_generated), report.findings.size());
+  }
   PrintReport(report);
   MaybePrintCacheStats(args, stats);
+  telemetry.Write();
   if (!options.corpus_dir.empty()) {
     // Stat-only count; the corpus dedups across runs, so the directory can
     // legitimately hold more reproducers than this run's findings.
@@ -367,8 +486,10 @@ int CmdCampaign(int argc, char** argv) {
 
 int CmdReplay(int argc, char** argv) {
   const ParsedArgs args = ParseCommandArgs(
-      argc, argv, {"--bug", "--targets", "--corpus", "--cache-file"}, /*max_positionals=*/2);
+      argc, argv, WithTelemetryFlags({"--bug", "--targets", "--corpus", "--cache-file"}),
+      /*max_positionals=*/2, {"--progress"});
   const BugConfig bugs = BugsFromFlags(args);
+  Telemetry telemetry(args);
   const std::vector<std::string> targets = TargetsFromFlags(args);
   if (args.Has("--cache-file")) {
     // Replay performs no solver queries, so the warm-start file is loaded
@@ -387,7 +508,25 @@ int CmdReplay(int argc, char** argv) {
       throw CliUsageError("replay --corpus takes no positional arguments");
     }
     const std::string directory = args.Last("--corpus");
-    const CorpusReplaySummary summary = ReplayCorpus(directory, bugs, targets);
+    std::unique_ptr<ProgressMeter> meter;
+    std::function<void(int, int)> progress;
+    if (args.Has("--progress")) {
+      meter = std::make_unique<ProgressMeter>(
+          "reproducers", static_cast<uint64_t>(CountCorpus(directory)));
+      ProgressMeter* raw = meter.get();
+      progress = [raw](int done, int failed) {
+        raw->Tick(static_cast<uint64_t>(done), static_cast<uint64_t>(failed));
+      };
+    }
+    CorpusReplaySummary summary;
+    {
+      ScopedTelemetry sinks(telemetry);
+      summary = ReplayCorpus(directory, bugs, targets, progress);
+    }
+    if (meter != nullptr) {
+      meter->Finish(static_cast<uint64_t>(summary.entries),
+                    static_cast<uint64_t>(summary.failed_entries));
+    }
     if (summary.entries == 0) {
       // A regression gate that replayed nothing must not green-light: a
       // typo'd path and a never-populated corpus both look like this.
@@ -406,19 +545,25 @@ int CmdReplay(int argc, char** argv) {
     }
     std::printf("%d reproducers replayed, %d still failing\n", summary.entries,
                 summary.failed_entries);
+    telemetry.Write();
     return summary.passed() ? 0 : 1;
   }
 
   if (args.positionals.size() != 2) {
     throw CliUsageError("replay expects <file.p4> <file.stf> (or --corpus DIR)");
   }
-  const ReplayOutcome outcome = ReplayStfText(ReadFile(args.positionals[0]),
-                                              ReadFile(args.positionals[1]), bugs, targets);
+  ReplayOutcome outcome;
+  {
+    ScopedTelemetry sinks(telemetry);
+    outcome = ReplayStfText(ReadFile(args.positionals[0]), ReadFile(args.positionals[1]), bugs,
+                            targets);
+  }
   for (const std::string& detail : outcome.failure_details) {
     std::printf("FAIL %s\n", detail.c_str());
   }
   std::printf("%d tests replayed, %d mismatch%s\n", outcome.tests_run, outcome.failures,
               outcome.failures == 1 ? "" : "es");
+  telemetry.Write();
   return outcome.passed() ? 0 : 1;
 }
 
@@ -490,7 +635,11 @@ int Usage(std::FILE* out) {
                "validation memoization is on by default: --no-cache disables it,\n"
                "--cache-stats prints hit/reuse counters to stderr\n"
                "--cache-file persists blast templates + per-program verdicts across\n"
-               "runs (campaign reads and rewrites it; replay only validates it)\n",
+               "runs (campaign reads and rewrites it; replay only validates it)\n"
+               "telemetry (validate/testgen/fuzz/campaign/replay):\n"
+               "  --metrics-out F  write a versioned metrics.json run report\n"
+               "  --trace-out F    write Chrome/Perfetto trace-event JSON\n"
+               "  --progress       throttled heartbeat on stderr\n",
                targets.c_str());
   return out == stdout ? 0 : 2;
 }
@@ -518,16 +667,16 @@ int main(int argc, char** argv) {
       return CmdCompile(args.positionals[0], BugsFromFlags(args));
     }
     if (command == "validate") {
-      const ParsedArgs args =
-          ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1, kCacheSwitches);
+      const ParsedArgs args = ParseCommandArgs(argc, argv, WithTelemetryFlags({"--bug"}),
+                                               /*max_positionals=*/1, kCacheSwitches);
       if (args.positionals.size() != 1) {
         throw CliUsageError("validate expects exactly one <file.p4>");
       }
       return CmdValidate(args.positionals[0], BugsFromFlags(args), args);
     }
     if (command == "testgen") {
-      const ParsedArgs args =
-          ParseCommandArgs(argc, argv, {}, /*max_positionals=*/1, kCacheSwitches);
+      const ParsedArgs args = ParseCommandArgs(argc, argv, WithTelemetryFlags({}),
+                                               /*max_positionals=*/1, kCacheSwitches);
       if (args.positionals.size() != 1) {
         throw CliUsageError("testgen expects exactly one <file.p4>");
       }

@@ -5,6 +5,8 @@
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sym/interpreter.h"
 #include "src/typecheck/typecheck.h"
 
@@ -27,6 +29,31 @@ std::string TvVerdictToString(TvVerdict verdict) {
 }
 
 namespace {
+
+// Short metric-key slug for a verdict (TvVerdictToString is prose).
+std::string_view TvVerdictSlug(TvVerdict verdict) {
+  switch (verdict) {
+    case TvVerdict::kEquivalent:
+      return "equivalent";
+    case TvVerdict::kUndefDivergence:
+      return "undef-divergence";
+    case TvVerdict::kSemanticDiff:
+      return "semantic-diff";
+    case TvVerdict::kStructuralMismatch:
+      return "structural-mismatch";
+    case TvVerdict::kInvalidEmit:
+      return "invalid-emit";
+  }
+  return "invalid";
+}
+
+// Every finalized pass-pair verdict flows through here. Timing scope:
+// structural-mismatch counts include budget exhaustion, which is
+// wall-clock dependent.
+void RecordPassResult(const TvPassResult& result) {
+  CountMetric("tv/pairs", MetricScope::kTiming);
+  CountMetric("tv/verdict/" + std::string(TvVerdictSlug(result.verdict)), MetricScope::kTiming);
+}
 
 // Per-version interpretation cache used while validating one program
 // through the whole pipeline. All versions share one SmtContext so that (a)
@@ -201,6 +228,7 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
 TvPassResult TranslationValidator::CompareVersions(const Program& before, const Program& after,
                                                    const std::string& pass_name,
                                                    ValidationCache* cache, TvOptions options) {
+  TraceSpan span("tv:" + pass_name, "tv");
   SmtContext ctx;
   SymbolicInterpreter interpreter(ctx, options.symbolic_table_entries);
   const VersionSemantics before_sem = InterpretVersion(interpreter, before);
@@ -209,8 +237,10 @@ TvPassResult TranslationValidator::CompareVersions(const Program& before, const 
   if (cache != nullptr) {
     canonical.emplace(ctx, StructHasher::Mode::kCanonical);
   }
-  return CompareSemantics(ctx, before_sem, after_sem, pass_name, options, cache,
-                          canonical.has_value() ? &*canonical : nullptr);
+  TvPassResult result = CompareSemantics(ctx, before_sem, after_sem, pass_name, options, cache,
+                                         canonical.has_value() ? &*canonical : nullptr);
+  RecordPassResult(result);
+  return result;
 }
 
 TvReport TranslationValidator::Validate(const Program& program, const BugConfig& bugs,
@@ -222,6 +252,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
   auto& versions = report.versions;
   ProgramPtr current = program.Clone();
   try {
+    TraceSpan span("typecheck", "tv");
     TypeCheck(*current, TypeCheckOptionsFromBugs(bugs));
   } catch (const std::exception& error) {
     report.crashed = true;
@@ -231,6 +262,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
   versions.emplace_back("<input>", current->Clone());
 
   try {
+    TraceSpan span("passes", "tv");
     pipeline_.Run(*current, bugs, [&](const std::string& pass_name, const Program& snapshot) {
       versions.emplace_back(pass_name, snapshot.Clone());
     });
@@ -268,9 +300,11 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
       skipped.pass_name = pass_name;
       skipped.verdict = TvVerdict::kStructuralMismatch;
       skipped.detail = "per-program validation budget exceeded";
+      RecordPassResult(skipped);
       report.pass_results.push_back(std::move(skipped));
       continue;
     }
+    TraceSpan pair_span("tv:" + pass_name, "tv");
     // Re-parse the emitted program first (ToP4 round-trip, §5.2). Failure is
     // an "invalid transformation" bug.
     TvPassResult result;
@@ -282,6 +316,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
     } catch (const std::exception& error) {
       result.verdict = TvVerdict::kInvalidEmit;
       result.detail = error.what();
+      RecordPassResult(result);
       report.pass_results.push_back(std::move(result));
       break;
     }
@@ -291,6 +326,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
     report.pass_results.push_back(
         CompareSemantics(ctx, before_sem, after_sem, pass_name, options_, cache,
                          canonical.has_value() ? &*canonical : nullptr));
+    RecordPassResult(report.pass_results.back());
     if (!stop_after_pass.empty() && pass_name == stop_after_pass) {
       break;
     }

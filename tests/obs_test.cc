@@ -1,0 +1,473 @@
+// The src/obs/ telemetry subsystem: registry semantics and merge
+// determinism, run-report JSON stability, trace-event well-formedness, the
+// progress heartbeat, and the end-to-end guarantees — deterministic metric
+// sections byte-identical across --jobs and cache on/off, and campaign
+// findings bit-identical whether telemetry is on or off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/gauntlet/campaign.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/run_report.h"
+#include "src/obs/trace.h"
+#include "src/runtime/parallel_campaign.h"
+#include "src/target/stf.h"
+
+namespace gauntlet {
+namespace {
+
+// --- registry semantics ----------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersSumAndZeroDeltaCreatesKey) {
+  MetricsRegistry registry;
+  registry.Count("a", MetricScope::kDeterministic, 2);
+  registry.Count("a", MetricScope::kDeterministic, 3);
+  EXPECT_EQ(registry.Value("a"), 5u);
+  // A zero delta still creates the key: the deterministic section's key set
+  // must not depend on whether a counter happened to fire.
+  registry.Count("b", MetricScope::kDeterministic, 0);
+  ASSERT_NE(registry.Find("b"), nullptr);
+  EXPECT_EQ(registry.Value("b"), 0u);
+  EXPECT_EQ(registry.Value("absent"), 0u);
+  EXPECT_EQ(registry.Find("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, GaugesKeepTheMax) {
+  MetricsRegistry registry;
+  registry.GaugeMax("g", MetricScope::kTiming, 7);
+  registry.GaugeMax("g", MetricScope::kTiming, 3);
+  EXPECT_EQ(registry.Value("g"), 7u);
+  registry.GaugeMax("g", MetricScope::kTiming, 11);
+  EXPECT_EQ(registry.Value("g"), 11u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  const std::vector<uint64_t> bounds = {10, 20};
+  MetricsRegistry registry;
+  registry.Observe("h", MetricScope::kTiming, bounds, 10);  // <= 10: bucket 0
+  registry.Observe("h", MetricScope::kTiming, bounds, 11);  // (10, 20]: bucket 1
+  registry.Observe("h", MetricScope::kTiming, bounds, 20);  // (10, 20]: bucket 1
+  registry.Observe("h", MetricScope::kTiming, bounds, 21);  // > 20: overflow
+  registry.Observe("h", MetricScope::kTiming, bounds, 0);   // bucket 0
+  const Metric* metric = registry.Find("h");
+  ASSERT_NE(metric, nullptr);
+  ASSERT_EQ(metric->counts.size(), bounds.size() + 1);
+  EXPECT_EQ(metric->counts[0], 2u);
+  EXPECT_EQ(metric->counts[1], 2u);
+  EXPECT_EQ(metric->counts[2], 1u);
+  EXPECT_EQ(metric->value, 5u);  // total observations
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersAndBucketsAndMaxesGauges) {
+  const std::vector<uint64_t> bounds = {1, 2};
+  MetricsRegistry a;
+  a.Count("c", MetricScope::kDeterministic, 4);
+  a.GaugeMax("g", MetricScope::kTiming, 5);
+  a.Observe("h", MetricScope::kTiming, bounds, 1);
+  MetricsRegistry b;
+  b.Count("c", MetricScope::kDeterministic, 6);
+  b.GaugeMax("g", MetricScope::kTiming, 9);
+  b.Observe("h", MetricScope::kTiming, bounds, 3);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Value("c"), 10u);
+  EXPECT_EQ(a.Value("g"), 9u);
+  const Metric* h = a.Find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[2], 1u);
+  EXPECT_EQ(h->value, 2u);
+}
+
+TEST(MetricsRegistryTest, MergeIsOrderIndependent) {
+  // Sums and maxes commute, so any merge order over the worker registries
+  // yields the same result — the property the parallel campaign leans on.
+  auto make = [](uint64_t c, uint64_t g) {
+    MetricsRegistry r;
+    r.Count("c", MetricScope::kDeterministic, c);
+    r.GaugeMax("g", MetricScope::kTiming, g);
+    return r;
+  };
+  MetricsRegistry forward;
+  MetricsRegistry backward;
+  const std::vector<std::pair<uint64_t, uint64_t>> workers = {{1, 4}, {2, 9}, {3, 2}};
+  for (size_t i = 0; i < workers.size(); ++i) {
+    forward.MergeFrom(make(workers[i].first, workers[i].second));
+    const auto& w = workers[workers.size() - 1 - i];
+    backward.MergeFrom(make(w.first, w.second));
+  }
+  EXPECT_EQ(MetricsJson(forward), MetricsJson(backward));
+}
+
+TEST(MetricsSinkTest, HelpersAreNoOpsWithoutASinkAndScopedSinksNest) {
+  // No sink installed: must not crash, must not record anywhere.
+  CountMetric("free/standing", MetricScope::kTiming);
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+
+  MetricsRegistry outer;
+  MetricsRegistry inner;
+  {
+    ScopedMetricsSink outer_sink(&outer);
+    CountMetric("n", MetricScope::kTiming);
+    {
+      ScopedMetricsSink inner_sink(&inner);
+      CountMetric("n", MetricScope::kTiming);
+    }
+    // The previous sink is restored on scope exit.
+    CountMetric("n", MetricScope::kTiming);
+  }
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  EXPECT_EQ(outer.Value("n"), 2u);
+  EXPECT_EQ(inner.Value("n"), 1u);
+}
+
+// --- run-report JSON -------------------------------------------------------
+
+TEST(RunReportTest, JsonIsVersionedSortedAndSplitByScope) {
+  MetricsRegistry registry;
+  registry.Count("z/later", MetricScope::kDeterministic, 2);
+  registry.Count("a/early", MetricScope::kDeterministic, 1);
+  registry.Count("timing/only", MetricScope::kTiming, 9);
+  const std::string json = MetricsJson(registry);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  // Sorted keys inside the deterministic section.
+  const std::string det = DeterministicSection(json);
+  ASSERT_FALSE(det.empty());
+  EXPECT_LT(det.find("a/early"), det.find("z/later"));
+  // Timing metrics stay out of the deterministic section.
+  EXPECT_EQ(det.find("timing/only"), std::string::npos);
+  EXPECT_NE(json.find("timing/only"), std::string::npos);
+}
+
+TEST(RunReportTest, InsertionOrderDoesNotChangeTheBytes) {
+  MetricsRegistry a;
+  a.Count("x", MetricScope::kDeterministic, 1);
+  a.Count("y", MetricScope::kDeterministic, 2);
+  MetricsRegistry b;
+  b.Count("y", MetricScope::kDeterministic, 2);
+  b.Count("x", MetricScope::kDeterministic, 1);
+  EXPECT_EQ(MetricsJson(a), MetricsJson(b));
+}
+
+TEST(RunReportTest, DeterministicSectionIgnoresTimingDifferences) {
+  MetricsRegistry a;
+  a.Count("campaign/findings_total", MetricScope::kDeterministic, 3);
+  a.Count("time/validate/micros", MetricScope::kTiming, 1234);
+  MetricsRegistry b;
+  b.Count("campaign/findings_total", MetricScope::kDeterministic, 3);
+  b.Count("time/validate/micros", MetricScope::kTiming, 99999);
+  EXPECT_NE(MetricsJson(a), MetricsJson(b));
+  EXPECT_EQ(DeterministicSection(MetricsJson(a)), DeterministicSection(MetricsJson(b)));
+}
+
+TEST(RunReportTest, HistogramRendersBoundsCountsTotal) {
+  MetricsRegistry registry;
+  registry.Observe("h", MetricScope::kDeterministic, {1, 2}, 2);
+  const std::string det = DeterministicSection(MetricsJson(registry));
+  EXPECT_NE(det.find("\"bounds\": [1, 2]"), std::string::npos);
+  EXPECT_NE(det.find("\"counts\": [0, 1, 0]"), std::string::npos);
+  EXPECT_NE(det.find("\"total\": 1"), std::string::npos);
+}
+
+// Minimal structural JSON check: braces/brackets balance outside strings,
+// strings terminate, and the text is a single object. Enough to catch the
+// escaping and comma mistakes hand-rolled emitters actually make.
+void ExpectBalancedJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool any = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+      any = true;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced close at offset " << i;
+    } else if (c != ' ' && c != '\n') {
+      ASSERT_TRUE(c == ',' || c == ':' || c == '.' || c == '-' || (c >= '0' && c <= '9') ||
+                  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+          << "unexpected character '" << c << "' at offset " << i;
+      ASSERT_GT(depth, 0) << "value outside any object at offset " << i;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_EQ(depth, 0) << "unbalanced braces";
+  EXPECT_TRUE(any);
+}
+
+TEST(RunReportTest, MetricsJsonIsStructurallyValid) {
+  MetricsRegistry registry;
+  registry.Count("needs\"escaping\\here", MetricScope::kDeterministic, 1);
+  registry.Observe("h", MetricScope::kTiming, {5}, 9);
+  ExpectBalancedJson(MetricsJson(registry));
+}
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(TraceTest, SpanRecordsEventAndFoldsTimeIntoMetrics) {
+  TraceCollector collector;
+  MetricsRegistry registry;
+  {
+    ScopedTraceSink trace_sink(collector.NewBuffer(3));
+    ScopedMetricsSink metrics_sink(&registry);
+    TraceSpan span("unit-test-phase", "test");
+    span.Arg("items", 7);
+  }
+  const std::vector<TraceEvent> events = collector.SortedEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit-test-phase");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].tid, 3);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "items");
+  EXPECT_EQ(events[0].args[0].second, 7u);
+  // The span also folded wall time into the metrics sink.
+  EXPECT_EQ(registry.Value("time/unit-test-phase/calls"), 1u);
+  ASSERT_NE(registry.Find("time/unit-test-phase/micros"), nullptr);
+}
+
+TEST(TraceTest, SpanWithoutSinksIsInert) {
+  TraceSpan span("nobody-listening");
+  span.Arg("ignored", 1);
+  EXPECT_EQ(span.ElapsedMicros(), 0u);
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceTest, SortedEventsPutParentsBeforeChildren) {
+  TraceCollector collector;
+  {
+    ScopedTraceSink sink(collector.NewBuffer(0));
+    TraceSpan outer("outer");
+    // Let the clock tick so the children start strictly after the parent —
+    // same-microsecond spans would tie-break on append order instead.
+    const uint64_t t0 = TraceNowMicros();
+    while (TraceNowMicros() == t0) {
+    }
+    { TraceSpan inner("inner"); }
+    { TraceSpan inner2("inner2"); }
+  }
+  const std::vector<TraceEvent> events = collector.SortedEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // The outer span starts no later than its children and sorts first
+  // despite being *appended* last (spans record on destruction).
+  EXPECT_EQ(events[0].name, "outer");
+  for (const TraceEvent& event : events) {
+    EXPECT_GE(event.start_us, events[0].start_us);
+    EXPECT_LE(event.start_us + event.duration_us,
+              events[0].start_us + events[0].duration_us + 1);
+  }
+}
+
+TEST(TraceTest, TraceJsonIsStructurallyValidCompleteEvents) {
+  TraceCollector collector;
+  {
+    ScopedTraceSink sink(collector.NewBuffer(0));
+    TraceSpan span("phase \"quoted\"", "cat");
+    span.Arg("n", 2);
+  }
+  const std::string json = TraceJson(collector.SortedEvents());
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+// --- progress heartbeat ----------------------------------------------------
+
+TEST(ProgressMeterTest, ThrottlesTicksAndAlwaysPrintsTheFinalLine) {
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  {
+    ProgressMeter meter("programs", 50, stream, /*min_interval_ms=*/60000);
+    meter.Tick(1, 0);   // first tick prints
+    meter.Tick(2, 0);   // inside the interval: suppressed
+    meter.Tick(3, 1);   // still suppressed
+    meter.Finish(50, 2);  // final line always prints
+  }
+  std::fclose(stream);
+  const std::string out(buffer, size);
+  free(buffer);
+
+  size_t lines = 0;
+  for (size_t at = out.find("progress:"); at != std::string::npos;
+       at = out.find("progress:", at + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u) << out;
+  EXPECT_NE(out.find("1/50 programs"), std::string::npos) << out;
+  EXPECT_NE(out.find("50/50 programs, 2 findings"), std::string::npos) << out;
+  EXPECT_NE(out.find(", done"), std::string::npos) << out;
+}
+
+// --- campaign integration --------------------------------------------------
+
+// Mirrors runtime_test.cc: wall-clock budgets off so outcomes (and thus the
+// deterministic metrics) cannot depend on machine load under parallel ctest.
+ParallelCampaignOptions TelemetryCampaign(int num_programs, int jobs) {
+  ParallelCampaignOptions options;
+  options.campaign.seed = 42;
+  options.campaign.num_programs = num_programs;
+  options.campaign.testgen.max_tests = 6;
+  options.campaign.testgen.max_decisions = 5;
+  options.campaign.testgen.query_time_limit_ms = 0;
+  options.campaign.tv.query_time_limit_ms = 0;
+  options.campaign.tv.program_budget_ms = 0;
+  options.jobs = jobs;
+  return options;
+}
+
+BugConfig TelemetryBugs() {
+  BugConfig bugs;
+  bugs.Enable(BugId::kTypeCheckerShiftCrash);
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  return bugs;
+}
+
+void ExpectIdenticalFindings(const CampaignReport& a, const CampaignReport& b) {
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    const Finding& fa = a.findings[i];
+    const Finding& fb = b.findings[i];
+    EXPECT_EQ(fa.program_index, fb.program_index);
+    EXPECT_EQ(fa.method, fb.method);
+    EXPECT_EQ(fa.kind, fb.kind);
+    EXPECT_EQ(fa.component, fb.component);
+    EXPECT_EQ(fa.attributed, fb.attributed);
+    EXPECT_EQ(fa.detail, fb.detail);
+    EXPECT_EQ(fa.repro_test.has_value(), fb.repro_test.has_value());
+    if (fa.repro_test.has_value() && fb.repro_test.has_value()) {
+      EXPECT_EQ(EmitStf(*fa.repro_test), EmitStf(*fb.repro_test));
+    }
+  }
+}
+
+TEST(CampaignTelemetryTest, DeterministicSectionIsByteIdenticalAcrossJobs) {
+  const BugConfig bugs = TelemetryBugs();
+  MetricsRegistry serial_metrics;
+  ParallelCampaignOptions serial = TelemetryCampaign(16, 1);
+  serial.campaign.metrics = &serial_metrics;
+  const CampaignReport serial_report = ParallelCampaign(serial).Run(bugs);
+
+  MetricsRegistry parallel_metrics;
+  ParallelCampaignOptions parallel = TelemetryCampaign(16, 8);
+  parallel.campaign.metrics = &parallel_metrics;
+  const CampaignReport parallel_report = ParallelCampaign(parallel).Run(bugs);
+
+  ExpectIdenticalFindings(serial_report, parallel_report);
+  const std::string serial_det = DeterministicSection(MetricsJson(serial_metrics));
+  const std::string parallel_det = DeterministicSection(MetricsJson(parallel_metrics));
+  ASSERT_FALSE(serial_det.empty());
+  EXPECT_EQ(serial_det, parallel_det);
+  // The section genuinely reflects the run.
+  EXPECT_EQ(serial_metrics.Value("campaign/programs_generated"), 16u);
+  EXPECT_EQ(serial_metrics.Value("campaign/findings_total"), serial_report.findings.size());
+  EXPECT_EQ(serial_metrics.Value("campaign/distinct_bugs"), serial_report.DistinctCount());
+}
+
+TEST(CampaignTelemetryTest, DeterministicSectionIsByteIdenticalCacheOnOrOff) {
+  const BugConfig bugs = TelemetryBugs();
+  MetricsRegistry cached_metrics;
+  ParallelCampaignOptions cached = TelemetryCampaign(12, 4);
+  cached.campaign.metrics = &cached_metrics;
+  const CampaignReport cached_report = ParallelCampaign(cached).Run(bugs);
+
+  MetricsRegistry uncached_metrics;
+  ParallelCampaignOptions uncached = TelemetryCampaign(12, 4);
+  uncached.campaign.use_cache = false;
+  uncached.campaign.metrics = &uncached_metrics;
+  const CampaignReport uncached_report = ParallelCampaign(uncached).Run(bugs);
+
+  ExpectIdenticalFindings(cached_report, uncached_report);
+  EXPECT_EQ(DeterministicSection(MetricsJson(cached_metrics)),
+            DeterministicSection(MetricsJson(uncached_metrics)));
+  // Cache counters exist only on the cached run — and only in timing.
+  EXPECT_NE(cached_metrics.Find("cache/verdict_hits"), nullptr);
+  EXPECT_EQ(uncached_metrics.Find("cache/verdict_hits"), nullptr);
+}
+
+TEST(CampaignTelemetryTest, FindingsAreBitIdenticalWithTelemetryOnOrOff) {
+  const BugConfig bugs = TelemetryBugs();
+  const CampaignReport plain = ParallelCampaign(TelemetryCampaign(16, 4)).Run(bugs);
+
+  MetricsRegistry metrics;
+  TraceCollector trace;
+  ParallelCampaignOptions instrumented = TelemetryCampaign(16, 4);
+  instrumented.campaign.metrics = &metrics;
+  instrumented.campaign.trace = &trace;
+  std::atomic<uint64_t> heartbeat_calls{0};
+  instrumented.campaign.progress = [&heartbeat_calls](uint64_t, uint64_t) {
+    ++heartbeat_calls;
+  };
+  const CampaignReport traced = ParallelCampaign(instrumented).Run(bugs);
+
+  ExpectIdenticalFindings(plain, traced);
+  EXPECT_EQ(plain.programs_generated, traced.programs_generated);
+  EXPECT_EQ(plain.tests_generated, traced.tests_generated);
+  EXPECT_EQ(heartbeat_calls.load(), 16u);
+  EXPECT_FALSE(metrics.empty());
+  EXPECT_FALSE(trace.empty());
+}
+
+TEST(CampaignTelemetryTest, CampaignTraceIsWellFormedAndCoversThePhases) {
+  MetricsRegistry metrics;
+  TraceCollector trace;
+  ParallelCampaignOptions options = TelemetryCampaign(8, 2);
+  options.campaign.metrics = &metrics;
+  options.campaign.trace = &trace;
+  ParallelCampaign(options).Run(TelemetryBugs());
+
+  const std::vector<TraceEvent> events = trace.SortedEvents();
+  ASSERT_FALSE(events.empty());
+  bool saw_generate = false;
+  bool saw_solve = false;
+  bool saw_target = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_FALSE(events[i].name.empty());
+    saw_generate |= events[i].name == "generate";
+    saw_solve |= events[i].name == "smt-solve";
+    saw_target |= events[i].category == "target";
+    if (i > 0) {
+      EXPECT_GE(events[i].start_us, events[i - 1].start_us);  // sorted
+    }
+  }
+  EXPECT_TRUE(saw_generate);
+  EXPECT_TRUE(saw_solve);
+  EXPECT_TRUE(saw_target);
+  ExpectBalancedJson(TraceJson(events));
+  // Per-span SAT effort attribution: every smt-solve span carries its own
+  // conflict/decision counts (satellite: per-solve solver counters).
+  for (const TraceEvent& event : events) {
+    if (event.name != "smt-solve") {
+      continue;
+    }
+    bool has_conflicts = false;
+    for (const auto& [key, value] : event.args) {
+      has_conflicts |= key == "conflicts";
+    }
+    EXPECT_TRUE(has_conflicts);
+  }
+}
+
+}  // namespace
+}  // namespace gauntlet
