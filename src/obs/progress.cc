@@ -1,5 +1,7 @@
 #include "src/obs/progress.h"
 
+#include <algorithm>
+
 namespace gauntlet {
 
 ProgressMeter::ProgressMeter(std::string label, uint64_t total, std::FILE* stream,
@@ -19,11 +21,17 @@ void ProgressMeter::Finish(uint64_t done, uint64_t findings) {
 }
 
 void ProgressMeter::Emit(uint64_t done, uint64_t findings, bool final_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Timestamp and throttle decision both happen under the lock, so lines
+  // print in the order their clocks were read and the counts never regress.
   const uint64_t elapsed_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() -
                                                             start_)
           .count());
-  std::lock_guard<std::mutex> lock(mutex_);
+  max_done_ = std::max(max_done_, done);
+  max_findings_ = std::max(max_findings_, findings);
+  done = max_done_;
+  findings = max_findings_;
   if (!final_line && elapsed_ms < next_emit_ms_) {
     return;
   }

@@ -35,6 +35,11 @@ class ProgressMeter {
   std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;
   uint64_t next_emit_ms_ = 0;  // guarded by mutex_
+  // Max counts seen so far, guarded by mutex_. Workers race Tick, so a
+  // slow worker can deliver a stale (smaller) count after a faster one;
+  // emitting the max keeps the printed counts monotonic.
+  uint64_t max_done_ = 0;
+  uint64_t max_findings_ = 0;
 };
 
 }  // namespace gauntlet

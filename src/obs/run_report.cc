@@ -156,7 +156,6 @@ namespace {
 bool WriteTextFile(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return false;
   }
   out << content;

@@ -37,8 +37,8 @@ std::string DeterministicSection(const std::string& metrics_json);
 // Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 std::string TraceJson(const std::vector<TraceEvent>& events);
 
-// Write helpers; false (with a message on stderr) when the file cannot be
-// opened.
+// Write helpers; false when the file cannot be opened or the write fails
+// (reporting is the caller's job — the CLI decides whether that is fatal).
 bool WriteMetricsFile(const std::string& path, const MetricsRegistry& registry);
 bool WriteTraceFile(const std::string& path, const TraceCollector& collector);
 

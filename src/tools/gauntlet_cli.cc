@@ -130,8 +130,10 @@ ParsedArgs ParseCommandArgs(int argc, char** argv,
 }
 
 // The two cache switches shared by the validating commands, plus the
-// telemetry heartbeat switch they all accept.
-const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats", "--progress"};
+// telemetry heartbeat switch and the wall-clock-budget kill switch they
+// all accept.
+const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats", "--progress",
+                                                "--no-budgets"};
 
 // The telemetry output flags shared by every instrumented command.
 const std::vector<std::string> kTelemetryFlags = {"--metrics-out", "--trace-out"};
@@ -141,9 +143,24 @@ std::vector<std::string> WithTelemetryFlags(std::vector<std::string> value_flags
   return value_flags;
 }
 
+// `--no-budgets` zeroes every wall-clock solver budget (0 = unlimited), so
+// which pass pairs and paths fit the budget no longer depends on machine
+// load — the setting the determinism tests and CI byte-equality gates run
+// under. The conflict budget stays: it is deterministic by construction.
+void ApplyBudgetSwitch(const ParsedArgs& args, TvOptions& tv, TestGenOptions& testgen) {
+  if (!args.Has("--no-budgets")) {
+    return;
+  }
+  tv.query_time_limit_ms = 0;
+  tv.program_budget_ms = 0;
+  testgen.query_time_limit_ms = 0;
+}
+
 // Telemetry destinations parsed from --metrics-out/--trace-out: owns the
 // registry and trace collector for the command's lifetime and renders them
-// to disk once the command has finished.
+// to disk once the command has finished. The destructor is a best-effort
+// backstop: a command aborting via exception still emits whatever it
+// collected — exactly the runs where the telemetry helps debugging.
 struct Telemetry {
   explicit Telemetry(const ParsedArgs& args) {
     if (args.Has("--metrics-out")) {
@@ -154,22 +171,42 @@ struct Telemetry {
     }
   }
 
+  ~Telemetry() { WriteFiles(/*throw_on_failure=*/false); }
+
   MetricsRegistry* registry_or_null() { return metrics_path.empty() ? nullptr : &registry; }
   TraceCollector* collector_or_null() { return trace_path.empty() ? nullptr : &collector; }
 
-  void Write() {
+  // Renders both files once; later calls (including the destructor's) are
+  // no-ops. Success paths call this so the command exits nonzero when an
+  // artifact it promised cannot be written.
+  void Write() { WriteFiles(/*throw_on_failure=*/true); }
+
+  void WriteFiles(bool throw_on_failure) {
+    if (written_) {
+      return;
+    }
+    written_ = true;
+    std::string failed;
     if (!metrics_path.empty() && !WriteMetricsFile(metrics_path, registry)) {
-      throw CompileError("cannot write metrics file '" + metrics_path + "'");
+      failed = metrics_path;
     }
     if (!trace_path.empty() && !WriteTraceFile(trace_path, collector)) {
-      throw CompileError("cannot write trace file '" + trace_path + "'");
+      failed = trace_path;
     }
+    if (failed.empty()) {
+      return;
+    }
+    if (throw_on_failure) {
+      throw CompileError("cannot write telemetry file '" + failed + "'");
+    }
+    std::fprintf(stderr, "gauntlet: cannot write telemetry file '%s'\n", failed.c_str());
   }
 
   MetricsRegistry registry;
   TraceCollector collector;
   std::string metrics_path;
   std::string trace_path;
+  bool written_ = false;
 };
 
 // Installs the single-threaded commands' telemetry sinks for a scope (the
@@ -297,7 +334,10 @@ int CmdCompile(const std::string& path, const BugConfig& bugs) {
 int CmdValidate(const std::string& path, const BugConfig& bugs, const ParsedArgs& args) {
   Telemetry telemetry(args);
   auto program = Parser::ParseString(ReadFile(path));
-  const TranslationValidator validator(PassManager::StandardPipeline());
+  TvOptions tv_options;
+  TestGenOptions unused_testgen_options;
+  ApplyBudgetSwitch(args, tv_options, unused_testgen_options);
+  const TranslationValidator validator(PassManager::StandardPipeline(), tv_options);
   ValidationCache cache;
   ValidationCache* cache_ptr = args.Has("--no-cache") ? nullptr : &cache;
   if (args.Has("--progress")) {
@@ -352,10 +392,13 @@ int CmdTestgen(const std::string& path, const ParsedArgs& args) {
   if (args.Has("--progress")) {
     std::fprintf(stderr, "progress: enumerating paths in %s\n", path.c_str());
   }
+  TvOptions unused_tv_options;
+  TestGenOptions testgen_options;
+  ApplyBudgetSwitch(args, unused_tv_options, testgen_options);
   std::vector<PacketTest> tests;
   try {
     ScopedTelemetry sinks(telemetry);
-    tests = TestCaseGenerator().Generate(*program, cache_ptr);
+    tests = TestCaseGenerator(testgen_options).Generate(*program, cache_ptr);
   } catch (const UnsupportedError& error) {
     std::fprintf(stderr, "testgen: unsupported program: %s\n", error.what());
     return 1;
@@ -419,6 +462,7 @@ int CmdFuzz(int argc, char** argv) {
   CampaignOptions options;
   options.targets = TargetsFromFlags(args);
   options.use_cache = !args.Has("--no-cache");
+  ApplyBudgetSwitch(args, options.tv, options.testgen);
   if (args.positionals.size() >= 1) {
     options.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
   }
@@ -447,6 +491,7 @@ int CmdCampaign(int argc, char** argv) {
   ParallelCampaignOptions options;
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
+  ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
   if (args.Has("--cache-file")) {
     if (args.Has("--no-cache")) {
       throw CliUsageError("--cache-file needs the cache; drop --no-cache");
@@ -636,6 +681,8 @@ int Usage(std::FILE* out) {
                "--cache-stats prints hit/reuse counters to stderr\n"
                "--cache-file persists blast templates + per-program verdicts across\n"
                "runs (campaign reads and rewrites it; replay only validates it)\n"
+               "--no-budgets (validate/testgen/fuzz/campaign) lifts the wall-clock\n"
+               "solver budgets so reports do not depend on machine load\n"
                "telemetry (validate/testgen/fuzz/campaign/replay):\n"
                "  --metrics-out F  write a versioned metrics.json run report\n"
                "  --trace-out F    write Chrome/Perfetto trace-event JSON\n"

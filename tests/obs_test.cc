@@ -320,6 +320,27 @@ TEST(ProgressMeterTest, ThrottlesTicksAndAlwaysPrintsTheFinalLine) {
   EXPECT_NE(out.find(", done"), std::string::npos) << out;
 }
 
+TEST(ProgressMeterTest, StaleCountsNeverRegressThePrintedLine) {
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  {
+    ProgressMeter meter("programs", 50, stream, /*min_interval_ms=*/0);
+    meter.Tick(7, 2);    // a fast worker reports first
+    meter.Tick(5, 1);    // a slow worker delivers its stale count afterwards
+    meter.Finish(50, 3);
+  }
+  std::fclose(stream);
+  const std::string out(buffer, size);
+  free(buffer);
+
+  // The stale tick re-prints the max-so-far instead of going backwards.
+  EXPECT_NE(out.find("7/50 programs, 2 findings"), std::string::npos) << out;
+  EXPECT_EQ(out.find("5/50"), std::string::npos) << out;
+  EXPECT_EQ(out.find("1 findings"), std::string::npos) << out;
+}
+
 // --- campaign integration --------------------------------------------------
 
 // Mirrors runtime_test.cc: wall-clock budgets off so outcomes (and thus the
