@@ -8,13 +8,14 @@
 // below.)
 //
 // The second section gates the telemetry subsystem: a budget-free workload
-// with metrics + tracing enabled must stay within 5% (plus a small
-// absolute slack for sub-second runs) of the plain run, with bit-identical
-// findings.
+// with metrics + tracing + coverage enabled must stay within 5% (plus a
+// small absolute slack for sub-second runs) of the plain run, with
+// bit-identical findings.
 
 #include <chrono>
 #include <cstdio>
 
+#include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_report.h"
 #include "src/obs/trace.h"
@@ -116,9 +117,11 @@ int main() {
   for (int round = 0; round < rounds; ++round) {
     MetricsRegistry metrics;
     TraceCollector trace;
+    CoverageMap coverage;
     ParallelCampaignOptions instrumented = overhead_options;
     instrumented.campaign.metrics = &metrics;
     instrumented.campaign.trace = &trace;
+    instrumented.campaign.coverage = &coverage;
     const auto start = Clock::now();
     const CampaignReport report = ParallelCampaign(instrumented).Run(overhead_bugs);
     const double ms =

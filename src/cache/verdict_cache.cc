@@ -30,17 +30,11 @@ void CacheStats::RecordMetrics(MetricsRegistry& registry) const {
 
 std::string CacheStats::ToString() const {
   // Render through the registry so --cache-stats and metrics.json can never
-  // drift apart: same names, same key-sorted order.
+  // drift apart: same names, same key-sorted order, and histograms (when a
+  // stat grows one) get the same p50/p90/p99 summary.
   MetricsRegistry registry;
   RecordMetrics(registry);
-  std::ostringstream out;
-  bool first = true;
-  for (const auto& [name, metric] : registry.metrics()) {
-    if (!first) out << "\n";
-    first = false;
-    out << name << " " << metric.value;
-  }
-  return out.str();
+  return MetricsTextSummary(registry);
 }
 
 const VerdictCache::Entry* VerdictCache::Find(const Fingerprint& before,

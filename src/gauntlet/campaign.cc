@@ -5,6 +5,7 @@
 
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/printer.h"
+#include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/target/lowering.h"
@@ -52,6 +53,19 @@ int CampaignReport::CountDistinct(BugLocation location, BugKind kind) const {
 }
 
 void CampaignReport::Merge(CampaignReport&& other) {
+  // Latency first, before this->tests_generated absorbs other's counter: a
+  // fault first detected in `other` saw every test *this* report generated
+  // plus other's own pre-detection tests, so offsetting by the pre-merge
+  // prefix reproduces the serial counter exactly under index-order merging.
+  // A fault already present here keeps its (earlier) detection record.
+  for (auto& [bug, lat] : other.latency) {
+    auto [it, inserted] = latency.try_emplace(bug, lat);
+    if (inserted) {
+      it->second.tests_at_detection += tests_generated;
+    } else {
+      it->second.findings += lat.findings;
+    }
+  }
   programs_generated += other.programs_generated;
   programs_with_crash += other.programs_with_crash;
   programs_with_semantic += other.programs_with_semantic;
@@ -103,9 +117,66 @@ void CampaignReport::RecordMetrics(MetricsRegistry& registry) const {
   }
 }
 
+void CampaignReport::RecordCoverage(CoverageMap& map, const BugConfig& bugs) const {
+  const auto kDet = MetricScope::kDeterministic;
+  // Zero-create the fixed-name worker-side points so the deterministic key
+  // set is stable regardless of which scenarios this particular run reached
+  // (the variable-name points — decision buckets, branch kinds, installed
+  // slot counts — only appear when testgen ran at all).
+  static const char* const kPathShapePoints[] = {
+      "class/parser-reject",     "class/forwarded",   "class/table-hit",
+      "class/table-miss",        "class/multi-entry", "class/priority-inversion",
+  };
+  for (const char* point : kPathShapePoints) {
+    map.Record("path-shape", point, kDet, 0);
+  }
+  static const char* const kTableConfigPoints[] = {
+      "keyless-table",      "non-first-slot-win", "overlapping-entries",
+      "shadowed-divergent", "multi-byte-key-hit", "multi-byte-action-data",
+  };
+  for (const char* point : kTableConfigPoints) {
+    map.Record("table-config", point, kDet, 0);
+  }
+  for (const BugInfo& info : BugCatalogue()) {
+    const std::string base = std::string(info.name) + "/";
+    map.Record("fault-trigger", base + "seeded", kDet, bugs.Has(info.id) ? 1 : 0);
+    // Key creation only: the per-program exercise counters were recorded
+    // into the worker maps during TestProgram and are already merged in.
+    map.Record("fault-trigger", base + "exercised", kDet, 0);
+    map.Record("fault-trigger", base + "detected", kDet,
+               distinct_bugs.count(info.id) != 0 ? 1 : 0);
+    const auto lat = latency.find(info.id);
+    if (lat == latency.end()) {
+      continue;
+    }
+    const DetectionLatency& detection = lat->second;
+    map.Set("fault-trigger", base + "first_detection_index", kDet,
+            static_cast<uint64_t>(detection.first_program_index));
+    map.Set("detection-latency", base + "programs_until_first", kDet,
+            static_cast<uint64_t>(detection.first_program_index) + 1);
+    map.Set("detection-latency", base + "tests_at_detection", kDet,
+            static_cast<uint64_t>(detection.tests_at_detection));
+    map.Set("detection-latency", base + "findings", kDet,
+            static_cast<uint64_t>(detection.findings));
+    map.Set("detection-latency-wall", base + "micros_to_first", MetricScope::kTiming,
+            detection.wall_micros > run_start_micros
+                ? detection.wall_micros - run_start_micros
+                : 0);
+  }
+}
+
 void Campaign::Record(CampaignReport& report, Finding finding) {
   if (finding.attributed.has_value()) {
     report.distinct_bugs.insert(*finding.attributed);
+    auto [it, inserted] = report.latency.try_emplace(*finding.attributed);
+    if (inserted) {
+      it->second.first_program_index = finding.program_index;
+      it->second.tests_at_detection = report.tests_generated;
+      it->second.findings = 1;
+      it->second.wall_micros = TraceNowMicros();
+    } else {
+      ++it->second.findings;
+    }
   } else {
     report.unattributed_components.insert(finding.component);
   }
@@ -233,10 +304,123 @@ void Campaign::AttributeBlackBox(Finding& finding, const BugConfig& bugs, const 
   }
 }
 
+namespace {
+
+// Whether this program (plus the path shapes its tests realized and the
+// back ends it reached) *could* have triggered the fault: the trigger-family
+// approximation behind the fault-trigger "exercised" counter. These are
+// deliberately conservative necessary-condition checks — a fault counted as
+// exercised may still escape detection (that is exactly the blind spot the
+// coverage report surfaces) — but a fault never exercised was definitely
+// out of reach for every program this campaign generated.
+//
+// "compiled" holds the back-end locations whose Compile ran on the program;
+// "executed" additionally requires that packet tests existed to replay, so
+// crash-kind back-end faults gate on compiled and semantic ones on executed.
+bool FaultExercised(BugId bug, const ProgramConstructCensus& census,
+                    const PathCoverageSummary& paths, const std::set<BugLocation>& compiled,
+                    const std::set<BugLocation>& executed) {
+  const auto compiled_on = [&compiled](BugLocation location) {
+    return compiled.count(location) != 0;
+  };
+  const auto executed_on = [&executed](BugLocation location) {
+    return executed.count(location) != 0;
+  };
+  switch (bug) {
+    // Front end.
+    case BugId::kTypeCheckerShiftCrash:
+      return census.const_shifts > 0;
+    case BugId::kTypeCheckerRejectSliceCompare:
+      return census.slice_exprs > 0;
+    case BugId::kSideEffectOrderSwap:
+    case BugId::kInlinerSkipsNestedCall:
+      return census.function_calls > 0;
+    case BugId::kExitIgnoresCopyOut:
+      return census.exits_in_actions > 0;
+    case BugId::kRenameDeclaredUndefined:
+      return census.uninitialized_vars > 0;
+    // Mid end.
+    case BugId::kSimplifyDefUseDropsInoutWrite:
+      return census.function_calls > 0;
+    case BugId::kSliceWriteTreatedAsFullDef:
+      return census.slice_writes > 0 || census.slice_args > 0;
+    case BugId::kConstantFoldWrapWidth:
+      return census.const_arith > 0;
+    case BugId::kStrengthReductionNegativeSlice:
+      return census.slice_exprs > 0;
+    case BugId::kPredicationLostElse:
+      return census.if_with_else > 0;
+    case BugId::kInvalidHeaderCopyProp:
+      return census.validity_ops > 0;
+    case BugId::kTempSubstAcrossWrite:
+      return census.assignments > 1;
+    case BugId::kDeadCodeAfterExitCall:
+      return census.exits_in_actions > 0;
+    case BugId::kEliminateSlicesWrongMask:
+      return census.slice_writes > 0 || census.slice_exprs > 0;
+    // BMv2.
+    case BugId::kBmv2EmitIgnoresValidity:
+      return census.validity_ops > 0 && executed_on(BugLocation::kBackEndBmv2);
+    case BugId::kBmv2TableMissRunsFirstAction:
+      return paths.table_miss && executed_on(BugLocation::kBackEndBmv2);
+    case BugId::kBmv2TablePriorityInversion:
+      return paths.divergent_overlap && executed_on(BugLocation::kBackEndBmv2);
+    // Tofino.
+    case BugId::kTofinoPhvNarrowWide:
+      return census.wide_arith_ops > 0 && executed_on(BugLocation::kBackEndTofino);
+    case BugId::kTofinoTableDefaultSkipped:
+      return paths.table_miss && executed_on(BugLocation::kBackEndTofino);
+    case BugId::kTofinoDeparserEmitsInvalid:
+      return census.validity_ops > 0 && executed_on(BugLocation::kBackEndTofino);
+    case BugId::kTofinoActionDataEndianSwap:
+      return paths.multi_byte_action_data && paths.table_hit &&
+             executed_on(BugLocation::kBackEndTofino);
+    case BugId::kTofinoCrashOnWideArith:
+      return census.wide_multiplies > 0 && compiled_on(BugLocation::kBackEndTofino);
+    case BugId::kTofinoCrashManyTables:
+      return census.tables > 4 && compiled_on(BugLocation::kBackEndTofino);
+    // eBPF.
+    case BugId::kEbpfParserExtractReversed:
+      return census.header_fields >= 2 && census.parser_extracts > 0 &&
+             executed_on(BugLocation::kBackEndEbpf);
+    case BugId::kEbpfMapMissDropsPacket:
+      return paths.table_miss && executed_on(BugLocation::kBackEndEbpf);
+    case BugId::kEbpfMapKeyByteOrderSwap:
+      return paths.multi_byte_key_hit && paths.table_hit &&
+             executed_on(BugLocation::kBackEndEbpf);
+    case BugId::kEbpfCrashStackOverflow:
+      return census.extracted_bits > 320 && compiled_on(BugLocation::kBackEndEbpf);
+    case BugId::kEbpfCrashVerifierLoopBound:
+      return census.max_parser_chain_depth > 4 && compiled_on(BugLocation::kBackEndEbpf);
+  }
+  return false;
+}
+
+void RecordFaultExercise(const ProgramConstructCensus& census, const PathCoverageSummary& paths,
+                         const std::set<BugLocation>& compiled,
+                         const std::set<BugLocation>& executed) {
+  for (const BugInfo& info : BugCatalogue()) {
+    if (FaultExercised(info.id, census, paths, compiled, executed)) {
+      CoverPoint("fault-trigger", std::string(info.name) + "/exercised",
+                 MetricScope::kDeterministic);
+    }
+  }
+}
+
+}  // namespace
+
 void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int program_index,
                            CampaignReport& report, ValidationCache* cache) const {
   bool crashed_this_program = false;
   bool semantic_this_program = false;
+  // Coverage recording is keyed off the thread-local sink, like metrics: a
+  // run without --coverage-out pays a null check and nothing else.
+  const bool coverage_active = CurrentCoverage() != nullptr;
+  ProgramConstructCensus census;
+  if (coverage_active) {
+    census = CensusProgram(program);
+    RecordConstructCoverage(census);
+  }
   if (cache != nullptr) {
     // Blast templates persist across programs; verdict entries are scoped
     // to this program's content hash (see ValidationCache), keeping results
@@ -308,9 +492,11 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
 
   // --- Technique 3 (§6): packet tests against the targets ---
   std::vector<PacketTest> tests;
+  PathCoverageSummary path_summary;
   if (options_.run_packet_tests) {
     try {
-      tests = TestCaseGenerator(options_.testgen).Generate(program, cache);
+      tests = TestCaseGenerator(options_.testgen)
+                  .Generate(program, cache, coverage_active ? &path_summary : nullptr);
       report.tests_generated += static_cast<int>(tests.size());
     } catch (const UnsupportedError&) {
       // Outside the supported fragment: skip black-box testing (§8).
@@ -323,7 +509,17 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
   // the *attributed* crash site, not the raw message, so one front/mid-end
   // crash is recorded once however many back ends observe it.
   std::set<std::string> recorded_crash_sites;
+  std::set<BugLocation> compiled_locations;
+  std::set<BugLocation> executed_locations;
   for (const Target* target : SelectedTargets()) {
+    if (coverage_active) {
+      // Compile is attempted on every selected target; execution needs
+      // packet tests to replay.
+      compiled_locations.insert(target->location());
+      if (!tests.empty()) {
+        executed_locations.insert(target->location());
+      }
+    }
     try {
       std::unique_ptr<Executable> executable;
       {
@@ -384,6 +580,9 @@ void Campaign::TestProgram(const Program& program, const BugConfig& bugs, int pr
 
   report.programs_with_crash += crashed_this_program ? 1 : 0;
   report.programs_with_semantic += semantic_this_program ? 1 : 0;
+  if (coverage_active) {
+    RecordFaultExercise(census, path_summary, compiled_locations, executed_locations);
+  }
 }
 
 std::vector<const Target*> Campaign::SelectedTargets() const {
@@ -421,16 +620,19 @@ FindFixResult RunFindFixCampaign(const CampaignOptions& base, const BugConfig& i
 
 CampaignReport Campaign::Run(const BugConfig& bugs, CacheStats* stats_out) const {
   CampaignReport report;
+  report.run_start_micros = TraceNowMicros();
   GeneratorOptions generator_options = EffectiveGeneratorOptions();
   generator_options.seed = options_.seed;
   ProgramGenerator generator(generator_options);
   const std::unique_ptr<ValidationCache> cache =
       options_.use_cache ? std::make_unique<ValidationCache>() : nullptr;
   {
-    // Serial driver: one live registry/buffer pair for the whole run. The
-    // parallel driver (src/runtime/) installs per-worker sinks instead.
+    // Serial driver: one live registry/buffer/map set for the whole run.
+    // The parallel driver (src/runtime/) installs per-worker sinks instead.
     MetricsRegistry live;
+    CoverageMap live_coverage;
     ScopedMetricsSink metrics_sink(options_.metrics != nullptr ? &live : nullptr);
+    ScopedCoverageSink coverage_sink(options_.coverage != nullptr ? &live_coverage : nullptr);
     ScopedTraceSink trace_sink(options_.trace != nullptr ? options_.trace->NewBuffer(0)
                                                          : nullptr);
     for (int i = 0; i < options_.num_programs; ++i) {
@@ -448,12 +650,18 @@ CampaignReport Campaign::Run(const BugConfig& bugs, CacheStats* stats_out) const
     if (options_.metrics != nullptr) {
       options_.metrics->MergeFrom(live);
     }
+    if (options_.coverage != nullptr) {
+      options_.coverage->MergeFrom(live_coverage);
+    }
   }
   if (options_.metrics != nullptr) {
     report.RecordMetrics(*options_.metrics);
     if (cache != nullptr) {
       cache->Stats().RecordMetrics(*options_.metrics);
     }
+  }
+  if (options_.coverage != nullptr) {
+    report.RecordCoverage(*options_.coverage, bugs);
   }
   if (stats_out != nullptr) {
     *stats_out = cache != nullptr ? cache->Stats() : CacheStats{};

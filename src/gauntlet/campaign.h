@@ -18,6 +18,7 @@
 namespace gauntlet {
 
 struct CacheStats;
+class CoverageMap;
 class MetricsRegistry;
 class TraceCollector;
 class ValidationCache;
@@ -82,9 +83,26 @@ struct CampaignOptions {
   // Destination for TraceSpan phase timings (Chrome trace-event JSON via
   // src/obs/run_report.h). Owned by the caller, must outlive the run.
   TraceCollector* trace = nullptr;
+  // Destination for the semantic coverage map (src/obs/coverage.h): the
+  // driver merges per-worker maps into it in worker-index order and folds
+  // in the fault-trigger / detection-latency domains computed on the merged
+  // report. Owned by the caller, must outlive the run.
+  CoverageMap* coverage = nullptr;
   // Called after each tested program with (programs done, findings so far).
   // May be invoked concurrently from workers; drives `--progress`.
   std::function<void(uint64_t, uint64_t)> progress;
+};
+
+// How quickly one seeded fault fell: the Klees-et-al.-style time-to-
+// detection accounting. The program/test counters are deterministic (they
+// derive from the schedule-independent program stream); wall_micros is
+// wall-clock and legitimately varies run to run, so consumers must keep it
+// in timing-scoped output only.
+struct DetectionLatency {
+  int first_program_index = 0;  // program whose testing first found the fault
+  int tests_at_detection = 0;   // packet tests generated before that finding
+  int findings = 0;             // total findings attributed to the fault
+  uint64_t wall_micros = 0;     // TraceNowMicros() at the first finding
 };
 
 struct CampaignReport {
@@ -95,6 +113,14 @@ struct CampaignReport {
   int undef_divergences = 0;   // "suspicious transformation" reports
   int structural_mismatches = 0;  // §8 simulation-relation false alarms
   std::vector<Finding> findings;
+
+  // Per-fault detection latency, keyed by attributed fault. Merge keeps the
+  // earliest detection (lowest program index under index-order merging).
+  std::map<BugId, DetectionLatency> latency;
+
+  // TraceNowMicros() when the driver started the run; lets RecordCoverage
+  // turn the absolute wall_micros stamps into micros-since-start.
+  uint64_t run_start_micros = 0;
 
   // Distinct confirmed bugs (by attributed fault; unattributed findings
   // count once per component string).
@@ -118,6 +144,13 @@ struct CampaignReport {
   // lands in the deterministic section, except structural_mismatches, which
   // includes wall-clock budget exhaustion and therefore stays timing-scoped.
   void RecordMetrics(MetricsRegistry& registry) const;
+
+  // Folds the merged report's campaign-level domains into `map`: the
+  // fault-trigger domain (seeded/detected/first_detection_index for every
+  // catalogued fault — "exercised" counters are recorded per worker during
+  // TestProgram) and the detection-latency domains. Deterministic except
+  // detection-latency-wall, which carries the wall-clock stamps.
+  void RecordCoverage(CoverageMap& map, const BugConfig& bugs) const;
 };
 
 // A multi-round find->fix sequence: each round runs a full campaign, then

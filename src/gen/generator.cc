@@ -1,5 +1,8 @@
 #include "src/gen/generator.h"
 
+#include <algorithm>
+
+#include "src/obs/coverage.h"
 #include "src/typecheck/typecheck.h"
 
 namespace gauntlet {
@@ -1071,6 +1074,375 @@ ProgramPtr ProgramGenerator::Generate() {
   }
   ++program_counter_;
   return program;
+}
+
+// --- construct census ------------------------------------------------------
+
+namespace {
+
+// Best-effort bit width of an expression. Generated programs are typed by
+// construction, but the census also runs on replayed/cloned trees where
+// type() may be unset; fall back to structural hints instead of asserting.
+uint32_t ApproxWidth(const Expr& expr) {
+  if (expr.type() != nullptr && expr.type()->IsBit()) {
+    return expr.type()->width();
+  }
+  switch (expr.kind()) {
+    case ExprKind::kConstant:
+      return static_cast<const ConstantExpr&>(expr).value().width();
+    case ExprKind::kSlice: {
+      const auto& slice = static_cast<const SliceExpr&>(expr);
+      return slice.hi() - slice.lo() + 1;
+    }
+    case ExprKind::kCast: {
+      const TypePtr& target = static_cast<const CastExpr&>(expr).target();
+      return target != nullptr && target->IsBit() ? target->width() : 0;
+    }
+    default:
+      return 0;
+  }
+}
+
+uint32_t HeaderBits(const TypePtr& type) {
+  if (type == nullptr || !type->IsHeader()) {
+    return 0;
+  }
+  uint32_t bits = 0;
+  for (const Type::Field& field : type->fields()) {
+    bits += field.type->IsBool() ? 1 : field.type->width();
+  }
+  return bits;
+}
+
+class CensusWalker {
+ public:
+  explicit CensusWalker(ProgramConstructCensus& census) : census_(census) {}
+
+  void Expr_(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kConstant:
+      case ExprKind::kBoolConst:
+      case ExprKind::kPath:
+        break;
+      case ExprKind::kMember:
+        Expr_(static_cast<const MemberExpr&>(expr).base());
+        break;
+      case ExprKind::kSlice:
+        ++census_.slice_exprs;
+        Expr_(static_cast<const SliceExpr&>(expr).base());
+        break;
+      case ExprKind::kUnary:
+        Expr_(static_cast<const UnaryExpr&>(expr).operand());
+        break;
+      case ExprKind::kBinary: {
+        const auto& binary = static_cast<const BinaryExpr&>(expr);
+        const bool arith = !IsBooleanResult(binary.op());
+        if (binary.op() == BinaryOp::kShl || binary.op() == BinaryOp::kShr) {
+          ++census_.shifts;
+          if (binary.left().kind() == ExprKind::kConstant) {
+            ++census_.const_shifts;
+          }
+        }
+        if (binary.op() == BinaryOp::kConcat) {
+          ++census_.concats;
+        }
+        if (arith && binary.left().kind() == ExprKind::kConstant &&
+            binary.right().kind() == ExprKind::kConstant) {
+          ++census_.const_arith;
+        }
+        if (arith && (ApproxWidth(expr) > 32 || ApproxWidth(binary.left()) > 32)) {
+          ++census_.wide_arith_ops;
+          if (binary.op() == BinaryOp::kMul) {
+            ++census_.wide_multiplies;
+          }
+        }
+        Expr_(binary.left());
+        Expr_(binary.right());
+        break;
+      }
+      case ExprKind::kMux: {
+        const auto& mux = static_cast<const MuxExpr&>(expr);
+        ++census_.muxes;
+        Expr_(mux.cond());
+        Expr_(mux.then_expr());
+        Expr_(mux.else_expr());
+        break;
+      }
+      case ExprKind::kCast:
+        ++census_.casts;
+        Expr_(static_cast<const CastExpr&>(expr).operand());
+        break;
+      case ExprKind::kCall:
+        Call(static_cast<const CallExpr&>(expr));
+        break;
+    }
+  }
+
+  void Call(const CallExpr& call) {
+    switch (call.call_kind()) {
+      case CallKind::kFunction:
+        ++census_.function_calls;
+        break;
+      case CallKind::kAction:
+        ++census_.direct_action_calls;
+        break;
+      case CallKind::kTableApply:
+        ++census_.table_applies;
+        break;
+      case CallKind::kSetValid:
+      case CallKind::kSetInvalid:
+        ++census_.validity_ops;
+        break;
+      case CallKind::kIsValid:
+        ++census_.isvalid_calls;
+        break;
+      case CallKind::kExtract:
+        ++census_.parser_extracts;
+        break;
+      case CallKind::kEmit:
+        ++census_.emits;
+        break;
+    }
+    for (const ExprPtr& arg : call.args()) {
+      if (arg->kind() == ExprKind::kSlice) {
+        ++census_.slice_args;
+      }
+      Expr_(*arg);
+    }
+  }
+
+  void Stmt_(const Stmt& stmt, bool in_action) {
+    switch (stmt.kind()) {
+      case StmtKind::kBlock:
+        for (const StmtPtr& child : static_cast<const BlockStmt&>(stmt).statements()) {
+          Stmt_(*child, in_action);
+        }
+        break;
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        ++census_.assignments;
+        if (assign.target().kind() == ExprKind::kSlice) {
+          ++census_.slice_writes;
+        }
+        Expr_(assign.target());
+        Expr_(assign.value());
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& branch = static_cast<const IfStmt&>(stmt);
+        ++census_.if_statements;
+        if (branch.else_branch() != nullptr) {
+          ++census_.if_with_else;
+        }
+        Expr_(branch.cond());
+        Stmt_(branch.then_branch(), in_action);
+        if (branch.else_branch() != nullptr) {
+          Stmt_(*branch.else_branch(), in_action);
+        }
+        break;
+      }
+      case StmtKind::kVarDecl: {
+        const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+        if (decl.init() == nullptr) {
+          ++census_.uninitialized_vars;
+        } else {
+          Expr_(*decl.init());
+        }
+        break;
+      }
+      case StmtKind::kCall:
+        Call(static_cast<const CallStmt&>(stmt).call());
+        break;
+      case StmtKind::kExit:
+        if (in_action) {
+          ++census_.exits_in_actions;
+        }
+        break;
+      case StmtKind::kReturn: {
+        const Expr* value = static_cast<const ReturnStmt&>(stmt).value();
+        if (value != nullptr) {
+          Expr_(*value);
+        }
+        break;
+      }
+      case StmtKind::kEmpty:
+        break;
+    }
+  }
+
+  void Decl_(const Decl& decl) {
+    switch (decl.kind()) {
+      case DeclKind::kAction: {
+        const auto& action = static_cast<const ActionDecl&>(decl);
+        ++census_.actions;
+        if (!action.params().empty()) {
+          ++census_.actions_with_params;
+        }
+        Stmt_(action.body(), /*in_action=*/true);
+        break;
+      }
+      case DeclKind::kFunction:
+        ++census_.functions;
+        Stmt_(static_cast<const FunctionDecl&>(decl).body(), /*in_action=*/false);
+        break;
+      case DeclKind::kTable: {
+        const auto& table = static_cast<const TableDecl&>(decl);
+        ++census_.tables;
+        if (table.keys().empty()) {
+          ++census_.keyless_tables;
+        }
+        bool multi_byte_key = false;
+        for (const TableKey& key : table.keys()) {
+          Expr_(*key.expr);
+          const uint32_t width = ApproxWidth(*key.expr);
+          multi_byte_key = multi_byte_key || (width >= 16 && width % 8 == 0);
+        }
+        if (multi_byte_key) {
+          ++census_.multi_byte_key_tables;
+        }
+        break;
+      }
+      case DeclKind::kControl: {
+        const auto& control = static_cast<const ControlDecl&>(decl);
+        for (const DeclPtr& local : control.locals()) {
+          Decl_(*local);
+        }
+        Stmt_(control.apply(), /*in_action=*/false);
+        break;
+      }
+      case DeclKind::kParser: {
+        const auto& parser = static_cast<const ParserDecl&>(decl);
+        for (const ParserState& state : parser.states()) {
+          ++census_.parser_states;
+          if (state.select_expr != nullptr) {
+            ++census_.parser_selects;
+            Expr_(*state.select_expr);
+          }
+          for (const StmtPtr& stmt : state.statements) {
+            Stmt_(*stmt, /*in_action=*/false);
+          }
+        }
+        ParserChain(parser);
+        break;
+      }
+    }
+  }
+
+  // Longest acyclic extract chain from "start", and the header bits
+  // extracted along it — the shapes the eBPF back end's stack and verifier
+  // loop limits care about.
+  void ParserChain(const ParserDecl& parser) {
+    std::vector<std::string> path;
+    Walk(parser, "start", path, 0, 0);
+  }
+
+ private:
+  void Walk(const ParserDecl& parser, const std::string& state_name,
+            std::vector<std::string>& path, int extracts, int bits) {
+    if (path.size() > 64) {
+      return;
+    }
+    const ParserState* state = parser.FindState(state_name);
+    if (state == nullptr) {  // "accept"/"reject" or dangling transition
+      census_.max_parser_chain_depth = std::max(census_.max_parser_chain_depth, extracts);
+      census_.extracted_bits = std::max(census_.extracted_bits, bits);
+      return;
+    }
+    for (const std::string& visited : path) {
+      if (visited == state_name) {
+        return;
+      }
+    }
+    for (const StmtPtr& stmt : state->statements) {
+      if (stmt->kind() != StmtKind::kCall) {
+        continue;
+      }
+      const CallExpr& call = static_cast<const CallStmt&>(*stmt).call();
+      if (call.call_kind() != CallKind::kExtract) {
+        continue;
+      }
+      ++extracts;
+      if (!call.args().empty()) {
+        bits += static_cast<int>(HeaderBits(call.args()[0]->type()));
+      }
+    }
+    census_.max_parser_chain_depth = std::max(census_.max_parser_chain_depth, extracts);
+    census_.extracted_bits = std::max(census_.extracted_bits, bits);
+    path.push_back(state_name);
+    for (const SelectCase& select_case : state->cases) {
+      Walk(parser, select_case.next_state, path, extracts, bits);
+    }
+    path.pop_back();
+  }
+
+  ProgramConstructCensus& census_;
+};
+
+}  // namespace
+
+ProgramConstructCensus CensusProgram(const Program& program) {
+  ProgramConstructCensus census;
+  CensusWalker walker(census);
+  for (const TypePtr& type : program.type_decls()) {
+    if (type->IsHeader()) {
+      ++census.headers;
+      census.header_fields += static_cast<int>(type->fields().size());
+      if (type->fields().size() >= 2) {
+        ++census.multi_field_headers;
+      }
+    }
+  }
+  for (const DeclPtr& decl : program.decls()) {
+    walker.Decl_(*decl);
+  }
+  census.has_egress = program.FindBlock(BlockRole::kEgress) != nullptr;
+  return census;
+}
+
+void RecordConstructCoverage(const ProgramConstructCensus& census) {
+  if (CurrentCoverage() == nullptr) {
+    return;
+  }
+  const auto kDet = MetricScope::kDeterministic;
+  const auto point = [&](std::string_view name, int count) {
+    CoverPoint("gen-construct", name, kDet, static_cast<uint64_t>(count));
+  };
+  point("program", 1);
+  point("header", census.headers);
+  point("header-field", census.header_fields);
+  point("header-multi-field", census.multi_field_headers);
+  point("function", census.functions);
+  point("action", census.actions);
+  point("action-with-params", census.actions_with_params);
+  point("table", census.tables);
+  point("table-keyless", census.keyless_tables);
+  point("table-multi-byte-key", census.multi_byte_key_tables);
+  point("assignment", census.assignments);
+  point("if", census.if_statements);
+  point("if-else", census.if_with_else);
+  point("exit-in-action", census.exits_in_actions);
+  point("validity-op", census.validity_ops);
+  point("isvalid", census.isvalid_calls);
+  point("uninitialized-var", census.uninitialized_vars);
+  point("shift", census.shifts);
+  point("const-shift", census.const_shifts);
+  point("const-arith", census.const_arith);
+  point("slice", census.slice_exprs);
+  point("slice-write", census.slice_writes);
+  point("slice-arg", census.slice_args);
+  point("function-call", census.function_calls);
+  point("direct-action-call", census.direct_action_calls);
+  point("table-apply", census.table_applies);
+  point("wide-arith", census.wide_arith_ops);
+  point("wide-multiply", census.wide_multiplies);
+  point("mux", census.muxes);
+  point("cast", census.casts);
+  point("concat", census.concats);
+  point("emit", census.emits);
+  point("parser-state", census.parser_states);
+  point("parser-select", census.parser_selects);
+  point("parser-extract", census.parser_extracts);
+  point("egress-block", census.has_egress ? 1 : 0);
 }
 
 }  // namespace gauntlet

@@ -74,6 +74,59 @@ class ProgramGenerator {
   int program_counter_ = 0;
 };
 
+// Construct census of one program: how many instances of each construct
+// family the AST contains. Computed by a plain walk, so it is identical for
+// any --jobs value and cache setting; the campaign records it into the
+// "gen-construct" coverage domain and feeds the per-fault trigger-family
+// predicates ("exercised" in the fault-trigger domain).
+struct ProgramConstructCensus {
+  int headers = 0;
+  int header_fields = 0;
+  int multi_field_headers = 0;
+  int functions = 0;
+  int actions = 0;
+  int actions_with_params = 0;
+  int tables = 0;
+  int keyless_tables = 0;
+  int multi_byte_key_tables = 0;  // some key column of whole-byte width >= 16
+  int assignments = 0;
+  int if_statements = 0;
+  int if_with_else = 0;
+  int exits_in_actions = 0;
+  int validity_ops = 0;  // setValid / setInvalid
+  int isvalid_calls = 0;
+  int uninitialized_vars = 0;  // var decls without an initializer
+  int shifts = 0;
+  int const_shifts = 0;  // shift whose left operand is a constant
+  int const_arith = 0;   // binary op with both operands constant
+  int slice_exprs = 0;
+  int slice_writes = 0;  // assignment whose target is a slice
+  int slice_args = 0;    // call argument that is a slice
+  int function_calls = 0;
+  int direct_action_calls = 0;
+  int table_applies = 0;
+  int wide_arith_ops = 0;   // binary arithmetic at width > 32
+  int wide_multiplies = 0;  // multiplies at width > 32
+  int muxes = 0;
+  int casts = 0;
+  int concats = 0;
+  int emits = 0;
+  int parser_states = 0;
+  int parser_selects = 0;
+  int parser_extracts = 0;
+  int max_parser_chain_depth = 0;  // extracts along the longest acyclic path
+  int extracted_bits = 0;          // header bits along that longest path
+  bool has_egress = false;
+};
+
+ProgramConstructCensus CensusProgram(const Program& program);
+
+// Records the census into the thread-local coverage sink under the
+// "gen-construct" domain (no-op without a sink). Every point is recorded —
+// with a zero delta when the construct is absent — so the domain's key set
+// is stable regardless of what a particular run generated.
+void RecordConstructCoverage(const ProgramConstructCensus& census);
+
 }  // namespace gauntlet
 
 #endif  // SRC_GEN_GENERATOR_H_

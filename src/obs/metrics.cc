@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "src/support/error.h"
 
@@ -114,6 +115,47 @@ void ObserveMetric(std::string_view name, MetricScope scope,
   if (g_current_metrics != nullptr) {
     g_current_metrics->Observe(name, scope, bounds, value);
   }
+}
+
+uint64_t HistogramQuantile(const Metric& metric, uint64_t percentile) {
+  const uint64_t total = metric.value;
+  if (metric.kind != MetricKind::kHistogram || total == 0 || metric.counts.empty()) {
+    return 0;
+  }
+  // Rank of the percentile-th observation, 1-based, rounded up.
+  uint64_t rank = (total * percentile + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < metric.counts.size(); ++i) {
+    const uint64_t in_bucket = metric.counts[i];
+    if (in_bucket == 0 || cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const uint64_t lo = i == 0 ? 0 : metric.bounds[i - 1];
+    // The overflow bucket has no upper bound; cap at the last bound.
+    const uint64_t hi = i < metric.bounds.size() ? metric.bounds[i] : metric.bounds.back();
+    const uint64_t position = rank - cumulative;  // 1..in_bucket
+    return lo + ((hi - lo) * position) / in_bucket;
+  }
+  return metric.bounds.back();
+}
+
+std::string MetricsTextSummary(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, metric] : registry.metrics()) {
+    if (!first) out << "\n";
+    first = false;
+    if (metric.kind == MetricKind::kHistogram) {
+      out << name << " total=" << metric.value << " p50=" << HistogramQuantile(metric, 50)
+          << " p90=" << HistogramQuantile(metric, 90) << " p99=" << HistogramQuantile(metric, 99);
+    } else {
+      out << name << " " << metric.value;
+    }
+  }
+  return out.str();
 }
 
 }  // namespace gauntlet

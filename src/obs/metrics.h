@@ -109,6 +109,18 @@ void GaugeMaxMetric(std::string_view name, MetricScope scope, uint64_t value);
 void ObserveMetric(std::string_view name, MetricScope scope,
                    const std::vector<uint64_t>& bounds, uint64_t value);
 
+// Approximate percentile of a histogram metric (`percentile` in 0..100),
+// linearly interpolated inside the containing bucket. Integer math only, so
+// the result is byte-stable across platforms. The overflow bucket has no
+// upper bound and is capped at the last bound; the true percentile may be
+// larger. Returns 0 for empty histograms or non-histogram metrics.
+uint64_t HistogramQuantile(const Metric& metric, uint64_t percentile);
+
+// Plain-text rendering: one `name value` line per counter/gauge, and
+// `name total=N p50=A p90=B p99=C` per histogram (percentiles approximate,
+// see HistogramQuantile). Key-sorted, like every other rendering.
+std::string MetricsTextSummary(const MetricsRegistry& registry);
+
 }  // namespace gauntlet
 
 #endif  // SRC_OBS_METRICS_H_

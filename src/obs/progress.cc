@@ -38,9 +38,16 @@ void ProgressMeter::Emit(uint64_t done, uint64_t findings, bool final_line) {
   next_emit_ms_ = elapsed_ms + min_interval_ms_;
 
   char eta[32] = "";
-  if (!final_line && done > 0 && done < total_) {
-    const uint64_t eta_s = (elapsed_ms * (total_ - done) / done + 999) / 1000;
-    std::snprintf(eta, sizeof(eta), ", eta %llus", static_cast<unsigned long long>(eta_s));
+  if (!final_line && (total_ == 0 || done < total_)) {
+    if (total_ == 0 || done == 0 || elapsed_ms == 0) {
+      // No ticks (or no time) elapsed yet — an extrapolated ETA would be a
+      // division by zero or a nonsense "eta 0s" (empty replay corpora hit
+      // this); print a placeholder until there is a rate to extrapolate.
+      std::snprintf(eta, sizeof(eta), ", eta --:--");
+    } else {
+      const uint64_t eta_s = (elapsed_ms * (total_ - done) / done + 999) / 1000;
+      std::snprintf(eta, sizeof(eta), ", eta %llus", static_cast<unsigned long long>(eta_s));
+    }
   }
   // One fprintf per line keeps concurrent heartbeats line-atomic in practice.
   std::fprintf(stream_, "progress: %llu/%llu %s, %llu findings, %llu.%llus elapsed%s%s\n",

@@ -6,38 +6,50 @@
 
 namespace gauntlet {
 
-namespace {
-
-void AppendJsonString(std::ostringstream& out, std::string_view text) {
-  out << '"';
+std::string JsonQuoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
   for (const char c : text) {
     switch (c) {
       case '"':
-        out << "\\\"";
+        out += "\\\"";
         break;
       case '\\':
-        out << "\\\\";
+        out += "\\\\";
         break;
       case '\n':
-        out << "\\n";
+        out += "\\n";
         break;
       case '\t':
-        out << "\\t";
+        out += "\\t";
         break;
       case '\r':
-        out << "\\r";
+        out += "\\r";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape control bytes and everything past printable ASCII
+        // byte-wise: names are ASCII by construction, and strict parsers
+        // reject raw bytes >= 0x7f that are not valid UTF-8.
+        const unsigned byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out << buf;
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
         } else {
-          out << c;
+          out.push_back(c);
         }
+      }
     }
   }
-  out << '"';
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, std::string_view text) {
+  out << JsonQuoted(text);
 }
 
 void AppendNumberArray(std::ostringstream& out, const std::vector<uint64_t>& values) {
@@ -66,7 +78,17 @@ void AppendSection(std::ostringstream& out, const MetricsRegistry& registry, Met
       AppendNumberArray(out, metric.bounds);
       out << ", \"counts\": ";
       AppendNumberArray(out, metric.counts);
-      out << ", \"total\": " << metric.value << "}";
+      out << ", \"total\": " << metric.value;
+      if (scope == MetricScope::kTiming) {
+        // Approximate bucket-interpolated percentiles (HistogramQuantile).
+        // Timing section only: percentiles of deterministic histograms are
+        // derivable from the buckets, and keeping them out preserves the
+        // byte-for-byte minimality the determinism gates diff on.
+        out << ", \"p50\": " << HistogramQuantile(metric, 50)
+            << ", \"p90\": " << HistogramQuantile(metric, 90)
+            << ", \"p99\": " << HistogramQuantile(metric, 99);
+      }
+      out << "}";
     } else {
       out << metric.value;
     }

@@ -8,6 +8,7 @@
 #include "src/cache/cache_file.h"
 #include "src/cache/verdict_cache.h"
 #include "src/gen/generator.h"
+#include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/worker_pool.h"
@@ -24,6 +25,7 @@ uint64_t ParallelCampaign::ProgramSeed(uint64_t campaign_seed, int program_index
 }
 
 CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_out) const {
+  const uint64_t run_start_micros = TraceNowMicros();
   const int total = options_.campaign.num_programs;
   const Campaign campaign(options_.campaign);
 
@@ -69,6 +71,8 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
   const size_t sink_count = static_cast<size_t>(jobs < 1 ? 1 : jobs);
   std::vector<MetricsRegistry> worker_metrics(
       options_.campaign.metrics != nullptr ? sink_count : 0);
+  std::vector<CoverageMap> worker_coverage(
+      options_.campaign.coverage != nullptr ? sink_count : 0);
   std::vector<TraceBuffer*> worker_traces;
   if (options_.campaign.trace != nullptr) {
     worker_traces.reserve(sink_count);
@@ -86,6 +90,9 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
     ScopedMetricsSink metrics_sink(
         worker_known && !worker_metrics.empty() ? &worker_metrics[static_cast<size_t>(worker)]
                                                 : nullptr);
+    ScopedCoverageSink coverage_sink(worker_known && !worker_coverage.empty()
+                                         ? &worker_coverage[static_cast<size_t>(worker)]
+                                         : nullptr);
     ScopedTraceSink trace_sink(worker_known && !worker_traces.empty()
                                    ? worker_traces[static_cast<size_t>(worker)]
                                    : nullptr);
@@ -124,6 +131,17 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
     if (!caches.empty()) {
       merged_stats.RecordMetrics(*options_.campaign.metrics);
     }
+  }
+  if (options_.campaign.coverage != nullptr) {
+    // Worker maps merge in worker-index order, exactly like the metrics
+    // registries, then the campaign-level domains are computed on the merged
+    // (schedule-independent) report — so coverage.json's deterministic
+    // section is bit-identical for any jobs value.
+    for (const CoverageMap& map : worker_coverage) {
+      options_.campaign.coverage->MergeFrom(map);
+    }
+    report.run_start_micros = run_start_micros;
+    report.RecordCoverage(*options_.campaign.coverage, bugs);
   }
   if (stats_out != nullptr) {
     *stats_out = merged_stats;

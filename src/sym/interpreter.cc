@@ -467,9 +467,11 @@ class InterpreterImpl {
     // symbolic paths.
     for (const SymbolicTableEntry& entry : entry_set.info().entries) {
       result_.branch_conditions.push_back(ctx_.BoolAnd(guard, entry.win_condition));
+      result_.branch_kinds.push_back("entry-win");
     }
     for (const SmtRef& overlap : entry_set.OverlapConditions()) {
       result_.branch_conditions.push_back(ctx_.BoolAnd(guard, overlap));
+      result_.branch_kinds.push_back("entry-overlap");
     }
 
     SmtRef any_selected = ctx_.False();
@@ -478,6 +480,7 @@ class InterpreterImpl {
         const ActionDecl& action = model.action(i);
         const SmtRef selected = entry_set.ActionSelected(i);
         result_.branch_conditions.push_back(ctx_.BoolAnd(guard, selected));
+        result_.branch_kinds.push_back("action-select");
         // Control-plane action data: the winning slot's symbolic arguments.
         std::vector<std::pair<std::string, SymValue>> bindings;
         for (size_t p = 0; p < action.params().size(); ++p) {
@@ -554,6 +557,7 @@ class InterpreterImpl {
         const auto& if_stmt = static_cast<const IfStmt&>(stmt);
         const SmtRef cond = Eval(if_stmt.cond(), path_guard);
         result_.branch_conditions.push_back(ctx_.BoolAnd(EffectiveGuard(path_guard), cond));
+        result_.branch_kinds.push_back("if");
         ExecStmt(if_stmt.then_branch(), ctx_.BoolAnd(path_guard, cond));
         if (if_stmt.else_branch() != nullptr) {
           ExecStmt(*if_stmt.else_branch(), ctx_.BoolAnd(path_guard, ctx_.BoolNot(cond)));
@@ -725,6 +729,7 @@ class InterpreterImpl {
       }
       const SmtRef next_guard = ctx_.BoolAnd(path_guard, case_guard);
       result_.branch_conditions.push_back(ctx_.BoolAnd(EffectiveGuard(path_guard), case_guard));
+      result_.branch_kinds.push_back("parser-select");
       RunParserState(select_case.next_state, next_guard, depth + 1, offset_after);
     }
   }

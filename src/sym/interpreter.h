@@ -32,6 +32,11 @@ struct BlockSemantics {
   // matches. Drives the test-case generator's path enumeration (section 6).
   std::vector<SmtRef> branch_conditions;
 
+  // Parallel to branch_conditions: what kind of decision each condition is
+  // ("if", "entry-win", "entry-overlap", "action-select", "parser-select").
+  // Feeds the "path-shape" coverage domain's branch-kind census.
+  std::vector<std::string> branch_kinds;
+
   // Symbolic control-plane state of every applied table (the N-entry
   // encoding of src/table/entry_set.h).
   std::vector<TableInfo> tables;

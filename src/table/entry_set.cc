@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/smt/evaluator.h"
 #include "src/support/error.h"
 #include "src/target/stf.h"
 
@@ -181,6 +182,65 @@ std::vector<TableEntry> EntriesFromModel(const SmtModel& model, const TableInfo&
     entries.push_back(std::move(record.entry));
   }
   return entries;
+}
+
+TableScenario ClassifyTableScenario(const SmtContext& ctx, const SmtModel& model,
+                                    const TableInfo& info) {
+  TableScenario scenario;
+  if (info.entries.empty()) {
+    // Keyless tables get zero slots by construction (see the entry-set
+    // constructor); their lookup can never hit.
+    scenario.keyless = true;
+    return scenario;
+  }
+  ModelEvaluator eval(ctx, model);
+  const auto bits_of = [&model](const std::string& name) {
+    const auto it = model.bit_values.find(name);
+    return it != model.bit_values.end() ? it->second.bits() : 0;
+  };
+  const auto byte_aligned_wide = [&ctx](const std::string& name) {
+    const SmtRef var = ctx.FindVar(name);
+    if (!var.IsValid() || ctx.IsBool(var)) {
+      return false;
+    }
+    const uint32_t width = ctx.WidthOf(var);
+    return width >= 16 && width % 8 == 0;
+  };
+
+  int matching = 0;
+  uint64_t first_matching_action = 0;
+  for (size_t slot = 0; slot < info.entries.size(); ++slot) {
+    const SymbolicTableEntry& entry = info.entries[slot];
+    const uint64_t action_index = bits_of(entry.action_var);
+    const bool installed = action_index >= 1 && action_index <= info.action_names.size();
+    if (!installed) {
+      continue;
+    }
+    ++scenario.installed_slots;
+    if (eval.EvalBool(entry.match_condition)) {
+      ++matching;
+      if (matching == 1) {
+        first_matching_action = action_index;
+      } else if (action_index != first_matching_action) {
+        scenario.divergent_overlap = true;
+      }
+    }
+    if (!eval.EvalBool(entry.win_condition)) {
+      continue;
+    }
+    scenario.hit = true;
+    scenario.winning_slot = static_cast<int>(slot);
+    scenario.non_first_slot_win = scenario.installed_slots > 1;
+    for (const std::string& key_var : entry.key_vars) {
+      scenario.multi_byte_key = scenario.multi_byte_key || byte_aligned_wide(key_var);
+    }
+    for (const std::string& data_var : entry.action_data_vars[action_index - 1]) {
+      scenario.multi_byte_action_data =
+          scenario.multi_byte_action_data || byte_aligned_wide(data_var);
+    }
+  }
+  scenario.overlap = matching >= 2;
+  return scenario;
 }
 
 }  // namespace gauntlet

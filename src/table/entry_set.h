@@ -111,6 +111,26 @@ class SymbolicEntrySet {
 // are skipped; an empty result means the model left the table unpopulated.
 std::vector<TableEntry> EntriesFromModel(const SmtModel& model, const TableInfo& info);
 
+// What one solved witness model says about one table: the concrete lookup
+// scenario the test realizes. Feeds the "table-config" and "path-shape"
+// coverage domains and the fault-trigger exercise predicates; derived
+// purely from the model (no solver calls), so it is identical for any
+// --jobs value and cache setting.
+struct TableScenario {
+  bool keyless = false;
+  int installed_slots = 0;
+  bool hit = false;
+  int winning_slot = -1;        // -1 on miss
+  bool non_first_slot_win = false;  // winner preceded by another installed slot
+  bool overlap = false;             // >= 2 installed slots match the lookup key
+  bool divergent_overlap = false;   // overlapping slots select different actions
+  bool multi_byte_key = false;      // winner matched on a byte-aligned key >= 16 bits
+  bool multi_byte_action_data = false;  // winner supplies byte-aligned data >= 16 bits
+};
+
+TableScenario ClassifyTableScenario(const SmtContext& ctx, const SmtModel& model,
+                                    const TableInfo& info);
+
 }  // namespace gauntlet
 
 #endif  // SRC_TABLE_ENTRY_SET_H_

@@ -4,10 +4,12 @@
 #include <set>
 
 #include "src/cache/verdict_cache.h"
+#include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/smt/evaluator.h"
 #include "src/sym/interpreter.h"
+#include "src/table/entry_set.h"
 
 namespace gauntlet {
 
@@ -141,8 +143,8 @@ TableConfig TablesFromModel(const SmtModel& model, const std::vector<TableInfo>&
 
 }  // namespace
 
-std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
-                                                    ValidationCache* cache) const {
+std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program, ValidationCache* cache,
+                                                    PathCoverageSummary* coverage) const {
   const PackageBlock* parser_block = program.FindBlock(BlockRole::kParser);
   const PackageBlock* deparser_block = program.FindBlock(BlockRole::kDeparser);
   if (parser_block == nullptr || deparser_block == nullptr) {
@@ -192,12 +194,16 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
     }
   }
 
-  // Decision conditions across all blocks, in pipeline order.
+  // Decision conditions across all blocks, in pipeline order, with their
+  // kinds collected in parallel for the path-shape coverage census.
   std::vector<SmtRef> decisions;
+  std::vector<std::string> decision_kinds;
   for (const BlockSemantics* block :
        {&pipeline.parser, &pipeline.ingress, &pipeline.egress, &pipeline.deparser}) {
-    for (const SmtRef& condition : block->branch_conditions) {
-      decisions.push_back(condition);
+    for (size_t i = 0; i < block->branch_conditions.size(); ++i) {
+      decisions.push_back(block->branch_conditions[i]);
+      decision_kinds.push_back(i < block->branch_kinds.size() ? block->branch_kinds[i]
+                                                              : "unknown");
       if (decisions.size() >= options_.max_decisions) {
         break;
       }
@@ -270,6 +276,30 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
     span.Arg("paths", paths.size());
   }
   CountMetric("testgen/paths", MetricScope::kTiming, paths.size());
+
+  // Path-shape coverage: decision-depth bucket and branch-kind census.
+  // Everything here derives from the bit-exact enumeration above, so the
+  // recorded points are deterministic.
+  const bool want_coverage = coverage != nullptr || CurrentCoverage() != nullptr;
+  const auto kDet = MetricScope::kDeterministic;
+  if (want_coverage) {
+    const auto decision_bucket = [](size_t n) -> const char* {
+      if (n == 0) return "0";
+      if (n <= 2) return "1-2";
+      if (n <= 4) return "3-4";
+      if (n <= 8) return "5-8";
+      if (n <= 16) return "9-16";
+      return "17+";
+    };
+    CoverPoint("path-shape", std::string("decisions/") + decision_bucket(decisions.size()), kDet);
+    for (const std::string& kind : decision_kinds) {
+      CoverPoint("path-shape", "branch/" + kind, kDet);
+    }
+    if (coverage != nullptr) {
+      coverage->decisions = decisions.size();
+      coverage->paths = paths.size();
+    }
+  }
 
   // Constants the program itself writes (collected from the output DAGs).
   // An input field that happens to equal such a constant can mask a
@@ -554,14 +584,73 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program,
     // hit are distinct control-plane stimuli and must both survive.
     std::string fingerprint = EmitStf(test);
     fingerprint.erase(0, fingerprint.find('\n'));  // drop the name line
-    if (seen.insert(std::move(fingerprint)).second) {
-      tests.push_back(std::move(test));
+    if (!seen.insert(std::move(fingerprint)).second) {
+      continue;
     }
+
+    // Classify what this surviving test realizes (witness models replay
+    // bit-exactly, so the classification is deterministic too).
+    if (want_coverage) {
+      if (test.expected.dropped) {
+        CoverPoint("path-shape", "class/parser-reject", kDet);
+      } else {
+        CoverPoint("path-shape", "class/forwarded", kDet);
+      }
+      for (const TableInfo& table : all_tables) {
+        const TableScenario scenario = ClassifyTableScenario(ctx, model, table);
+        if (scenario.keyless) {
+          CoverPoint("table-config", "keyless-table", kDet);
+        } else {
+          CoverPoint("table-config",
+                     "installed-slots/" + std::to_string(scenario.installed_slots), kDet);
+        }
+        if (scenario.hit) CoverPoint("path-shape", "class/table-hit", kDet);
+        if (!scenario.hit && scenario.installed_slots > 0) {
+          CoverPoint("path-shape", "class/table-miss", kDet);
+        }
+        if (scenario.installed_slots >= 2) CoverPoint("path-shape", "class/multi-entry", kDet);
+        if (scenario.non_first_slot_win) {
+          CoverPoint("table-config", "non-first-slot-win", kDet);
+        }
+        if (scenario.overlap) CoverPoint("table-config", "overlapping-entries", kDet);
+        if (scenario.divergent_overlap) {
+          CoverPoint("table-config", "shadowed-divergent", kDet);
+          CoverPoint("path-shape", "class/priority-inversion", kDet);
+        }
+        if (scenario.multi_byte_key) CoverPoint("table-config", "multi-byte-key-hit", kDet);
+        if (scenario.multi_byte_action_data) {
+          CoverPoint("table-config", "multi-byte-action-data", kDet);
+        }
+        if (coverage != nullptr) {
+          coverage->keyless_table = coverage->keyless_table || scenario.keyless;
+          coverage->table_hit = coverage->table_hit || scenario.hit;
+          coverage->table_miss =
+              coverage->table_miss || (!scenario.hit && scenario.installed_slots > 0);
+          coverage->multi_entry = coverage->multi_entry || scenario.installed_slots >= 2;
+          coverage->non_first_slot_win =
+              coverage->non_first_slot_win || scenario.non_first_slot_win;
+          coverage->overlap = coverage->overlap || scenario.overlap;
+          coverage->divergent_overlap =
+              coverage->divergent_overlap || scenario.divergent_overlap;
+          coverage->multi_byte_key_hit =
+              coverage->multi_byte_key_hit || scenario.multi_byte_key;
+          coverage->multi_byte_action_data =
+              coverage->multi_byte_action_data || scenario.multi_byte_action_data;
+        }
+      }
+      if (coverage != nullptr) {
+        coverage->parser_reject = coverage->parser_reject || test.expected.dropped;
+      }
+    }
+    tests.push_back(std::move(test));
   }
   witness_span.Arg("tests", tests.size());
   CountMetric("testgen/tests", MetricScope::kTiming, tests.size());
   ObserveMetric("testgen/tests_per_program", MetricScope::kDeterministic, kTestsPerProgramBounds,
                 tests.size());
+  if (coverage != nullptr) {
+    coverage->tests = tests.size();
+  }
   return tests;
 }
 

@@ -37,6 +37,29 @@ struct TestGenOptions {
   size_t symbolic_table_entries = 2;
 };
 
+// What one program's path enumeration covered: decision depth, enumerated
+// path count, and which table/parser scenarios the surviving tests realize.
+// Derived from the enumerated paths and witness models, which replay
+// bit-exactly for any --jobs value and with the cache on or off, so every
+// field is deterministic. The campaign merges this into the "path-shape" /
+// "table-config" coverage domains and the fault-trigger exercise
+// predicates.
+struct PathCoverageSummary {
+  size_t decisions = 0;
+  size_t paths = 0;
+  size_t tests = 0;
+  bool parser_reject = false;       // some surviving test drops in the parser
+  bool table_hit = false;           // some test hits an installed entry
+  bool table_miss = false;          // some test misses a populated table
+  bool multi_entry = false;         // some test installs >= 2 slots in one table
+  bool non_first_slot_win = false;  // winner preceded by another installed slot
+  bool overlap = false;             // >= 2 installed slots match one lookup key
+  bool divergent_overlap = false;   // overlapping slots select different actions
+  bool keyless_table = false;
+  bool multi_byte_key_hit = false;      // hit matched on a byte-aligned key >= 16 bits
+  bool multi_byte_action_data = false;  // hit supplies byte-aligned data >= 16 bits
+};
+
 // Symbolic-execution-based test-case generation (paper Figure 4 and §6):
 // interprets the *source* program into SMT formulas, enumerates feasible
 // paths through its decision conditions, and for each path solves for an
@@ -61,8 +84,12 @@ class TestCaseGenerator {
   // validator's, since fingerprints key on variable names and the source
   // program's block semantics are shared between the two techniques.
   // Replay is bit-exact, so the generated tests are identical either way.
-  std::vector<PacketTest> Generate(const Program& program,
-                                   ValidationCache* cache = nullptr) const;
+  //
+  // With a non-null `coverage`, fills in the path/table scenario summary
+  // and records the "path-shape" / "table-config" coverage domains into the
+  // thread-local coverage sink (when one is installed).
+  std::vector<PacketTest> Generate(const Program& program, ValidationCache* cache = nullptr,
+                                   PathCoverageSummary* coverage = nullptr) const;
 
  private:
   TestGenOptions options_;

@@ -42,6 +42,7 @@
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
+#include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/run_report.h"
@@ -136,7 +137,8 @@ const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats", 
                                                 "--no-budgets"};
 
 // The telemetry output flags shared by every instrumented command.
-const std::vector<std::string> kTelemetryFlags = {"--metrics-out", "--trace-out"};
+const std::vector<std::string> kTelemetryFlags = {"--metrics-out", "--trace-out",
+                                                 "--coverage-out"};
 
 std::vector<std::string> WithTelemetryFlags(std::vector<std::string> value_flags) {
   value_flags.insert(value_flags.end(), kTelemetryFlags.begin(), kTelemetryFlags.end());
@@ -156,11 +158,12 @@ void ApplyBudgetSwitch(const ParsedArgs& args, TvOptions& tv, TestGenOptions& te
   testgen.query_time_limit_ms = 0;
 }
 
-// Telemetry destinations parsed from --metrics-out/--trace-out: owns the
-// registry and trace collector for the command's lifetime and renders them
-// to disk once the command has finished. The destructor is a best-effort
-// backstop: a command aborting via exception still emits whatever it
-// collected — exactly the runs where the telemetry helps debugging.
+// Telemetry destinations parsed from --metrics-out/--trace-out/
+// --coverage-out: owns the registry, trace collector and coverage map for
+// the command's lifetime and renders them to disk once the command has
+// finished. The destructor is a best-effort backstop: a command aborting
+// via exception still emits whatever it collected — exactly the runs where
+// the telemetry helps debugging.
 struct Telemetry {
   explicit Telemetry(const ParsedArgs& args) {
     if (args.Has("--metrics-out")) {
@@ -169,12 +172,16 @@ struct Telemetry {
     if (args.Has("--trace-out")) {
       trace_path = args.Last("--trace-out");
     }
+    if (args.Has("--coverage-out")) {
+      coverage_path = args.Last("--coverage-out");
+    }
   }
 
   ~Telemetry() { WriteFiles(/*throw_on_failure=*/false); }
 
   MetricsRegistry* registry_or_null() { return metrics_path.empty() ? nullptr : &registry; }
   TraceCollector* collector_or_null() { return trace_path.empty() ? nullptr : &collector; }
+  CoverageMap* coverage_or_null() { return coverage_path.empty() ? nullptr : &coverage; }
 
   // Renders both files once; later calls (including the destructor's) are
   // no-ops. Success paths call this so the command exits nonzero when an
@@ -193,6 +200,9 @@ struct Telemetry {
     if (!trace_path.empty() && !WriteTraceFile(trace_path, collector)) {
       failed = trace_path;
     }
+    if (!coverage_path.empty() && !WriteCoverageFile(coverage_path, coverage)) {
+      failed = coverage_path;
+    }
     if (failed.empty()) {
       return;
     }
@@ -204,8 +214,10 @@ struct Telemetry {
 
   MetricsRegistry registry;
   TraceCollector collector;
+  CoverageMap coverage;
   std::string metrics_path;
   std::string trace_path;
+  std::string coverage_path;
   bool written_ = false;
 };
 
@@ -214,9 +226,11 @@ struct Telemetry {
 struct ScopedTelemetry {
   explicit ScopedTelemetry(Telemetry& telemetry)
       : metrics_sink(telemetry.registry_or_null()),
+        coverage_sink(telemetry.coverage_or_null()),
         trace_sink(telemetry.collector_or_null() != nullptr ? telemetry.collector.NewBuffer(0)
                                                             : nullptr) {}
   ScopedMetricsSink metrics_sink;
+  ScopedCoverageSink coverage_sink;
   ScopedTraceSink trace_sink;
 };
 
@@ -443,6 +457,7 @@ std::unique_ptr<ProgressMeter> WireCampaignTelemetry(const ParsedArgs& args,
                                                      CampaignOptions& options) {
   options.metrics = telemetry.registry_or_null();
   options.trace = telemetry.collector_or_null();
+  options.coverage = telemetry.coverage_or_null();
   std::unique_ptr<ProgressMeter> meter;
   if (args.Has("--progress")) {
     meter = std::make_unique<ProgressMeter>("programs",
@@ -612,6 +627,50 @@ int CmdReplay(int argc, char** argv) {
   return outcome.passed() ? 0 : 1;
 }
 
+CoverageMap LoadCoverage(const std::string& path) {
+  CoverageMap map;
+  std::string error;
+  if (!ParseCoverageJson(ReadFile(path), &map, &error)) {
+    throw CompileError("cannot parse coverage file '" + path + "': " + error);
+  }
+  return map;
+}
+
+// `gauntlet coverage <file>` renders one snapshot (with its blind-spot
+// section); `gauntlet coverage <before> <after>` diffs two snapshots and
+// gates on deterministic differences — the CI jobs-1-vs-jobs-8 identity
+// check. `--require-detected` turns the single-file report into the
+// blind-spot gate: every seeded fault must have been exercised and detected.
+int CmdCoverage(int argc, char** argv) {
+  const ParsedArgs args = ParseCommandArgs(argc, argv, {}, /*max_positionals=*/2,
+                                           {"--require-detected"});
+  if (args.positionals.empty()) {
+    throw CliUsageError("coverage expects <coverage.json> [<after.json>]");
+  }
+  if (args.positionals.size() == 2) {
+    if (args.Has("--require-detected")) {
+      throw CliUsageError("--require-detected applies to a single snapshot, not a diff");
+    }
+    const CoverageDiff diff =
+        DiffCoverage(LoadCoverage(args.positionals[0]), LoadCoverage(args.positionals[1]));
+    std::printf("%s", diff.text.c_str());
+    return diff.deterministic_differences == 0 ? 0 : 1;
+  }
+  const CoverageMap map = LoadCoverage(args.positionals[0]);
+  std::printf("%s", CoverageReportText(map).c_str());
+  if (args.Has("--require-detected")) {
+    std::string violations;
+    const int count = CoverageBlindSpotViolations(map, &violations);
+    if (count > 0) {
+      std::fprintf(stderr, "%s", violations.c_str());
+      std::fprintf(stderr, "coverage: %d blind-spot violation%s\n", count,
+                   count == 1 ? "" : "s");
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int CmdReduce(const std::string& path, const BugConfig& bugs) {
   auto program = Parser::ParseString(ReadFile(path));
   // Pick the oracle automatically: crash if any buggy back-end compile
@@ -673,6 +732,8 @@ int Usage(std::FILE* out) {
                "[--cache-file F]\n"
                "  replay --corpus DIR [--bug B ...] [--targets T,...] [--cache-file F]\n"
                "  reduce <file.p4> --bug B [...]\n"
+               "  coverage <coverage.json> [--require-detected]\n"
+               "  coverage <before.json> <after.json>\n"
                "  bugs\n"
                "\n"
                "registered targets: %s   (--targets defaults to all of them)\n"
@@ -684,9 +745,12 @@ int Usage(std::FILE* out) {
                "--no-budgets (validate/testgen/fuzz/campaign) lifts the wall-clock\n"
                "solver budgets so reports do not depend on machine load\n"
                "telemetry (validate/testgen/fuzz/campaign/replay):\n"
-               "  --metrics-out F  write a versioned metrics.json run report\n"
-               "  --trace-out F    write Chrome/Perfetto trace-event JSON\n"
-               "  --progress       throttled heartbeat on stderr\n",
+               "  --metrics-out F   write a versioned metrics.json run report\n"
+               "  --trace-out F     write Chrome/Perfetto trace-event JSON\n"
+               "  --coverage-out F  write a semantic coverage.json snapshot\n"
+               "  --progress        throttled heartbeat on stderr\n"
+               "`coverage` renders a snapshot (one file; --require-detected gates on\n"
+               "blind spots) or diffs two; a diff exits 1 on any deterministic change\n",
                targets.c_str());
   return out == stdout ? 0 : 2;
 }
@@ -737,6 +801,9 @@ int main(int argc, char** argv) {
     }
     if (command == "replay") {
       return CmdReplay(argc, argv);
+    }
+    if (command == "coverage") {
+      return CmdCoverage(argc, argv);
     }
     if (command == "reduce") {
       const ParsedArgs args = ParseCommandArgs(argc, argv, {"--bug"}, /*max_positionals=*/1);

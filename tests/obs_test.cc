@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/gauntlet/campaign.h"
+#include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/run_report.h"
@@ -136,7 +137,7 @@ TEST(RunReportTest, JsonIsVersionedSortedAndSplitByScope) {
   registry.Count("a/early", MetricScope::kDeterministic, 1);
   registry.Count("timing/only", MetricScope::kTiming, 9);
   const std::string json = MetricsJson(registry);
-  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
   // Sorted keys inside the deterministic section.
   const std::string det = DeterministicSection(json);
   ASSERT_FALSE(det.empty());
@@ -220,6 +221,67 @@ TEST(RunReportTest, MetricsJsonIsStructurallyValid) {
   ExpectBalancedJson(MetricsJson(registry));
 }
 
+// --- histogram percentile summaries ----------------------------------------
+
+TEST(HistogramQuantileTest, InterpolatesWithinTheBucketHoldingTheRank) {
+  MetricsRegistry registry;
+  const std::vector<uint64_t> bounds = {10, 20};
+  for (int i = 0; i < 10; ++i) {
+    registry.Observe("h", MetricScope::kTiming, bounds, 5);
+  }
+  const Metric* metric = registry.Find("h");
+  ASSERT_NE(metric, nullptr);
+  // All 10 observations landed in (0, 10]; linear interpolation places the
+  // 5th of 10 at half the bucket span (approximate by design).
+  EXPECT_EQ(HistogramQuantile(*metric, 50), 5u);
+  EXPECT_EQ(HistogramQuantile(*metric, 90), 9u);
+  EXPECT_EQ(HistogramQuantile(*metric, 99), 10u);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketCapsAtTheLastBoundAndNonHistogramsReadZero) {
+  MetricsRegistry registry;
+  registry.Observe("h", MetricScope::kTiming, {10, 20}, 25);  // overflow bucket
+  const Metric* metric = registry.Find("h");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(HistogramQuantile(*metric, 99), 20u);
+
+  registry.Count("c", MetricScope::kTiming, 7);
+  EXPECT_EQ(HistogramQuantile(*registry.Find("c"), 50), 0u);
+  Metric empty;
+  empty.kind = MetricKind::kHistogram;
+  EXPECT_EQ(HistogramQuantile(empty, 50), 0u);
+}
+
+TEST(RunReportTest, TimingHistogramsCarryPercentileSummaries) {
+  MetricsRegistry registry;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    registry.Observe("timing/h", MetricScope::kTiming, {50, 100}, v);
+  }
+  registry.Observe("det/h", MetricScope::kDeterministic, {50, 100}, 10);
+  const std::string json = MetricsJson(registry);
+  EXPECT_NE(json.find("\"p50\": 50"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\": 90"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 99"), std::string::npos) << json;
+  // Deterministic histograms stay summary-free: their section's bytes are
+  // compared across runs and the summaries would add no information the
+  // bucket counts don't already pin down.
+  EXPECT_EQ(DeterministicSection(json).find("\"p50\""), std::string::npos);
+  ExpectBalancedJson(json);
+}
+
+TEST(MetricsTextSummaryTest, RendersCountersPlainAndHistogramsWithPercentiles) {
+  MetricsRegistry registry;
+  registry.Count("cache/verdict_hits", MetricScope::kTiming, 3);
+  for (uint64_t v = 1; v <= 10; ++v) {
+    registry.Observe("cache/probe_us", MetricScope::kTiming, {10, 20}, v);
+  }
+  const std::string text = MetricsTextSummary(registry);
+  EXPECT_NE(text.find("cache/verdict_hits 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache/probe_us total=10 p50="), std::string::npos) << text;
+  EXPECT_NE(text.find("p90="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
 // --- tracing ---------------------------------------------------------------
 
 TEST(TraceTest, SpanRecordsEventAndFoldsTimeIntoMetrics) {
@@ -291,6 +353,39 @@ TEST(TraceTest, TraceJsonIsStructurallyValidCompleteEvents) {
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
 }
 
+TEST(TraceTest, TraceJsonEscapesHostileSpanNames) {
+  // Regression: bytes outside the ASCII printable range used to pass
+  // through raw (and negative chars sign-extended into garbage \u escapes),
+  // producing trace files strict JSON parsers reject.
+  TraceCollector collector;
+  {
+    ScopedTraceSink sink(collector.NewBuffer(0));
+    TraceSpan span(std::string("evil \"name\" \\ tab\there\nnl \x01 hi\xff"), "cat");
+  }
+  const std::string json = TraceJson(collector.SortedEvents());
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\\\"name\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\\ tab\\t"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u00ff"), std::string::npos) << json;
+  // No raw control or non-ASCII byte survives anywhere in the output.
+  for (const char c : json) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    EXPECT_TRUE(byte == '\n' || (byte >= 0x20 && byte < 0x7f)) << static_cast<int>(byte);
+  }
+}
+
+TEST(JsonQuotedTest, EscapesQuotesBackslashesControlAndHighBytes) {
+  EXPECT_EQ(JsonQuoted("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuoted("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuoted("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuoted("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+  EXPECT_EQ(JsonQuoted(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonQuoted(std::string("\xff", 1)), "\"\\u00ff\"");
+  EXPECT_EQ(JsonQuoted(std::string("\x7f", 1)), "\"\\u007f\"");
+}
+
 // --- progress heartbeat ----------------------------------------------------
 
 TEST(ProgressMeterTest, ThrottlesTicksAndAlwaysPrintsTheFinalLine) {
@@ -339,6 +434,175 @@ TEST(ProgressMeterTest, StaleCountsNeverRegressThePrintedLine) {
   EXPECT_NE(out.find("7/50 programs, 2 findings"), std::string::npos) << out;
   EXPECT_EQ(out.find("5/50"), std::string::npos) << out;
   EXPECT_EQ(out.find("1 findings"), std::string::npos) << out;
+}
+
+TEST(ProgressMeterTest, ZeroTotalPrintsPlaceholderEtaInsteadOfDividingByZero) {
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  {
+    // An empty replay corpus: total == 0 but ticks still arrive.
+    ProgressMeter meter("reproducers", 0, stream, /*min_interval_ms=*/0);
+    meter.Tick(0, 0);
+    meter.Tick(3, 1);
+    meter.Finish(3, 1);
+  }
+  std::fclose(stream);
+  const std::string out(buffer, size);
+  free(buffer);
+  EXPECT_NE(out.find("eta --:--"), std::string::npos) << out;
+  EXPECT_EQ(out.find("eta 0s"), std::string::npos) << out;
+  // The final line never extrapolates.
+  EXPECT_NE(out.find(", done"), std::string::npos) << out;
+}
+
+TEST(ProgressMeterTest, FirstTickBeforeAnyProgressPrintsPlaceholderEta) {
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  {
+    ProgressMeter meter("programs", 10, stream, /*min_interval_ms=*/0);
+    meter.Tick(0, 0);  // done == 0: no rate to extrapolate from yet
+  }
+  std::fclose(stream);
+  const std::string out(buffer, size);
+  free(buffer);
+  EXPECT_NE(out.find("0/10 programs"), std::string::npos) << out;
+  EXPECT_NE(out.find("eta --:--"), std::string::npos) << out;
+}
+
+// --- coverage map ----------------------------------------------------------
+
+TEST(CoverageMapTest, RecordSumsZeroDeltaCreatesKeysAndSetOverwrites) {
+  CoverageMap map;
+  map.Record("d", "p", MetricScope::kDeterministic, 2);
+  map.Record("d", "p", MetricScope::kDeterministic, 3);
+  EXPECT_EQ(map.Value("d", "p"), 5u);
+  map.Record("d", "zero", MetricScope::kDeterministic, 0);
+  EXPECT_TRUE(map.Has("d", "zero"));
+  EXPECT_EQ(map.Value("d", "zero"), 0u);
+  EXPECT_FALSE(map.Has("d", "absent"));
+  EXPECT_EQ(map.Value("d", "absent"), 0u);
+  map.Set("d", "p", MetricScope::kDeterministic, 1);
+  EXPECT_EQ(map.Value("d", "p"), 1u);
+}
+
+TEST(CoverageMapTest, MergeSumsPointsAndIsOrderIndependent) {
+  CoverageMap a;
+  a.Record("d", "x", MetricScope::kDeterministic, 1);
+  CoverageMap b;
+  b.Record("d", "x", MetricScope::kDeterministic, 2);
+  b.Record("d", "y", MetricScope::kDeterministic, 4);
+  b.Record("t", "w", MetricScope::kTiming, 8);
+
+  CoverageMap forward;
+  forward.MergeFrom(a);
+  forward.MergeFrom(b);
+  CoverageMap backward;
+  backward.MergeFrom(b);
+  backward.MergeFrom(a);
+  EXPECT_EQ(forward.Value("d", "x"), 3u);
+  EXPECT_EQ(forward.Value("d", "y"), 4u);
+  EXPECT_EQ(forward.Value("t", "w"), 8u);
+  EXPECT_EQ(CoverageJson(forward), CoverageJson(backward));
+}
+
+TEST(CoverageSinkTest, CoverPointIsANoOpWithoutASinkAndScopedSinksNest) {
+  CoverPoint("free", "standing", MetricScope::kDeterministic);
+  EXPECT_EQ(CurrentCoverage(), nullptr);
+  CoverageMap outer;
+  CoverageMap inner;
+  {
+    ScopedCoverageSink outer_sink(&outer);
+    CoverPoint("d", "n", MetricScope::kDeterministic);
+    {
+      ScopedCoverageSink inner_sink(&inner);
+      CoverPoint("d", "n", MetricScope::kDeterministic);
+    }
+    CoverPoint("d", "n", MetricScope::kDeterministic);
+  }
+  EXPECT_EQ(CurrentCoverage(), nullptr);
+  EXPECT_EQ(outer.Value("d", "n"), 2u);
+  EXPECT_EQ(inner.Value("d", "n"), 1u);
+}
+
+TEST(CoverageJsonTest, RoundTripsThroughParseAndSharesTheDeterministicSectionContract) {
+  CoverageMap map;
+  map.Record("gen-construct", "table", MetricScope::kDeterministic, 7);
+  map.Record("gen-construct", "if", MetricScope::kDeterministic, 0);
+  map.Record("detection-latency-wall", "bug/micros_to_first", MetricScope::kTiming, 1234);
+  const std::string json = CoverageJson(map);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  // The deterministic/timing split uses the run-report layout, so the same
+  // section extractor applies to coverage snapshots.
+  const std::string det = DeterministicSection(json);
+  ASSERT_FALSE(det.empty());
+  EXPECT_NE(det.find("\"table\": 7"), std::string::npos) << det;
+  EXPECT_EQ(det.find("micros_to_first"), std::string::npos);
+
+  CoverageMap parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCoverageJson(json, &parsed, &error)) << error;
+  EXPECT_EQ(CoverageJson(parsed), json);
+  EXPECT_EQ(parsed.Value("gen-construct", "table"), 7u);
+  EXPECT_TRUE(parsed.Has("gen-construct", "if"));
+
+  CoverageMap rejected;
+  EXPECT_FALSE(ParseCoverageJson("{}", &rejected, &error));
+  EXPECT_FALSE(ParseCoverageJson(json + "trailing", &rejected, &error));
+}
+
+TEST(CoverageDiffTest, CountsDeterministicChangesOnlyAndFlagsRegressions) {
+  CoverageMap before;
+  before.Record("d", "same", MetricScope::kDeterministic, 5);
+  before.Record("d", "dropped", MetricScope::kDeterministic, 2);
+  before.Record("d", "shrunk", MetricScope::kDeterministic, 9);
+  before.Record("wall", "t", MetricScope::kTiming, 100);
+  CoverageMap after;
+  after.Record("d", "same", MetricScope::kDeterministic, 5);
+  after.Record("d", "shrunk", MetricScope::kDeterministic, 3);
+  after.Record("d", "added", MetricScope::kDeterministic, 1);
+  after.Record("wall", "t", MetricScope::kTiming, 999);
+
+  const CoverageDiff diff = DiffCoverage(before, after);
+  EXPECT_EQ(diff.deterministic_differences, 3);  // dropped, shrunk, added
+  EXPECT_NE(diff.text.find("(regressed)"), std::string::npos) << diff.text;
+  EXPECT_NE(diff.text.find("[timing]"), std::string::npos) << diff.text;
+  EXPECT_EQ(diff.text.find("same"), std::string::npos) << diff.text;
+
+  const CoverageDiff clean = DiffCoverage(before, before);
+  EXPECT_EQ(clean.deterministic_differences, 0);
+}
+
+TEST(CoverageBlindSpotTest, FlagsSeededFaultsThatNeverProgressedToDetection) {
+  CoverageMap map;
+  const auto kDet = MetricScope::kDeterministic;
+  map.Record("fault-trigger", "a/seeded", kDet, 1);
+  map.Record("fault-trigger", "a/exercised", kDet, 0);
+  map.Record("fault-trigger", "a/detected", kDet, 0);
+  map.Record("fault-trigger", "b/seeded", kDet, 1);
+  map.Record("fault-trigger", "b/exercised", kDet, 4);
+  map.Record("fault-trigger", "b/detected", kDet, 0);
+  map.Record("fault-trigger", "c/seeded", kDet, 1);
+  map.Record("fault-trigger", "c/exercised", kDet, 4);
+  map.Record("fault-trigger", "c/detected", kDet, 1);
+  map.Set("fault-trigger", "c/first_detection_index", kDet, 3);
+  map.Record("fault-trigger", "unseeded/seeded", kDet, 0);
+  map.Record("fault-trigger", "unseeded/exercised", kDet, 0);
+
+  std::string out;
+  EXPECT_EQ(CoverageBlindSpotViolations(map, &out), 2);
+  EXPECT_NE(out.find("a: seeded but never exercised"), std::string::npos) << out;
+  EXPECT_NE(out.find("b: exercised but never detected"), std::string::npos) << out;
+  EXPECT_EQ(out.find("c:"), std::string::npos) << out;
+  EXPECT_EQ(out.find("unseeded"), std::string::npos) << out;
+
+  CoverageMap empty;
+  std::string missing;
+  EXPECT_EQ(CoverageBlindSpotViolations(empty, &missing), 1);
 }
 
 // --- campaign integration --------------------------------------------------
@@ -488,6 +752,114 @@ TEST(CampaignTelemetryTest, CampaignTraceIsWellFormedAndCoversThePhases) {
     }
     EXPECT_TRUE(has_conflicts);
   }
+}
+
+// --- coverage integration --------------------------------------------------
+
+TEST(CampaignCoverageTest, DeterministicSectionIsByteIdenticalAcrossJobs) {
+  const BugConfig bugs = TelemetryBugs();
+  CoverageMap serial_coverage;
+  ParallelCampaignOptions serial = TelemetryCampaign(16, 1);
+  serial.campaign.coverage = &serial_coverage;
+  const CampaignReport serial_report = ParallelCampaign(serial).Run(bugs);
+
+  CoverageMap parallel_coverage;
+  ParallelCampaignOptions parallel = TelemetryCampaign(16, 8);
+  parallel.campaign.coverage = &parallel_coverage;
+  const CampaignReport parallel_report = ParallelCampaign(parallel).Run(bugs);
+
+  ExpectIdenticalFindings(serial_report, parallel_report);
+  const std::string serial_det = DeterministicSection(CoverageJson(serial_coverage));
+  const std::string parallel_det = DeterministicSection(CoverageJson(parallel_coverage));
+  ASSERT_FALSE(serial_det.empty());
+  EXPECT_EQ(serial_det, parallel_det);
+
+  // The detection-latency accounting agrees with the findings themselves.
+  ASSERT_FALSE(serial_report.latency.empty());
+  for (const auto& [bug, latency] : serial_report.latency) {
+    int earliest = -1;
+    int attributed = 0;
+    for (const Finding& finding : serial_report.findings) {
+      if (finding.attributed == bug) {
+        earliest = earliest < 0 ? finding.program_index : earliest;
+        ++attributed;
+      }
+    }
+    EXPECT_EQ(latency.first_program_index, earliest);
+    EXPECT_EQ(latency.findings, attributed);
+    EXPECT_LE(latency.tests_at_detection, serial_report.tests_generated);
+    const std::string name = BugIdToString(bug);
+    EXPECT_EQ(serial_coverage.Value("fault-trigger", name + "/first_detection_index"),
+              static_cast<uint64_t>(earliest));
+    EXPECT_EQ(serial_coverage.Value("detection-latency", name + "/programs_until_first"),
+              static_cast<uint64_t>(earliest) + 1);
+    EXPECT_TRUE(serial_coverage.Has("detection-latency-wall", name + "/micros_to_first"));
+  }
+  // Parallel index-order merging reproduces the serial latency counters.
+  EXPECT_EQ(serial_report.latency.size(), parallel_report.latency.size());
+  for (const auto& [bug, latency] : serial_report.latency) {
+    const auto it = parallel_report.latency.find(bug);
+    ASSERT_NE(it, parallel_report.latency.end());
+    EXPECT_EQ(it->second.first_program_index, latency.first_program_index);
+    EXPECT_EQ(it->second.tests_at_detection, latency.tests_at_detection);
+    EXPECT_EQ(it->second.findings, latency.findings);
+  }
+}
+
+TEST(CampaignCoverageTest, DeterministicSectionIsByteIdenticalCacheOnOrOff) {
+  const BugConfig bugs = TelemetryBugs();
+  CoverageMap cached_coverage;
+  ParallelCampaignOptions cached = TelemetryCampaign(12, 4);
+  cached.campaign.coverage = &cached_coverage;
+  const CampaignReport cached_report = ParallelCampaign(cached).Run(bugs);
+
+  CoverageMap uncached_coverage;
+  ParallelCampaignOptions uncached = TelemetryCampaign(12, 4);
+  uncached.campaign.use_cache = false;
+  uncached.campaign.coverage = &uncached_coverage;
+  const CampaignReport uncached_report = ParallelCampaign(uncached).Run(bugs);
+
+  ExpectIdenticalFindings(cached_report, uncached_report);
+  EXPECT_EQ(DeterministicSection(CoverageJson(cached_coverage)),
+            DeterministicSection(CoverageJson(uncached_coverage)));
+}
+
+TEST(CampaignCoverageTest, FindingsAreBitIdenticalWithCoverageOnOrOff) {
+  const BugConfig bugs = TelemetryBugs();
+  const CampaignReport plain = ParallelCampaign(TelemetryCampaign(12, 4)).Run(bugs);
+  CoverageMap coverage;
+  ParallelCampaignOptions instrumented = TelemetryCampaign(12, 4);
+  instrumented.campaign.coverage = &coverage;
+  const CampaignReport covered = ParallelCampaign(instrumented).Run(bugs);
+  ExpectIdenticalFindings(plain, covered);
+  EXPECT_EQ(plain.tests_generated, covered.tests_generated);
+  EXPECT_FALSE(coverage.empty());
+}
+
+TEST(CampaignCoverageTest, FaultTriggerDomainCoversTheWholeCatalogue) {
+  CoverageMap coverage;
+  ParallelCampaignOptions options = TelemetryCampaign(4, 2);
+  options.campaign.coverage = &coverage;
+  const CampaignReport report = ParallelCampaign(options).Run(TelemetryBugs());
+
+  // Every catalogued fault appears with its full point set — including the
+  // ones this campaign never seeded — so a coverage snapshot always shows
+  // what *wasn't* tried, not just what was.
+  for (const BugInfo& info : BugCatalogue()) {
+    const std::string base = std::string(info.name) + "/";
+    EXPECT_TRUE(coverage.Has("fault-trigger", base + "seeded")) << info.name;
+    EXPECT_TRUE(coverage.Has("fault-trigger", base + "exercised")) << info.name;
+    EXPECT_TRUE(coverage.Has("fault-trigger", base + "detected")) << info.name;
+  }
+  EXPECT_EQ(coverage.Value("fault-trigger", "typechecker-shift-crash/seeded"), 1u);
+  EXPECT_EQ(coverage.Value("fault-trigger", "predication-lost-else/seeded"), 0u);
+  // The standard construct/path domains exist with stable key sets.
+  EXPECT_TRUE(coverage.Has("gen-construct", "program"));
+  EXPECT_TRUE(coverage.Has("gen-construct", "table"));
+  EXPECT_TRUE(coverage.Has("path-shape", "class/table-hit"));
+  EXPECT_TRUE(coverage.Has("table-config", "keyless-table"));
+  EXPECT_EQ(coverage.Value("gen-construct", "program"),
+            static_cast<uint64_t>(report.programs_generated));
 }
 
 }  // namespace
