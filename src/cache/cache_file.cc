@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "src/cache/verdict_cache.h"
@@ -286,6 +287,24 @@ void SaveValidationCacheFile(const std::string& path,
   if (!out) {
     throw CompileError("failed writing cache file '" + path + "'");
   }
+}
+
+int MergeValidationCacheFiles(const std::string& destination,
+                              const std::vector<std::string>& sources) {
+  std::vector<std::unique_ptr<ValidationCache>> loaded;
+  for (const std::string& source : sources) {
+    auto cache = std::make_unique<ValidationCache>();
+    if (LoadValidationCacheFile(source, *cache)) {
+      loaded.push_back(std::move(cache));
+    }
+  }
+  std::vector<ValidationCache*> pointers;
+  pointers.reserve(loaded.size());
+  for (const auto& cache : loaded) {
+    pointers.push_back(cache.get());
+  }
+  SaveValidationCacheFile(destination, pointers);
+  return static_cast<int>(loaded.size());
 }
 
 }  // namespace gauntlet

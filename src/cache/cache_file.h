@@ -46,6 +46,17 @@ bool LoadValidationCacheFile(const std::string& path, ValidationCache& cache);
 void SaveValidationCacheFile(const std::string& path,
                              const std::vector<ValidationCache*>& caches);
 
+// Merges several cache files into `destination`: each existing source loads
+// into its own cache and the set re-serializes with SaveValidationCaches'
+// fingerprint dedup (first source wins — replay is bit-exact, so any choice
+// warms later runs identically). Missing sources are skipped (a shard that
+// never wrote its cache is a cold shard, not an error); corrupt sources
+// fail loudly like any other load. Returns the number of files read. How a
+// shard coordinator (src/dist/) folds per-shard cache files back into the
+// campaign's one --cache-file.
+int MergeValidationCacheFiles(const std::string& destination,
+                              const std::vector<std::string>& sources);
+
 }  // namespace gauntlet
 
 #endif  // SRC_CACHE_CACHE_FILE_H_

@@ -1,0 +1,351 @@
+#include "src/dist/coordinator.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/cache/cache_file.h"
+#include "src/obs/trace.h"
+#include "src/runtime/corpus.h"
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Per-shard scratch layout under the coordinator's scratch directory.
+std::string ResultPath(const std::string& scratch, int shard) {
+  return (fs::path(scratch) / ("shard-" + std::to_string(shard) + ".result")).string();
+}
+std::string ShardCorpusPath(const std::string& scratch, int shard) {
+  return (fs::path(scratch) / ("shard-" + std::to_string(shard) + "-corpus")).string();
+}
+std::string ShardCachePath(const std::string& scratch, int shard) {
+  return (fs::path(scratch) / ("shard-" + std::to_string(shard) + ".cache")).string();
+}
+
+void CopyFileBytes(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  if (!in) {
+    throw CompileError("cannot open '" + from + "'");
+  }
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw CompileError("cannot write '" + to + "'");
+  }
+  out << in.rdbuf();
+  out.flush();
+  if (!out) {
+    throw CompileError("failed writing '" + to + "'");
+  }
+}
+
+// Child argv for one shard: the topology flags the coordinator owns, then
+// the campaign flags the caller forwarded verbatim.
+std::vector<std::string> WorkerArgv(const ShardCoordinatorOptions& options,
+                                    const ShardRange& range, const std::string& scratch) {
+  std::vector<std::string> argv = {
+      options.worker_binary,
+      "shard-worker",
+      "--shard-begin",
+      std::to_string(range.begin),
+      "--shard-end",
+      std::to_string(range.end),
+      "--seed",
+      std::to_string(options.campaign.seed),
+      "--jobs",
+      std::to_string(options.jobs),
+      "--result-out",
+      ResultPath(scratch, range.index),
+  };
+  if (!options.corpus_dir.empty()) {
+    argv.push_back("--corpus");
+    argv.push_back(ShardCorpusPath(scratch, range.index));
+  }
+  if (!options.cache_file.empty()) {
+    argv.push_back("--cache-file");
+    argv.push_back(ShardCachePath(scratch, range.index));
+  }
+  argv.insert(argv.end(), options.worker_flags.begin(), options.worker_flags.end());
+  return argv;
+}
+
+// Spawns every shard as a child process, then reaps them all: shards run
+// concurrently (each owns its scratch files), and any failure reports the
+// first broken shard by index.
+void RunWorkerProcesses(const ShardCoordinatorOptions& options,
+                        const std::vector<ShardRange>& ranges, const std::string& scratch) {
+  std::vector<pid_t> children;
+  children.reserve(ranges.size());
+  for (const ShardRange& range : ranges) {
+    const std::vector<std::string> argv = WorkerArgv(options, range, scratch);
+    std::vector<char*> raw;
+    raw.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      raw.push_back(const_cast<char*>(arg.c_str()));
+    }
+    raw.push_back(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      throw CompileError("cannot fork shard worker " + std::to_string(range.index));
+    }
+    if (pid == 0) {
+      execv(raw[0], raw.data());
+      _exit(127);  // exec failed; 127 is the shell's "command not found"
+    }
+    children.push_back(pid);
+  }
+  std::string failure;
+  for (size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    if (waitpid(children[i], &status, 0) < 0) {
+      if (failure.empty()) {
+        failure = "cannot wait for shard worker " + std::to_string(ranges[i].index);
+      }
+      continue;
+    }
+    const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!ok && failure.empty()) {
+      std::ostringstream message;
+      message << "shard worker " << ranges[i].index << " (programs [" << ranges[i].begin
+              << ", " << ranges[i].end << ")) ";
+      if (WIFEXITED(status)) {
+        message << "exited " << WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        message << "killed by signal " << WTERMSIG(status);
+      } else {
+        message << "failed";
+      }
+      failure = message.str();
+    }
+  }
+  if (!failure.empty()) {
+    throw CompileError(failure);
+  }
+}
+
+std::string FormatX100(uint64_t x100) {
+  std::ostringstream out;
+  out << (x100 / 100) << '.';
+  const uint64_t cents = x100 % 100;
+  out << static_cast<char>('0' + cents / 10) << static_cast<char>('0' + cents % 10);
+  return out.str();
+}
+
+}  // namespace
+
+std::string BudgetSuggestion::ToString() const {
+  std::ostringstream out;
+  out << "budget: observed " << FormatX100(tests_per_program_x100)
+      << " tests/program (shard means " << FormatX100(min_shard_tests_x100) << ".."
+      << FormatX100(max_shard_tests_x100) << "), " << FormatX100(findings_per_program_x100)
+      << " findings/program\n";
+  if (suggested_max_tests > current_max_tests) {
+    out << "budget: suggest raising testgen max_tests " << current_max_tests << " -> "
+        << suggested_max_tests << " (richest shard averages "
+        << FormatX100(max_shard_tests_x100) << " of " << current_max_tests
+        << "; paths are likely truncated)\n";
+  } else if (suggested_max_tests < current_max_tests) {
+    out << "budget: suggest lowering testgen max_tests " << current_max_tests << " -> "
+        << suggested_max_tests << " (mean yield uses under a quarter of the budget)\n";
+  } else {
+    out << "budget: testgen max_tests " << current_max_tests << " fits the observed yield\n";
+  }
+  return out.str();
+}
+
+BudgetSuggestion SuggestBudgets(const TestGenOptions& testgen,
+                                const std::vector<ShardResult>& shards) {
+  BudgetSuggestion suggestion;
+  suggestion.current_max_tests = testgen.max_tests;
+  suggestion.suggested_max_tests = testgen.max_tests;
+  uint64_t total_programs = 0;
+  uint64_t total_tests = 0;
+  uint64_t total_findings = 0;
+  bool first = true;
+  for (const ShardResult& shard : shards) {
+    const uint64_t programs = static_cast<uint64_t>(shard.report.programs_generated);
+    if (programs == 0) {
+      continue;  // an empty shard has no yield to learn from
+    }
+    const uint64_t tests = static_cast<uint64_t>(shard.report.tests_generated);
+    total_programs += programs;
+    total_tests += tests;
+    total_findings += shard.report.findings.size();
+    const uint64_t mean_x100 = tests * 100 / programs;
+    if (first || mean_x100 < suggestion.min_shard_tests_x100) {
+      suggestion.min_shard_tests_x100 = mean_x100;
+    }
+    if (first || mean_x100 > suggestion.max_shard_tests_x100) {
+      suggestion.max_shard_tests_x100 = mean_x100;
+    }
+    first = false;
+  }
+  if (total_programs == 0) {
+    return suggestion;
+  }
+  suggestion.tests_per_program_x100 = total_tests * 100 / total_programs;
+  suggestion.findings_per_program_x100 = total_findings * 100 / total_programs;
+  const uint64_t budget_x100 = static_cast<uint64_t>(testgen.max_tests) * 100;
+  if (budget_x100 == 0) {
+    return suggestion;
+  }
+  if (suggestion.max_shard_tests_x100 * 8 >= budget_x100 * 7) {
+    // The richest shard sits against the cap: enumeration is truncating
+    // paths, so the budget — not the programs — bounds coverage.
+    suggestion.suggested_max_tests = testgen.max_tests * 2;
+  } else if (suggestion.tests_per_program_x100 * 4 < budget_x100 && testgen.max_tests > 8) {
+    suggestion.suggested_max_tests = testgen.max_tests / 2 < 8 ? 8 : testgen.max_tests / 2;
+  }
+  return suggestion;
+}
+
+CoordinatorOutcome RunShardCoordinator(const ShardCoordinatorOptions& options,
+                                       const BugConfig& bugs) {
+  if (options.campaign.trace != nullptr) {
+    throw CompileError("traces are per-process; a sharded campaign cannot collect one");
+  }
+  const uint64_t run_start_micros = TraceNowMicros();
+  const std::vector<ShardRange> ranges =
+      PartitionIndexSpace(options.campaign.num_programs, options.shards);
+
+  // Scratch directory for the worker protocol's on-disk artifacts. A
+  // caller-provided directory is kept for inspection; a private one is
+  // removed after a successful merge.
+  std::string scratch = options.scratch_dir;
+  const bool private_scratch = scratch.empty();
+  if (private_scratch) {
+    scratch = (fs::temp_directory_path() /
+               ("gauntlet-shards-" + std::to_string(static_cast<long>(getpid()))))
+                  .string();
+  }
+  std::error_code ec;
+  fs::create_directories(scratch, ec);
+  if (ec || !fs::is_directory(scratch)) {
+    throw CompileError("cannot create shard scratch directory '" + scratch + "'");
+  }
+
+  // Every shard warm-starts from an identical copy of the campaign's cache
+  // file (when one exists) — the per-worker rule of the parallel campaign,
+  // lifted to processes.
+  if (!options.cache_file.empty() && fs::exists(options.cache_file)) {
+    for (const ShardRange& range : ranges) {
+      CopyFileBytes(options.cache_file, ShardCachePath(scratch, range.index));
+    }
+  }
+
+  if (!options.worker_binary.empty()) {
+    RunWorkerProcesses(options, ranges, scratch);
+  } else {
+    // In-process mode still writes and re-reads every result file, so both
+    // modes exercise the full worker serialization protocol.
+    uint64_t done_offset = 0;
+    uint64_t findings_offset = 0;
+    for (const ShardRange& range : ranges) {
+      ShardWorkerOptions worker = {};
+      worker.campaign = options.campaign;
+      worker.campaign.metrics = nullptr;
+      worker.campaign.coverage = nullptr;
+      worker.campaign.trace = nullptr;
+      if (options.campaign.progress) {
+        const auto progress = options.campaign.progress;
+        const uint64_t done_base = done_offset;
+        const uint64_t findings_base = findings_offset;
+        worker.campaign.progress = [progress, done_base, findings_base](uint64_t done,
+                                                                        uint64_t findings) {
+          progress(done_base + done, findings_base + findings);
+        };
+      }
+      worker.range = range;
+      worker.jobs = options.jobs;
+      if (!options.corpus_dir.empty()) {
+        worker.corpus_dir = ShardCorpusPath(scratch, range.index);
+      }
+      if (!options.cache_file.empty()) {
+        worker.cache_file = ShardCachePath(scratch, range.index);
+      }
+      const ShardResult result = RunShardWorker(worker, bugs);
+      done_offset += static_cast<uint64_t>(result.report.programs_generated);
+      findings_offset += result.report.findings.size();
+      SaveShardResultFile(ResultPath(scratch, range.index), result);
+    }
+  }
+
+  // Merge in shard-index order — which IS global index order under
+  // contiguous partitioning, so CampaignReport::Merge reproduces the
+  // single-process counters (latency offsets included) exactly.
+  CoordinatorOutcome outcome;
+  outcome.shard_ranges = ranges;
+  std::vector<ShardResult> results;
+  results.reserve(ranges.size());
+  for (const ShardRange& range : ranges) {
+    ShardResult result = LoadShardResultFile(ResultPath(scratch, range.index));
+    if (result.range.begin != range.begin || result.range.end != range.end) {
+      throw CompileError("shard " + std::to_string(range.index) +
+                         " result covers the wrong range");
+    }
+    results.push_back(std::move(result));
+  }
+  // Yield accounting reads the pristine per-shard reports, before the merge
+  // below moves their findings out.
+  outcome.suggestion = SuggestBudgets(options.campaign.testgen, results);
+  for (ShardResult& result : results) {
+    outcome.report.Merge(std::move(result.report));
+    outcome.cache_stats.Merge(result.cache_stats);
+  }
+  outcome.report.run_start_micros = run_start_micros;
+
+  // The single fold a one-process run performs, now on the cross-shard
+  // merged state: raw shard registries/maps first (shard order), then the
+  // report's deterministic domains exactly once.
+  if (options.campaign.metrics != nullptr) {
+    for (const ShardResult& result : results) {
+      options.campaign.metrics->MergeFrom(result.metrics);
+    }
+    outcome.report.RecordMetrics(*options.campaign.metrics);
+    if (options.campaign.use_cache) {
+      outcome.cache_stats.RecordMetrics(*options.campaign.metrics);
+    }
+  }
+  if (options.campaign.coverage != nullptr) {
+    for (const ShardResult& result : results) {
+      options.campaign.coverage->MergeFrom(result.coverage);
+    }
+    outcome.report.RecordCoverage(*options.campaign.coverage, bugs);
+  }
+
+  if (!options.corpus_dir.empty()) {
+    std::vector<std::string> shard_corpora;
+    shard_corpora.reserve(ranges.size());
+    for (const ShardRange& range : ranges) {
+      const std::string dir = ShardCorpusPath(scratch, range.index);
+      if (fs::is_directory(dir)) {
+        shard_corpora.push_back(dir);
+      }
+    }
+    MergeCorpusStores(options.corpus_dir, shard_corpora);
+  }
+  if (!options.cache_file.empty()) {
+    std::vector<std::string> shard_caches;
+    shard_caches.reserve(ranges.size());
+    for (const ShardRange& range : ranges) {
+      shard_caches.push_back(ShardCachePath(scratch, range.index));
+    }
+    MergeValidationCacheFiles(options.cache_file, shard_caches);
+  }
+
+  if (private_scratch) {
+    fs::remove_all(scratch, ec);  // best-effort; scratch is disposable
+  }
+  return outcome;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,381 @@
+#include "src/dist/serve.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/cache/verdict_cache.h"
+#include "src/frontend/parser.h"
+#include "src/obs/coverage.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_report.h"
+#include "src/runtime/corpus.h"
+#include "src/support/error.h"
+#include "src/target/target.h"
+#include "src/typecheck/typecheck.h"
+
+namespace gauntlet {
+
+namespace {
+
+// Submissions are single programs; anything past this is garbage framing,
+// not a P4 program.
+constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+// Loops a read over EINTR and short reads. False on orderly EOF before any
+// byte; throws on EOF mid-datum (a truncated frame is a protocol error).
+bool ReadExact(int fd, char* data, size_t length, bool eof_ok_at_start) {
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t got = read(fd, data + done, length - done);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw CompileError("serve: socket read failed");
+    }
+    if (got == 0) {
+      if (done == 0 && eof_ok_at_start) {
+        return false;
+      }
+      throw CompileError("serve: truncated frame");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+void WriteAll(int fd, const char* data, size_t length) {
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t sent = write(fd, data + done, length - done);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw CompileError("serve: socket write failed");
+    }
+    done += static_cast<size_t>(sent);
+  }
+}
+
+// One frame: u32 big-endian payload length, then the payload bytes.
+bool ReadFrame(int fd, std::string* payload) {
+  unsigned char header[4];
+  if (!ReadExact(fd, reinterpret_cast<char*>(header), sizeof(header),
+                 /*eof_ok_at_start=*/true)) {
+    return false;
+  }
+  const uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                          (static_cast<uint32_t>(header[1]) << 16) |
+                          (static_cast<uint32_t>(header[2]) << 8) |
+                          static_cast<uint32_t>(header[3]);
+  if (length > kMaxFramePayload) {
+    throw CompileError("serve: frame of " + std::to_string(length) + " bytes exceeds the " +
+                       std::to_string(kMaxFramePayload) + "-byte limit");
+  }
+  payload->assign(length, '\0');
+  if (length > 0) {
+    ReadExact(fd, payload->data(), length, /*eof_ok_at_start=*/false);
+  }
+  return true;
+}
+
+void WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw CompileError("serve: response exceeds the frame limit");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length >> 24), static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8), static_cast<unsigned char>(length)};
+  WriteAll(fd, reinterpret_cast<const char*>(header), sizeof(header));
+  WriteAll(fd, payload.data(), payload.size());
+}
+
+std::string ErrorJson(const std::string& message) {
+  return "{\"version\":" + std::to_string(kServeProtocolVersion) +
+         ",\"status\":\"error\",\"error\":" + JsonQuoted(message) + "}";
+}
+
+int ConnectUnixSocket(const std::string& socket_path) {
+  sockaddr_un address = {};
+  address.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    throw CompileError("socket path '" + socket_path + "' is too long");
+  }
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw CompileError("cannot create a unix socket");
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+    close(fd);
+    throw CompileError("cannot connect to '" + socket_path + "'");
+  }
+  return fd;
+}
+
+}  // namespace
+
+GauntletServer::GauntletServer(ServeOptions options, BugConfig bugs)
+    : options_(std::move(options)), base_bugs_(std::move(bugs)) {
+  if (options_.campaign.trace != nullptr) {
+    throw CompileError("serve: traces are per-process batch artifacts; not supported");
+  }
+}
+
+GauntletServer::~GauntletServer() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    unlink(options_.socket_path.c_str());
+  }
+}
+
+void GauntletServer::Start() {
+  if (listen_fd_ >= 0) {
+    return;
+  }
+  sockaddr_un address = {};
+  address.sun_family = AF_UNIX;
+  if (options_.socket_path.empty()) {
+    throw CompileError("serve needs a socket path");
+  }
+  if (options_.socket_path.size() >= sizeof(address.sun_path)) {
+    throw CompileError("socket path '" + options_.socket_path + "' is too long");
+  }
+  std::memcpy(address.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw CompileError("cannot create a unix socket");
+  }
+  // Replace a stale socket file (a crashed predecessor); a *live* server on
+  // the same path loses its socket, which is the operator's call to make.
+  unlink(options_.socket_path.c_str());
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0 ||
+      listen(fd, 8) < 0) {
+    close(fd);
+    throw CompileError("cannot listen on '" + options_.socket_path + "'");
+  }
+  listen_fd_ = fd;
+}
+
+std::string GauntletServer::HandleSubmission(const std::string& payload) {
+  std::istringstream lines(payload);
+  std::string line;
+  if (!std::getline(lines, line)) {
+    return ErrorJson("empty request");
+  }
+  {
+    std::istringstream header(line);
+    std::string word;
+    int version = 0;
+    if (!(header >> word >> version) || word != "gauntlet-submit") {
+      return ErrorJson("unknown request '" + line + "'");
+    }
+    if (version != kServeProtocolVersion) {
+      return ErrorJson("unsupported protocol version " + std::to_string(version));
+    }
+  }
+
+  BugConfig bugs = base_bugs_;
+  std::vector<std::string> targets;
+  while (std::getline(lines, line) && !line.empty()) {
+    std::istringstream header(line);
+    std::string key;
+    std::string value;
+    if (!(header >> key >> value)) {
+      return ErrorJson("malformed header '" + line + "'");
+    }
+    if (key == "bug") {
+      const auto bug = BugIdFromString(value);
+      if (!bug.has_value()) {
+        return ErrorJson("unknown bug '" + value + "'");
+      }
+      bugs.Enable(*bug);
+    } else if (key == "target") {
+      if (TargetRegistry::Find(value) == nullptr) {
+        return ErrorJson("unknown target '" + value + "'");
+      }
+      targets.push_back(value);
+    } else {
+      return ErrorJson("unknown header '" + key + "'");
+    }
+  }
+  std::ostringstream rest;
+  rest << lines.rdbuf();
+  const std::string program_text = rest.str();
+  if (program_text.empty()) {
+    return ErrorJson("empty program");
+  }
+
+  const int program_index = served_;
+  CampaignReport submission;
+  // The driver, not TestProgram, accounts for programs — same split as the
+  // batch campaign, where each worker slot counts its own program.
+  submission.programs_generated = 1;
+  try {
+    // Reject garbage before the detectors run: a submission that fails the
+    // *clean* parser/typechecker is the submitter's bug, not the compiler's
+    // (seeded typechecker faults still surface inside TestProgram, which
+    // typechecks with the request's BugConfig).
+    ProgramPtr program = Parser::ParseString(program_text);
+    TypeCheck(*program);
+
+    CampaignOptions per_request = options_.campaign;
+    if (!targets.empty()) {
+      per_request.targets = targets;
+    }
+    per_request.metrics = nullptr;   // instrumentation flows via the scoped
+    per_request.coverage = nullptr;  // sinks installed below
+    per_request.trace = nullptr;
+    per_request.progress = nullptr;
+    const Campaign campaign(per_request);
+    {
+      ScopedMetricsSink metrics_sink(options_.campaign.metrics);
+      ScopedCoverageSink coverage_sink(options_.campaign.coverage);
+      campaign.TestProgram(*program, bugs, program_index, submission,
+                           options_.campaign.use_cache ? cache_.get() : nullptr);
+    }
+    if (corpus_ != nullptr) {
+      for (const Finding& finding : submission.findings) {
+        if (!corpus_->HasKey(CorpusStore::KeyFor(finding))) {
+          corpus_->Add(*program, finding);
+        }
+      }
+    }
+  } catch (const CompileError& error) {
+    return ErrorJson(error.what());
+  }
+
+  std::ostringstream json;
+  json << "{\"version\":" << kServeProtocolVersion
+       << ",\"status\":\"ok\",\"program_index\":" << program_index
+       << ",\"tests_generated\":" << submission.tests_generated << ",\"findings\":[";
+  bool first = true;
+  for (const Finding& finding : submission.findings) {
+    if (!first) {
+      json << ',';
+    }
+    first = false;
+    json << "{\"method\":" << JsonQuoted(DetectionMethodToString(finding.method))
+         << ",\"kind\":\"" << (finding.kind == BugKind::kCrash ? "crash" : "semantic")
+         << "\",\"component\":" << JsonQuoted(finding.component) << ",\"attributed\":";
+    if (finding.attributed.has_value()) {
+      json << JsonQuoted(BugIdToString(*finding.attributed));
+    } else {
+      json << "null";
+    }
+    json << '}';
+  }
+  json << "]}";
+
+  ++served_;
+  report_.Merge(std::move(submission));
+  return json.str();
+}
+
+int GauntletServer::Run() {
+  Start();
+  if (cache_ == nullptr && options_.campaign.use_cache) {
+    cache_ = std::make_unique<ValidationCache>();
+  }
+  if (corpus_ == nullptr && !options_.corpus_dir.empty()) {
+    corpus_ = std::make_unique<CorpusStore>(options_.corpus_dir);
+  }
+  while (!shutdown_requested_ &&
+         (options_.max_requests == 0 || served_ < options_.max_requests)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw CompileError("serve: accept failed on '" + options_.socket_path + "'");
+    }
+    std::string payload;
+    std::string response;
+    bool framed = false;
+    try {
+      framed = ReadFrame(fd, &payload);
+    } catch (const CompileError&) {
+      close(fd);  // bad framing: drop the connection, keep serving
+      continue;
+    }
+    if (!framed) {
+      close(fd);
+      continue;
+    }
+    if (payload.rfind("gauntlet-shutdown", 0) == 0) {
+      shutdown_requested_ = true;
+      response = "{\"version\":" + std::to_string(kServeProtocolVersion) +
+                 ",\"status\":\"shutting-down\",\"served\":" + std::to_string(served_) + "}";
+    } else {
+      response = HandleSubmission(payload);
+    }
+    try {
+      WriteFrame(fd, response);
+    } catch (const CompileError&) {
+      // The client hung up before the verdict: its loss, not a server fault.
+    }
+    close(fd);
+  }
+
+  // The single fold a batch campaign performs, applied to everything this
+  // serving session absorbed — so --metrics-out/--coverage-out from `serve`
+  // carry the same campaign/... domains a batch run writes.
+  if (!folded_) {
+    folded_ = true;
+    if (options_.campaign.metrics != nullptr) {
+      report_.RecordMetrics(*options_.campaign.metrics);
+      if (cache_ != nullptr) {
+        cache_->Stats().RecordMetrics(*options_.campaign.metrics);
+      }
+    }
+    if (options_.campaign.coverage != nullptr) {
+      report_.RecordCoverage(*options_.campaign.coverage, base_bugs_);
+    }
+  }
+  return served_;
+}
+
+std::string BuildSubmitPayload(const std::string& program_text,
+                               const std::vector<std::string>& bug_names,
+                               const std::vector<std::string>& target_names) {
+  std::string payload = "gauntlet-submit " + std::to_string(kServeProtocolVersion) + "\n";
+  for (const std::string& bug : bug_names) {
+    payload += "bug " + bug + "\n";
+  }
+  for (const std::string& target : target_names) {
+    payload += "target " + target + "\n";
+  }
+  payload += "\n";
+  payload += program_text;
+  return payload;
+}
+
+std::string BuildShutdownPayload() {
+  return "gauntlet-shutdown " + std::to_string(kServeProtocolVersion) + "\n";
+}
+
+std::string SendServeRequest(const std::string& socket_path, const std::string& payload) {
+  const int fd = ConnectUnixSocket(socket_path);
+  std::string response;
+  try {
+    WriteFrame(fd, payload);
+    if (!ReadFrame(fd, &response)) {
+      throw CompileError("server closed the connection without a response");
+    }
+  } catch (...) {
+    close(fd);
+    throw;
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace gauntlet

@@ -1,0 +1,435 @@
+#include "src/dist/shard.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/passes/bugs.h"
+#include "src/runtime/parallel_campaign.h"
+#include "src/support/error.h"
+
+namespace gauntlet {
+
+namespace {
+
+constexpr const char* kMagic = "gauntletshard";
+constexpr int kVersion = 1;
+
+// Hex-token string encoding, the cache_file convention: "-" for empty, two
+// hex digits per byte otherwise, so components/details with whitespace or
+// arbitrary bytes survive the line-oriented format.
+std::string ToHexToken(const std::string& text) {
+  if (text.empty()) {
+    return "-";
+  }
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(text.size() * 2);
+  for (const unsigned char c : text) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return -1;
+}
+
+std::string FromHexToken(const std::string& token, int line) {
+  if (token == "-") {
+    return "";
+  }
+  if (token.size() % 2 != 0) {
+    throw CompileError("shard result line " + std::to_string(line) + ": odd hex token");
+  }
+  std::string text;
+  text.reserve(token.size() / 2);
+  for (size_t i = 0; i < token.size(); i += 2) {
+    const int hi = HexNibble(token[i]);
+    const int lo = HexNibble(token[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw CompileError("shard result line " + std::to_string(line) + ": bad hex token");
+    }
+    text.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return text;
+}
+
+// Strict per-line reader; every extraction failure carries the line number
+// (the cache_file idiom — a truncated or hand-edited result file must fail
+// the merge, not half-load).
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  void RequireLine(const char* what) {
+    for (;;) {
+      if (!std::getline(in_, line_)) {
+        throw CompileError(std::string("shard result truncated: expected ") + what);
+      }
+      ++line_number_;
+      if (!line_.empty()) {
+        tokens_.str(line_);
+        tokens_.clear();
+        return;
+      }
+    }
+  }
+
+  uint64_t U64(const char* what) {
+    uint64_t value = 0;
+    if (!(tokens_ >> value)) {
+      Fail(what);
+    }
+    return value;
+  }
+
+  int64_t I64(const char* what) {
+    int64_t value = 0;
+    if (!(tokens_ >> value)) {
+      Fail(what);
+    }
+    return value;
+  }
+
+  std::string Token(const char* what) {
+    std::string token;
+    if (!(tokens_ >> token)) {
+      Fail(what);
+    }
+    return token;
+  }
+
+  void ExpectWord(const char* word) {
+    if (Token(word) != word) {
+      Fail(word);
+    }
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  [[noreturn]] void Fail(const char* what) {
+    throw CompileError("shard result line " + std::to_string(line_number_) + ": expected " +
+                       what);
+  }
+
+  std::istream& in_;
+  std::string line_;
+  std::istringstream tokens_;
+  int line_number_ = 0;
+};
+
+}  // namespace
+
+std::vector<ShardRange> PartitionIndexSpace(int total, int shards) {
+  if (total < 0) {
+    throw CompileError("cannot partition a negative program count");
+  }
+  if (shards < 1) {
+    throw CompileError("shard count must be >= 1");
+  }
+  std::vector<ShardRange> ranges;
+  ranges.reserve(static_cast<size_t>(shards));
+  const int base = total / shards;
+  const int extra = total % shards;  // the first `extra` shards take one more
+  int begin = 0;
+  for (int i = 0; i < shards; ++i) {
+    const int size = base + (i < extra ? 1 : 0);
+    ranges.push_back(ShardRange{i, begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+void SaveShardResult(const ShardResult& result, std::ostream& out) {
+  const CampaignReport& report = result.report;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "range " << result.range.index << ' ' << result.range.begin << ' '
+      << result.range.end << '\n';
+  out << "counters " << report.programs_generated << ' ' << report.programs_with_crash << ' '
+      << report.programs_with_semantic << ' ' << report.tests_generated << ' '
+      << report.undef_divergences << ' ' << report.structural_mismatches << '\n';
+  out << "findings " << report.findings.size() << '\n';
+  for (const Finding& finding : report.findings) {
+    out << "find " << finding.program_index << ' ' << DetectionMethodToString(finding.method)
+        << ' ' << (finding.kind == BugKind::kCrash ? "crash" : "semantic") << ' '
+        << ToHexToken(finding.component) << ' '
+        << (finding.attributed.has_value() ? BugIdToString(*finding.attributed) : "-") << ' '
+        << ToHexToken(finding.detail) << '\n';
+  }
+  out << "latency " << report.latency.size() << '\n';
+  for (const auto& [bug, lat] : report.latency) {
+    out << "lat " << BugIdToString(bug) << ' ' << lat.first_program_index << ' '
+        << lat.tests_at_detection << ' ' << lat.findings << ' ' << lat.wall_micros << '\n';
+  }
+  out << "distinct " << report.distinct_bugs.size() << '\n';
+  for (const BugId bug : report.distinct_bugs) {
+    out << "bug " << BugIdToString(bug) << '\n';
+  }
+  out << "unattributed " << report.unattributed_components.size() << '\n';
+  for (const std::string& component : report.unattributed_components) {
+    out << "comp " << ToHexToken(component) << '\n';
+  }
+  out << "metrics " << result.metrics.metrics().size() << '\n';
+  for (const auto& [name, metric] : result.metrics.metrics()) {
+    out << "met " << ToHexToken(name) << ' ' << static_cast<int>(metric.scope) << ' '
+        << static_cast<int>(metric.kind) << ' ' << metric.value << ' ' << metric.bounds.size();
+    for (const uint64_t bound : metric.bounds) {
+      out << ' ' << bound;
+    }
+    out << ' ' << metric.counts.size();
+    for (const uint64_t count : metric.counts) {
+      out << ' ' << count;
+    }
+    out << '\n';
+  }
+  size_t points = 0;
+  for (const auto& [domain, entry] : result.coverage.domains()) {
+    points += entry.points.size();
+  }
+  out << "coverage " << points << '\n';
+  for (const auto& [domain, entry] : result.coverage.domains()) {
+    for (const auto& [point, value] : entry.points) {
+      out << "cov " << ToHexToken(domain) << ' ' << static_cast<int>(entry.scope) << ' '
+          << ToHexToken(point) << ' ' << value << '\n';
+    }
+  }
+  const CacheStats& stats = result.cache_stats;
+  out << "cache " << stats.blast_hits << ' ' << stats.blast_misses << ' '
+      << stats.clauses_reused << ' ' << stats.verdict_hits << ' ' << stats.verdict_misses
+      << ' ' << stats.queries_skipped << ' ' << stats.pairs_short_circuited << '\n';
+}
+
+ShardResult LoadShardResult(std::istream& in) {
+  LineReader reader(in);
+  reader.RequireLine("header");
+  reader.ExpectWord(kMagic);
+  const uint64_t version = reader.U64("version");
+  if (version != static_cast<uint64_t>(kVersion)) {
+    throw CompileError("shard result version " + std::to_string(version) +
+                       " is not supported (expected " + std::to_string(kVersion) + ")");
+  }
+
+  ShardResult result;
+  reader.RequireLine("range");
+  reader.ExpectWord("range");
+  result.range.index = static_cast<int>(reader.I64("shard index"));
+  result.range.begin = static_cast<int>(reader.I64("shard begin"));
+  result.range.end = static_cast<int>(reader.I64("shard end"));
+
+  CampaignReport& report = result.report;
+  reader.RequireLine("counters");
+  reader.ExpectWord("counters");
+  report.programs_generated = static_cast<int>(reader.I64("programs generated"));
+  report.programs_with_crash = static_cast<int>(reader.I64("programs with crash"));
+  report.programs_with_semantic = static_cast<int>(reader.I64("programs with semantic"));
+  report.tests_generated = static_cast<int>(reader.I64("tests generated"));
+  report.undef_divergences = static_cast<int>(reader.I64("undef divergences"));
+  report.structural_mismatches = static_cast<int>(reader.I64("structural mismatches"));
+
+  reader.RequireLine("findings section");
+  reader.ExpectWord("findings");
+  const uint64_t finding_count = reader.U64("finding count");
+  report.findings.reserve(finding_count);
+  for (uint64_t i = 0; i < finding_count; ++i) {
+    reader.RequireLine("finding");
+    reader.ExpectWord("find");
+    Finding finding;
+    finding.program_index = static_cast<int>(reader.I64("program index"));
+    const std::string method = reader.Token("detection method");
+    const auto parsed_method = DetectionMethodFromString(method);
+    if (!parsed_method.has_value()) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown detection method '" + method + "'");
+    }
+    finding.method = *parsed_method;
+    const std::string kind = reader.Token("finding kind");
+    if (kind != "crash" && kind != "semantic") {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown finding kind '" + kind + "'");
+    }
+    finding.kind = kind == "crash" ? BugKind::kCrash : BugKind::kSemantic;
+    finding.component = FromHexToken(reader.Token("component"), reader.line_number());
+    const std::string attributed = reader.Token("attributed fault");
+    if (attributed != "-") {
+      const auto bug = BugIdFromString(attributed);
+      if (!bug.has_value()) {
+        throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                           ": unknown fault '" + attributed + "'");
+      }
+      finding.attributed = *bug;
+    }
+    finding.detail = FromHexToken(reader.Token("detail"), reader.line_number());
+    report.findings.push_back(std::move(finding));
+  }
+
+  reader.RequireLine("latency section");
+  reader.ExpectWord("latency");
+  const uint64_t latency_count = reader.U64("latency count");
+  for (uint64_t i = 0; i < latency_count; ++i) {
+    reader.RequireLine("latency entry");
+    reader.ExpectWord("lat");
+    const std::string name = reader.Token("fault name");
+    const auto bug = BugIdFromString(name);
+    if (!bug.has_value()) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown fault '" + name + "'");
+    }
+    DetectionLatency latency;
+    latency.first_program_index = static_cast<int>(reader.I64("first program index"));
+    latency.tests_at_detection = static_cast<int>(reader.I64("tests at detection"));
+    latency.findings = static_cast<int>(reader.I64("finding count"));
+    latency.wall_micros = reader.U64("wall micros");
+    report.latency.emplace(*bug, latency);
+  }
+
+  reader.RequireLine("distinct section");
+  reader.ExpectWord("distinct");
+  const uint64_t distinct_count = reader.U64("distinct count");
+  for (uint64_t i = 0; i < distinct_count; ++i) {
+    reader.RequireLine("distinct bug");
+    reader.ExpectWord("bug");
+    const std::string name = reader.Token("fault name");
+    const auto bug = BugIdFromString(name);
+    if (!bug.has_value()) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown fault '" + name + "'");
+    }
+    report.distinct_bugs.insert(*bug);
+  }
+
+  reader.RequireLine("unattributed section");
+  reader.ExpectWord("unattributed");
+  const uint64_t component_count = reader.U64("component count");
+  for (uint64_t i = 0; i < component_count; ++i) {
+    reader.RequireLine("unattributed component");
+    reader.ExpectWord("comp");
+    report.unattributed_components.insert(
+        FromHexToken(reader.Token("component"), reader.line_number()));
+  }
+
+  reader.RequireLine("metrics section");
+  reader.ExpectWord("metrics");
+  const uint64_t metric_count = reader.U64("metric count");
+  for (uint64_t i = 0; i < metric_count; ++i) {
+    reader.RequireLine("metric");
+    reader.ExpectWord("met");
+    const std::string name = FromHexToken(reader.Token("metric name"), reader.line_number());
+    Metric metric;
+    const uint64_t scope = reader.U64("metric scope");
+    if (scope > static_cast<uint64_t>(MetricScope::kTiming)) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown metric scope " + std::to_string(scope));
+    }
+    metric.scope = static_cast<MetricScope>(scope);
+    const uint64_t kind = reader.U64("metric kind");
+    if (kind > static_cast<uint64_t>(MetricKind::kHistogram)) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown metric kind " + std::to_string(kind));
+    }
+    metric.kind = static_cast<MetricKind>(kind);
+    metric.value = reader.U64("metric value");
+    const uint64_t bound_count = reader.U64("bound count");
+    metric.bounds.reserve(bound_count);
+    for (uint64_t b = 0; b < bound_count; ++b) {
+      metric.bounds.push_back(reader.U64("bound"));
+    }
+    const uint64_t count_count = reader.U64("bucket count");
+    if (metric.kind == MetricKind::kHistogram && count_count != bound_count + 1) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": histogram bucket/bound size mismatch");
+    }
+    metric.counts.reserve(count_count);
+    for (uint64_t c = 0; c < count_count; ++c) {
+      metric.counts.push_back(reader.U64("bucket"));
+    }
+    result.metrics.Absorb(name, metric);
+  }
+
+  reader.RequireLine("coverage section");
+  reader.ExpectWord("coverage");
+  const uint64_t point_count = reader.U64("coverage point count");
+  for (uint64_t i = 0; i < point_count; ++i) {
+    reader.RequireLine("coverage point");
+    reader.ExpectWord("cov");
+    const std::string domain = FromHexToken(reader.Token("domain"), reader.line_number());
+    const uint64_t scope = reader.U64("domain scope");
+    if (scope > static_cast<uint64_t>(MetricScope::kTiming)) {
+      throw CompileError("shard result line " + std::to_string(reader.line_number()) +
+                         ": unknown coverage scope " + std::to_string(scope));
+    }
+    const std::string point = FromHexToken(reader.Token("point"), reader.line_number());
+    const uint64_t value = reader.U64("point value");
+    result.coverage.Record(domain, point, static_cast<MetricScope>(scope), value);
+  }
+
+  reader.RequireLine("cache counters");
+  reader.ExpectWord("cache");
+  CacheStats& stats = result.cache_stats;
+  stats.blast_hits = reader.U64("blast hits");
+  stats.blast_misses = reader.U64("blast misses");
+  stats.clauses_reused = reader.U64("clauses reused");
+  stats.verdict_hits = reader.U64("verdict hits");
+  stats.verdict_misses = reader.U64("verdict misses");
+  stats.queries_skipped = reader.U64("queries skipped");
+  stats.pairs_short_circuited = reader.U64("pairs short-circuited");
+  return result;
+}
+
+void SaveShardResultFile(const std::string& path, const ShardResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw CompileError("cannot write shard result '" + path + "'");
+  }
+  SaveShardResult(result, out);
+  out.flush();
+  if (!out) {
+    throw CompileError("failed writing shard result '" + path + "'");
+  }
+}
+
+ShardResult LoadShardResultFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CompileError("cannot open shard result '" + path + "'");
+  }
+  return LoadShardResult(in);
+}
+
+ShardResult RunShardWorker(const ShardWorkerOptions& options, const BugConfig& bugs) {
+  if (options.range.begin < 0 || options.range.end < options.range.begin) {
+    throw CompileError("invalid shard range [" + std::to_string(options.range.begin) + ", " +
+                       std::to_string(options.range.end) + ")");
+  }
+  ShardResult result;
+  result.range = options.range;
+
+  ParallelCampaignOptions campaign = {};
+  campaign.campaign = options.campaign;
+  campaign.campaign.num_programs = options.range.size();
+  campaign.index_begin = options.range.begin;
+  campaign.fold_report_metrics = false;
+  campaign.jobs = options.jobs;
+  campaign.corpus_dir = options.corpus_dir;
+  campaign.cache_file = options.cache_file;
+  // The worker protocol always carries telemetry: collection is
+  // observation-only (reports are bit-identical either way), and the
+  // coordinator needs the raw registries to reproduce a single-process
+  // --metrics-out/--coverage-out run whatever the topology.
+  campaign.campaign.metrics = &result.metrics;
+  campaign.campaign.coverage = &result.coverage;
+  campaign.campaign.trace = nullptr;  // traces are per-process, never sharded
+
+  result.report = ParallelCampaign(campaign).Run(bugs, &result.cache_stats);
+  return result;
+}
+
+}  // namespace gauntlet

@@ -32,6 +32,10 @@ enum class DetectionMethod {
 
 std::string DetectionMethodToString(DetectionMethod method);
 
+// Inverse of DetectionMethodToString; nullopt for unknown text. Used when
+// deserializing findings from shard-result files (src/dist/).
+std::optional<DetectionMethod> DetectionMethodFromString(const std::string& text);
+
 // One detected compiler bug occurrence.
 struct Finding {
   int program_index = 0;

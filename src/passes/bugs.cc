@@ -107,6 +107,15 @@ const BugInfo& GetBugInfo(BugId id) {
 
 std::string BugIdToString(BugId id) { return GetBugInfo(id).name; }
 
+std::optional<BugId> BugIdFromString(const std::string& name) {
+  for (const BugInfo& info : BugCatalogue()) {
+    if (name == info.name) {
+      return info.id;
+    }
+  }
+  return std::nullopt;
+}
+
 BugConfig BugConfig::All() {
   BugConfig config;
   for (const BugInfo& info : BugCatalogue()) {

@@ -1,6 +1,7 @@
 #ifndef SRC_PASSES_BUGS_H_
 #define SRC_PASSES_BUGS_H_
 
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -84,6 +85,11 @@ struct BugInfo {
 const std::vector<BugInfo>& BugCatalogue();
 const BugInfo& GetBugInfo(BugId id);
 std::string BugIdToString(BugId id);
+
+// Inverse of BugIdToString: catalogue name -> id, nullopt for unknown
+// names. Deserialization entry point for shard-result files (src/dist/)
+// and fault-name CLI flags.
+std::optional<BugId> BugIdFromString(const std::string& name);
 
 // The set of faults enabled for one compiler instantiation.
 class BugConfig {

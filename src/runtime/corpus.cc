@@ -103,13 +103,452 @@ std::string FindingJson(const std::string& key, const Finding& finding) {
   return json.str();
 }
 
+// --- minimal JSON reader ----------------------------------------------------
+//
+// Parses exactly the JSON this file (and the legacy finding.json writer)
+// emits: objects with string keys, and string / unsigned-number / null
+// values. Strict — anything outside that subset is a parse error, because a
+// half-read manifest silently dropping entries would defeat the dedup it
+// exists for.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int nibble = HexNibbleValue(text_[pos_ + static_cast<size_t>(i)]);
+            if (nibble < 0) {
+              return false;
+            }
+            value = (value << 4) | static_cast<unsigned>(nibble);
+          }
+          pos_ += 4;
+          // The writers only emit byte-wise \u00xx escapes.
+          out->push_back(static_cast<char>(value & 0xff));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseUnsigned(uint64_t* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return false;
+    }
+    uint64_t value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    *out = value;
+    return true;
+  }
+
+  bool ConsumeWord(const char* word) {
+    SkipSpace();
+    const size_t length = std::string(word).size();
+    if (text_.compare(pos_, length, word) != 0) {
+      return false;
+    }
+    pos_ += length;
+    return true;
+  }
+
+  static int HexNibbleValue(char c) {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+      return c - 'A' + 10;
+    }
+    return -1;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string FingerprintToHex(const Fingerprint& fingerprint) {
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(fingerprint.hi),
+                static_cast<unsigned long long>(fingerprint.lo));
+  return buffer;
+}
+
+bool FingerprintFromHex(const std::string& hex, Fingerprint* out) {
+  if (hex.size() != 32) {
+    return false;
+  }
+  uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const int nibble = JsonCursor::HexNibbleValue(hex[static_cast<size_t>(w * 16 + i)]);
+      if (nibble < 0) {
+        return false;
+      }
+      words[w] = (words[w] << 4) | static_cast<uint64_t>(nibble);
+    }
+  }
+  out->hi = words[0];
+  out->lo = words[1];
+  return true;
+}
+
+// Recovers a manifest entry's finding metadata from a stored finding.json
+// (the legacy-directory migration path). Unknown fields are skipped;
+// missing fields stay default — an old triple with a sparse finding.json is
+// still indexable.
+void ParseFindingMetadata(const std::string& text, CorpusManifestEntry* entry) {
+  JsonCursor cursor(text);
+  if (!cursor.Consume('{')) {
+    return;
+  }
+  while (!cursor.Peek('}')) {
+    std::string field;
+    if (!cursor.ParseString(&field) || !cursor.Consume(':')) {
+      return;
+    }
+    std::string string_value;
+    uint64_t number_value = 0;
+    if (cursor.Peek('"')) {
+      if (!cursor.ParseString(&string_value)) {
+        return;
+      }
+      if (field == "method") {
+        entry->method = string_value;
+      } else if (field == "kind") {
+        entry->kind = string_value;
+      } else if (field == "component") {
+        entry->component = string_value;
+      } else if (field == "attributed") {
+        entry->attributed = string_value;
+      }
+    } else if (cursor.ConsumeWord("null")) {
+      // attributed: null — leave empty.
+    } else if (cursor.ParseUnsigned(&number_value)) {
+      if (field == "program_index") {
+        entry->program_index = static_cast<int>(number_value);
+      }
+    } else {
+      return;
+    }
+    if (!cursor.Consume(',')) {
+      break;
+    }
+  }
+}
+
+const char* kManifestFileName = "manifest.json";
+
+// Scans a flat directory for reproducer triples (no manifest involved).
+std::vector<std::string> ScanTripleKeys(const std::string& directory) {
+  std::vector<std::string> keys;
+  if (!fs::is_directory(directory)) {
+    return keys;
+  }
+  for (const fs::directory_entry& file : fs::directory_iterator(directory)) {
+    const fs::path path = file.path();
+    if (path.extension() != ".p4") {
+      continue;
+    }
+    fs::path stf = path;
+    stf.replace_extension(".stf");
+    if (fs::exists(stf)) {
+      keys.push_back(path.stem().string());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
+
+// --- manifest ---------------------------------------------------------------
+
+void CorpusManifest::Insert(CorpusManifestEntry entry) {
+  const std::string key = entry.key;
+  const Fingerprint fingerprint = entry.fingerprint;
+  if (entries_.emplace(key, std::move(entry)).second) {
+    by_fingerprint_.emplace(fingerprint, key);
+  }
+}
+
+const CorpusManifestEntry* CorpusManifest::Find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CorpusManifestEntry* CorpusManifest::FindByFingerprint(
+    const Fingerprint& fingerprint) const {
+  const auto it = by_fingerprint_.find(fingerprint);
+  return it == by_fingerprint_.end() ? nullptr : Find(it->second);
+}
+
+Fingerprint FingerprintReproducer(const std::string& program_text,
+                                  const std::string& stf_text) {
+  // Order-sensitive combine: (program, stf) and (stf, program) must not
+  // collide, and the empty-STF crash triples still get distinct prints.
+  return CombineFingerprints(FingerprintOfString(program_text),
+                             FingerprintOfString(stf_text));
+}
+
+std::string CorpusManifestJson(const CorpusManifest& manifest) {
+  std::ostringstream json;
+  json << "{\n  \"version\": " << kCorpusManifestVersion << ",\n  \"entries\": {";
+  bool first = true;
+  for (const auto& [key, entry] : manifest.entries()) {
+    json << (first ? "\n" : ",\n");
+    first = false;
+    json << "    \"" << JsonEscape(key) << "\": {\n"
+         << "      \"attributed\": \"" << JsonEscape(entry.attributed) << "\",\n"
+         << "      \"component\": \"" << JsonEscape(entry.component) << "\",\n"
+         << "      \"fingerprint\": \"" << FingerprintToHex(entry.fingerprint) << "\",\n"
+         << "      \"kind\": \"" << JsonEscape(entry.kind) << "\",\n"
+         << "      \"method\": \"" << JsonEscape(entry.method) << "\",\n"
+         << "      \"program_index\": " << entry.program_index << "\n"
+         << "    }";
+  }
+  json << (first ? "},\n" : "\n  },\n");
+  json << "  \"total\": " << manifest.size() << "\n}\n";
+  return json.str();
+}
+
+bool ParseCorpusManifestJson(const std::string& text, CorpusManifest* out,
+                             std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  JsonCursor cursor(text);
+  if (!cursor.Consume('{')) {
+    return fail("expected top-level object");
+  }
+  CorpusManifest manifest;
+  bool saw_version = false;
+  while (!cursor.Peek('}')) {
+    std::string field;
+    if (!cursor.ParseString(&field) || !cursor.Consume(':')) {
+      return fail("malformed top-level field");
+    }
+    if (field == "version") {
+      uint64_t version = 0;
+      if (!cursor.ParseUnsigned(&version)) {
+        return fail("malformed version");
+      }
+      if (version != static_cast<uint64_t>(kCorpusManifestVersion)) {
+        return fail("unsupported manifest version " + std::to_string(version));
+      }
+      saw_version = true;
+    } else if (field == "total") {
+      uint64_t ignored = 0;
+      if (!cursor.ParseUnsigned(&ignored)) {
+        return fail("malformed total");
+      }
+    } else if (field == "entries") {
+      if (!cursor.Consume('{')) {
+        return fail("entries must be an object");
+      }
+      while (!cursor.Peek('}')) {
+        CorpusManifestEntry entry;
+        if (!cursor.ParseString(&entry.key) || !cursor.Consume(':') || !cursor.Consume('{')) {
+          return fail("malformed entry for a key");
+        }
+        while (!cursor.Peek('}')) {
+          std::string entry_field;
+          if (!cursor.ParseString(&entry_field) || !cursor.Consume(':')) {
+            return fail("malformed field in entry '" + entry.key + "'");
+          }
+          if (entry_field == "program_index") {
+            uint64_t index = 0;
+            if (!cursor.ParseUnsigned(&index)) {
+              return fail("malformed program_index in entry '" + entry.key + "'");
+            }
+            entry.program_index = static_cast<int>(index);
+          } else {
+            std::string value;
+            if (!cursor.ParseString(&value)) {
+              return fail("malformed value in entry '" + entry.key + "'");
+            }
+            if (entry_field == "fingerprint") {
+              if (!FingerprintFromHex(value, &entry.fingerprint)) {
+                return fail("malformed fingerprint in entry '" + entry.key + "'");
+              }
+            } else if (entry_field == "attributed") {
+              entry.attributed = value;
+            } else if (entry_field == "component") {
+              entry.component = value;
+            } else if (entry_field == "kind") {
+              entry.kind = value;
+            } else if (entry_field == "method") {
+              entry.method = value;
+            } else {
+              return fail("unknown field '" + entry_field + "' in entry '" + entry.key + "'");
+            }
+          }
+          if (!cursor.Consume(',')) {
+            break;
+          }
+        }
+        if (!cursor.Consume('}')) {
+          return fail("unterminated entry '" + entry.key + "'");
+        }
+        manifest.Insert(std::move(entry));
+        if (!cursor.Consume(',')) {
+          break;
+        }
+      }
+      if (!cursor.Consume('}')) {
+        return fail("unterminated entries object");
+      }
+    } else {
+      return fail("unknown top-level field '" + field + "'");
+    }
+    if (!cursor.Consume(',')) {
+      break;
+    }
+  }
+  if (!cursor.Consume('}') || !cursor.AtEnd()) {
+    return fail("trailing content after manifest object");
+  }
+  if (!saw_version) {
+    return fail("missing version");
+  }
+  *out = std::move(manifest);
+  return true;
+}
+
+bool CorpusHasManifest(const std::string& directory) {
+  return fs::exists(fs::path(directory) / kManifestFileName);
+}
+
+CorpusManifest LoadCorpusManifest(const std::string& directory) {
+  CorpusManifest manifest;
+  const fs::path manifest_path = fs::path(directory) / kManifestFileName;
+  if (fs::exists(manifest_path)) {
+    std::string error;
+    if (!ParseCorpusManifestJson(ReadFileOrThrow(manifest_path), &manifest, &error)) {
+      // Fail loudly: a corrupt index silently rebuilt could mask a key that
+      // was deliberately stored, breaking cross-run dedup.
+      throw CompileError("corpus: cannot parse '" + manifest_path.string() + "': " + error);
+    }
+    return manifest;
+  }
+  // Migration path: index a legacy flat directory by reading each triple
+  // once. finding.json is optional — a bare program/STF pair still indexes.
+  for (const std::string& key : ScanTripleKeys(directory)) {
+    const fs::path base = fs::path(directory) / key;
+    CorpusManifestEntry entry;
+    entry.key = key;
+    entry.fingerprint = FingerprintReproducer(ReadFileOrThrow(base.string() + ".p4"),
+                                              ReadFileOrThrow(base.string() + ".stf"));
+    ParseFindingMetadata(ReadFileOrEmpty(base.string() + ".finding.json"), &entry);
+    manifest.Insert(std::move(entry));
+  }
+  return manifest;
+}
+
+void SaveCorpusManifest(const std::string& directory, const CorpusManifest& manifest) {
+  WriteFileOrThrow(fs::path(directory) / kManifestFileName, CorpusManifestJson(manifest));
+}
+
+// --- store ------------------------------------------------------------------
 
 CorpusStore::CorpusStore(std::string directory) : directory_(std::move(directory)) {
   std::error_code ec;
   fs::create_directories(directory_, ec);
   if (ec || !fs::is_directory(directory_)) {
     throw CompileError("corpus: cannot create directory '" + directory_ + "'");
+  }
+  manifest_ = LoadCorpusManifest(directory_);
+  // Opening a populated legacy directory persists the rebuilt index, so the
+  // migration cost (one full read) is paid exactly once.
+  if (!manifest_.empty() && !CorpusHasManifest(directory_)) {
+    SaveCorpusManifest(directory_, manifest_);
   }
 }
 
@@ -123,20 +562,31 @@ std::string CorpusStore::KeyFor(const Finding& finding) {
 std::string CorpusStore::Add(const Program& program, const Finding& finding) {
   const std::string key = KeyFor(finding);
   const fs::path base = fs::path(directory_) / key;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!keys_.insert(key).second || fs::exists(base.string() + ".finding.json")) {
-      return "";
-    }
-    ++stored_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (manifest_.HasKey(key)) {
+    return "";
   }
-  // Writes happen outside the lock: keys_ already claimed this slot, so no
-  // other worker can race onto the same files.
-  WriteFileOrThrow(base.string() + ".p4", PrintProgram(program));
+  const std::string program_text = PrintProgram(program);
   const std::string stf =
       finding.repro_test.has_value() ? EmitStf(*finding.repro_test) : std::string();
+  WriteFileOrThrow(base.string() + ".p4", program_text);
   WriteFileOrThrow(base.string() + ".stf", stf);
   WriteFileOrThrow(base.string() + ".finding.json", FindingJson(key, finding));
+  CorpusManifestEntry entry;
+  entry.key = key;
+  entry.fingerprint = FingerprintReproducer(program_text, stf);
+  entry.program_index = finding.program_index;
+  entry.method = DetectionMethodToString(finding.method);
+  entry.kind = finding.kind == BugKind::kCrash ? "crash" : "semantic";
+  entry.component = finding.component;
+  entry.attributed =
+      finding.attributed.has_value() ? BugIdToString(*finding.attributed) : std::string();
+  manifest_.Insert(std::move(entry));
+  // Rewriting the whole index per Add keeps it crash-consistent; the JSON
+  // render is linear in corpus size and Add only fires for *new* distinct
+  // bugs, which are rare by definition.
+  SaveCorpusManifest(directory_, manifest_);
+  ++stored_;
   return key;
 }
 
@@ -147,47 +597,70 @@ int CorpusStore::stored_count() const {
 
 bool CorpusStore::HasKey(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return keys_.count(key) > 0 ||
-         fs::exists((fs::path(directory_) / (key + ".finding.json")));
+  return manifest_.HasKey(key);
+}
+
+int MergeCorpusStores(const std::string& destination,
+                      const std::vector<std::string>& shard_directories) {
+  std::error_code ec;
+  fs::create_directories(destination, ec);
+  if (ec || !fs::is_directory(destination)) {
+    throw CompileError("corpus: cannot create directory '" + destination + "'");
+  }
+  CorpusManifest merged = LoadCorpusManifest(destination);
+  int copied = 0;
+  for (const std::string& shard_dir : shard_directories) {
+    const CorpusManifest shard = LoadCorpusManifest(shard_dir);
+    for (const auto& [key, entry] : shard.entries()) {
+      if (merged.HasKey(key)) {
+        continue;  // earliest shard wins — the single-process dedup order
+      }
+      for (const char* extension : {".p4", ".stf", ".finding.json"}) {
+        const fs::path source = fs::path(shard_dir) / (key + extension);
+        if (fs::exists(source)) {
+          WriteFileOrThrow(fs::path(destination) / (key + extension),
+                           ReadFileOrThrow(source));
+        }
+      }
+      merged.Insert(entry);
+      ++copied;
+    }
+  }
+  if (!merged.empty()) {
+    SaveCorpusManifest(destination, merged);
+  }
+  return copied;
 }
 
 int CountCorpus(const std::string& directory) {
-  int count = 0;
-  if (!fs::is_directory(directory)) {
-    return count;
+  if (CorpusHasManifest(directory)) {
+    return LoadCorpusManifest(directory).size();
   }
-  for (const fs::directory_entry& file : fs::directory_iterator(directory)) {
-    const fs::path path = file.path();
-    fs::path stf = path;
-    stf.replace_extension(".stf");
-    count += path.extension() == ".p4" && fs::exists(stf) ? 1 : 0;
-  }
-  return count;
+  return static_cast<int>(ScanTripleKeys(directory).size());
 }
 
 std::vector<CorpusEntry> ListCorpus(const std::string& directory) {
   std::vector<CorpusEntry> entries;
-  if (!fs::is_directory(directory)) {
-    return entries;
-  }
-  for (const fs::directory_entry& file : fs::directory_iterator(directory)) {
-    const fs::path path = file.path();
-    if (path.extension() != ".p4") {
-      continue;
+  std::vector<std::string> keys;
+  if (CorpusHasManifest(directory)) {
+    const CorpusManifest manifest = LoadCorpusManifest(directory);
+    for (const auto& [key, entry] : manifest.entries()) {
+      keys.push_back(key);
     }
-    fs::path stf = path;
-    stf.replace_extension(".stf");
-    if (!fs::exists(stf)) {
+  } else {
+    keys = ScanTripleKeys(directory);
+  }
+  for (const std::string& key : keys) {
+    const fs::path base = fs::path(directory) / key;
+    if (!fs::exists(base.string() + ".p4") || !fs::exists(base.string() + ".stf")) {
       continue;
     }
     CorpusEntry entry;
-    entry.key = path.stem().string();
-    entry.program_text = ReadFileOrThrow(path);
-    entry.stf_text = ReadFileOrThrow(stf);
+    entry.key = key;
+    entry.program_text = ReadFileOrThrow(base.string() + ".p4");
+    entry.stf_text = ReadFileOrThrow(base.string() + ".stf");
     entries.push_back(std::move(entry));
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const CorpusEntry& a, const CorpusEntry& b) { return a.key < b.key; });
   return entries;
 }
 

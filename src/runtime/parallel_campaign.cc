@@ -31,10 +31,12 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
 
   // The single-target generator bias resolves once, up front: every derived
   // per-program seed reshapes the same effective options.
+  // `generate` takes the *global* program index (shard offset applied), so
+  // shard runs draw the identical per-index program stream.
   GeneratorOptions generator_options = campaign.EffectiveGeneratorOptions();
-  const auto generate = [&generator_options, this](int index) {
+  const auto generate = [&generator_options, this](int global_index) {
     GeneratorOptions per_program = generator_options;
-    per_program.seed = ProgramSeed(options_.campaign.seed, index);
+    per_program.seed = ProgramSeed(options_.campaign.seed, global_index);
     return ProgramGenerator(per_program).Generate();
   };
 
@@ -97,17 +99,18 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
                                    ? worker_traces[static_cast<size_t>(worker)]
                                    : nullptr);
     CampaignReport& slot = slots[static_cast<size_t>(index)];
+    const int global_index = options_.index_begin + index;
     ProgramPtr program;
     {
       TraceSpan span("generate", "gen");
-      program = generate(index);
+      program = generate(global_index);
     }
     ++slot.programs_generated;
     ValidationCache* cache =
         (!caches.empty() && worker >= 0 && worker < static_cast<int>(caches.size()))
             ? caches[static_cast<size_t>(worker)].get()
             : nullptr;
-    campaign.TestProgram(*program, bugs, index, slot, cache);
+    campaign.TestProgram(*program, bugs, global_index, slot, cache);
     if (options_.campaign.progress) {
       findings_found.fetch_add(slot.findings.size(), std::memory_order_relaxed);
       options_.campaign.progress(programs_done.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -127,9 +130,11 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
     for (const MetricsRegistry& registry : worker_metrics) {
       options_.campaign.metrics->MergeFrom(registry);
     }
-    report.RecordMetrics(*options_.campaign.metrics);
-    if (!caches.empty()) {
-      merged_stats.RecordMetrics(*options_.campaign.metrics);
+    if (options_.fold_report_metrics) {
+      report.RecordMetrics(*options_.campaign.metrics);
+      if (!caches.empty()) {
+        merged_stats.RecordMetrics(*options_.campaign.metrics);
+      }
     }
   }
   if (options_.campaign.coverage != nullptr) {
@@ -141,7 +146,9 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
       options_.campaign.coverage->MergeFrom(map);
     }
     report.run_start_micros = run_start_micros;
-    report.RecordCoverage(*options_.campaign.coverage, bugs);
+    if (options_.fold_report_metrics) {
+      report.RecordCoverage(*options_.campaign.coverage, bugs);
+    }
   }
   if (stats_out != nullptr) {
     *stats_out = merged_stats;

@@ -14,6 +14,20 @@ struct ParallelCampaignOptions {
   // Worker threads; 0 = one per hardware thread. Any jobs value produces
   // the identical report (determinism is per-program, not per-schedule).
   int jobs = 1;
+  // Global index of the first program: this run covers program indices
+  // [index_begin, index_begin + campaign.num_programs). Per-program seeds,
+  // finding indices and detection latencies all use the *global* index, so
+  // a shard of a larger campaign (src/dist/) reproduces exactly the
+  // programs — and findings — the single-process run would have assigned
+  // to that index range.
+  int index_begin = 0;
+  // When false, the caller-provided metrics/coverage sinks receive only the
+  // raw per-worker telemetry (merged in worker-index order) without the
+  // merged-report fold (CampaignReport::RecordMetrics/RecordCoverage, cache
+  // counters). Shard workers run unfolded: the coordinator folds exactly
+  // once on the cross-shard merged report, the same single fold a
+  // one-process run performs.
+  bool fold_report_metrics = true;
   // When non-empty, every distinct finding is persisted as a
   // <key>.p4 / <key>.stf / <key>.finding.json reproducer triple here.
   std::string corpus_dir;

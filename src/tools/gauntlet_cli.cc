@@ -39,6 +39,9 @@
 
 #include "src/cache/cache_file.h"
 #include "src/cache/verdict_cache.h"
+#include "src/dist/coordinator.h"
+#include "src/dist/serve.h"
+#include "src/dist/shard.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
@@ -496,10 +499,71 @@ int CmdFuzz(int argc, char** argv) {
   return report.findings.empty() ? 0 : 1;
 }
 
+// `campaign --shards S`: the distributed path (src/dist/). The coordinator
+// owns the topology; the merged deterministic output is byte-identical to
+// the single-process run for any shard count — the CI shard-identity gate.
+int RunCampaignSharded(const ParsedArgs& args, const BugConfig& bugs, Telemetry& telemetry,
+                       ParallelCampaignOptions& parallel) {
+  if (args.Has("--trace-out")) {
+    throw CliUsageError("--trace-out is per-process; it cannot be combined with --shards");
+  }
+  ShardCoordinatorOptions options;
+  options.campaign = parallel.campaign;
+  options.shards = ParseCount(args.Last("--shards"), "--shards", /*minimum=*/1);
+  options.jobs = parallel.jobs;
+  options.corpus_dir = parallel.corpus_dir;
+  options.cache_file = parallel.cache_file;
+  if (args.Has("--shard-dir")) {
+    options.scratch_dir = args.Last("--shard-dir");
+  }
+  if (args.Has("--worker")) {
+    options.worker_binary = args.Last("--worker");
+    // Children parse their own campaign flags; forward the ones the
+    // coordinator does not own.
+    if (args.Has("--bug")) {
+      for (const std::string& name : args.flags.at("--bug")) {
+        options.worker_flags.push_back("--bug");
+        options.worker_flags.push_back(name);
+      }
+    }
+    if (args.Has("--targets")) {
+      for (const std::string& list : args.flags.at("--targets")) {
+        options.worker_flags.push_back("--targets");
+        options.worker_flags.push_back(list);
+      }
+    }
+    if (args.Has("--no-cache")) {
+      options.worker_flags.push_back("--no-cache");
+    }
+    if (args.Has("--no-budgets")) {
+      options.worker_flags.push_back("--no-budgets");
+    }
+  }
+  const std::unique_ptr<ProgressMeter> meter =
+      WireCampaignTelemetry(args, telemetry, options.campaign);
+  const CoordinatorOutcome outcome = RunShardCoordinator(options, bugs);
+  if (meter != nullptr) {
+    meter->Finish(static_cast<uint64_t>(outcome.report.programs_generated),
+                  outcome.report.findings.size());
+  }
+  PrintReport(outcome.report);
+  // Advisory only, and on stderr: the stdout report stays byte-identical
+  // to the single-process run.
+  std::fprintf(stderr, "%s", outcome.suggestion.ToString().c_str());
+  MaybePrintCacheStats(args, outcome.cache_stats);
+  telemetry.Write();
+  if (!options.corpus_dir.empty()) {
+    std::fprintf(stderr, "corpus: %d reproducers under %s (all runs)\n",
+                 CountCorpus(options.corpus_dir), options.corpus_dir.c_str());
+  }
+  return outcome.report.findings.empty() ? 0 : 1;
+}
+
 int CmdCampaign(int argc, char** argv) {
   const ParsedArgs args = ParseCommandArgs(
       argc, argv,
-      WithTelemetryFlags({"--jobs", "--corpus", "--bug", "--targets", "--cache-file"}),
+      WithTelemetryFlags({"--jobs", "--corpus", "--bug", "--targets", "--cache-file",
+                          "--shards", "--shard-dir", "--worker"}),
       /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
   Telemetry telemetry(args);
@@ -525,6 +589,12 @@ int CmdCampaign(int argc, char** argv) {
   if (args.Has("--corpus")) {
     options.corpus_dir = args.Last("--corpus");
   }
+  if ((args.Has("--worker") || args.Has("--shard-dir")) && !args.Has("--shards")) {
+    throw CliUsageError("--worker/--shard-dir only apply to a sharded campaign (--shards)");
+  }
+  if (args.Has("--shards")) {
+    return RunCampaignSharded(args, bugs, telemetry, options);
+  }
   const std::unique_ptr<ProgressMeter> meter =
       WireCampaignTelemetry(args, telemetry, options.campaign);
   CacheStats stats;
@@ -542,6 +612,126 @@ int CmdCampaign(int argc, char** argv) {
                  CountCorpus(options.corpus_dir), options.corpus_dir.c_str());
   }
   return report.findings.empty() ? 0 : 1;
+}
+
+// The coordinator's child process: one shard of the global index space,
+// its result serialized to --result-out. Exits 0 whether or not it found
+// anything — findings are data for the coordinator, which owns the
+// campaign-level exit code.
+int CmdShardWorker(int argc, char** argv) {
+  const ParsedArgs args = ParseCommandArgs(
+      argc, argv,
+      {"--shard-begin", "--shard-end", "--seed", "--jobs", "--result-out", "--corpus",
+       "--cache-file", "--bug", "--targets"},
+      /*max_positionals=*/0, {"--no-cache", "--no-budgets"});
+  for (const char* required : {"--shard-begin", "--shard-end", "--seed", "--result-out"}) {
+    if (!args.Has(required)) {
+      throw CliUsageError(std::string("shard-worker requires ") + required);
+    }
+  }
+  const BugConfig bugs = BugsFromFlags(args);
+  ShardWorkerOptions options;
+  options.range.begin = ParseCount(args.Last("--shard-begin"), "--shard-begin", /*minimum=*/0);
+  options.range.end = ParseCount(args.Last("--shard-end"), "--shard-end", /*minimum=*/0);
+  if (options.range.end < options.range.begin) {
+    throw CliUsageError("--shard-end must be >= --shard-begin");
+  }
+  options.campaign.seed = static_cast<uint64_t>(ParseNumber(args.Last("--seed"), "--seed"));
+  options.campaign.targets = TargetsFromFlags(args);
+  options.campaign.use_cache = !args.Has("--no-cache");
+  ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
+  if (args.Has("--jobs")) {
+    options.jobs = ParseCount(args.Last("--jobs"), "--jobs", /*minimum=*/1);
+  }
+  if (args.Has("--corpus")) {
+    options.corpus_dir = args.Last("--corpus");
+  }
+  if (args.Has("--cache-file")) {
+    if (args.Has("--no-cache")) {
+      throw CliUsageError("--cache-file needs the cache; drop --no-cache");
+    }
+    options.cache_file = args.Last("--cache-file");
+  }
+  const ShardResult result = RunShardWorker(options, bugs);
+  SaveShardResultFile(args.Last("--result-out"), result);
+  return 0;
+}
+
+// `gauntlet serve`: the long-lived submission service (src/dist/serve).
+int CmdServe(int argc, char** argv) {
+  const ParsedArgs args = ParseCommandArgs(
+      argc, argv,
+      WithTelemetryFlags({"--socket", "--corpus", "--bug", "--targets", "--max-requests"}),
+      /*max_positionals=*/0, kCacheSwitches);
+  if (!args.Has("--socket")) {
+    throw CliUsageError("serve requires --socket PATH");
+  }
+  if (args.Has("--trace-out")) {
+    throw CliUsageError("--trace-out is a batch artifact; serve does not collect traces");
+  }
+  const BugConfig bugs = BugsFromFlags(args);
+  Telemetry telemetry(args);
+  ServeOptions options;
+  options.socket_path = args.Last("--socket");
+  options.campaign.targets = TargetsFromFlags(args);
+  options.campaign.use_cache = !args.Has("--no-cache");
+  ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
+  options.campaign.metrics = telemetry.registry_or_null();
+  options.campaign.coverage = telemetry.coverage_or_null();
+  if (args.Has("--corpus")) {
+    options.corpus_dir = args.Last("--corpus");
+  }
+  if (args.Has("--max-requests")) {
+    options.max_requests = ParseCount(args.Last("--max-requests"), "--max-requests",
+                                      /*minimum=*/1);
+  }
+  GauntletServer server(std::move(options), bugs);
+  server.Start();
+  std::fprintf(stderr, "serving on %s\n", server.socket_path().c_str());
+  const int served = server.Run();
+  std::fprintf(stderr, "served %d submission%s, shutting down\n", served,
+               served == 1 ? "" : "s");
+  telemetry.Write();
+  return 0;
+}
+
+// `gauntlet submit`: the serve-mode client. Prints the server's JSON
+// response to stdout; exits 0 on a clean verdict (or acknowledged
+// shutdown), 1 when the server reported findings or an error.
+int CmdSubmit(int argc, char** argv) {
+  const ParsedArgs args =
+      ParseCommandArgs(argc, argv, {"--socket", "--bug", "--targets"},
+                       /*max_positionals=*/1, {"--shutdown"});
+  if (!args.Has("--socket")) {
+    throw CliUsageError("submit requires --socket PATH");
+  }
+  const std::string socket_path = args.Last("--socket");
+  std::string payload;
+  if (args.Has("--shutdown")) {
+    if (!args.positionals.empty()) {
+      throw CliUsageError("submit --shutdown takes no program");
+    }
+    payload = BuildShutdownPayload();
+  } else {
+    if (args.positionals.size() != 1) {
+      throw CliUsageError("submit expects exactly one <file.p4> (or --shutdown)");
+    }
+    std::vector<std::string> bug_names;
+    if (args.Has("--bug")) {
+      bug_names = args.flags.at("--bug");
+    }
+    payload = BuildSubmitPayload(ReadFile(args.positionals[0]), bug_names,
+                                 TargetsFromFlags(args));
+  }
+  const std::string response = SendServeRequest(socket_path, payload);
+  std::printf("%s\n", response.c_str());
+  const bool ok = response.find("\"status\":\"ok\"") != std::string::npos ||
+                  response.find("\"status\":\"shutting-down\"") != std::string::npos;
+  const bool clean = response.find("\"findings\":[]") != std::string::npos;
+  if (!ok) {
+    return 1;
+  }
+  return args.Has("--shutdown") || clean ? 0 : 1;
 }
 
 int CmdReplay(int argc, char** argv) {
@@ -568,6 +758,13 @@ int CmdReplay(int argc, char** argv) {
       throw CliUsageError("replay --corpus takes no positional arguments");
     }
     const std::string directory = args.Last("--corpus");
+    if (CountCorpus(directory) == 0) {
+      // Usage-grade error (exit 2), not a replay failure: an empty or
+      // manifest-less directory means the flag pointed at the wrong place,
+      // the same class of mistake as a typo'd path.
+      throw CliUsageError("corpus '" + directory +
+                          "' holds no reproducer triples (empty or not a corpus directory)");
+    }
     std::unique_ptr<ProgressMeter> meter;
     std::function<void(int, int)> progress;
     if (args.Has("--progress")) {
@@ -728,6 +925,13 @@ int Usage(std::FILE* out) {
                "[--cache-stats]\n"
                "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...] "
                "[--targets T,...] [--no-cache] [--cache-stats] [--cache-file F]\n"
+               "  campaign ... --shards S [--shard-dir DIR] [--worker BIN]\n"
+               "  shard-worker --shard-begin B --shard-end E --seed S --result-out F\n"
+               "               [--jobs J] [--corpus DIR] [--cache-file F] [--bug B ...]\n"
+               "  serve --socket PATH [--corpus DIR] [--bug B ...] [--targets T,...]\n"
+               "        [--max-requests N]\n"
+               "  submit <file.p4> --socket PATH [--bug B ...] [--targets T,...]\n"
+               "  submit --shutdown --socket PATH\n"
                "  replay <file.p4> <file.stf> [--bug B ...] [--targets T,...] "
                "[--cache-file F]\n"
                "  replay --corpus DIR [--bug B ...] [--targets T,...] [--cache-file F]\n"
@@ -750,7 +954,12 @@ int Usage(std::FILE* out) {
                "  --coverage-out F  write a semantic coverage.json snapshot\n"
                "  --progress        throttled heartbeat on stderr\n"
                "`coverage` renders a snapshot (one file; --require-detected gates on\n"
-               "blind spots) or diffs two; a diff exits 1 on any deterministic change\n",
+               "blind spots) or diffs two; a diff exits 1 on any deterministic change\n"
+               "--shards partitions [0,N) into S contiguous shards; merged output is\n"
+               "byte-identical to the single-process run (--worker runs shards as\n"
+               "child processes, --shard-dir keeps per-shard artifacts)\n"
+               "`serve` accepts P4 programs over a unix socket and streams JSON\n"
+               "verdicts; `submit` is its client (exit 0 clean, 1 on findings)\n",
                targets.c_str());
   return out == stdout ? 0 : 2;
 }
@@ -798,6 +1007,15 @@ int main(int argc, char** argv) {
     }
     if (command == "campaign") {
       return CmdCampaign(argc, argv);
+    }
+    if (command == "shard-worker") {
+      return CmdShardWorker(argc, argv);
+    }
+    if (command == "serve") {
+      return CmdServe(argc, argv);
+    }
+    if (command == "submit") {
+      return CmdSubmit(argc, argv);
     }
     if (command == "replay") {
       return CmdReplay(argc, argv);

@@ -1,0 +1,19 @@
+// Trips predication-lost-else deterministically: the buggy predication
+// pass drops the else branch, which translation validation catches as a
+// semantic diff on hdr.h.b (the detection-matrix witness program).
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action flip() {
+    if (hdr.h.a == 8w0) { hdr.h.b = 8w1; } else { hdr.h.b = 8w2; }
+  }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { flip; NoAction; }
+    default_action = flip();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }

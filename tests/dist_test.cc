@@ -1,0 +1,437 @@
+// The src/dist/ subsystem: index-space partitioning, shard-result
+// round-tripping, the coordinator's shard-merge identity contract (any
+// shard topology x --jobs x cache on/off -> byte-identical deterministic
+// output), the advisory budget tuner, and the serve-mode round trip.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "src/dist/coordinator.h"
+#include "src/dist/serve.h"
+#include "src/dist/shard.h"
+#include "src/frontend/parser.h"
+#include "src/obs/coverage.h"
+#include "src/obs/run_report.h"
+#include "src/runtime/corpus.h"
+#include "src/runtime/parallel_campaign.h"
+
+namespace gauntlet {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- partitioning ----------------------------------------------------------
+
+TEST(PartitionTest, CoversSpaceContiguouslyWithBalancedSizes) {
+  const std::vector<ShardRange> ranges = PartitionIndexSpace(17, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  int expected_begin = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].index, static_cast<int>(i));
+    EXPECT_EQ(ranges[i].begin, expected_begin);
+    expected_begin = ranges[i].end;
+  }
+  EXPECT_EQ(ranges.back().end, 17);
+  // Sizes differ by at most one, earlier shards take the extra program.
+  EXPECT_EQ(ranges[0].size(), 5);
+  EXPECT_EQ(ranges[1].size(), 4);
+  EXPECT_EQ(ranges[2].size(), 4);
+  EXPECT_EQ(ranges[3].size(), 4);
+}
+
+TEST(PartitionTest, SurplusShardsComeBackEmpty) {
+  const std::vector<ShardRange> ranges = PartitionIndexSpace(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges[0].size(), 1);
+  EXPECT_EQ(ranges[1].size(), 1);
+  for (size_t i = 2; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].size(), 0);
+    EXPECT_EQ(ranges[i].begin, ranges[i].end);
+  }
+  for (const ShardRange& range : PartitionIndexSpace(0, 3)) {
+    EXPECT_EQ(range.size(), 0);
+  }
+}
+
+// --- shared fixtures -------------------------------------------------------
+
+void RemoveWallClockBudgets(CampaignOptions& options) {
+  options.testgen.query_time_limit_ms = 0;
+  options.tv.query_time_limit_ms = 0;
+  options.tv.program_budget_ms = 0;
+}
+
+CampaignOptions SmallCampaign(int num_programs) {
+  CampaignOptions options;
+  options.seed = 42;
+  options.num_programs = num_programs;
+  options.testgen.max_tests = 6;
+  options.testgen.max_decisions = 5;
+  RemoveWallClockBudgets(options);
+  return options;
+}
+
+BugConfig TwoFaults() {
+  BugConfig bugs;
+  bugs.Enable(BugId::kTypeCheckerShiftCrash);
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+  return bugs;
+}
+
+// Equality over every deterministic report field. wall_micros inside the
+// latency records and run_start_micros are wall-clock and excluded; the
+// repro packets are compared only when both sides carry them (shard-result
+// files drop repro_test by design — corpus triples are written shard-side).
+void ExpectIdenticalReports(const CampaignReport& a, const CampaignReport& b) {
+  EXPECT_EQ(a.programs_generated, b.programs_generated);
+  EXPECT_EQ(a.programs_with_crash, b.programs_with_crash);
+  EXPECT_EQ(a.programs_with_semantic, b.programs_with_semantic);
+  EXPECT_EQ(a.tests_generated, b.tests_generated);
+  EXPECT_EQ(a.undef_divergences, b.undef_divergences);
+  EXPECT_EQ(a.structural_mismatches, b.structural_mismatches);
+  EXPECT_EQ(a.distinct_bugs, b.distinct_bugs);
+  EXPECT_EQ(a.unattributed_components, b.unattributed_components);
+  ASSERT_EQ(a.latency.size(), b.latency.size());
+  for (const auto& [bug, lat] : a.latency) {
+    const auto it = b.latency.find(bug);
+    ASSERT_NE(it, b.latency.end());
+    EXPECT_EQ(lat.first_program_index, it->second.first_program_index);
+    EXPECT_EQ(lat.tests_at_detection, it->second.tests_at_detection);
+    EXPECT_EQ(lat.findings, it->second.findings);
+  }
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    const Finding& fa = a.findings[i];
+    const Finding& fb = b.findings[i];
+    EXPECT_EQ(fa.program_index, fb.program_index);
+    EXPECT_EQ(fa.method, fb.method);
+    EXPECT_EQ(fa.kind, fb.kind);
+    EXPECT_EQ(fa.component, fb.component);
+    EXPECT_EQ(fa.attributed, fb.attributed);
+    EXPECT_EQ(fa.detail, fb.detail);
+  }
+}
+
+// Every file under `dir`, keyed by relative path — the whole corpus
+// directory (triples, finding metadata, manifest) must match byte-for-byte.
+std::map<std::string, std::string> DirSnapshot(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const fs::directory_entry& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    files[fs::relative(entry.path(), dir).string()] = body.str();
+  }
+  return files;
+}
+
+class DistScratch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    root_ = (fs::temp_directory_path() / ("gauntlet_dist_" + name)).string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+  std::string Path(const std::string& leaf) const { return root_ + "/" + leaf; }
+  std::string root_;
+};
+
+// --- shard-result serialization --------------------------------------------
+
+TEST_F(DistScratch, ShardResultRoundTripsThroughFile) {
+  ShardWorkerOptions options;
+  options.campaign = SmallCampaign(12);
+  options.range = {/*index=*/1, /*begin=*/4, /*end=*/12};
+  options.jobs = 2;
+  const ShardResult original = RunShardWorker(options, TwoFaults());
+  EXPECT_EQ(original.report.programs_generated, 8);
+
+  const std::string path = Path("shard.result");
+  SaveShardResultFile(path, original);
+  const ShardResult loaded = LoadShardResultFile(path);
+
+  EXPECT_EQ(loaded.range.begin, original.range.begin);
+  EXPECT_EQ(loaded.range.end, original.range.end);
+  ExpectIdenticalReports(original.report, loaded.report);
+  // The raw per-shard telemetry survives byte-identically (both sections:
+  // the serialization carries timing metrics too, the coordinator decides
+  // what to surface).
+  EXPECT_EQ(MetricsJson(loaded.metrics), MetricsJson(original.metrics));
+  EXPECT_EQ(CoverageJson(loaded.coverage), CoverageJson(original.coverage));
+  EXPECT_EQ(loaded.cache_stats.blast_hits, original.cache_stats.blast_hits);
+  EXPECT_EQ(loaded.cache_stats.verdict_hits, original.cache_stats.verdict_hits);
+}
+
+TEST_F(DistScratch, ShardResultLoadFailsLoudly) {
+  EXPECT_THROW(LoadShardResultFile(Path("never-written.result")), CompileError);
+  {
+    std::ofstream out(Path("bad.result"));
+    out << "not-a-shard-result 1\n";
+  }
+  EXPECT_THROW(LoadShardResultFile(Path("bad.result")), CompileError);
+  {
+    std::ofstream out(Path("truncated.result"));
+    out << "gauntletshard 1\nrange 0 0 4\n";
+  }
+  EXPECT_THROW(LoadShardResultFile(Path("truncated.result")), CompileError);
+}
+
+// --- the shard-merge identity contract -------------------------------------
+
+// Runs the same campaign single-process and as a 1/4-shard fleet (in-process
+// workers, results round-tripped through files) across jobs 1 and 4, and
+// asserts the merged deterministic output is byte-identical everywhere the
+// CI gate looks: report, metrics.json deterministic section, coverage.json
+// deterministic section, and the corpus directory.
+TEST_F(DistScratch, ShardMergeReproducesSingleProcessRun) {
+  const BugConfig bugs = TwoFaults();
+  const int num_programs = 20;
+
+  MetricsRegistry single_metrics;
+  CoverageMap single_coverage;
+  ParallelCampaignOptions single;
+  single.campaign = SmallCampaign(num_programs);
+  single.campaign.metrics = &single_metrics;
+  single.campaign.coverage = &single_coverage;
+  single.corpus_dir = Path("corpus-single");
+  single.jobs = 1;
+  const CampaignReport reference = ParallelCampaign(single).Run(bugs);
+  ASSERT_FALSE(reference.findings.empty())
+      << "campaign tripped nothing; the identity check would be vacuous";
+  const std::string reference_metrics = DeterministicSection(MetricsJson(single_metrics));
+  const std::string reference_coverage =
+      DeterministicSection(CoverageJson(single_coverage));
+  const auto reference_corpus = DirSnapshot(single.corpus_dir);
+  ASSERT_FALSE(reference_corpus.empty());
+
+  for (const int shards : {1, 4}) {
+    for (const int jobs : {1, 4}) {
+      MetricsRegistry metrics;
+      CoverageMap coverage;
+      ShardCoordinatorOptions options;
+      options.campaign = SmallCampaign(num_programs);
+      options.campaign.metrics = &metrics;
+      options.campaign.coverage = &coverage;
+      options.shards = shards;
+      options.jobs = jobs;
+      options.corpus_dir =
+          Path("corpus-s" + std::to_string(shards) + "-j" + std::to_string(jobs));
+      const CoordinatorOutcome outcome = RunShardCoordinator(options, bugs);
+
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " jobs=" + std::to_string(jobs));
+      ASSERT_EQ(outcome.shard_ranges.size(), static_cast<size_t>(shards));
+      ExpectIdenticalReports(reference, outcome.report);
+      EXPECT_EQ(DeterministicSection(MetricsJson(metrics)), reference_metrics);
+      EXPECT_EQ(DeterministicSection(CoverageJson(coverage)), reference_coverage);
+      EXPECT_EQ(DirSnapshot(options.corpus_dir), reference_corpus);
+    }
+  }
+}
+
+TEST_F(DistScratch, ShardMergeWithCacheFileStaysIdentical) {
+  const BugConfig bugs = TwoFaults();
+  const int num_programs = 16;
+
+  ParallelCampaignOptions single;
+  single.campaign = SmallCampaign(num_programs);
+  single.cache_file = Path("single.cache");
+  single.jobs = 1;
+  const CampaignReport reference = ParallelCampaign(single).Run(bugs);
+  ASSERT_TRUE(fs::exists(single.cache_file));
+
+  // Cold 4-shard fleet, each shard with a private copy of the (initially
+  // absent) shared cache file; the coordinator merges the shard caches back.
+  ShardCoordinatorOptions options;
+  options.campaign = SmallCampaign(num_programs);
+  options.shards = 4;
+  options.jobs = 2;
+  options.cache_file = Path("fleet.cache");
+  const CoordinatorOutcome cold = RunShardCoordinator(options, bugs);
+  ExpectIdenticalReports(reference, cold.report);
+  ASSERT_TRUE(fs::exists(options.cache_file));
+
+  // Warm restart of the fleet from its merged cache: identical again, and
+  // the warm-start file demonstrably hits.
+  const CoordinatorOutcome warm = RunShardCoordinator(options, bugs);
+  ExpectIdenticalReports(reference, warm.report);
+  EXPECT_GT(warm.cache_stats.verdict_hits, 0u);
+
+  // The merged fleet cache also warm-starts a single-process run.
+  ParallelCampaignOptions reheat = single;
+  reheat.cache_file = options.cache_file;
+  CacheStats reheat_stats;
+  const CampaignReport reheated = ParallelCampaign(reheat).Run(bugs, &reheat_stats);
+  ExpectIdenticalReports(reference, reheated);
+  EXPECT_GT(reheat_stats.verdict_hits, 0u);
+}
+
+TEST_F(DistScratch, SubprocessModeRequiresWorkerBinary) {
+  // No gauntlet binary at this path: the fork/exec path must fail loudly,
+  // not merge partial results.
+  ShardCoordinatorOptions options;
+  options.campaign = SmallCampaign(4);
+  options.shards = 2;
+  options.worker_binary = Path("no-such-binary");
+  options.scratch_dir = Path("scratch");
+  EXPECT_THROW(RunShardCoordinator(options, TwoFaults()), CompileError);
+}
+
+// --- the advisory budget tuner ---------------------------------------------
+
+ShardResult YieldShard(int index, int programs, int tests, int findings) {
+  ShardResult shard;
+  shard.range = {index, index * programs, (index + 1) * programs};
+  shard.report.programs_generated = programs;
+  shard.report.tests_generated = tests;
+  shard.report.findings.resize(static_cast<size_t>(findings));
+  return shard;
+}
+
+TEST(SuggestBudgetsTest, SaturatedShardDoublesTheBudget) {
+  TestGenOptions testgen;
+  testgen.max_tests = 8;
+  std::vector<ShardResult> shards;
+  shards.push_back(YieldShard(0, 10, 75, 3));  // mean 7.5 >= 7/8 of 8
+  shards.push_back(YieldShard(1, 10, 40, 1));
+  const BudgetSuggestion suggestion = SuggestBudgets(testgen, shards);
+  EXPECT_EQ(suggestion.current_max_tests, 8u);
+  EXPECT_EQ(suggestion.suggested_max_tests, 16u);
+  EXPECT_TRUE(suggestion.changed());
+  EXPECT_EQ(suggestion.max_shard_tests_x100, 750u);
+  EXPECT_EQ(suggestion.min_shard_tests_x100, 400u);
+  EXPECT_EQ(suggestion.tests_per_program_x100, 575u);
+  EXPECT_NE(suggestion.ToString().find("budget:"), std::string::npos);
+}
+
+TEST(SuggestBudgetsTest, IdleCampaignHalvesAndQuietStreamHolds) {
+  TestGenOptions testgen;
+  testgen.max_tests = 32;
+  std::vector<ShardResult> idle;
+  idle.push_back(YieldShard(0, 10, 30, 0));  // mean 3 < 32/4
+  idle.push_back(YieldShard(1, 10, 50, 0));
+  EXPECT_EQ(SuggestBudgets(testgen, idle).suggested_max_tests, 16u);
+
+  std::vector<ShardResult> steady;
+  steady.push_back(YieldShard(0, 10, 160, 2));  // mean 16: inside the band
+  EXPECT_FALSE(SuggestBudgets(testgen, steady).changed());
+
+  // Empty shards are ignored, not divided by.
+  std::vector<ShardResult> sparse;
+  sparse.push_back(YieldShard(0, 0, 0, 0));
+  sparse.push_back(YieldShard(1, 10, 160, 1));
+  EXPECT_FALSE(SuggestBudgets(testgen, sparse).changed());
+}
+
+// --- serve mode ------------------------------------------------------------
+
+constexpr const char* kCleanProgram = R"(
+header H { bit<8> a; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) { apply { hdr.h.a = hdr.h.a + 8w1; } }
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)";
+
+// Deterministically trips predication-lost-else through the pass pipeline
+// (the detection-matrix witness program).
+constexpr const char* kPredicationProgram = R"(
+header H { bit<8> a; bit<8> b; }
+struct Hdr { H h; }
+parser p(out Hdr hdr) { state start { pkt.extract(hdr.h); transition accept; } }
+control ig(inout Hdr hdr) {
+  action flip() {
+    if (hdr.h.a == 8w0) { hdr.h.b = 8w1; } else { hdr.h.b = 8w2; }
+  }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { flip; NoAction; }
+    default_action = flip();
+  }
+  apply { t.apply(); }
+}
+control dp(in Hdr hdr) { apply { pkt.emit(hdr.h); } }
+package main { parser = p; ingress = ig; deparser = dp; }
+)";
+
+TEST_F(DistScratch, ServeRoundTripsSubmissionsAndFoldsSinks) {
+  MetricsRegistry metrics;
+  CoverageMap coverage;
+  ServeOptions options;
+  options.socket_path = Path("sock");
+  options.corpus_dir = Path("corpus");
+  options.campaign = SmallCampaign(/*num_programs=*/0);
+  options.campaign.metrics = &metrics;
+  options.campaign.coverage = &coverage;
+
+  GauntletServer server(std::move(options), BugConfig::None());
+  server.Start();
+  std::thread loop([&server] { server.Run(); });
+
+  const std::string socket = server.socket_path();
+
+  // A clean program round-trips with no findings.
+  const std::string clean =
+      SendServeRequest(socket, BuildSubmitPayload(kCleanProgram, {}, {}));
+  EXPECT_NE(clean.find("\"status\":\"ok\""), std::string::npos) << clean;
+  EXPECT_NE(clean.find("\"findings\":[]"), std::string::npos) << clean;
+
+  // A fault-seeded submission (per-request `bug` header) reports the bug.
+  const std::string buggy = SendServeRequest(
+      socket, BuildSubmitPayload(kPredicationProgram, {"predication-lost-else"}, {}));
+  EXPECT_NE(buggy.find("\"status\":\"ok\""), std::string::npos) << buggy;
+  EXPECT_EQ(buggy.find("\"findings\":[]"), std::string::npos) << buggy;
+  EXPECT_NE(buggy.find("predication-lost-else"), std::string::npos) << buggy;
+
+  // Garbage is an error *response*, not a dropped connection or a crash.
+  const std::string garbage =
+      SendServeRequest(socket, BuildSubmitPayload("not a p4 program", {}, {}));
+  EXPECT_NE(garbage.find("\"status\":\"error\""), std::string::npos) << garbage;
+
+  // An unknown bug name in the header is rejected the same way.
+  const std::string bad_bug =
+      SendServeRequest(socket, BuildSubmitPayload(kCleanProgram, {"no-such-bug"}, {}));
+  EXPECT_NE(bad_bug.find("\"status\":\"error\""), std::string::npos) << bad_bug;
+
+  const std::string bye = SendServeRequest(socket, BuildShutdownPayload());
+  EXPECT_NE(bye.find("\"status\":\"shutting-down\""), std::string::npos) << bye;
+  loop.join();
+
+  // Only successful submissions count; the traffic stream folded into the
+  // shared sinks exactly once.
+  EXPECT_EQ(server.served(), 2);
+  EXPECT_EQ(server.report().programs_generated, 2);
+  EXPECT_FALSE(server.report().findings.empty());
+  EXPECT_GT(CountCorpus(Path("corpus")), 0);
+  EXPECT_NE(MetricsJson(metrics).find("campaign/findings"), std::string::npos);
+  EXPECT_FALSE(coverage.domains().empty());
+}
+
+TEST_F(DistScratch, ServeMaxRequestsBoundsTheLoop) {
+  ServeOptions options;
+  options.socket_path = Path("sock");
+  options.campaign = SmallCampaign(/*num_programs=*/0);
+  options.max_requests = 1;
+  GauntletServer server(std::move(options), BugConfig::None());
+  server.Start();
+  std::thread loop([&server] { server.Run(); });
+  const std::string response =
+      SendServeRequest(server.socket_path(), BuildSubmitPayload(kCleanProgram, {}, {}));
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+  loop.join();
+  EXPECT_EQ(server.served(), 1);
+}
+
+}  // namespace
+}  // namespace gauntlet
