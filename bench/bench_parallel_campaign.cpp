@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "src/obs/coverage.h"
 #include "src/obs/metrics.h"
@@ -78,7 +79,7 @@ int main() {
   // for reasons unrelated to telemetry. Best-of-3 for both configurations
   // so a single scheduler hiccup cannot fail the gate; fresh
   // registries/collectors per timed run so no state carries over.
-  std::printf("\n=== telemetry overhead: metrics + trace on ===\n");
+  std::printf("\n=== telemetry overhead: metrics + trace + live snapshots on ===\n");
   // Fresh options: the default generator, not the wide-arith Tofino skew —
   // budget-free equivalence proofs over wide arithmetic take minutes, and
   // this section times the telemetry delta, not the solver.
@@ -111,10 +112,17 @@ int main() {
     plain_findings = report.findings.size();
   }
 
+  // The instrumented run also publishes live status snapshots at a hot
+  // interval (100ms vs the 1s default): the background emitter's cost —
+  // provider copies under the live mutex plus atomic file writes — must fit
+  // inside the same overhead envelope as the in-process telemetry.
+  const std::string status_dir =
+      (std::filesystem::temp_directory_path() / "gauntlet_bench_status").string();
   auto best_traced_ms = 0.0;
   size_t traced_findings = 0;
   uint64_t programs_metric = 0;
   for (int round = 0; round < rounds; ++round) {
+    std::filesystem::remove_all(status_dir);
     MetricsRegistry metrics;
     TraceCollector trace;
     CoverageMap coverage;
@@ -122,6 +130,8 @@ int main() {
     instrumented.campaign.metrics = &metrics;
     instrumented.campaign.trace = &trace;
     instrumented.campaign.coverage = &coverage;
+    instrumented.status_dir = status_dir;
+    instrumented.snapshot_interval_ms = 100;
     const auto start = Clock::now();
     const CampaignReport report = ParallelCampaign(instrumented).Run(overhead_bugs);
     const double ms =
@@ -134,6 +144,7 @@ int main() {
     traced_findings = report.findings.size();
     programs_metric = metrics.Value("campaign/programs_generated");
   }
+  std::filesystem::remove_all(status_dir);
 
   const double overhead = best_plain_ms > 0 ? best_traced_ms / best_plain_ms : 1.0;
   std::printf("%-16s %-12.0f\n", "plain ms", best_plain_ms);

@@ -10,7 +10,12 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+#include <memory>
+
 #include "src/cache/cache_file.h"
+#include "src/obs/health.h"
+#include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
 #include "src/runtime/corpus.h"
 #include "src/support/error.h"
@@ -30,6 +35,22 @@ std::string ShardCorpusPath(const std::string& scratch, int shard) {
 }
 std::string ShardCachePath(const std::string& scratch, int shard) {
   return (fs::path(scratch) / ("shard-" + std::to_string(shard) + ".cache")).string();
+}
+// Each fleet worker publishes live status under its own subdirectory of the
+// coordinator's status dir — the layout `gauntlet status` scans.
+std::string ShardStatusDir(const std::string& status_dir, int shard) {
+  return (fs::path(status_dir) / ("shard-" + std::to_string(shard))).string();
+}
+
+bool ReadSmallFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
 }
 
 void CopyFileBytes(const std::string& from, const std::string& to) {
@@ -73,6 +94,14 @@ std::vector<std::string> WorkerArgv(const ShardCoordinatorOptions& options,
   if (!options.cache_file.empty()) {
     argv.push_back("--cache-file");
     argv.push_back(ShardCachePath(scratch, range.index));
+  }
+  if (!options.status_dir.empty()) {
+    argv.push_back("--status-dir");
+    argv.push_back(ShardStatusDir(options.status_dir, range.index));
+    argv.push_back("--status-role");
+    argv.push_back("shard-" + std::to_string(range.index));
+    argv.push_back("--snapshot-interval");
+    argv.push_back(std::to_string(options.snapshot_interval_ms));
   }
   argv.insert(argv.end(), options.worker_flags.begin(), options.worker_flags.end());
   return argv;
@@ -242,6 +271,82 @@ CoordinatorOutcome RunShardCoordinator(const ShardCoordinatorOptions& options,
     }
   }
 
+  // --- live fleet status (src/obs/snapshot.h + health.h) -------------------
+  //
+  // The coordinator's own snapshot aggregates the shard heartbeats: totals
+  // summed across the fleet, plus a per-shard health digest (stalled/dead
+  // shards flagged by heartbeat age + pid liveness). Once the merge
+  // finishes, the finalized counters come from the authoritative merged
+  // report instead. All of it is observation-only.
+  struct CoordinatorLive {
+    std::atomic<const char*> phase{"running-shards"};
+    std::atomic<bool> finalized{false};
+    std::atomic<uint64_t> final_done{0};
+    std::atomic<uint64_t> final_tests{0};
+    std::atomic<uint64_t> final_findings{0};
+    std::atomic<uint64_t> final_distinct{0};
+  };
+  CoordinatorLive live;
+  std::unique_ptr<StatusEmitter> emitter;
+  if (!options.status_dir.empty()) {
+    for (const ShardRange& range : ranges) {
+      fs::create_directories(ShardStatusDir(options.status_dir, range.index), ec);
+    }
+    const uint64_t started_ms = UnixNowMillis();
+    const uint64_t stall_ms =
+        options.stall_threshold_ms > 0 ? options.stall_threshold_ms : kDefaultStallThresholdMs;
+    emitter = std::make_unique<StatusEmitter>(
+        options.status_dir, options.snapshot_interval_ms,
+        [&options, &ranges, &live, started_ms, stall_ms]() {
+          Snapshot snapshot;
+          snapshot.role = "coordinator";
+          snapshot.phase = live.phase.load(std::memory_order_relaxed);
+          snapshot.pid = static_cast<int64_t>(getpid());
+          snapshot.started_unix_ms = started_ms;
+          snapshot.updated_unix_ms = UnixNowMillis();
+          snapshot.programs_total =
+              static_cast<uint64_t>(options.campaign.num_programs > 0
+                                        ? options.campaign.num_programs
+                                        : 0);
+          const uint64_t now = snapshot.updated_unix_ms;
+          for (const ShardRange& range : ranges) {
+            ShardHealthSummary summary;
+            summary.role = "shard-" + std::to_string(range.index);
+            summary.programs_total = static_cast<uint64_t>(range.size());
+            std::string text;
+            Heartbeat heartbeat;
+            std::string error;
+            const std::string path =
+                HeartbeatPathIn(ShardStatusDir(options.status_dir, range.index));
+            if (!ReadSmallFile(path, &text)) {
+              summary.state = "starting";  // the worker has not published yet
+            } else if (!ParseHeartbeatJson(text, &heartbeat, &error)) {
+              summary.state = WorkerHealthToString(WorkerHealth::kCorrupt);
+            } else {
+              const HealthVerdict verdict = EvaluateHeartbeat(
+                  heartbeat, now, stall_ms, ProcessAlive(heartbeat.pid));
+              summary.state = WorkerHealthToString(verdict.state);
+              summary.age_ms = verdict.age_ms;
+              summary.programs_done = heartbeat.programs_done;
+              summary.findings = heartbeat.findings;
+              if (!live.finalized.load(std::memory_order_relaxed)) {
+                snapshot.programs_done += heartbeat.programs_done;
+                snapshot.tests_generated += heartbeat.tests_generated;
+                snapshot.findings += heartbeat.findings;
+              }
+            }
+            snapshot.shards.push_back(std::move(summary));
+          }
+          if (live.finalized.load(std::memory_order_relaxed)) {
+            snapshot.programs_done = live.final_done.load(std::memory_order_relaxed);
+            snapshot.tests_generated = live.final_tests.load(std::memory_order_relaxed);
+            snapshot.findings = live.final_findings.load(std::memory_order_relaxed);
+            snapshot.distinct_bugs = live.final_distinct.load(std::memory_order_relaxed);
+          }
+          return snapshot;
+        });
+  }
+
   if (!options.worker_binary.empty()) {
     RunWorkerProcesses(options, ranges, scratch);
   } else {
@@ -266,6 +371,11 @@ CoordinatorOutcome RunShardCoordinator(const ShardCoordinatorOptions& options,
       }
       worker.range = range;
       worker.jobs = options.jobs;
+      if (!options.status_dir.empty()) {
+        worker.status_dir = ShardStatusDir(options.status_dir, range.index);
+        worker.status_role = "shard-" + std::to_string(range.index);
+        worker.snapshot_interval_ms = options.snapshot_interval_ms;
+      }
       if (!options.corpus_dir.empty()) {
         worker.corpus_dir = ShardCorpusPath(scratch, range.index);
       }
@@ -278,6 +388,7 @@ CoordinatorOutcome RunShardCoordinator(const ShardCoordinatorOptions& options,
       SaveShardResultFile(ResultPath(scratch, range.index), result);
     }
   }
+  live.phase.store("merging", std::memory_order_relaxed);
 
   // Merge in shard-index order — which IS global index order under
   // contiguous partitioning, so CampaignReport::Merge reproduces the
@@ -344,6 +455,20 @@ CoordinatorOutcome RunShardCoordinator(const ShardCoordinatorOptions& options,
 
   if (private_scratch) {
     fs::remove_all(scratch, ec);  // best-effort; scratch is disposable
+  }
+  if (emitter != nullptr) {
+    // Publish the finished fleet state from the authoritative merged report,
+    // then emit the final snapshot and stop. Phase "done" tells supervisors
+    // the aging heartbeat is success, not a stall.
+    live.final_done.store(static_cast<uint64_t>(outcome.report.programs_generated),
+                          std::memory_order_relaxed);
+    live.final_tests.store(static_cast<uint64_t>(outcome.report.tests_generated),
+                           std::memory_order_relaxed);
+    live.final_findings.store(outcome.report.findings.size(), std::memory_order_relaxed);
+    live.final_distinct.store(outcome.report.DistinctCount(), std::memory_order_relaxed);
+    live.finalized.store(true, std::memory_order_relaxed);
+    live.phase.store("done", std::memory_order_relaxed);
+    emitter->Stop();
   }
   return outcome;
 }

@@ -55,6 +55,18 @@ struct ShardCoordinatorOptions {
   // coordinator owns the topology flags; the caller owns the campaign
   // flags.
   std::vector<std::string> worker_flags;
+  // Live fleet telemetry (src/obs/snapshot.h, src/obs/health.h). When
+  // non-empty, the coordinator publishes its own snapshot/heartbeat here,
+  // points shard i at the `shard-<i>` subdirectory (both child-process and
+  // in-process modes), and aggregates the shard heartbeats into a
+  // fleet-wide view — flagging stalled/dead shards — in its snapshot.
+  // Observation-only: deterministic outputs are byte-identical with this
+  // on or off.
+  std::string status_dir;
+  int snapshot_interval_ms = 1000;
+  // A shard whose heartbeat goes quiet for this long (while its process is
+  // still alive) is flagged stalled in the fleet view.
+  uint64_t stall_threshold_ms = 10000;
 };
 
 // The satellite auto-tuner: observed per-shard yield turned into an

@@ -5,14 +5,17 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
-#include "src/obs/coverage.h"
-#include "src/obs/metrics.h"
+#include "src/obs/health.h"
 #include "src/obs/run_report.h"
 #include "src/runtime/corpus.h"
 #include "src/support/error.h"
@@ -103,6 +106,49 @@ std::string ErrorJson(const std::string& message) {
          ",\"status\":\"error\",\"error\":" + JsonQuoted(message) + "}";
 }
 
+// Request-latency histogram bounds (micros): 100us .. 3s, then overflow.
+const std::vector<uint64_t> kRequestLatencyBounds = {
+    100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000, 3000000};
+
+// Graceful-stop flag (satellite: SIGTERM/SIGINT drain the server instead of
+// killing it mid-write). sig_atomic_t is the only thing a handler may touch.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleStopSignal(int) { g_serve_stop = 1; }
+
+// Installs the stop handlers for the lifetime of Run() and restores the
+// previous dispositions afterwards. No SA_RESTART: a pending stop must make
+// accept() return EINTR so the loop condition re-checks the flag.
+class ScopedStopSignals {
+ public:
+  explicit ScopedStopSignals(bool install) : installed_(install) {
+    if (!installed_) {
+      return;
+    }
+    g_serve_stop = 0;
+    struct sigaction action = {};
+    action.sa_handler = HandleStopSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGTERM, &action, &old_term_);
+    sigaction(SIGINT, &action, &old_int_);
+  }
+  ~ScopedStopSignals() {
+    if (!installed_) {
+      return;
+    }
+    sigaction(SIGTERM, &old_term_, nullptr);
+    sigaction(SIGINT, &old_int_, nullptr);
+  }
+  ScopedStopSignals(const ScopedStopSignals&) = delete;
+  ScopedStopSignals& operator=(const ScopedStopSignals&) = delete;
+
+ private:
+  bool installed_;
+  struct sigaction old_term_ = {};
+  struct sigaction old_int_ = {};
+};
+
 int ConnectUnixSocket(const std::string& socket_path) {
   sockaddr_un address = {};
   address.sun_family = AF_UNIX;
@@ -125,8 +171,18 @@ int ConnectUnixSocket(const std::string& socket_path) {
 
 GauntletServer::GauntletServer(ServeOptions options, BugConfig bugs)
     : options_(std::move(options)), base_bugs_(std::move(bugs)) {
-  if (options_.campaign.trace != nullptr) {
-    throw CompileError("serve: traces are per-process batch artifacts; not supported");
+  // Out paths (and the status dir, whose snapshots embed a metrics view)
+  // need sinks; wire in server-owned ones wherever the caller injected none.
+  if (options_.campaign.metrics == nullptr &&
+      (!options_.metrics_out.empty() || !options_.status_dir.empty())) {
+    options_.campaign.metrics = &own_metrics_;
+  }
+  if (options_.campaign.coverage == nullptr &&
+      (!options_.coverage_out.empty() || !options_.status_dir.empty())) {
+    options_.campaign.coverage = &own_coverage_;
+  }
+  if (options_.campaign.trace == nullptr && !options_.trace_out.empty()) {
+    options_.campaign.trace = &own_trace_;
   }
 }
 
@@ -166,20 +222,27 @@ void GauntletServer::Start() {
 }
 
 std::string GauntletServer::HandleSubmission(const std::string& payload) {
+  // Per-request verdict counters (timing scope: traffic is wall-clock by
+  // nature). The caller installed the scoped sinks; with none configured
+  // every CountMetric is a no-op.
+  const auto fail = [](const std::string& message) {
+    CountMetric("serve/verdict/error", MetricScope::kTiming);
+    return ErrorJson(message);
+  };
   std::istringstream lines(payload);
   std::string line;
   if (!std::getline(lines, line)) {
-    return ErrorJson("empty request");
+    return fail("empty request");
   }
   {
     std::istringstream header(line);
     std::string word;
     int version = 0;
     if (!(header >> word >> version) || word != "gauntlet-submit") {
-      return ErrorJson("unknown request '" + line + "'");
+      return fail("unknown request '" + line + "'");
     }
     if (version != kServeProtocolVersion) {
-      return ErrorJson("unsupported protocol version " + std::to_string(version));
+      return fail("unsupported protocol version " + std::to_string(version));
     }
   }
 
@@ -190,28 +253,28 @@ std::string GauntletServer::HandleSubmission(const std::string& payload) {
     std::string key;
     std::string value;
     if (!(header >> key >> value)) {
-      return ErrorJson("malformed header '" + line + "'");
+      return fail("malformed header '" + line + "'");
     }
     if (key == "bug") {
       const auto bug = BugIdFromString(value);
       if (!bug.has_value()) {
-        return ErrorJson("unknown bug '" + value + "'");
+        return fail("unknown bug '" + value + "'");
       }
       bugs.Enable(*bug);
     } else if (key == "target") {
       if (TargetRegistry::Find(value) == nullptr) {
-        return ErrorJson("unknown target '" + value + "'");
+        return fail("unknown target '" + value + "'");
       }
       targets.push_back(value);
     } else {
-      return ErrorJson("unknown header '" + key + "'");
+      return fail("unknown header '" + key + "'");
     }
   }
   std::ostringstream rest;
   rest << lines.rdbuf();
   const std::string program_text = rest.str();
   if (program_text.empty()) {
-    return ErrorJson("empty program");
+    return fail("empty program");
   }
 
   const int program_index = served_;
@@ -232,16 +295,12 @@ std::string GauntletServer::HandleSubmission(const std::string& payload) {
       per_request.targets = targets;
     }
     per_request.metrics = nullptr;   // instrumentation flows via the scoped
-    per_request.coverage = nullptr;  // sinks installed below
+    per_request.coverage = nullptr;  // sinks Run() installs per request
     per_request.trace = nullptr;
     per_request.progress = nullptr;
     const Campaign campaign(per_request);
-    {
-      ScopedMetricsSink metrics_sink(options_.campaign.metrics);
-      ScopedCoverageSink coverage_sink(options_.campaign.coverage);
-      campaign.TestProgram(*program, bugs, program_index, submission,
-                           options_.campaign.use_cache ? cache_.get() : nullptr);
-    }
+    campaign.TestProgram(*program, bugs, program_index, submission,
+                         options_.campaign.use_cache ? cache_.get() : nullptr);
     if (corpus_ != nullptr) {
       for (const Finding& finding : submission.findings) {
         if (!corpus_->HasKey(CorpusStore::KeyFor(finding))) {
@@ -250,8 +309,11 @@ std::string GauntletServer::HandleSubmission(const std::string& payload) {
       }
     }
   } catch (const CompileError& error) {
-    return ErrorJson(error.what());
+    return fail(error.what());
   }
+
+  CountMetric(submission.findings.empty() ? "serve/verdict/clean" : "serve/verdict/findings",
+              MetricScope::kTiming);
 
   std::ostringstream json;
   json << "{\"version\":" << kServeProtocolVersion
@@ -280,6 +342,75 @@ std::string GauntletServer::HandleSubmission(const std::string& payload) {
   return json.str();
 }
 
+Snapshot GauntletServer::FlushAndSnapshot(bool final_flush) {
+  Snapshot snapshot;
+  snapshot.role = "serve";
+  snapshot.phase = phase_.load(std::memory_order_relaxed);
+  snapshot.pid = static_cast<int64_t>(getpid());
+  snapshot.started_unix_ms = started_unix_ms_;
+  snapshot.updated_unix_ms = UnixNowMillis();
+
+  const bool have_metrics = options_.campaign.metrics != nullptr;
+  const bool have_coverage = options_.campaign.coverage != nullptr;
+  MetricsRegistry metrics;
+  CoverageMap coverage;
+  std::string trace_json;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (have_metrics) {
+      metrics = *options_.campaign.metrics;
+    }
+    if (have_coverage) {
+      coverage = *options_.campaign.coverage;
+    }
+    if (!folded_) {
+      // Fold the campaign domains on the *copies*: the in-place fold
+      // happens exactly once, after the accept loop — flushing mid-session
+      // must not double-count into the shared sinks.
+      if (have_metrics) {
+        report_.RecordMetrics(metrics);
+        if (cache_ != nullptr) {
+          cache_->Stats().RecordMetrics(metrics);
+        }
+      }
+      if (have_coverage) {
+        report_.RecordCoverage(coverage, base_bugs_);
+      }
+    }
+    snapshot.requests_served = static_cast<uint64_t>(served_);
+    snapshot.programs_done = static_cast<uint64_t>(served_);
+    snapshot.tests_generated = static_cast<uint64_t>(report_.tests_generated);
+    snapshot.findings = report_.findings.size();
+    snapshot.distinct_bugs = report_.DistinctCount();
+    if (!options_.trace_out.empty() && options_.campaign.trace != nullptr) {
+      // Span buffers are appended under state_mutex_ (the accept loop holds
+      // it across each request), so reading them here is race-free.
+      trace_json = TraceJson(options_.campaign.trace->SortedEvents());
+    }
+  }
+  if (have_metrics) {
+    RecordProcessSelfStats(metrics);
+    snapshot.metrics_json = MetricsJson(metrics);
+  }
+
+  const auto write = [final_flush](const std::string& path, const std::string& content) {
+    if (path.empty()) {
+      return;
+    }
+    if (!WriteFileAtomic(path, content) && final_flush) {
+      throw CompileError("serve: cannot write '" + path + "'");
+    }
+  };
+  if (have_metrics) {
+    write(options_.metrics_out, snapshot.metrics_json);
+  }
+  if (have_coverage) {
+    write(options_.coverage_out, CoverageJson(coverage));
+  }
+  write(options_.trace_out, trace_json);
+  return snapshot;
+}
+
 int GauntletServer::Run() {
   Start();
   if (cache_ == nullptr && options_.campaign.use_cache) {
@@ -288,12 +419,24 @@ int GauntletServer::Run() {
   if (corpus_ == nullptr && !options_.corpus_dir.empty()) {
     corpus_ = std::make_unique<CorpusStore>(options_.corpus_dir);
   }
-  while (!shutdown_requested_ &&
+  if (trace_buffer_ == nullptr && options_.campaign.trace != nullptr) {
+    trace_buffer_ = options_.campaign.trace->NewBuffer(0);
+  }
+  started_unix_ms_ = UnixNowMillis();
+  phase_.store("serving", std::memory_order_relaxed);
+  if (emitter_ == nullptr && !options_.status_dir.empty()) {
+    emitter_ = std::make_unique<StatusEmitter>(
+        options_.status_dir, options_.snapshot_interval_ms,
+        [this]() { return FlushAndSnapshot(/*final_flush=*/false); });
+  }
+  ScopedStopSignals stop_signals(options_.install_signal_handlers);
+
+  while (!shutdown_requested_ && g_serve_stop == 0 &&
          (options_.max_requests == 0 || served_ < options_.max_requests)) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) {
-        continue;
+        continue;  // re-checks g_serve_stop: a stop signal drains the loop
       }
       throw CompileError("serve: accept failed on '" + options_.socket_path + "'");
     }
@@ -315,7 +458,23 @@ int GauntletServer::Run() {
       response = "{\"version\":" + std::to_string(kServeProtocolVersion) +
                  ",\"status\":\"shutting-down\",\"served\":" + std::to_string(served_) + "}";
     } else {
-      response = HandleSubmission(payload);
+      // The whole submission runs under the state mutex with the shared
+      // sinks installed: the flush thread only ever sees request
+      // boundaries. The span (declared after the sinks, so it folds its
+      // time before they uninstall) feeds the request-latency histogram.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ScopedMetricsSink metrics_sink(options_.campaign.metrics);
+      ScopedCoverageSink coverage_sink(options_.campaign.coverage);
+      ScopedTraceSink trace_sink(trace_buffer_);
+      uint64_t latency_micros = 0;
+      {
+        TraceSpan span("request", "serve");
+        response = HandleSubmission(payload);
+        latency_micros = span.ElapsedMicros();
+      }
+      CountMetric("serve/requests", MetricScope::kTiming);
+      ObserveMetric("serve/request_latency_micros", MetricScope::kTiming, kRequestLatencyBounds,
+                    latency_micros);
     }
     try {
       WriteFrame(fd, response);
@@ -324,21 +483,36 @@ int GauntletServer::Run() {
     }
     close(fd);
   }
+  if (g_serve_stop != 0) {
+    std::fputs("serve: stop signal received; flushing sinks\n", stderr);
+  }
 
   // The single fold a batch campaign performs, applied to everything this
   // serving session absorbed — so --metrics-out/--coverage-out from `serve`
   // carry the same campaign/... domains a batch run writes.
-  if (!folded_) {
-    folded_ = true;
-    if (options_.campaign.metrics != nullptr) {
-      report_.RecordMetrics(*options_.campaign.metrics);
-      if (cache_ != nullptr) {
-        cache_->Stats().RecordMetrics(*options_.campaign.metrics);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!folded_) {
+      folded_ = true;
+      if (options_.campaign.metrics != nullptr) {
+        report_.RecordMetrics(*options_.campaign.metrics);
+        if (cache_ != nullptr) {
+          cache_->Stats().RecordMetrics(*options_.campaign.metrics);
+        }
+      }
+      if (options_.campaign.coverage != nullptr) {
+        report_.RecordCoverage(*options_.campaign.coverage, base_bugs_);
       }
     }
-    if (options_.campaign.coverage != nullptr) {
-      report_.RecordCoverage(*options_.campaign.coverage, base_bugs_);
-    }
+  }
+  phase_.store("done", std::memory_order_relaxed);
+  if (emitter_ != nullptr) {
+    emitter_->Stop();  // final snapshot: phase "done", folded sinks
+    emitter_.reset();
+  }
+  if (!options_.metrics_out.empty() || !options_.coverage_out.empty() ||
+      !options_.trace_out.empty()) {
+    FlushAndSnapshot(/*final_flush=*/true);
   }
   return served_;
 }

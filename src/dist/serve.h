@@ -1,11 +1,17 @@
 #ifndef SRC_DIST_SERVE_H_
 #define SRC_DIST_SERVE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/gauntlet/campaign.h"
+#include "src/obs/coverage.h"
+#include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
 
 namespace gauntlet {
 
@@ -52,8 +58,8 @@ struct ServeOptions {
   // replaced (the crashed-predecessor case).
   std::string socket_path;
   // Detection configuration for every submission: targets, tv/testgen
-  // budgets, use_cache, attribute_findings, and the shared metrics/coverage
-  // sinks (trace must be null). num_programs/seed/generator are unused —
+  // budgets, use_cache, attribute_findings, and the shared
+  // metrics/coverage/trace sinks. num_programs/seed/generator are unused —
   // the traffic stream replaces the generator.
   CampaignOptions campaign;
   // When non-empty, every submission's findings persist as reproducer
@@ -62,6 +68,24 @@ struct ServeOptions {
   // Stop after this many submissions even without a shutdown request;
   // 0 = serve until shutdown. Lets tests and smoke gates bound the loop.
   int max_requests = 0;
+  // Telemetry output files. When a path is set and the matching
+  // campaign sink is null, the server wires in a sink it owns. The files
+  // are (re)written atomically on every status emission and once more —
+  // fatally on failure — when Run() returns, so a killed server keeps its
+  // telemetry up to the last flush.
+  std::string metrics_out;
+  std::string coverage_out;
+  std::string trace_out;
+  // Live-status directory (src/obs/snapshot.h): snapshot + heartbeat every
+  // snapshot_interval_ms, plus a sink flush alongside each emission. Empty
+  // = no snapshots.
+  std::string status_dir;
+  int snapshot_interval_ms = 1000;
+  // Install SIGTERM/SIGINT handlers for the duration of Run(): a stop
+  // signal exits the accept loop gracefully — sinks folded, files flushed,
+  // final snapshot phase "done" — instead of killing the process mid-write.
+  // Off by default so embedding tests never touch process-global handlers.
+  bool install_signal_handlers = false;
 };
 
 class GauntletServer {
@@ -92,6 +116,12 @@ class GauntletServer {
 
  private:
   std::string HandleSubmission(const std::string& payload);
+  // Copies the shared state under the mutex, folds the campaign domains on
+  // the copies (when not yet folded in place), rewrites the telemetry out
+  // files atomically, and returns the status snapshot the state implies.
+  // Doubles as the StatusEmitter provider; `final_flush` makes a failed
+  // file write fatal instead of best-effort.
+  Snapshot FlushAndSnapshot(bool final_flush);
 
   ServeOptions options_;
   BugConfig base_bugs_;
@@ -102,6 +132,20 @@ class GauntletServer {
   CampaignReport report_;
   std::unique_ptr<ValidationCache> cache_;
   std::unique_ptr<CorpusStore> corpus_;
+  // Server-owned sinks, wired into options_.campaign by the constructor
+  // when an out path (or status dir) asks for telemetry the caller did not
+  // inject sinks for.
+  MetricsRegistry own_metrics_;
+  CoverageMap own_coverage_;
+  TraceCollector own_trace_;
+  TraceBuffer* trace_buffer_ = nullptr;
+  // Guards served_/report_/cache_ and the campaign sinks: the accept loop
+  // holds it across each submission, the status emitter thread takes it to
+  // copy state for a flush.
+  std::mutex state_mutex_;
+  std::atomic<const char*> phase_{"starting"};
+  uint64_t started_unix_ms_ = 0;
+  std::unique_ptr<StatusEmitter> emitter_;
 };
 
 // --- client side -----------------------------------------------------------

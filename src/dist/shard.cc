@@ -426,7 +426,12 @@ ShardResult RunShardWorker(const ShardWorkerOptions& options, const BugConfig& b
   // --metrics-out/--coverage-out run whatever the topology.
   campaign.campaign.metrics = &result.metrics;
   campaign.campaign.coverage = &result.coverage;
-  campaign.campaign.trace = nullptr;  // traces are per-process, never sharded
+  // Traces stay per-process: a worker may collect its own (--trace-out),
+  // but the shard-result protocol never carries one.
+  campaign.campaign.trace = options.trace;
+  campaign.status_dir = options.status_dir;
+  campaign.status_role = options.status_role;
+  campaign.snapshot_interval_ms = options.snapshot_interval_ms;
 
   result.report = ParallelCampaign(campaign).Run(bugs, &result.cache_stats);
   return result;

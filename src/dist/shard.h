@@ -77,6 +77,17 @@ struct ShardWorkerOptions {
   std::string corpus_dir;
   // Shard-private warm-start cache file (load + rewrite); empty = none.
   std::string cache_file;
+  // Live-status directory for this shard (src/obs/snapshot.h); empty = no
+  // snapshots/heartbeats. The coordinator points each worker at its own
+  // subdirectory of the fleet status dir and aggregates the heartbeats.
+  std::string status_dir;
+  std::string status_role = "shard";
+  int snapshot_interval_ms = 1000;
+  // Optional per-process trace collector (`shard-worker --trace-out`).
+  // Traces are per-process artifacts: each worker may collect its own, but
+  // they never travel through the shard-result protocol or merge across
+  // the fleet.
+  TraceCollector* trace = nullptr;
 };
 
 // Runs one shard in-process: a ParallelCampaign over the range with

@@ -1,5 +1,7 @@
 #include "src/obs/metrics.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <sstream>
 
@@ -160,6 +162,22 @@ std::string MetricsTextSummary(const MetricsRegistry& registry) {
     }
   }
   return out.str();
+}
+
+void RecordProcessSelfStats(MetricsRegistry& registry) {
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return;
+  }
+  // ru_maxrss is kilobytes on Linux (bytes on macOS; close enough for a
+  // growth signal, and this repo's CI runs Linux).
+  registry.GaugeMax("process/peak_rss_kb", MetricScope::kTiming,
+                    static_cast<uint64_t>(usage.ru_maxrss < 0 ? 0 : usage.ru_maxrss));
+  const auto micros = [](const struct timeval& tv) {
+    return static_cast<uint64_t>(tv.tv_sec) * 1000000ULL + static_cast<uint64_t>(tv.tv_usec);
+  };
+  registry.GaugeMax("process/user_cpu_micros", MetricScope::kTiming, micros(usage.ru_utime));
+  registry.GaugeMax("process/sys_cpu_micros", MetricScope::kTiming, micros(usage.ru_stime));
 }
 
 }  // namespace gauntlet

@@ -128,6 +128,15 @@ uint64_t HistogramQuantile(const Metric& metric, uint64_t percentile);
 // see HistogramQuantile). Key-sorted, like every other rendering.
 std::string MetricsTextSummary(const MetricsRegistry& registry);
 
+// Records this process' resource usage (getrusage: peak RSS, user/system
+// CPU time) as timing-scoped gauges — `process/peak_rss_kb`,
+// `process/user_cpu_micros`, `process/sys_cpu_micros` — so long campaigns
+// expose memory growth in metrics.json. Gauges merge by max, so recording
+// repeatedly (periodic snapshot flushes plus the final report) is
+// idempotent-safe. Timing scope only: resource usage is never
+// deterministic.
+void RecordProcessSelfStats(MetricsRegistry& registry);
+
 }  // namespace gauntlet
 
 #endif  // SRC_OBS_METRICS_H_

@@ -1,7 +1,10 @@
 #include "src/runtime/parallel_campaign.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -9,7 +12,10 @@
 #include "src/cache/verdict_cache.h"
 #include "src/gen/generator.h"
 #include "src/obs/coverage.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_report.h"
+#include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
 #include "src/runtime/worker_pool.h"
 
@@ -84,6 +90,54 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
   }
   std::atomic<uint64_t> programs_done{0};
   std::atomic<uint64_t> findings_found{0};
+  std::atomic<uint64_t> tests_generated{0};
+
+  // --- live status (src/obs/snapshot.h), observation-only ------------------
+  //
+  // Workers additionally merge a *copy* of each finished slot into a
+  // mutex-protected live report, in completion order. Only the snapshot
+  // provider reads it; the authoritative report below still merges the
+  // slots in index order, so nothing deterministic ever depends on the
+  // completion-order state. Per-worker metric registries stay single-writer
+  // (they are never read mid-run); the snapshot's metrics view is the
+  // report fold of the live accumulator instead.
+  const bool status_on = !options_.status_dir.empty();
+  struct LiveState {
+    std::mutex mutex;
+    CampaignReport report;
+  };
+  LiveState live;
+  std::atomic<const char*> phase{"testing"};
+  std::unique_ptr<StatusEmitter> emitter;
+  if (status_on) {
+    const uint64_t started_ms = UnixNowMillis();
+    emitter = std::make_unique<StatusEmitter>(
+        options_.status_dir, options_.snapshot_interval_ms,
+        [this, &live, &phase, &programs_done, &findings_found, &tests_generated, total,
+         started_ms]() {
+          Snapshot snapshot;
+          snapshot.role = options_.status_role;
+          snapshot.phase = phase.load(std::memory_order_relaxed);
+          snapshot.pid = static_cast<int64_t>(getpid());
+          snapshot.started_unix_ms = started_ms;
+          snapshot.updated_unix_ms = UnixNowMillis();
+          snapshot.programs_total = static_cast<uint64_t>(total > 0 ? total : 0);
+          snapshot.programs_done = programs_done.load(std::memory_order_relaxed);
+          snapshot.tests_generated = tests_generated.load(std::memory_order_relaxed);
+          snapshot.findings = findings_found.load(std::memory_order_relaxed);
+          CampaignReport live_copy;
+          {
+            std::lock_guard<std::mutex> lock(live.mutex);
+            live_copy = live.report;
+          }
+          snapshot.distinct_bugs = live_copy.DistinctCount();
+          MetricsRegistry registry;
+          live_copy.RecordMetrics(registry);
+          RecordProcessSelfStats(registry);
+          snapshot.metrics_json = MetricsJson(registry);
+          return snapshot;
+        });
+  }
 
   WorkerPool pool(jobs);
   ParallelFor(pool, total, [&](int index) {
@@ -111,12 +165,20 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
             ? caches[static_cast<size_t>(worker)].get()
             : nullptr;
     campaign.TestProgram(*program, bugs, global_index, slot, cache);
+    findings_found.fetch_add(slot.findings.size(), std::memory_order_relaxed);
+    tests_generated.fetch_add(static_cast<uint64_t>(slot.tests_generated),
+                              std::memory_order_relaxed);
+    const uint64_t done = programs_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (status_on) {
+      CampaignReport finished_slot = slot;
+      std::lock_guard<std::mutex> lock(live.mutex);
+      live.report.Merge(std::move(finished_slot));
+    }
     if (options_.campaign.progress) {
-      findings_found.fetch_add(slot.findings.size(), std::memory_order_relaxed);
-      options_.campaign.progress(programs_done.fetch_add(1, std::memory_order_relaxed) + 1,
-                                 findings_found.load(std::memory_order_relaxed));
+      options_.campaign.progress(done, findings_found.load(std::memory_order_relaxed));
     }
   });
+  phase.store("merging", std::memory_order_relaxed);
 
   CampaignReport report;
   for (CampaignReport& slot : slots) {
@@ -181,6 +243,18 @@ CampaignReport ParallelCampaign::Run(const BugConfig& bugs, CacheStats* stats_ou
       }
       corpus.Add(*generate(finding.program_index), finding);
     }
+  }
+
+  if (emitter != nullptr) {
+    // Publish the finished state: the final snapshot carries the merged
+    // (index-order) report, and phase "done" tells supervisors the aging
+    // heartbeat is success, not a stall.
+    {
+      std::lock_guard<std::mutex> lock(live.mutex);
+      live.report = report;
+    }
+    phase.store("done", std::memory_order_relaxed);
+    emitter->Stop();
   }
   return report;
 }

@@ -37,6 +37,15 @@ struct ParallelCampaignOptions {
   // blast templates and per-program verdicts across processes. Every worker
   // loads the identical file, so reports stay bit-identical for any --jobs.
   std::string cache_file;
+  // When non-empty, the run publishes live telemetry into this directory
+  // (src/obs/snapshot.h): an atomic snapshot.json + heartbeat.json every
+  // snapshot_interval_ms, driven by a mutex-protected live accumulator the
+  // workers feed in *completion* order. Live state is observation-only and
+  // timing-scoped — the final report and every deterministic section stay
+  // byte-identical with status on or off.
+  std::string status_dir;
+  std::string status_role = "campaign";
+  int snapshot_interval_ms = 1000;
 };
 
 // The scaled campaign driver (ROADMAP "parallel campaign workers"): shards

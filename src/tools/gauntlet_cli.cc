@@ -26,6 +26,7 @@
 // mismatches, still-failing reproducers — so CI scripts can run them
 // directly.
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <limits>
@@ -35,6 +36,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cache/cache_file.h"
@@ -46,9 +48,11 @@
 #include "src/frontend/printer.h"
 #include "src/gauntlet/campaign.h"
 #include "src/obs/coverage.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/progress.h"
 #include "src/obs/run_report.h"
+#include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
 #include "src/reduce/reducer.h"
 #include "src/runtime/corpus.h"
@@ -197,6 +201,11 @@ struct Telemetry {
     }
     written_ = true;
     std::string failed;
+    if (!metrics_path.empty()) {
+      // Every metrics.json carries the process' own resource footprint
+      // (timing section — gauges, so re-recording merges harmlessly).
+      RecordProcessSelfStats(registry);
+    }
     if (!metrics_path.empty() && !WriteMetricsFile(metrics_path, registry)) {
       failed = metrics_path;
     }
@@ -513,6 +522,8 @@ int RunCampaignSharded(const ParsedArgs& args, const BugConfig& bugs, Telemetry&
   options.jobs = parallel.jobs;
   options.corpus_dir = parallel.corpus_dir;
   options.cache_file = parallel.cache_file;
+  options.status_dir = parallel.status_dir;
+  options.snapshot_interval_ms = parallel.snapshot_interval_ms;
   if (args.Has("--shard-dir")) {
     options.scratch_dir = args.Last("--shard-dir");
   }
@@ -563,7 +574,8 @@ int CmdCampaign(int argc, char** argv) {
   const ParsedArgs args = ParseCommandArgs(
       argc, argv,
       WithTelemetryFlags({"--jobs", "--corpus", "--bug", "--targets", "--cache-file",
-                          "--shards", "--shard-dir", "--worker"}),
+                          "--shards", "--shard-dir", "--worker", "--status-dir",
+                          "--snapshot-interval"}),
       /*max_positionals=*/2, kCacheSwitches);
   const BugConfig bugs = BugsFromFlags(args);
   Telemetry telemetry(args);
@@ -571,6 +583,16 @@ int CmdCampaign(int argc, char** argv) {
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
   ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
+  if (args.Has("--snapshot-interval") && !args.Has("--status-dir")) {
+    throw CliUsageError("--snapshot-interval only applies with --status-dir");
+  }
+  if (args.Has("--status-dir")) {
+    options.status_dir = args.Last("--status-dir");
+    if (args.Has("--snapshot-interval")) {
+      options.snapshot_interval_ms =
+          ParseCount(args.Last("--snapshot-interval"), "--snapshot-interval", /*minimum=*/1);
+    }
+  }
   if (args.Has("--cache-file")) {
     if (args.Has("--no-cache")) {
       throw CliUsageError("--cache-file needs the cache; drop --no-cache");
@@ -621,8 +643,9 @@ int CmdCampaign(int argc, char** argv) {
 int CmdShardWorker(int argc, char** argv) {
   const ParsedArgs args = ParseCommandArgs(
       argc, argv,
-      {"--shard-begin", "--shard-end", "--seed", "--jobs", "--result-out", "--corpus",
-       "--cache-file", "--bug", "--targets"},
+      WithTelemetryFlags({"--shard-begin", "--shard-end", "--seed", "--jobs", "--result-out",
+                          "--corpus", "--cache-file", "--bug", "--targets", "--status-dir",
+                          "--status-role", "--snapshot-interval"}),
       /*max_positionals=*/0, {"--no-cache", "--no-budgets"});
   for (const char* required : {"--shard-begin", "--shard-end", "--seed", "--result-out"}) {
     if (!args.Has(required)) {
@@ -630,6 +653,7 @@ int CmdShardWorker(int argc, char** argv) {
     }
   }
   const BugConfig bugs = BugsFromFlags(args);
+  Telemetry telemetry(args);
   ShardWorkerOptions options;
   options.range.begin = ParseCount(args.Last("--shard-begin"), "--shard-begin", /*minimum=*/0);
   options.range.end = ParseCount(args.Last("--shard-end"), "--shard-end", /*minimum=*/0);
@@ -652,32 +676,77 @@ int CmdShardWorker(int argc, char** argv) {
     }
     options.cache_file = args.Last("--cache-file");
   }
+  if (args.Has("--status-dir")) {
+    options.status_dir = args.Last("--status-dir");
+    if (args.Has("--status-role")) {
+      options.status_role = args.Last("--status-role");
+    }
+    if (args.Has("--snapshot-interval")) {
+      options.snapshot_interval_ms =
+          ParseCount(args.Last("--snapshot-interval"), "--snapshot-interval", /*minimum=*/1);
+    }
+  } else if (args.Has("--status-role") || args.Has("--snapshot-interval")) {
+    throw CliUsageError("--status-role/--snapshot-interval only apply with --status-dir");
+  }
+  options.trace = telemetry.collector_or_null();
   const ShardResult result = RunShardWorker(options, bugs);
   SaveShardResultFile(args.Last("--result-out"), result);
+  // The result file above stays *unfolded* (the coordinator folds the
+  // cross-shard merge exactly once); the side-channel telemetry files are a
+  // per-shard human view, so they get this shard's own fold.
+  if (telemetry.registry_or_null() != nullptr) {
+    telemetry.registry.MergeFrom(result.metrics);
+    result.report.RecordMetrics(telemetry.registry);
+    if (options.campaign.use_cache) {
+      result.cache_stats.RecordMetrics(telemetry.registry);
+    }
+  }
+  if (telemetry.coverage_or_null() != nullptr) {
+    telemetry.coverage.MergeFrom(result.coverage);
+    result.report.RecordCoverage(telemetry.coverage, bugs);
+  }
+  telemetry.Write();
   return 0;
 }
 
 // `gauntlet serve`: the long-lived submission service (src/dist/serve).
+// The server owns its telemetry files (rewritten atomically on every
+// status flush and once more on exit), so a SIGTERM'd session still leaves
+// loadable metrics/coverage/trace artifacts behind.
 int CmdServe(int argc, char** argv) {
   const ParsedArgs args = ParseCommandArgs(
       argc, argv,
-      WithTelemetryFlags({"--socket", "--corpus", "--bug", "--targets", "--max-requests"}),
+      WithTelemetryFlags({"--socket", "--corpus", "--bug", "--targets", "--max-requests",
+                          "--status-dir", "--snapshot-interval"}),
       /*max_positionals=*/0, kCacheSwitches);
   if (!args.Has("--socket")) {
     throw CliUsageError("serve requires --socket PATH");
   }
-  if (args.Has("--trace-out")) {
-    throw CliUsageError("--trace-out is a batch artifact; serve does not collect traces");
+  if (args.Has("--snapshot-interval") && !args.Has("--status-dir")) {
+    throw CliUsageError("--snapshot-interval only applies with --status-dir");
   }
   const BugConfig bugs = BugsFromFlags(args);
-  Telemetry telemetry(args);
   ServeOptions options;
   options.socket_path = args.Last("--socket");
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
   ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
-  options.campaign.metrics = telemetry.registry_or_null();
-  options.campaign.coverage = telemetry.coverage_or_null();
+  if (args.Has("--metrics-out")) {
+    options.metrics_out = args.Last("--metrics-out");
+  }
+  if (args.Has("--coverage-out")) {
+    options.coverage_out = args.Last("--coverage-out");
+  }
+  if (args.Has("--trace-out")) {
+    options.trace_out = args.Last("--trace-out");
+  }
+  if (args.Has("--status-dir")) {
+    options.status_dir = args.Last("--status-dir");
+    if (args.Has("--snapshot-interval")) {
+      options.snapshot_interval_ms =
+          ParseCount(args.Last("--snapshot-interval"), "--snapshot-interval", /*minimum=*/1);
+    }
+  }
   if (args.Has("--corpus")) {
     options.corpus_dir = args.Last("--corpus");
   }
@@ -685,14 +754,59 @@ int CmdServe(int argc, char** argv) {
     options.max_requests = ParseCount(args.Last("--max-requests"), "--max-requests",
                                       /*minimum=*/1);
   }
+  options.install_signal_handlers = true;
   GauntletServer server(std::move(options), bugs);
   server.Start();
   std::fprintf(stderr, "serving on %s\n", server.socket_path().c_str());
   const int served = server.Run();
   std::fprintf(stderr, "served %d submission%s, shutting down\n", served,
                served == 1 ? "" : "s");
-  telemetry.Write();
   return 0;
+}
+
+// `gauntlet status <dir>`: the fleet inspector. Reads the snapshot +
+// heartbeat artifacts a --status-dir run publishes and prints a dashboard
+// (or --json for machines). Exit 0 healthy, 1 on any stalled/dead/corrupt
+// worker; --watch polls until the fleet completes or turns unhealthy.
+int CmdStatus(int argc, char** argv) {
+  const ParsedArgs args = ParseCommandArgs(argc, argv, {"--interval", "--stall-ms"},
+                                           /*max_positionals=*/1, {"--json", "--watch"});
+  if (args.positionals.size() != 1) {
+    throw CliUsageError("status expects exactly one <status-dir>");
+  }
+  if (args.Has("--interval") && !args.Has("--watch")) {
+    throw CliUsageError("--interval only applies with --watch");
+  }
+  const std::string status_dir = args.positionals[0];
+  uint64_t stall_ms = kDefaultStallThresholdMs;
+  if (args.Has("--stall-ms")) {
+    stall_ms = static_cast<uint64_t>(ParseCount(args.Last("--stall-ms"), "--stall-ms",
+                                                /*minimum=*/1));
+  }
+  int interval_ms = 1000;
+  if (args.Has("--interval")) {
+    interval_ms = ParseCount(args.Last("--interval"), "--interval", /*minimum=*/1);
+  }
+  const bool watch = args.Has("--watch");
+  const bool json = args.Has("--json");
+  for (;;) {
+    const FleetStatus fleet = CollectFleetStatus(status_dir, stall_ms);
+    if (fleet.workers.empty()) {
+      // Usage-grade (exit 2): a directory with no status artifacts means
+      // the argument pointed at the wrong place, like a typo'd corpus path.
+      throw CliUsageError("no status artifacts under '" + status_dir +
+                          "' (expected snapshot.json/heartbeat.json from a --status-dir run)");
+    }
+    std::printf("%s", json ? FleetStatusJson(fleet).c_str() : FleetStatusText(fleet).c_str());
+    std::fflush(stdout);
+    if (!fleet.healthy()) {
+      return 1;
+    }
+    if (!watch || fleet.complete()) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 // `gauntlet submit`: the serve-mode client. Prints the server's JSON
@@ -926,12 +1040,15 @@ int Usage(std::FILE* out) {
                "  campaign [N] [seed] [--jobs J] [--corpus DIR] [--bug B ...] "
                "[--targets T,...] [--no-cache] [--cache-stats] [--cache-file F]\n"
                "  campaign ... --shards S [--shard-dir DIR] [--worker BIN]\n"
+               "  campaign ... --status-dir DIR [--snapshot-interval MS]\n"
                "  shard-worker --shard-begin B --shard-end E --seed S --result-out F\n"
                "               [--jobs J] [--corpus DIR] [--cache-file F] [--bug B ...]\n"
+               "               [--status-dir DIR [--status-role R] [--snapshot-interval MS]]\n"
                "  serve --socket PATH [--corpus DIR] [--bug B ...] [--targets T,...]\n"
-               "        [--max-requests N]\n"
+               "        [--max-requests N] [--status-dir DIR [--snapshot-interval MS]]\n"
                "  submit <file.p4> --socket PATH [--bug B ...] [--targets T,...]\n"
                "  submit --shutdown --socket PATH\n"
+               "  status <status-dir> [--json] [--watch] [--interval MS] [--stall-ms MS]\n"
                "  replay <file.p4> <file.stf> [--bug B ...] [--targets T,...] "
                "[--cache-file F]\n"
                "  replay --corpus DIR [--bug B ...] [--targets T,...] [--cache-file F]\n"
@@ -959,7 +1076,13 @@ int Usage(std::FILE* out) {
                "byte-identical to the single-process run (--worker runs shards as\n"
                "child processes, --shard-dir keeps per-shard artifacts)\n"
                "`serve` accepts P4 programs over a unix socket and streams JSON\n"
-               "verdicts; `submit` is its client (exit 0 clean, 1 on findings)\n",
+               "verdicts; `submit` is its client (exit 0 clean, 1 on findings);\n"
+               "SIGTERM/SIGINT drain serve gracefully (sinks flushed before exit)\n"
+               "--status-dir (campaign/shard-worker/serve) publishes atomic live\n"
+               "snapshot.json + heartbeat.json every --snapshot-interval ms;\n"
+               "`status` reads them: a per-worker dashboard with health verdicts\n"
+               "(exit 1 on stalled/dead/corrupt workers; --watch polls until the\n"
+               "fleet completes, --stall-ms tunes the stall threshold)\n",
                targets.c_str());
   return out == stdout ? 0 : 2;
 }
@@ -1016,6 +1139,9 @@ int main(int argc, char** argv) {
     }
     if (command == "submit") {
       return CmdSubmit(argc, argv);
+    }
+    if (command == "status") {
+      return CmdStatus(argc, argv);
     }
     if (command == "replay") {
       return CmdReplay(argc, argv);

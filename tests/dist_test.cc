@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -16,7 +17,9 @@
 #include "src/dist/shard.h"
 #include "src/frontend/parser.h"
 #include "src/obs/coverage.h"
+#include "src/obs/health.h"
 #include "src/obs/run_report.h"
+#include "src/obs/snapshot.h"
 #include "src/runtime/corpus.h"
 #include "src/runtime/parallel_campaign.h"
 
@@ -276,6 +279,52 @@ TEST_F(DistScratch, ShardMergeWithCacheFileStaysIdentical) {
   EXPECT_GT(reheat_stats.verdict_hits, 0u);
 }
 
+// A coordinator with a status directory publishes its own snapshot, a
+// heartbeat per shard, and a fleet view that reads back complete — while
+// the merged deterministic output stays identical to a status-off run.
+TEST_F(DistScratch, CoordinatorPublishesFleetStatusAndStaysIdentical) {
+  const BugConfig bugs = TwoFaults();
+  const int num_programs = 12;
+
+  ShardCoordinatorOptions plain;
+  plain.campaign = SmallCampaign(num_programs);
+  plain.shards = 2;
+  plain.jobs = 2;
+  const CoordinatorOutcome reference = RunShardCoordinator(plain, bugs);
+
+  ShardCoordinatorOptions observed = plain;
+  observed.status_dir = Path("status");
+  observed.snapshot_interval_ms = 10;
+  const CoordinatorOutcome outcome = RunShardCoordinator(observed, bugs);
+  ExpectIdenticalReports(reference.report, outcome.report);
+
+  // The coordinator's own final snapshot carries the finished fleet totals.
+  Snapshot snapshot;
+  std::string error;
+  std::ifstream in(SnapshotPathIn(observed.status_dir), std::ios::binary);
+  std::ostringstream body;
+  body << in.rdbuf();
+  ASSERT_TRUE(ParseSnapshotJson(body.str(), &snapshot, &error)) << error;
+  EXPECT_EQ(snapshot.role, "coordinator");
+  EXPECT_EQ(snapshot.phase, "done");
+  EXPECT_EQ(snapshot.programs_total, static_cast<uint64_t>(num_programs));
+  EXPECT_EQ(snapshot.programs_done, static_cast<uint64_t>(num_programs));
+  EXPECT_EQ(snapshot.findings, outcome.report.findings.size());
+
+  // Each shard left its own finished heartbeat in its subdirectory, and the
+  // collected fleet view agrees.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(
+        fs::exists(HeartbeatPathIn(Path("status/shard-" + std::to_string(i)))));
+  }
+  const FleetStatus fleet =
+      CollectFleetStatus(observed.status_dir, kDefaultStallThresholdMs);
+  ASSERT_EQ(fleet.workers.size(), 3u);  // coordinator + 2 shards
+  EXPECT_TRUE(fleet.healthy());
+  EXPECT_TRUE(fleet.complete());
+  EXPECT_EQ(fleet.programs_done, static_cast<uint64_t>(num_programs));
+}
+
 TEST_F(DistScratch, SubprocessModeRequiresWorkerBinary) {
   // No gauntlet binary at this path: the fork/exec path must fail loudly,
   // not merge partial results.
@@ -431,6 +480,73 @@ TEST_F(DistScratch, ServeMaxRequestsBoundsTheLoop) {
   EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
   loop.join();
   EXPECT_EQ(server.served(), 1);
+}
+
+// A serving session with telemetry out paths and a hot snapshot interval
+// rewrites its files *during* the session — a killed server keeps its
+// telemetry up to the last flush — and leaves finished, loadable artifacts
+// plus a "done" snapshot after a clean shutdown.
+TEST_F(DistScratch, ServeFlushesTelemetryMidSessionAndOnExit) {
+  ServeOptions options;
+  options.socket_path = Path("sock");
+  options.campaign = SmallCampaign(/*num_programs=*/0);
+  options.metrics_out = Path("metrics.json");
+  options.coverage_out = Path("coverage.json");
+  options.trace_out = Path("trace.json");
+  options.status_dir = Path("status");
+  options.snapshot_interval_ms = 20;
+
+  GauntletServer server(std::move(options), BugConfig::None());
+  server.Start();
+  std::thread loop([&server] { server.Run(); });
+
+  const std::string buggy = SendServeRequest(
+      server.socket_path(),
+      BuildSubmitPayload(kPredicationProgram, {"predication-lost-else"}, {}));
+  EXPECT_NE(buggy.find("\"status\":\"ok\""), std::string::npos) << buggy;
+
+  // The periodic flush lands the submission in metrics.json while the
+  // session is still live (no shutdown yet). Bounded poll, hot interval.
+  bool flushed = false;
+  for (int i = 0; i < 250 && !flushed; ++i) {
+    std::ifstream in(Path("metrics.json"), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    flushed = body.str().find("serve/requests") != std::string::npos &&
+              body.str().find("serve/verdict/findings") != std::string::npos;
+    if (!flushed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(flushed) << "mid-session flush never landed in metrics.json";
+
+  SendServeRequest(server.socket_path(), BuildShutdownPayload());
+  loop.join();
+
+  // Final artifacts: request accounting in the timing section, coverage and
+  // trace files present and non-trivial, snapshot finished.
+  std::ifstream in(Path("metrics.json"), std::ios::binary);
+  std::ostringstream metrics;
+  metrics << in.rdbuf();
+  EXPECT_NE(metrics.str().find("serve/requests"), std::string::npos);
+  EXPECT_NE(metrics.str().find("serve/request_latency_micros"), std::string::npos);
+  EXPECT_NE(metrics.str().find("campaign/findings"), std::string::npos);
+  EXPECT_TRUE(fs::exists(Path("coverage.json")));
+  std::ifstream trace_in(Path("trace.json"), std::ios::binary);
+  std::ostringstream trace;
+  trace << trace_in.rdbuf();
+  EXPECT_NE(trace.str().find("traceEvents"), std::string::npos);
+  EXPECT_NE(trace.str().find("request"), std::string::npos);
+
+  Snapshot snapshot;
+  std::string error;
+  std::ifstream snap_in(SnapshotPathIn(Path("status")), std::ios::binary);
+  std::ostringstream snap;
+  snap << snap_in.rdbuf();
+  ASSERT_TRUE(ParseSnapshotJson(snap.str(), &snapshot, &error)) << error;
+  EXPECT_EQ(snapshot.role, "serve");
+  EXPECT_EQ(snapshot.phase, "done");
+  EXPECT_EQ(snapshot.requests_served, 1u);
 }
 
 }  // namespace
