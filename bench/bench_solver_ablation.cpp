@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
 #include "src/frontend/parser.h"
 #include "src/smt/solver.h"
 #include "src/sym/interpreter.h"
@@ -175,6 +180,179 @@ void BM_SolveWithPreferences(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveWithPreferences)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// The regression gate behind this binary's CI step: assumption-trail reuse
+// must make the testgen-shaped DFS probing workload measurably faster while
+// producing the exact same verdicts. The gate walks a binary tree of
+// assumption literals depth-first — push a literal, solve, recurse on
+// satisfiable — twice, on a solver with trail reuse on and one with it off,
+// and compares wall clock and the per-solve reuse counters. An untimed
+// warm-up pass encodes every literal first: first-time bit-blasting adds
+// clauses, which soundly invalidates any retained trail, so a cold pass
+// would measure encoding, not reuse.
+//
+// The workload is the solver hot path distilled: a chain of 16-bit
+// variables, each defined from its predecessor through a full 16x16
+// multiplier, with two candidate pinning equalities per depth. Every
+// assumption literal propagates the next multiplier cone, so a deep prefix
+// is genuinely expensive to re-propagate from scratch (the fresh mode) and
+// near-free to retain (the incremental mode). Mostly-satisfiable probes
+// with long shared prefixes are exactly what src/testgen/ produces; the
+// conflict-heavy shapes are covered by the differential tests in
+// tests/smt_test.cc.
+// ---------------------------------------------------------------------------
+
+constexpr int kGateDepth = 9;
+constexpr int kGatePasses = 4;
+constexpr double kMinSpeedup = 1.2;
+
+// Accumulated work for one side of the A/B comparison.
+struct GateSide {
+  double wall_ms = 0.0;
+  uint64_t solves = 0;
+  uint64_t sat_probes = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t prefix_reused_lits = 0;
+  uint64_t propagations_saved = 0;
+};
+
+// Two candidate assumption literals per DFS depth.
+using GateChoices = std::vector<std::pair<SmtRef, SmtRef>>;
+
+GateChoices BuildGateChoices(SmtContext& ctx) {
+  GateChoices choices;
+  std::vector<SmtRef> vars;
+  for (int i = 0; i < kGateDepth; ++i) {
+    vars.push_back(ctx.Var("gate" + std::to_string(i), 16));
+  }
+  choices.emplace_back(ctx.Eq(vars[0], ctx.Const(16, 11)),
+                       ctx.Eq(vars[0], ctx.Const(16, 12)));
+  for (int i = 1; i < kGateDepth; ++i) {
+    const SmtRef defined = ctx.Add(ctx.Mul(vars[i - 1], vars[i - 1]),
+                                   ctx.Const(16, 7 + static_cast<uint64_t>(i)));
+    choices.emplace_back(ctx.Eq(vars[i], defined),
+                         ctx.Eq(vars[i], ctx.Add(defined, ctx.Const(16, 1))));
+  }
+  return choices;
+}
+
+void ProbeDfs(SmtSolver& solver, const GateChoices& choices, size_t depth,
+              std::vector<SmtRef>& stack, GateSide* side) {
+  if (depth == choices.size()) {
+    return;
+  }
+  for (const bool first : {true, false}) {
+    stack.push_back(first ? choices[depth].first : choices[depth].second);
+    const CheckResult result = solver.CheckUnderAssumptions(stack);
+    if (side != nullptr) {
+      const SolveStats& stats = solver.last_solve();
+      ++side->solves;
+      side->sat_probes += result == CheckResult::kSat ? 1 : 0;
+      side->propagations += stats.propagations;
+      side->conflicts += stats.conflicts;
+      side->prefix_reused_lits += stats.prefix_reused_lits;
+      side->propagations_saved += stats.propagations_saved;
+    }
+    if (result == CheckResult::kSat) {
+      ProbeDfs(solver, choices, depth + 1, stack, side);
+    }
+    stack.pop_back();
+  }
+}
+
+GateSide RunGateSide(bool incremental) {
+  SmtContext ctx;
+  const GateChoices choices = BuildGateChoices(ctx);
+  SmtSolver solver(ctx);
+  solver.set_incremental(incremental);
+  std::vector<SmtRef> stack;
+  ProbeDfs(solver, choices, 0, stack, nullptr);  // warm-up
+  GateSide side;
+  const auto start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < kGatePasses; ++pass) {
+    ProbeDfs(solver, choices, 0, stack, &side);
+  }
+  side.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return side;
+}
+
+void WriteJsonSide(std::ostream& out, const char* name, const GateSide& side) {
+  out << "  \"" << name << "\": {\"wall_ms\": " << side.wall_ms
+      << ", \"solves\": " << side.solves << ", \"sat_probes\": " << side.sat_probes
+      << ", \"propagations\": " << side.propagations
+      << ", \"conflicts\": " << side.conflicts
+      << ", \"prefix_reused_lits\": " << side.prefix_reused_lits
+      << ", \"propagations_saved\": " << side.propagations_saved << "}";
+}
+
+bool RunTrailReuseGate() {
+  const GateSide on = RunGateSide(true);
+  const GateSide off = RunGateSide(false);
+  const double speedup = on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0;
+
+  bool ok = true;
+  // Trail reuse must never change a verdict: both walks explore the same
+  // DFS tree and agree on every probe.
+  if (on.solves != off.solves || on.sat_probes != off.sat_probes) {
+    std::cerr << "FAIL: verdicts diverge between incremental and fresh modes ("
+              << on.solves << "/" << on.sat_probes << " vs " << off.solves << "/"
+              << off.sat_probes << ")\n";
+    ok = false;
+  }
+  if (on.prefix_reused_lits == 0 || on.propagations_saved == 0) {
+    std::cerr << "FAIL: trail reuse never fired on the DFS workload "
+              << "(prefix_reused_lits=" << on.prefix_reused_lits
+              << " propagations_saved=" << on.propagations_saved << ")\n";
+    ok = false;
+  }
+  if (off.prefix_reused_lits != 0 || off.propagations_saved != 0) {
+    std::cerr << "FAIL: reuse counters nonzero with incremental solving off\n";
+    ok = false;
+  }
+  if (speedup < kMinSpeedup) {
+    std::cerr << "FAIL: incremental speedup " << speedup << "x below the "
+              << kMinSpeedup << "x gate\n";
+    ok = false;
+  }
+
+  const char* out_env = std::getenv("BENCH_SOLVER_JSON");
+  const std::string out_path = out_env != nullptr ? out_env : "BENCH_solver.json";
+  std::ofstream json(out_path);
+  json << "{\n  \"version\": 1,\n  \"workload\": \"dfs-path-probing\",\n"
+       << "  \"passes\": " << kGatePasses << ",\n";
+  WriteJsonSide(json, "incremental", on);
+  json << ",\n";
+  WriteJsonSide(json, "fresh", off);
+  json << ",\n  \"speedup\": " << speedup << ",\n  \"min_speedup\": " << kMinSpeedup
+       << ",\n  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+  json.close();
+
+  std::cout << "trail-reuse gate: " << off.wall_ms << " ms fresh / " << on.wall_ms
+            << " ms incremental = " << speedup << "x (gate " << kMinSpeedup
+            << "x), " << on.prefix_reused_lits << " prefix lits reused, "
+            << on.propagations_saved << " propagations saved over " << on.solves
+            << " solves -> " << out_path << (ok ? " [ok]" : " [FAIL]") << "\n";
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the trail-reuse A/B gate runs
+// first (plain wall-clock timing, exit 1 on regression), then the
+// registered microbenchmarks as before.
+int main(int argc, char** argv) {
+  const bool gate_ok = RunTrailReuseGate();
+  if (!gate_ok) {
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,7 +14,10 @@ namespace gauntlet {
 namespace {
 
 constexpr const char* kMagic = "gauntletcache";
-constexpr int kVersion = 1;
+// v2 added the "summaries" section (block summary key → canonical
+// semantics fingerprint). v1 files still load — they simply carry no
+// summary fingerprints.
+constexpr int kVersion = 2;
 
 // Strings are hex-encoded ("-" for empty) so whitespace and arbitrary bytes
 // in details / witness variable names survive the line-oriented format.
@@ -160,6 +163,7 @@ void SaveValidationCaches(const std::vector<ValidationCache*>& caches, std::ostr
   // makes every copy identical in effect), verdicts dedup by (program, key).
   std::map<Fingerprint, const BlastTemplate*> templates;
   std::map<uint64_t, std::map<Fingerprint, const VerdictCache::Entry*>> verdicts;
+  std::map<Fingerprint, Fingerprint> summary_fps;
   for (ValidationCache* cache : caches) {
     cache->Seal();
     for (const auto& [fp, tpl] : cache->blast().templates()) {
@@ -170,6 +174,10 @@ void SaveValidationCaches(const std::vector<ValidationCache*>& caches, std::ostr
       for (const auto& [key, entry] : entries) {
         group.emplace(key, &entry);
       }
+    }
+    for (const auto& [key, fp] : cache->summaries().stored_fingerprints()) {
+      // Key → fingerprint is functional, so first-wins dedup is exact.
+      summary_fps.emplace(key, fp);
     }
   }
 
@@ -185,6 +193,10 @@ void SaveValidationCaches(const std::vector<ValidationCache*>& caches, std::ostr
       WriteVerdict(out, key, *entry);
     }
   }
+  out << "summaries " << summary_fps.size() << '\n';
+  for (const auto& [key, fp] : summary_fps) {
+    out << key.hi << ' ' << key.lo << ' ' << fp.hi << ' ' << fp.lo << '\n';
+  }
 }
 
 void LoadValidationCache(std::istream& in, ValidationCache& cache) {
@@ -192,9 +204,9 @@ void LoadValidationCache(std::istream& in, ValidationCache& cache) {
   reader.RequireLine("header");
   reader.ExpectWord(kMagic);
   const uint64_t version = reader.U64("version");
-  if (version != static_cast<uint64_t>(kVersion)) {
+  if (version < 1 || version > static_cast<uint64_t>(kVersion)) {
     throw CompileError("cache file version " + std::to_string(version) +
-                       " is not supported (expected " + std::to_string(kVersion) + ")");
+                       " is not supported (expected 1.." + std::to_string(kVersion) + ")");
   }
 
   reader.RequireLine("blast section");
@@ -263,6 +275,22 @@ void LoadValidationCache(std::istream& in, ValidationCache& cache) {
         entry.result.counterexample.bool_values.emplace(name, reader.U64("witness bool") != 0);
       }
       cache.PreloadVerdict(program_key, key, std::move(entry));
+    }
+  }
+
+  if (version >= 2) {
+    reader.RequireLine("summaries section");
+    reader.ExpectWord("summaries");
+    const uint64_t summary_count = reader.U64("summary count");
+    for (uint64_t s = 0; s < summary_count; ++s) {
+      reader.RequireLine("summary fingerprint");
+      Fingerprint key;
+      key.hi = reader.U64("summary key hi");
+      key.lo = reader.U64("summary key lo");
+      Fingerprint fp;
+      fp.hi = reader.U64("semantics fingerprint hi");
+      fp.lo = reader.U64("semantics fingerprint lo");
+      cache.summaries().RecordSemanticsFingerprint(key, fp);
     }
   }
 }

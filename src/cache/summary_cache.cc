@@ -1,0 +1,46 @@
+#include "src/cache/summary_cache.h"
+
+#include <sstream>
+
+#include "src/frontend/printer.h"
+
+namespace gauntlet {
+
+Fingerprint BlockEnvironmentFingerprint(const Program& program, size_t table_entries) {
+  // A canonical text rendering, fingerprinted once per version. Exact
+  // formatting is irrelevant; what matters is that every observable detail
+  // (type names, field names and types, function bodies) is captured with
+  // unambiguous separators.
+  std::ostringstream text;
+  text << "entries " << table_entries << '\n';
+  for (const TypePtr& type : program.type_decls()) {
+    text << (type->IsHeader() ? "header " : "struct ") << type->name() << " {\n";
+    for (const Type::Field& field : type->fields()) {
+      text << "  " << field.type->ToString() << ' ' << field.name << ";\n";
+    }
+    text << "}\n";
+  }
+  for (const DeclPtr& decl : program.decls()) {
+    if (decl->kind() == DeclKind::kControl || decl->kind() == DeclKind::kParser) {
+      continue;  // block bodies key themselves, via BlockSummaryKey
+    }
+    text << PrintDecl(*decl) << '\n';
+  }
+  return CombineFingerprints(FingerprintOfString("block-env"),
+                             FingerprintOfString(text.str()));
+}
+
+Fingerprint BlockSummaryKey(const Fingerprint& environment, const Program& program,
+                            const PackageBlock& block) {
+  const Decl* decl = program.FindDecl(block.decl_name);
+  if (decl == nullptr) {
+    return Fingerprint{};
+  }
+  Fingerprint fp = FingerprintOfString("block-summary");
+  fp = CombineFingerprints(fp, environment);
+  fp = CombineFingerprints(fp, FingerprintOfString(BlockRoleToString(block.role)));
+  fp = CombineFingerprints(fp, FingerprintOfString(PrintDecl(*decl)));
+  return fp;
+}
+
+}  // namespace gauntlet

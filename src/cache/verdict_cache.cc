@@ -15,6 +15,9 @@ void CacheStats::Merge(const CacheStats& other) {
   verdict_misses += other.verdict_misses;
   queries_skipped += other.queries_skipped;
   pairs_short_circuited += other.pairs_short_circuited;
+  summary_hits += other.summary_hits;
+  summary_misses += other.summary_misses;
+  summary_fps_reused += other.summary_fps_reused;
 }
 
 void CacheStats::RecordMetrics(MetricsRegistry& registry) const {
@@ -24,6 +27,9 @@ void CacheStats::RecordMetrics(MetricsRegistry& registry) const {
   registry.Count("cache/clauses_reused", kTiming, clauses_reused);
   registry.Count("cache/pairs_short_circuited", kTiming, pairs_short_circuited);
   registry.Count("cache/queries_skipped", kTiming, queries_skipped);
+  registry.Count("cache/summary_fps_reused", kTiming, summary_fps_reused);
+  registry.Count("cache/summary_hits", kTiming, summary_hits);
+  registry.Count("cache/summary_misses", kTiming, summary_misses);
   registry.Count("cache/verdict_hits", kTiming, verdict_hits);
   registry.Count("cache/verdict_misses", kTiming, verdict_misses);
 }
@@ -103,6 +109,9 @@ CacheStats ValidationCache::Stats() const {
   stats.verdict_misses = verdicts_.misses();
   stats.queries_skipped = queries_skipped_;
   stats.pairs_short_circuited = pairs_short_circuited_;
+  stats.summary_hits = summaries_.hits();
+  stats.summary_misses = summaries_.misses();
+  stats.summary_fps_reused = summaries_.fingerprints_reused();
   return stats;
 }
 

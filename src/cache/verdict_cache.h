@@ -6,6 +6,7 @@
 
 #include "src/cache/blast_cache.h"
 #include "src/cache/struct_hash.h"
+#include "src/cache/summary_cache.h"
 #include "src/tv/validator.h"
 
 namespace gauntlet {
@@ -25,6 +26,10 @@ struct CacheStats {
   uint64_t verdict_misses = 0;      // pass pairs that ran their queries
   uint64_t queries_skipped = 0;     // SAT queries avoided by verdict hits
   uint64_t pairs_short_circuited = 0;  // canonically identical (before, after)
+  uint64_t summary_hits = 0;    // blocks whose interpretation was memoized
+  uint64_t summary_misses = 0;  // blocks interpreted and recorded
+  uint64_t summary_fps_reused = 0;  // canonical DAG hashes skipped via the
+                                    // persisted key → fingerprint table
 
   void Merge(const CacheStats& other);
 
@@ -115,6 +120,7 @@ class ValidationCache {
  public:
   BlastCache& blast() { return blast_; }
   VerdictCache& verdicts() { return verdicts_; }
+  SummaryCache& summaries() { return summaries_; }
 
   // Starts a new program scope. Key 0 = anonymous: verdicts are cleared but
   // nothing is stored or preloaded. A non-zero key archives the finished
@@ -146,6 +152,7 @@ class ValidationCache {
 
   BlastCache blast_;
   VerdictCache verdicts_;
+  SummaryCache summaries_;
   uint64_t current_program_key_ = 0;
   // Verdicts archived per program key; ordered maps so serialization is
   // deterministic for any insertion order.

@@ -27,8 +27,12 @@ void SatSolver::AddClause(std::vector<Lit> lits) {
     return;
   }
   // Incremental use: a previous Solve may have left decisions on the trail.
-  // Clause insertion reasons about level-0 values only, so unwind first.
+  // Clause insertion reasons about level-0 values only, so unwind first —
+  // and forget the retained assumption prefix: the new clause may be unit
+  // (or conflicting) under it, so the next Solve must re-propagate the
+  // assumptions against the grown database from scratch.
   Backtrack(0);
+  trail_assumptions_.clear();
   // Remove duplicate literals; detect tautologies and falsified literals at
   // level 0.
   std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.code < b.code; });
@@ -281,6 +285,26 @@ void SatSolver::Backtrack(uint32_t target_level) {
   propagate_head_ = trail_.size();
 }
 
+// Retains the assumption-owned prefix of the trail at a Solve exit so the
+// next call can skip re-propagating a shared assumption prefix. Everything
+// above the assumption levels (search decisions) is unwound; the retained
+// levels are then exactly one per recorded assumption, in order. Only
+// called from exits where the trail is known conflict-free (kSat, or an
+// assumption found already-false before any clause was falsified) — a
+// budget exit happens mid-conflict and must clear retention instead, or the
+// falsified clause would silently survive under the reused prefix.
+void SatSolver::RetainAssumptionTrail(const std::vector<Lit>& assumptions) {
+  trail_assumptions_.clear();
+  if (!trail_reuse_) {
+    Backtrack(0);
+    return;
+  }
+  const auto keep =
+      static_cast<uint32_t>(std::min<size_t>(assumptions.size(), DecisionLevel()));
+  Backtrack(keep);
+  trail_assumptions_.assign(assumptions.begin(), assumptions.begin() + keep);
+}
+
 uint32_t SatSolver::Luby(uint32_t index) {
   // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
   uint32_t size = 1;
@@ -350,11 +374,37 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
   solve_base_decisions_ = decisions_;
   solve_base_propagations_ = propagations_;
   solve_base_restarts_ = restarts_;
+  solve_base_prefix_reused_lits_ = prefix_reused_lits_;
+  solve_base_propagations_saved_ = propagations_saved_;
   if (unsat_) {
+    trail_assumptions_.clear();
     return SatResult::kUnsat;
   }
-  Backtrack(0);
+  // Trail reuse: keep the decision levels owned by the longest common
+  // prefix of the previous call's assumptions instead of unwinding to level
+  // 0 and re-propagating them all. The retained literals were propagated to
+  // fixpoint when those levels were built, so the search resumes at the
+  // first divergent assumption with zero propagation work for the prefix.
+  uint32_t keep = 0;
+  const size_t reusable =
+      !trail_reuse_ ? 0
+                    : std::min<size_t>(
+                          std::min(trail_assumptions_.size(), assumptions.size()),
+                          DecisionLevel());
+  while (keep < reusable && trail_assumptions_[keep] == assumptions[keep]) {
+    ++keep;
+  }
+  Backtrack(keep);
+  trail_assumptions_.clear();
+  if (keep > 0) {
+    prefix_reused_lits_ += keep;
+    propagations_saved_ += trail_.size() - trail_limits_[0];
+  }
   if (Propagate() >= 0) {
+    // Pending unit clauses from AddClause conflicted. AddClause cleared the
+    // retained prefix, so this can only happen at decision level 0, where a
+    // propagation conflict means the instance itself is unsatisfiable.
+    GAUNTLET_BUG_CHECK(DecisionLevel() == 0, "entry conflict above level 0");
     unsat_ = true;
     return SatResult::kUnsat;
   }
@@ -374,18 +424,24 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
     if (conflict >= 0) {
       ++conflicts_;
       ++conflicts_this_restart;
+      // Budget exits must not retain the trail: we are mid-conflict, so some
+      // clause is falsified under the current assignment and a reused prefix
+      // would hide it from the next Solve.
       if (conflict_limit_ != 0 && conflicts_ - conflicts_at_entry >= conflict_limit_) {
         Backtrack(0);
+        trail_assumptions_.clear();
         return SatResult::kUnknown;
       }
       if (time_limit_ms_ != 0 && (conflicts_ & 0xff) == 0 &&
           std::chrono::steady_clock::now() >= deadline) {
         Backtrack(0);
+        trail_assumptions_.clear();
         return SatResult::kUnknown;
       }
       clauses_[static_cast<size_t>(conflict)].activity += 1.0;
       if (DecisionLevel() == 0) {
         unsat_ = true;
+        trail_assumptions_.clear();
         return SatResult::kUnsat;
       }
       uint32_t backtrack_level = 0;
@@ -429,7 +485,10 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
       if (value == kFalse) {
         // The assumption contradicts the clause database (under earlier
         // assumptions): unsat under assumptions, instance itself untouched.
-        Backtrack(0);
+        // The trail is conflict-free here (the contradiction is with a
+        // not-yet-taken assumption), so the already-propagated prefix can
+        // be kept — a repeat of this call answers kUnsat with zero work.
+        RetainAssumptionTrail(assumptions);
         return SatResult::kUnsat;
       }
       trail_limits_.push_back(static_cast<uint32_t>(trail_.size()));
@@ -452,7 +511,8 @@ SatResult SatSolver::Solve(const std::vector<Lit>& assumptions) {
     }
     if (next_var == UINT32_MAX) {
       model_ = assigns_;
-      Backtrack(0);
+      has_model_ = true;
+      RetainAssumptionTrail(assumptions);
       return SatResult::kSat;
     }
     HeapRemoveTop();

@@ -56,7 +56,25 @@ class SatSolver {
   // Solves under the given assumption literals. kUnsat means unsatisfiable
   // *under these assumptions*; the clause database is unaffected and later
   // Solve calls with different assumptions behave independently.
+  //
+  // Trail reuse: consecutive Solve calls whose assumption vectors share a
+  // prefix skip re-propagating that prefix — the decision levels owned by
+  // the longest common prefix of the previous call's assumptions are kept
+  // on the trail (together with every literal they implied) and the search
+  // resumes at the first divergent assumption. Verdicts are unaffected:
+  // sat/unsat under assumptions is a property of the clause database, not
+  // of the propagation order. Models from assumption solves may differ
+  // from what a from-scratch solve would find (learned clauses steer the
+  // search differently), which is why result-identity-sensitive callers
+  // extract witness models from a fresh solver (see testgen).
   SatResult Solve(const std::vector<Lit>& assumptions);
+
+  // Disables (or re-enables) assumption-trail reuse between Solve calls.
+  // Off, every Solve unwinds to level 0 and re-propagates all assumptions
+  // from scratch — the pre-incremental behavior the --no-incremental
+  // escape hatch restores for A/B comparison.
+  void set_trail_reuse(bool enabled) { trail_reuse_ = enabled; }
+  bool trail_reuse() const { return trail_reuse_; }
 
   // Caps the number of conflicts a single Solve may spend; 0 means
   // unlimited. When the budget runs out Solve returns kUnknown — callers
@@ -73,14 +91,28 @@ class SatSolver {
   void set_time_limit_ms(uint64_t limit_ms) { time_limit_ms_ = limit_ms; }
 
   // After a kSat Solve: the value of `var` in the satisfying assignment.
-  // The model persists until the next Solve call.
+  // The model is a snapshot taken at the moment of kSat, not a live view of
+  // the trail: a later kUnsat or kUnknown Solve leaves it untouched, so the
+  // most recent satisfying assignment stays readable across failed probes
+  // (CheckWithPreferences depends on this). It is only replaced by the next
+  // kSat.
   bool ValueOf(uint32_t var) const { return var < model_.size() && model_[var] == kTrue; }
+
+  // Whether any Solve has ever produced a model (i.e. returned kSat).
+  // Reading ValueOf before that is a caller bug; SmtSolver::ExtractModel
+  // checks this and fails loudly.
+  bool has_model() const { return has_model_; }
 
   // Cumulative statistics, exposed for the solver-ablation benchmarks.
   uint64_t conflicts() const { return conflicts_; }
   uint64_t decisions() const { return decisions_; }
   uint64_t propagations() const { return propagations_; }
   uint64_t restarts() const { return restarts_; }
+  // Trail-reuse accounting: assumption literals whose decision levels were
+  // carried over from the previous Solve, and trail literals (assumptions
+  // plus everything they implied) that were consequently not re-propagated.
+  uint64_t prefix_reused_lits() const { return prefix_reused_lits_; }
+  uint64_t propagations_saved() const { return propagations_saved_; }
 
   // Statistics attributed to the most recent Solve call alone. The baseline
   // is re-captured on every Solve entry, so per-solve telemetry spans get
@@ -89,6 +121,12 @@ class SatSolver {
   uint64_t solve_decisions() const { return decisions_ - solve_base_decisions_; }
   uint64_t solve_propagations() const { return propagations_ - solve_base_propagations_; }
   uint64_t solve_restarts() const { return restarts_ - solve_base_restarts_; }
+  uint64_t solve_prefix_reused_lits() const {
+    return prefix_reused_lits_ - solve_base_prefix_reused_lits_;
+  }
+  uint64_t solve_propagations_saved() const {
+    return propagations_saved_ - solve_base_propagations_saved_;
+  }
 
  private:
   static constexpr int8_t kTrue = 1;
@@ -108,6 +146,7 @@ class SatSolver {
 
   bool Enqueue(Lit lit, int32_t reason_clause);
   int32_t Propagate();
+  void RetainAssumptionTrail(const std::vector<Lit>& assumptions);
   void Analyze(int32_t conflict_clause, std::vector<Lit>& learned, uint32_t& backtrack_level);
   void Backtrack(uint32_t level);
   void BumpVar(uint32_t var);
@@ -149,15 +188,26 @@ class SatSolver {
   size_t propagate_head_ = 0;
   double var_inc_ = 1.0;
   bool unsat_ = false;
+  bool has_model_ = false;
+  bool trail_reuse_ = true;
+  // The assumptions that own the decision levels still on the trail from
+  // the previous Solve (one level per recorded assumption, in order).
+  // Cleared whenever the trail is invalidated (AddClause, global unsat, a
+  // budget exit that may leave a falsified clause under the trail).
+  std::vector<Lit> trail_assumptions_;
 
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;
   uint64_t propagations_ = 0;
   uint64_t restarts_ = 0;
+  uint64_t prefix_reused_lits_ = 0;
+  uint64_t propagations_saved_ = 0;
   uint64_t solve_base_conflicts_ = 0;
   uint64_t solve_base_decisions_ = 0;
   uint64_t solve_base_propagations_ = 0;
   uint64_t solve_base_restarts_ = 0;
+  uint64_t solve_base_prefix_reused_lits_ = 0;
+  uint64_t solve_base_propagations_saved_ = 0;
   uint64_t conflict_limit_ = 0;
   uint64_t time_limit_ms_ = 0;
 

@@ -31,6 +31,7 @@ void SmtSolver::EncodePending() {
   TraceSpan span("smt-encode", "smt");
   if (sat_ == nullptr) {
     sat_ = std::make_unique<SatSolver>();
+    sat_->set_trail_reuse(incremental_);
     blaster_ = std::make_unique<BitBlaster>(context_, *sat_, blast_cache_);
     blasted_count_ = 0;
   }
@@ -44,28 +45,34 @@ CheckResult SmtSolver::SolveUnder(const std::vector<Lit>& assumptions) {
   sat_->set_time_limit_ms(time_limit_ms_);
   TraceSpan span("smt-solve", "smt");
   const SatResult result = sat_->Solve(assumptions);
-  last_conflicts_ = sat_->solve_conflicts();
-  last_decisions_ = sat_->solve_decisions();
-  last_propagations_ = sat_->solve_propagations();
-  last_restarts_ = sat_->solve_restarts();
-  last_sat_vars_ = sat_->VarCount();
-  span.Arg("conflicts", last_conflicts_);
-  span.Arg("decisions", last_decisions_);
-  span.Arg("propagations", last_propagations_);
-  span.Arg("restarts", last_restarts_);
-  span.Arg("vars", last_sat_vars_);
+  last_solve_.conflicts = sat_->solve_conflicts();
+  last_solve_.decisions = sat_->solve_decisions();
+  last_solve_.propagations = sat_->solve_propagations();
+  last_solve_.restarts = sat_->solve_restarts();
+  last_solve_.prefix_reused_lits = sat_->solve_prefix_reused_lits();
+  last_solve_.propagations_saved = sat_->solve_propagations_saved();
+  last_solve_.sat_vars = sat_->VarCount();
+  span.Arg("conflicts", last_solve_.conflicts);
+  span.Arg("decisions", last_solve_.decisions);
+  span.Arg("propagations", last_solve_.propagations);
+  span.Arg("restarts", last_solve_.restarts);
+  span.Arg("prefix_reused_lits", last_solve_.prefix_reused_lits);
+  span.Arg("propagations_saved", last_solve_.propagations_saved);
+  span.Arg("vars", last_solve_.sat_vars);
   const auto kTiming = MetricScope::kTiming;
   CountMetric("smt/solves", kTiming);
-  CountMetric("smt/conflicts", kTiming, last_conflicts_);
-  CountMetric("smt/decisions", kTiming, last_decisions_);
-  CountMetric("smt/propagations", kTiming, last_propagations_);
-  CountMetric("smt/restarts", kTiming, last_restarts_);
+  CountMetric("smt/conflicts", kTiming, last_solve_.conflicts);
+  CountMetric("smt/decisions", kTiming, last_solve_.decisions);
+  CountMetric("smt/propagations", kTiming, last_solve_.propagations);
+  CountMetric("smt/restarts", kTiming, last_solve_.restarts);
+  CountMetric("smt/assumption_prefix_reused_lits", kTiming, last_solve_.prefix_reused_lits);
+  CountMetric("smt/propagations_saved", kTiming, last_solve_.propagations_saved);
   CountMetric(result == SatResult::kSat      ? "smt/result/sat"
               : result == SatResult::kUnsat  ? "smt/result/unsat"
                                              : "smt/result/unknown",
               kTiming);
   ObserveMetric("smt/solve_micros", kTiming, kSolveMicrosBounds, span.ElapsedMicros());
-  GaugeMaxMetric("smt/max_vars", kTiming, last_sat_vars_);
+  GaugeMaxMetric("smt/max_vars", kTiming, last_solve_.sat_vars);
   switch (result) {
     case SatResult::kSat:
       return CheckResult::kSat;
@@ -88,7 +95,11 @@ CheckResult SmtSolver::CheckUnderAssumptions(const std::vector<SmtRef>& assumpti
 }
 
 CheckResult SmtSolver::CheckWithPreferences(const std::vector<SmtRef>& preferences,
-                                            const std::vector<SmtRef>& assumptions) {
+                                            const std::vector<SmtRef>& assumptions,
+                                            std::vector<size_t>* accepted_out) {
+  if (accepted_out != nullptr) {
+    accepted_out->clear();
+  }
   EncodePending();
   std::vector<Lit> assumed;
   assumed.reserve(assumptions.size() + preferences.size());
@@ -126,7 +137,14 @@ CheckResult SmtSolver::CheckWithPreferences(const std::vector<SmtRef>& preferenc
       assumed.push_back(pref_lits[i]);
     }
     if (SolveUnder(assumed) == CheckResult::kSat) {
-      return;  // the whole block is compatible with the accepted set
+      // The whole block is compatible with the accepted set. Recursion
+      // visits blocks left to right, so indices come out ascending.
+      if (accepted_out != nullptr) {
+        for (size_t i = begin; i < end; ++i) {
+          accepted_out->push_back(i);
+        }
+      }
+      return;
     }
     assumed.resize(saved);
     if (end - begin == 1) {
@@ -142,6 +160,12 @@ CheckResult SmtSolver::CheckWithPreferences(const std::vector<SmtRef>& preferenc
 
 SmtModel SmtSolver::ExtractModel() const {
   GAUNTLET_BUG_CHECK(blaster_ != nullptr, "ExtractModel before Check");
+  // The SAT model is a snapshot from the most recent kSat solve; a later
+  // kUnsat/kUnknown solve preserves it (never the rewound trail). But if no
+  // solve ever succeeded there is no model at all — reading one would
+  // silently yield all-zero values, so fail loudly instead.
+  GAUNTLET_BUG_CHECK(sat_ != nullptr && sat_->has_model(),
+                     "ExtractModel without a satisfiable Check");
   SmtModel model;
   for (uint32_t var_id = 0; var_id < context_.VarCount(); ++var_id) {
     const std::string& name = context_.VarName(var_id);

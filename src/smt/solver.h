@@ -22,6 +22,21 @@ struct SmtModel {
   bool BoolOf(const std::string& name) const;
 };
 
+// Statistics for one Check call, captured from the SAT core's per-solve
+// counters (src/obs/ telemetry and the ablation benchmarks read these).
+struct SolveStats {
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t restarts = 0;
+  // Trail reuse: assumption literals whose decision levels carried over
+  // from the previous solve, and trail literals not re-propagated thanks
+  // to them. Both zero when incremental solving is off (--no-incremental).
+  uint64_t prefix_reused_lits = 0;
+  uint64_t propagations_saved = 0;
+  uint32_t sat_vars = 0;
+};
+
 // The Z3-replacement facade: collect boolean constraints, check
 // satisfiability (by bit-blasting into the CDCL solver), extract models.
 //
@@ -53,6 +68,17 @@ class SmtSolver {
     blast_cache_ = cache;
   }
 
+  // Enables/disables assumption-trail reuse in the SAT core (the
+  // incremental hot path; on by default). Off, every assumption solve
+  // re-propagates from scratch — the --no-incremental A/B mode. Verdicts
+  // and every report byte are identical either way; only the work differs.
+  void set_incremental(bool enabled) {
+    incremental_ = enabled;
+    if (sat_ != nullptr) {
+      sat_->set_trail_reuse(enabled);
+    }
+  }
+
   // SAT conflict budget per Check (0 = unlimited); kUnknown on exhaustion.
   void set_conflict_limit(uint64_t limit) { conflict_limit_ = limit; }
 
@@ -72,20 +98,29 @@ class SmtSolver {
   // `assumptions`) are satisfiable, tries to additionally satisfy each
   // preference in order, keeping those that do not cause unsatisfiability.
   // This implements the paper's "ask Z3 for non-zero input-output values"
-  // heuristic (section 6.2).
+  // heuristic (section 6.2). When `accepted_out` is non-null it receives
+  // the indices (ascending) of the preferences the pass kept — the set is
+  // a pure function of per-subset satisfiability verdicts, so it is
+  // identical whether or not the solver reuses trails between probes.
   CheckResult CheckWithPreferences(const std::vector<SmtRef>& preferences,
-                                   const std::vector<SmtRef>& assumptions = {});
+                                   const std::vector<SmtRef>& assumptions = {},
+                                   std::vector<size_t>* accepted_out = nullptr);
 
-  // Valid after a kSat Check: the full model.
+  // The full model of the most recent *satisfiable* Check. The model is a
+  // snapshot: a later kUnsat/kUnknown Check (e.g. a rejected preference
+  // probe or an infeasible path probe) leaves it intact rather than
+  // exposing the partially rewound trail. Calling this before any Check
+  // has ever returned kSat is a bug and fails loudly.
   SmtModel ExtractModel() const;
 
   // Statistics from the most recent Check, for the ablation benchmarks and
   // the telemetry layer (src/obs/). Each reflects that solve alone.
-  uint64_t last_conflicts() const { return last_conflicts_; }
-  uint64_t last_decisions() const { return last_decisions_; }
-  uint64_t last_propagations() const { return last_propagations_; }
-  uint64_t last_restarts() const { return last_restarts_; }
-  uint32_t last_sat_vars() const { return last_sat_vars_; }
+  const SolveStats& last_solve() const { return last_solve_; }
+  uint64_t last_conflicts() const { return last_solve_.conflicts; }
+  uint64_t last_decisions() const { return last_solve_.decisions; }
+  uint64_t last_propagations() const { return last_solve_.propagations; }
+  uint64_t last_restarts() const { return last_solve_.restarts; }
+  uint32_t last_sat_vars() const { return last_solve_.sat_vars; }
 
   SmtContext& context() { return context_; }
 
@@ -101,13 +136,10 @@ class SmtSolver {
   size_t blasted_count_ = 0;  // prefix of constraints_ already encoded
   uint64_t conflict_limit_ = 0;
   uint64_t time_limit_ms_ = 0;
+  bool incremental_ = true;
   std::unique_ptr<SatSolver> sat_;
   std::unique_ptr<BitBlaster> blaster_;
-  uint64_t last_conflicts_ = 0;
-  uint64_t last_decisions_ = 0;
-  uint64_t last_propagations_ = 0;
-  uint64_t last_restarts_ = 0;
-  uint32_t last_sat_vars_ = 0;
+  SolveStats last_solve_;
 };
 
 // One-shot helper: is `constraint` satisfiable in `context`?

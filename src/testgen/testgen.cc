@@ -215,11 +215,13 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program, Vali
 
   // One incremental solver carries the hard constraints for the whole
   // enumeration; every path probe below is an assumption solve that reuses
-  // the encoding and all learned clauses.
+  // the encoding, all learned clauses, and (with incremental solving on)
+  // the shared assumption-prefix trail of the previous probe.
   SmtSolver solver(ctx);
   if (cache != nullptr) {
     solver.set_blast_cache(&cache->blast());
   }
+  solver.set_incremental(options_.incremental_solving);
   solver.set_conflict_limit(100000);
   solver.set_time_limit_ms(options_.query_time_limit_ms);
   for (const SmtRef& constraint : hard) {
@@ -227,42 +229,38 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program, Vali
   }
 
   // DFS over sign assignments of the decision conditions, pruning
-  // infeasible prefixes with solver calls. Model reuse halves the probes:
-  // the parent prefix's model already decides each condition one way, so
-  // that branch is feasible for free and only the flipped branch needs the
-  // solver.
+  // infeasible prefixes with solver calls, visiting the true branch before
+  // the false branch at every level. The fixed visit order makes the path
+  // list a function of per-prefix feasibility alone — never of which model
+  // a probe happened to return — so it is identical with incremental
+  // solving on or off. Models still halve the probes: the branch the
+  // parent's model already decides is feasible for free, and only the
+  // other branch needs the solver (one probe per expanded node either
+  // way; which branch pays it is the only thing a model influences).
   std::vector<std::vector<SmtRef>> paths;
   std::vector<SmtRef> assumption_stack;
   std::function<void(size_t, const SmtModel&)> enumerate = [&](size_t index,
                                                                const SmtModel& model) {
-    if (paths.size() >= options_.max_tests) {
-      return;
-    }
     if (index == decisions.size()) {
       paths.push_back(assumption_stack);
       return;
     }
     ModelEvaluator evaluator(ctx, model);
     const bool model_value = evaluator.EvalBool(decisions[index]);
-    const SmtRef taken = model_value ? decisions[index] : ctx.BoolNot(decisions[index]);
-    const SmtRef flipped = model_value ? ctx.BoolNot(decisions[index]) : decisions[index];
-
-    // Branch the model already satisfies: no solver call needed.
-    assumption_stack.push_back(taken);
-    enumerate(index + 1, model);
-    assumption_stack.pop_back();
-    if (paths.size() >= options_.max_tests) {
-      return;
+    for (const bool branch : {true, false}) {
+      if (paths.size() >= options_.max_tests) {
+        return;
+      }
+      assumption_stack.push_back(branch ? decisions[index] : ctx.BoolNot(decisions[index]));
+      if (branch == model_value) {
+        // The inherited model witnesses this branch: recurse for free.
+        enumerate(index + 1, model);
+      } else if (solver.CheckUnderAssumptions(assumption_stack) == CheckResult::kSat) {
+        const SmtModel branch_model = solver.ExtractModel();
+        enumerate(index + 1, branch_model);
+      }
+      assumption_stack.pop_back();
     }
-
-    // Flipped branch: probe with the solver; on success recurse with the
-    // fresh witness so deeper levels can keep reusing models.
-    assumption_stack.push_back(flipped);
-    if (solver.CheckUnderAssumptions(assumption_stack) == CheckResult::kSat) {
-      const SmtModel flipped_model = solver.ExtractModel();
-      enumerate(index + 1, flipped_model);
-    }
-    assumption_stack.pop_back();
   };
   {
     TraceSpan span("testgen-enumerate", "testgen");
@@ -339,7 +337,23 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program, Vali
                       pipeline.egress.tables.end());
   }
 
-  // Solve each path for a concrete witness and build the test case.
+  // Solve each path for a concrete witness and build the test case. The
+  // witness models come from a dedicated solver whose configuration is
+  // fixed (never varied by --no-incremental): every solve it performs is
+  // determined by the path list and per-subset satisfiability verdicts —
+  // both pure functions of the program — so the packets, table entries and
+  // expected outputs it yields are byte-identical whether or not the probe
+  // solver above reused trails. (The probe solver's own models cannot be
+  // used here: its search history differs between the two modes.)
+  SmtSolver witness_solver(ctx);
+  if (cache != nullptr) {
+    witness_solver.set_blast_cache(&cache->blast());
+  }
+  witness_solver.set_conflict_limit(100000);
+  witness_solver.set_time_limit_ms(options_.query_time_limit_ms);
+  for (const SmtRef& constraint : hard) {
+    witness_solver.Assert(constraint);
+  }
   TraceSpan witness_span("testgen-witness", "testgen");
   std::vector<PacketTest> tests;
   std::set<std::string> seen;  // dedupe by (packet, tables) fingerprint
@@ -546,10 +560,11 @@ std::vector<PacketTest> TestCaseGenerator::Generate(const Program& program, Vali
         }
       }
     }
-    if (solver.CheckWithPreferences(preferences, paths[path_index]) != CheckResult::kSat) {
+    if (witness_solver.CheckWithPreferences(preferences, paths[path_index]) !=
+        CheckResult::kSat) {
       continue;  // path became infeasible under the hard pins
     }
-    const SmtModel model = solver.ExtractModel();
+    const SmtModel model = witness_solver.ExtractModel();
 
     PacketTest test;
     test.name = "path" + std::to_string(path_index);

@@ -35,6 +35,12 @@ struct TestGenOptions {
   // expose priority-inversion and map-key back-end faults. 1 recovers the
   // paper's single-entry encoding (the bench_table_model baseline).
   size_t symbolic_table_entries = 2;
+  // Assumption-trail reuse in the path-probe solver (--no-incremental turns
+  // it off). The probe solver only answers feasibility questions — every
+  // byte that reaches a test comes from the separate witness solver, whose
+  // configuration is fixed — so the generated tests are byte-identical
+  // either way; only the enumeration cost changes.
+  bool incremental_solving = true;
 };
 
 // What one program's path enumeration covered: decision depth, enumerated

@@ -138,10 +138,10 @@ ParsedArgs ParseCommandArgs(int argc, char** argv,
 }
 
 // The two cache switches shared by the validating commands, plus the
-// telemetry heartbeat switch and the wall-clock-budget kill switch they
-// all accept.
+// telemetry heartbeat switch, the wall-clock-budget kill switch and the
+// incremental-solving A/B switch they all accept.
 const std::vector<std::string> kCacheSwitches = {"--no-cache", "--cache-stats", "--progress",
-                                                "--no-budgets"};
+                                                "--no-budgets", "--no-incremental"};
 
 // The telemetry output flags shared by every instrumented command.
 const std::vector<std::string> kTelemetryFlags = {"--metrics-out", "--trace-out",
@@ -156,13 +156,21 @@ std::vector<std::string> WithTelemetryFlags(std::vector<std::string> value_flags
 // which pass pairs and paths fit the budget no longer depends on machine
 // load — the setting the determinism tests and CI byte-equality gates run
 // under. The conflict budget stays: it is deterministic by construction.
-void ApplyBudgetSwitch(const ParsedArgs& args, TvOptions& tv, TestGenOptions& testgen) {
-  if (!args.Has("--no-budgets")) {
-    return;
+//
+// `--no-incremental` turns the solver hot path off for A/B runs: no
+// assumption-trail reuse in the path-probe solver and no block-summary
+// memoization in the validator. Every report byte is identical either way
+// (CI diffs the two modes); only the work spent differs.
+void ApplySolverSwitches(const ParsedArgs& args, TvOptions& tv, TestGenOptions& testgen) {
+  if (args.Has("--no-budgets")) {
+    tv.query_time_limit_ms = 0;
+    tv.program_budget_ms = 0;
+    testgen.query_time_limit_ms = 0;
   }
-  tv.query_time_limit_ms = 0;
-  tv.program_budget_ms = 0;
-  testgen.query_time_limit_ms = 0;
+  if (args.Has("--no-incremental")) {
+    tv.memoize_block_summaries = false;
+    testgen.incremental_solving = false;
+  }
 }
 
 // Telemetry destinations parsed from --metrics-out/--trace-out/
@@ -362,7 +370,7 @@ int CmdValidate(const std::string& path, const BugConfig& bugs, const ParsedArgs
   auto program = Parser::ParseString(ReadFile(path));
   TvOptions tv_options;
   TestGenOptions unused_testgen_options;
-  ApplyBudgetSwitch(args, tv_options, unused_testgen_options);
+  ApplySolverSwitches(args, tv_options, unused_testgen_options);
   const TranslationValidator validator(PassManager::StandardPipeline(), tv_options);
   ValidationCache cache;
   ValidationCache* cache_ptr = args.Has("--no-cache") ? nullptr : &cache;
@@ -420,7 +428,7 @@ int CmdTestgen(const std::string& path, const ParsedArgs& args) {
   }
   TvOptions unused_tv_options;
   TestGenOptions testgen_options;
-  ApplyBudgetSwitch(args, unused_tv_options, testgen_options);
+  ApplySolverSwitches(args, unused_tv_options, testgen_options);
   std::vector<PacketTest> tests;
   try {
     ScopedTelemetry sinks(telemetry);
@@ -489,7 +497,7 @@ int CmdFuzz(int argc, char** argv) {
   CampaignOptions options;
   options.targets = TargetsFromFlags(args);
   options.use_cache = !args.Has("--no-cache");
-  ApplyBudgetSwitch(args, options.tv, options.testgen);
+  ApplySolverSwitches(args, options.tv, options.testgen);
   if (args.positionals.size() >= 1) {
     options.num_programs = ParseCount(args.positionals[0], "N", /*minimum=*/0);
   }
@@ -549,6 +557,9 @@ int RunCampaignSharded(const ParsedArgs& args, const BugConfig& bugs, Telemetry&
     if (args.Has("--no-budgets")) {
       options.worker_flags.push_back("--no-budgets");
     }
+    if (args.Has("--no-incremental")) {
+      options.worker_flags.push_back("--no-incremental");
+    }
   }
   const std::unique_ptr<ProgressMeter> meter =
       WireCampaignTelemetry(args, telemetry, options.campaign);
@@ -582,7 +593,7 @@ int CmdCampaign(int argc, char** argv) {
   ParallelCampaignOptions options;
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
-  ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
+  ApplySolverSwitches(args, options.campaign.tv, options.campaign.testgen);
   if (args.Has("--snapshot-interval") && !args.Has("--status-dir")) {
     throw CliUsageError("--snapshot-interval only applies with --status-dir");
   }
@@ -646,7 +657,7 @@ int CmdShardWorker(int argc, char** argv) {
       WithTelemetryFlags({"--shard-begin", "--shard-end", "--seed", "--jobs", "--result-out",
                           "--corpus", "--cache-file", "--bug", "--targets", "--status-dir",
                           "--status-role", "--snapshot-interval"}),
-      /*max_positionals=*/0, {"--no-cache", "--no-budgets"});
+      /*max_positionals=*/0, {"--no-cache", "--no-budgets", "--no-incremental"});
   for (const char* required : {"--shard-begin", "--shard-end", "--seed", "--result-out"}) {
     if (!args.Has(required)) {
       throw CliUsageError(std::string("shard-worker requires ") + required);
@@ -663,7 +674,7 @@ int CmdShardWorker(int argc, char** argv) {
   options.campaign.seed = static_cast<uint64_t>(ParseNumber(args.Last("--seed"), "--seed"));
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
-  ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
+  ApplySolverSwitches(args, options.campaign.tv, options.campaign.testgen);
   if (args.Has("--jobs")) {
     options.jobs = ParseCount(args.Last("--jobs"), "--jobs", /*minimum=*/1);
   }
@@ -730,7 +741,7 @@ int CmdServe(int argc, char** argv) {
   options.socket_path = args.Last("--socket");
   options.campaign.targets = TargetsFromFlags(args);
   options.campaign.use_cache = !args.Has("--no-cache");
-  ApplyBudgetSwitch(args, options.campaign.tv, options.campaign.testgen);
+  ApplySolverSwitches(args, options.campaign.tv, options.campaign.testgen);
   if (args.Has("--metrics-out")) {
     options.metrics_out = args.Last("--metrics-out");
   }
@@ -1065,6 +1076,9 @@ int Usage(std::FILE* out) {
                "runs (campaign reads and rewrites it; replay only validates it)\n"
                "--no-budgets (validate/testgen/fuzz/campaign) lifts the wall-clock\n"
                "solver budgets so reports do not depend on machine load\n"
+               "--no-incremental (same commands) disables the incremental solver hot\n"
+               "path (assumption-trail reuse + block-summary memoization); reports\n"
+               "are byte-identical either way, only the work spent differs\n"
                "telemetry (validate/testgen/fuzz/campaign/replay):\n"
                "  --metrics-out F   write a versioned metrics.json run report\n"
                "  --trace-out F     write Chrome/Perfetto trace-event JSON\n"

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "src/cache/summary_cache.h"
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/frontend/printer.h"
@@ -65,13 +66,47 @@ struct VersionSemantics {
   bool failed = false;
   std::string failure;
   std::vector<std::pair<BlockRole, BlockSemantics>> blocks;
+  // Parallel to `blocks`: each block's summary-cache key (invalid when the
+  // cache was off or the block's declaration could not be keyed).
+  std::vector<Fingerprint> summary_keys;
 };
 
-VersionSemantics InterpretVersion(SymbolicInterpreter& interpreter, const Program& program) {
+// The memoization toggle: non-null only when a cache is attached and the
+// options allow it (--no-incremental clears memoize_block_summaries).
+SummaryCache* SummariesOf(ValidationCache* cache, const TvOptions& options) {
+  return (cache != nullptr && options.memoize_block_summaries) ? &cache->summaries() : nullptr;
+}
+
+VersionSemantics InterpretVersion(SymbolicInterpreter& interpreter, const Program& program,
+                                  ValidationCache* cache, const TvOptions& options) {
   VersionSemantics result;
+  SummaryCache* summaries = SummariesOf(cache, options);
+  Fingerprint environment;
+  if (summaries != nullptr) {
+    environment = BlockEnvironmentFingerprint(program, interpreter.table_entries());
+  }
   try {
     for (const PackageBlock& block : program.package()) {
+      Fingerprint key;
+      if (summaries != nullptr) {
+        key = BlockSummaryKey(environment, program, block);
+        if (key.IsValid()) {
+          if (const BlockSemantics* hit = summaries->Find(key)) {
+            // An AST-identical block was already interpreted into this
+            // context: re-interpreting would return the same SmtRefs (fresh
+            // per-call undef numbering + hash-consing), so reuse is
+            // invisible to every downstream query.
+            result.blocks.emplace_back(block.role, *hit);
+            result.summary_keys.push_back(key);
+            continue;
+          }
+        }
+      }
       result.blocks.emplace_back(block.role, interpreter.InterpretRole(program, block.role));
+      result.summary_keys.push_back(key);
+      if (summaries != nullptr && key.IsValid()) {
+        summaries->Insert(key, result.blocks.back().second);
+      }
     }
   } catch (const UnsupportedError& error) {
     result.failed = true;
@@ -82,12 +117,29 @@ VersionSemantics InterpretVersion(SymbolicInterpreter& interpreter, const Progra
 
 // The canonical fingerprint of a whole version: every block's role plus its
 // semantics fingerprint, in block order. Equal fingerprints imply the
-// versions are input-output equivalent block by block.
-Fingerprint VersionFingerprint(StructHasher& hasher, const VersionSemantics& version) {
+// versions are input-output equivalent block by block. Blocks with a
+// summary key consult the cache's persisted key → fingerprint table first —
+// the mapping is functional, so a stored fingerprint equals what canonical
+// hashing would compute, and a warm --cache-file run skips the DAG walk.
+Fingerprint VersionFingerprint(StructHasher& hasher, const VersionSemantics& version,
+                               SummaryCache* summaries) {
   Fingerprint fp = FingerprintOfString("version-semantics");
-  for (const auto& [role, semantics] : version.blocks) {
+  for (size_t i = 0; i < version.blocks.size(); ++i) {
+    const auto& [role, semantics] = version.blocks[i];
     fp = CombineFingerprints(fp, FingerprintOfString(BlockRoleToString(role)));
-    fp = CombineFingerprints(fp, SemanticsFingerprint(hasher, semantics));
+    const Fingerprint key =
+        i < version.summary_keys.size() ? version.summary_keys[i] : Fingerprint{};
+    if (summaries != nullptr && key.IsValid()) {
+      if (const Fingerprint* stored = summaries->FindSemanticsFingerprint(key)) {
+        fp = CombineFingerprints(fp, *stored);
+        continue;
+      }
+    }
+    const Fingerprint semantics_fp = SemanticsFingerprint(hasher, semantics);
+    if (summaries != nullptr && key.IsValid()) {
+      summaries->RecordSemanticsFingerprint(key, semantics_fp);
+    }
+    fp = CombineFingerprints(fp, semantics_fp);
   }
   return fp;
 }
@@ -111,8 +163,9 @@ TvPassResult CompareSemantics(SmtContext& ctx, const VersionSemantics& before,
   Fingerprint fp_before;
   Fingerprint fp_after;
   if (cache != nullptr) {
-    fp_before = VersionFingerprint(*canonical_hasher, before);
-    fp_after = VersionFingerprint(*canonical_hasher, after);
+    SummaryCache* summaries = SummariesOf(cache, options);
+    fp_before = VersionFingerprint(*canonical_hasher, before, summaries);
+    fp_after = VersionFingerprint(*canonical_hasher, after, summaries);
     if (fp_before == fp_after) {
       cache->CountShortCircuit();
       result.verdict = TvVerdict::kEquivalent;
@@ -231,8 +284,12 @@ TvPassResult TranslationValidator::CompareVersions(const Program& before, const 
   TraceSpan span("tv:" + pass_name, "tv");
   SmtContext ctx;
   SymbolicInterpreter interpreter(ctx, options.symbolic_table_entries);
-  const VersionSemantics before_sem = InterpretVersion(interpreter, before);
-  const VersionSemantics after_sem = InterpretVersion(interpreter, after);
+  if (cache != nullptr) {
+    // Cached block summaries hold SmtRefs of the previous context.
+    cache->summaries().BeginContext();
+  }
+  const VersionSemantics before_sem = InterpretVersion(interpreter, before, cache, options);
+  const VersionSemantics after_sem = InterpretVersion(interpreter, after, cache, options);
   std::optional<StructHasher> canonical;
   if (cache != nullptr) {
     canonical.emplace(ctx, StructHasher::Mode::kCanonical);
@@ -284,8 +341,13 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
   std::optional<StructHasher> canonical;
   if (cache != nullptr) {
     canonical.emplace(ctx, StructHasher::Mode::kCanonical);
+    // Cached block summaries hold SmtRefs of the previous context. Within
+    // this context, blocks the pipeline never touched — typically the
+    // parser and deparser of every single version — interpret once total.
+    cache->summaries().BeginContext();
   }
-  VersionSemantics before_sem = InterpretVersion(interpreter, *versions[0].second);
+  VersionSemantics before_sem =
+      InterpretVersion(interpreter, *versions[0].second, cache, options_);
   const auto validation_deadline =
       options_.program_budget_ms == 0
           ? std::chrono::steady_clock::time_point::max()
@@ -322,7 +384,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
     }
     // The comparison runs against the *reparsed* program, so a semantics-
     // changing ToP4 or parser bug is caught alongside pass bugs (§5.2).
-    VersionSemantics after_sem = InterpretVersion(interpreter, *reparsed);
+    VersionSemantics after_sem = InterpretVersion(interpreter, *reparsed, cache, options_);
     report.pass_results.push_back(
         CompareSemantics(ctx, before_sem, after_sem, pass_name, options_, cache,
                          canonical.has_value() ? &*canonical : nullptr));
@@ -338,7 +400,7 @@ TvReport TranslationValidator::Validate(const Program& program, const BugConfig&
       // The printed program re-parsed to a different AST. Keep validating
       // from the in-memory snapshot so a printer bug does not cascade into
       // every later pass's verdict.
-      before_sem = InterpretVersion(interpreter, *after);
+      before_sem = InterpretVersion(interpreter, *after, cache, options_);
     }
   }
   return report;

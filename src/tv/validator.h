@@ -88,6 +88,13 @@ struct TvOptions {
   // the same shared encoding at kDefaultSymbolicTableEntries, where the
   // extra slots *do* buy new scenarios (non-first-entry hits, shadowing).
   size_t symbolic_table_entries = 1;
+  // Block-level summary memoization (src/cache/summary_cache.h): blocks a
+  // pass left textually unchanged reuse the interpretation of the previous
+  // version instead of being re-interpreted. --no-incremental turns it off
+  // for A/B runs; a memoized interpretation is the very SmtRefs a fresh one
+  // would return, so every verdict and report byte is identical either way.
+  // Only consulted when a ValidationCache is attached.
+  bool memoize_block_summaries = true;
 };
 
 // The translation-validation engine: runs the pass pipeline on a copy of

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cache/cache_file.h"
+#include "src/cache/summary_cache.h"
 #include "src/cache/verdict_cache.h"
 #include "src/frontend/parser.h"
 #include "src/runtime/parallel_campaign.h"
@@ -254,6 +255,89 @@ TEST(VerdictCacheTest, BeginProgramScopesVerdictsButKeepsTemplates) {
   EXPECT_GE(cache.Stats().verdict_misses, verdicts);
 }
 
+// --- block-summary memoization (src/cache/summary_cache) -------------------
+
+TEST(SummaryCacheTest, UnchangedBlocksInterpretOncePerContext) {
+  // Validating a multi-pass program interprets many versions whose parser
+  // and deparser never change: the summary cache must hit for them, and the
+  // verdicts must match a run with memoization off.
+  auto program = Parser::ParseString(kMultiPassProgram);
+  const TranslationValidator validator(PassManager::StandardPipeline());
+
+  TvOptions no_memo;
+  no_memo.memoize_block_summaries = false;
+  const TranslationValidator baseline(PassManager::StandardPipeline(), no_memo);
+
+  ValidationCache memo_cache;
+  ValidationCache plain_cache;
+  const TvReport memoized =
+      validator.Validate(*program, BugConfig::None(), /*stop_after_pass=*/{}, &memo_cache);
+  const TvReport plain =
+      baseline.Validate(*program, BugConfig::None(), /*stop_after_pass=*/{}, &plain_cache);
+  ExpectSameVerdicts(memoized, plain);
+  EXPECT_GT(memo_cache.Stats().summary_hits, 0u);
+  EXPECT_GT(memo_cache.Stats().summary_misses, 0u);
+  // With memoization off the subsystem is fully bypassed.
+  EXPECT_EQ(plain_cache.Stats().summary_hits, 0u);
+  EXPECT_EQ(plain_cache.Stats().summary_misses, 0u);
+  EXPECT_EQ(plain_cache.Stats().summary_fps_reused, 0u);
+}
+
+TEST(SummaryCacheTest, KeySeparatesRoleEnvironmentAndBlockSource) {
+  auto program = Parser::ParseString(kMultiPassProgram);
+  TypeCheck(*program);
+  const Fingerprint env = BlockEnvironmentFingerprint(*program, /*table_entries=*/1);
+
+  // A different table-entry count encodes differently: new environment.
+  EXPECT_NE(env, BlockEnvironmentFingerprint(*program, /*table_entries=*/2));
+
+  // Changing a top-level function (a helper a block may call) changes the
+  // environment even though no block body changed.
+  auto changed = Parser::ParseString(
+      std::string(kMultiPassProgram).replace(std::string(kMultiPassProgram).find("8w3"), 3,
+                                             "8w4"));
+  TypeCheck(*changed);
+  EXPECT_NE(env, BlockEnvironmentFingerprint(*changed, /*table_entries=*/1));
+
+  // Distinct package blocks get distinct keys; every key is valid.
+  std::vector<Fingerprint> keys;
+  for (const PackageBlock& block : program->package()) {
+    const Fingerprint key = BlockSummaryKey(env, *program, block);
+    ASSERT_TRUE(key.IsValid());
+    for (const Fingerprint& previous : keys) {
+      EXPECT_FALSE(key == previous);
+    }
+    keys.push_back(key);
+  }
+
+  // A dangling block declaration cannot be keyed.
+  PackageBlock missing{BlockRole::kIngress, "no_such_control"};
+  EXPECT_FALSE(BlockSummaryKey(env, *program, missing).IsValid());
+}
+
+TEST(SummaryCacheTest, HitReturnsTheIdenticalSemantics) {
+  // Two interpretations of the same block in one context produce the same
+  // SmtRefs (hash-consing + per-call undef numbering), which is exactly why
+  // a summary hit is invisible: check that equivalence holds end to end by
+  // comparing the memoized Validate against itself re-run in a new context.
+  auto program = Parser::ParseString(kPredicationProgram);
+  BugConfig bugs;
+  bugs.Enable(BugId::kPredicationLostElse);
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  const TvReport cold = validator.Validate(*program, bugs);
+  ValidationCache cache;
+  const TvReport memoized = validator.Validate(*program, bugs, /*stop_after_pass=*/{}, &cache);
+  ExpectSameVerdicts(cold, memoized);
+  ASSERT_TRUE(memoized.HasSemanticDiff());
+  // The semantic-diff witness — the most model-sensitive output — matches.
+  const TvPassResult* cold_diff = cold.FirstNonEquivalent();
+  const TvPassResult* memo_diff = memoized.FirstNonEquivalent();
+  ASSERT_NE(cold_diff, nullptr);
+  ASSERT_NE(memo_diff, nullptr);
+  EXPECT_EQ(cold_diff->counterexample.bit_values, memo_diff->counterexample.bit_values);
+  EXPECT_EQ(cold_diff->counterexample.bool_values, memo_diff->counterexample.bool_values);
+}
+
 // --- cross-run persistence (src/cache/cache_file) --------------------------
 
 TEST(CacheFileTest, RoundTripRestoresTemplatesAndProgramScopedVerdicts) {
@@ -322,6 +406,47 @@ TEST(CacheFileTest, SemanticDiffWitnessSurvivesTheRoundTrip) {
   EXPECT_EQ(back.result.detail, "solver found a disagreeing input");
   EXPECT_EQ(back.result.counterexample.bit_values.at("hdr.h.a").bits(), 0xabu);
   EXPECT_TRUE(back.result.counterexample.bool_values.at("hdr.h.$valid"));
+}
+
+TEST(CacheFileTest, SummaryFingerprintsSurviveTheRoundTrip) {
+  // A validated program records block-summary → semantics fingerprints; the
+  // v2 cache file persists them so a warm run can skip the canonical DAG
+  // hashing behind version fingerprints.
+  auto program = Parser::ParseString(kMultiPassProgram);
+  ValidationCache original;
+  const TranslationValidator validator(PassManager::StandardPipeline());
+  validator.Validate(*program, BugConfig::None(), /*stop_after_pass=*/{}, &original);
+  ASSERT_FALSE(original.summaries().stored_fingerprints().empty());
+
+  std::stringstream stream;
+  SaveValidationCaches({&original}, stream);
+  ValidationCache reloaded;
+  LoadValidationCache(stream, reloaded);
+  EXPECT_EQ(reloaded.summaries().stored_fingerprints(),
+            original.summaries().stored_fingerprints());
+
+  // A warm validation against the reloaded table reuses stored fingerprints
+  // and reaches identical verdicts.
+  const TvReport cold = validator.Validate(*program, BugConfig::None());
+  const TvReport warm =
+      validator.Validate(*program, BugConfig::None(), /*stop_after_pass=*/{}, &reloaded);
+  ExpectSameVerdicts(cold, warm);
+  EXPECT_GT(reloaded.Stats().summary_fps_reused, 0u);
+}
+
+TEST(CacheFileTest, VersionOneFilesStillLoad) {
+  // A v1 file (no summaries section) is a valid cold start for the summary
+  // layer; its blast/verdict sections load normally.
+  std::stringstream v1(
+      "gauntletcache 1\n"
+      "blast 0\n"
+      "programs 1\n"
+      "prog 7 1\n"
+      "1 2 2 0 - - 0 0\n");
+  ValidationCache cache;
+  LoadValidationCache(v1, cache);
+  EXPECT_EQ(cache.stored_verdicts().at(7).size(), 1u);
+  EXPECT_TRUE(cache.summaries().stored_fingerprints().empty());
 }
 
 TEST(CacheFileTest, MalformedInputFailsLoudly) {
@@ -421,6 +546,44 @@ TEST(CacheIdentityTest, CampaignReportsAreBitIdenticalWithAndWithoutCache) {
   serial.jobs = 1;
   const CampaignReport one_job = ParallelCampaign(serial).Run(bugs);
   ExpectIdenticalReports(cached, one_job);
+}
+
+TEST(CacheIdentityTest, CampaignReportsAreBitIdenticalWithIncrementalOnOrOff) {
+  // The incremental solver hot path (assumption-trail reuse + block-summary
+  // memoization) changes the work, never the bytes: reports must match for
+  // every combination of the mode and the worker count.
+  BugConfig bugs;
+  bugs.Enable(BugId::kPredicationLostElse);
+  bugs.Enable(BugId::kBmv2TableMissRunsFirstAction);
+
+  ParallelCampaignOptions options;
+  options.campaign.seed = 91;
+  options.campaign.num_programs = 12;
+  options.campaign.testgen.max_tests = 6;
+  options.campaign.testgen.max_decisions = 5;
+  // Unlimited wall clocks: a faster mode must not fit more work into a
+  // time budget (the conflict budgets still bound the work; they are
+  // deterministic by construction).
+  options.campaign.tv.program_budget_ms = 0;
+  options.campaign.tv.query_time_limit_ms = 0;
+  options.campaign.testgen.query_time_limit_ms = 0;
+  options.jobs = 1;
+
+  ParallelCampaignOptions no_incremental = options;
+  no_incremental.campaign.testgen.incremental_solving = false;
+  no_incremental.campaign.tv.memoize_block_summaries = false;
+
+  const CampaignReport on_serial = ParallelCampaign(options).Run(bugs);
+  const CampaignReport off_serial = ParallelCampaign(no_incremental).Run(bugs);
+  ExpectIdenticalReports(on_serial, off_serial);
+  ASSERT_FALSE(on_serial.findings.empty());
+
+  options.jobs = 8;
+  no_incremental.jobs = 8;
+  const CampaignReport on_parallel = ParallelCampaign(options).Run(bugs);
+  const CampaignReport off_parallel = ParallelCampaign(no_incremental).Run(bugs);
+  ExpectIdenticalReports(on_serial, on_parallel);
+  ExpectIdenticalReports(on_serial, off_parallel);
 }
 
 }  // namespace
